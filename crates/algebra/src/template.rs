@@ -1,0 +1,478 @@
+//! Graph templates and the composition operator's instantiation step
+//! (§3.3, Definition 4.4; Figures 4.11–4.13).
+//!
+//! A template body is instantiated against *actual parameters*: matched
+//! graphs (by pattern name, e.g. `P`) and graph variables (e.g. the
+//! accumulator `C` of a `let` clause). `unify` members with a `where`
+//! condition implement the paper's duplicate-elimination idiom: a name
+//! like `C.v1` that does not denote a concrete node of the spliced graph
+//! ranges over *all* of its nodes, and every candidate pair satisfying
+//! the condition is unified.
+
+use crate::error::{AlgebraError, Result};
+use crate::matched::MatchedGraph;
+use gql_core::{unify_nodes_full, BinOp, Graph, NodeId, Tuple, Value};
+use gql_parser::ast::{
+    ExprAst, GraphTemplateAst, Names, TEdgeDecl, TMemberDecl, TNodeDecl, TupleTemplateAst,
+};
+use rustc_hash::FxHashMap;
+
+/// Actual parameters available during template instantiation.
+#[derive(Default)]
+pub struct TemplateEnv<'a> {
+    /// Matched graphs by pattern name (`P` in Figure 4.12).
+    pub params: FxHashMap<String, &'a MatchedGraph>,
+    /// Plain graph variables (`C` in Figure 4.12, i.e. `graph C;`
+    /// splices and bare `Ref` templates).
+    pub vars: FxHashMap<String, &'a Graph>,
+}
+
+impl<'a> TemplateEnv<'a> {
+    /// Empty environment.
+    pub fn new() -> Self {
+        TemplateEnv::default()
+    }
+
+    /// Adds a matched-graph parameter under `name`.
+    pub fn with_param(mut self, name: impl Into<String>, m: &'a MatchedGraph) -> Self {
+        self.params.insert(name.into(), m);
+        self
+    }
+
+    /// Adds a graph variable under `name`.
+    pub fn with_var(mut self, name: impl Into<String>, g: &'a Graph) -> Self {
+        self.vars.insert(name.into(), g);
+        self
+    }
+
+    /// Resolves a dotted path against the matched-graph parameters.
+    fn resolve_param_path(&self, names: &Names) -> Option<Value> {
+        let segs: Vec<&str> = names.segments().collect();
+        let m = self.params.get(segs[0])?;
+        if segs.len() == 1 {
+            return None;
+        }
+        m.resolve_path(&segs[1..])
+    }
+}
+
+/// Evaluates a template expression to a value. `extra` resolves names
+/// before the parameter environment does (used by unify conditions to
+/// bind candidate nodes).
+fn eval_expr(
+    e: &ExprAst,
+    env: &TemplateEnv<'_>,
+    extra: &dyn Fn(&Names) -> Option<Value>,
+) -> Result<Value> {
+    match e {
+        ExprAst::Literal(v) => Ok(v.clone()),
+        ExprAst::Name(n) => extra(n)
+            .or_else(|| env.resolve_param_path(n))
+            .ok_or_else(|| AlgebraError::UnknownName {
+                name: n.to_dotted(),
+                context: "template expression",
+            }),
+        ExprAst::Binary { op, lhs, rhs } => {
+            let a = eval_expr(lhs, env, extra)?;
+            let b = eval_expr(rhs, env, extra)?;
+            let bad = || AlgebraError::Eval {
+                message: format!("cannot apply {op} to {} and {}", a.type_name(), b.type_name()),
+            };
+            Ok(match op {
+                BinOp::Or => Value::Bool(a.is_truthy() || b.is_truthy()),
+                BinOp::And => Value::Bool(a.is_truthy() && b.is_truthy()),
+                BinOp::Add => a.add(&b).ok_or_else(bad)?,
+                BinOp::Sub => a.sub(&b).ok_or_else(bad)?,
+                BinOp::Mul => a.mul(&b).ok_or_else(bad)?,
+                BinOp::Div => a.div(&b).ok_or_else(bad)?,
+                BinOp::Eq => Value::Bool(a == b),
+                BinOp::Ne => Value::Bool(a != b),
+                BinOp::Gt | BinOp::Ge | BinOp::Lt | BinOp::Le => {
+                    let ord = a.compare(&b).ok_or_else(bad)?;
+                    Value::Bool(match op {
+                        BinOp::Gt => ord.is_gt(),
+                        BinOp::Ge => ord.is_ge(),
+                        BinOp::Lt => ord.is_lt(),
+                        BinOp::Le => ord.is_le(),
+                        _ => unreachable!(),
+                    })
+                }
+            })
+        }
+    }
+}
+
+fn eval_tuple_template(
+    t: &Option<TupleTemplateAst>,
+    env: &TemplateEnv<'_>,
+) -> Result<Tuple> {
+    let mut out = Tuple::new();
+    if let Some(t) = t {
+        if let Some(tag) = &t.tag {
+            out.set_tag(tag.clone());
+        }
+        for (k, e) in &t.attrs {
+            let v = eval_expr(e, env, &|_| None)?;
+            out.set(k.clone(), v);
+        }
+    }
+    Ok(out)
+}
+
+/// Instantiates a graph template against `env`, producing a real graph
+/// (`T_P(G)` in Figure 4.11).
+pub fn instantiate(template: &GraphTemplateAst, env: &TemplateEnv<'_>) -> Result<Graph> {
+    let (name, tuple, members) = match template {
+        GraphTemplateAst::Ref(var) => {
+            let g = env.vars.get(var.as_str()).ok_or_else(|| AlgebraError::UnknownName {
+                name: var.clone(),
+                context: "graph variable",
+            })?;
+            return Ok((*g).clone());
+        }
+        GraphTemplateAst::Inline {
+            name,
+            tuple,
+            members,
+        } => (name, tuple, members),
+    };
+
+    let mut out = Graph::new();
+    out.name = name.clone();
+    out.attrs = eval_tuple_template(tuple, env)?;
+
+    // Local registry: qualified name → node id; plus, per spliced graph
+    // variable, the id range it occupies (for ranging `C.x` references).
+    let mut registry: FxHashMap<String, NodeId> = FxHashMap::default();
+    let mut splices: FxHashMap<String, (u32, u32)> = FxHashMap::default();
+    let mut unify_jobs: Vec<(Names, Names, Option<ExprAst>)> = Vec::new();
+
+    for member in members {
+        match member {
+            TMemberDecl::Graphs(refs) => {
+                for r in refs {
+                    let g = env.vars.get(r.name.as_str()).ok_or_else(|| {
+                        AlgebraError::UnknownName {
+                            name: r.name.clone(),
+                            context: "graph splice",
+                        }
+                    })?;
+                    let prefix = r.alias.clone().unwrap_or_else(|| r.name.clone());
+                    let offset = out.append_disjoint(g);
+                    splices.insert(prefix.clone(), (offset, offset + g.node_count() as u32));
+                    for (id, n) in g.nodes() {
+                        if let Some(nm) = &n.name {
+                            registry
+                                .insert(format!("{prefix}.{nm}"), NodeId(offset + id.0));
+                        }
+                    }
+                }
+            }
+            TMemberDecl::Nodes(decls) => {
+                for TNodeDecl { name, tuple } in decls {
+                    let mut attrs = eval_tuple_template(tuple, env)?;
+                    let key = match name {
+                        None => {
+                            let id = out.add_node(attrs);
+                            let _ = id;
+                            continue;
+                        }
+                        Some(n) => n,
+                    };
+                    let dotted = key.to_dotted();
+                    // Dotted name rooted at a parameter imports the bound
+                    // data node's attributes (`node P.v1;` in Fig 4.12).
+                    let segs: Vec<&str> = key.segments().collect();
+                    if segs.len() > 1 {
+                        if let Some(m) = env.params.get(segs[0]) {
+                            let var = segs[1..].join(".");
+                            let data_node =
+                                m.node(&var).ok_or_else(|| AlgebraError::UnknownName {
+                                    name: dotted.clone(),
+                                    context: "template node import",
+                                })?;
+                            let mut imported = m.graph.node(data_node).attrs.clone();
+                            imported.merge_from(&attrs);
+                            attrs = imported;
+                        }
+                    }
+                    let id = out.add_named_node(dotted.clone(), attrs);
+                    registry.insert(dotted, id);
+                }
+            }
+            TMemberDecl::Edges(decls) => {
+                for TEdgeDecl {
+                    name,
+                    from,
+                    to,
+                    tuple,
+                } in decls
+                {
+                    let src = *registry.get(&from.to_dotted()).ok_or_else(|| {
+                        AlgebraError::BadEndpoint {
+                            name: from.to_dotted(),
+                        }
+                    })?;
+                    let dst = *registry.get(&to.to_dotted()).ok_or_else(|| {
+                        AlgebraError::BadEndpoint {
+                            name: to.to_dotted(),
+                        }
+                    })?;
+                    match out.add_edge(src, dst, eval_tuple_template(tuple, env)?) {
+                        Ok(id) => {
+                            if let Some(n) = name {
+                                out.edge_mut(id).name = Some(n.clone());
+                            }
+                        }
+                        // Re-adding an existing edge in an accumulator
+                        // template is idempotent, matching Figure 4.13
+                        // where repeated co-author pairs add no new edge.
+                        Err(gql_core::CoreError::DuplicateEdge { .. }) => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            }
+            TMemberDecl::Unify {
+                names,
+                where_clause,
+            } => {
+                let first = names[0].clone();
+                for n in &names[1..] {
+                    unify_jobs.push((first.clone(), n.clone(), where_clause.clone()));
+                }
+            }
+        }
+    }
+
+    // Resolve unify jobs into concrete node pairs.
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+    for (a, b, cond) in &unify_jobs {
+        let ca = candidates(a, &registry, &splices)?;
+        let cb = candidates(b, &registry, &splices)?;
+        if cond.is_none() && (ca.len() > 1 || cb.len() > 1) {
+            let ambiguous = if ca.len() > 1 { a } else { b };
+            return Err(AlgebraError::AmbiguousUnify {
+                name: ambiguous.to_dotted(),
+            });
+        }
+        for &na in &ca {
+            for &nb in &cb {
+                if na == nb {
+                    continue;
+                }
+                let ok = match cond {
+                    None => true,
+                    Some(c) => {
+                        use std::cell::Cell;
+                        // Track whether a candidate-scoped attribute was
+                        // merely *missing* (condition is false for this
+                        // pair) as opposed to an unresolvable name (a
+                        // genuine error to propagate).
+                        let missing = Cell::new(false);
+                        let resolver = |n: &Names| -> Option<Value> {
+                            // `A.attr...` → attr of candidate na; same for b.
+                            let d = n.to_dotted();
+                            let pa = a.to_dotted();
+                            let pb = b.to_dotted();
+                            if let Some(rest) = d.strip_prefix(&format!("{pa}.")) {
+                                let v = out.node(na).attrs.get(rest).cloned();
+                                if v.is_none() {
+                                    missing.set(true);
+                                    return Some(Value::Bool(false));
+                                }
+                                return v;
+                            }
+                            if let Some(rest) = d.strip_prefix(&format!("{pb}.")) {
+                                let v = out.node(nb).attrs.get(rest).cloned();
+                                if v.is_none() {
+                                    missing.set(true);
+                                    return Some(Value::Bool(false));
+                                }
+                                return v;
+                            }
+                            None
+                        };
+                        let truthy = eval_expr(c, env, &resolver)?.is_truthy();
+                        truthy && !missing.get()
+                    }
+                };
+                if ok {
+                    pairs.push((na, nb));
+                }
+            }
+        }
+    }
+
+    if pairs.is_empty() {
+        return Ok(out);
+    }
+    let unified = unify_nodes_full(&out, &pairs)?;
+    Ok(unified.graph)
+}
+
+/// Candidate nodes a unify target denotes: a concrete registered name,
+/// or — when the first segment names a spliced graph — all nodes of that
+/// splice (the `C.v1` idiom of Figure 4.12).
+fn candidates(
+    n: &Names,
+    registry: &FxHashMap<String, NodeId>,
+    splices: &FxHashMap<String, (u32, u32)>,
+) -> Result<Vec<NodeId>> {
+    let dotted = n.to_dotted();
+    if let Some(&id) = registry.get(&dotted) {
+        return Ok(vec![id]);
+    }
+    let segs: Vec<&str> = n.segments().collect();
+    if let Some(&(lo, hi)) = splices.get(segs[0]) {
+        return Ok((lo..hi).map(NodeId).collect());
+    }
+    Err(AlgebraError::UnknownName {
+        name: dotted,
+        context: "unify target",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_pattern_text;
+    use crate::ops::select;
+    use gql_core::fixtures::figure_4_7_paper;
+    use gql_core::GraphCollection;
+    use gql_match::MatchOptions;
+    use gql_parser::ast::Statement;
+
+    fn template_from(src: &str) -> GraphTemplateAst {
+        let prog = gql_parser::parse_program(src).unwrap();
+        match prog.statements.into_iter().next().unwrap() {
+            Statement::Assign { template, .. } => template,
+            _ => panic!("expected assignment"),
+        }
+    }
+
+    /// Figure 4.11: instantiating `T_P` against the Figure 4.7 paper
+    /// graph yields nodes labeled "A" and "Title1" with one edge.
+    #[test]
+    fn figure_4_11_template_instantiation() {
+        let p = compile_pattern_text(
+            r#"graph P { node v1; node v2; } where v1.name="A" and v2.year>2000"#,
+        )
+        .unwrap();
+        let coll = GraphCollection::from_graph(figure_4_7_paper());
+        let matched = select(&p, &coll, &MatchOptions::default()).unwrap();
+        assert_eq!(matched.len(), 1);
+
+        let t = template_from(
+            r#"T := graph {
+                node v1 <label=P.v1.name>;
+                node v2 <label=P.v2.title>;
+                edge e1 (v1, v2);
+            };"#,
+        );
+        let env = TemplateEnv::new().with_param("P", &matched[0]);
+        let g = instantiate(&t, &env).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.node_label(NodeId(0)), Some(&Value::Str("A".into())));
+        assert_eq!(
+            g.node_label(NodeId(1)),
+            Some(&Value::Str("Title1".into()))
+        );
+    }
+
+    #[test]
+    fn ref_template_clones_variable() {
+        let t = template_from("X := C;");
+        let mut c = Graph::named("C");
+        c.add_labeled_node("z");
+        let env = TemplateEnv::new().with_var("C", &c);
+        let g = instantiate(&t, &env).unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert!(instantiate(&t, &TemplateEnv::new()).is_err());
+    }
+
+    #[test]
+    fn splice_and_concrete_unify() {
+        // Build a graph variable with two named nodes, splice it twice,
+        // and unify across the splices by concrete name.
+        let mut g = Graph::new();
+        g.add_named_node("a", Tuple::new().with("x", 1));
+        g.add_named_node("b", Tuple::new().with("x", 2));
+        let t = template_from(
+            "X := graph { graph G as L; graph G as R; unify L.a, R.a; };",
+        );
+        let env = TemplateEnv::new().with_var("G", &g);
+        let out = instantiate(&t, &env).unwrap();
+        assert_eq!(out.node_count(), 3, "L.a and R.a merged");
+    }
+
+    #[test]
+    fn ambiguous_unify_without_where_errors() {
+        let mut g = Graph::new();
+        g.add_named_node("a", Tuple::new());
+        g.add_named_node("b", Tuple::new());
+        let t = template_from("X := graph { graph G; node n; unify n, G.zzz; };");
+        let env = TemplateEnv::new().with_var("G", &g);
+        assert!(matches!(
+            instantiate(&t, &env).unwrap_err(),
+            AlgebraError::AmbiguousUnify { .. }
+        ));
+    }
+
+    #[test]
+    fn conditional_unify_ranges_over_splice() {
+        // The Figure 4.12 idiom: unify a fresh node with any node of the
+        // spliced accumulator having the same name attribute.
+        let mut acc = Graph::new();
+        acc.add_named_node("p1", Tuple::tagged("author").with("name", "A"));
+        acc.add_named_node("p2", Tuple::tagged("author").with("name", "B"));
+        let t = template_from(
+            r#"X := graph {
+                graph C;
+                node n <author name="B">;
+                unify n, C.v1 where n.name = C.v1.name;
+            };"#,
+        );
+        let env = TemplateEnv::new().with_var("C", &acc);
+        let out = instantiate(&t, &env).unwrap();
+        assert_eq!(out.node_count(), 2, "new B merged with existing B");
+        let names: Vec<_> = out
+            .nodes()
+            .filter_map(|(_, n)| n.attrs.get("name").cloned())
+            .collect();
+        assert!(names.contains(&Value::Str("A".into())));
+        assert!(names.contains(&Value::Str("B".into())));
+    }
+
+    #[test]
+    fn duplicate_edge_in_template_is_idempotent() {
+        let mut acc = Graph::new();
+        let a = acc.add_named_node("x", Tuple::new().with("name", "A"));
+        let b = acc.add_named_node("y", Tuple::new().with("name", "B"));
+        acc.add_edge(a, b, Tuple::new()).unwrap();
+        let t = template_from(
+            r#"X := graph {
+                graph C;
+                node u <name="A">, w <name="B">;
+                edge e1 (u, w);
+                unify u, C.any where u.name = C.any.name;
+                unify w, C.any where w.name = C.any.name;
+            };"#,
+        );
+        let env = TemplateEnv::new().with_var("C", &acc);
+        let out = instantiate(&t, &env).unwrap();
+        assert_eq!(out.node_count(), 2);
+        assert_eq!(out.edge_count(), 1);
+    }
+
+    #[test]
+    fn arithmetic_in_tuple_templates() {
+        let p = compile_pattern_text(r#"graph P { node v1 where year>0; }"#).unwrap();
+        let coll = GraphCollection::from_graph(figure_4_7_paper());
+        let matched = select(&p, &coll, &MatchOptions::default()).unwrap();
+        let t = template_from("T := graph { node n <next=P.v1.year+1>; };");
+        let env = TemplateEnv::new().with_param("P", &matched[0]);
+        let g = instantiate(&t, &env).unwrap();
+        assert_eq!(g.node(NodeId(0)).attrs.get("next"), Some(&Value::Int(2007)));
+    }
+}

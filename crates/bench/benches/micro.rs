@@ -1,0 +1,126 @@
+//! Microbenchmarks of the hot primitives: Hopcroft–Karp matching,
+//! profile subsumption, parser throughput, Datalog fixpoint, and the
+//! ablation of the §4.4 search-order optimizer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gql_bench::workload::Workload;
+use gql_core::Profile;
+use gql_match::bipartite::Bipartite;
+use gql_match::{match_pattern, MatchOptions, Pattern};
+
+fn bench_hopcroft_karp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hopcroft_karp");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [16usize, 64, 256] {
+        // Each left i connects to 2i, 2i+1, and (i+7)%2n — perfect
+        // matching exists; three edges per vertex.
+        let mut b = Bipartite::new(n, 2 * n);
+        for i in 0..n {
+            b.add_edge(i, 2 * i);
+            b.add_edge(i, 2 * i + 1);
+            b.add_edge(i, (i + 7) % (2 * n));
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &b, |bench, b| {
+            bench.iter(|| b.max_matching())
+        });
+    }
+    group.finish();
+}
+
+fn bench_profile_subsumption(c: &mut Criterion) {
+    let small = Profile::from_labels((0..8).map(|i| format!("L{:02}", i % 5).into()));
+    let big = Profile::from_labels((0..64).map(|i| format!("L{:02}", i % 20).into()));
+    c.bench_function("profile_subsumed_by", |b| {
+        b.iter(|| small.subsumed_by(&big))
+    });
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let src = r#"
+        graph P {
+            node v1 <author name="A">;
+            node v2 <author>;
+            node v3;
+            edge e1 (v1, v2) <kind="x">;
+            edge e2 (v2, v3);
+        } where P.booktitle="SIGMOD" & v3.year > 2000;
+        C := graph {};
+        for P exhaustive in doc("DBLP")
+        let C := graph {
+            graph C;
+            node P.v1, P.v2;
+            edge e1 (P.v1, P.v2);
+            unify P.v1, C.v1 where P.v1.name=C.v1.name;
+        };
+    "#;
+    c.bench_function("parse_figure_4_12_program", |b| {
+        b.iter(|| gql_parser::parse_program(src).unwrap())
+    });
+}
+
+fn bench_datalog_tc(c: &mut Criterion) {
+    use gql_datalog::{evaluate, Atom, BodyItem, FactStore, Program, Rule, Term};
+    let mut base = FactStore::new();
+    for i in 0..200i64 {
+        base.insert("edge", vec![i.into(), (i + 1).into()]);
+    }
+    let mut prog = Program::new();
+    prog.push(Rule {
+        head: Atom::new("path", vec![Term::var("X"), Term::var("Y")]),
+        body: vec![BodyItem::Atom(Atom::new(
+            "edge",
+            vec![Term::var("X"), Term::var("Y")],
+        ))],
+    });
+    prog.push(Rule {
+        head: Atom::new("path", vec![Term::var("X"), Term::var("Z")]),
+        body: vec![
+            BodyItem::Atom(Atom::new("path", vec![Term::var("X"), Term::var("Y")])),
+            BodyItem::Atom(Atom::new("edge", vec![Term::var("Y"), Term::var("Z")])),
+        ],
+    });
+    c.bench_function("datalog_transitive_closure_200", |b| {
+        b.iter(|| {
+            let mut facts = base.clone();
+            evaluate(&prog, &mut facts)
+        })
+    });
+}
+
+/// Ablation: the search-order optimizer on/off over the same refined
+/// space (DESIGN.md design-choice ablation).
+fn bench_order_ablation(c: &mut Criterion) {
+    let w = Workload::synthetic(5_000, 0xab1a);
+    let queries = w.subgraphs(10, 30, 0xab);
+    let Some(q) = queries.into_iter().next() else {
+        return;
+    };
+    let pattern = Pattern::structural(q);
+    let mut with = MatchOptions::optimized();
+    with.max_matches = 101;
+    let mut without = MatchOptions::optimized();
+    without.optimize_order = false;
+    without.max_matches = 101;
+    let mut group = c.benchmark_group("order_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("with_order_opt", |b| {
+        b.iter(|| match_pattern(&pattern, &w.graph, &w.index, &with))
+    });
+    group.bench_function("without_order_opt", |b| {
+        b.iter(|| match_pattern(&pattern, &w.graph, &w.index, &without))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hopcroft_karp,
+    bench_profile_subsumption,
+    bench_parser,
+    bench_datalog_tc,
+    bench_order_ablation
+);
+criterion_main!(benches);

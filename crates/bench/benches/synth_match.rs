@@ -1,0 +1,80 @@
+//! Criterion benches behind Figures 4.22/4.23: connected-subgraph
+//! queries on Erdős–Rényi graphs — Optimized vs Baseline vs SQL.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gql_bench::workload::{Configs, SqlWorkload, Workload};
+use gql_core::Graph;
+use gql_match::{match_pattern, MatchOptions, Pattern};
+use std::time::Duration;
+
+fn pick_answered(w: &Workload, size: usize) -> Option<Graph> {
+    let queries = w.subgraphs(size, 50, 0x5e_22 + size as u64);
+    for q in queries {
+        let p = Pattern::structural(q.clone());
+        let mut opts = MatchOptions::optimized();
+        opts.max_matches = 101;
+        let rep = match_pattern(&p, &w.graph, &w.index, &opts);
+        if !rep.mappings.is_empty() && rep.mappings.len() < 100 {
+            return Some(q);
+        }
+    }
+    None
+}
+
+/// Figure 4.23(a): query sizes on a fixed 10K graph.
+fn bench_query_sizes(c: &mut Criterion) {
+    let w = Workload::synthetic(10_000, 0x5eed);
+    let sql = SqlWorkload::new(&w.graph);
+    let mut group = c.benchmark_group("fig4_23a_total_by_query_size");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for size in [4usize, 8] {
+        let Some(q) = pick_answered(&w, size) else {
+            continue;
+        };
+        let pattern = Pattern::structural(q.clone());
+        for (name, opts) in [
+            ("optimized", Configs::optimized()),
+            ("baseline", Configs::baseline()),
+        ] {
+            let mut opts = opts.clone();
+            opts.max_matches = 1001;
+            group.bench_with_input(BenchmarkId::new(name, size), &pattern, |b, p| {
+                b.iter(|| match_pattern(p, &w.graph, &w.index, &opts))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("sql", size), &q, |b, q| {
+            b.iter(|| sql.run(q, Duration::from_millis(300)))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 4.23(b): fixed size-4 query over growing graphs.
+fn bench_graph_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_23b_total_by_graph_size");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for n in [10_000usize, 20_000] {
+        let w = Workload::synthetic_light(n, 0x5eed ^ n as u64);
+        let sql = SqlWorkload::new(&w.graph);
+        let Some(q) = pick_answered(&w, 4) else {
+            continue;
+        };
+        let pattern = Pattern::structural(q.clone());
+        let mut opt = Configs::optimized();
+        opt.max_matches = 1001;
+        group.bench_with_input(BenchmarkId::new("optimized", n), &pattern, |b, p| {
+            b.iter(|| match_pattern(p, &w.graph, &w.index, &opt))
+        });
+        group.bench_with_input(BenchmarkId::new("sql", n), &q, |b, q| {
+            b.iter(|| sql.run(q, Duration::from_millis(300)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_sizes, bench_graph_sizes);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Regenerates the paper's evaluation figures.
+//!
+//! ```text
+//! cargo run -p gql-bench --release --bin experiments -- all          # quick scale
+//! cargo run -p gql-bench --release --bin experiments -- fig4_21 full
+//! ```
+
+use gql_bench::experiments::{
+    fig4_20, fig4_21, fig4_22, fig4_23a, fig4_23b, print_space_rows, print_step_rows,
+    print_total_rows, Scale,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let scale = match args.get(1).map(String::as_str) {
+        Some("full") => Scale::Full,
+        _ => Scale::Quick,
+    };
+    eprintln!("# experiment scale: {scale:?} (pass `full` as the 2nd arg for paper-sized runs)");
+
+    let run_20 = || {
+        let (low, high) = fig4_20(scale);
+        print_space_rows(
+            "Figure 4.20(a) — search-space reduction, clique queries, PPI graph, low hits",
+            &low,
+        );
+        print_space_rows(
+            "Figure 4.20(b) — search-space reduction, clique queries, PPI graph, high hits",
+            &high,
+        );
+    };
+    let run_21 = || {
+        let (steps, totals) = fig4_21(scale);
+        print_step_rows(
+            "Figure 4.21(a) — per-step time, clique queries, PPI graph, low hits",
+            &steps,
+        );
+        print_total_rows(
+            "Figure 4.21(b) — total query time, clique queries, PPI graph, low hits",
+            "clique",
+            &totals,
+        );
+    };
+    let run_22 = || {
+        let (spaces, steps) = fig4_22(scale);
+        print_space_rows(
+            "Figure 4.22(a) — search-space reduction, synthetic 10K graph, low hits",
+            &spaces,
+        );
+        print_step_rows(
+            "Figure 4.22(b) — per-step time, synthetic 10K graph, low hits",
+            &steps,
+        );
+    };
+    let run_23 = || {
+        print_total_rows(
+            "Figure 4.23(a) — total time vs query size, synthetic 10K graph",
+            "qsize",
+            &fig4_23a(scale),
+        );
+        print_total_rows(
+            "Figure 4.23(b) — total time vs graph size, query size 4",
+            "nodes",
+            &fig4_23b(scale),
+        );
+    };
+
+    match which {
+        "fig4_20" => run_20(),
+        "fig4_21" => run_21(),
+        "fig4_22" => run_22(),
+        "fig4_23" => run_23(),
+        "all" => {
+            run_20();
+            run_21();
+            run_22();
+            run_23();
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}; use fig4_20|fig4_21|fig4_22|fig4_23|all");
+            std::process::exit(2);
+        }
+    }
+}

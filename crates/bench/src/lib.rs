@@ -1,0 +1,12 @@
+//! # gql-bench — experiment harness for the §5 evaluation
+//!
+//! [`workload`] prepares the datasets/indexes/query sets; [`experiments`]
+//! regenerates each figure of the paper (see DESIGN.md's experiment
+//! index). The `experiments` binary prints the tables; the Criterion
+//! benches under `benches/` provide stable microbenchmarks of the same
+//! code paths.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod workload;

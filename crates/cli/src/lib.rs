@@ -1,0 +1,377 @@
+//! # gql-cli — command-line front-end
+//!
+//! ```text
+//! gql run program.gql --data DBLP=papers.gql      # execute a program
+//! gql match --graph g.gql --pattern p.gql         # pattern matching + stats
+//! gql sql --graph g.gql --pattern p.gql           # show & run the Fig 4.2 SQL
+//! ```
+//!
+//! The logic lives here (library) so it is testable; `main.rs` is a thin
+//! wrapper.
+
+#![warn(missing_docs)]
+
+use gql_algebra::compile_pattern_text;
+use gql_core::GraphCollection;
+use gql_engine::{collection_from_text, Database};
+use gql_match::{match_pattern, GraphIndex, MatchOptions};
+use gql_relational::{graph_to_database, pattern_to_sql, ExecLimits};
+use std::fmt::Write as _;
+
+/// CLI error: message + exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> CliError {
+        CliError {
+            message: msg.into(),
+            code: 2,
+        }
+    }
+
+    fn run(msg: impl Into<String>) -> CliError {
+        CliError {
+            message: msg.into(),
+            code: 1,
+        }
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, CliError>;
+
+/// Parsed command line.
+#[derive(Debug, PartialEq)]
+pub enum Command {
+    /// `gql run <program> [--data NAME=PATH]...`
+    Run {
+        /// Program file path.
+        program: String,
+        /// Named data files.
+        data: Vec<(String, String)>,
+    },
+    /// `gql match --graph PATH --pattern PATH [--baseline] [--first]`
+    Match {
+        /// Data graph file.
+        graph: String,
+        /// Pattern file.
+        pattern: String,
+        /// Use the baseline configuration.
+        baseline: bool,
+        /// Stop at the first match.
+        first: bool,
+    },
+    /// `gql sql --graph PATH --pattern PATH`
+    Sql {
+        /// Data graph file.
+        graph: String,
+        /// Pattern file.
+        pattern: String,
+    },
+    /// `gql help`
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+gql — Graphs-at-a-time query language (He & Singh, SIGMOD 2008)
+
+USAGE:
+    gql run <program.gql> [--data NAME=PATH]...
+    gql match --graph <data.gql> --pattern <pattern.gql> [--baseline] [--first]
+    gql sql   --graph <data.gql> --pattern <pattern.gql>
+    gql help
+";
+
+/// Parses argv (without the binary name).
+pub fn parse_args(args: &[String]) -> Result<Command> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("run") => {
+            let mut program = None;
+            let mut data = Vec::new();
+            while let Some(a) = it.next() {
+                if a == "--data" {
+                    let spec = it
+                        .next()
+                        .ok_or_else(|| CliError::usage("--data needs NAME=PATH"))?;
+                    let (name, path) = spec
+                        .split_once('=')
+                        .ok_or_else(|| CliError::usage(format!("bad --data spec {spec:?}")))?;
+                    data.push((name.to_string(), path.to_string()));
+                } else if program.is_none() {
+                    program = Some(a.clone());
+                } else {
+                    return Err(CliError::usage(format!("unexpected argument {a:?}")));
+                }
+            }
+            Ok(Command::Run {
+                program: program.ok_or_else(|| CliError::usage("run needs a program file"))?,
+                data,
+            })
+        }
+        Some(cmd @ ("match" | "sql")) => {
+            let mut graph = None;
+            let mut pattern = None;
+            let mut baseline = false;
+            let mut first = false;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--graph" => graph = it.next().cloned(),
+                    "--pattern" => pattern = it.next().cloned(),
+                    "--baseline" => baseline = true,
+                    "--first" => first = true,
+                    other => return Err(CliError::usage(format!("unexpected argument {other:?}"))),
+                }
+            }
+            let graph = graph.ok_or_else(|| CliError::usage("--graph is required"))?;
+            let pattern = pattern.ok_or_else(|| CliError::usage("--pattern is required"))?;
+            if cmd == "match" {
+                Ok(Command::Match {
+                    graph,
+                    pattern,
+                    baseline,
+                    first,
+                })
+            } else {
+                Ok(Command::Sql { graph, pattern })
+            }
+        }
+        Some(other) => Err(CliError::usage(format!("unknown command {other:?}"))),
+    }
+}
+
+fn read(path: &str) -> Result<String> {
+    std::fs::read_to_string(path)
+        .map_err(|e| CliError::run(format!("cannot read {path:?}: {e}")))
+}
+
+fn load_graph(path: &str) -> Result<gql_core::Graph> {
+    gql_engine::graph_from_text(&read(path)?)
+        .map_err(|e| CliError::run(format!("{path}: {e}")))
+}
+
+/// Executes a parsed command, returning the text to print.
+pub fn execute(cmd: Command) -> Result<String> {
+    let mut out = String::new();
+    match cmd {
+        Command::Help => out.push_str(USAGE),
+        Command::Run { program, data } => {
+            let mut db = Database::new();
+            for (name, path) in data {
+                let c: GraphCollection = collection_from_text(&read(&path)?)
+                    .map_err(|e| CliError::run(format!("{path}: {e}")))?;
+                let _ = writeln!(out, "loaded {name}: {} graph(s)", c.len());
+                db.add_collection(name, c);
+            }
+            let src = read(&program)?;
+            let result = db
+                .execute(&src)
+                .map_err(|e| CliError::run(format!("{program}: {e}")))?;
+            for (i, coll) in result.returned.iter().enumerate() {
+                let _ = writeln!(out, "-- result {} ({} graph(s)) --", i + 1, coll.len());
+                for g in coll {
+                    let _ = writeln!(out, "{g}");
+                }
+            }
+            // `let` accumulators are the result of queries like the
+            // paper's Figure 4.12; show their final state.
+            let mut vars: Vec<(&str, &gql_core::Graph)> = db.vars().collect();
+            vars.sort_by_key(|(k, _)| k.to_string());
+            for (name, g) in vars {
+                let _ = writeln!(
+                    out,
+                    "-- variable {name} ({} node(s), {} edge(s)) --\n{g}",
+                    g.node_count(),
+                    g.edge_count()
+                );
+            }
+            out.push_str("ok\n");
+        }
+        Command::Match {
+            graph,
+            pattern,
+            baseline,
+            first,
+        } => {
+            let g = load_graph(&graph)?;
+            let p = compile_pattern_text(&read(&pattern)?)
+                .map_err(|e| CliError::run(format!("{pattern}: {e}")))?;
+            let index = GraphIndex::build_with_profiles(&g, 1);
+            let mut opts = if baseline {
+                MatchOptions::baseline()
+            } else {
+                MatchOptions::optimized()
+            };
+            opts.exhaustive = !first;
+            let rep = match_pattern(&p.pattern, &g, &index, &opts);
+            let _ = writeln!(out, "matches: {}", rep.mappings.len());
+            let fmt_space = |ln: f64| {
+                if ln.is_finite() {
+                    format!("10^{:.1}", ln / std::f64::consts::LN_10)
+                } else {
+                    "empty".to_string()
+                }
+            };
+            let _ = writeln!(
+                out,
+                "search space: baseline {}, after pruning {}, after refinement {}",
+                fmt_space(rep.spaces.baseline_ln),
+                fmt_space(rep.spaces.local_ln),
+                fmt_space(rep.spaces.refined_ln),
+            );
+            let _ = writeln!(out, "search steps: {}", rep.search_steps);
+            let _ = writeln!(out, "time: {:?}", rep.timings.total());
+            for (i, m) in rep.mappings.iter().enumerate().take(20) {
+                let names: Vec<String> = m
+                    .iter()
+                    .map(|&v| {
+                        g.node(v)
+                            .name
+                            .clone()
+                            .unwrap_or_else(|| v.to_string())
+                    })
+                    .collect();
+                let _ = writeln!(out, "  #{}: [{}]", i + 1, names.join(", "));
+            }
+            if rep.mappings.len() > 20 {
+                let _ = writeln!(out, "  ... {} more", rep.mappings.len() - 20);
+            }
+        }
+        Command::Sql { graph, pattern } => {
+            let g = load_graph(&graph)?;
+            let p = compile_pattern_text(&read(&pattern)?)
+                .map_err(|e| CliError::run(format!("{pattern}: {e}")))?;
+            let sql = pattern_to_sql(&p.pattern.graph);
+            let _ = writeln!(out, "{sql}");
+            let rel = graph_to_database(&g).map_err(|e| CliError::run(e.to_string()))?;
+            let res = rel
+                .query(&sql, &ExecLimits::default())
+                .map_err(|e| CliError::run(e.to_string()))?;
+            let _ = writeln!(
+                out,
+                "rows: {} (examined {})",
+                res.rows.len(),
+                res.rows_examined
+            );
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_commands() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(
+            parse_args(&args(&["run", "p.gql", "--data", "DBLP=d.gql"])).unwrap(),
+            Command::Run {
+                program: "p.gql".into(),
+                data: vec![("DBLP".into(), "d.gql".into())]
+            }
+        );
+        assert!(matches!(
+            parse_args(&args(&["match", "--graph", "g", "--pattern", "p", "--first"])).unwrap(),
+            Command::Match { first: true, baseline: false, .. }
+        ));
+        assert!(parse_args(&args(&["run"])).is_err());
+        assert!(parse_args(&args(&["frobnicate"])).is_err());
+        assert!(parse_args(&args(&["match", "--graph", "g"])).is_err());
+        assert!(parse_args(&args(&["run", "a", "b"])).is_err());
+        assert!(parse_args(&args(&["run", "a", "--data", "nopath"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_match_via_tempfiles() {
+        let dir = std::env::temp_dir().join(format!("gqlcli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let gpath = dir.join("g.gql");
+        let ppath = dir.join("p.gql");
+        std::fs::write(
+            &gpath,
+            r#"graph G {
+                node a1 <label="A">, b1 <label="B">, c <label="C">;
+                edge e1 (a1, b1); edge e2 (b1, c); edge e3 (c, a1);
+            };"#,
+        )
+        .unwrap();
+        std::fs::write(
+            &ppath,
+            r#"graph P { node x <label="A">; node y <label="B">; edge e (x, y); }"#,
+        )
+        .unwrap();
+        let out = execute(Command::Match {
+            graph: gpath.to_string_lossy().into_owned(),
+            pattern: ppath.to_string_lossy().into_owned(),
+            baseline: false,
+            first: false,
+        })
+        .unwrap();
+        assert!(out.contains("matches: 1"), "{out}");
+        assert!(out.contains("a1"), "{out}");
+
+        let sql_out = execute(Command::Sql {
+            graph: gpath.to_string_lossy().into_owned(),
+            pattern: ppath.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(sql_out.contains("SELECT V1.vid, V2.vid"), "{sql_out}");
+        assert!(sql_out.contains("rows: 1"), "{sql_out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn end_to_end_run_program() {
+        let dir = std::env::temp_dir().join(format!("gqlcli-run-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("dblp.gql");
+        let prog = dir.join("prog.gql");
+        std::fs::write(
+            &data,
+            r#"
+            graph G1 { node v1 <author name="A">; node v2 <author name="B">; };
+            graph G2 { node v1 <author name="A">; };
+            "#,
+        )
+        .unwrap();
+        std::fs::write(
+            &prog,
+            r#"for graph Q { node a <author>; } exhaustive in doc("DBLP")
+               return graph { node n <name=Q.a.name>; };"#,
+        )
+        .unwrap();
+        let out = execute(Command::Run {
+            program: prog.to_string_lossy().into_owned(),
+            data: vec![("DBLP".into(), data.to_string_lossy().into_owned())],
+        })
+        .unwrap();
+        assert!(out.contains("loaded DBLP: 2 graph(s)"), "{out}");
+        assert!(out.contains("result 1 (3 graph(s))"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let err = execute(Command::Run {
+            program: "/nonexistent/prog.gql".into(),
+            data: vec![],
+        })
+        .unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("cannot read"));
+    }
+}

@@ -1,0 +1,15 @@
+//! Thin binary wrapper over `gql_cli`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match gql_cli::parse_args(&args).and_then(gql_cli::execute) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {}", e.message);
+            if e.code == 2 {
+                eprintln!("\n{}", gql_cli::USAGE);
+            }
+            std::process::exit(e.code);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Graph rewriting helpers: disjoint-set unification and renaming.
+//!
+//! The paper's concatenation-by-unification (§2.1, Figure 4.4b) and the
+//! `unify` clauses of templates (§3.4) merge nodes of a graph. `Graph`
+//! itself is append-only, so unification *materializes a new graph* with
+//! the requested equivalence classes collapsed: edges are re-targeted and
+//! "two edges are unified automatically if their respective end nodes are
+//! unified" (§2.1).
+
+use crate::error::{CoreError, Result};
+use crate::graph::{Graph, NodeId};
+
+/// Union-find over node indices.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Unions the sets of `a` and `b`; returns the new representative.
+    pub fn union(&mut self, a: u32, b: u32) -> u32 {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        hi
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Result of [`unify_nodes_full`]: the rewritten graph plus node and
+/// edge index mappings.
+#[derive(Debug, Clone)]
+pub struct UnifyResult {
+    /// The unified graph.
+    pub graph: Graph,
+    /// `old NodeId → new NodeId`.
+    pub node_map: Vec<NodeId>,
+    /// `old EdgeId → new EdgeId`; `None` for edges that degenerated into
+    /// self-loops; duplicates map to the surviving edge.
+    pub edge_map: Vec<Option<crate::graph::EdgeId>>,
+}
+
+/// Materializes a copy of `g` with every pair in `pairs` unified.
+///
+/// Attribute tuples of merged nodes are combined with
+/// [`crate::tuple::Tuple::merge_from`] (first-writer-wins), and duplicate
+/// edges arising from the merge collapse into one. Self-loops created by
+/// unifying two adjacent nodes are dropped, consistent with the simple-
+/// graph model. Returns the new graph plus a mapping `old NodeId → new
+/// NodeId`.
+pub fn unify_nodes(g: &Graph, pairs: &[(NodeId, NodeId)]) -> Result<(Graph, Vec<NodeId>)> {
+    let r = unify_nodes_full(g, pairs)?;
+    Ok((r.graph, r.node_map))
+}
+
+/// Like [`unify_nodes`] but also reports where each edge went.
+pub fn unify_nodes_full(g: &Graph, pairs: &[(NodeId, NodeId)]) -> Result<UnifyResult> {
+    let n = g.node_count();
+    for &(a, b) in pairs {
+        if a.index() >= n || b.index() >= n {
+            return Err(CoreError::NodeOutOfRange {
+                node: a.index().max(b.index()),
+                count: n,
+            });
+        }
+    }
+    let mut uf = UnionFind::new(n);
+    for &(a, b) in pairs {
+        uf.union(a.0, b.0);
+    }
+
+    let mut out = if g.is_directed() {
+        Graph::new_directed()
+    } else {
+        Graph::new()
+    };
+    out.name = g.name.clone();
+    out.attrs = g.attrs.clone();
+
+    // First pass: create one node per equivalence class, in order of first
+    // appearance, merging attributes of all members.
+    let mut class_of: Vec<Option<NodeId>> = vec![None; n];
+    let mut mapping: Vec<NodeId> = vec![NodeId(0); n];
+    for v in g.node_ids() {
+        let root = uf.find(v.0) as usize;
+        let new_id = match class_of[root] {
+            Some(id) => {
+                let merged = g.node(v).attrs.clone();
+                out.node_mut(id).attrs.merge_from(&merged);
+                if out.node(id).name.is_none() {
+                    out.node_mut(id).name = g.node(v).name.clone();
+                }
+                id
+            }
+            None => {
+                let id = out.add_node(g.node(v).attrs.clone());
+                out.node_mut(id).name = g.node(v).name.clone();
+                class_of[root] = Some(id);
+                id
+            }
+        };
+        mapping[v.index()] = new_id;
+    }
+
+    // Second pass: re-target edges; duplicates and self-loops collapse.
+    let mut edge_map: Vec<Option<crate::graph::EdgeId>> = Vec::with_capacity(g.edge_count());
+    for (_, e) in g.edges() {
+        let (s, d) = (mapping[e.src.index()], mapping[e.dst.index()]);
+        if s == d {
+            edge_map.push(None); // unified endpoints: edge degenerates
+            continue;
+        }
+        match out.add_edge(s, d, e.attrs.clone()) {
+            Ok(id) => {
+                out.edge_mut(id).name = e.name.clone();
+                edge_map.push(Some(id));
+            }
+            Err(CoreError::DuplicateEdge { .. }) => {
+                // Unified automatically (Figure 4.4b): map to the survivor.
+                edge_map.push(out.edge_between(s, d));
+            }
+            Err(other) => return Err(other),
+        }
+    }
+    Ok(UnifyResult {
+        graph: out,
+        node_map: mapping,
+        edge_map,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+    use crate::value::Value;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert!(!uf.same(0, 1));
+        uf.union(0, 1);
+        uf.union(3, 4);
+        assert!(uf.same(0, 1));
+        assert!(uf.same(3, 4));
+        assert!(!uf.same(1, 3));
+        uf.union(1, 4);
+        assert!(uf.same(0, 3));
+    }
+
+    /// Figure 4.4(b): two triangles G1, with X.v1~Y.v1 and X.v3~Y.v2
+    /// unified, yield a 4-node graph with 5 edges (e1 of Y collapses
+    /// into e... the shared edge).
+    #[test]
+    fn concatenation_by_unification_figure_4_4b() {
+        let mut g = Graph::new();
+        // X = triangle v0,v1,v2 ; Y = triangle v3,v4,v5
+        for _ in 0..6 {
+            g.add_node(Tuple::new());
+        }
+        let e = |g: &mut Graph, a: u32, b: u32| {
+            g.add_edge(NodeId(a), NodeId(b), Tuple::new()).unwrap();
+        };
+        e(&mut g, 0, 1);
+        e(&mut g, 1, 2);
+        e(&mut g, 2, 0);
+        e(&mut g, 3, 4);
+        e(&mut g, 4, 5);
+        e(&mut g, 5, 3);
+        // unify X.v1(=0) with Y.v1(=3), X.v3(=2) with Y.v2(=4)
+        let (h, map) = unify_nodes(&g, &[(NodeId(0), NodeId(3)), (NodeId(2), NodeId(4))]).unwrap();
+        assert_eq!(h.node_count(), 4);
+        // X edges: (0,1),(1,2),(2,0); Y edges map to (0,2)[dup of (2,0)],
+        // (2,5),(5,0) => 5 distinct edges.
+        assert_eq!(h.edge_count(), 5);
+        assert_eq!(map[0], map[3]);
+        assert_eq!(map[2], map[4]);
+        assert_ne!(map[0], map[2]);
+        assert!(h.is_connected());
+    }
+
+    #[test]
+    fn unify_merges_attributes_first_wins() {
+        let mut g = Graph::new();
+        let a = g.add_node(Tuple::new().with("name", "A").with("x", 1));
+        let b = g.add_node(Tuple::new().with("name", "B").with("y", 2));
+        let (h, map) = unify_nodes(&g, &[(a, b)]).unwrap();
+        assert_eq!(h.node_count(), 1);
+        let t = &h.node(map[0]).attrs;
+        assert_eq!(t.get("name"), Some(&Value::Str("A".into())));
+        assert_eq!(t.get("x"), Some(&Value::Int(1)));
+        assert_eq!(t.get("y"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn unify_adjacent_nodes_drops_degenerate_edge() {
+        let mut g = Graph::new();
+        let a = g.add_node(Tuple::new());
+        let b = g.add_node(Tuple::new());
+        let c = g.add_node(Tuple::new());
+        g.add_edge(a, b, Tuple::new()).unwrap();
+        g.add_edge(b, c, Tuple::new()).unwrap();
+        let (h, _) = unify_nodes(&g, &[(a, b)]).unwrap();
+        assert_eq!(h.node_count(), 2);
+        assert_eq!(h.edge_count(), 1, "edge (a,b) degenerates to a self-loop and is dropped");
+    }
+
+    #[test]
+    fn unify_out_of_range_errors() {
+        let g = Graph::new();
+        assert!(unify_nodes(&g, &[(NodeId(0), NodeId(1))]).is_err());
+    }
+
+    #[test]
+    fn empty_pairs_is_identity() {
+        let mut g = Graph::new();
+        let a = g.add_labeled_node("A");
+        let b = g.add_labeled_node("B");
+        g.add_edge(a, b, Tuple::new()).unwrap();
+        let (h, map) = unify_nodes(&g, &[]).unwrap();
+        assert_eq!(h.node_count(), 2);
+        assert_eq!(h.edge_count(), 1);
+        assert_eq!(map, vec![a, b]);
+    }
+}

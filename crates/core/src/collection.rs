@@ -1,0 +1,153 @@
+//! Collections of graphs.
+//!
+//! "A graph database consists of one or more collections of graphs"
+//! (paper §3.1). Unlike relations, graphs in a collection need not share
+//! structure or attributes; they are processed uniformly by binding to a
+//! graph pattern.
+
+use crate::graph::Graph;
+
+/// An ordered collection of graphs — the operand/result type of every
+/// algebra operator.
+#[derive(Debug, Clone, Default)]
+pub struct GraphCollection {
+    /// Collection name (the `doc("DBLP")` identifier), if any.
+    pub name: Option<String>,
+    graphs: Vec<Graph>,
+}
+
+impl GraphCollection {
+    /// Creates an empty, unnamed collection.
+    pub fn new() -> Self {
+        GraphCollection::default()
+    }
+
+    /// Creates an empty collection with a name.
+    pub fn named(name: impl Into<String>) -> Self {
+        GraphCollection {
+            name: Some(name.into()),
+            graphs: Vec::new(),
+        }
+    }
+
+    /// Wraps a single large graph as a one-element collection. "A single
+    /// large graph and a collection of graphs are treated in the same
+    /// way" (§3.3).
+    pub fn from_graph(g: Graph) -> Self {
+        GraphCollection {
+            name: g.name.clone(),
+            graphs: vec![g],
+        }
+    }
+
+    /// Adds a graph.
+    pub fn push(&mut self, g: Graph) {
+        self.graphs.push(g);
+    }
+
+    /// Number of member graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// True if there are no member graphs.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// Member access by position.
+    pub fn get(&self, i: usize) -> Option<&Graph> {
+        self.graphs.get(i)
+    }
+
+    /// Iterates over member graphs.
+    pub fn iter(&self) -> impl Iterator<Item = &Graph> {
+        self.graphs.iter()
+    }
+
+    /// Consumes the collection, yielding its graphs.
+    pub fn into_vec(self) -> Vec<Graph> {
+        self.graphs
+    }
+
+    /// Total node count across members (used by experiment reporting).
+    pub fn total_nodes(&self) -> usize {
+        self.graphs.iter().map(|g| g.node_count()).sum()
+    }
+
+    /// Total edge count across members.
+    pub fn total_edges(&self) -> usize {
+        self.graphs.iter().map(|g| g.edge_count()).sum()
+    }
+}
+
+impl From<Vec<Graph>> for GraphCollection {
+    fn from(graphs: Vec<Graph>) -> Self {
+        GraphCollection { name: None, graphs }
+    }
+}
+
+impl FromIterator<Graph> for GraphCollection {
+    fn from_iter<T: IntoIterator<Item = Graph>>(iter: T) -> Self {
+        GraphCollection {
+            name: None,
+            graphs: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for GraphCollection {
+    type Item = Graph;
+    type IntoIter = std::vec::IntoIter<Graph>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.graphs.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a GraphCollection {
+    type Item = &'a Graph;
+    type IntoIter = std::slice::Iter<'a, Graph>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.graphs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+
+    #[test]
+    fn collection_basics() {
+        let mut c = GraphCollection::named("DBLP");
+        assert!(c.is_empty());
+        let mut g = Graph::named("G1");
+        g.add_node(Tuple::new());
+        c.push(g.clone());
+        c.push(g);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.total_nodes(), 2);
+        assert_eq!(c.total_edges(), 0);
+        assert_eq!(c.name.as_deref(), Some("DBLP"));
+        assert!(c.get(0).is_some());
+        assert!(c.get(5).is_none());
+        assert_eq!(c.iter().count(), 2);
+        assert_eq!(c.into_vec().len(), 2);
+    }
+
+    #[test]
+    fn from_single_graph_keeps_name() {
+        let g = Graph::named("big");
+        let c = GraphCollection::from_graph(g);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.name.as_deref(), Some("big"));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let c: GraphCollection = (0..3).map(|_| Graph::new()).collect();
+        assert_eq!(c.len(), 3);
+        let v: Vec<&Graph> = (&c).into_iter().collect();
+        assert_eq!(v.len(), 3);
+    }
+}

@@ -1,0 +1,54 @@
+//! Error types for the core data model.
+
+use std::fmt;
+
+/// Errors raised by graph construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// An edge endpoint referenced a node id beyond the graph's node count.
+    NodeOutOfRange {
+        /// Offending node index.
+        node: usize,
+        /// Current node count.
+        count: usize,
+    },
+    /// Self-loops are not part of the paper's simple-graph model.
+    SelfLoop {
+        /// The node that was both endpoints.
+        node: usize,
+    },
+    /// The edge already exists (simple graphs only).
+    DuplicateEdge {
+        /// Source index.
+        src: usize,
+        /// Destination index.
+        dst: usize,
+    },
+    /// A named entity (node/edge/graph) was not found.
+    NameNotFound {
+        /// The missing name.
+        name: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NodeOutOfRange { node, count } => {
+                write!(f, "node index {node} out of range (graph has {count} nodes)")
+            }
+            CoreError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node} is not allowed in a simple graph")
+            }
+            CoreError::DuplicateEdge { src, dst } => {
+                write!(f, "edge ({src}, {dst}) already exists")
+            }
+            CoreError::NameNotFound { name } => write!(f, "no entity named {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience alias used throughout the core crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,131 @@
+//! Shared fixtures: the worked examples from the paper, used by unit
+//! tests, integration tests, and the examples.
+
+use crate::graph::{Graph, NodeId};
+use crate::tuple::Tuple;
+
+/// The sample database graph `G` of Figures 4.1 and 4.16: six nodes
+/// A1, A2, B1, B2, C1, C2 and edges A1–B1, A1–C2, B1–C2, B1–C1, B2–C2,
+/// A2–B2. Returns the graph and the node ids in the order
+/// `[A1, A2, B1, B2, C1, C2]`.
+pub fn figure_4_16_graph() -> (Graph, [NodeId; 6]) {
+    let mut g = Graph::named("G");
+    let a1 = g.add_named_node("A1", Tuple::new().with("label", "A"));
+    let a2 = g.add_named_node("A2", Tuple::new().with("label", "A"));
+    let b1 = g.add_named_node("B1", Tuple::new().with("label", "B"));
+    let b2 = g.add_named_node("B2", Tuple::new().with("label", "B"));
+    let c1 = g.add_named_node("C1", Tuple::new().with("label", "C"));
+    let c2 = g.add_named_node("C2", Tuple::new().with("label", "C"));
+    for (x, y) in [(a1, b1), (a1, c2), (b1, c2), (b1, c1), (b2, c2), (a2, b2)] {
+        g.add_edge(x, y, Tuple::new()).expect("fixture edges are valid");
+    }
+    (g, [a1, a2, b1, b2, c1, c2])
+}
+
+/// The sample query `P` of Figures 4.1 and 4.16: the triangle A–B–C.
+pub fn figure_4_16_pattern() -> Graph {
+    let mut p = Graph::named("P");
+    let a = p.add_named_node("u1", Tuple::new().with("label", "A"));
+    let b = p.add_named_node("u2", Tuple::new().with("label", "B"));
+    let c = p.add_named_node("u3", Tuple::new().with("label", "C"));
+    p.add_edge(a, b, Tuple::new()).expect("valid");
+    p.add_edge(b, c, Tuple::new()).expect("valid");
+    p.add_edge(c, a, Tuple::new()).expect("valid");
+    p
+}
+
+/// The paper graph of Figure 4.7: `graph G <inproceedings>` with a title
+/// node and two `<author>` nodes, no edges.
+pub fn figure_4_7_paper() -> Graph {
+    let mut g = Graph::named("G");
+    g.attrs = Tuple::tagged("inproceedings");
+    g.add_named_node(
+        "v1",
+        Tuple::new().with("title", "Title1").with("year", 2006),
+    );
+    g.add_named_node("v2", Tuple::tagged("author").with("name", "A"));
+    g.add_named_node("v3", Tuple::tagged("author").with("name", "B"));
+    g
+}
+
+/// The DBLP collection of Figure 4.13: `G1` with authors A, B and `G2`
+/// with authors C, D, A.
+pub fn figure_4_13_dblp() -> Vec<Graph> {
+    let mut g1 = Graph::named("G1");
+    g1.add_named_node("v1", Tuple::tagged("author").with("name", "A"));
+    g1.add_named_node("v2", Tuple::tagged("author").with("name", "B"));
+    g1.attrs = Tuple::new().with("booktitle", "SIGMOD");
+    let mut g2 = Graph::named("G2");
+    g2.add_named_node("v1", Tuple::tagged("author").with("name", "C"));
+    g2.add_named_node("v2", Tuple::tagged("author").with("name", "D"));
+    g2.add_named_node("v3", Tuple::tagged("author").with("name", "A"));
+    g2.attrs = Tuple::new().with("booktitle", "SIGMOD");
+    vec![g1, g2]
+}
+
+/// A labeled path graph `l0 - l1 - ... - lk`; general-purpose helper.
+pub fn labeled_path(labels: &[&str]) -> Graph {
+    let mut g = Graph::new();
+    let ids: Vec<NodeId> = labels.iter().map(|l| g.add_labeled_node(*l)).collect();
+    for w in ids.windows(2) {
+        g.add_edge(w[0], w[1], Tuple::new()).expect("valid");
+    }
+    g
+}
+
+/// A labeled clique on the given labels; helper for the clique workloads.
+pub fn labeled_clique(labels: &[&str]) -> Graph {
+    let mut g = Graph::new();
+    let ids: Vec<NodeId> = labels.iter().map(|l| g.add_labeled_node(*l)).collect();
+    for i in 0..ids.len() {
+        for j in (i + 1)..ids.len() {
+            g.add_edge(ids[i], ids[j], Tuple::new()).expect("valid");
+        }
+    }
+    g
+}
+
+/// A labeled cycle.
+pub fn labeled_cycle(labels: &[&str]) -> Graph {
+    let mut g = labeled_path(labels);
+    if labels.len() > 2 {
+        g.add_edge(NodeId(0), NodeId(labels.len() as u32 - 1), Tuple::new())
+            .expect("valid");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_shapes() {
+        let (g, ids) = figure_4_16_graph();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.degree(ids[1]), 1, "A2 has one neighbor");
+        assert_eq!(g.degree(ids[4]), 1, "C1 has one neighbor");
+
+        let p = figure_4_16_pattern();
+        assert_eq!(p.node_count(), 3);
+        assert_eq!(p.edge_count(), 3);
+
+        let paper = figure_4_7_paper();
+        assert_eq!(paper.node_count(), 3);
+        assert_eq!(paper.edge_count(), 0);
+        assert_eq!(paper.attrs.tag(), Some("inproceedings"));
+
+        let dblp = figure_4_13_dblp();
+        assert_eq!(dblp.len(), 2);
+        assert_eq!(dblp[1].node_count(), 3);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(labeled_path(&["A", "B", "C"]).edge_count(), 2);
+        assert_eq!(labeled_clique(&["A", "B", "C", "D"]).edge_count(), 6);
+        assert_eq!(labeled_cycle(&["A", "B", "C", "D"]).edge_count(), 4);
+        assert_eq!(labeled_cycle(&["A", "B"]).edge_count(), 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Serialization-friendly graph representation.
+//!
+//! [`Graph`] carries derived state (adjacency lists, the edge hash
+//! index) that should not travel over the wire; [`GraphData`] is the
+//! plain exchange form — with the `serde` feature it derives
+//! `Serialize`/`Deserialize`, and conversions rebuild the indexes.
+
+use crate::error::Result;
+use crate::graph::{Graph, NodeId};
+use crate::tuple::Tuple;
+
+/// Plain node record.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeData {
+    /// Variable name, if any.
+    pub name: Option<String>,
+    /// Attributes.
+    pub attrs: Tuple,
+}
+
+/// Plain edge record.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EdgeData {
+    /// Variable name, if any.
+    pub name: Option<String>,
+    /// Source node position.
+    pub src: u32,
+    /// Target node position.
+    pub dst: u32,
+    /// Attributes.
+    pub attrs: Tuple,
+}
+
+/// The exchange form of a graph: exactly the information a user wrote,
+/// no derived indexes.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GraphData {
+    /// Graph name.
+    pub name: Option<String>,
+    /// Graph-level attributes.
+    pub attrs: Tuple,
+    /// Whether edges are directed.
+    pub directed: bool,
+    /// Nodes in id order.
+    pub nodes: Vec<NodeData>,
+    /// Edges in id order.
+    pub edges: Vec<EdgeData>,
+}
+
+impl From<&Graph> for GraphData {
+    fn from(g: &Graph) -> Self {
+        GraphData {
+            name: g.name.clone(),
+            attrs: g.attrs.clone(),
+            directed: g.is_directed(),
+            nodes: g
+                .nodes()
+                .map(|(_, n)| NodeData {
+                    name: n.name.clone(),
+                    attrs: n.attrs.clone(),
+                })
+                .collect(),
+            edges: g
+                .edges()
+                .map(|(_, e)| EdgeData {
+                    name: e.name.clone(),
+                    src: e.src.0,
+                    dst: e.dst.0,
+                    attrs: e.attrs.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl GraphData {
+    /// Rebuilds a [`Graph`] (and its indexes); fails on invalid edges.
+    pub fn into_graph(self) -> Result<Graph> {
+        let mut g = if self.directed {
+            Graph::new_directed()
+        } else {
+            Graph::new()
+        };
+        g.name = self.name;
+        g.attrs = self.attrs;
+        for n in self.nodes {
+            let id = g.add_node(n.attrs);
+            g.node_mut(id).name = n.name;
+        }
+        for e in self.edges {
+            let id = g.add_edge(NodeId(e.src), NodeId(e.dst), e.attrs)?;
+            g.edge_mut(id).name = e.name;
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure_4_16_graph;
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let (g, _) = figure_4_16_graph();
+        let data = GraphData::from(&g);
+        let back = data.into_graph().unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        for v in g.node_ids() {
+            assert_eq!(back.node(v).attrs, g.node(v).attrs);
+            assert_eq!(back.node(v).name, g.node(v).name);
+        }
+        assert!(back.has_edge(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn invalid_edges_rejected() {
+        let mut data = GraphData::from(&figure_4_16_graph().0);
+        data.edges[0].dst = 99;
+        assert!(data.into_graph().is_err());
+    }
+
+    #[cfg(feature = "serde")]
+    #[test]
+    fn json_round_trip() {
+        let (g, _) = figure_4_16_graph();
+        let data = GraphData::from(&g);
+        let json = serde_json::to_string(&data).unwrap();
+        let back: GraphData = serde_json::from_str(&json).unwrap();
+        assert_eq!(data, back);
+        let rebuilt = back.into_graph().unwrap();
+        assert_eq!(rebuilt.edge_count(), 6);
+    }
+}

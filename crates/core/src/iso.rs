@@ -1,0 +1,222 @@
+//! Plain (un-optimized) subgraph isomorphism and graph isomorphism tests.
+//!
+//! These backtracking checkers serve two roles: (1) the *neighborhood
+//! subgraph* pruning of §4.2 needs a sub-isomorphism test on small
+//! r-balls, and (2) tests and property suites use them as a trusted
+//! oracle against the optimized matcher in `gql-match`.
+//!
+//! Node compatibility is label equality when both nodes carry a `label`
+//! attribute, else tuple subsumption of the pattern node's attributes.
+
+use crate::graph::{Graph, NodeId};
+
+/// True if pattern node `u`'s attributes admit data node `v`.
+fn node_compatible(p: &Graph, u: NodeId, g: &Graph, v: NodeId) -> bool {
+    p.node(u).attrs.subsumes(&g.node(v).attrs)
+}
+
+/// Checks whether `p` is subgraph-isomorphic to `g` (injective mapping
+/// `V(p) → V(g)` such that every pattern edge maps to a data edge), with
+/// node-attribute subsumption. Intended for *small* graphs (r-balls,
+/// motifs, test oracles) — exponential in the worst case.
+pub fn subgraph_isomorphic(p: &Graph, g: &Graph) -> bool {
+    find_embedding(p, g, None).is_some()
+}
+
+/// Like [`subgraph_isomorphic`] but requires pattern node `anchor.0` to
+/// map to data node `anchor.1` — the "with u_i mapped to v" condition of
+/// the neighborhood-subgraph pruning rule (§4.2).
+pub fn subgraph_isomorphic_anchored(p: &Graph, g: &Graph, anchor: (NodeId, NodeId)) -> bool {
+    find_embedding(p, g, Some(anchor)).is_some()
+}
+
+/// Finds one embedding (as `pattern index → data NodeId`), or `None`.
+pub fn find_embedding(p: &Graph, g: &Graph, anchor: Option<(NodeId, NodeId)>) -> Option<Vec<NodeId>> {
+    let k = p.node_count();
+    if k == 0 {
+        return Some(Vec::new());
+    }
+    if k > g.node_count() || p.edge_count() > g.edge_count() {
+        return None;
+    }
+
+    // Order pattern nodes: anchor first, then by connectivity to already
+    // placed nodes (so `check` can prune early), ties by degree desc.
+    let mut order: Vec<NodeId> = Vec::with_capacity(k);
+    let mut placed = vec![false; k];
+    if let Some((u, _)) = anchor {
+        order.push(u);
+        placed[u.index()] = true;
+    }
+    while order.len() < k {
+        let mut best: Option<(usize, usize, NodeId)> = None; // (connected, degree, id)
+        for u in p.node_ids() {
+            if placed[u.index()] {
+                continue;
+            }
+            let connected = p
+                .neighbors(u)
+                .iter()
+                .filter(|(w, _)| placed[w.index()])
+                .count();
+            let key = (connected, p.degree(u), u);
+            if best.is_none_or(|b| (b.0, b.1) < (key.0, key.1)) {
+                best = Some(key);
+            }
+        }
+        let (_, _, u) = best.expect("unplaced node must exist");
+        placed[u.index()] = true;
+        order.push(u);
+    }
+
+    let mut assign: Vec<Option<NodeId>> = vec![None; k];
+    let mut used = vec![false; g.node_count()];
+
+    fn search(
+        p: &Graph,
+        g: &Graph,
+        order: &[NodeId],
+        depth: usize,
+        assign: &mut Vec<Option<NodeId>>,
+        used: &mut Vec<bool>,
+        anchor: Option<(NodeId, NodeId)>,
+    ) -> bool {
+        if depth == order.len() {
+            return true;
+        }
+        let u = order[depth];
+        let candidates: Vec<NodeId> = match anchor {
+            Some((au, av)) if au == u => vec![av],
+            _ => g.node_ids().collect(),
+        };
+        'cand: for v in candidates {
+            if used[v.index()] || !node_compatible(p, u, g, v) {
+                continue;
+            }
+            // All pattern edges to already-assigned nodes must exist in g.
+            for &(w, _) in p.neighbors(u) {
+                if let Some(mapped) = assign[w.index()] {
+                    if !g.has_edge(v, mapped) && !g.has_edge(mapped, v) {
+                        continue 'cand;
+                    }
+                }
+            }
+            assign[u.index()] = Some(v);
+            used[v.index()] = true;
+            if search(p, g, order, depth + 1, assign, used, anchor) {
+                return true;
+            }
+            assign[u.index()] = None;
+            used[v.index()] = false;
+        }
+        false
+    }
+
+    if search(p, g, &order, 0, &mut assign, &mut used, anchor) {
+        Some(assign.into_iter().map(|a| a.expect("complete")).collect())
+    } else {
+        None
+    }
+}
+
+/// Exact graph isomorphism (equal node/edge counts + bidirectional
+/// sub-isomorphism on labels). Used by tests on small graphs.
+pub fn graph_isomorphic(a: &Graph, b: &Graph) -> bool {
+    a.node_count() == b.node_count()
+        && a.edge_count() == b.edge_count()
+        && subgraph_isomorphic(a, b)
+        && subgraph_isomorphic(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+
+    fn path(labels: &[&str]) -> Graph {
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = labels.iter().map(|l| g.add_labeled_node(*l)).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], Tuple::new()).unwrap();
+        }
+        g
+    }
+
+    fn triangle(labels: [&str; 3]) -> Graph {
+        let mut g = path(&labels);
+        g.add_edge(NodeId(0), NodeId(2), Tuple::new()).unwrap();
+        g
+    }
+
+    use crate::fixtures::figure_4_16_graph;
+
+    #[test]
+    fn triangle_pattern_found_in_figure_graph() {
+        let (g, _) = figure_4_16_graph();
+        let p = triangle(["A", "B", "C"]);
+        assert!(subgraph_isomorphic(&p, &g));
+        let emb = find_embedding(&p, &g, None).unwrap();
+        assert_eq!(emb.len(), 3);
+        // Embedding must be A1(0), B1(2), C2(5) — the only triangle.
+        let mut got = emb.clone();
+        got.sort();
+        assert_eq!(got, vec![NodeId(0), NodeId(2), NodeId(5)]);
+    }
+
+    #[test]
+    fn missing_pattern_rejected() {
+        let (g, _) = figure_4_16_graph();
+        assert!(!subgraph_isomorphic(&triangle(["A", "A", "B"]), &g));
+        assert!(!subgraph_isomorphic(&path(&["C", "C"]), &g));
+        assert!(subgraph_isomorphic(&path(&["C", "B", "C"]), &g));
+    }
+
+    #[test]
+    fn anchored_search_respects_anchor() {
+        let (g, ids) = figure_4_16_graph();
+        let p = triangle(["A", "B", "C"]);
+        assert!(subgraph_isomorphic_anchored(&p, &g, (NodeId(0), ids[0])));
+        assert!(
+            !subgraph_isomorphic_anchored(&p, &g, (NodeId(0), ids[1])),
+            "A2 is in no triangle"
+        );
+    }
+
+    #[test]
+    fn isomorphism_is_label_sensitive() {
+        assert!(graph_isomorphic(
+            &triangle(["A", "B", "C"]),
+            &triangle(["C", "A", "B"])
+        ));
+        assert!(!graph_isomorphic(
+            &triangle(["A", "B", "C"]),
+            &triangle(["A", "B", "B"])
+        ));
+        assert!(!graph_isomorphic(&path(&["A", "B"]), &triangle(["A", "B", "C"])));
+    }
+
+    #[test]
+    fn empty_pattern_matches_anything() {
+        let g = path(&["A"]);
+        assert!(subgraph_isomorphic(&Graph::new(), &g));
+        assert!(graph_isomorphic(&Graph::new(), &Graph::new()));
+    }
+
+    #[test]
+    fn attribute_subsumption_matching() {
+        let mut g = Graph::new();
+        let v = g.add_node(Tuple::tagged("author").with("name", "A").with("age", 30));
+        let w = g.add_node(Tuple::tagged("author").with("name", "B"));
+        g.add_edge(v, w, Tuple::new()).unwrap();
+
+        let mut p = Graph::new();
+        let u1 = p.add_node(Tuple::tagged("author"));
+        let u2 = p.add_node(Tuple::new().with("name", "B"));
+        p.add_edge(u1, u2, Tuple::new()).unwrap();
+        assert!(subgraph_isomorphic(&p, &g));
+
+        let mut p2 = Graph::new();
+        p2.add_node(Tuple::tagged("editor"));
+        assert!(!subgraph_isomorphic(&p2, &g));
+    }
+}

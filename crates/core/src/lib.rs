@@ -1,0 +1,56 @@
+//! # gql-core — data model for GraphQL (He & Singh, SIGMOD 2008)
+//!
+//! The data model of *"Graphs-at-a-time: Query Language and Access
+//! Methods for Graph Databases"*: attributed graphs where **graphs are
+//! the basic unit of information**. Nodes, edges, and graphs each carry a
+//! [`Tuple`] (an optional tag plus name/value pairs); a database is one
+//! or more [`GraphCollection`]s; a single large graph is a one-element
+//! collection.
+//!
+//! This crate also hosts the structural primitives the access methods of
+//! the paper's §4 build on:
+//!
+//! - [`neighborhood`]: radius-r neighborhood subgraphs and their label
+//!   [`Profile`]s (§4.2 local pruning);
+//! - [`iso`]: trusted (unoptimized) subgraph-isomorphism oracles;
+//! - [`stats`]: label frequencies feeding the §4.4 cost model;
+//! - [`builder`]: union-find node unification backing the composition
+//!   operator's `unify` semantics (§2.1, §3.4).
+//!
+//! ```
+//! use gql_core::{Graph, Tuple};
+//!
+//! let mut g = Graph::named("G1");
+//! let a = g.add_node(Tuple::tagged("author").with("name", "A"));
+//! let b = g.add_node(Tuple::tagged("author").with("name", "B"));
+//! g.add_edge(a, b, Tuple::new()).unwrap();
+//! assert!(g.has_edge(b, a)); // undirected
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod collection;
+pub mod error;
+pub mod fixtures;
+pub mod graph;
+pub mod io;
+pub mod iso;
+pub mod neighborhood;
+pub mod op;
+pub mod stats;
+pub mod storage;
+pub mod tuple;
+pub mod value;
+
+pub use builder::{unify_nodes, unify_nodes_full, UnifyResult, UnionFind};
+pub use collection::GraphCollection;
+pub use error::{CoreError, Result};
+pub use graph::{Edge, EdgeId, Graph, Node, NodeId};
+pub use io::{EdgeData, GraphData, NodeData};
+pub use neighborhood::{neighborhood_subgraph, NeighborhoodSubgraph, Profile};
+pub use op::BinOp;
+pub use stats::GraphStats;
+pub use storage::{decode_collection, decode_graph, encode_collection, encode_graph, StorageError};
+pub use tuple::Tuple;
+pub use value::Value;

@@ -1,0 +1,215 @@
+//! Neighborhood subgraphs and profiles (paper §4.2, Definition 4.10).
+//!
+//! "Given graph G, node v and radius r, the neighborhood subgraph of node
+//! v consists of all nodes within distance r (number of hops) from v and
+//! all edges between the nodes." Profiles are their light-weight
+//! summaries: "a sequence of the node labels in lexicographic order",
+//! pruned with a subsequence test.
+
+use crate::graph::{Graph, NodeId};
+use crate::value::Value;
+use std::collections::VecDeque;
+
+/// A neighborhood subgraph: the induced subgraph on all nodes within
+/// `radius` hops of `center`, plus the center's new id inside it.
+#[derive(Debug, Clone)]
+pub struct NeighborhoodSubgraph {
+    /// The induced subgraph.
+    pub graph: Graph,
+    /// Where the original center node landed in `graph`.
+    pub center: NodeId,
+    /// The radius used for extraction.
+    pub radius: usize,
+}
+
+/// Extracts the radius-`r` neighborhood subgraph of `v`.
+///
+/// BFS collects the ball of radius `r`, then the subgraph induced on it
+/// (all edges of `g` between collected nodes) is materialized. With
+/// `r = 0` this degenerates to the single node, matching the paper's
+/// remark that radius-0 neighborhoods are just nodes.
+pub fn neighborhood_subgraph(g: &Graph, v: NodeId, radius: usize) -> NeighborhoodSubgraph {
+    let mut dist = vec![usize::MAX; g.node_count()];
+    let mut order: Vec<NodeId> = Vec::new();
+    let mut queue = VecDeque::new();
+    dist[v.index()] = 0;
+    queue.push_back(v);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        if dist[u.index()] == radius {
+            continue;
+        }
+        for &(w, _) in g.neighbors(u) {
+            if dist[w.index()] == usize::MAX {
+                dist[w.index()] = dist[u.index()] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+
+    let mut sub = Graph::new();
+    let mut map = vec![NodeId(u32::MAX); g.node_count()];
+    for &u in &order {
+        map[u.index()] = sub.add_node(g.node(u).attrs.clone());
+    }
+    for &u in &order {
+        for &(w, e) in g.neighbors(u) {
+            // Add each undirected edge once (when u < w in collected set).
+            if dist[w.index()] != usize::MAX && u < w {
+                let _ = sub.add_edge(map[u.index()], map[w.index()], g.edge(e).attrs.clone());
+            }
+        }
+    }
+    NeighborhoodSubgraph {
+        graph: sub,
+        center: map[v.index()],
+        radius,
+    }
+}
+
+/// A profile: the multiset of node labels in a neighborhood, kept sorted.
+///
+/// The pruning condition is multiset containment: pattern-node profile ⊆
+/// data-node profile ("whether a profile is a subsequence of the other").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    labels: Vec<Value>,
+}
+
+impl Profile {
+    /// Builds a profile from any label iterator.
+    pub fn from_labels<I: IntoIterator<Item = Value>>(labels: I) -> Self {
+        let mut labels: Vec<Value> = labels.into_iter().collect();
+        labels.sort();
+        Profile { labels }
+    }
+
+    /// The profile of the radius-`r` neighborhood of `v` in `g`: sorted
+    /// labels of every node in the ball (center included). Nodes without
+    /// a `label` attribute contribute nothing.
+    pub fn of_neighborhood(g: &Graph, v: NodeId, radius: usize) -> Self {
+        let mut dist = vec![usize::MAX; g.node_count()];
+        let mut labels = Vec::new();
+        let mut queue = VecDeque::new();
+        dist[v.index()] = 0;
+        queue.push_back(v);
+        while let Some(u) = queue.pop_front() {
+            if let Some(l) = g.node_label(u) {
+                labels.push(l.clone());
+            }
+            if dist[u.index()] == radius {
+                continue;
+            }
+            for &(w, _) in g.neighbors(u) {
+                if dist[w.index()] == usize::MAX {
+                    dist[w.index()] = dist[u.index()] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        Profile::from_labels(labels)
+    }
+
+    /// Number of labels in the profile.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if the profile is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Sorted label slice.
+    pub fn labels(&self) -> &[Value] {
+        &self.labels
+    }
+
+    /// Multiset containment: every label of `self` appears in `other` at
+    /// least as many times (two-pointer merge over the sorted vectors).
+    pub fn subsumed_by(&self, other: &Profile) -> bool {
+        if self.labels.len() > other.labels.len() {
+            return false;
+        }
+        let mut j = 0;
+        for l in &self.labels {
+            // Advance j to the first element of other >= l.
+            while j < other.labels.len() && other.labels[j] < *l {
+                j += 1;
+            }
+            if j >= other.labels.len() || other.labels[j] != *l {
+                return false;
+            }
+            j += 1;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure_4_16_graph;
+
+    #[test]
+    fn radius_zero_is_single_node() {
+        let (g, ids) = figure_4_16_graph();
+        let nb = neighborhood_subgraph(&g, ids[0], 0);
+        assert_eq!(nb.graph.node_count(), 1);
+        assert_eq!(nb.graph.edge_count(), 0);
+        assert_eq!(nb.center, NodeId(0));
+    }
+
+    /// Figure 4.17: profiles of radius 1 are A1:ABC? Let's verify a few:
+    /// A1 neighbors {B1, C2} -> profile ABC; B2 neighbors {A2, C2} ->
+    /// ABC; A2 neighbors {B2} -> AB; C1 neighbors {B1} -> BC.
+    #[test]
+    fn figure_4_17_profiles() {
+        let (g, ids) = figure_4_16_graph();
+        let p = |v| {
+            Profile::of_neighborhood(&g, v, 1)
+                .labels()
+                .iter()
+                .map(|l| l.as_str().unwrap().to_string())
+                .collect::<String>()
+        };
+        assert_eq!(p(ids[0]), "ABC"); // A1
+        assert_eq!(p(ids[1]), "AB"); // A2
+        assert_eq!(p(ids[2]), "ABCC"); // B1: A1, C1, C2
+        assert_eq!(p(ids[3]), "ABC"); // B2: A2, C2
+        assert_eq!(p(ids[4]), "BC"); // C1
+        assert_eq!(p(ids[5]), "ABBC"); // C2: A1, B1, B2
+    }
+
+    #[test]
+    fn neighborhood_subgraph_radius_one_of_a1() {
+        let (g, ids) = figure_4_16_graph();
+        let nb = neighborhood_subgraph(&g, ids[0], 1);
+        // A1's ball: {A1, B1, C2}; induced edges: A1-B1, A1-C2, B1-C2.
+        assert_eq!(nb.graph.node_count(), 3);
+        assert_eq!(nb.graph.edge_count(), 3);
+    }
+
+    #[test]
+    fn neighborhood_subgraph_radius_two_covers_more() {
+        let (g, ids) = figure_4_16_graph();
+        let nb = neighborhood_subgraph(&g, ids[1], 2); // A2: ball {A2,B2,C2}
+        assert_eq!(nb.graph.node_count(), 3);
+        let nb3 = neighborhood_subgraph(&g, ids[1], 3);
+        assert_eq!(nb3.graph.node_count(), 5, "A2 ball r=3: A2,B2,C2,A1,B1");
+    }
+
+    #[test]
+    fn profile_subsumption() {
+        let p = Profile::from_labels(vec!["A".into(), "B".into(), "C".into()]);
+        let q = Profile::from_labels(vec!["A".into(), "B".into(), "B".into(), "C".into()]);
+        assert!(p.subsumed_by(&q));
+        assert!(!q.subsumed_by(&p));
+        let dup = Profile::from_labels(vec!["B".into(), "B".into()]);
+        assert!(dup.subsumed_by(&q));
+        assert!(!dup.subsumed_by(&p), "needs B twice");
+        assert!(Profile::from_labels(Vec::<Value>::new()).subsumed_by(&p));
+        assert!(!p.is_empty());
+        assert_eq!(p.len(), 3);
+    }
+}

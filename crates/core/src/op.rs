@@ -1,0 +1,86 @@
+//! Binary operators of the GraphQL predicate grammar
+//! (`| & + - * / == != > >= < <=`, Appendix 4.A).
+
+use std::fmt;
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Logical or (`|`).
+    Or,
+    /// Logical and (`&`).
+    And,
+    /// Addition / string concatenation.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+}
+
+impl BinOp {
+    /// Precedence level, higher binds tighter: `|` < `&` < comparisons
+    /// < `+ -` < `* /`. (The printed grammar is flat; see DESIGN.md.)
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Ne | BinOp::Gt | BinOp::Ge | BinOp::Lt | BinOp::Le => 3,
+            BinOp::Add | BinOp::Sub => 4,
+            BinOp::Mul | BinOp::Div => 5,
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Or => "|",
+            BinOp::And => "&",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_ordering() {
+        assert!(BinOp::Or.precedence() < BinOp::And.precedence());
+        assert!(BinOp::And.precedence() < BinOp::Eq.precedence());
+        assert!(BinOp::Eq.precedence() < BinOp::Add.precedence());
+        assert!(BinOp::Add.precedence() < BinOp::Mul.precedence());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        assert_eq!(BinOp::Le.to_string(), "<=");
+        assert_eq!(BinOp::Or.to_string(), "|");
+    }
+}

@@ -1,0 +1,163 @@
+//! Label statistics for the cost model of §4.4.
+//!
+//! The reduction factor γ of a join is estimated from conditional edge
+//! probabilities: `P(e(u,v)) = freq(e(u,v)) / (freq(u) · freq(v))`, where
+//! `freq()` counts occurrences of node labels and of label-pair edges in
+//! the large graph (Definition 4.11).
+
+use crate::graph::Graph;
+use crate::value::Value;
+use rustc_hash::FxHashMap;
+
+/// Node-label and edge-label-pair frequencies of a data graph.
+#[derive(Debug, Clone, Default)]
+pub struct GraphStats {
+    node_freq: FxHashMap<Value, u64>,
+    /// Keyed by unordered label pair (lexicographically normalized) for
+    /// undirected graphs, ordered pair for directed ones.
+    edge_freq: FxHashMap<(Value, Value), u64>,
+    directed: bool,
+    node_count: u64,
+    edge_count: u64,
+}
+
+impl GraphStats {
+    /// Scans `g` once and collects the frequencies.
+    pub fn collect(g: &Graph) -> Self {
+        let mut s = GraphStats {
+            directed: g.is_directed(),
+            node_count: g.node_count() as u64,
+            edge_count: g.edge_count() as u64,
+            ..GraphStats::default()
+        };
+        for (_, n) in g.nodes() {
+            if let Some(l) = n.attrs.get("label") {
+                *s.node_freq.entry(l.clone()).or_insert(0) += 1;
+            }
+        }
+        for (_, e) in g.edges() {
+            let (a, b) = (g.node_label(e.src), g.node_label(e.dst));
+            if let (Some(a), Some(b)) = (a, b) {
+                let key = s.normalize(a.clone(), b.clone());
+                *s.edge_freq.entry(key).or_insert(0) += 1;
+            }
+        }
+        s
+    }
+
+    fn normalize(&self, a: Value, b: Value) -> (Value, Value) {
+        if self.directed || a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Total nodes scanned.
+    pub fn node_count(&self) -> u64 {
+        self.node_count
+    }
+
+    /// Total edges scanned.
+    pub fn edge_count(&self) -> u64 {
+        self.edge_count
+    }
+
+    /// `freq(label)`: number of nodes carrying `label`.
+    pub fn node_label_freq(&self, label: &Value) -> u64 {
+        self.node_freq.get(label).copied().unwrap_or(0)
+    }
+
+    /// `freq(e(a,b))`: number of edges whose endpoint labels are `(a,b)`.
+    pub fn edge_label_freq(&self, a: &Value, b: &Value) -> u64 {
+        let key = self.normalize(a.clone(), b.clone());
+        self.edge_freq.get(&key).copied().unwrap_or(0)
+    }
+
+    /// The paper's conditional edge probability
+    /// `P(e(u,v)) = freq(e(u,v)) / (freq(u)·freq(v))`, clamped to
+    /// `[0, 1]`. Returns 0 when either label is absent (no such node can
+    /// participate in a match).
+    pub fn edge_probability(&self, a: &Value, b: &Value) -> f64 {
+        let fu = self.node_label_freq(a);
+        let fv = self.node_label_freq(b);
+        if fu == 0 || fv == 0 {
+            return 0.0;
+        }
+        let fe = self.edge_label_freq(a, b) as f64;
+        (fe / (fu as f64 * fv as f64)).min(1.0)
+    }
+
+    /// The top-`k` most frequent node labels (ties broken by label
+    /// order) — the clique-query workload draws labels from the top 40
+    /// (§5.1).
+    pub fn top_labels(&self, k: usize) -> Vec<Value> {
+        let mut v: Vec<(&Value, u64)> = self.node_freq.iter().map(|(l, f)| (l, *f)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        v.into_iter().take(k).map(|(l, _)| l.clone()).collect()
+    }
+
+    /// Number of distinct node labels.
+    pub fn distinct_labels(&self) -> usize {
+        self.node_freq.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure_4_16_graph;
+
+    #[test]
+    fn figure_graph_frequencies() {
+        let (g, _) = figure_4_16_graph();
+        let s = GraphStats::collect(&g);
+        assert_eq!(s.node_count(), 6);
+        assert_eq!(s.edge_count(), 6);
+        assert_eq!(s.distinct_labels(), 3);
+        let l = |x: &str| Value::Str(x.into());
+        assert_eq!(s.node_label_freq(&l("A")), 2);
+        assert_eq!(s.node_label_freq(&l("B")), 2);
+        assert_eq!(s.node_label_freq(&l("C")), 2);
+        assert_eq!(s.node_label_freq(&l("Z")), 0);
+        // Edges: A-B ×2 (A1B1, A2B2), A-C ×1, B-C ×3 (B1C1, B1C2, B2C2).
+        assert_eq!(s.edge_label_freq(&l("A"), &l("B")), 2);
+        assert_eq!(s.edge_label_freq(&l("B"), &l("A")), 2, "unordered");
+        assert_eq!(s.edge_label_freq(&l("A"), &l("C")), 1);
+        assert_eq!(s.edge_label_freq(&l("B"), &l("C")), 3);
+        assert_eq!(s.edge_label_freq(&l("A"), &l("A")), 0);
+    }
+
+    #[test]
+    fn probabilities() {
+        let (g, _) = figure_4_16_graph();
+        let s = GraphStats::collect(&g);
+        let l = |x: &str| Value::Str(x.into());
+        assert!((s.edge_probability(&l("A"), &l("B")) - 0.5).abs() < 1e-12);
+        assert!((s.edge_probability(&l("B"), &l("C")) - 0.75).abs() < 1e-12);
+        assert_eq!(s.edge_probability(&l("A"), &l("Z")), 0.0);
+    }
+
+    #[test]
+    fn top_labels_order() {
+        let (g, _) = figure_4_16_graph();
+        let mut g = g;
+        g.add_labeled_node("B");
+        let s = GraphStats::collect(&g);
+        let top = s.top_labels(2);
+        assert_eq!(top[0], Value::Str("B".into()));
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn directed_edge_freq_is_ordered() {
+        let mut g = Graph::new_directed();
+        let a = g.add_labeled_node("A");
+        let b = g.add_labeled_node("B");
+        g.add_edge(a, b, crate::tuple::Tuple::new()).unwrap();
+        let s = GraphStats::collect(&g);
+        let l = |x: &str| Value::Str(x.into());
+        assert_eq!(s.edge_label_freq(&l("A"), &l("B")), 1);
+        assert_eq!(s.edge_label_freq(&l("B"), &l("A")), 0);
+    }
+}

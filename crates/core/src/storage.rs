@@ -1,0 +1,442 @@
+//! Compact binary storage for graphs — the §7 "Physical Storage of
+//! Graph Data" direction, in its simplest useful form: a length-prefixed
+//! binary codec for [`GraphData`] suitable for files and network
+//! exchange. Varint-encoded, versioned, with checksummed framing.
+//!
+//! Format (all integers LEB128 varints unless noted):
+//!
+//! ```text
+//! magic  "GQL1" (4 bytes)
+//! flags  u8 (bit 0: directed)
+//! name   optional string
+//! attrs  tuple
+//! nodes  count, then per node: optional name, tuple
+//! edges  count, then per edge: optional name, src, dst, tuple
+//! crc    u32-le of everything after the magic (FNV-1a folded)
+//! ```
+
+use crate::error::CoreError;
+use crate::graph::Graph;
+use crate::io::{EdgeData, GraphData, NodeData};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::fmt;
+
+/// Errors from decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Input does not start with the magic bytes.
+    BadMagic,
+    /// Input ended prematurely.
+    Truncated,
+    /// Checksum mismatch: corrupted payload.
+    Corrupt,
+    /// Malformed content (invalid tag byte, bad UTF-8, ...).
+    Malformed(&'static str),
+    /// Structural validation failed when rebuilding the graph.
+    Invalid(CoreError),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::BadMagic => write!(f, "not a GQL1 graph file"),
+            StorageError::Truncated => write!(f, "unexpected end of input"),
+            StorageError::Corrupt => write!(f, "checksum mismatch"),
+            StorageError::Malformed(what) => write!(f, "malformed field: {what}"),
+            StorageError::Invalid(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+const MAGIC: &[u8; 4] = b"GQL1";
+
+// ---- primitives -------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(StorageError::Truncated)?;
+        *pos += 1;
+        if shift >= 63 && byte > 1 {
+            return Err(StorageError::Malformed("varint overflow"));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(buf: &[u8], pos: &mut usize) -> Result<String> {
+    let len = get_varint(buf, pos)? as usize;
+    let end = pos.checked_add(len).ok_or(StorageError::Truncated)?;
+    if end > buf.len() {
+        return Err(StorageError::Truncated);
+    }
+    let s = std::str::from_utf8(&buf[*pos..end])
+        .map_err(|_| StorageError::Malformed("utf-8 string"))?
+        .to_string();
+    *pos = end;
+    Ok(s)
+}
+
+fn put_opt_str(out: &mut Vec<u8>, s: &Option<String>) {
+    match s {
+        None => out.push(0),
+        Some(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+    }
+}
+
+fn get_opt_str(buf: &[u8], pos: &mut usize) -> Result<Option<String>> {
+    match *buf.get(*pos).ok_or(StorageError::Truncated)? {
+        0 => {
+            *pos += 1;
+            Ok(None)
+        }
+        1 => {
+            *pos += 1;
+            Ok(Some(get_str(buf, pos)?))
+        }
+        _ => Err(StorageError::Malformed("option tag")),
+    }
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            out.push(0);
+            put_varint(out, zigzag(*i));
+        }
+        Value::Float(f) => {
+            out.push(1);
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(2);
+            put_str(out, s);
+        }
+        Value::Bool(b) => out.push(3 + u8::from(*b)),
+    }
+}
+
+fn get_value(buf: &[u8], pos: &mut usize) -> Result<Value> {
+    let tag = *buf.get(*pos).ok_or(StorageError::Truncated)?;
+    *pos += 1;
+    Ok(match tag {
+        0 => Value::Int(unzigzag(get_varint(buf, pos)?)),
+        1 => {
+            let end = *pos + 8;
+            if end > buf.len() {
+                return Err(StorageError::Truncated);
+            }
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&buf[*pos..end]);
+            *pos = end;
+            Value::Float(f64::from_le_bytes(b))
+        }
+        2 => Value::Str(get_str(buf, pos)?),
+        3 => Value::Bool(false),
+        4 => Value::Bool(true),
+        _ => return Err(StorageError::Malformed("value tag")),
+    })
+}
+
+fn put_tuple(out: &mut Vec<u8>, t: &Tuple) {
+    put_opt_str(out, &t.tag().map(str::to_string));
+    put_varint(out, t.len() as u64);
+    for (k, v) in t.iter() {
+        put_str(out, k);
+        put_value(out, v);
+    }
+}
+
+fn get_tuple(buf: &[u8], pos: &mut usize) -> Result<Tuple> {
+    let mut t = Tuple::new();
+    if let Some(tag) = get_opt_str(buf, pos)? {
+        t.set_tag(tag);
+    }
+    let n = get_varint(buf, pos)? as usize;
+    for _ in 0..n {
+        let k = get_str(buf, pos)?;
+        let v = get_value(buf, pos)?;
+        t.set(k, v);
+    }
+    Ok(t)
+}
+
+fn fnv1a(data: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in data {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+// ---- public API -------------------------------------------------------
+
+/// Encodes a graph into the GQL1 binary format.
+pub fn encode_graph(g: &Graph) -> Vec<u8> {
+    let data = GraphData::from(g);
+    let mut out = Vec::with_capacity(64 + 16 * (data.nodes.len() + data.edges.len()));
+    out.extend_from_slice(MAGIC);
+    let body_start = out.len();
+    out.push(u8::from(data.directed));
+    put_opt_str(&mut out, &data.name);
+    put_tuple(&mut out, &data.attrs);
+    put_varint(&mut out, data.nodes.len() as u64);
+    for n in &data.nodes {
+        put_opt_str(&mut out, &n.name);
+        put_tuple(&mut out, &n.attrs);
+    }
+    put_varint(&mut out, data.edges.len() as u64);
+    for e in &data.edges {
+        put_opt_str(&mut out, &e.name);
+        put_varint(&mut out, u64::from(e.src));
+        put_varint(&mut out, u64::from(e.dst));
+        put_tuple(&mut out, &e.attrs);
+    }
+    let crc = fnv1a(&out[body_start..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decodes a GQL1 buffer back into a graph (rebuilding all indexes).
+pub fn decode_graph(buf: &[u8]) -> Result<Graph> {
+    if buf.len() < MAGIC.len() + 5 {
+        return Err(if buf.starts_with(MAGIC) || buf.len() < 4 {
+            StorageError::Truncated
+        } else {
+            StorageError::BadMagic
+        });
+    }
+    if &buf[..4] != MAGIC {
+        return Err(StorageError::BadMagic);
+    }
+    let body = &buf[4..buf.len() - 4];
+    let crc_stored = u32::from_le_bytes(
+        buf[buf.len() - 4..]
+            .try_into()
+            .expect("length checked above"),
+    );
+    if fnv1a(body) != crc_stored {
+        return Err(StorageError::Corrupt);
+    }
+    let mut pos = 0usize;
+    let flags = *body.first().ok_or(StorageError::Truncated)?;
+    pos += 1;
+    if flags > 1 {
+        return Err(StorageError::Malformed("flags"));
+    }
+    let name = get_opt_str(body, &mut pos)?;
+    let attrs = get_tuple(body, &mut pos)?;
+    let n_nodes = get_varint(body, &mut pos)? as usize;
+    if n_nodes > body.len() {
+        return Err(StorageError::Malformed("node count"));
+    }
+    let mut nodes = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        nodes.push(NodeData {
+            name: get_opt_str(body, &mut pos)?,
+            attrs: get_tuple(body, &mut pos)?,
+        });
+    }
+    let n_edges = get_varint(body, &mut pos)? as usize;
+    if n_edges > body.len() {
+        return Err(StorageError::Malformed("edge count"));
+    }
+    let mut edges = Vec::with_capacity(n_edges);
+    for _ in 0..n_edges {
+        let name = get_opt_str(body, &mut pos)?;
+        let src = get_varint(body, &mut pos)?;
+        let dst = get_varint(body, &mut pos)?;
+        if src > u64::from(u32::MAX) || dst > u64::from(u32::MAX) {
+            return Err(StorageError::Malformed("edge endpoint"));
+        }
+        edges.push(EdgeData {
+            name,
+            src: src as u32,
+            dst: dst as u32,
+            attrs: get_tuple(body, &mut pos)?,
+        });
+    }
+    if pos != body.len() {
+        return Err(StorageError::Malformed("trailing bytes"));
+    }
+    let data = GraphData {
+        name,
+        attrs,
+        directed: flags & 1 == 1,
+        nodes,
+        edges,
+    };
+    data.into_graph().map_err(StorageError::Invalid)
+}
+
+/// Encodes many graphs (a collection) as consecutive length-prefixed
+/// GQL1 frames.
+pub fn encode_collection<'a, I: IntoIterator<Item = &'a Graph>>(graphs: I) -> Vec<u8> {
+    let mut out = Vec::new();
+    for g in graphs {
+        let frame = encode_graph(g);
+        put_varint(&mut out, frame.len() as u64);
+        out.extend_from_slice(&frame);
+    }
+    out
+}
+
+/// Decodes a stream written by [`encode_collection`].
+pub fn decode_collection(buf: &[u8]) -> Result<Vec<Graph>> {
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    while pos < buf.len() {
+        let len = get_varint(buf, &mut pos)? as usize;
+        let end = pos.checked_add(len).ok_or(StorageError::Truncated)?;
+        if end > buf.len() {
+            return Err(StorageError::Truncated);
+        }
+        out.push(decode_graph(&buf[pos..end])?);
+        pos = end;
+    }
+    Ok(out)
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{figure_4_16_graph, figure_4_7_paper};
+    use crate::graph::NodeId;
+
+    #[test]
+    fn round_trip_labeled_graph() {
+        let (g, _) = figure_4_16_graph();
+        let bytes = encode_graph(&g);
+        let back = decode_graph(&bytes).unwrap();
+        assert_eq!(back.node_count(), 6);
+        assert_eq!(back.edge_count(), 6);
+        assert!(back.has_edge(NodeId(0), NodeId(2)));
+        assert_eq!(back.node(NodeId(0)).name.as_deref(), Some("A1"));
+    }
+
+    #[test]
+    fn round_trip_attributes_and_types() {
+        let mut g = figure_4_7_paper();
+        g.attrs.set("pi", 3.25f64);
+        g.attrs.set("ok", true);
+        g.attrs.set("neg", -42i64);
+        let back = decode_graph(&encode_graph(&g)).unwrap();
+        assert_eq!(back.attrs.get("pi"), Some(&Value::Float(3.25)));
+        assert_eq!(back.attrs.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(back.attrs.get("neg"), Some(&Value::Int(-42)));
+        assert_eq!(back.attrs.tag(), Some("inproceedings"));
+    }
+
+    #[test]
+    fn directed_flag_round_trips() {
+        let mut g = Graph::new_directed();
+        let a = g.add_labeled_node("A");
+        let b = g.add_labeled_node("B");
+        g.add_edge(a, b, Tuple::new()).unwrap();
+        let back = decode_graph(&encode_graph(&g)).unwrap();
+        assert!(back.is_directed());
+        assert!(back.has_edge(a, b));
+        assert!(!back.has_edge(b, a));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let (g, _) = figure_4_16_graph();
+        let mut bytes = encode_graph(&g);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        assert!(matches!(
+            decode_graph(&bytes),
+            Err(StorageError::Corrupt) | Err(StorageError::Malformed(_))
+        ));
+        assert!(matches!(decode_graph(b"NOPE-this-is-not-a-graph"), Err(StorageError::BadMagic)));
+        assert!(matches!(decode_graph(&bytes[..3]), Err(StorageError::Truncated)));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let (g, _) = figure_4_16_graph();
+        let bytes = encode_graph(&g);
+        for cut in [5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_graph(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn collection_stream_round_trips() {
+        let (g1, _) = figure_4_16_graph();
+        let g2 = figure_4_7_paper();
+        let bytes = encode_collection([&g1, &g2]);
+        let back = decode_collection(&bytes).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].edge_count(), 6);
+        assert_eq!(back[1].node_count(), 3);
+        // Truncated stream fails cleanly.
+        assert!(decode_collection(&bytes[..bytes.len() - 2]).is_err());
+        assert!(decode_collection(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn varint_extremes() {
+        let mut out = Vec::new();
+        for v in [0u64, 1, 127, 128, u32::MAX as u64, u64::MAX] {
+            out.clear();
+            put_varint(&mut out, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&out, &mut pos).unwrap(), v);
+            assert_eq!(pos, out.len());
+        }
+        for i in [0i64, -1, 1, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(i)), i);
+        }
+    }
+
+    #[test]
+    fn compactness_beats_display_text() {
+        let (g, _) = figure_4_16_graph();
+        let bin = encode_graph(&g).len();
+        let text = g.to_string().len();
+        assert!(bin < text, "binary {bin} vs text {text}");
+    }
+}

@@ -1,0 +1,200 @@
+//! Tuples: the attribute payload of nodes, edges, and graphs.
+//!
+//! A tuple is "a list of name and value pairs" with "an optional tag that
+//! denotes the tuple type" (paper §3.1), e.g. `<author name="A">` has tag
+//! `author` and one attribute `name`.
+
+use crate::value::Value;
+use std::fmt;
+
+/// An attribute tuple: optional tag + ordered name/value pairs.
+///
+/// Attribute order is preserved (it is part of the textual syntax) but
+/// lookup is by name; tuples in this system are small (a handful of
+/// attributes) so linear search beats a hash map.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Tuple {
+    tag: Option<String>,
+    attrs: Vec<(String, Value)>,
+}
+
+impl Tuple {
+    /// The empty, untagged tuple.
+    pub fn new() -> Self {
+        Tuple::default()
+    }
+
+    /// An empty tuple with a tag, e.g. `<author>`.
+    pub fn tagged(tag: impl Into<String>) -> Self {
+        Tuple {
+            tag: Some(tag.into()),
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Builder-style: add (or overwrite) an attribute.
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.set(name, value);
+        self
+    }
+
+    /// The tuple's tag, if any.
+    pub fn tag(&self) -> Option<&str> {
+        self.tag.as_deref()
+    }
+
+    /// Sets the tuple's tag.
+    pub fn set_tag(&mut self, tag: impl Into<String>) {
+        self.tag = Some(tag.into());
+    }
+
+    /// Looks up an attribute by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.attrs
+            .iter()
+            .find_map(|(n, v)| (n == name).then_some(v))
+    }
+
+    /// Sets an attribute, replacing any existing value under that name.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<Value>) {
+        let name = name.into();
+        let value = value.into();
+        if let Some(slot) = self.attrs.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.attrs.push((name, value));
+        }
+    }
+
+    /// Removes an attribute, returning its value.
+    pub fn remove(&mut self, name: &str) -> Option<Value> {
+        let idx = self.attrs.iter().position(|(n, _)| n == name)?;
+        Some(self.attrs.remove(idx).1)
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True if the tuple has no attributes (it may still have a tag).
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.attrs.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Merges `other` into `self`; on name clashes `self` wins. Used when
+    /// unifying nodes: the paper leaves attribute reconciliation open, and
+    /// keeping the first binding matches its co-authorship example where
+    /// unified nodes agree on the join attribute anyway.
+    pub fn merge_from(&mut self, other: &Tuple) {
+        if self.tag.is_none() {
+            self.tag = other.tag.clone();
+        }
+        for (n, v) in other.iter() {
+            if self.get(n).is_none() {
+                self.set(n, v.clone());
+            }
+        }
+    }
+
+    /// Structural compatibility used by pattern tuples: every attribute in
+    /// `self` (the pattern side) must exist in `target` with an equal
+    /// value, and a pattern tag must equal the target tag.
+    pub fn subsumes(&self, target: &Tuple) -> bool {
+        if let Some(t) = &self.tag {
+            if target.tag.as_deref() != Some(t.as_str()) {
+                return false;
+            }
+        }
+        self.iter().all(|(n, v)| target.get(n) == Some(v))
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        let mut first = true;
+        if let Some(t) = &self.tag {
+            write!(f, "{t}")?;
+            first = false;
+        }
+        for (n, v) in self.iter() {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{n}={v}")?;
+            first = false;
+        }
+        write!(f, ">")
+    }
+}
+
+impl<N: Into<String>, V: Into<Value>> FromIterator<(N, V)> for Tuple {
+    fn from_iter<T: IntoIterator<Item = (N, V)>>(iter: T) -> Self {
+        let mut t = Tuple::new();
+        for (n, v) in iter {
+            t.set(n, v);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_overwrite() {
+        let mut t = Tuple::new();
+        t.set("name", "A");
+        t.set("year", 2006);
+        assert_eq!(t.get("name"), Some(&Value::Str("A".into())));
+        t.set("name", "B");
+        assert_eq!(t.get("name"), Some(&Value::Str("B".into())));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn tagged_tuple_display() {
+        let t = Tuple::tagged("author").with("name", "A");
+        assert_eq!(t.to_string(), "<author name=\"A\">");
+    }
+
+    #[test]
+    fn subsumption_requires_matching_tag_and_attrs() {
+        let pat = Tuple::tagged("author");
+        let node = Tuple::tagged("author").with("name", "A");
+        let other = Tuple::new().with("name", "A");
+        assert!(pat.subsumes(&node));
+        assert!(!pat.subsumes(&other));
+
+        let pat2 = Tuple::new().with("name", "A");
+        assert!(pat2.subsumes(&node));
+        assert!(!pat2.subsumes(&Tuple::tagged("author").with("name", "B")));
+    }
+
+    #[test]
+    fn merge_prefers_existing() {
+        let mut a = Tuple::new().with("x", 1);
+        let b = Tuple::tagged("t").with("x", 2).with("y", 3);
+        a.merge_from(&b);
+        assert_eq!(a.get("x"), Some(&Value::Int(1)));
+        assert_eq!(a.get("y"), Some(&Value::Int(3)));
+        assert_eq!(a.tag(), Some("t"));
+    }
+
+    #[test]
+    fn remove_and_from_iter() {
+        let mut t: Tuple = vec![("a", 1), ("b", 2)].into_iter().collect();
+        assert_eq!(t.remove("a"), Some(Value::Int(1)));
+        assert_eq!(t.remove("a"), None);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

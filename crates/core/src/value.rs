@@ -1,0 +1,336 @@
+//! Attribute values.
+//!
+//! GraphQL (He & Singh) annotates nodes, edges, and graphs with *tuples*:
+//! lists of name/value pairs. The grammar of the paper (Appendix 4.A)
+//! admits integer, float, and string literals; we additionally support
+//! booleans since predicates produce them and `where` clauses may want to
+//! store them.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A scalar attribute value.
+///
+/// `Value` implements a *total* order (floats are ordered with
+/// [`f64::total_cmp`]) so that values can be used as index keys in the
+/// relational substrate and hashed in feasible-mate tables.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Value {
+    /// 64-bit signed integer literal, e.g. `year=2006`.
+    Int(i64),
+    /// 64-bit float literal.
+    Float(f64),
+    /// String literal, e.g. `name="A"`.
+    Str(String),
+    /// Boolean (result of predicate evaluation).
+    Bool(bool),
+}
+
+impl Value {
+    /// Returns the string contents if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a float, coercing integers.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Truthiness used by `where` clauses: `Bool(b)` is `b`, any other
+    /// value is an error at a higher level; this helper is lenient and
+    /// treats non-zero numbers as true (SQL-ish), which the engine uses
+    /// only after type checking.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty(),
+        }
+    }
+
+    /// Name of the runtime type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Bool(_) => "bool",
+        }
+    }
+
+    /// Numeric comparison with int/float coercion; falls back to the
+    /// total order for same-typed values and returns `None` for
+    /// incomparable mixes (e.g. string vs int), mirroring the paper's
+    /// implicit dynamic typing.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => Some(float_cmp(*a, *b)),
+            (Int(a), Float(b)) => Some(float_cmp(*a as f64, *b)),
+            (Float(a), Int(b)) => Some(float_cmp(*a, *b as f64)),
+            _ => None,
+        }
+    }
+
+    /// Arithmetic addition with numeric coercion; string `+` concatenates.
+    pub fn add(&self, other: &Value) -> Option<Value> {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => Some(Int(a.wrapping_add(*b))),
+            (Str(a), Str(b)) => Some(Str(format!("{a}{b}"))),
+            _ => Some(Float(self.as_float()? + other.as_float()?)),
+        }
+    }
+
+    /// Arithmetic subtraction with numeric coercion.
+    pub fn sub(&self, other: &Value) -> Option<Value> {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => Some(Int(a.wrapping_sub(*b))),
+            _ => Some(Float(self.as_float()? - other.as_float()?)),
+        }
+    }
+
+    /// Arithmetic multiplication with numeric coercion.
+    pub fn mul(&self, other: &Value) -> Option<Value> {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => Some(Int(a.wrapping_mul(*b))),
+            _ => Some(Float(self.as_float()? * other.as_float()?)),
+        }
+    }
+
+    /// Arithmetic division; integer division by zero yields `None`.
+    pub fn div(&self, other: &Value) -> Option<Value> {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => {
+                if *b == 0 {
+                    None
+                } else {
+                    Some(Int(a.wrapping_div(*b)))
+                }
+            }
+            _ => Some(Float(self.as_float()? / other.as_float()?)),
+        }
+    }
+}
+
+/// IEEE comparison where possible (so `-0.0 == 0.0`), total order as the
+/// NaN fallback so `Value` can still implement `Ord`.
+fn float_cmp(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).unwrap_or_else(|| a.total_cmp(&b))
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.compare(other) == Some(Ordering::Equal)
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order across types: bools < ints/floats (merged numerically)
+    /// < strings. Needed so `Value` can key B-tree indexes.
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Bool(_) => 0,
+                Value::Int(_) | Value::Float(_) => 1,
+                Value::Str(_) => 2,
+            }
+        }
+        match self.compare(other) {
+            Some(ord) => ord,
+            None => rank(self).cmp(&rank(other)),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Int(k) and Float(k as f64) compare equal, so they must hash
+        // identically: hash all numerics through the f64 bit pattern.
+        match self {
+            Value::Bool(b) => {
+                state.write_u8(0);
+                b.hash(state);
+            }
+            Value::Int(i) => {
+                state.write_u8(1);
+                state.write_u64((*i as f64).to_bits());
+            }
+            Value::Float(f) => {
+                state.write_u8(1);
+                // Normalize -0.0 to 0.0 for hashing consistency with Eq.
+                let f = if *f == 0.0 { 0.0 } else { *f };
+                state.write_u64(f.to_bits());
+            }
+            Value::Str(s) => {
+                state.write_u8(2);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn int_float_equality_and_hash_agree() {
+        let a = Value::Int(3);
+        let b = Value::Float(3.0);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn negative_zero_hashes_like_zero() {
+        assert_eq!(Value::Float(-0.0), Value::Float(0.0));
+        assert_eq!(hash_of(&Value::Float(-0.0)), hash_of(&Value::Float(0.0)));
+    }
+
+    #[test]
+    fn cross_type_ordering_is_total() {
+        let mut vs = [Value::Str("z".into()),
+            Value::Int(-1),
+            Value::Bool(true),
+            Value::Float(0.5),
+            Value::Str("a".into()),
+            Value::Bool(false)];
+        vs.sort();
+        assert_eq!(vs[0], Value::Bool(false));
+        assert_eq!(vs[1], Value::Bool(true));
+        assert_eq!(vs[2], Value::Int(-1));
+        assert_eq!(vs[3], Value::Float(0.5));
+        assert_eq!(vs[4], Value::Str("a".into()));
+        assert_eq!(vs[5], Value::Str("z".into()));
+    }
+
+    #[test]
+    fn arithmetic_coercion() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)), Some(Value::Int(5)));
+        assert_eq!(
+            Value::Int(2).add(&Value::Float(0.5)),
+            Some(Value::Float(2.5))
+        );
+        assert_eq!(
+            Value::Str("ab".into()).add(&Value::Str("c".into())),
+            Some(Value::Str("abc".into()))
+        );
+        assert_eq!(Value::Int(1).div(&Value::Int(0)), None);
+        assert_eq!(Value::Int(7).div(&Value::Int(2)), Some(Value::Int(3)));
+        assert_eq!(Value::Int(6).mul(&Value::Int(7)), Some(Value::Int(42)));
+        assert_eq!(Value::Int(6).sub(&Value::Int(7)), Some(Value::Int(-1)));
+    }
+
+    #[test]
+    fn incomparable_types_return_none() {
+        assert_eq!(Value::Int(1).compare(&Value::Str("1".into())), None);
+        assert!(Value::Int(1) != Value::Str("1".into()));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Bool(true).is_truthy());
+        assert!(!Value::Bool(false).is_truthy());
+        assert!(Value::Int(2).is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(!Value::Str(String::new()).is_truthy());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::Str("x".into()).to_string(), "\"x\"");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+    }
+}

@@ -1,0 +1,106 @@
+//! Synthetic DBLP-like bibliography collection: small paper graphs with
+//! `<author>` nodes, for the Figure 4.12 co-authorship query.
+
+use gql_core::{Graph, GraphCollection, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the bibliography generator.
+#[derive(Debug, Clone)]
+pub struct DblpConfig {
+    /// Number of paper graphs.
+    pub papers: usize,
+    /// Size of the author pool.
+    pub authors: usize,
+    /// Max authors per paper (min 1).
+    pub max_authors_per_paper: usize,
+    /// Venue names cycled across papers.
+    pub venues: Vec<String>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        DblpConfig {
+            papers: 50,
+            authors: 20,
+            max_authors_per_paper: 4,
+            venues: vec!["SIGMOD".into(), "VLDB".into(), "ICDE".into()],
+            seed: 0xdb1f,
+        }
+    }
+}
+
+/// Author name for pool index `i` (`author00`, `author01`, ...).
+pub fn author_name(i: usize) -> String {
+    format!("author{i:02}")
+}
+
+/// Generates the collection; each member graph is one paper with a
+/// `booktitle` graph attribute, a `<title>` node, and 1..=k `<author>`
+/// nodes.
+pub fn dblp_collection(cfg: &DblpConfig) -> GraphCollection {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = GraphCollection::named("DBLP");
+    for p in 0..cfg.papers {
+        let mut g = Graph::named(format!("paper{p}"));
+        let venue = &cfg.venues[p % cfg.venues.len()];
+        g.attrs = Tuple::tagged("inproceedings")
+            .with("booktitle", venue.as_str())
+            .with("year", 2000 + (p % 10) as i64);
+        g.add_node(Tuple::tagged("title").with("text", format!("Title {p}")));
+        let k = rng.gen_range(1..=cfg.max_authors_per_paper);
+        let mut chosen: Vec<usize> = Vec::new();
+        while chosen.len() < k.min(cfg.authors) {
+            let a = rng.gen_range(0..cfg.authors);
+            if !chosen.contains(&a) {
+                chosen.push(a);
+            }
+        }
+        for (i, a) in chosen.iter().enumerate() {
+            g.add_named_node(
+                format!("a{i}"),
+                Tuple::tagged("author").with("name", author_name(*a)),
+            );
+        }
+        out.push(g);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gql_core::Value;
+
+    #[test]
+    fn collection_shape() {
+        let c = dblp_collection(&DblpConfig::default());
+        assert_eq!(c.len(), 50);
+        for g in &c {
+            assert!(g.attrs.get("booktitle").is_some());
+            let authors = g
+                .nodes()
+                .filter(|(_, n)| n.attrs.tag() == Some("author"))
+                .count();
+            assert!((1..=4).contains(&authors));
+            assert_eq!(g.edge_count(), 0, "paper graphs have no edges (Fig 4.7)");
+        }
+    }
+
+    #[test]
+    fn deterministic_and_venue_cycled() {
+        let a = dblp_collection(&DblpConfig::default());
+        let b = dblp_collection(&DblpConfig::default());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(
+            a.get(0).unwrap().attrs.get("booktitle"),
+            Some(&Value::Str("SIGMOD".into()))
+        );
+        assert_eq!(
+            a.get(1).unwrap().attrs.get("booktitle"),
+            Some(&Value::Str("VLDB".into()))
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Erdős–Rényi synthetic graphs (§5.2).
+//!
+//! "Generate n nodes, and then generate m edges by randomly choosing two
+//! end nodes. Each node is assigned a label (100 distinct labels in
+//! total). The distribution of the labels follows Zipf's law."
+
+use crate::zipf::Zipf;
+use gql_core::{Graph, NodeId, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for the synthetic-graph generator.
+#[derive(Debug, Clone)]
+pub struct ErConfig {
+    /// Number of nodes `n`.
+    pub nodes: usize,
+    /// Number of edges `m` (the paper uses `m = 5n`).
+    pub edges: usize,
+    /// Number of distinct labels (paper: 100).
+    pub labels: usize,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl ErConfig {
+    /// The paper's default shape: `m = 5n`, 100 Zipf labels.
+    pub fn paper_default(nodes: usize, seed: u64) -> Self {
+        ErConfig {
+            nodes,
+            edges: 5 * nodes,
+            labels: 100,
+            seed,
+        }
+    }
+}
+
+/// Label for rank `i`: `L00`, `L01`, ... (rank 0 is most frequent).
+pub fn label_name(i: usize) -> String {
+    format!("L{i:02}")
+}
+
+/// Generates the G(n, m) random graph with Zipf labels.
+pub fn erdos_renyi(cfg: &ErConfig) -> Graph {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let zipf = Zipf::new(cfg.labels);
+    let mut g = Graph::new();
+    for _ in 0..cfg.nodes {
+        let rank = zipf.sample(&mut rng);
+        g.add_labeled_node(label_name(rank));
+    }
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    // Simple-graph model: resample collisions; cap attempts to stay
+    // total even on dense configs.
+    let max_attempts = cfg.edges.saturating_mul(20).max(1000);
+    while added < cfg.edges && attempts < max_attempts {
+        attempts += 1;
+        let a = rng.gen_range(0..cfg.nodes) as u32;
+        let b = rng.gen_range(0..cfg.nodes) as u32;
+        if a == b {
+            continue;
+        }
+        if g.add_edge(NodeId(a), NodeId(b), Tuple::new()).is_ok() {
+            added += 1;
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gql_core::GraphStats;
+
+    #[test]
+    fn generates_requested_shape() {
+        let g = erdos_renyi(&ErConfig::paper_default(1000, 42));
+        assert_eq!(g.node_count(), 1000);
+        assert_eq!(g.edge_count(), 5000);
+        let stats = GraphStats::collect(&g);
+        assert!(stats.distinct_labels() <= 100);
+        assert!(stats.distinct_labels() > 50, "Zipf over 1000 draws covers most labels");
+        // Most frequent label should dominate: p(1) ≈ 1/H(100) ≈ 0.19.
+        let top = stats.top_labels(1);
+        let f = stats.node_label_freq(&top[0]) as f64 / 1000.0;
+        assert!((0.12..0.27).contains(&f), "top label frequency {f}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = erdos_renyi(&ErConfig::paper_default(100, 7));
+        let b = erdos_renyi(&ErConfig::paper_default(100, 7));
+        let c = erdos_renyi(&ErConfig::paper_default(100, 8));
+        assert_eq!(a.edge_count(), b.edge_count());
+        let eq_labels = a
+            .node_ids()
+            .all(|v| a.node_label(v) == b.node_label(v));
+        assert!(eq_labels);
+        let diff = c.node_ids().any(|v| a.node_label(v) != c.node_label(v));
+        assert!(diff, "different seeds should differ");
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let g = erdos_renyi(&ErConfig {
+            nodes: 50,
+            edges: 200,
+            labels: 5,
+            seed: 3,
+        });
+        for (_, e) in g.edges() {
+            assert_ne!(e.src, e.dst);
+        }
+        // Graph::add_edge already rejects duplicates; edge_count is exact.
+        assert_eq!(g.edge_count(), 200);
+    }
+}

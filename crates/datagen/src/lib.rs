@@ -1,0 +1,31 @@
+//! # gql-datagen — reproducible workload generators for the §5 experiments
+//!
+//! Every dataset and query workload of the paper's evaluation, generated
+//! deterministically from seeds:
+//!
+//! - [`er`]: Erdős–Rényi G(n, m) graphs with Zipf(1) labels (§5.2);
+//! - [`ppi`]: the yeast protein-interaction stand-in (3112 nodes, 12519
+//!   edges, 183 GO-term-like labels — see DESIGN.md for the substitution
+//!   argument);
+//! - [`queries`]: clique queries over the top-40 labels and random
+//!   connected-subgraph queries;
+//! - [`dblp`]: paper graphs for the Figure 4.12 co-authorship query;
+//! - [`molecules`], [`rdf`]: the §1.1 motivating-example domains.
+
+#![warn(missing_docs)]
+
+pub mod dblp;
+pub mod er;
+pub mod molecules;
+pub mod ppi;
+pub mod queries;
+pub mod rdf;
+pub mod zipf;
+
+pub use dblp::{dblp_collection, DblpConfig};
+pub use er::{erdos_renyi, ErConfig};
+pub use molecules::{molecule_collection, MoleculeConfig};
+pub use ppi::{ppi_network, PpiConfig};
+pub use queries::{clique_queries, connected_subgraph_query, subgraph_queries};
+pub use rdf::{company_graph, RdfConfig};
+pub use zipf::Zipf;

@@ -1,0 +1,128 @@
+//! Synthetic chemical-compound collection: small molecule graphs (atoms
+//! as labeled nodes, bonds as edges) for the §1.1 "heterocyclic
+//! compounds containing a given aromatic ring and side chain" example,
+//! and for the large-collection-of-small-graphs database category.
+
+use gql_core::{Graph, GraphCollection, NodeId, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the molecule generator.
+#[derive(Debug, Clone)]
+pub struct MoleculeConfig {
+    /// Number of molecules.
+    pub count: usize,
+    /// Fraction (0..=1) that contain a hetero-aromatic ring (a 6-ring
+    /// with one nitrogen — pyridine-like).
+    pub heterocyclic_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MoleculeConfig {
+    fn default() -> Self {
+        MoleculeConfig {
+            count: 100,
+            heterocyclic_fraction: 0.3,
+            seed: 0xc0ffee,
+        }
+    }
+}
+
+const CHAIN_ATOMS: [&str; 4] = ["C", "O", "N", "S"];
+
+/// Builds a 6-ring; `hetero` replaces one carbon with nitrogen and marks
+/// the bonds aromatic.
+fn ring(g: &mut Graph, hetero: bool) -> Vec<NodeId> {
+    let ids: Vec<NodeId> = (0..6)
+        .map(|i| {
+            let atom = if hetero && i == 0 { "N" } else { "C" };
+            g.add_node(Tuple::tagged("atom").with("label", atom))
+        })
+        .collect();
+    for i in 0..6 {
+        let bond = Tuple::tagged("bond").with("kind", if hetero { "aromatic" } else { "single" });
+        g.add_edge(ids[i], ids[(i + 1) % 6], bond).expect("ring edges unique");
+    }
+    ids
+}
+
+/// Generates one molecule: a ring plus a random side chain.
+pub fn molecule<R: Rng + ?Sized>(hetero: bool, rng: &mut R) -> Graph {
+    let mut g = Graph::new();
+    let ring_ids = ring(&mut g, hetero);
+    // Side chain of 1..4 atoms hanging off a ring atom.
+    let mut anchor = ring_ids[rng.gen_range(0..6)];
+    let chain_len = rng.gen_range(1..=4);
+    for _ in 0..chain_len {
+        let atom = CHAIN_ATOMS[rng.gen_range(0..CHAIN_ATOMS.len())];
+        let v = g.add_node(Tuple::tagged("atom").with("label", atom));
+        g.add_edge(anchor, v, Tuple::tagged("bond").with("kind", "single"))
+            .expect("chain edges unique");
+        anchor = v;
+    }
+    g
+}
+
+/// Generates the compound collection.
+pub fn molecule_collection(cfg: &MoleculeConfig) -> GraphCollection {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = GraphCollection::named("compounds");
+    for i in 0..cfg.count {
+        let hetero = (i as f64 + 0.5) / cfg.count as f64 <= cfg.heterocyclic_fraction;
+        let mut m = molecule(hetero, &mut rng);
+        m.name = Some(format!("mol{i}"));
+        m.attrs = Tuple::tagged("molecule").with("heterocyclic", hetero);
+        out.push(m);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gql_core::fixtures::labeled_cycle;
+    use gql_core::iso::subgraph_isomorphic;
+    use gql_core::Value;
+
+    #[test]
+    fn molecules_have_ring_plus_chain() {
+        let c = molecule_collection(&MoleculeConfig::default());
+        assert_eq!(c.len(), 100);
+        for g in &c {
+            assert!(g.node_count() >= 7 && g.node_count() <= 10);
+            assert_eq!(g.edge_count(), g.node_count(), "one cycle: |E| = |V|");
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn heterocyclic_fraction_respected() {
+        let c = molecule_collection(&MoleculeConfig::default());
+        let hetero = c
+            .iter()
+            .filter(|g| g.attrs.get("heterocyclic") == Some(&Value::Bool(true)))
+            .count();
+        assert_eq!(hetero, 30);
+        // Heterocyclic molecules contain a ring with an N.
+        for g in c.iter().take(30) {
+            let has_n_ring = g
+                .nodes()
+                .any(|(_, n)| n.attrs.get("label") == Some(&Value::Str("N".into())));
+            assert!(has_n_ring);
+        }
+    }
+
+    #[test]
+    fn carbon_ring_query_matches_all() {
+        let c = molecule_collection(&MoleculeConfig {
+            count: 10,
+            heterocyclic_fraction: 0.0,
+            seed: 1,
+        });
+        let ring6 = labeled_cycle(&["C"; 6]);
+        for g in &c {
+            assert!(subgraph_isomorphic(&ring6, g));
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Synthetic RDF-ish company graph for the §1.1 example: "find all
+//! instances where two departments of a company share the same shipping
+//! company."
+
+use gql_core::{Graph, NodeId, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the company-graph generator.
+#[derive(Debug, Clone)]
+pub struct RdfConfig {
+    /// Number of companies.
+    pub companies: usize,
+    /// Departments per company.
+    pub departments_per_company: usize,
+    /// Number of shipping companies.
+    pub shippers: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RdfConfig {
+    fn default() -> Self {
+        RdfConfig {
+            companies: 5,
+            departments_per_company: 4,
+            shippers: 3,
+            seed: 0x5d5,
+        }
+    }
+}
+
+/// Generates one directed graph: department nodes (tagged `dept`, with a
+/// `company` attribute) and shipper nodes (tagged `shipper`), with
+/// `shipping`-labeled edges from departments to their shipper.
+pub fn company_graph(cfg: &RdfConfig) -> Graph {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut g = Graph::new_directed();
+    g.name = Some("company-rdf".into());
+    let shippers: Vec<NodeId> = (0..cfg.shippers)
+        .map(|s| {
+            g.add_node(
+                Tuple::tagged("shipper")
+                    .with("label", "shipper")
+                    .with("name", format!("Shipper{s}")),
+            )
+        })
+        .collect();
+    for c in 0..cfg.companies {
+        for d in 0..cfg.departments_per_company {
+            let dept = g.add_node(
+                Tuple::tagged("dept")
+                    .with("label", "dept")
+                    .with("company", format!("Company{c}"))
+                    .with("name", format!("C{c}D{d}")),
+            );
+            let s = shippers[rng.gen_range(0..shippers.len())];
+            g.add_edge(dept, s, Tuple::new().with("label", "shipping"))
+                .expect("unique dept→shipper edges");
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_is_bipartite_directed() {
+        let g = company_graph(&RdfConfig::default());
+        assert_eq!(g.node_count(), 3 + 20);
+        assert_eq!(g.edge_count(), 20);
+        assert!(g.is_directed());
+        for (_, e) in g.edges() {
+            assert_eq!(g.node(e.src).attrs.tag(), Some("dept"));
+            assert_eq!(g.node(e.dst).attrs.tag(), Some("shipper"));
+        }
+    }
+
+    #[test]
+    fn shared_shippers_exist() {
+        // With 4 departments per company and 3 shippers, some company
+        // must have two departments sharing a shipper (pigeonhole).
+        let g = company_graph(&RdfConfig::default());
+        let mut found = false;
+        for (_, e1) in g.edges() {
+            for (_, e2) in g.edges() {
+                if e1.src != e2.src
+                    && e1.dst == e2.dst
+                    && g.node(e1.src).attrs.get("company") == g.node(e2.src).attrs.get("company")
+                {
+                    found = true;
+                }
+            }
+        }
+        assert!(found);
+    }
+}

@@ -1,0 +1,81 @@
+//! Zipf-distributed label sampling.
+//!
+//! §5.2: "Each node is assigned a label (100 distinct labels in total).
+//! The distribution of the labels follows Zipf's law, i.e., probability
+//! of the xth label p(x) is proportional to x⁻¹."
+
+use rand::Rng;
+
+/// A Zipf(s=1) sampler over ranks `1..=n` using inverse-CDF lookup.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks with exponent 1.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for x in 1..=n {
+            acc += 1.0 / x as f64;
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples a rank in `0..n` (0 = most frequent).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("no NaN")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distribution_is_heavy_headed() {
+        let z = Zipf::new(100);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // p(1)/p(2) ≈ 2, p(1)/p(10) ≈ 10.
+        let r12 = counts[0] as f64 / counts[1] as f64;
+        assert!((1.6..2.4).contains(&r12), "p1/p2 = {r12}");
+        let r110 = counts[0] as f64 / counts[9] as f64;
+        assert!((7.0..13.0).contains(&r110), "p1/p10 = {r110}");
+        assert!(counts.iter().all(|&c| c > 0), "all labels appear");
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.len(), 1);
+    }
+}

@@ -1,0 +1,321 @@
+//! Bottom-up semi-naive evaluation.
+
+use crate::lang::{Atom, BodyItem, Program, Rule, Term};
+use gql_core::{BinOp, Value};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// The extensional + derived fact store: `pred → set of tuples`.
+#[derive(Debug, Clone, Default)]
+pub struct FactStore {
+    relations: FxHashMap<String, FxHashSet<Vec<Value>>>,
+}
+
+impl FactStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        FactStore::default()
+    }
+
+    /// Inserts a fact; returns true if new.
+    pub fn insert(&mut self, pred: impl Into<String>, tuple: Vec<Value>) -> bool {
+        self.relations.entry(pred.into()).or_default().insert(tuple)
+    }
+
+    /// All tuples of a predicate.
+    pub fn tuples(&self, pred: &str) -> impl Iterator<Item = &Vec<Value>> {
+        self.relations.get(pred).into_iter().flatten()
+    }
+
+    /// Number of tuples in a predicate.
+    pub fn count(&self, pred: &str) -> usize {
+        self.relations.get(pred).map_or(0, |s| s.len())
+    }
+
+    /// Membership test.
+    pub fn contains(&self, pred: &str, tuple: &[Value]) -> bool {
+        self.relations
+            .get(pred)
+            .is_some_and(|s| s.contains(tuple))
+    }
+
+    /// Total fact count.
+    pub fn len(&self) -> usize {
+        self.relations.values().map(|s| s.len()).sum()
+    }
+
+    /// True if no facts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+type Bindings = FxHashMap<String, Value>;
+
+fn unify_atom(atom: &Atom, tuple: &[Value], env: &Bindings) -> Option<Bindings> {
+    if atom.terms.len() != tuple.len() {
+        return None;
+    }
+    let mut env = env.clone();
+    for (t, v) in atom.terms.iter().zip(tuple) {
+        match t {
+            Term::Const(c) => {
+                if c != v {
+                    return None;
+                }
+            }
+            Term::Var(name) => match env.get(name) {
+                Some(bound) => {
+                    if bound != v {
+                        return None;
+                    }
+                }
+                None => {
+                    env.insert(name.clone(), v.clone());
+                }
+            },
+        }
+    }
+    Some(env)
+}
+
+fn term_value(t: &Term, env: &Bindings) -> Option<Value> {
+    match t {
+        Term::Const(c) => Some(c.clone()),
+        Term::Var(v) => env.get(v).cloned(),
+    }
+}
+
+fn compare_holds(lhs: &Term, op: BinOp, rhs: &Term, env: &Bindings) -> bool {
+    let (Some(a), Some(b)) = (term_value(lhs, env), term_value(rhs, env)) else {
+        return false; // unbound built-in arguments: unsafe rule, fails
+    };
+    match op {
+        BinOp::Eq => a == b,
+        BinOp::Ne => a != b,
+        BinOp::Gt | BinOp::Ge | BinOp::Lt | BinOp::Le => match a.compare(&b) {
+            None => false,
+            Some(ord) => match op {
+                BinOp::Gt => ord.is_gt(),
+                BinOp::Ge => ord.is_ge(),
+                BinOp::Lt => ord.is_lt(),
+                BinOp::Le => ord.is_le(),
+                _ => unreachable!(),
+            },
+        },
+        // And/Or/arith are not comparison builtins; reject.
+        _ => false,
+    }
+}
+
+/// Joins rule body left-to-right; `delta_at` forces body atom `i` to
+/// range over the delta relation (semi-naive evaluation).
+fn eval_rule(
+    rule: &Rule,
+    full: &FactStore,
+    delta: Option<(&FactStore, usize)>,
+    out: &mut Vec<Vec<Value>>,
+) {
+    fn recurse(
+        rule: &Rule,
+        full: &FactStore,
+        delta: Option<(&FactStore, usize)>,
+        item: usize,
+        atom_index: usize,
+        env: &Bindings,
+        out: &mut Vec<Vec<Value>>,
+    ) {
+        if item == rule.body.len() {
+            let tuple: Vec<Value> = rule
+                .head
+                .terms
+                .iter()
+                .map(|t| term_value(t, env).expect("head variables must be bound (safe rules)"))
+                .collect();
+            out.push(tuple);
+            return;
+        }
+        match &rule.body[item] {
+            BodyItem::Compare { lhs, op, rhs } => {
+                if compare_holds(lhs, *op, rhs, env) {
+                    recurse(rule, full, delta, item + 1, atom_index, env, out);
+                }
+            }
+            BodyItem::Atom(a) => {
+                let store = match delta {
+                    Some((d, i)) if i == atom_index => d,
+                    _ => full,
+                };
+                for tuple in store.tuples(&a.pred) {
+                    if let Some(env2) = unify_atom(a, tuple, env) {
+                        recurse(rule, full, delta, item + 1, atom_index + 1, &env2, out);
+                    }
+                }
+            }
+        }
+    }
+    recurse(rule, full, delta, 0, 0, &Bindings::default(), out);
+}
+
+/// Runs the program to fixpoint over `facts` (mutated in place),
+/// returning the number of derived facts.
+pub fn evaluate(program: &Program, facts: &mut FactStore) -> usize {
+    let mut derived_total = 0usize;
+
+    // Round 0 (naive): every rule over the full store.
+    let mut delta = FactStore::new();
+    for rule in &program.rules {
+        let mut out = Vec::new();
+        eval_rule(rule, facts, None, &mut out);
+        for t in out {
+            if facts.insert(rule.head.pred.clone(), t.clone()) {
+                delta.insert(rule.head.pred.clone(), t);
+                derived_total += 1;
+            }
+        }
+    }
+
+    // Semi-naive rounds: at least one body atom must range over delta.
+    while !delta.is_empty() {
+        let mut next_delta = FactStore::new();
+        for rule in &program.rules {
+            let n_atoms = rule
+                .body
+                .iter()
+                .filter(|b| matches!(b, BodyItem::Atom(_)))
+                .count();
+            for i in 0..n_atoms {
+                let mut out = Vec::new();
+                eval_rule(rule, facts, Some((&delta, i)), &mut out);
+                for t in out {
+                    if facts.insert(rule.head.pred.clone(), t.clone()) {
+                        next_delta.insert(rule.head.pred.clone(), t);
+                        derived_total += 1;
+                    }
+                }
+            }
+        }
+        delta = next_delta;
+    }
+    derived_total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::{Atom, BodyItem, Rule, Term};
+
+    fn edge(a: &str, b: &str) -> (String, Vec<Value>) {
+        ("edge".into(), vec![a.into(), b.into()])
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let mut facts = FactStore::new();
+        for (p, t) in [edge("a", "b"), edge("b", "c"), edge("c", "d")] {
+            facts.insert(p, t);
+        }
+        let mut prog = Program::new();
+        // path(X,Y) :- edge(X,Y).
+        prog.push(Rule {
+            head: Atom::new("path", vec![Term::var("X"), Term::var("Y")]),
+            body: vec![BodyItem::Atom(Atom::new(
+                "edge",
+                vec![Term::var("X"), Term::var("Y")],
+            ))],
+        });
+        // path(X,Z) :- path(X,Y), edge(Y,Z).
+        prog.push(Rule {
+            head: Atom::new("path", vec![Term::var("X"), Term::var("Z")]),
+            body: vec![
+                BodyItem::Atom(Atom::new("path", vec![Term::var("X"), Term::var("Y")])),
+                BodyItem::Atom(Atom::new("edge", vec![Term::var("Y"), Term::var("Z")])),
+            ],
+        });
+        let derived = evaluate(&prog, &mut facts);
+        assert_eq!(facts.count("path"), 6, "ab ac ad bc bd cd");
+        assert_eq!(derived, 6);
+        assert!(facts.contains("path", &["a".into(), "d".into()]));
+        assert!(!facts.contains("path", &["d".into(), "a".into()]));
+    }
+
+    #[test]
+    fn comparisons_filter() {
+        let mut facts = FactStore::new();
+        facts.insert("n", vec![Value::Int(1)]);
+        facts.insert("n", vec![Value::Int(5)]);
+        facts.insert("n", vec![Value::Int(9)]);
+        let mut prog = Program::new();
+        // big(X) :- n(X), X > 3.
+        prog.push(Rule {
+            head: Atom::new("big", vec![Term::var("X")]),
+            body: vec![
+                BodyItem::Atom(Atom::new("n", vec![Term::var("X")])),
+                BodyItem::Compare {
+                    lhs: Term::var("X"),
+                    op: BinOp::Gt,
+                    rhs: Term::val(3),
+                },
+            ],
+        });
+        evaluate(&prog, &mut facts);
+        assert_eq!(facts.count("big"), 2);
+    }
+
+    #[test]
+    fn constants_in_atoms_unify() {
+        let mut facts = FactStore::new();
+        facts.insert("p", vec!["a".into(), "x".into()]);
+        facts.insert("p", vec!["b".into(), "y".into()]);
+        let mut prog = Program::new();
+        // q(Y) :- p('a', Y).
+        prog.push(Rule {
+            head: Atom::new("q", vec![Term::var("Y")]),
+            body: vec![BodyItem::Atom(Atom::new(
+                "p",
+                vec![Term::val("a"), Term::var("Y")],
+            ))],
+        });
+        evaluate(&prog, &mut facts);
+        assert_eq!(facts.count("q"), 1);
+        assert!(facts.contains("q", &["x".into()]));
+    }
+
+    #[test]
+    fn inequality_builtin_for_injectivity() {
+        let mut facts = FactStore::new();
+        facts.insert("v", vec!["a".into()]);
+        facts.insert("v", vec!["b".into()]);
+        let mut prog = Program::new();
+        // pair(X,Y) :- v(X), v(Y), X != Y.
+        prog.push(Rule {
+            head: Atom::new("pair", vec![Term::var("X"), Term::var("Y")]),
+            body: vec![
+                BodyItem::Atom(Atom::new("v", vec![Term::var("X")])),
+                BodyItem::Atom(Atom::new("v", vec![Term::var("Y")])),
+                BodyItem::Compare {
+                    lhs: Term::var("X"),
+                    op: BinOp::Ne,
+                    rhs: Term::var("Y"),
+                },
+            ],
+        });
+        evaluate(&prog, &mut facts);
+        assert_eq!(facts.count("pair"), 2);
+    }
+
+    #[test]
+    fn arity_mismatch_never_unifies() {
+        let mut facts = FactStore::new();
+        facts.insert("p", vec!["a".into()]);
+        let mut prog = Program::new();
+        prog.push(Rule {
+            head: Atom::new("q", vec![Term::var("X")]),
+            body: vec![BodyItem::Atom(Atom::new(
+                "p",
+                vec![Term::var("X"), Term::var("Y")],
+            ))],
+        });
+        evaluate(&prog, &mut facts);
+        assert_eq!(facts.count("q"), 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Datalog terms, atoms, rules, and programs.
+
+use gql_core::{BinOp, Value};
+use std::fmt;
+
+/// A term: a variable or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A logic variable (`V2`, `Temp`).
+    Var(String),
+    /// A constant value (`'G.v1'`, `2006`).
+    Const(Value),
+}
+
+impl Term {
+    /// Variable constructor.
+    pub fn var(s: impl Into<String>) -> Term {
+        Term::Var(s.into())
+    }
+
+    /// Constant constructor.
+    pub fn val(v: impl Into<Value>) -> Term {
+        Term::Const(v.into())
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A predicate atom `pred(t1, ..., tk)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atom {
+    /// Predicate symbol.
+    pub pred: String,
+    /// Argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Constructor.
+    pub fn new(pred: impl Into<String>, terms: Vec<Term>) -> Atom {
+        Atom {
+            pred: pred.into(),
+            terms,
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A body literal: a positive atom or a built-in comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BodyItem {
+    /// Positive atom to join against the fact store.
+    Atom(Atom),
+    /// Built-in comparison (`Temp > 2000`, `V1 != V2`). Both sides must
+    /// be bound by earlier atoms when evaluated.
+    Compare {
+        /// Left term.
+        lhs: Term,
+        /// Operator (comparison subset of [`BinOp`]).
+        op: BinOp,
+        /// Right term.
+        rhs: Term,
+    },
+}
+
+impl fmt::Display for BodyItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BodyItem::Atom(a) => write!(f, "{a}"),
+            BodyItem::Compare { lhs, op, rhs } => write!(f, "{lhs} {op} {rhs}"),
+        }
+    }
+}
+
+/// A Horn rule `head :- body`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Head atom.
+    pub head: Atom,
+    /// Body literals.
+    pub body: Vec<BodyItem>,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :- ", self.head)?;
+        for (i, b) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        write!(f, ".")
+    }
+}
+
+/// A Datalog program: a set of rules.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// The rules.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Adds a rule.
+    pub fn push(&mut self, r: Rule) {
+        self.rules.push(r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let r = Rule {
+            head: Atom::new("Pattern", vec![Term::var("P"), Term::var("V2")]),
+            body: vec![
+                BodyItem::Atom(Atom::new("graph", vec![Term::var("P")])),
+                BodyItem::Compare {
+                    lhs: Term::var("Temp"),
+                    op: BinOp::Gt,
+                    rhs: Term::val(2000),
+                },
+            ],
+        };
+        assert_eq!(
+            r.to_string(),
+            "Pattern(P, V2) :- graph(P), Temp > 2000."
+        );
+    }
+}

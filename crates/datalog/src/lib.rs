@@ -1,0 +1,23 @@
+//! # gql-datalog — Datalog substrate for the expressiveness results
+//!
+//! §3.5 of *"Graphs-at-a-time"* proves GraphQL ⊆ Datalog by translating
+//! graphs into facts (Figure 4.14) and patterns into rules
+//! (Figure 4.15). This crate makes that proof executable:
+//!
+//! - [`lang`]: terms, atoms, rules, programs;
+//! - [`eval`]: bottom-up semi-naive evaluation to fixpoint, with
+//!   comparison built-ins;
+//! - [`translate`]: the two translations, tested for agreement with the
+//!   optimized matcher in `gql-match`.
+
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod lang;
+pub mod parse;
+pub mod translate;
+
+pub use eval::{evaluate, FactStore};
+pub use parse::{parse_datalog, DatalogParseError};
+pub use lang::{Atom, BodyItem, Program, Rule, Term};
+pub use translate::{graph_to_facts, pattern_to_program, pattern_to_rule};

@@ -1,0 +1,354 @@
+//! A small text syntax for Datalog programs and facts.
+//!
+//! ```text
+//! path(X, Y) :- edge(X, Y).
+//! path(X, Z) :- path(X, Y), edge(Y, Z), X != Z.
+//! edge('a', 'b').
+//! big(X) :- n(X), X > 3.
+//! ```
+//!
+//! Conventions: identifiers starting with an uppercase letter are
+//! variables; quoted strings and numbers are constants; lowercase bare
+//! identifiers are string constants (Prolog style). `%` starts a
+//! comment.
+
+use crate::eval::FactStore;
+use crate::lang::{Atom, BodyItem, Program, Rule, Term};
+use gql_core::{BinOp, Value};
+use std::fmt;
+
+/// Parse error with position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatalogParseError {
+    /// Message.
+    pub message: String,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for DatalogParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "datalog parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for DatalogParseError {}
+
+type Result<T> = std::result::Result<T, DatalogParseError>;
+
+struct P<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err<T>(&self, m: impl Into<String>) -> Result<T> {
+        Err(DatalogParseError {
+            message: m.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.pos < self.src.len() && self.src[self.pos] == b'%' {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<()> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            self.err(format!("expected {:?}", c as char))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return self.err("expected identifier");
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ascii")
+            .to_string())
+    }
+
+    fn term(&mut self) -> Result<Term> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'\'') | Some(b'"') => {
+                let quote = self.src[self.pos];
+                self.pos += 1;
+                let start = self.pos;
+                while self.peek().is_some_and(|c| c != quote) {
+                    self.pos += 1;
+                }
+                if self.peek().is_none() {
+                    return self.err("unterminated string");
+                }
+                let s = std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| DatalogParseError {
+                        message: "invalid utf8 in string".into(),
+                        offset: start,
+                    })?
+                    .to_string();
+                self.pos += 1;
+                Ok(Term::Const(Value::Str(s)))
+            }
+            Some(c) if c.is_ascii_digit() || c == b'-' => {
+                let start = self.pos;
+                self.pos += 1;
+                let mut float = false;
+                loop {
+                    match self.peek() {
+                        Some(c) if c.is_ascii_digit() => self.pos += 1,
+                        // A dot is a decimal point only when a digit
+                        // follows; otherwise it terminates the clause.
+                        Some(b'.')
+                            if !float
+                                && self
+                                    .src
+                                    .get(self.pos + 1)
+                                    .is_some_and(u8::is_ascii_digit) =>
+                        {
+                            float = true;
+                            self.pos += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+                if float {
+                    text.parse::<f64>()
+                        .map(|f| Term::Const(Value::Float(f)))
+                        .or_else(|e| self.err(format!("bad float {text:?}: {e}")))
+                } else {
+                    text.parse::<i64>()
+                        .map(|i| Term::Const(Value::Int(i)))
+                        .or_else(|e| self.err(format!("bad int {text:?}: {e}")))
+                }
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let name = self.ident()?;
+                if name.as_bytes()[0].is_ascii_uppercase() || name.starts_with('_') {
+                    Ok(Term::Var(name))
+                } else {
+                    Ok(Term::Const(Value::Str(name)))
+                }
+            }
+            _ => self.err("expected term"),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom> {
+        self.skip_ws();
+        let pred = self.ident()?;
+        self.skip_ws();
+        self.expect(b'(')?;
+        let mut terms = Vec::new();
+        self.skip_ws();
+        if !self.eat(b')') {
+            loop {
+                terms.push(self.term()?);
+                self.skip_ws();
+                if self.eat(b')') {
+                    break;
+                }
+                self.expect(b',')?;
+            }
+        }
+        Ok(Atom::new(pred, terms))
+    }
+
+    fn body_item(&mut self) -> Result<BodyItem> {
+        self.skip_ws();
+        // Look ahead: `term OP term` (comparison) vs `ident(` (atom).
+        let save = self.pos;
+        if let Ok(name) = self.ident() {
+            self.skip_ws();
+            if self.peek() == Some(b'(') {
+                self.pos = save;
+                return Ok(BodyItem::Atom(self.atom()?));
+            }
+            self.pos = save;
+            let _ = name;
+        } else {
+            self.pos = save;
+        }
+        // Comparison.
+        let lhs = self.term()?;
+        self.skip_ws();
+        let op = if self.eat(b'!') {
+            self.expect(b'=')?;
+            BinOp::Ne
+        } else if self.eat(b'=') {
+            self.eat(b'='); // accept = and ==
+            BinOp::Eq
+        } else if self.eat(b'<') {
+            if self.eat(b'=') {
+                BinOp::Le
+            } else if self.eat(b'>') {
+                BinOp::Ne
+            } else {
+                BinOp::Lt
+            }
+        } else if self.eat(b'>') {
+            if self.eat(b'=') {
+                BinOp::Ge
+            } else {
+                BinOp::Gt
+            }
+        } else {
+            return self.err("expected comparison operator");
+        };
+        let rhs = self.term()?;
+        Ok(BodyItem::Compare { lhs, op, rhs })
+    }
+}
+
+/// Parses a program: rules and ground facts. Facts go into the returned
+/// [`FactStore`]; rules into the [`Program`].
+pub fn parse_datalog(src: &str) -> Result<(Program, FactStore)> {
+    let mut p = P {
+        src: src.as_bytes(),
+        pos: 0,
+    };
+    let mut program = Program::new();
+    let mut facts = FactStore::new();
+    loop {
+        p.skip_ws();
+        if p.peek().is_none() {
+            return Ok((program, facts));
+        }
+        let head = p.atom()?;
+        p.skip_ws();
+        if p.eat(b'.') {
+            // Ground fact.
+            let tuple: Option<Vec<Value>> = head
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(v) => Some(v.clone()),
+                    Term::Var(_) => None,
+                })
+                .collect();
+            match tuple {
+                Some(t) => {
+                    facts.insert(head.pred, t);
+                }
+                None => return p.err("facts must be ground (no variables)"),
+            }
+            continue;
+        }
+        p.expect(b':')?;
+        p.expect(b'-')?;
+        let mut body = vec![p.body_item()?];
+        loop {
+            p.skip_ws();
+            if p.eat(b'.') {
+                break;
+            }
+            p.expect(b',')?;
+            body.push(p.body_item()?);
+        }
+        program.push(Rule { head, body });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+
+    #[test]
+    fn parses_and_evaluates_transitive_closure() {
+        let (prog, mut facts) = parse_datalog(
+            r#"
+            % a chain
+            edge(a, b). edge(b, c). edge(c, d).
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- path(X, Y), edge(Y, Z).
+            "#,
+        )
+        .unwrap();
+        assert_eq!(prog.rules.len(), 2);
+        evaluate(&prog, &mut facts);
+        assert_eq!(facts.count("path"), 6);
+    }
+
+    #[test]
+    fn comparisons_and_numbers() {
+        let (prog, mut facts) = parse_datalog(
+            r#"
+            n(1). n(5). n(9).
+            big(X) :- n(X), X > 3.
+            pair(X, Y) :- n(X), n(Y), X != Y, X < Y.
+            "#,
+        )
+        .unwrap();
+        evaluate(&prog, &mut facts);
+        assert_eq!(facts.count("big"), 2);
+        assert_eq!(facts.count("pair"), 3);
+    }
+
+    #[test]
+    fn quoted_constants_and_zero_arity() {
+        let (prog, mut facts) = parse_datalog(
+            r#"
+            label('G.v1', "A").
+            ok() :- label(X, 'A').
+            "#,
+        )
+        .unwrap();
+        evaluate(&prog, &mut facts);
+        assert_eq!(facts.count("ok"), 1);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_datalog("p(X).").is_err(), "non-ground fact");
+        assert!(parse_datalog("p(a) :- q(b)").is_err(), "missing period");
+        assert!(parse_datalog("p(a :- q(b).").is_err());
+        assert!(parse_datalog("p(a) :- X ? Y.").is_err());
+        let e = parse_datalog("p('unterminated).").unwrap_err();
+        assert!(e.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn float_terms() {
+        let (prog, mut facts) = parse_datalog(
+            "m(1.5). m(2.5). big(X) :- m(X), X >= 2.0.",
+        )
+        .unwrap();
+        evaluate(&prog, &mut facts);
+        assert_eq!(facts.count("big"), 1);
+    }
+}

@@ -1,0 +1,326 @@
+//! The GraphQL → Datalog translations of §3.5 (Figures 4.14 and 4.15),
+//! backing Theorem 4.6 (GraphQL ⊆ Datalog).
+
+use crate::eval::FactStore;
+use crate::lang::{Atom, BodyItem, Program, Rule, Term};
+use gql_core::{BinOp, Graph, Value};
+use gql_match::{Expr, Pattern};
+
+/// Entity id for node `i` of graph `gname`: `"G.v0"` style.
+fn node_id(gname: &str, i: u32) -> Value {
+    Value::Str(format!("{gname}.v{i}"))
+}
+
+/// Entity id for edge `i`.
+fn edge_id(gname: &str, i: u32) -> Value {
+    Value::Str(format!("{gname}.e{i}"))
+}
+
+/// Translates a graph into facts (Figure 4.14):
+/// `graph('G')`, `node('G','G.v1')`, `edge('G','G.e1','G.v1','G.v2')`
+/// (written twice for undirected graphs), and
+/// `attribute(entity, name, value)` for every attribute of the graph,
+/// its nodes, and its edges (the figure shows graph attributes; nodes
+/// and edges are translated uniformly).
+pub fn graph_to_facts(g: &Graph, facts: &mut FactStore) -> String {
+    let gname = g.name.clone().unwrap_or_else(|| "G".to_string());
+    let gval = Value::Str(gname.clone());
+    facts.insert("graph", vec![gval.clone()]);
+    for (n, v) in g.attrs.iter() {
+        facts.insert("attribute", vec![gval.clone(), n.into(), v.clone()]);
+    }
+    if let Some(tag) = g.attrs.tag() {
+        facts.insert("tag", vec![gval.clone(), tag.into()]);
+    }
+    for (id, node) in g.nodes() {
+        let nid = node_id(&gname, id.0);
+        facts.insert("node", vec![gval.clone(), nid.clone()]);
+        for (n, v) in node.attrs.iter() {
+            facts.insert("attribute", vec![nid.clone(), n.into(), v.clone()]);
+        }
+        if let Some(tag) = node.attrs.tag() {
+            facts.insert("tag", vec![nid.clone(), tag.into()]);
+        }
+    }
+    for (id, e) in g.edges() {
+        let eid = edge_id(&gname, id.0);
+        let (s, d) = (node_id(&gname, e.src.0), node_id(&gname, e.dst.0));
+        facts.insert(
+            "edge",
+            vec![gval.clone(), eid.clone(), s.clone(), d.clone()],
+        );
+        if !g.is_directed() {
+            // "For undirected graphs, we need to write an edge twice to
+            // permute its end nodes."
+            facts.insert("edge", vec![gval.clone(), eid.clone(), d, s]);
+        }
+        for (n, v) in e.attrs.iter() {
+            facts.insert("attribute", vec![eid.clone(), n.into(), v.clone()]);
+        }
+    }
+    gname
+}
+
+/// Translates a compiled pattern into a rule (Figure 4.15). The head is
+/// `match(P, V0, ..., Vk)`; the body joins `graph`/`node`/`edge` atoms,
+/// adds `attribute` atoms + comparisons for the predicates, pairwise
+/// `!=` for injectivity (subgraph isomorphism is injective,
+/// Definition 4.2), and tuple-constraint atoms for motif attributes.
+pub fn pattern_to_rule(p: &Pattern, head_pred: &str) -> Rule {
+    let gvar = Term::var("P");
+    let node_var = |i: usize| Term::var(format!("V{i}"));
+    let edge_var = |i: usize| Term::var(format!("E{i}"));
+
+    let mut body = vec![BodyItem::Atom(Atom::new("graph", vec![gvar.clone()]))];
+    let mut fresh = 0usize;
+
+    for (i, (_, n)) in p.graph.nodes().enumerate() {
+        body.push(BodyItem::Atom(Atom::new(
+            "node",
+            vec![gvar.clone(), node_var(i)],
+        )));
+        // Motif tuple constraints: attribute(Vi, 'name', const).
+        for (name, v) in n.attrs.iter() {
+            body.push(BodyItem::Atom(Atom::new(
+                "attribute",
+                vec![node_var(i), Term::val(name), Term::Const(v.clone())],
+            )));
+        }
+        if let Some(tag) = n.attrs.tag() {
+            body.push(BodyItem::Atom(Atom::new(
+                "tag",
+                vec![node_var(i), Term::val(tag)],
+            )));
+        }
+    }
+    for (j, (_, e)) in p.graph.edges().enumerate() {
+        body.push(BodyItem::Atom(Atom::new(
+            "edge",
+            vec![
+                gvar.clone(),
+                edge_var(j),
+                node_var(e.src.index()),
+                node_var(e.dst.index()),
+            ],
+        )));
+        for (name, v) in e.attrs.iter() {
+            body.push(BodyItem::Atom(Atom::new(
+                "attribute",
+                vec![edge_var(j), Term::val(name), Term::Const(v.clone())],
+            )));
+        }
+    }
+    // Injectivity.
+    let k = p.graph.node_count();
+    for i in 0..k {
+        for j in (i + 1)..k {
+            body.push(BodyItem::Compare {
+                lhs: node_var(i),
+                op: BinOp::Ne,
+                rhs: node_var(j),
+            });
+        }
+    }
+    // Predicates: node, edge, and global conjuncts.
+    let all_preds = p
+        .node_preds
+        .iter()
+        .flatten()
+        .chain(p.edge_preds.iter().flatten())
+        .chain(p.global_preds.iter());
+    for pred in all_preds {
+        translate_pred(pred, &gvar, &mut body, &mut fresh);
+    }
+
+    let mut head_terms = vec![gvar];
+    head_terms.extend((0..k).map(node_var));
+    Rule {
+        head: Atom::new(head_pred, head_terms),
+        body,
+    }
+}
+
+/// Translates a comparison predicate into `attribute` joins + a built-in
+/// comparison, following Figure 4.15's
+/// `attribute(P, 'attr1', Temp), Temp > value1` scheme. Conjunctions
+/// split; other connectives (disjunction) would need multiple rules and
+/// are rejected by `try_translate` (see [`pattern_to_program`]).
+fn translate_pred(e: &Expr, gvar: &Term, body: &mut Vec<BodyItem>, fresh: &mut usize) {
+    if let Expr::Binary {
+        op: BinOp::And,
+        lhs,
+        rhs,
+    } = e
+    {
+        translate_pred(lhs, gvar, body, fresh);
+        translate_pred(rhs, gvar, body, fresh);
+        return;
+    }
+    if let Expr::Binary { op, lhs, rhs } = e {
+        if matches!(
+            op,
+            BinOp::Eq | BinOp::Ne | BinOp::Gt | BinOp::Ge | BinOp::Lt | BinOp::Le
+        ) {
+            let l = operand_term(lhs, gvar, body, fresh);
+            let r = operand_term(rhs, gvar, body, fresh);
+            if let (Some(l), Some(r)) = (l, r) {
+                body.push(BodyItem::Compare {
+                    lhs: l,
+                    op: *op,
+                    rhs: r,
+                });
+                return;
+            }
+        }
+    }
+    // Unsupported shape: make the rule never fire rather than silently
+    // over-approximate.
+    body.push(BodyItem::Compare {
+        lhs: Term::val(0),
+        op: BinOp::Ne,
+        rhs: Term::val(0),
+    });
+}
+
+fn operand_term(
+    e: &Expr,
+    gvar: &Term,
+    body: &mut Vec<BodyItem>,
+    fresh: &mut usize,
+) -> Option<Term> {
+    match e {
+        Expr::Literal(v) => Some(Term::Const(v.clone())),
+        Expr::NodeAttr { node, attr } => {
+            *fresh += 1;
+            let t = Term::var(format!("T{fresh}"));
+            body.push(BodyItem::Atom(Atom::new(
+                "attribute",
+                vec![Term::var(format!("V{node}")), Term::val(attr.as_str()), t.clone()],
+            )));
+            Some(t)
+        }
+        Expr::EdgeAttr { edge, attr } => {
+            *fresh += 1;
+            let t = Term::var(format!("T{fresh}"));
+            body.push(BodyItem::Atom(Atom::new(
+                "attribute",
+                vec![Term::var(format!("E{edge}")), Term::val(attr.as_str()), t.clone()],
+            )));
+            Some(t)
+        }
+        Expr::GraphAttr { attr } => {
+            *fresh += 1;
+            let t = Term::var(format!("T{fresh}"));
+            body.push(BodyItem::Atom(Atom::new(
+                "attribute",
+                vec![gvar.clone(), Term::val(attr.as_str()), t.clone()],
+            )));
+            Some(t)
+        }
+        Expr::Binary { .. } => None,
+    }
+}
+
+/// Builds a one-rule program for the pattern with head predicate
+/// `match`.
+pub fn pattern_to_program(p: &Pattern) -> Program {
+    let mut prog = Program::new();
+    prog.push(pattern_to_rule(p, "match"));
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use gql_core::fixtures::{figure_4_16_graph, figure_4_16_pattern, figure_4_7_paper};
+    use gql_match::{match_pattern, GraphIndex, MatchOptions};
+
+    fn datalog_match_count(g: &Graph, p: &Pattern) -> usize {
+        let mut facts = FactStore::new();
+        graph_to_facts(g, &mut facts);
+        let prog = pattern_to_program(p);
+        evaluate(&prog, &mut facts);
+        facts.count("match")
+    }
+
+    fn matcher_count(g: &Graph, p: &Pattern) -> usize {
+        let idx = GraphIndex::build(g);
+        match_pattern(p, g, &idx, &MatchOptions::baseline())
+            .mappings
+            .len()
+    }
+
+    #[test]
+    fn figure_4_14_fact_shapes() {
+        let g = figure_4_7_paper();
+        let mut facts = FactStore::new();
+        let name = graph_to_facts(&g, &mut facts);
+        assert_eq!(name, "G");
+        assert_eq!(facts.count("graph"), 1);
+        assert_eq!(facts.count("node"), 3);
+        assert_eq!(facts.count("edge"), 0);
+        assert!(facts.contains(
+            "attribute",
+            &["G.v0".into(), "title".into(), "Title1".into()]
+        ));
+        assert!(facts.contains("tag", &["G".into(), "inproceedings".into()]));
+        assert!(facts.contains("tag", &["G.v1".into(), "author".into()]));
+    }
+
+    #[test]
+    fn undirected_edges_written_twice() {
+        let (g, _) = figure_4_16_graph();
+        let mut facts = FactStore::new();
+        graph_to_facts(&g, &mut facts);
+        assert_eq!(facts.count("edge"), 12);
+    }
+
+    #[test]
+    fn triangle_pattern_agrees_with_matcher() {
+        let (g, _) = figure_4_16_graph();
+        let p = Pattern::structural(figure_4_16_pattern());
+        assert_eq!(datalog_match_count(&g, &p), matcher_count(&g, &p));
+        assert_eq!(datalog_match_count(&g, &p), 1);
+    }
+
+    #[test]
+    fn predicate_pattern_agrees_with_matcher() {
+        use gql_match::Expr;
+        let g = figure_4_7_paper();
+        let mut motif = Graph::new();
+        motif.add_node(gql_core::Tuple::new());
+        let p = Pattern::new(
+            motif,
+            vec![Expr::binary(
+                BinOp::Gt,
+                Expr::node_attr(0, "year"),
+                Expr::Literal(2000.into()),
+            )],
+        );
+        assert_eq!(datalog_match_count(&g, &p), 1);
+        assert_eq!(datalog_match_count(&g, &p), matcher_count(&g, &p));
+    }
+
+    #[test]
+    fn unlabeled_edge_pattern_counts_ordered_mappings() {
+        let (g, _) = figure_4_16_graph();
+        let mut motif = Graph::new();
+        let a = motif.add_node(gql_core::Tuple::new());
+        let b = motif.add_node(gql_core::Tuple::new());
+        motif.add_edge(a, b, gql_core::Tuple::new()).unwrap();
+        let p = Pattern::structural(motif);
+        assert_eq!(datalog_match_count(&g, &p), 12);
+        assert_eq!(matcher_count(&g, &p), 12);
+    }
+
+    #[test]
+    fn figure_4_15_rule_rendering() {
+        let p = Pattern::structural(figure_4_16_pattern());
+        let rule = pattern_to_rule(&p, "Pattern");
+        let s = rule.to_string();
+        assert!(s.starts_with("Pattern(P, V0, V1, V2) :- graph(P)"), "{s}");
+        assert!(s.contains("edge(P, E0, V0, V1)"), "{s}");
+        assert!(s.contains("V0 != V1"), "{s}");
+    }
+}

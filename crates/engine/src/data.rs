@@ -1,0 +1,107 @@
+//! Loading *data* graphs from GraphQL text.
+//!
+//! The paper uses the same concrete syntax for data graphs and patterns
+//! (Figure 4.3 declares graph `G1`, Figure 4.7 the attributed paper
+//! graph). A data graph is a pattern without predicates, so loading is
+//! compilation minus `where` clauses.
+
+use crate::error::{EngineError, Result};
+use gql_algebra::{compile_pattern, AlgebraError, PatternRegistry};
+use gql_core::{Graph, GraphCollection};
+use gql_parser::ast::Statement;
+use gql_parser::parse_program;
+
+/// Parses a program consisting of graph declarations and returns them
+/// as a collection (in source order). `where` clauses are rejected:
+/// data carries attributes, not constraints.
+pub fn collection_from_text(src: &str) -> Result<GraphCollection> {
+    let program = parse_program(src)?;
+    let mut registry = PatternRegistry::default();
+    let mut out = GraphCollection::new();
+    for stmt in &program.statements {
+        let Statement::Pattern(p) = stmt else {
+            return Err(EngineError::Algebra(AlgebraError::Eval {
+                message: "data files may only contain graph declarations".into(),
+            }));
+        };
+        if p.where_clause.is_some() {
+            return Err(EngineError::Algebra(AlgebraError::Eval {
+                message: format!(
+                    "graph {:?} has a `where` clause; data graphs carry attributes, not predicates",
+                    p.name.as_deref().unwrap_or("<anonymous>")
+                ),
+            }));
+        }
+        let compiled = compile_pattern(p, &registry)?;
+        if !compiled.pattern.node_preds.iter().all(Vec::is_empty)
+            || !compiled.pattern.global_preds.is_empty()
+        {
+            return Err(EngineError::Algebra(AlgebraError::Eval {
+                message: "data graphs cannot contain predicates".into(),
+            }));
+        }
+        if let Some(name) = &p.name {
+            registry.insert(name.clone(), p.clone());
+        }
+        out.push(compiled.pattern.graph);
+    }
+    Ok(out)
+}
+
+/// Parses exactly one data graph.
+pub fn graph_from_text(src: &str) -> Result<Graph> {
+    let c = collection_from_text(src)?;
+    match c.len() {
+        1 => Ok(c.into_vec().pop().expect("len checked")),
+        n => Err(EngineError::Algebra(AlgebraError::Eval {
+            message: format!("expected exactly one graph declaration, found {n}"),
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gql_core::Value;
+
+    #[test]
+    fn loads_figure_4_7_as_data() {
+        let g = graph_from_text(
+            r#"graph G <inproceedings> {
+                node v1 <title="Title1", year=2006>;
+                node v2 <author name="A">;
+                node v3 <author name="B">;
+            };"#,
+        )
+        .unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.attrs.tag(), Some("inproceedings"));
+        assert_eq!(
+            g.node_by_name("v2")
+                .and_then(|v| g.node(v).attrs.get("name").cloned()),
+            Some(Value::Str("A".into()))
+        );
+    }
+
+    #[test]
+    fn loads_multiple_graphs_with_composition() {
+        let c = collection_from_text(
+            r#"
+            graph G1 { node v1, v2, v3; edge e1 (v1, v2); edge e2 (v2, v3); edge e3 (v3, v1); };
+            graph G2 { graph G1 as X; graph G1 as Y; edge e4 (X.v1, Y.v1); };
+            "#,
+        )
+        .unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1).unwrap().node_count(), 6);
+        assert_eq!(c.get(1).unwrap().edge_count(), 7);
+    }
+
+    #[test]
+    fn rejects_predicates_and_non_graphs() {
+        assert!(collection_from_text(r#"graph G { node v where name="A"; };"#).is_err());
+        assert!(collection_from_text(r#"graph G { node v; } where G.x = 1;"#).is_err());
+        assert!(collection_from_text("C := graph {};").is_err());
+        assert!(graph_from_text("graph A {}; graph B {};").is_err());
+    }
+}

@@ -1,0 +1,337 @@
+//! The graph database: named collections, declared patterns, graph
+//! variables, and program execution (§3.4's FLWR semantics).
+
+use crate::error::{EngineError, Result};
+use gql_algebra::{
+    compile_pattern, ops, CompiledPattern, PatternRegistry, TemplateEnv,
+};
+use gql_core::{Graph, GraphCollection};
+use gql_match::{MatchOptions, Pattern};
+use gql_parser::ast::{
+    FlwrAst, FlwrBody, GraphTemplateAst, PatternRef, Program, Statement,
+};
+use gql_parser::parse_program;
+use rustc_hash::FxHashMap;
+
+/// Result of executing a program: every `return` clause contributes one
+/// collection, in order.
+#[derive(Debug, Default)]
+pub struct ExecOutcome {
+    /// Collections produced by `return` templates (one entry per FLWR
+    /// statement with a `return` body; each entry has one graph per
+    /// match).
+    pub returned: Vec<GraphCollection>,
+}
+
+/// A GraphQL database: "one or more collections of graphs" (§3.1) plus
+/// the session state a program builds up (declared patterns and graph
+/// variables).
+#[derive(Default)]
+pub struct Database {
+    collections: FxHashMap<String, GraphCollection>,
+    registry: PatternRegistry,
+    compiled: FxHashMap<String, CompiledPattern>,
+    vars: FxHashMap<String, Graph>,
+    /// Matching options used by `for` clauses (the `exhaustive` keyword
+    /// still overrides the `exhaustive` field per query).
+    pub options: MatchOptions,
+}
+
+impl Database {
+    /// An empty database with default (optimized) matching options.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Registers a collection under `name` (the target of
+    /// `doc("name")`).
+    pub fn add_collection(&mut self, name: impl Into<String>, c: GraphCollection) {
+        self.collections.insert(name.into(), c);
+    }
+
+    /// Registers a single large graph as a one-graph collection.
+    pub fn add_graph(&mut self, name: impl Into<String>, g: Graph) {
+        self.collections
+            .insert(name.into(), GraphCollection::from_graph(g));
+    }
+
+    /// Looks up a collection.
+    pub fn collection(&self, name: &str) -> Option<&GraphCollection> {
+        self.collections.get(name)
+    }
+
+    /// The current value of a graph variable (e.g. the accumulator `C`
+    /// after running Figure 4.12).
+    pub fn var(&self, name: &str) -> Option<&Graph> {
+        self.vars.get(name)
+    }
+
+    /// Iterates over all defined graph variables (name, value).
+    pub fn vars(&self) -> impl Iterator<Item = (&str, &Graph)> {
+        self.vars.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// A previously declared, compiled pattern.
+    pub fn pattern(&self, name: &str) -> Option<&CompiledPattern> {
+        self.compiled.get(name)
+    }
+
+    /// Parses and executes a whole program.
+    pub fn execute(&mut self, src: &str) -> Result<ExecOutcome> {
+        let program = parse_program(src)?;
+        self.execute_program(&program)
+    }
+
+    /// Executes a parsed program.
+    pub fn execute_program(&mut self, program: &Program) -> Result<ExecOutcome> {
+        let mut outcome = ExecOutcome::default();
+        for stmt in &program.statements {
+            match stmt {
+                Statement::Pattern(p) => {
+                    let compiled = compile_pattern(p, &self.registry)?;
+                    if let Some(name) = &p.name {
+                        self.registry.insert(name.clone(), p.clone());
+                        self.compiled.insert(name.clone(), compiled);
+                    }
+                }
+                Statement::Assign { name, template } => {
+                    let env = self.template_env(None);
+                    let g = gql_algebra::instantiate(template, &env)?;
+                    self.vars.insert(name.clone(), g);
+                }
+                Statement::Flwr(f) => {
+                    if let Some(c) = self.eval_flwr(f)? {
+                        outcome.returned.push(c);
+                    }
+                }
+            }
+        }
+        Ok(outcome)
+    }
+
+    fn template_env<'a>(&'a self, param: Option<(&str, &'a gql_algebra::MatchedGraph)>) -> TemplateEnv<'a> {
+        let mut env = TemplateEnv::new();
+        for (k, v) in &self.vars {
+            env.vars.insert(k.clone(), v);
+        }
+        if let Some((name, m)) = param {
+            env.params.insert(name.to_string(), m);
+        }
+        env
+    }
+
+    fn eval_flwr(&mut self, f: &FlwrAst) -> Result<Option<GraphCollection>> {
+        // Resolve the pattern.
+        let (compiled, pname) = match &f.pattern {
+            PatternRef::Named(n) => (
+                self.compiled
+                    .get(n)
+                    .cloned()
+                    .ok_or_else(|| EngineError::UnknownPattern { name: n.clone() })?,
+                n.clone(),
+            ),
+            PatternRef::Inline(ast) => {
+                let c = compile_pattern(ast, &self.registry)?;
+                let name = ast.name.clone().unwrap_or_else(|| "P".to_string());
+                (c, name)
+            }
+        };
+
+        // Fold the FLWR `where` into the pattern's predicate set so it is
+        // pushed down and checked during matching.
+        let compiled = match &f.where_clause {
+            None => compiled,
+            Some(w) => {
+                let extra = gql_algebra::compile::resolve_pattern_expr(&compiled, w)?;
+                let mut preds = compiled.pattern.global_preds.clone();
+                for np in &compiled.pattern.node_preds {
+                    preds.extend(np.iter().cloned());
+                }
+                for ep in &compiled.pattern.edge_preds {
+                    preds.extend(ep.iter().cloned());
+                }
+                preds.push(extra);
+                CompiledPattern {
+                    pattern: Pattern::new(compiled.pattern.graph.clone(), preds),
+                    ..compiled
+                }
+            }
+        };
+
+        let collection = self
+            .collections
+            .get(&f.source)
+            .ok_or_else(|| EngineError::UnknownCollection {
+                name: f.source.clone(),
+            })?;
+
+        let mut opts = self.options.clone();
+        opts.exhaustive = f.exhaustive;
+        let matches = ops::select(&compiled, collection, &opts)?;
+
+        match &f.body {
+            FlwrBody::Return(template) => {
+                let mut out = GraphCollection::new();
+                for m in &matches {
+                    let env = self.template_env(Some((&pname, m)));
+                    out.push(gql_algebra::instantiate(template, &env)?);
+                }
+                Ok(Some(out))
+            }
+            FlwrBody::Let { name, template } => {
+                // Sequential accumulation (Figure 4.13): each iteration
+                // sees the variable state left by the previous one.
+                for m in &matches {
+                    let env = self.template_env(Some((&pname, m)));
+                    let g = gql_algebra::instantiate(template, &env)?;
+                    self.vars.insert(name.clone(), g);
+                }
+                // `let` over zero matches still defines the variable if a
+                // previous assignment did; otherwise leave it unset.
+                Ok(None)
+            }
+        }
+    }
+
+    /// Runs `template` once with no pattern parameter — public so callers
+    /// can instantiate ad-hoc templates against the database variables.
+    pub fn instantiate(&self, template: &GraphTemplateAst) -> Result<Graph> {
+        Ok(gql_algebra::instantiate(template, &self.template_env(None))?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gql_core::fixtures::{figure_4_13_dblp, figure_4_16_graph};
+    use gql_core::Value;
+
+    /// The paper's running example: Figure 4.12 executed over the
+    /// Figure 4.13 DBLP collection must produce the co-authorship graph
+    /// A–B, C–D, A–C, A–D (4 nodes, 4 edges... let's trace: pairs are
+    /// (A,B) in G1; (C,D), (C,A), (D,A) in G2 → edges A-B, C-D, C-A,
+    /// D-A → 4 nodes {A,B,C,D} and 4 edges).
+    #[test]
+    fn figure_4_12_coauthorship_end_to_end() {
+        let mut db = Database::new();
+        db.add_collection("DBLP", figure_4_13_dblp().into());
+        db.execute(
+            r#"
+            graph P {
+                node v1 <author>;
+                node v2 <author>;
+            } where P.booktitle="SIGMOD";
+            C := graph {};
+            for P exhaustive in doc("DBLP")
+            let C := graph {
+                graph C;
+                node P.v1, P.v2;
+                edge e1 (P.v1, P.v2);
+                unify P.v1, C.v1 where P.v1.name=C.v1.name;
+                unify P.v2, C.v2 where P.v2.name=C.v2.name;
+            };
+        "#,
+        )
+        .unwrap();
+        let c = db.var("C").expect("accumulator defined");
+        assert_eq!(c.node_count(), 4, "{c}");
+        assert_eq!(c.edge_count(), 4, "{c}");
+        let names: Vec<String> = c
+            .nodes()
+            .filter_map(|(_, n)| n.attrs.get("name").and_then(|v| v.as_str()).map(String::from))
+            .collect();
+        for expected in ["A", "B", "C", "D"] {
+            assert!(names.contains(&expected.to_string()), "{names:?}");
+        }
+        // A co-authored with B, C, D; B only with A.
+        let a = c
+            .nodes()
+            .find(|(_, n)| n.attrs.get("name") == Some(&Value::Str("A".into())))
+            .unwrap()
+            .0;
+        assert_eq!(c.degree(a), 3);
+    }
+
+    #[test]
+    fn return_body_yields_collection() {
+        let mut db = Database::new();
+        let (g, _) = figure_4_16_graph();
+        db.add_graph("G", g);
+        let out = db
+            .execute(
+                r#"
+                for graph Q {
+                    node a <label="A">;
+                    node b <label="B">;
+                    edge e (a, b);
+                } exhaustive in doc("G")
+                return graph { node n <who=Q.a.label>; };
+            "#,
+            )
+            .unwrap();
+        assert_eq!(out.returned.len(), 1);
+        assert_eq!(out.returned[0].len(), 2, "A1-B1 and A2-B2");
+    }
+
+    #[test]
+    fn non_exhaustive_for_takes_one_match_per_graph() {
+        let mut db = Database::new();
+        let (g, _) = figure_4_16_graph();
+        db.add_graph("G", g);
+        let out = db
+            .execute(
+                r#"
+                for graph Q { node a <label="B">; } in doc("G")
+                return graph { node n; };
+            "#,
+            )
+            .unwrap();
+        assert_eq!(out.returned[0].len(), 1);
+    }
+
+    #[test]
+    fn flwr_where_filters_matches() {
+        let mut db = Database::new();
+        db.add_collection("DBLP", figure_4_13_dblp().into());
+        let out = db
+            .execute(
+                r#"
+                for graph Q { node a <author>; } exhaustive in doc("DBLP")
+                where Q.a.name = "A"
+                return graph { node n <name=Q.a.name>; };
+            "#,
+            )
+            .unwrap();
+        assert_eq!(out.returned[0].len(), 2, "author A appears in G1 and G2");
+    }
+
+    #[test]
+    fn missing_references_error_cleanly() {
+        let mut db = Database::new();
+        assert!(matches!(
+            db.execute(r#"for P in doc("X") return graph {};"#),
+            Err(EngineError::UnknownPattern { .. })
+        ));
+        db.execute("graph P { node v; };").unwrap();
+        assert!(matches!(
+            db.execute(r#"for P in doc("X") return graph {};"#),
+            Err(EngineError::UnknownCollection { .. })
+        ));
+        assert!(matches!(
+            db.execute("graph {"),
+            Err(EngineError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn assignment_defines_variables() {
+        let mut db = Database::new();
+        db.execute("C := graph { node a <x=1>, b <x=2>; edge e (a, b); };")
+            .unwrap();
+        let c = db.var("C").unwrap();
+        assert_eq!(c.node_count(), 2);
+        assert_eq!(c.edge_count(), 1);
+        db.execute("D := C;").unwrap();
+        assert_eq!(db.var("D").unwrap().node_count(), 2);
+    }
+}

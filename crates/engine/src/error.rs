@@ -1,0 +1,54 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors from executing GraphQL programs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Lex/parse failure.
+    Parse(gql_parser::ParseError),
+    /// Compilation or operator failure.
+    Algebra(gql_algebra::AlgebraError),
+    /// `doc("name")` referenced an unregistered collection.
+    UnknownCollection {
+        /// The collection name.
+        name: String,
+    },
+    /// `for P in ...` referenced an undeclared pattern.
+    UnknownPattern {
+        /// The pattern name.
+        name: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "{e}"),
+            EngineError::Algebra(e) => write!(f, "{e}"),
+            EngineError::UnknownCollection { name } => {
+                write!(f, "unknown collection {name:?}; register it with Database::add_collection")
+            }
+            EngineError::UnknownPattern { name } => {
+                write!(f, "unknown pattern {name:?}; declare it before the FLWR expression")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<gql_parser::ParseError> for EngineError {
+    fn from(e: gql_parser::ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+
+impl From<gql_algebra::AlgebraError> for EngineError {
+    fn from(e: gql_algebra::AlgebraError) -> Self {
+        EngineError::Algebra(e)
+    }
+}
+
+/// Result alias for the engine crate.
+pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,0 +1,197 @@
+//! Maximum bipartite matching (Hopcroft–Karp) and semi-perfect matching
+//! tests for the refinement procedure of §4.3.
+//!
+//! "If the bipartite graph has a semi-perfect matching, i.e., all
+//! neighbors of u are matched, then u is level-l sub-isomorphic to v."
+//! The paper cites Hopcroft & Karp's O(E·√V) algorithm \[19].
+
+/// A bipartite graph between `left_n` left vertices and `right_n` right
+/// vertices, represented by left adjacency lists.
+#[derive(Debug, Clone)]
+pub struct Bipartite {
+    left_n: usize,
+    right_n: usize,
+    adj: Vec<Vec<u32>>,
+}
+
+impl Bipartite {
+    /// Creates an empty bipartite graph.
+    pub fn new(left_n: usize, right_n: usize) -> Self {
+        Bipartite {
+            left_n,
+            right_n,
+            adj: vec![Vec::new(); left_n],
+        }
+    }
+
+    /// Adds an edge `left → right`.
+    pub fn add_edge(&mut self, left: usize, right: usize) {
+        debug_assert!(left < self.left_n && right < self.right_n);
+        self.adj[left].push(right as u32);
+    }
+
+    /// Number of left vertices.
+    pub fn left_len(&self) -> usize {
+        self.left_n
+    }
+
+    /// Size of the maximum matching (Hopcroft–Karp).
+    pub fn max_matching(&self) -> usize {
+        const NIL: u32 = u32::MAX;
+        const INF: u32 = u32::MAX;
+        let (ln, rn) = (self.left_n, self.right_n);
+        if ln == 0 {
+            return 0;
+        }
+        let mut match_l = vec![NIL; ln];
+        let mut match_r = vec![NIL; rn];
+        let mut dist = vec![INF; ln];
+        let mut queue = std::collections::VecDeque::with_capacity(ln);
+        let mut result = 0usize;
+
+        loop {
+            // BFS: layer free left vertices.
+            queue.clear();
+            let mut found_augmenting = false;
+            for l in 0..ln {
+                if match_l[l] == NIL {
+                    dist[l] = 0;
+                    queue.push_back(l as u32);
+                } else {
+                    dist[l] = INF;
+                }
+            }
+            while let Some(l) = queue.pop_front() {
+                for &r in &self.adj[l as usize] {
+                    let ml = match_r[r as usize];
+                    if ml == NIL {
+                        found_augmenting = true;
+                    } else if dist[ml as usize] == INF {
+                        dist[ml as usize] = dist[l as usize] + 1;
+                        queue.push_back(ml);
+                    }
+                }
+            }
+            if !found_augmenting {
+                break;
+            }
+            // DFS augmentation along layered paths.
+            fn dfs(
+                l: usize,
+                adj: &[Vec<u32>],
+                match_l: &mut [u32],
+                match_r: &mut [u32],
+                dist: &mut [u32],
+            ) -> bool {
+                for i in 0..adj[l].len() {
+                    let r = adj[l][i] as usize;
+                    let ml = match_r[r];
+                    if ml == u32::MAX
+                        || (dist[ml as usize] == dist[l].wrapping_add(1)
+                            && dfs(ml as usize, adj, match_l, match_r, dist))
+                    {
+                        match_l[l] = r as u32;
+                        match_r[r] = l as u32;
+                        return true;
+                    }
+                }
+                dist[l] = u32::MAX;
+                false
+            }
+            for l in 0..ln {
+                if match_l[l] == NIL && dfs(l, &self.adj, &mut match_l, &mut match_r, &mut dist) {
+                    result += 1;
+                }
+            }
+        }
+        result
+    }
+
+    /// True iff a matching saturating *all left vertices* exists — the
+    /// paper's semi-perfect matching condition.
+    pub fn has_semi_perfect_matching(&self) -> bool {
+        if self.left_n == 0 {
+            return true;
+        }
+        // Quick reject: some left vertex has no candidates.
+        if self.adj.iter().any(|a| a.is_empty()) {
+            return false;
+        }
+        self.max_matching() == self.left_n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_left_is_trivially_saturated() {
+        let b = Bipartite::new(0, 3);
+        assert!(b.has_semi_perfect_matching());
+        assert_eq!(b.max_matching(), 0);
+    }
+
+    #[test]
+    fn isolated_left_vertex_fails() {
+        let mut b = Bipartite::new(2, 2);
+        b.add_edge(0, 0);
+        assert!(!b.has_semi_perfect_matching());
+        assert_eq!(b.max_matching(), 1);
+    }
+
+    #[test]
+    fn perfect_matching_on_cycle() {
+        // 3x3 "cycle" bipartite: each left i connects to right i, i+1.
+        let mut b = Bipartite::new(3, 3);
+        for i in 0..3 {
+            b.add_edge(i, i);
+            b.add_edge(i, (i + 1) % 3);
+        }
+        assert_eq!(b.max_matching(), 3);
+        assert!(b.has_semi_perfect_matching());
+    }
+
+    #[test]
+    fn contention_on_single_right_vertex() {
+        let mut b = Bipartite::new(2, 1);
+        b.add_edge(0, 0);
+        b.add_edge(1, 0);
+        assert_eq!(b.max_matching(), 1);
+        assert!(!b.has_semi_perfect_matching());
+    }
+
+    #[test]
+    fn augmenting_path_is_found() {
+        // l0-{r0}, l1-{r0,r1}: greedy could match l1-r0 first; HK must
+        // still find the perfect matching.
+        let mut b = Bipartite::new(2, 2);
+        b.add_edge(1, 0);
+        b.add_edge(1, 1);
+        b.add_edge(0, 0);
+        assert_eq!(b.max_matching(), 2);
+        assert!(b.has_semi_perfect_matching());
+    }
+
+    #[test]
+    fn semi_perfect_with_more_right_than_left() {
+        let mut b = Bipartite::new(2, 5);
+        b.add_edge(0, 3);
+        b.add_edge(1, 3);
+        b.add_edge(1, 4);
+        assert!(b.has_semi_perfect_matching());
+    }
+
+    #[test]
+    fn larger_random_structure() {
+        // Left i connects to right 2i and 2i+1: perfect by construction.
+        let n = 50;
+        let mut b = Bipartite::new(n, 2 * n);
+        for i in 0..n {
+            b.add_edge(i, 2 * i);
+            b.add_edge(i, 2 * i + 1);
+        }
+        assert_eq!(b.max_matching(), n);
+        assert!(b.has_semi_perfect_matching());
+    }
+}

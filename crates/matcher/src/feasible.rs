@@ -1,0 +1,209 @@
+//! Retrieval and local pruning of feasible mates (§4.2, Definition 4.8).
+//!
+//! `Φ(u) = { v ∈ V(G) | F_u(v) }`, optionally tightened by requiring the
+//! pattern node's radius-r neighborhood to be sub-isomorphic to the data
+//! node's (retrieve-by-subgraphs), or the cheaper profile-subsequence
+//! condition (retrieve-by-profiles). Figure 4.17 is reproduced in the
+//! tests.
+
+use crate::index::GraphIndex;
+use crate::pattern::Pattern;
+use gql_core::iso::subgraph_isomorphic_anchored;
+use gql_core::{neighborhood_subgraph, Graph, NodeId, Profile};
+
+/// Local pruning strategy for feasible-mate retrieval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LocalPruning {
+    /// Node attributes only (the baseline of Figure 4.17, top row).
+    #[default]
+    NodeAttributes,
+    /// Profiles of radius-r neighborhoods: multiset containment of label
+    /// sequences. Low overhead, good pruning.
+    Profiles {
+        /// Neighborhood radius (the paper stores radius-1).
+        radius: usize,
+    },
+    /// Full neighborhood subgraphs: anchored sub-isomorphism between
+    /// r-balls. Strongest local pruning, highest overhead.
+    Subgraphs {
+        /// Neighborhood radius.
+        radius: usize,
+    },
+}
+
+/// Computes feasible mates `Φ(u)` for every pattern node.
+///
+/// Retrieval is by indexed access when the pattern node constrains the
+/// `label` attribute ("indexed access to the node attributes, followed by
+/// pruning using neighborhood subgraphs or profiles"), else by a scan.
+pub fn feasible_mates(
+    pattern: &Pattern,
+    g: &Graph,
+    index: &GraphIndex,
+    pruning: LocalPruning,
+) -> Vec<Vec<NodeId>> {
+    let mut mates = Vec::with_capacity(pattern.node_count());
+    for u in pattern.graph.node_ids() {
+        // Indexed retrieval when the motif pins the label.
+        let base: Vec<NodeId> = match pattern.graph.node(u).attrs.get("label") {
+            Some(label) => index
+                .nodes_with_label(label)
+                .iter()
+                .copied()
+                .filter(|&v| pattern.node_feasible(u, g, v))
+                .collect(),
+            None => g
+                .node_ids()
+                .filter(|&v| pattern.node_feasible(u, g, v))
+                .collect(),
+        };
+        let pruned = match pruning {
+            LocalPruning::NodeAttributes => base,
+            LocalPruning::Profiles { radius } => {
+                let pu = Profile::of_neighborhood(&pattern.graph, u, radius);
+                base.into_iter()
+                    .filter(|&v| {
+                        let pv = if index.has_profiles() && index.radius() == radius {
+                            index.profile(v).clone()
+                        } else {
+                            Profile::of_neighborhood(g, v, radius)
+                        };
+                        pu.subsumed_by(&pv)
+                    })
+                    .collect()
+            }
+            LocalPruning::Subgraphs { radius } => {
+                let nu = neighborhood_subgraph(&pattern.graph, u, radius);
+                base.into_iter()
+                    .filter(|&v| {
+                        if index.has_neighborhoods() && index.radius() == radius {
+                            let nv = index.neighborhood(v);
+                            subgraph_isomorphic_anchored(
+                                &nu.graph,
+                                &nv.graph,
+                                (nu.center, nv.center),
+                            )
+                        } else {
+                            let nv = neighborhood_subgraph(g, v, radius);
+                            subgraph_isomorphic_anchored(
+                                &nu.graph,
+                                &nv.graph,
+                                (nu.center, nv.center),
+                            )
+                        }
+                    })
+                    .collect()
+            }
+        };
+        mates.push(pruned);
+    }
+    mates
+}
+
+/// Natural log of the search-space size `|Φ(u1)| × .. × |Φ(uk)|`
+/// (Definition 4.9), in log-space because Figures 4.20/4.22 report
+/// ratios down to 1e-40. Empty feasible sets yield `f64::NEG_INFINITY`.
+pub fn search_space_ln(mates: &[Vec<NodeId>]) -> f64 {
+    mates
+        .iter()
+        .map(|m| {
+            if m.is_empty() {
+                f64::NEG_INFINITY
+            } else {
+                (m.len() as f64).ln()
+            }
+        })
+        .sum()
+}
+
+/// The reduction ratio of Definition in §5.1:
+/// `(|Φ|...)/(|Φ0|...)` computed from the two log-space sizes.
+pub fn reduction_ratio(space_ln: f64, baseline_ln: f64) -> f64 {
+    if baseline_ln == f64::NEG_INFINITY {
+        return 1.0; // baseline already empty: nothing to reduce
+    }
+    (space_ln - baseline_ln).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gql_core::fixtures::{figure_4_16_graph, figure_4_16_pattern};
+
+    fn setup() -> (Pattern, Graph, GraphIndex) {
+        let (g, _) = figure_4_16_graph();
+        let p = Pattern::structural(figure_4_16_pattern());
+        let idx = GraphIndex::build_full(&g, 1);
+        (p, g, idx)
+    }
+
+    fn names(g: &Graph, vs: &[NodeId]) -> Vec<String> {
+        vs.iter()
+            .map(|&v| g.node(v).name.clone().unwrap())
+            .collect()
+    }
+
+    /// Figure 4.17, top: retrieve by nodes gives
+    /// {A1,A2} × {B1,B2} × {C1,C2}.
+    #[test]
+    fn retrieve_by_node_attributes() {
+        let (p, g, idx) = setup();
+        let m = feasible_mates(&p, &g, &idx, LocalPruning::NodeAttributes);
+        assert_eq!(names(&g, &m[0]), ["A1", "A2"]);
+        assert_eq!(names(&g, &m[1]), ["B1", "B2"]);
+        assert_eq!(names(&g, &m[2]), ["C1", "C2"]);
+        assert!((search_space_ln(&m) - (8f64).ln()).abs() < 1e-12);
+    }
+
+    /// Figure 4.17, middle: retrieve by neighborhood subgraphs gives
+    /// {A1} × {B1} × {C2}.
+    #[test]
+    fn retrieve_by_subgraphs() {
+        let (p, g, idx) = setup();
+        let m = feasible_mates(&p, &g, &idx, LocalPruning::Subgraphs { radius: 1 });
+        assert_eq!(names(&g, &m[0]), ["A1"]);
+        assert_eq!(names(&g, &m[1]), ["B1"]);
+        assert_eq!(names(&g, &m[2]), ["C2"]);
+    }
+
+    /// Figure 4.17, bottom: retrieve by profiles gives
+    /// {A1} × {B1,B2} × {C2}.
+    #[test]
+    fn retrieve_by_profiles() {
+        let (p, g, idx) = setup();
+        let m = feasible_mates(&p, &g, &idx, LocalPruning::Profiles { radius: 1 });
+        assert_eq!(names(&g, &m[0]), ["A1"]);
+        assert_eq!(names(&g, &m[1]), ["B1", "B2"]);
+        assert_eq!(names(&g, &m[2]), ["C2"]);
+    }
+
+    /// Profiles computed on the fly (index without precomputation) agree
+    /// with the precomputed path.
+    #[test]
+    fn profile_pruning_without_precomputation() {
+        let (p, g, _) = setup();
+        let plain = GraphIndex::build(&g);
+        let m = feasible_mates(&p, &g, &plain, LocalPruning::Profiles { radius: 1 });
+        assert_eq!(names(&g, &m[0]), ["A1"]);
+        assert_eq!(names(&g, &m[1]), ["B1", "B2"]);
+        assert_eq!(names(&g, &m[2]), ["C2"]);
+    }
+
+    #[test]
+    fn reduction_ratio_matches_hand_computation() {
+        let (p, g, idx) = setup();
+        let base = feasible_mates(&p, &g, &idx, LocalPruning::NodeAttributes);
+        let prof = feasible_mates(&p, &g, &idx, LocalPruning::Profiles { radius: 1 });
+        let r = reduction_ratio(search_space_ln(&prof), search_space_ln(&base));
+        assert!((r - 2.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_space_is_neg_infinity() {
+        let (p, g, idx) = setup();
+        let mut m = feasible_mates(&p, &g, &idx, LocalPruning::NodeAttributes);
+        m[1].clear();
+        assert_eq!(search_space_ln(&m), f64::NEG_INFINITY);
+        assert_eq!(reduction_ratio(f64::NEG_INFINITY, f64::NEG_INFINITY), 1.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Data-graph indexes for feasible-mate retrieval (§4.2).
+//!
+//! "Node attributes can be indexed directly using traditional index
+//! structures such as B-trees. ... If the node attributes are selective
+//! ... one can index the node attributes using a B-tree or hashtable, and
+//! store the neighborhood subgraphs or profiles as well."
+
+use gql_core::{neighborhood_subgraph, Graph, GraphStats, NeighborhoodSubgraph, NodeId, Profile, Value};
+use rustc_hash::FxHashMap;
+
+/// Per-graph index: hashtable over the `label` attribute plus optional
+/// precomputed radius-`r` profiles and neighborhood subgraphs.
+#[derive(Debug, Default)]
+pub struct GraphIndex {
+    by_label: FxHashMap<Value, Vec<NodeId>>,
+    profiles: Vec<Profile>,
+    neighborhoods: Vec<NeighborhoodSubgraph>,
+    radius: usize,
+    stats: GraphStats,
+}
+
+impl GraphIndex {
+    /// Builds the label index and statistics only (no neighborhood data).
+    pub fn build(g: &Graph) -> Self {
+        Self::build_with_radius_inner(g, 0, false, false)
+    }
+
+    /// Builds the label index plus radius-`r` profiles (the practical
+    /// combination recommended by the paper's §5 summary).
+    pub fn build_with_profiles(g: &Graph, radius: usize) -> Self {
+        Self::build_with_radius_inner(g, radius, true, false)
+    }
+
+    /// Builds label index, profiles, *and* materialized neighborhood
+    /// subgraphs of radius `r` (heavier; used by retrieve-by-subgraphs).
+    pub fn build_full(g: &Graph, radius: usize) -> Self {
+        Self::build_with_radius_inner(g, radius, true, true)
+    }
+
+    fn build_with_radius_inner(g: &Graph, radius: usize, profiles: bool, subgraphs: bool) -> Self {
+        let mut by_label: FxHashMap<Value, Vec<NodeId>> = FxHashMap::default();
+        for (id, n) in g.nodes() {
+            if let Some(l) = n.attrs.get("label") {
+                by_label.entry(l.clone()).or_default().push(id);
+            }
+        }
+        let profiles = if profiles {
+            g.node_ids()
+                .map(|v| Profile::of_neighborhood(g, v, radius))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let neighborhoods = if subgraphs {
+            g.node_ids()
+                .map(|v| neighborhood_subgraph(g, v, radius))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        GraphIndex {
+            by_label,
+            profiles,
+            neighborhoods,
+            radius,
+            stats: GraphStats::collect(g),
+        }
+    }
+
+    /// Nodes carrying `label`, or an empty slice.
+    pub fn nodes_with_label(&self, label: &Value) -> &[NodeId] {
+        self.by_label.get(label).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Precomputed radius used for profiles/neighborhoods.
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Precomputed profile of `v` (panics if profiles were not built).
+    pub fn profile(&self, v: NodeId) -> &Profile {
+        &self.profiles[v.index()]
+    }
+
+    /// Whether profiles were materialized.
+    pub fn has_profiles(&self) -> bool {
+        !self.profiles.is_empty()
+    }
+
+    /// Precomputed neighborhood subgraph of `v` (panics if not built).
+    pub fn neighborhood(&self, v: NodeId) -> &NeighborhoodSubgraph {
+        &self.neighborhoods[v.index()]
+    }
+
+    /// Whether neighborhood subgraphs were materialized.
+    pub fn has_neighborhoods(&self) -> bool {
+        !self.neighborhoods.is_empty()
+    }
+
+    /// Label statistics for the cost model.
+    pub fn stats(&self) -> &GraphStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gql_core::fixtures::figure_4_16_graph;
+
+    #[test]
+    fn label_lookup() {
+        let (g, ids) = figure_4_16_graph();
+        let idx = GraphIndex::build(&g);
+        assert_eq!(idx.nodes_with_label(&"A".into()), &[ids[0], ids[1]]);
+        assert_eq!(idx.nodes_with_label(&"Z".into()), &[] as &[NodeId]);
+        assert!(!idx.has_profiles());
+        assert!(!idx.has_neighborhoods());
+        assert_eq!(idx.stats().distinct_labels(), 3);
+    }
+
+    #[test]
+    fn profiles_and_neighborhoods_materialize() {
+        let (g, ids) = figure_4_16_graph();
+        let idx = GraphIndex::build_full(&g, 1);
+        assert!(idx.has_profiles());
+        assert!(idx.has_neighborhoods());
+        assert_eq!(idx.radius(), 1);
+        // A2's r=1 profile is {A, B}.
+        assert_eq!(idx.profile(ids[1]).len(), 2);
+        // A1's r=1 neighborhood is the triangle.
+        assert_eq!(idx.neighborhood(ids[0]).graph.node_count(), 3);
+        assert_eq!(idx.neighborhood(ids[0]).graph.edge_count(), 3);
+    }
+}

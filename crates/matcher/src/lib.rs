@@ -1,0 +1,50 @@
+//! # gql-match — access methods for the selection operator
+//!
+//! Implements §4 of *"Graphs-at-a-time"* (He & Singh, SIGMOD 2008):
+//! graph pattern matching over large graphs, accelerated by
+//!
+//! 1. **local pruning** with neighborhood subgraphs and profiles
+//!    ([`feasible`], §4.2),
+//! 2. **joint reduction** of the whole search space by pseudo subgraph
+//!    isomorphism ([`refine`], Algorithm 4.2, §4.3), and
+//! 3. **search-order optimization** under a graph-specific cost model
+//!    ([`order`], §4.4).
+//!
+//! The entry point is [`match_pattern`], which runs the full pipeline
+//! with per-phase instrumentation; [`MatchOptions::baseline`] /
+//! [`MatchOptions::optimized`] correspond to the configurations compared
+//! in the paper's experiments.
+//!
+//! ```
+//! use gql_core::fixtures::{figure_4_16_graph, figure_4_16_pattern};
+//! use gql_match::{match_pattern, GraphIndex, MatchOptions, Pattern};
+//!
+//! let (g, _) = figure_4_16_graph();
+//! let pattern = Pattern::structural(figure_4_16_pattern());
+//! let index = GraphIndex::build_with_profiles(&g, 1);
+//! let report = match_pattern(&pattern, &g, &index, &MatchOptions::optimized());
+//! assert_eq!(report.mappings.len(), 1); // the single A-B-C triangle
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bipartite;
+pub mod expr;
+pub mod feasible;
+pub mod index;
+pub mod matcher;
+pub mod order;
+pub mod pattern;
+pub mod refine;
+pub mod search;
+
+pub use expr::{BinOp, EvalCtx, EvalResult, Expr};
+pub use feasible::{feasible_mates, reduction_ratio, search_space_ln, LocalPruning};
+pub use index::GraphIndex;
+pub use matcher::{
+    match_pattern, MatchOptions, MatchReport, RefineLevel, SpaceReport, StepTimings,
+};
+pub use order::{cost_of_order, optimize_order, GammaMode, SearchOrder};
+pub use pattern::Pattern;
+pub use refine::{refine_search_space, RefineStats};
+pub use search::{search, SearchConfig, SearchOutcome};

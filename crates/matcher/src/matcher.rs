@@ -1,0 +1,303 @@
+//! High-level graph pattern matching: the full pipeline of §4
+//! (retrieval → local pruning → global refinement → ordered search),
+//! with per-step instrumentation for the §5 experiments.
+
+use crate::feasible::{feasible_mates, search_space_ln, LocalPruning};
+use crate::index::GraphIndex;
+use crate::order::{optimize_order, GammaMode, SearchOrder};
+use crate::pattern::Pattern;
+use crate::refine::{refine_search_space, RefineStats};
+use crate::search::{search, SearchConfig, SearchOutcome};
+use gql_core::{EdgeId, Graph, NodeId};
+use std::time::{Duration, Instant};
+
+/// Global refinement setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefineLevel {
+    /// No refinement.
+    Off,
+    /// A fixed number of iterations.
+    Fixed(usize),
+    /// "The maximum refinement level ℓ is set as the size of the query"
+    /// (§5.1) — the paper's default.
+    #[default]
+    QuerySize,
+}
+
+/// Configuration of the matching pipeline. The defaults are the paper's
+/// recommended practical combination: "retrieval by profiles, followed by
+/// refinement, and then search with an optimized order."
+#[derive(Debug, Clone)]
+pub struct MatchOptions {
+    /// Local pruning strategy (§4.2).
+    pub pruning: LocalPruning,
+    /// Global refinement level (§4.3).
+    pub refine: RefineLevel,
+    /// Whether to run the §4.4 search-order optimizer (else declaration
+    /// order is used — the experiments' "search w/o opt. order").
+    pub optimize_order: bool,
+    /// γ estimation mode for the cost model.
+    pub gamma: GammaMode,
+    /// Return all mappings or just the first.
+    pub exhaustive: bool,
+    /// Cap on reported mappings (the paper kills >1000-hit queries).
+    pub max_matches: usize,
+    /// Wall-clock budget for the search phase.
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for MatchOptions {
+    fn default() -> Self {
+        MatchOptions {
+            pruning: LocalPruning::Profiles { radius: 1 },
+            refine: RefineLevel::QuerySize,
+            optimize_order: true,
+            gamma: GammaMode::default(),
+            exhaustive: true,
+            max_matches: usize::MAX,
+            time_limit: None,
+        }
+    }
+}
+
+impl MatchOptions {
+    /// The experiments' "Baseline": retrieval by node attributes, no
+    /// refinement, no order optimization.
+    pub fn baseline() -> Self {
+        MatchOptions {
+            pruning: LocalPruning::NodeAttributes,
+            refine: RefineLevel::Off,
+            optimize_order: false,
+            ..MatchOptions::default()
+        }
+    }
+
+    /// The experiments' "Optimized": profiles + refinement + ordering.
+    pub fn optimized() -> Self {
+        MatchOptions::default()
+    }
+}
+
+/// Wall-clock timings of the pipeline steps (Figure 4.21a / 4.22b).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepTimings {
+    /// Feasible-mate retrieval + local pruning.
+    pub retrieve: Duration,
+    /// Global refinement.
+    pub refine: Duration,
+    /// Search-order optimization.
+    pub order: Duration,
+    /// DFS search.
+    pub search: Duration,
+}
+
+impl StepTimings {
+    /// Total across all steps.
+    pub fn total(&self) -> Duration {
+        self.retrieve + self.refine + self.order + self.search
+    }
+}
+
+/// Search-space sizes (natural log) after each phase — the raw data for
+/// the reduction-ratio plots (Figures 4.20 / 4.22a).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpaceReport {
+    /// `ln` of the baseline space (retrieval by node attributes).
+    pub baseline_ln: f64,
+    /// `ln` after local pruning.
+    pub local_ln: f64,
+    /// `ln` after global refinement.
+    pub refined_ln: f64,
+}
+
+impl SpaceReport {
+    /// `log10` reduction ratio of the locally pruned space.
+    pub fn local_ratio_log10(&self) -> f64 {
+        (self.local_ln - self.baseline_ln) / std::f64::consts::LN_10
+    }
+
+    /// `log10` reduction ratio of the refined space.
+    pub fn refined_ratio_log10(&self) -> f64 {
+        (self.refined_ln - self.baseline_ln) / std::f64::consts::LN_10
+    }
+}
+
+/// Full result of a matching run.
+#[derive(Debug, Clone, Default)]
+pub struct MatchReport {
+    /// Node mappings (pattern node index → data node).
+    pub mappings: Vec<Vec<NodeId>>,
+    /// Edge bindings parallel to `mappings`.
+    pub edge_bindings: Vec<Vec<EdgeId>>,
+    /// Search-space accounting.
+    pub spaces: SpaceReport,
+    /// Step timings.
+    pub timings: StepTimings,
+    /// Refinement counters.
+    pub refine_stats: RefineStats,
+    /// The search order used.
+    pub order: Vec<usize>,
+    /// DFS extension attempts.
+    pub search_steps: u64,
+    /// True if the search hit its deadline.
+    pub timed_out: bool,
+}
+
+/// Runs the full §4 pipeline for `pattern` against `g`.
+///
+/// `index` must have been built from `g`; reuse it across queries (that
+/// is its point). See [`GraphIndex::build_with_profiles`].
+pub fn match_pattern(
+    pattern: &Pattern,
+    g: &Graph,
+    index: &GraphIndex,
+    opts: &MatchOptions,
+) -> MatchReport {
+    let mut report = MatchReport::default();
+
+    // Phase 1: feasible mates + local pruning (lines 1–4 of Alg. 4.1).
+    let t0 = Instant::now();
+    let mut mates = feasible_mates(pattern, g, index, opts.pruning);
+    report.timings.retrieve = t0.elapsed();
+    report.spaces.local_ln = search_space_ln(&mates);
+    // Baseline space for ratio reporting: recompute only if a different
+    // strategy was used (cheap — index lookup).
+    report.spaces.baseline_ln = if opts.pruning == LocalPruning::NodeAttributes {
+        report.spaces.local_ln
+    } else {
+        search_space_ln(&feasible_mates(
+            pattern,
+            g,
+            index,
+            LocalPruning::NodeAttributes,
+        ))
+    };
+
+    // Phase 2: joint reduction (§4.3).
+    let level = match opts.refine {
+        RefineLevel::Off => 0,
+        RefineLevel::Fixed(l) => l,
+        RefineLevel::QuerySize => pattern.node_count(),
+    };
+    let t1 = Instant::now();
+    if level > 0 {
+        report.refine_stats = refine_search_space(pattern, g, &mut mates, level);
+    }
+    report.timings.refine = t1.elapsed();
+    report.spaces.refined_ln = search_space_ln(&mates);
+
+    // Phase 3: search order (§4.4).
+    let t2 = Instant::now();
+    let order = if opts.optimize_order {
+        optimize_order(pattern, &mates, Some(index.stats()), opts.gamma)
+    } else {
+        SearchOrder {
+            order: (0..pattern.node_count()).collect(),
+            estimated_cost: 0.0,
+        }
+    };
+    report.timings.order = t2.elapsed();
+    report.order = order.order.clone();
+
+    // Phase 4: DFS search (Alg. 4.1 lines 7–26).
+    let cfg = SearchConfig {
+        exhaustive: opts.exhaustive,
+        max_matches: opts.max_matches,
+        deadline: opts.time_limit.map(|d| Instant::now() + d),
+    };
+    let t3 = Instant::now();
+    let SearchOutcome {
+        mappings,
+        edge_bindings,
+        steps,
+        timed_out,
+    } = search(pattern, g, &mates, &order.order, &cfg);
+    report.timings.search = t3.elapsed();
+    report.mappings = mappings;
+    report.edge_bindings = edge_bindings;
+    report.search_steps = steps;
+    report.timed_out = timed_out;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gql_core::fixtures::{figure_4_16_graph, figure_4_16_pattern, labeled_clique};
+    use gql_core::iso::find_embedding;
+
+    #[test]
+    fn optimized_and_baseline_agree_on_matches() {
+        let (g, ids) = figure_4_16_graph();
+        let p = Pattern::structural(figure_4_16_pattern());
+        let idx = GraphIndex::build_with_profiles(&g, 1);
+        let opt = match_pattern(&p, &g, &idx, &MatchOptions::optimized());
+        let base = match_pattern(&p, &g, &idx, &MatchOptions::baseline());
+        assert_eq!(opt.mappings.len(), 1);
+        assert_eq!(base.mappings.len(), 1);
+        // Same mapping set regardless of order: compare as sets of
+        // (pattern node, data node) pairs.
+        let norm = |m: &Vec<NodeId>| m.clone();
+        assert_eq!(norm(&opt.mappings[0]), norm(&base.mappings[0]));
+        assert_eq!(opt.mappings[0], vec![ids[0], ids[2], ids[5]]);
+        assert!(opt.spaces.refined_ln <= opt.spaces.local_ln + 1e-12);
+        assert!(opt.spaces.local_ln <= opt.spaces.baseline_ln + 1e-12);
+    }
+
+    #[test]
+    fn pipeline_agrees_with_oracle_on_cliques() {
+        let g = labeled_clique(&["A", "B", "C", "D", "A"]);
+        let p = Pattern::structural(labeled_clique(&["A", "B", "C"]));
+        let idx = GraphIndex::build_with_profiles(&g, 1);
+        let rep = match_pattern(&p, &g, &idx, &MatchOptions::optimized());
+        assert!(find_embedding(&p.graph, &g, None).is_some());
+        // Two A's to choose: 2 embeddings.
+        assert_eq!(rep.mappings.len(), 2);
+        for (m, eb) in rep.mappings.iter().zip(&rep.edge_bindings) {
+            assert_eq!(m.len(), 3);
+            assert_eq!(eb.len(), 3);
+        }
+    }
+
+    #[test]
+    fn max_matches_and_exhaustive_flags() {
+        let g = labeled_clique(&["A", "A", "A", "A", "A"]);
+        let p = Pattern::structural(labeled_clique(&["A", "A", "A"]));
+        let idx = GraphIndex::build(&g);
+        let mut opts = MatchOptions::optimized();
+        opts.max_matches = 7;
+        let rep = match_pattern(&p, &g, &idx, &opts);
+        assert_eq!(rep.mappings.len(), 7);
+        opts.exhaustive = false;
+        opts.max_matches = usize::MAX;
+        let rep1 = match_pattern(&p, &g, &idx, &opts);
+        assert_eq!(rep1.mappings.len(), 1);
+    }
+
+    #[test]
+    fn subgraph_pruning_config_works_end_to_end() {
+        let (g, _) = figure_4_16_graph();
+        let p = Pattern::structural(figure_4_16_pattern());
+        let idx = GraphIndex::build_full(&g, 1);
+        let opts = MatchOptions {
+            pruning: LocalPruning::Subgraphs { radius: 1 },
+            ..MatchOptions::default()
+        };
+        let rep = match_pattern(&p, &g, &idx, &opts);
+        assert_eq!(rep.mappings.len(), 1);
+        // Subgraph pruning of a clique pattern collapses the space to the
+        // answer itself: ratio log10(1/8).
+        assert!((rep.spaces.local_ratio_log10() - (1f64 / 8f64).log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_timings_are_populated() {
+        let (g, _) = figure_4_16_graph();
+        let p = Pattern::structural(figure_4_16_pattern());
+        let idx = GraphIndex::build_with_profiles(&g, 1);
+        let rep = match_pattern(&p, &g, &idx, &MatchOptions::optimized());
+        assert!(rep.timings.total() >= rep.timings.search);
+        assert!(rep.search_steps >= 3);
+        assert_eq!(rep.order.len(), 3);
+    }
+}

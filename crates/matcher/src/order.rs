@@ -1,0 +1,262 @@
+//! Search-order optimization (§4.4).
+//!
+//! A search order is a left-deep join plan over the pattern nodes. The
+//! cost model follows Definitions 4.11–4.13:
+//!
+//! - `Size(i) = Size(left) × Size(right) × γ(i)`
+//! - `Cost(i) = Size(left) × Size(right)`
+//! - `Cost(Γ) = Σ Cost(i)`
+//!
+//! γ is either a constant or the product of conditional edge
+//! probabilities `P(e(u,v)) = freq(e)/(freq(u)·freq(v))` over the edges
+//! involved in the join. Enumeration is the paper's greedy: "at join i,
+//! choose a leaf node that minimizes the estimated cost of the join."
+
+use crate::pattern::Pattern;
+use gql_core::{GraphStats, NodeId};
+
+/// How the reduction factor γ of a join is estimated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GammaMode {
+    /// A constant per pattern edge involved in the join. The paper's
+    /// "simple way ... approximate it by a constant".
+    Constant(f64),
+    /// Conditional edge probabilities from data-graph label statistics;
+    /// pattern nodes without a label constraint fall back to the given
+    /// constant.
+    EdgeProbability {
+        /// Fallback γ per edge when probabilities are unavailable.
+        fallback: f64,
+    },
+}
+
+impl Default for GammaMode {
+    fn default() -> Self {
+        GammaMode::EdgeProbability { fallback: 0.5 }
+    }
+}
+
+/// γ(i) for joining node `u` into the partial plan holding `chosen`:
+/// the product of `P(e)` over pattern edges between `u` and `chosen`
+/// (Definition 4.11's `ℰ(i)`).
+fn join_gamma(
+    pattern: &Pattern,
+    stats: Option<&GraphStats>,
+    mode: GammaMode,
+    chosen: &[bool],
+    u: usize,
+) -> f64 {
+    let mut gamma = 1.0;
+    for &(w, _) in pattern.incident(NodeId(u as u32)) {
+        if !chosen[w.index()] {
+            continue;
+        }
+        let p = match mode {
+            GammaMode::Constant(c) => c,
+            GammaMode::EdgeProbability { fallback } => {
+                let lu = pattern.graph.node_label(NodeId(u as u32));
+                let lw = pattern.graph.node_label(w);
+                match (lu, lw, stats) {
+                    (Some(lu), Some(lw), Some(s)) => {
+                        let p = s.edge_probability(lu, lw);
+                        // A zero probability would collapse every later
+                        // cost to 0 and destroy discrimination; clamp.
+                        p.max(1e-9)
+                    }
+                    _ => fallback,
+                }
+            }
+        };
+        gamma *= p;
+    }
+    gamma
+}
+
+/// A chosen search order plus its estimated total cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOrder {
+    /// Pattern-node indices in visit order.
+    pub order: Vec<usize>,
+    /// Estimated `Cost(Γ)` under the cost model.
+    pub estimated_cost: f64,
+}
+
+/// Greedy left-deep plan: start from the node with the fewest feasible
+/// mates, then repeatedly add the leaf minimizing the next join's cost.
+/// Ties prefer nodes connected to the current partial plan (a connected
+/// prefix lets `Check` prune immediately).
+pub fn optimize_order(
+    pattern: &Pattern,
+    mates: &[Vec<NodeId>],
+    stats: Option<&GraphStats>,
+    mode: GammaMode,
+) -> SearchOrder {
+    let k = pattern.node_count();
+    if k == 0 {
+        return SearchOrder {
+            order: Vec::new(),
+            estimated_cost: 0.0,
+        };
+    }
+    let mut chosen = vec![false; k];
+    let mut order = Vec::with_capacity(k);
+
+    // First leaf: smallest |Φ|.
+    let first = (0..k)
+        .min_by(|&a, &b| {
+            mates[a]
+                .len()
+                .cmp(&mates[b].len())
+                .then(pattern.graph.degree(NodeId(b as u32)).cmp(&pattern.graph.degree(NodeId(a as u32))))
+        })
+        .expect("k > 0");
+    chosen[first] = true;
+    order.push(first);
+
+    let mut size = mates[first].len() as f64;
+    let mut total_cost = 0.0;
+
+    for _ in 1..k {
+        let mut best: Option<(f64, bool, usize, f64)> = None; // (cost, connected, node, gamma)
+        for u in 0..k {
+            if chosen[u] {
+                continue;
+            }
+            let cost = size * mates[u].len() as f64;
+            let gamma = join_gamma(pattern, stats, mode, &chosen, u);
+            let connected = gamma != 1.0
+                || pattern
+                    .incident(NodeId(u as u32))
+                    .iter()
+                    .any(|(w, _)| chosen[w.index()]);
+            // Effective key: prefer joins whose *output* is small; the
+            // pure paper cost `size × |Φ(u)|` ignores γ of the candidate
+            // join, so use (cost·γ, cost) lexicographically — equal-cost
+            // ties resolve toward selective (connected) joins.
+            let key = (cost * gamma, !connected, cost);
+            let better = match best {
+                None => true,
+                Some((bc, bdisc, _, bg)) => {
+                    let bkey = (bc * bg, bdisc, bc);
+                    (key.0, key.1 as u8, key.2) < (bkey.0, bkey.1 as u8, bkey.2)
+                }
+            };
+            if better {
+                best = Some((cost, !connected, u, gamma));
+            }
+        }
+        let (cost, _, u, gamma) = best.expect("unchosen node exists");
+        chosen[u] = true;
+        order.push(u);
+        total_cost += cost;
+        size = size * mates[u].len() as f64 * gamma;
+    }
+
+    SearchOrder {
+        order,
+        estimated_cost: total_cost,
+    }
+}
+
+/// Evaluates `Cost(Γ)` for an explicit left-deep order — used to compare
+/// plans (Figure 4.19) and by tests.
+pub fn cost_of_order(
+    pattern: &Pattern,
+    mates: &[Vec<NodeId>],
+    order: &[usize],
+    stats: Option<&GraphStats>,
+    mode: GammaMode,
+) -> f64 {
+    if order.is_empty() {
+        return 0.0;
+    }
+    let mut chosen = vec![false; pattern.node_count()];
+    chosen[order[0]] = true;
+    let mut size = mates[order[0]].len() as f64;
+    let mut total = 0.0;
+    for &u in &order[1..] {
+        let cost = size * mates[u].len() as f64;
+        let gamma = join_gamma(pattern, stats, mode, &chosen, u);
+        total += cost;
+        size = size * mates[u].len() as f64 * gamma;
+        chosen[u] = true;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gql_core::fixtures::figure_4_16_pattern;
+    use gql_core::Graph;
+
+    fn mates_abc() -> Vec<Vec<NodeId>> {
+        // Figure 4.19's example input space {A1} × {B1,B2} × {C2}.
+        vec![vec![NodeId(0)], vec![NodeId(2), NodeId(3)], vec![NodeId(5)]]
+    }
+
+    /// Figure 4.19 / §4.4 worked example: with constant γ,
+    /// Cost((A⋈B)⋈C) = 2 + 2γ and Cost((A⋈C)⋈B) = 1 + 2γ, so the
+    /// order (A, C, B) is better.
+    #[test]
+    fn figure_4_19_cost_comparison() {
+        let p = Pattern::structural(figure_4_16_pattern());
+        let mates = mates_abc();
+        let gamma = 0.5;
+        let mode = GammaMode::Constant(gamma);
+        let abc = cost_of_order(&p, &mates, &[0, 1, 2], None, mode);
+        let acb = cost_of_order(&p, &mates, &[0, 2, 1], None, mode);
+        assert!((abc - (2.0 + 2.0 * gamma * gamma)).abs() < 1e-12 || (abc - (2.0 + 2.0 * gamma)).abs() < 1e-12);
+        assert!(acb < abc, "(A⋈C)⋈B must be cheaper: {acb} vs {abc}");
+    }
+
+    #[test]
+    fn greedy_picks_the_cheaper_order() {
+        let p = Pattern::structural(figure_4_16_pattern());
+        let mates = mates_abc();
+        let res = optimize_order(&p, &mates, None, GammaMode::Constant(0.5));
+        // Must start from a singleton set (A or C) and join the other
+        // singleton before B.
+        assert_ne!(res.order[2], 0);
+        assert_ne!(res.order[2], 2);
+        assert_eq!(res.order[2], 1, "B joined last: {:?}", res.order);
+        assert!(res.estimated_cost <= 1.0 + 2.0);
+    }
+
+    #[test]
+    fn disconnected_nodes_join_late() {
+        // Pattern: edge (0,1) plus isolated node 2 with a huge Φ.
+        let mut g = Graph::new();
+        let a = g.add_labeled_node("A");
+        let b = g.add_labeled_node("B");
+        g.add_labeled_node("X");
+        g.add_edge(a, b, gql_core::Tuple::new()).unwrap();
+        let p = Pattern::structural(g);
+        let mates = vec![
+            vec![NodeId(0), NodeId(1)],
+            vec![NodeId(2), NodeId(3)],
+            vec![NodeId(4), NodeId(5)],
+        ];
+        let res = optimize_order(&p, &mates, None, GammaMode::Constant(0.1));
+        assert_eq!(res.order[2], 2, "isolated node should come last: {:?}", res.order);
+    }
+
+    #[test]
+    fn empty_pattern_order() {
+        let p = Pattern::structural(Graph::new());
+        let res = optimize_order(&p, &[], None, GammaMode::default());
+        assert!(res.order.is_empty());
+        assert_eq!(res.estimated_cost, 0.0);
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let p = Pattern::structural(gql_core::fixtures::labeled_clique(&["A", "B", "C", "D", "E"]));
+        let mates: Vec<Vec<NodeId>> = (0..5).map(|i| (0..=i).map(|j| NodeId(j as u32)).collect()).collect();
+        let res = optimize_order(&p, &mates, None, GammaMode::default());
+        let mut sorted = res.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        assert_eq!(res.order[0], 0, "smallest Φ first");
+    }
+}

@@ -1,0 +1,240 @@
+//! Graph patterns and predicate push-down (§3.2, §4.1).
+
+use crate::expr::{EvalCtx, Expr};
+use gql_core::{EdgeId, Graph, NodeId};
+
+/// A graph pattern `P = (M, F)`: a motif graph plus a predicate.
+///
+/// On construction ([`Pattern::new`]) the conjunction `F` is pushed down:
+/// conjuncts that reference exactly one pattern node become that node's
+/// local predicate `F_u`, conjuncts over one edge become `F_e`, and the
+/// rest ("predicates that cannot be pushed down, e.g. `u1.label =
+/// u2.label`") remain graph-wide (§4.1).
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    /// Motif structure. Node/edge attribute tuples on the motif are
+    /// *structural constraints*: a data node is admissible only if the
+    /// motif node's tuple subsumes its tuple.
+    pub graph: Graph,
+    /// Per-node pushed-down predicates (indexed by pattern node).
+    pub node_preds: Vec<Vec<Expr>>,
+    /// Per-edge pushed-down predicates (indexed by pattern edge).
+    pub edge_preds: Vec<Vec<Expr>>,
+    /// Residual graph-wide predicate conjuncts.
+    pub global_preds: Vec<Expr>,
+    /// Direction-agnostic adjacency of the motif: for each pattern node,
+    /// every incident `(neighbor, edge)` pair. For directed motifs this
+    /// merges out- and in-edges so the search/refinement phases see the
+    /// full structure.
+    incident: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl Pattern {
+    /// Builds a pattern from a motif and a conjunction of predicate
+    /// expressions, pushing conjuncts down where possible.
+    pub fn new(graph: Graph, predicates: Vec<Expr>) -> Self {
+        let n = graph.node_count();
+        let m = graph.edge_count();
+        let incident = graph
+            .node_ids()
+            .map(|u| graph.incident(u).collect())
+            .collect();
+        let mut p = Pattern {
+            graph,
+            node_preds: vec![Vec::new(); n],
+            edge_preds: vec![Vec::new(); m],
+            global_preds: Vec::new(),
+            incident,
+        };
+        for e in predicates {
+            p.push_down(e);
+        }
+        p
+    }
+
+    /// A pattern with no predicate beyond the motif's attribute tuples.
+    pub fn structural(graph: Graph) -> Self {
+        Pattern::new(graph, Vec::new())
+    }
+
+    fn push_down(&mut self, e: Expr) {
+        // Split top-level conjunctions first so each conjunct can land in
+        // the tightest scope.
+        if let Expr::Binary {
+            op: crate::expr::BinOp::And,
+            lhs,
+            rhs,
+        } = e
+        {
+            self.push_down(*lhs);
+            self.push_down(*rhs);
+            return;
+        }
+        let mut nodes = Vec::new();
+        let mut edges = Vec::new();
+        e.referenced_nodes(&mut nodes);
+        e.referenced_edges(&mut edges);
+        match (nodes.len(), edges.len()) {
+            (1, 0) if nodes[0] < self.node_preds.len() => self.node_preds[nodes[0]].push(e),
+            (0, 1) if edges[0] < self.edge_preds.len() => self.edge_preds[edges[0]].push(e),
+            _ => self.global_preds.push(e),
+        }
+    }
+
+    /// Every incident `(neighbor, edge)` of pattern node `u`, regardless
+    /// of edge direction.
+    pub fn incident(&self, u: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.incident[u.index()]
+    }
+
+    /// Number of pattern nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of pattern edges.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// The feasibility predicate `F_u(v)` of Definition 4.8: structural
+    /// tuple subsumption plus the pushed-down node predicates.
+    pub fn node_feasible(&self, u: NodeId, g: &Graph, v: NodeId) -> bool {
+        if !self.graph.node(u).attrs.subsumes(&g.node(v).attrs) {
+            return false;
+        }
+        if self.node_preds[u.index()].is_empty() {
+            return true;
+        }
+        let mut binds = vec![None; self.node_count()];
+        binds[u.index()] = Some(v);
+        let ctx = EvalCtx {
+            graph: g,
+            node_bind: &binds,
+            edge_bind: &[],
+        };
+        self.node_preds[u.index()].iter().all(|p| p.holds(&ctx))
+    }
+
+    /// The edge predicate `F_e(e')`: structural subsumption of the motif
+    /// edge's tuple plus pushed-down edge predicates.
+    pub fn edge_feasible(&self, pe: EdgeId, g: &Graph, ge: EdgeId) -> bool {
+        if !self.graph.edge(pe).attrs.subsumes(&g.edge(ge).attrs) {
+            return false;
+        }
+        if self.edge_preds[pe.index()].is_empty() {
+            return true;
+        }
+        let mut ebinds = vec![None; self.edge_count()];
+        ebinds[pe.index()] = Some(ge);
+        let ctx = EvalCtx {
+            graph: g,
+            node_bind: &[],
+            edge_bind: &ebinds,
+        };
+        self.edge_preds[pe.index()].iter().all(|p| p.holds(&ctx))
+    }
+
+    /// Evaluates the residual graph-wide predicate on a complete mapping.
+    pub fn global_holds(&self, g: &Graph, mapping: &[NodeId], edge_bind: &[Option<EdgeId>]) -> bool {
+        if self.global_preds.is_empty() {
+            return true;
+        }
+        let binds: Vec<Option<NodeId>> = mapping.iter().copied().map(Some).collect();
+        let ctx = EvalCtx {
+            graph: g,
+            node_bind: &binds,
+            edge_bind,
+        };
+        self.global_preds.iter().all(|p| p.holds(&ctx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+    use gql_core::fixtures::figure_4_16_pattern;
+    use gql_core::Tuple;
+
+    #[test]
+    fn conjunctions_are_pushed_down() {
+        let motif = figure_4_16_pattern();
+        let pred = Expr::binary(
+            BinOp::And,
+            Expr::node_attr_eq(0, "label", "A"),
+            Expr::binary(
+                BinOp::And,
+                Expr::binary(
+                    BinOp::Eq,
+                    Expr::node_attr(1, "label"),
+                    Expr::node_attr(2, "label"),
+                ),
+                Expr::binary(
+                    BinOp::Eq,
+                    Expr::EdgeAttr {
+                        edge: 0,
+                        attr: "w".into(),
+                    },
+                    Expr::Literal(1.into()),
+                ),
+            ),
+        );
+        let p = Pattern::new(motif, vec![pred]);
+        assert_eq!(p.node_preds[0].len(), 1);
+        assert_eq!(p.edge_preds[0].len(), 1);
+        assert_eq!(p.global_preds.len(), 1, "cross-node conjunct stays global");
+    }
+
+    #[test]
+    fn disjunctions_stay_global_even_single_node() {
+        // A disjunction referencing one node still pushes down (it
+        // mentions only that node), which is sound.
+        let motif = figure_4_16_pattern();
+        let pred = Expr::binary(
+            BinOp::Or,
+            Expr::node_attr_eq(0, "label", "A"),
+            Expr::node_attr_eq(0, "label", "B"),
+        );
+        let p = Pattern::new(motif, vec![pred]);
+        assert_eq!(p.node_preds[0].len(), 1);
+        assert!(p.global_preds.is_empty());
+    }
+
+    #[test]
+    fn node_feasibility_combines_tuple_and_predicate() {
+        let mut motif = Graph::new();
+        let u = motif.add_node(Tuple::tagged("author"));
+        let p = Pattern::new(
+            motif,
+            vec![Expr::node_attr_eq(u.index(), "name", "A")],
+        );
+
+        let mut g = Graph::new();
+        let ok = g.add_node(Tuple::tagged("author").with("name", "A"));
+        let wrong_name = g.add_node(Tuple::tagged("author").with("name", "B"));
+        let wrong_tag = g.add_node(Tuple::new().with("name", "A"));
+        assert!(p.node_feasible(u, &g, ok));
+        assert!(!p.node_feasible(u, &g, wrong_name));
+        assert!(!p.node_feasible(u, &g, wrong_tag));
+    }
+
+    #[test]
+    fn global_predicate_checked_on_full_mapping() {
+        let (g, ids) = gql_core::fixtures::figure_4_16_graph();
+        let mut motif = Graph::new();
+        let a = motif.add_node(Tuple::new());
+        let b = motif.add_node(Tuple::new());
+        motif.add_edge(a, b, Tuple::new()).unwrap();
+        let p = Pattern::new(
+            motif,
+            vec![Expr::binary(
+                BinOp::Eq,
+                Expr::node_attr(0, "label"),
+                Expr::node_attr(1, "label"),
+            )],
+        );
+        assert!(!p.global_holds(&g, &[ids[0], ids[2]], &[None]));
+        assert!(p.global_holds(&g, &[ids[0], ids[1]], &[None]));
+    }
+}

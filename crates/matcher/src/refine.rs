@@ -1,0 +1,240 @@
+//! Joint (global) reduction of the search space — Algorithm 4.2,
+//! *pseudo subgraph isomorphism* refinement (§4.3).
+//!
+//! For each pattern node `u` and feasible mate `v`, a bipartite graph
+//! `B(u,v)` is built between the neighbors of `u` and of `v`, with an
+//! edge `(u', v')` iff `v' ∈ Φ(u')`. If `B(u,v)` has no semi-perfect
+//! matching (one saturating all of `N(u)`), `v` is removed from `Φ(u)`.
+//!
+//! Levels are synchronous, matching the recursive definition of pseudo
+//! sub-isomorphism (level-l checks use the level-(l−1) space) and the
+//! worked trace of Figure 4.18: removals discovered during level `i` take
+//! effect only after the level completes. Both implementation
+//! improvements of the paper are included: the marked-pair worklist that
+//! avoids unnecessary matchings, and a hashtable representation of the
+//! pairs (space `O(Σ|Φ(u_i)|)` rather than `O(k·n)`).
+
+use crate::bipartite::Bipartite;
+use crate::pattern::Pattern;
+use gql_core::{EdgeId, Graph, NodeId};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Counters reported by a refinement run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefineStats {
+    /// Levels actually performed (≤ requested level).
+    pub iterations: usize,
+    /// Semi-perfect-matching tests executed.
+    pub bipartite_checks: u64,
+    /// Candidate pairs removed from the search space.
+    pub removed: u64,
+}
+
+/// Incident data-graph neighbors regardless of direction.
+fn data_neighbors(g: &Graph, v: NodeId) -> Vec<(NodeId, EdgeId)> {
+    g.incident(v).collect()
+}
+
+/// Runs Algorithm 4.2: refines `mates` in place for up to `level`
+/// synchronous iterations, returning statistics.
+pub fn refine_search_space(
+    pattern: &Pattern,
+    g: &Graph,
+    mates: &mut [Vec<NodeId>],
+    level: usize,
+) -> RefineStats {
+    let k = pattern.node_count();
+    debug_assert_eq!(k, mates.len());
+    let mut stats = RefineStats::default();
+    if k == 0 || level == 0 {
+        return stats;
+    }
+
+    // Hashtable representation of Φ for O(1) membership (improvement 2).
+    let mut feasible: Vec<FxHashSet<u32>> = mates
+        .iter()
+        .map(|m| m.iter().map(|v| v.0).collect())
+        .collect();
+
+    // Mark every pair ⟨u, v⟩ (Algorithm 4.2, line 2).
+    let mut marked: FxHashSet<(u32, u32)> = FxHashSet::default();
+    for (u, m) in mates.iter().enumerate() {
+        for v in m {
+            marked.insert((u as u32, v.0));
+        }
+    }
+
+    for _ in 0..level {
+        if marked.is_empty() {
+            break; // line 19
+        }
+        stats.iterations += 1;
+        let worklist: Vec<(u32, u32)> = marked.drain().collect();
+        let mut removals: Vec<(u32, u32)> = Vec::new();
+        for (u, v) in worklist {
+            let np = pattern.incident(NodeId(u));
+            let ng = data_neighbors(g, NodeId(v));
+            // Build B(u,v) (lines 5–9) against the level-(i−1) space.
+            let mut right_ids: FxHashMap<u32, usize> = FxHashMap::default();
+            for (i, &(w, _)) in ng.iter().enumerate() {
+                right_ids.insert(w.0, i);
+            }
+            let mut b = Bipartite::new(np.len(), right_ids.len());
+            for (li, &(pu, _)) in np.iter().enumerate() {
+                for (&gw, &ri) in right_ids.iter() {
+                    if feasible[pu.index()].contains(&gw) {
+                        b.add_edge(li, ri);
+                    }
+                }
+            }
+            stats.bipartite_checks += 1;
+            if !b.has_semi_perfect_matching() {
+                removals.push((u, v)); // line 13, deferred to level end
+            }
+            // else: unmarked (lines 10–11) — pair was drained already.
+        }
+        if removals.is_empty() {
+            break; // space stable: further levels cannot change it
+        }
+        // Apply removals, then re-mark affected neighbor pairs
+        // (lines 14–15).
+        for &(u, v) in &removals {
+            feasible[u as usize].remove(&v);
+            stats.removed += 1;
+        }
+        for (u, v) in removals {
+            for &(pu, _) in pattern.incident(NodeId(u)) {
+                for (gw, _) in data_neighbors(g, NodeId(v)) {
+                    if feasible[pu.index()].contains(&gw.0) {
+                        marked.insert((pu.0, gw.0));
+                    }
+                }
+            }
+        }
+    }
+
+    // Write the reduced space back, preserving the original order.
+    for (u, m) in mates.iter_mut().enumerate() {
+        m.retain(|v| feasible[u].contains(&v.0));
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feasible::{feasible_mates, LocalPruning};
+    use crate::index::GraphIndex;
+    use gql_core::fixtures::{figure_4_16_graph, figure_4_16_pattern, labeled_clique, labeled_path};
+
+    fn names(g: &Graph, vs: &[NodeId]) -> Vec<String> {
+        vs.iter()
+            .map(|&v| g.node(v).name.clone().unwrap())
+            .collect()
+    }
+
+    /// Figure 4.18: starting from {A1,A2}×{B1,B2}×{C1,C2}, level 1
+    /// removes A2 and C1; level 2 removes B2; the output is
+    /// {A1}×{B1}×{C2}.
+    #[test]
+    fn figure_4_18_refinement_trace() {
+        let (g, _) = figure_4_16_graph();
+        let p = Pattern::structural(figure_4_16_pattern());
+        let idx = GraphIndex::build(&g);
+        let mut mates = feasible_mates(&p, &g, &idx, LocalPruning::NodeAttributes);
+
+        // Level 1 only: A2 and C1 go, B2 survives (synchronous levels).
+        let mut lvl1 = mates.clone();
+        refine_search_space(&p, &g, &mut lvl1, 1);
+        assert_eq!(names(&g, &lvl1[0]), ["A1"], "A2 removed at level 1");
+        assert_eq!(names(&g, &lvl1[1]), ["B1", "B2"]);
+        assert_eq!(names(&g, &lvl1[2]), ["C2"], "C1 removed at level 1");
+
+        // Level 2 removes B2.
+        let stats = refine_search_space(&p, &g, &mut mates, 2);
+        assert_eq!(names(&g, &mates[0]), ["A1"]);
+        assert_eq!(names(&g, &mates[1]), ["B1"]);
+        assert_eq!(names(&g, &mates[2]), ["C2"]);
+        assert_eq!(stats.removed, 3);
+        assert!(stats.bipartite_checks > 0);
+        assert_eq!(stats.iterations, 2);
+    }
+
+    #[test]
+    fn refinement_is_sound_never_removes_real_matches() {
+        // On a graph that *contains* the pattern, refinement must keep at
+        // least one candidate per node.
+        let g = labeled_clique(&["A", "B", "C", "D"]);
+        let p = Pattern::structural(labeled_clique(&["A", "B", "C"]));
+        let idx = GraphIndex::build(&g);
+        let mut mates = feasible_mates(&p, &g, &idx, LocalPruning::NodeAttributes);
+        refine_search_space(&p, &g, &mut mates, 10);
+        assert!(mates.iter().all(|m| m.len() == 1));
+    }
+
+    #[test]
+    fn refinement_empties_space_for_absent_pattern() {
+        // Path graph cannot contain a triangle: pseudo-iso refinement
+        // should wipe the candidates.
+        let g = labeled_path(&["A", "B", "C", "A", "B", "C"]);
+        let p = Pattern::structural(labeled_clique(&["A", "B", "C"]));
+        let idx = GraphIndex::build(&g);
+        let mut mates = feasible_mates(&p, &g, &idx, LocalPruning::NodeAttributes);
+        refine_search_space(&p, &g, &mut mates, 6);
+        assert!(
+            mates.iter().any(|m| m.is_empty()),
+            "triangle must be refuted on a path: {mates:?}"
+        );
+    }
+
+    #[test]
+    fn level_zero_is_identity() {
+        let (g, _) = figure_4_16_graph();
+        let p = Pattern::structural(figure_4_16_pattern());
+        let idx = GraphIndex::build(&g);
+        let mut mates = feasible_mates(&p, &g, &idx, LocalPruning::NodeAttributes);
+        let before = mates.clone();
+        let stats = refine_search_space(&p, &g, &mut mates, 0);
+        assert_eq!(mates, before);
+        assert_eq!(stats, RefineStats::default());
+    }
+
+    #[test]
+    fn worklist_terminates_early_when_stable() {
+        let g = labeled_clique(&["A", "B", "C"]);
+        let p = Pattern::structural(labeled_clique(&["A", "B", "C"]));
+        let idx = GraphIndex::build(&g);
+        let mut mates = feasible_mates(&p, &g, &idx, LocalPruning::NodeAttributes);
+        let stats = refine_search_space(&p, &g, &mut mates, 100);
+        assert!(
+            stats.iterations <= 2,
+            "stable space should break out early, ran {}",
+            stats.iterations
+        );
+    }
+
+    #[test]
+    fn directed_pattern_refinement_sees_in_edges() {
+        // Directed chain A→B→C as data; pattern A→B→C must survive
+        // refinement, pattern with reversed middle edge must be wiped.
+        let mk = |rev: bool| {
+            let mut g = Graph::new_directed();
+            let a = g.add_labeled_node("A");
+            let b = g.add_labeled_node("B");
+            let c = g.add_labeled_node("C");
+            g.add_edge(a, b, gql_core::Tuple::new()).unwrap();
+            if rev {
+                g.add_edge(c, b, gql_core::Tuple::new()).unwrap();
+            } else {
+                g.add_edge(b, c, gql_core::Tuple::new()).unwrap();
+            }
+            g
+        };
+        let data = mk(false);
+        let idx = GraphIndex::build(&data);
+        let p = Pattern::structural(mk(false));
+        let mut mates = feasible_mates(&p, &data, &idx, LocalPruning::NodeAttributes);
+        refine_search_space(&p, &data, &mut mates, 3);
+        assert!(mates.iter().all(|m| m.len() == 1));
+    }
+}

@@ -1,0 +1,358 @@
+//! The depth-first search phase of Algorithm 4.1 (`Search` / `Check`).
+
+use crate::pattern::Pattern;
+use gql_core::{EdgeId, Graph, NodeId};
+use std::time::Instant;
+
+/// Knobs for the search phase.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Return all mappings (`exhaustive`) or stop at the first (§3.3's
+    /// selection option).
+    pub exhaustive: bool,
+    /// Hard cap on reported mappings; the paper terminates queries with
+    /// more than 1000 hits.
+    pub max_matches: usize,
+    /// Wall-clock budget; exceeded runs set `timed_out` and return what
+    /// they found (lower bound), mirroring the paper's protocol.
+    pub deadline: Option<Instant>,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            exhaustive: true,
+            max_matches: usize::MAX,
+            deadline: None,
+        }
+    }
+}
+
+/// Outcome of a search run.
+#[derive(Debug, Clone, Default)]
+pub struct SearchOutcome {
+    /// Complete mappings found (pattern node index → data node).
+    pub mappings: Vec<Vec<NodeId>>,
+    /// For each mapping, the data edge bound to each pattern edge.
+    pub edge_bindings: Vec<Vec<EdgeId>>,
+    /// Candidate (node, mate) extension attempts — the paper's notion of
+    /// search effort.
+    pub steps: u64,
+    /// True if the deadline fired before the space was exhausted.
+    pub timed_out: bool,
+}
+
+/// Runs the `Search(1)` recursion of Algorithm 4.1 over the given
+/// feasible mates and search order.
+pub fn search(
+    pattern: &Pattern,
+    g: &Graph,
+    mates: &[Vec<NodeId>],
+    order: &[usize],
+    cfg: &SearchConfig,
+) -> SearchOutcome {
+    let k = pattern.node_count();
+    debug_assert_eq!(order.len(), k);
+    let mut out = SearchOutcome::default();
+    if k == 0 {
+        // The empty pattern matches every graph once, vacuously.
+        out.mappings.push(Vec::new());
+        out.edge_bindings.push(Vec::new());
+        return out;
+    }
+    if mates.iter().any(|m| m.is_empty()) {
+        return out;
+    }
+
+    let mut assign: Vec<Option<NodeId>> = vec![None; k];
+    let mut edge_bind: Vec<Option<EdgeId>> = vec![None; pattern.edge_count()];
+    let mut used = vec![false; g.node_count()];
+
+    struct Ctx<'a> {
+        pattern: &'a Pattern,
+        g: &'a Graph,
+        mates: &'a [Vec<NodeId>],
+        order: &'a [usize],
+        cfg: &'a SearchConfig,
+    }
+
+    /// `Check(u_i, v)` (Algorithm 4.1 lines 19–26): every pattern edge
+    /// from `u_i` to an already-assigned node must map to a data edge
+    /// satisfying `F_e`. On success records the edge bindings.
+    fn check(
+        ctx: &Ctx<'_>,
+        u: NodeId,
+        v: NodeId,
+        assign: &[Option<NodeId>],
+        edge_bind: &mut [Option<EdgeId>],
+        touched: &mut Vec<u32>,
+    ) -> bool {
+        for &(w, pe) in ctx.pattern.incident(u) {
+            let Some(mapped) = assign[w.index()] else {
+                continue;
+            };
+            // Respect orientation for directed patterns: the motif edge
+            // runs src→dst; look up the data edge the same way.
+            let e = ctx.pattern.graph.edge(pe);
+            let data_edge = if ctx.pattern.graph.is_directed() {
+                if e.src == u {
+                    ctx.g.edge_between(v, mapped)
+                } else {
+                    ctx.g.edge_between(mapped, v)
+                }
+            } else {
+                ctx.g.edge_between(v, mapped)
+            };
+            match data_edge {
+                Some(ge) if ctx.pattern.edge_feasible(pe, ctx.g, ge) => {
+                    edge_bind[pe.index()] = Some(ge);
+                    touched.push(pe.0);
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        ctx: &Ctx<'_>,
+        depth: usize,
+        assign: &mut Vec<Option<NodeId>>,
+        edge_bind: &mut Vec<Option<EdgeId>>,
+        used: &mut Vec<bool>,
+        out: &mut SearchOutcome,
+    ) -> bool {
+        // Returns false to abort the whole search (limit/deadline hit).
+        if depth == ctx.order.len() {
+            // Complete mapping: evaluate the graph-wide predicate F.
+            let mapping: Vec<NodeId> = assign.iter().map(|a| a.expect("complete")).collect();
+            if ctx.pattern.global_holds(ctx.g, &mapping, edge_bind) {
+                out.mappings.push(mapping);
+                out.edge_bindings
+                    .push(edge_bind.iter().map(|e| e.expect("complete")).collect());
+                if !ctx.cfg.exhaustive || out.mappings.len() >= ctx.cfg.max_matches {
+                    return false;
+                }
+            }
+            return true;
+        }
+        let u = NodeId(ctx.order[depth] as u32);
+        for &v in &ctx.mates[u.index()] {
+            if used[v.index()] {
+                continue; // injectivity: v is not free
+            }
+            out.steps += 1;
+            if out.steps.is_multiple_of(1024) {
+                if let Some(d) = ctx.cfg.deadline {
+                    if Instant::now() >= d {
+                        out.timed_out = true;
+                        return false;
+                    }
+                }
+            }
+            let mut touched: Vec<u32> = Vec::new();
+            if !check(ctx, u, v, assign, edge_bind, &mut touched) {
+                for pe in touched {
+                    edge_bind[pe as usize] = None;
+                }
+                continue;
+            }
+            assign[u.index()] = Some(v);
+            used[v.index()] = true;
+            let keep_going = recurse(ctx, depth + 1, assign, edge_bind, used, out);
+            assign[u.index()] = None;
+            used[v.index()] = false;
+            for pe in touched {
+                edge_bind[pe as usize] = None;
+            }
+            if !keep_going {
+                return false;
+            }
+        }
+        true
+    }
+
+    let ctx = Ctx {
+        pattern,
+        g,
+        mates,
+        order,
+        cfg,
+    };
+    recurse(&ctx, 0, &mut assign, &mut edge_bind, &mut used, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, Expr};
+    use crate::feasible::{feasible_mates, LocalPruning};
+    use crate::index::GraphIndex;
+    use gql_core::fixtures::{figure_4_16_graph, figure_4_16_pattern, labeled_clique};
+    use gql_core::Tuple;
+
+    fn run(pattern: &Pattern, g: &Graph, cfg: &SearchConfig) -> SearchOutcome {
+        let idx = GraphIndex::build(g);
+        let mates = feasible_mates(pattern, g, &idx, LocalPruning::NodeAttributes);
+        let order: Vec<usize> = (0..pattern.node_count()).collect();
+        search(pattern, g, &mates, &order, cfg)
+    }
+
+    #[test]
+    fn triangle_has_exactly_one_match() {
+        let (g, ids) = figure_4_16_graph();
+        let p = Pattern::structural(figure_4_16_pattern());
+        let out = run(&p, &g, &SearchConfig::default());
+        assert_eq!(out.mappings.len(), 1);
+        assert_eq!(out.mappings[0], vec![ids[0], ids[2], ids[5]]); // A1,B1,C2
+        assert_eq!(out.edge_bindings[0].len(), 3);
+        assert!(!out.timed_out);
+    }
+
+    #[test]
+    fn non_exhaustive_stops_after_first() {
+        let g = labeled_clique(&["A", "A", "A", "A"]);
+        let p = Pattern::structural(labeled_clique(&["A", "A", "A"]));
+        let all = run(&p, &g, &SearchConfig::default());
+        assert_eq!(all.mappings.len(), 24, "4P3 ordered embeddings");
+        let one = run(
+            &p,
+            &g,
+            &SearchConfig {
+                exhaustive: false,
+                ..SearchConfig::default()
+            },
+        );
+        assert_eq!(one.mappings.len(), 1);
+        assert!(one.steps < all.steps);
+    }
+
+    #[test]
+    fn max_matches_caps_results() {
+        let g = labeled_clique(&["A", "A", "A", "A"]);
+        let p = Pattern::structural(labeled_clique(&["A", "A", "A"]));
+        let out = run(
+            &p,
+            &g,
+            &SearchConfig {
+                max_matches: 5,
+                ..SearchConfig::default()
+            },
+        );
+        assert_eq!(out.mappings.len(), 5);
+    }
+
+    #[test]
+    fn injectivity_is_enforced() {
+        // Pattern A-B-A (path) on a single edge A-B: the two A pattern
+        // nodes would both need the single data A.
+        let mut g = Graph::new();
+        let a = g.add_labeled_node("A");
+        let b = g.add_labeled_node("B");
+        g.add_edge(a, b, Tuple::new()).unwrap();
+        let p = Pattern::structural(gql_core::fixtures::labeled_path(&["A", "B", "A"]));
+        let out = run(&p, &g, &SearchConfig::default());
+        assert!(out.mappings.is_empty());
+    }
+
+    #[test]
+    fn global_predicate_filters_mappings() {
+        let (g, ids) = figure_4_16_graph();
+        // Unlabeled 2-node pattern with an edge, plus a global predicate
+        // u0.label == u1.label — no two adjacent nodes share a label.
+        let mut motif = Graph::new();
+        let x = motif.add_node(Tuple::new());
+        let y = motif.add_node(Tuple::new());
+        motif.add_edge(x, y, Tuple::new()).unwrap();
+        let same = Pattern::new(
+            motif.clone(),
+            vec![Expr::binary(
+                BinOp::Eq,
+                Expr::node_attr(0, "label"),
+                Expr::node_attr(1, "label"),
+            )],
+        );
+        let out = run(&same, &g, &SearchConfig::default());
+        assert!(out.mappings.is_empty());
+        // Sanity: without the predicate there are 12 ordered pairs.
+        let any = Pattern::structural(motif);
+        let out2 = run(&any, &g, &SearchConfig::default());
+        assert_eq!(out2.mappings.len(), 12);
+        let _ = ids;
+    }
+
+    #[test]
+    fn edge_predicates_checked_during_search() {
+        let mut g = Graph::new();
+        let a = g.add_labeled_node("A");
+        let b1 = g.add_labeled_node("B");
+        let b2 = g.add_labeled_node("B");
+        g.add_edge(a, b1, Tuple::new().with("w", 1)).unwrap();
+        g.add_edge(a, b2, Tuple::new().with("w", 9)).unwrap();
+
+        let mut motif = Graph::new();
+        let x = motif.add_labeled_node("A");
+        let y = motif.add_labeled_node("B");
+        motif.add_edge(x, y, Tuple::new()).unwrap();
+        let p = Pattern::new(
+            motif,
+            vec![Expr::binary(
+                BinOp::Gt,
+                Expr::EdgeAttr {
+                    edge: 0,
+                    attr: "w".into(),
+                },
+                Expr::Literal(5.into()),
+            )],
+        );
+        let out = run(&p, &g, &SearchConfig::default());
+        assert_eq!(out.mappings.len(), 1);
+        assert_eq!(out.mappings[0][1], b2);
+    }
+
+    #[test]
+    fn directed_pattern_respects_orientation() {
+        let mut g = Graph::new_directed();
+        let a = g.add_labeled_node("A");
+        let b = g.add_labeled_node("B");
+        g.add_edge(a, b, Tuple::new()).unwrap();
+
+        let mut fwd = Graph::new_directed();
+        let x = fwd.add_labeled_node("A");
+        let y = fwd.add_labeled_node("B");
+        fwd.add_edge(x, y, Tuple::new()).unwrap();
+        assert_eq!(run(&Pattern::structural(fwd), &g, &SearchConfig::default()).mappings.len(), 1);
+
+        let mut bwd = Graph::new_directed();
+        let x = bwd.add_labeled_node("A");
+        let y = bwd.add_labeled_node("B");
+        bwd.add_edge(y, x, Tuple::new()).unwrap();
+        assert!(run(&Pattern::structural(bwd), &g, &SearchConfig::default()).mappings.is_empty());
+    }
+
+    #[test]
+    fn empty_pattern_matches_vacuously() {
+        let (g, _) = figure_4_16_graph();
+        let p = Pattern::structural(Graph::new());
+        let out = run(&p, &g, &SearchConfig::default());
+        assert_eq!(out.mappings.len(), 1);
+        assert!(out.mappings[0].is_empty());
+    }
+
+    #[test]
+    fn deadline_in_the_past_times_out() {
+        let g = labeled_clique(["A"; 10].as_slice());
+        let p = Pattern::structural(labeled_clique(["A"; 8].as_slice()));
+        let idx = GraphIndex::build(&g);
+        let mates = feasible_mates(&p, &g, &idx, LocalPruning::NodeAttributes);
+        let order: Vec<usize> = (0..p.node_count()).collect();
+        let cfg = SearchConfig {
+            deadline: Some(Instant::now()),
+            ..SearchConfig::default()
+        };
+        let out = search(&p, &g, &mates, &order, &cfg);
+        assert!(out.timed_out);
+    }
+}

@@ -1,0 +1,133 @@
+//! The formal language for graphs (§2): motifs and grammars.
+//!
+//! "The nonterminals, called graph motifs, are either simple graphs or
+//! composed of other graph motifs by means of concatenation,
+//! disjunction, or repetition. A graph grammar is a finite set of graph
+//! motifs. The language of a graph grammar is the set of all graphs
+//! derivable from graph motifs of that grammar."
+//!
+//! The Appendix 4.A query grammar does not include disjunction blocks or
+//! recursion, so motifs are built with this programmatic API (the paper
+//! itself presents them as abstract syntax, Figures 4.3–4.6).
+
+use gql_core::{Graph, Tuple};
+use rustc_hash::FxHashMap;
+
+/// A dotted reference to a node inside a motif body, e.g. `v1` or
+/// `Path.v1`.
+pub type NamePath = String;
+
+/// A reference to a sub-motif with a local alias: `graph G1 as X;`.
+#[derive(Debug, Clone)]
+pub struct PartRef {
+    /// Referenced motif name (may be the enclosing motif — recursion).
+    pub motif: String,
+    /// Local alias (defaults to the motif name).
+    pub alias: String,
+}
+
+/// A new edge added by a composition: `edge e4 (X.v1, Y.v1);`.
+#[derive(Debug, Clone)]
+pub struct NewEdge {
+    /// Edge variable name.
+    pub name: Option<String>,
+    /// Source node path.
+    pub from: NamePath,
+    /// Target node path.
+    pub to: NamePath,
+    /// Attribute tuple.
+    pub attrs: Tuple,
+}
+
+/// A new node added by a composition.
+#[derive(Debug, Clone)]
+pub struct NewNode {
+    /// Node variable name.
+    pub name: String,
+    /// Attribute tuple.
+    pub attrs: Tuple,
+}
+
+/// A motif: simple graph, composition (concatenation by edges and/or
+/// unification, possibly self-referential → repetition), or disjunction.
+#[derive(Debug, Clone)]
+pub enum Motif {
+    /// A constant graph structure (Figure 4.3). Node variable names are
+    /// taken from [`gql_core::Node::name`].
+    Simple(Graph),
+    /// Concatenation (Figure 4.4) and repetition (Figure 4.6): nested
+    /// motif parts plus new nodes/edges/unifications/exports.
+    Compose {
+        /// Nested motif references.
+        parts: Vec<PartRef>,
+        /// Additional nodes declared by this motif.
+        nodes: Vec<NewNode>,
+        /// New edges connecting parts and nodes.
+        edges: Vec<NewEdge>,
+        /// Node unifications (`unify X.v1, Y.v1;`).
+        unify: Vec<(NamePath, NamePath)>,
+        /// Exports (`export Path.v2 as v2;`): expose an inner name under
+        /// this motif's own namespace.
+        exports: Vec<(NamePath, String)>,
+    },
+    /// Disjunction (Figure 4.5): exactly one branch is chosen per
+    /// derivation. "All the constituent graph motifs should have the
+    /// same interface to the outside."
+    Disjunction(Vec<Motif>),
+}
+
+/// A graph grammar: named motif definitions.
+#[derive(Debug, Clone, Default)]
+pub struct Grammar {
+    defs: FxHashMap<String, Motif>,
+}
+
+impl Grammar {
+    /// Empty grammar.
+    pub fn new() -> Self {
+        Grammar::default()
+    }
+
+    /// Defines (or replaces) a motif.
+    pub fn define(&mut self, name: impl Into<String>, motif: Motif) {
+        self.defs.insert(name.into(), motif);
+    }
+
+    /// Looks up a motif.
+    pub fn get(&self, name: &str) -> Option<&Motif> {
+        self.defs.get(name)
+    }
+
+    /// Number of definitions.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// True if no definitions.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+}
+
+/// Builder helpers for the common shapes.
+impl Motif {
+    /// A simple motif from a graph whose nodes carry variable names.
+    pub fn simple(g: Graph) -> Motif {
+        Motif::Simple(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_stores_definitions() {
+        let mut g = Grammar::new();
+        assert!(g.is_empty());
+        g.define("G1", Motif::simple(Graph::new()));
+        assert_eq!(g.len(), 1);
+        assert!(g.get("G1").is_some());
+        assert!(g.get("G2").is_none());
+    }
+}

@@ -1,0 +1,43 @@
+//! Motif-language errors.
+
+use std::fmt;
+
+/// Errors from grammar construction or derivation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MotifError {
+    /// A referenced motif is not defined in the grammar.
+    UnknownMotif {
+        /// The missing name.
+        name: String,
+    },
+    /// An edge/unify/export referenced an unknown node name.
+    UnknownName {
+        /// The missing dotted name.
+        name: String,
+    },
+    /// Derivation exceeded the result cap.
+    TooManyDerivations {
+        /// The cap.
+        max: usize,
+    },
+    /// Underlying graph-construction error.
+    Core(gql_core::CoreError),
+}
+
+impl fmt::Display for MotifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MotifError::UnknownMotif { name } => write!(f, "unknown motif {name:?}"),
+            MotifError::UnknownName { name } => write!(f, "unknown name {name:?} in motif body"),
+            MotifError::TooManyDerivations { max } => {
+                write!(f, "derivation produced more than {max} graphs; lower the depth")
+            }
+            MotifError::Core(e) => write!(f, "graph construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MotifError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, MotifError>;

@@ -1,0 +1,139 @@
+//! The paper's worked motif grammars (Figures 4.3–4.6), reusable in
+//! tests and documentation.
+
+use crate::ast::{Grammar, Motif, NewEdge, NewNode, PartRef};
+use gql_core::{Graph, Tuple};
+
+/// Figure 4.3's simple motif `G1`: the triangle v1–v2–v3.
+pub fn triangle_motif() -> Motif {
+    let mut g = Graph::new();
+    let v1 = g.add_named_node("v1", Tuple::new());
+    let v2 = g.add_named_node("v2", Tuple::new());
+    let v3 = g.add_named_node("v3", Tuple::new());
+    g.add_named_edge("e1", v1, v2, Tuple::new()).expect("valid");
+    g.add_named_edge("e2", v2, v3, Tuple::new()).expect("valid");
+    g.add_named_edge("e3", v3, v1, Tuple::new()).expect("valid");
+    Motif::simple(g)
+}
+
+/// Figure 4.6(a) `Path`:
+///
+/// ```text
+/// graph Path {
+///     graph Path;
+///     node v1;
+///     edge e1 (v1, Path.v1);
+///     export Path.v2 as v2;
+/// } | {
+///     node v1, v2;
+///     edge e1 (v1, v2);
+/// }
+/// ```
+pub fn path_grammar() -> Grammar {
+    let mut grammar = Grammar::new();
+    let mut base = Graph::new();
+    let v1 = base.add_named_node("v1", Tuple::new());
+    let v2 = base.add_named_node("v2", Tuple::new());
+    base.add_named_edge("e1", v1, v2, Tuple::new()).expect("valid");
+
+    let recursive = Motif::Compose {
+        parts: vec![PartRef {
+            motif: "Path".into(),
+            alias: "Path".into(),
+        }],
+        nodes: vec![NewNode {
+            name: "v1".into(),
+            attrs: Tuple::new(),
+        }],
+        edges: vec![NewEdge {
+            name: Some("e1".into()),
+            from: "v1".into(),
+            to: "Path.v1".into(),
+            attrs: Tuple::new(),
+        }],
+        unify: vec![],
+        exports: vec![("Path.v2".into(), "v2".into())],
+    };
+    grammar.define(
+        "Path",
+        Motif::Disjunction(vec![recursive, Motif::simple(base)]),
+    );
+    grammar
+}
+
+/// Figure 4.6(a) `Cycle`: a `Path` closed by an extra edge.
+pub fn cycle_grammar() -> Grammar {
+    let mut grammar = path_grammar();
+    grammar.define(
+        "Cycle",
+        Motif::Compose {
+            parts: vec![PartRef {
+                motif: "Path".into(),
+                alias: "Path".into(),
+            }],
+            nodes: vec![],
+            edges: vec![NewEdge {
+                name: Some("e1".into()),
+                from: "Path.v1".into(),
+                to: "Path.v2".into(),
+                attrs: Tuple::new(),
+            }],
+            unify: vec![],
+            exports: vec![
+                ("Path.v1".into(), "v1".into()),
+                ("Path.v2".into(), "v2".into()),
+            ],
+        },
+    );
+    grammar
+}
+
+/// Figure 4.6(b) `G5`: a root `v0` attached to arbitrarily many copies
+/// of the triangle `G1`.
+pub fn repetition_grammar() -> Grammar {
+    let mut grammar = Grammar::new();
+    grammar.define("G1", triangle_motif());
+    let mut base = Graph::new();
+    base.add_named_node("v0", Tuple::new());
+    let recursive = Motif::Compose {
+        parts: vec![
+            PartRef {
+                motif: "G5".into(),
+                alias: "G5".into(),
+            },
+            PartRef {
+                motif: "G1".into(),
+                alias: "G1".into(),
+            },
+        ],
+        nodes: vec![],
+        edges: vec![NewEdge {
+            name: Some("e1".into()),
+            from: "v0".into(),
+            to: "G1.v1".into(),
+            attrs: Tuple::new(),
+        }],
+        unify: vec![],
+        exports: vec![("G5.v0".into(), "v0".into())],
+    };
+    grammar.define(
+        "G5",
+        Motif::Disjunction(vec![recursive, Motif::simple(base)]),
+    );
+    grammar
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammars_are_well_formed() {
+        assert!(path_grammar().get("Path").is_some());
+        let c = cycle_grammar();
+        assert!(c.get("Path").is_some());
+        assert!(c.get("Cycle").is_some());
+        let r = repetition_grammar();
+        assert_eq!(r.len(), 2);
+    }
+}

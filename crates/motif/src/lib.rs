@@ -1,0 +1,29 @@
+//! # gql-motif — the formal language for graphs (§2)
+//!
+//! The paper extends formal languages from strings to graphs: motifs are
+//! the nonterminals, composed by **concatenation** (by new edges or by
+//! node unification), **disjunction**, and **repetition** (recursion).
+//! A [`Grammar`] is a finite set of motif definitions; [`derive()`](derive::derive)
+//! enumerates the graphs derivable within a depth budget — the finite
+//! prefix of the motif's language. The paper's Figures 4.3–4.6 grammars
+//! ship in [`examples`].
+//!
+//! ```
+//! use gql_motif::{derive, examples::path_grammar};
+//!
+//! let paths = derive(&path_grammar(), "Path", 3).unwrap();
+//! // Paths with 2, 3, 4, 5 nodes.
+//! assert_eq!(paths.len(), 4);
+//! assert!(paths.iter().all(|d| d.graph.is_connected()));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod derive;
+pub mod error;
+pub mod examples;
+
+pub use ast::{Grammar, Motif, NewEdge, NewNode, PartRef};
+pub use derive::{derive, Derived};
+pub use error::{MotifError, Result};

@@ -1,0 +1,281 @@
+//! Abstract syntax of the GraphQL query language (Appendix 4.A).
+//!
+//! Deviations from the printed grammar, all used by the paper's own
+//! examples and documented in DESIGN.md:
+//!
+//! - `ID := GraphTemplate ;` as a top-level statement (Figure 4.12's
+//!   `C := graph {};` initializer) and `let ID := template` alongside
+//!   `let ID = template`;
+//! - `graph G1 as X;` member aliases (Figure 4.4);
+//! - `export Names as ID;` members (Figure 4.6);
+//! - `=` accepted for `==` and `and`/`or` for `&`/`|` inside `where`
+//!   (Figure 4.8 uses both spellings);
+//! - standard operator precedence instead of the grammar's flat
+//!   right-recursion.
+
+use gql_core::Value;
+
+/// A dotted name path, e.g. `P.v1.name`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Names(pub Vec<String>);
+
+impl Names {
+    /// Single-segment name.
+    pub fn simple(s: impl Into<String>) -> Self {
+        Names(vec![s.into()])
+    }
+
+    /// Segments as string slices.
+    pub fn segments(&self) -> impl Iterator<Item = &str> {
+        self.0.iter().map(|s| s.as_str())
+    }
+
+    /// Renders back to dotted form.
+    pub fn to_dotted(&self) -> String {
+        self.0.join(".")
+    }
+}
+
+/// Binary operators (surface form).
+pub use gql_core::BinOp;
+
+/// An expression in a `where` clause or tuple template.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprAst {
+    /// Literal constant.
+    Literal(Value),
+    /// Dotted name reference (`v1.name`, `P.v1.name`, `P.booktitle`).
+    Name(Names),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<ExprAst>,
+        /// Right operand.
+        rhs: Box<ExprAst>,
+    },
+}
+
+impl ExprAst {
+    /// Convenience constructor.
+    pub fn binary(op: BinOp, lhs: ExprAst, rhs: ExprAst) -> Self {
+        ExprAst::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+}
+
+/// `<tag? (name=Literal)*>` — attribute tuple in patterns/data.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TupleAst {
+    /// Optional tag.
+    pub tag: Option<String>,
+    /// Attribute pairs.
+    pub attrs: Vec<(String, Value)>,
+}
+
+/// `<tag? (name=Expr)*>` — attribute tuple template (values computed
+/// from pattern bindings).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TupleTemplateAst {
+    /// Optional tag.
+    pub tag: Option<String>,
+    /// Attribute name → expression.
+    pub attrs: Vec<(String, ExprAst)>,
+}
+
+/// `node v1 <...> where ...` inside a pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeDecl {
+    /// Variable name, if any.
+    pub name: Option<String>,
+    /// Attribute constraints.
+    pub tuple: Option<TupleAst>,
+    /// Per-node `where` (attribute names resolve against this node).
+    pub where_clause: Option<ExprAst>,
+}
+
+/// `edge e1 (v1, v2) <...> where ...` inside a pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeDecl {
+    /// Variable name, if any.
+    pub name: Option<String>,
+    /// Source endpoint reference.
+    pub from: Names,
+    /// Target endpoint reference.
+    pub to: Names,
+    /// Attribute constraints.
+    pub tuple: Option<TupleAst>,
+    /// Per-edge `where`.
+    pub where_clause: Option<ExprAst>,
+}
+
+/// `graph G1 as X` member reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphRef {
+    /// Referenced graph/motif name.
+    pub name: String,
+    /// Optional alias (`as X`).
+    pub alias: Option<String>,
+}
+
+/// One member declaration of a graph pattern body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemberDecl {
+    /// `node a, b, c;`
+    Nodes(Vec<NodeDecl>),
+    /// `edge e1 (a, b), e2 (b, c);`
+    Edges(Vec<EdgeDecl>),
+    /// `graph G1 as X, G2;`
+    Graphs(Vec<GraphRef>),
+    /// `unify X.v1, Y.v1 [, ...] [where ...];`
+    Unify {
+        /// Names to unify (≥ 2).
+        names: Vec<Names>,
+        /// Optional condition (template bodies only in the grammar, but
+        /// accepted uniformly).
+        where_clause: Option<ExprAst>,
+    },
+    /// `export Path.v2 as v2;` (formal-language extension, Figure 4.6).
+    Export {
+        /// Inner name being exported.
+        name: Names,
+        /// Exported alias.
+        alias: String,
+    },
+}
+
+/// `graph P <tuple>? { members } where ...` — a graph pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphPatternAst {
+    /// Pattern name (`P`), if any.
+    pub name: Option<String>,
+    /// Graph-level attribute constraints.
+    pub tuple: Option<TupleAst>,
+    /// Body members.
+    pub members: Vec<MemberDecl>,
+    /// Pattern-wide predicate.
+    pub where_clause: Option<ExprAst>,
+}
+
+/// A graph template: inline body or a reference to a named
+/// pattern/collection variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphTemplateAst {
+    /// `graph <tuple>? { t-members }`
+    Inline {
+        /// Template name, if any.
+        name: Option<String>,
+        /// Graph-level tuple template.
+        tuple: Option<TupleTemplateAst>,
+        /// Body members.
+        members: Vec<TMemberDecl>,
+    },
+    /// Bare identifier (an existing graph variable).
+    Ref(String),
+}
+
+/// Template node declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TNodeDecl {
+    /// New node's name, or a dotted reference importing a bound node
+    /// (e.g. `node P.v1, P.v2;` in Figure 4.12).
+    pub name: Option<Names>,
+    /// Tuple template.
+    pub tuple: Option<TupleTemplateAst>,
+}
+
+/// Template edge declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TEdgeDecl {
+    /// Edge variable name.
+    pub name: Option<String>,
+    /// Source endpoint (may be dotted, e.g. `P.v1`).
+    pub from: Names,
+    /// Target endpoint.
+    pub to: Names,
+    /// Tuple template.
+    pub tuple: Option<TupleTemplateAst>,
+}
+
+/// One member of a template body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TMemberDecl {
+    /// `node ...;`
+    Nodes(Vec<TNodeDecl>),
+    /// `edge ...;`
+    Edges(Vec<TEdgeDecl>),
+    /// `graph C;` — splice an existing graph variable.
+    Graphs(Vec<GraphRef>),
+    /// `unify P.v1, C.v1 where P.v1.name = C.v1.name;`
+    Unify {
+        /// Names to unify.
+        names: Vec<Names>,
+        /// Optional unification condition.
+        where_clause: Option<ExprAst>,
+    },
+}
+
+/// The pattern operand of a `for`: inline or by name.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatternRef {
+    /// Previously declared pattern name.
+    Named(String),
+    /// Inline pattern.
+    Inline(GraphPatternAst),
+}
+
+/// What the FLWR expression produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlwrBody {
+    /// `return template` — emit one graph per binding.
+    Return(GraphTemplateAst),
+    /// `let C = template` — accumulate into variable `C`.
+    Let {
+        /// Target variable.
+        name: String,
+        /// Template instantiated per binding.
+        template: GraphTemplateAst,
+    },
+}
+
+/// `for P [exhaustive] in doc("D") [where ...] (return|let) ...`
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlwrAst {
+    /// Pattern to match.
+    pub pattern: PatternRef,
+    /// Enumerate all mappings per graph, or one.
+    pub exhaustive: bool,
+    /// Source collection name (`doc("DBLP")`).
+    pub source: String,
+    /// Post-match filter.
+    pub where_clause: Option<ExprAst>,
+    /// Result clause.
+    pub body: FlwrBody,
+}
+
+/// A top-level statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A named graph pattern declaration.
+    Pattern(GraphPatternAst),
+    /// `C := template;` — bind a variable to an instantiated template.
+    Assign {
+        /// Variable name.
+        name: String,
+        /// Template (no pattern parameters in scope).
+        template: GraphTemplateAst,
+    },
+    /// A FLWR expression.
+    Flwr(FlwrAst),
+}
+
+/// A parsed program: a sequence of statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Statements in source order.
+    pub statements: Vec<Statement>,
+}

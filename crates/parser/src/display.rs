@@ -1,0 +1,355 @@
+//! Pretty-printing of the AST back to concrete GraphQL syntax.
+//!
+//! `parse(print(ast)) == ast` — the round-trip property is tested here
+//! and in the property suite, and makes programs inspectable/loggable.
+
+use crate::ast::*;
+use gql_core::Value;
+use std::fmt;
+
+fn write_value(f: &mut fmt::Formatter<'_>, v: &Value) -> fmt::Result {
+    match v {
+        Value::Str(s) => write!(f, "{s:?}"),
+        other => write!(f, "{other}"),
+    }
+}
+
+impl fmt::Display for ExprAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprAst::Literal(v) => write_value(f, v),
+            ExprAst::Name(n) => write!(f, "{}", n.to_dotted()),
+            ExprAst::Binary { op, lhs, rhs } => {
+                // Fully parenthesize: simple and unambiguous.
+                write!(f, "({lhs} {op} {rhs})")
+            }
+        }
+    }
+}
+
+impl fmt::Display for TupleAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        let mut first = true;
+        if let Some(t) = &self.tag {
+            write!(f, "{t}")?;
+            first = false;
+        }
+        for (k, v) in &self.attrs {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{k}=")?;
+            write_value(f, v)?;
+            first = false;
+        }
+        write!(f, ">")
+    }
+}
+
+impl fmt::Display for TupleTemplateAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        let mut first = true;
+        if let Some(t) = &self.tag {
+            write!(f, "{t}")?;
+            first = false;
+        }
+        for (k, e) in &self.attrs {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{k}={e}")?;
+            first = false;
+        }
+        write!(f, ">")
+    }
+}
+
+impl fmt::Display for MemberDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemberDecl::Nodes(ns) => {
+                write!(f, "node ")?;
+                for (i, n) in ns.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    if let Some(name) = &n.name {
+                        write!(f, "{name}")?;
+                    }
+                    if let Some(t) = &n.tuple {
+                        write!(f, " {t}")?;
+                    }
+                    if let Some(w) = &n.where_clause {
+                        write!(f, " where {w}")?;
+                    }
+                }
+                write!(f, ";")
+            }
+            MemberDecl::Edges(es) => {
+                write!(f, "edge ")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    if let Some(name) = &e.name {
+                        write!(f, "{name} ")?;
+                    }
+                    write!(f, "({}, {})", e.from.to_dotted(), e.to.to_dotted())?;
+                    if let Some(t) = &e.tuple {
+                        write!(f, " {t}")?;
+                    }
+                    if let Some(w) = &e.where_clause {
+                        write!(f, " where {w}")?;
+                    }
+                }
+                write!(f, ";")
+            }
+            MemberDecl::Graphs(gs) => {
+                write!(f, "graph ")?;
+                for (i, g) in gs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", g.name)?;
+                    if let Some(a) = &g.alias {
+                        write!(f, " as {a}")?;
+                    }
+                }
+                write!(f, ";")
+            }
+            MemberDecl::Unify {
+                names,
+                where_clause,
+            } => {
+                write!(f, "unify ")?;
+                for (i, n) in names.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", n.to_dotted())?;
+                }
+                if let Some(w) = where_clause {
+                    write!(f, " where {w}")?;
+                }
+                write!(f, ";")
+            }
+            MemberDecl::Export { name, alias } => {
+                write!(f, "export {} as {alias};", name.to_dotted())
+            }
+        }
+    }
+}
+
+impl fmt::Display for GraphPatternAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "graph")?;
+        if let Some(n) = &self.name {
+            write!(f, " {n}")?;
+        }
+        if let Some(t) = &self.tuple {
+            write!(f, " {t}")?;
+        }
+        writeln!(f, " {{")?;
+        for m in &self.members {
+            writeln!(f, "    {m}")?;
+        }
+        write!(f, "}}")?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " where {w}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TMemberDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TMemberDecl::Nodes(ns) => {
+                write!(f, "node ")?;
+                for (i, n) in ns.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    if let Some(name) = &n.name {
+                        write!(f, "{}", name.to_dotted())?;
+                    }
+                    if let Some(t) = &n.tuple {
+                        write!(f, " {t}")?;
+                    }
+                }
+                write!(f, ";")
+            }
+            TMemberDecl::Edges(es) => {
+                write!(f, "edge ")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    if let Some(name) = &e.name {
+                        write!(f, "{name} ")?;
+                    }
+                    write!(f, "({}, {})", e.from.to_dotted(), e.to.to_dotted())?;
+                    if let Some(t) = &e.tuple {
+                        write!(f, " {t}")?;
+                    }
+                }
+                write!(f, ";")
+            }
+            TMemberDecl::Graphs(gs) => {
+                write!(f, "graph ")?;
+                for (i, g) in gs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", g.name)?;
+                    if let Some(a) = &g.alias {
+                        write!(f, " as {a}")?;
+                    }
+                }
+                write!(f, ";")
+            }
+            TMemberDecl::Unify {
+                names,
+                where_clause,
+            } => {
+                write!(f, "unify ")?;
+                for (i, n) in names.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", n.to_dotted())?;
+                }
+                if let Some(w) = where_clause {
+                    write!(f, " where {w}")?;
+                }
+                write!(f, ";")
+            }
+        }
+    }
+}
+
+impl fmt::Display for GraphTemplateAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphTemplateAst::Ref(n) => write!(f, "{n}"),
+            GraphTemplateAst::Inline {
+                name,
+                tuple,
+                members,
+            } => {
+                write!(f, "graph")?;
+                if let Some(n) = name {
+                    write!(f, " {n}")?;
+                }
+                if let Some(t) = tuple {
+                    write!(f, " {t}")?;
+                }
+                writeln!(f, " {{")?;
+                for m in members {
+                    writeln!(f, "    {m}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for FlwrAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "for ")?;
+        match &self.pattern {
+            PatternRef::Named(n) => write!(f, "{n}")?,
+            PatternRef::Inline(p) => write!(f, "{p}")?,
+        }
+        if self.exhaustive {
+            write!(f, " exhaustive")?;
+        }
+        write!(f, " in doc({:?})", self.source)?;
+        if let Some(w) = &self.where_clause {
+            write!(f, " where {w}")?;
+        }
+        match &self.body {
+            FlwrBody::Return(t) => write!(f, " return {t}"),
+            FlwrBody::Let { name, template } => write!(f, " let {name} := {template}"),
+        }
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Pattern(p) => write!(f, "{p};"),
+            Statement::Assign { name, template } => write!(f, "{name} := {template};"),
+            Statement::Flwr(x) => write!(f, "{x};"),
+        }
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.statements {
+            writeln!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_program;
+
+    fn round_trip(src: &str) {
+        let p1 = parse_program(src).unwrap();
+        let printed = p1.to_string();
+        let p2 = parse_program(&printed).unwrap_or_else(|e| {
+            panic!("re-parse failed: {e}\n--- printed ---\n{printed}")
+        });
+        assert_eq!(p1, p2, "--- printed ---\n{printed}");
+    }
+
+    #[test]
+    fn round_trips_the_paper_examples() {
+        round_trip(
+            r#"graph G1 { node v1, v2, v3; edge e1 (v1, v2); edge e2 (v2, v3); edge e3 (v3, v1); };"#,
+        );
+        round_trip(
+            r#"graph G <inproceedings> {
+                node v1 <title="Title1" year=2006>;
+                node v2 <author name="A">;
+            };"#,
+        );
+        round_trip(
+            r#"graph P { node v1; node v2; } where v1.name="A" & v2.year>2000;"#,
+        );
+        round_trip(
+            r#"graph G3 { graph G1 as X; graph G1 as Y; unify X.v1, Y.v1; unify X.v3, Y.v2; };"#,
+        );
+        round_trip(
+            r#"graph Path { graph Path; node v1; edge e1 (v1, Path.v1); export Path.v2 as v2; };"#,
+        );
+        round_trip(
+            r#"
+            graph P { node v1 <author>; node v2 <author>; } where P.booktitle="SIGMOD";
+            C := graph {};
+            for P exhaustive in doc("DBLP")
+            let C := graph {
+                graph C;
+                node P.v1, P.v2;
+                edge e1 (P.v1, P.v2);
+                unify P.v1, C.v1 where P.v1.name=C.v1.name;
+            };"#,
+        );
+        round_trip(
+            r#"for graph Q { node a <x=1>; } in doc("db") where Q.a.x > 0
+               return graph { node n <v=Q.a.x*2+1>; };"#,
+        );
+    }
+
+    #[test]
+    fn expr_display_parenthesizes() {
+        let e = crate::parse_expr("a.x + 2 * 3 == 7 & b.y < 4").unwrap();
+        assert_eq!(e.to_string(), "(((a.x + (2 * 3)) == 7) & (b.y < 4))");
+    }
+}

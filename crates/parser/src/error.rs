@@ -1,0 +1,50 @@
+//! Parser error type.
+
+use std::fmt;
+
+/// Errors from lexing or parsing GraphQL text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// Whether the error came from the lexer.
+    pub lexical: bool,
+}
+
+impl ParseError {
+    /// A lexer error at the given position.
+    pub fn lex(message: impl Into<String>, line: u32, col: u32) -> Self {
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+            lexical: true,
+        }
+    }
+
+    /// A parser error at the given position.
+    pub fn syntax(message: impl Into<String>, line: u32, col: u32) -> Self {
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+            lexical: false,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.lexical { "lex" } else { "syntax" };
+        write!(f, "{kind} error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias for the parser crate.
+pub type Result<T> = std::result::Result<T, ParseError>;

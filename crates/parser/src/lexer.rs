@@ -1,0 +1,449 @@
+//! Hand-written lexer for the GraphQL surface syntax.
+//!
+//! Supports `//` line comments and `/* */` block comments as a practical
+//! extension (the paper's listings carry no comments).
+
+use crate::error::{ParseError, Result};
+use crate::token::{Spanned, Token};
+
+/// Lexes `src` into a token stream terminated by [`Token::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Spanned>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::lex(msg, self.line, self.col)
+    }
+
+    fn run(mut self) -> Result<Vec<Spanned>> {
+        let mut out = Vec::new();
+        loop {
+            // Skip whitespace and comments.
+            loop {
+                match self.peek() {
+                    Some(c) if c.is_whitespace() => {
+                        self.bump();
+                    }
+                    Some('/') => {
+                        // Maybe a comment; look ahead without consuming a
+                        // division operator.
+                        let mut clone = self.chars.clone();
+                        clone.next();
+                        match clone.peek() {
+                            Some('/') => {
+                                while let Some(c) = self.bump() {
+                                    if c == '\n' {
+                                        break;
+                                    }
+                                }
+                            }
+                            Some('*') => {
+                                self.bump();
+                                self.bump();
+                                let mut prev = '\0';
+                                loop {
+                                    match self.bump() {
+                                        None => return Err(self.error("unterminated block comment")),
+                                        Some('/') if prev == '*' => break,
+                                        Some(c) => prev = c,
+                                    }
+                                }
+                            }
+                            _ => break,
+                        }
+                    }
+                    _ => break,
+                }
+            }
+
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else {
+                out.push(Spanned {
+                    token: Token::Eof,
+                    line,
+                    col,
+                });
+                return Ok(out);
+            };
+
+            let token = match c {
+                'a'..='z' | 'A'..='Z' | '_' => self.ident(),
+                '0'..='9' => self.number(false)?,
+                '"' | '\u{201c}' | '\u{201d}' => self.string()?,
+                _ => {
+                    self.bump();
+                    match c {
+                        '(' => Token::LParen,
+                        ')' => Token::RParen,
+                        '{' => Token::LBrace,
+                        '}' => Token::RBrace,
+                        ',' => Token::Comma,
+                        ';' => Token::Semi,
+                        '.' => Token::Dot,
+                        '|' => Token::Pipe,
+                        '&' => Token::Amp,
+                        '+' => Token::Plus,
+                        '*' => Token::Star,
+                        '/' => Token::Slash,
+                        '-' => {
+                            // Negative numeric literal or minus operator:
+                            // the grammar has no unary minus, so fold the
+                            // sign into a following digit — but only when
+                            // the previous token cannot end an operand,
+                            // otherwise `x-7` would lex as `x`, `-7` and
+                            // break subtraction.
+                            let after_operand = matches!(
+                                out.last().map(|s: &Spanned| &s.token),
+                                Some(
+                                    Token::Ident(_)
+                                        | Token::Int(_)
+                                        | Token::Float(_)
+                                        | Token::Str(_)
+                                        | Token::RParen
+                                )
+                            );
+                            if !after_operand
+                                && self.peek().is_some_and(|d| d.is_ascii_digit())
+                            {
+                                self.number(true)?
+                            } else {
+                                Token::Minus
+                            }
+                        }
+                        ':' => {
+                            if self.peek() == Some('=') {
+                                self.bump();
+                                Token::ColonAssign
+                            } else {
+                                return Err(self.error("expected '=' after ':'"));
+                            }
+                        }
+                        '=' => {
+                            if self.peek() == Some('=') {
+                                self.bump();
+                                Token::EqEq
+                            } else {
+                                Token::Assign
+                            }
+                        }
+                        '!' => {
+                            if self.peek() == Some('=') {
+                                self.bump();
+                                Token::NotEq
+                            } else {
+                                return Err(self.error("expected '=' after '!'"));
+                            }
+                        }
+                        '<' => {
+                            if self.peek() == Some('=') {
+                                self.bump();
+                                Token::Le
+                            } else {
+                                Token::Lt
+                            }
+                        }
+                        '>' => {
+                            if self.peek() == Some('=') {
+                                self.bump();
+                                Token::Ge
+                            } else {
+                                Token::Gt
+                            }
+                        }
+                        other => {
+                            return Err(self.error(format!("unexpected character {other:?}")))
+                        }
+                    }
+                }
+            };
+            out.push(Spanned { token, line, col });
+        }
+    }
+
+    fn ident(&mut self) -> Token {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Token::keyword(&s).unwrap_or(Token::Ident(s))
+    }
+
+    fn number(&mut self, negative: bool) -> Result<Token> {
+        let mut s = String::new();
+        if negative {
+            s.push('-');
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                s.push(c);
+                self.bump();
+            } else if c == '.' && !is_float {
+                // A digit must follow, else this dot is member access
+                // (e.g. `2.x` never occurs, but `P.v1` after ints can't).
+                let mut clone = self.chars.clone();
+                clone.next();
+                if clone.peek().is_some_and(|d| d.is_ascii_digit()) {
+                    is_float = true;
+                    s.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            } else if c == 'e' || c == 'E' {
+                // Exponent part.
+                let mut clone = self.chars.clone();
+                clone.next();
+                let next = clone.peek().copied();
+                if next.is_some_and(|d| d.is_ascii_digit() || d == '+' || d == '-') {
+                    is_float = true;
+                    s.push(c);
+                    self.bump();
+                    if self.peek().is_some_and(|d| d == '+' || d == '-') {
+                        s.push(self.bump().expect("peeked"));
+                    }
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        if is_float {
+            s.parse::<f64>()
+                .map(Token::Float)
+                .map_err(|e| self.error(format!("invalid float literal {s:?}: {e}")))
+        } else {
+            s.parse::<i64>()
+                .map(Token::Int)
+                .map_err(|e| self.error(format!("invalid int literal {s:?}: {e}")))
+        }
+    }
+
+    fn string(&mut self) -> Result<Token> {
+        let open = self.bump().expect("peeked"); // opening quote
+        let closing = match open {
+            '\u{201c}' => '\u{201d}', // tolerate curly quotes from the paper's PDF
+            _ => '"',
+        };
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string literal")),
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('\\') => s.push('\\'),
+                    Some('"') => s.push('"'),
+                    Some(other) => {
+                        return Err(self.error(format!("unknown escape \\{other}")));
+                    }
+                    None => return Err(self.error("unterminated string literal")),
+                },
+                Some(c) if c == closing || (closing == '"' && c == '"') => break,
+                Some(c) => s.push(c),
+            }
+        }
+        Ok(Token::Str(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("graph G1 where exhaustive v1"),
+            vec![
+                Token::Graph,
+                Token::Ident("G1".into()),
+                Token::Where,
+                Token::Exhaustive,
+                Token::Ident("v1".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("= == != < <= > >= | & + - * / :="),
+            vec![
+                Token::Assign,
+                Token::EqEq,
+                Token::NotEq,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Pipe,
+                Token::Amp,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::ColonAssign,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("42, -7, 3.5 1e3 2E-2"),
+            vec![
+                Token::Int(42),
+                Token::Comma,
+                Token::Int(-7),
+                Token::Comma,
+                Token::Float(3.5),
+                Token::Float(1000.0),
+                Token::Float(0.02),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_names_are_not_floats() {
+        assert_eq!(
+            toks("P.v1.name"),
+            vec![
+                Token::Ident("P".into()),
+                Token::Dot,
+                Token::Ident("v1".into()),
+                Token::Dot,
+                Token::Ident("name".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(
+            toks(r#""SIGMOD" "a\"b\n""#),
+            vec![
+                Token::Str("SIGMOD".into()),
+                Token::Str("a\"b\n".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("graph // c\n /* multi\nline */ node"),
+            vec![Token::Graph, Token::Node, Token::Eof]
+        );
+        assert_eq!(toks("1 / 2"), vec![Token::Int(1), Token::Slash, Token::Int(2), Token::Eof]);
+    }
+
+    #[test]
+    fn tuple_sample_from_figure_4_7() {
+        let ts = toks(r#"<author name="A">"#);
+        assert_eq!(
+            ts,
+            vec![
+                Token::Lt,
+                Token::Ident("author".into()),
+                Token::Ident("name".into()),
+                Token::Assign,
+                Token::Str("A".into()),
+                Token::Gt,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_location() {
+        let err = lex("graph\n  #").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("2:"), "{msg}");
+    }
+
+    #[test]
+    fn unterminated_string_and_comment() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("/* abc").is_err());
+        assert!(lex("!x").is_err());
+        assert!(lex(": x").is_err());
+    }
+}
+
+#[cfg(test)]
+mod subtraction_tests {
+    use super::*;
+    use crate::token::Token;
+
+    #[test]
+    fn minus_after_operand_is_subtraction() {
+        let toks: Vec<Token> = lex("x-7").unwrap().into_iter().map(|s| s.token).collect();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("x".into()),
+                Token::Minus,
+                Token::Int(7),
+                Token::Eof
+            ]
+        );
+        let toks2: Vec<Token> = lex("(1)-2").unwrap().into_iter().map(|s| s.token).collect();
+        assert_eq!(toks2[2], Token::RParen);
+        assert_eq!(toks2[3], Token::Minus);
+        // Leading minus still makes a negative literal.
+        let toks3: Vec<Token> = lex("= -7").unwrap().into_iter().map(|s| s.token).collect();
+        assert_eq!(toks3[1], Token::Int(-7));
+    }
+
+    #[test]
+    fn subtraction_parses_in_expressions() {
+        let e = crate::parse_expr("v1.x-7 > 0").unwrap();
+        assert_eq!(e.to_string(), "((v1.x - 7) > 0)");
+    }
+}

@@ -1,0 +1,32 @@
+//! # gql-parser — surface syntax of the GraphQL query language
+//!
+//! Lexer, recursive-descent parser, and AST for the concrete syntax of
+//! *"Graphs-at-a-time"* (He & Singh, SIGMOD 2008), Appendix 4.A: graph
+//! patterns, attribute tuples, `where` predicates, graph templates, and
+//! FLWR (`for`/`let`/`where`/`return`) expressions.
+//!
+//! ```
+//! use gql_parser::{parse_pattern, ast::MemberDecl};
+//!
+//! let p = parse_pattern(r#"
+//!     graph P {
+//!         node v1 <author>;
+//!         node v2 <author>;
+//!     } where P.booktitle = "SIGMOD"
+//! "#).unwrap();
+//! assert_eq!(p.name.as_deref(), Some("P"));
+//! assert!(matches!(p.members[0], MemberDecl::Nodes(_)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod display;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use ast::Program;
+pub use error::{ParseError, Result};
+pub use parser::{parse_expr, parse_pattern, parse_program};

@@ -1,0 +1,179 @@
+//! Tokens of the GraphQL surface syntax (Appendix 4.A).
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    // Keywords
+    /// `graph`
+    Graph,
+    /// `node`
+    Node,
+    /// `edge`
+    Edge,
+    /// `unify`
+    Unify,
+    /// `where`
+    Where,
+    /// `for`
+    For,
+    /// `in`
+    In,
+    /// `doc`
+    Doc,
+    /// `exhaustive`
+    Exhaustive,
+    /// `return`
+    Return,
+    /// `let`
+    Let,
+    /// `as`
+    As,
+    /// `export`
+    Export,
+    /// `and` — accepted alias for `&` (used in Figure 4.8 of the paper)
+    And,
+    /// `or` — accepted alias for `|`
+    Or,
+
+    // Literals and identifiers
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (unescaped contents).
+    Str(String),
+
+    // Punctuation
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `:=`
+    ColonAssign,
+    /// `|`
+    Pipe,
+    /// `&`
+    Amp,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<` — also the opening tuple delimiter
+    Lt,
+    /// `<=`
+    Le,
+    /// `>` — also the closing tuple delimiter
+    Gt,
+    /// `>=`
+    Ge,
+
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// Keyword lookup for an identifier-shaped lexeme.
+    pub fn keyword(s: &str) -> Option<Token> {
+        Some(match s {
+            "graph" => Token::Graph,
+            "node" => Token::Node,
+            "edge" => Token::Edge,
+            "unify" => Token::Unify,
+            "where" => Token::Where,
+            "for" => Token::For,
+            "in" => Token::In,
+            "doc" => Token::Doc,
+            "exhaustive" => Token::Exhaustive,
+            "return" => Token::Return,
+            "let" => Token::Let,
+            "as" => Token::As,
+            "export" => Token::Export,
+            "and" => Token::And,
+            "or" => Token::Or,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Graph => write!(f, "graph"),
+            Token::Node => write!(f, "node"),
+            Token::Edge => write!(f, "edge"),
+            Token::Unify => write!(f, "unify"),
+            Token::Where => write!(f, "where"),
+            Token::For => write!(f, "for"),
+            Token::In => write!(f, "in"),
+            Token::Doc => write!(f, "doc"),
+            Token::Exhaustive => write!(f, "exhaustive"),
+            Token::Return => write!(f, "return"),
+            Token::Let => write!(f, "let"),
+            Token::As => write!(f, "as"),
+            Token::Export => write!(f, "export"),
+            Token::And => write!(f, "and"),
+            Token::Or => write!(f, "or"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::Comma => write!(f, ","),
+            Token::Semi => write!(f, ";"),
+            Token::Dot => write!(f, "."),
+            Token::Assign => write!(f, "="),
+            Token::ColonAssign => write!(f, ":="),
+            Token::Pipe => write!(f, "|"),
+            Token::Amp => write!(f, "&"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::EqEq => write!(f, "=="),
+            Token::NotEq => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Eof => write!(f, "<EOF>"),
+        }
+    }
+}
+
+/// A token with its source position (1-based line/column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Line number, 1-based.
+    pub line: u32,
+    /// Column number, 1-based.
+    pub col: u32,
+}

@@ -1,0 +1,55 @@
+//! Errors of the relational substrate.
+
+use std::fmt;
+
+/// Relational engine errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelError {
+    /// Row arity does not match the schema.
+    Arity {
+        /// Table name.
+        table: String,
+        /// Expected column count.
+        expected: usize,
+        /// Provided value count.
+        got: usize,
+    },
+    /// SQL lex/parse/semantic error.
+    Sql(String),
+    /// Unknown table in FROM.
+    UnknownTable {
+        /// The table name.
+        name: String,
+    },
+    /// Unknown or ambiguous column.
+    UnknownColumn {
+        /// The column reference.
+        name: String,
+    },
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::Arity {
+                table,
+                expected,
+                got,
+            } => write!(f, "table {table:?} expects {expected} values, got {got}"),
+            RelError::Sql(m) => write!(f, "SQL error: {m}"),
+            RelError::UnknownTable { name } => write!(f, "unknown table {name:?}"),
+            RelError::UnknownColumn { name } => write!(f, "unknown column {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+impl From<gql_core::CoreError> for RelError {
+    fn from(e: gql_core::CoreError) -> Self {
+        RelError::Sql(e.to_string())
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, RelError>;

@@ -1,0 +1,638 @@
+//! Query execution: index-nested-loop joins with a greedy join order,
+//! approximating what the paper's MySQL baseline does with B-tree
+//! indexes on every field.
+
+use crate::error::{RelError, Result};
+use crate::index::{BTreeIndex, HashIndex};
+use crate::sql::{CmpOp, ColRef, Operand, SelectStmt};
+use crate::table::Table;
+use gql_core::Value;
+use rustc_hash::FxHashMap;
+use std::time::Instant;
+
+/// A relational database: tables with hash indexes on every column
+/// (standing in for the paper's "B-tree indices ... for each field").
+#[derive(Debug, Default)]
+pub struct RelDatabase {
+    tables: FxHashMap<String, Table>,
+    indexes: FxHashMap<(String, usize), HashIndex>,
+    btrees: FxHashMap<(String, usize), BTreeIndex>,
+}
+
+/// Execution limits, mirroring the experimental protocol (kill >1000-hit
+/// queries, wall-clock bounded runs).
+#[derive(Debug, Clone, Default)]
+pub struct ExecLimits {
+    /// Stop after this many result rows (0 = unlimited).
+    pub max_rows: usize,
+    /// Abort at this instant.
+    pub deadline: Option<Instant>,
+}
+
+/// Result rows plus effort counters.
+#[derive(Debug, Clone, Default)]
+pub struct ExecResult {
+    /// Projected result rows.
+    pub rows: Vec<Vec<Value>>,
+    /// Candidate rows examined across all join levels.
+    pub rows_examined: u64,
+    /// True if the deadline fired.
+    pub timed_out: bool,
+}
+
+impl RelDatabase {
+    /// Empty database.
+    pub fn new() -> Self {
+        RelDatabase::default()
+    }
+
+    /// Adds a table, building an index on every column.
+    pub fn add_table(&mut self, t: Table) {
+        for c in 0..t.columns().len() {
+            self.indexes
+                .insert((t.name.clone(), c), HashIndex::build(&t, c));
+            self.btrees
+                .insert((t.name.clone(), c), BTreeIndex::build(&t, c));
+        }
+        self.tables.insert(t.name.clone(), t);
+    }
+
+    /// Table lookup.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Parses and executes a SQL `SELECT`.
+    pub fn query(&self, sql: &str, limits: &ExecLimits) -> Result<ExecResult> {
+        let stmt = crate::sql::parse_select(sql)?;
+        self.execute(&stmt, limits)
+    }
+
+    /// Executes a parsed `SELECT`.
+    pub fn execute(&self, stmt: &SelectStmt, limits: &ExecLimits) -> Result<ExecResult> {
+        let plan = Plan::build(self, stmt)?;
+        plan.run(self, limits)
+    }
+}
+
+/// One alias bound to a base table.
+struct AliasInfo {
+    table: String,
+    n_rows: usize,
+}
+
+/// A resolved column: (alias index, column index).
+type Col = (usize, usize);
+
+enum Pred {
+    /// `col op literal`
+    Const { col: Col, op: CmpOp, lit: Value },
+    /// `col op col`
+    Join { l: Col, op: CmpOp, r: Col },
+}
+
+/// Plan-time access path for one alias.
+#[derive(Clone, Copy)]
+enum Access {
+    /// Full scan.
+    Scan,
+    /// Indexed lookup driven by `preds[i]` (an equality predicate).
+    Pred(usize),
+    /// B-tree range scan driven by `preds[i]` (a constant comparison).
+    Range(usize),
+}
+
+struct Plan {
+    aliases: Vec<AliasInfo>,
+    order: Vec<usize>,
+    preds: Vec<Pred>,
+    projection: Vec<Col>,
+    access: Vec<Access>,
+}
+
+impl Plan {
+    fn build(db: &RelDatabase, stmt: &SelectStmt) -> Result<Plan> {
+        let mut alias_ids: FxHashMap<&str, usize> = FxHashMap::default();
+        let mut aliases = Vec::new();
+        for (i, t) in stmt.from.iter().enumerate() {
+            let table = db
+                .tables
+                .get(&t.table)
+                .ok_or_else(|| RelError::UnknownTable { name: t.table.clone() })?;
+            if alias_ids.insert(t.alias.as_str(), i).is_some() {
+                return Err(RelError::Sql(format!("duplicate alias {:?}", t.alias)));
+            }
+            aliases.push(AliasInfo {
+                table: t.table.clone(),
+                n_rows: table.len(),
+            });
+        }
+
+        let resolve = |c: &ColRef| -> Result<Col> {
+            match &c.alias {
+                Some(a) => {
+                    let &ai = alias_ids
+                        .get(a.as_str())
+                        .ok_or_else(|| RelError::UnknownColumn {
+                            name: format!("{a}.{}", c.column),
+                        })?;
+                    let t = &db.tables[&aliases[ai].table];
+                    let ci = t
+                        .column_index(&c.column)
+                        .ok_or_else(|| RelError::UnknownColumn {
+                            name: format!("{a}.{}", c.column),
+                        })?;
+                    Ok((ai, ci))
+                }
+                None => {
+                    // Unqualified: unique across aliases.
+                    let mut found = None;
+                    for (ai, info) in aliases.iter().enumerate() {
+                        if let Some(ci) = db.tables[&info.table].column_index(&c.column) {
+                            if found.is_some() {
+                                return Err(RelError::Sql(format!(
+                                    "ambiguous column {:?}",
+                                    c.column
+                                )));
+                            }
+                            found = Some((ai, ci));
+                        }
+                    }
+                    found.ok_or_else(|| RelError::UnknownColumn {
+                        name: c.column.clone(),
+                    })
+                }
+            }
+        };
+
+        let mut preds = Vec::new();
+        for cond in &stmt.conditions {
+            match (&cond.lhs, &cond.rhs) {
+                (Operand::Col(l), Operand::Col(r)) => preds.push(Pred::Join {
+                    l: resolve(l)?,
+                    op: cond.op,
+                    r: resolve(r)?,
+                }),
+                (Operand::Col(l), Operand::Lit(v)) => preds.push(Pred::Const {
+                    col: resolve(l)?,
+                    op: cond.op,
+                    lit: v.clone(),
+                }),
+                (Operand::Lit(v), Operand::Col(r)) => preds.push(Pred::Const {
+                    col: resolve(r)?,
+                    op: flip(cond.op),
+                    lit: v.clone(),
+                }),
+                (Operand::Lit(_), Operand::Lit(_)) => {
+                    return Err(RelError::Sql("literal-only condition".into()))
+                }
+            }
+        }
+
+        let projection: Vec<Col> = if stmt.projection.is_empty() {
+            // `*`: all columns of all aliases in order.
+            let mut cols = Vec::new();
+            for (ai, info) in aliases.iter().enumerate() {
+                for ci in 0..db.tables[&info.table].columns().len() {
+                    cols.push((ai, ci));
+                }
+            }
+            cols
+        } else {
+            stmt.projection
+                .iter()
+                .map(resolve)
+                .collect::<Result<Vec<_>>>()?
+        };
+
+        // Greedy join order: start from the alias with the most constant
+        // equality predicates (ties: fewest rows); then repeatedly take
+        // an alias equality-joined to a bound one (ties: constant preds,
+        // then size), else any remaining. This approximates MySQL's
+        // left-deep greedy optimizer.
+        let k = aliases.len();
+        let const_eqs: Vec<usize> = (0..k)
+            .map(|a| {
+                preds
+                    .iter()
+                    .filter(
+                        |p| matches!(p, Pred::Const { col, op: CmpOp::Eq, .. } if col.0 == a),
+                    )
+                    .count()
+            })
+            .collect();
+        let mut bound = vec![false; k];
+        let mut order = Vec::with_capacity(k);
+        let first = (0..k)
+            .min_by_key(|&a| {
+                (
+                    std::cmp::Reverse(const_eqs[a]),
+                    aliases[a].n_rows,
+                )
+            })
+            .ok_or_else(|| RelError::Sql("empty FROM".into()))?;
+        bound[first] = true;
+        order.push(first);
+        while order.len() < k {
+            let joined = |a: usize| {
+                preds.iter().any(|p| match p {
+                    Pred::Join { l, op: CmpOp::Eq, r } => {
+                        (l.0 == a && bound[r.0]) || (r.0 == a && bound[l.0])
+                    }
+                    _ => false,
+                })
+            };
+            let next = (0..k)
+                .filter(|&a| !bound[a])
+                .min_by_key(|&a| {
+                    (
+                        !joined(a),
+                        std::cmp::Reverse(const_eqs[a]),
+                        aliases[a].n_rows,
+                    )
+                })
+                .expect("unbound alias remains");
+            bound[next] = true;
+            order.push(next);
+        }
+
+        // Fix each alias's access path at plan time, like a classic
+        // index-nested-loop engine ("ref" access): a constant equality
+        // predicate if one exists, else the first equality join against
+        // an earlier alias in the order, else a scan. Choosing the best
+        // index *per row* would smuggle in the graph matcher's
+        // feasible-mate adaptivity and flatter the baseline.
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; k];
+            for (i, &a) in order.iter().enumerate() {
+                pos[a] = i;
+            }
+            pos
+        };
+        let mut access: Vec<Access> = vec![Access::Scan; k];
+        for (pi, p) in preds.iter().enumerate() {
+            match p {
+                Pred::Const { col, op: CmpOp::Eq, .. } => {
+                    if matches!(access[col.0], Access::Scan) {
+                        access[col.0] = Access::Pred(pi);
+                    }
+                }
+                Pred::Join { l, op: CmpOp::Eq, r } => {
+                    // The later alias can be driven by the earlier one.
+                    let (later, _earlier) = if pos[l.0] > pos[r.0] { (l.0, r.0) } else { (r.0, l.0) };
+                    if matches!(access[later], Access::Scan) {
+                        access[later] = Access::Pred(pi);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Constant range predicates beat scans when nothing else applies.
+        for (pi, p) in preds.iter().enumerate() {
+            if let Pred::Const { col, op, .. } = p {
+                if matches!(op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge)
+                    && matches!(access[col.0], Access::Scan)
+                {
+                    access[col.0] = Access::Range(pi);
+                }
+            }
+        }
+        // Constant equality predicates win over everything.
+        for (pi, p) in preds.iter().enumerate() {
+            if let Pred::Const { col, op: CmpOp::Eq, .. } = p {
+                access[col.0] = Access::Pred(pi);
+            }
+        }
+
+        Ok(Plan {
+            aliases,
+            order,
+            preds,
+            projection,
+            access,
+        })
+    }
+
+    fn run(&self, db: &RelDatabase, limits: &ExecLimits) -> Result<ExecResult> {
+        let k = self.aliases.len();
+        let mut out = ExecResult::default();
+        // Current row id per alias.
+        let mut current: Vec<Option<u32>> = vec![None; k];
+
+        // Group predicates by the *latest* alias they mention in join
+        // order, so each is checked as early as possible.
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; k];
+            for (i, &a) in self.order.iter().enumerate() {
+                pos[a] = i;
+            }
+            pos
+        };
+        let mut level_preds: Vec<Vec<&Pred>> = (0..k).map(|_| Vec::new()).collect();
+        for p in &self.preds {
+            let lvl = match p {
+                Pred::Const { col, .. } => pos[col.0],
+                Pred::Join { l, r, .. } => pos[l.0].max(pos[r.0]),
+            };
+            level_preds[lvl].push(p);
+        }
+
+        self.recurse(db, limits, 0, &level_preds, &mut current, &mut out)?;
+        Ok(out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        &self,
+        db: &RelDatabase,
+        limits: &ExecLimits,
+        depth: usize,
+        level_preds: &[Vec<&Pred>],
+        current: &mut Vec<Option<u32>>,
+        out: &mut ExecResult,
+    ) -> Result<bool> {
+        if depth == self.order.len() {
+            let mut row = Vec::with_capacity(self.projection.len());
+            for &(ai, ci) in &self.projection {
+                let rid = current[ai].expect("bound") as usize;
+                row.push(db.tables[&self.aliases[ai].table].row(rid)[ci].clone());
+            }
+            out.rows.push(row);
+            if limits.max_rows > 0 && out.rows.len() >= limits.max_rows {
+                return Ok(false);
+            }
+            return Ok(true);
+        }
+        let alias = self.order[depth];
+        let table = &db.tables[&self.aliases[alias].table];
+
+        // Use the access path fixed at plan time.
+        let mut range_rows: Option<Vec<u32>> = None;
+        if let Access::Range(pi) = self.access[alias] {
+            if let Pred::Const { col, op, lit } = &self.preds[pi] {
+                use std::ops::Bound::{Excluded, Included, Unbounded};
+                let idx = &db.btrees[&(self.aliases[alias].table.clone(), col.1)];
+                let (lo, hi) = match op {
+                    CmpOp::Lt => (Unbounded, Excluded(lit)),
+                    CmpOp::Le => (Unbounded, Included(lit)),
+                    CmpOp::Gt => (Excluded(lit), Unbounded),
+                    CmpOp::Ge => (Included(lit), Unbounded),
+                    _ => (Unbounded, Unbounded),
+                };
+                range_rows = Some(idx.range(lo, hi).collect());
+            }
+        }
+        let lookup = match self.access[alias] {
+            Access::Scan | Access::Range(_) => None,
+            Access::Pred(pi) => match &self.preds[pi] {
+                Pred::Const { col, lit, .. } => Some((col.1, lit.clone())),
+                Pred::Join { l, r, .. } => {
+                    if l.0 == alias && current[r.0].is_some() {
+                        let rid = current[r.0].expect("bound") as usize;
+                        Some((l.1, db.tables[&self.aliases[r.0].table].row(rid)[r.1].clone()))
+                    } else if r.0 == alias && current[l.0].is_some() {
+                        let rid = current[l.0].expect("bound") as usize;
+                        Some((r.1, db.tables[&self.aliases[l.0].table].row(rid)[l.1].clone()))
+                    } else {
+                        None
+                    }
+                }
+            },
+        };
+        let candidates: Vec<u32> = match (lookup, range_rows) {
+            (Some((col, key)), _) => {
+                let idx = &db.indexes[&(self.aliases[alias].table.clone(), col)];
+                idx.get(&key).to_vec()
+            }
+            (None, Some(rows)) => rows,
+            (None, None) => (0..table.len() as u32).collect(),
+        };
+
+        for rid in candidates {
+            out.rows_examined += 1;
+            if out.rows_examined.is_multiple_of(4096) {
+                if let Some(d) = limits.deadline {
+                    if Instant::now() >= d {
+                        out.timed_out = true;
+                        return Ok(false);
+                    }
+                }
+            }
+            current[alias] = Some(rid);
+            // Check every predicate fully determined at this level.
+            let ok = level_preds[depth].iter().all(|p| self.check(db, p, current));
+            if ok && !self.recurse(db, limits, depth + 1, level_preds, current, out)? {
+                current[alias] = None;
+                return Ok(false);
+            }
+            current[alias] = None;
+        }
+        Ok(true)
+    }
+
+    fn check(&self, db: &RelDatabase, p: &Pred, current: &[Option<u32>]) -> bool {
+        let value = |c: &Col| -> Value {
+            let rid = current[c.0].expect("determined at this level") as usize;
+            db.tables[&self.aliases[c.0].table].row(rid)[c.1].clone()
+        };
+        match p {
+            Pred::Const { col, op, lit } => cmp(&value(col), *op, lit),
+            Pred::Join { l, op, r } => cmp(&value(l), *op, &value(r)),
+        }
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        other => other,
+    }
+}
+
+fn cmp(a: &Value, op: CmpOp, b: &Value) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        _ => match a.compare(b) {
+            None => false,
+            Some(ord) => match op {
+                CmpOp::Lt => ord.is_lt(),
+                CmpOp::Le => ord.is_le(),
+                CmpOp::Gt => ord.is_gt(),
+                CmpOp::Ge => ord.is_ge(),
+                CmpOp::Eq | CmpOp::Ne => unreachable!(),
+            },
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> RelDatabase {
+        let mut db = RelDatabase::new();
+        let mut v = Table::new("V", &["vid", "label"]);
+        for (i, l) in ["A", "A", "B", "B", "C", "C"].iter().enumerate() {
+            v.insert(vec![Value::Int(i as i64), Value::Str(l.to_string())])
+                .unwrap();
+        }
+        // Figure 4.16 graph: A1=0, A2=1, B1=2, B2=3, C1=4, C2=5.
+        let mut e = Table::new("E", &["vid1", "vid2"]);
+        for (a, b) in [(0, 2), (0, 5), (2, 5), (2, 4), (3, 5), (1, 3)] {
+            e.insert(vec![Value::Int(a), Value::Int(b)]).unwrap();
+            e.insert(vec![Value::Int(b), Value::Int(a)]).unwrap();
+        }
+        db.add_table(v);
+        db.add_table(e);
+        db
+    }
+
+    #[test]
+    fn selection_with_constant() {
+        let r = db()
+            .query("SELECT V.vid FROM V WHERE V.label = 'B'", &ExecLimits::default())
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0], vec![Value::Int(2)]);
+    }
+
+    #[test]
+    fn figure_4_2_triangle_query_finds_single_triangle() {
+        let sql = "SELECT V1.vid, V2.vid, V3.vid \
+             FROM V AS V1, V AS V2, V AS V3, E AS E1, E AS E2, E AS E3 \
+             WHERE V1.label = 'A' AND V2.label = 'B' AND V3.label = 'C' \
+             AND V1.vid = E1.vid1 AND V1.vid = E3.vid1 \
+             AND V2.vid = E1.vid2 AND V2.vid = E2.vid1 \
+             AND V3.vid = E2.vid2 AND V3.vid = E3.vid2 \
+             AND V1.vid <> V2.vid AND V1.vid <> V3.vid \
+             AND V2.vid <> V3.vid;";
+        let r = db().query(sql, &ExecLimits::default()).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(
+            r.rows[0],
+            vec![Value::Int(0), Value::Int(2), Value::Int(5)],
+            "A1, B1, C2"
+        );
+        assert!(r.rows_examined > 0);
+    }
+
+    #[test]
+    fn join_uses_indexes_not_full_product() {
+        let d = db();
+        let r = d
+            .query(
+                "SELECT V1.vid, V2.vid FROM V AS V1, E AS E1, V AS V2 \
+                 WHERE V1.label = 'A' AND V1.vid = E1.vid1 AND V2.vid = E1.vid2",
+                &ExecLimits::default(),
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 3, "A1-B1, A1-C2, A2-B2");
+        // With indexes, examined rows must be far below the 6*12*6 = 432
+        // full product.
+        assert!(r.rows_examined < 60, "examined {}", r.rows_examined);
+    }
+
+    #[test]
+    fn max_rows_and_star() {
+        let r = db()
+            .query(
+                "SELECT * FROM V",
+                &ExecLimits {
+                    max_rows: 3,
+                    deadline: None,
+                },
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0].len(), 2);
+    }
+
+    #[test]
+    fn deadline_fires() {
+        // Cross product of E with itself 3 times is large enough to trip
+        // an already-expired deadline.
+        let r = db()
+            .query(
+                "SELECT E1.vid1 FROM E AS E1, E AS E2, E AS E3, E AS E4",
+                &ExecLimits {
+                    max_rows: 0,
+                    deadline: Some(Instant::now()),
+                },
+            )
+            .unwrap();
+        assert!(r.timed_out);
+    }
+
+    #[test]
+    fn unknown_identifiers_error() {
+        let d = db();
+        assert!(matches!(
+            d.query("SELECT x FROM Nope", &ExecLimits::default()),
+            Err(RelError::UnknownTable { .. })
+        ));
+        assert!(matches!(
+            d.query("SELECT V.nope FROM V", &ExecLimits::default()),
+            Err(RelError::UnknownColumn { .. })
+        ));
+        assert!(d
+            .query("SELECT vid1 FROM V, E", &ExecLimits::default())
+            .is_ok());
+        assert!(d
+            .query("SELECT vid FROM V AS a, V AS b", &ExecLimits::default())
+            .is_err(), "ambiguous unqualified column");
+    }
+}
+
+#[cfg(test)]
+mod range_tests {
+    use super::*;
+
+    #[test]
+    fn range_predicates_use_btree_access() {
+        let mut db = RelDatabase::new();
+        let mut v = Table::new("V", &["vid", "label"]);
+        for i in 0..1000i64 {
+            v.insert(vec![Value::Int(i), Value::Str(format!("L{}", i % 7))])
+                .unwrap();
+        }
+        db.add_table(v);
+        let r = db
+            .query("SELECT V.vid FROM V WHERE V.vid >= 990", &ExecLimits::default())
+            .unwrap();
+        assert_eq!(r.rows.len(), 10);
+        assert!(
+            r.rows_examined <= 10,
+            "range scan must not touch all 1000 rows: {}",
+            r.rows_examined
+        );
+        let r2 = db
+            .query(
+                "SELECT V.vid FROM V WHERE V.vid < 5 AND V.label = 'L1'",
+                &ExecLimits::default(),
+            )
+            .unwrap();
+        assert_eq!(r2.rows.len(), 1, "vid=1 has label L1");
+    }
+
+    #[test]
+    fn equality_still_beats_range() {
+        let mut db = RelDatabase::new();
+        let mut v = Table::new("V", &["vid", "label"]);
+        for i in 0..100i64 {
+            v.insert(vec![Value::Int(i), Value::Str("X".into())]).unwrap();
+        }
+        db.add_table(v);
+        let r = db
+            .query(
+                "SELECT V.vid FROM V WHERE V.vid > 0 AND V.vid = 5",
+                &ExecLimits::default(),
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows_examined, 1, "eq access path chosen over range");
+    }
+}

@@ -1,0 +1,106 @@
+//! Per-column indexes: hash (equality) and B-tree (range), mirroring the
+//! paper's MySQL setup where "B-tree indices are built for each field of
+//! the tables."
+
+use crate::table::Table;
+use gql_core::Value;
+use rustc_hash::FxHashMap;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Hash index: value → row ids. O(1) equality lookups.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    map: FxHashMap<Value, Vec<u32>>,
+}
+
+impl HashIndex {
+    /// Builds the index over one column of `t`.
+    pub fn build(t: &Table, column: usize) -> Self {
+        let mut map: FxHashMap<Value, Vec<u32>> = FxHashMap::default();
+        for (i, row) in t.rows().enumerate() {
+            map.entry(row[column].clone()).or_default().push(i as u32);
+        }
+        HashIndex { map }
+    }
+
+    /// Row ids with the given value.
+    pub fn get(&self, v: &Value) -> &[u32] {
+        self.map.get(v).map_or(&[], |r| r.as_slice())
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Sorted index: supports range scans (stand-in for MySQL's B-trees).
+#[derive(Debug, Clone, Default)]
+pub struct BTreeIndex {
+    map: BTreeMap<Value, Vec<u32>>,
+}
+
+impl BTreeIndex {
+    /// Builds the index over one column of `t`.
+    pub fn build(t: &Table, column: usize) -> Self {
+        let mut map: BTreeMap<Value, Vec<u32>> = BTreeMap::new();
+        for (i, row) in t.rows().enumerate() {
+            map.entry(row[column].clone()).or_default().push(i as u32);
+        }
+        BTreeIndex { map }
+    }
+
+    /// Row ids with the given value.
+    pub fn get(&self, v: &Value) -> &[u32] {
+        self.map.get(v).map_or(&[], |r| r.as_slice())
+    }
+
+    /// Row ids in `(lo, hi)` bounds.
+    pub fn range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> impl Iterator<Item = u32> + '_ {
+        self.map.range((lo, hi)).flat_map(|(_, rows)| rows.iter().copied())
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("V", &["vid", "label"]);
+        for (i, l) in ["A", "B", "A", "C"].iter().enumerate() {
+            t.insert(vec![Value::Int(i as i64), Value::Str(l.to_string())])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn hash_index_lookup() {
+        let t = table();
+        let idx = HashIndex::build(&t, 1);
+        assert_eq!(idx.get(&"A".into()), &[0, 2]);
+        assert_eq!(idx.get(&"Z".into()), &[] as &[u32]);
+        assert_eq!(idx.distinct(), 3);
+    }
+
+    #[test]
+    fn btree_index_range() {
+        let t = table();
+        let idx = BTreeIndex::build(&t, 0);
+        let rows: Vec<u32> = idx
+            .range(
+                Bound::Included(&Value::Int(1)),
+                Bound::Excluded(&Value::Int(3)),
+            )
+            .collect();
+        assert_eq!(rows, vec![1, 2]);
+        assert_eq!(idx.get(&Value::Int(3)), &[3]);
+        assert_eq!(idx.distinct(), 4);
+    }
+}

@@ -1,0 +1,32 @@
+//! # gql-relational — the SQL-based comparator substrate
+//!
+//! The paper's experiments compare graph-native access methods against
+//! an SQL formulation over `V(vid, label)` / `E(vid1, vid2)` tables
+//! (Figure 4.2, §5 setup: MySQL with B-tree indexes on every field).
+//! This crate is that baseline, built from scratch:
+//!
+//! - [`table`] / [`index`]: in-memory tables with hash and sorted
+//!   indexes on every column;
+//! - [`sql`]: a minimal SQL `SELECT` dialect (comma joins, `AS`
+//!   aliases, conjunctive comparisons) — exactly the Figure 4.2 shape;
+//! - [`exec`]: index-nested-loop execution with a greedy left-deep join
+//!   order, with row counters and deadlines for the experiment harness;
+//! - [`translate`]: graph → tables and pattern → SQL translation.
+//!
+//! Being in-memory, this baseline is *faster* than the paper's MySQL;
+//! the comparison in EXPERIMENTS.md is therefore conservative.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod exec;
+pub mod index;
+pub mod sql;
+pub mod table;
+pub mod translate;
+
+pub use error::{RelError, Result};
+pub use exec::{ExecLimits, ExecResult, RelDatabase};
+pub use sql::{parse_select, SelectStmt};
+pub use table::Table;
+pub use translate::{graph_to_database, pattern_to_sql};

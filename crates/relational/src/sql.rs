@@ -1,0 +1,413 @@
+//! A minimal SQL front-end: exactly the dialect needed for the paper's
+//! Figure 4.2 query shape —
+//!
+//! ```sql
+//! SELECT V1.vid, V2.vid FROM V AS V1, V AS V2, E AS E1
+//! WHERE V1.label = 'A' AND V1.vid = E1.vid1 AND V1.vid <> V2.vid;
+//! ```
+//!
+//! Comma joins, `AS` aliases, conjunctive `WHERE` with comparison
+//! operators, string/number literals.
+
+use crate::error::{RelError, Result};
+use gql_core::Value;
+
+/// A column reference `alias.column` (or bare `column`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColRef {
+    /// Table alias, if qualified.
+    pub alias: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+/// Comparison operators of the dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// One side of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// Column reference.
+    Col(ColRef),
+    /// Literal value.
+    Lit(Value),
+}
+
+/// A conjunct `lhs op rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Condition {
+    /// Left operand.
+    pub lhs: Operand,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub rhs: Operand,
+}
+
+/// `FROM` item: `table [AS alias]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Base table name.
+    pub table: String,
+    /// Alias (defaults to the table name).
+    pub alias: String,
+}
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Projected columns (empty = `*`).
+    pub projection: Vec<ColRef>,
+    /// Joined tables.
+    pub from: Vec<TableRef>,
+    /// Conjunctive predicate.
+    pub conditions: Vec<Condition>,
+}
+
+// ---- lexer ----------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Num(i64),
+    Comma,
+    Dot,
+    Star,
+    LParen,
+    RParen,
+    Op(CmpOp),
+    Semi,
+    Eof,
+}
+
+fn lex_sql(src: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ',' => {
+                chars.next();
+                out.push(Tok::Comma);
+            }
+            '.' => {
+                chars.next();
+                out.push(Tok::Dot);
+            }
+            '*' => {
+                chars.next();
+                out.push(Tok::Star);
+            }
+            '(' => {
+                chars.next();
+                out.push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Tok::RParen);
+            }
+            ';' => {
+                chars.next();
+                out.push(Tok::Semi);
+            }
+            '=' => {
+                chars.next();
+                out.push(Tok::Op(CmpOp::Eq));
+            }
+            '!' => {
+                chars.next();
+                if chars.next() != Some('=') {
+                    return Err(RelError::Sql("expected '=' after '!'".into()));
+                }
+                out.push(Tok::Op(CmpOp::Ne));
+            }
+            '<' => {
+                chars.next();
+                match chars.peek() {
+                    Some('>') => {
+                        chars.next();
+                        out.push(Tok::Op(CmpOp::Ne));
+                    }
+                    Some('=') => {
+                        chars.next();
+                        out.push(Tok::Op(CmpOp::Le));
+                    }
+                    _ => out.push(Tok::Op(CmpOp::Lt)),
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push(Tok::Op(CmpOp::Ge));
+                } else {
+                    out.push(Tok::Op(CmpOp::Gt));
+                }
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        None => return Err(RelError::Sql("unterminated string".into())),
+                        Some('\'') => break,
+                        Some(c) => s.push(c),
+                    }
+                }
+                out.push(Tok::Str(s));
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                chars.next();
+                let mut s = String::new();
+                s.push(c);
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Num(s.parse().map_err(|e| {
+                    RelError::Sql(format!("bad number {s:?}: {e}"))
+                })?));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Ident(s));
+            }
+            other => return Err(RelError::Sql(format!("unexpected character {other:?}"))),
+        }
+    }
+    out.push(Tok::Eof);
+    Ok(out)
+}
+
+// ---- parser ---------------------------------------------------------
+
+/// Parses a single `SELECT` statement.
+pub fn parse_select(src: &str) -> Result<SelectStmt> {
+    let toks = lex_sql(src)?;
+    let mut p = 0usize;
+
+    let kw = |t: &Tok, k: &str| matches!(t, Tok::Ident(s) if s.eq_ignore_ascii_case(k));
+    let ident = |toks: &[Tok], p: &mut usize| -> Result<String> {
+        match &toks[*p] {
+            Tok::Ident(s) => {
+                *p += 1;
+                Ok(s.clone())
+            }
+            other => Err(RelError::Sql(format!("expected identifier, found {other:?}"))),
+        }
+    };
+    let colref = |toks: &[Tok], p: &mut usize| -> Result<ColRef> {
+        let first = ident(toks, p)?;
+        if toks[*p] == Tok::Dot {
+            *p += 1;
+            let col = ident(toks, p)?;
+            Ok(ColRef {
+                alias: Some(first),
+                column: col,
+            })
+        } else {
+            Ok(ColRef {
+                alias: None,
+                column: first,
+            })
+        }
+    };
+
+    if !kw(&toks[p], "select") {
+        return Err(RelError::Sql("expected SELECT".into()));
+    }
+    p += 1;
+
+    let mut projection = Vec::new();
+    if toks[p] == Tok::Star {
+        p += 1;
+    } else {
+        loop {
+            projection.push(colref(&toks, &mut p)?);
+            if toks[p] == Tok::Comma {
+                p += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    if !kw(&toks[p], "from") {
+        return Err(RelError::Sql("expected FROM".into()));
+    }
+    p += 1;
+    let mut from = Vec::new();
+    loop {
+        let table = ident(&toks, &mut p)?;
+        let alias = if kw(&toks[p], "as") {
+            p += 1;
+            ident(&toks, &mut p)?
+        } else if let Tok::Ident(s) = &toks[p] {
+            // Implicit alias, unless it's WHERE.
+            if s.eq_ignore_ascii_case("where") {
+                table.clone()
+            } else {
+                p += 1;
+                s.clone()
+            }
+        } else {
+            table.clone()
+        };
+        from.push(TableRef { table, alias });
+        if toks[p] == Tok::Comma {
+            p += 1;
+        } else {
+            break;
+        }
+    }
+
+    let mut conditions = Vec::new();
+    if kw(&toks[p], "where") {
+        p += 1;
+        loop {
+            let lhs = operand(&toks, &mut p)?;
+            let op = match &toks[p] {
+                Tok::Op(o) => {
+                    p += 1;
+                    *o
+                }
+                other => return Err(RelError::Sql(format!("expected comparison, found {other:?}"))),
+            };
+            let rhs = operand(&toks, &mut p)?;
+            conditions.push(Condition { lhs, op, rhs });
+            if kw(&toks[p], "and") {
+                p += 1;
+            } else {
+                break;
+            }
+        }
+    }
+    if toks[p] == Tok::Semi {
+        p += 1;
+    }
+    if toks[p] != Tok::Eof {
+        return Err(RelError::Sql(format!("trailing tokens: {:?}", toks[p])));
+    }
+    return Ok(SelectStmt {
+        projection,
+        from,
+        conditions,
+    });
+
+    fn operand(toks: &[Tok], p: &mut usize) -> Result<Operand> {
+        match &toks[*p] {
+            Tok::Str(s) => {
+                *p += 1;
+                Ok(Operand::Lit(Value::Str(s.clone())))
+            }
+            Tok::Num(n) => {
+                *p += 1;
+                Ok(Operand::Lit(Value::Int(*n)))
+            }
+            Tok::Ident(first) => {
+                let first = first.clone();
+                *p += 1;
+                if toks[*p] == Tok::Dot {
+                    *p += 1;
+                    match &toks[*p] {
+                        Tok::Ident(col) => {
+                            let col = col.clone();
+                            *p += 1;
+                            Ok(Operand::Col(ColRef {
+                                alias: Some(first),
+                                column: col,
+                            }))
+                        }
+                        other => Err(RelError::Sql(format!("expected column, found {other:?}"))),
+                    }
+                } else {
+                    Ok(Operand::Col(ColRef {
+                        alias: None,
+                        column: first,
+                    }))
+                }
+            }
+            other => Err(RelError::Sql(format!("expected operand, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure_4_2_query() {
+        let stmt = parse_select(
+            "SELECT V1.vid, V2.vid, V3.vid \
+             FROM V AS V1, V AS V2, V AS V3, E AS E1, E AS E2, E AS E3 \
+             WHERE V1.label = 'A' AND V2.label = 'B' AND V3.label = 'C' \
+             AND V1.vid = E1.vid1 AND V1.vid = E3.vid1 \
+             AND V2.vid = E1.vid2 AND V2.vid = E2.vid1 \
+             AND V3.vid = E2.vid2 AND V3.vid = E3.vid2 \
+             AND V1.vid <> V2.vid AND V1.vid <> V3.vid \
+             AND V2.vid <> V3.vid;",
+        )
+        .unwrap();
+        assert_eq!(stmt.projection.len(), 3);
+        assert_eq!(stmt.from.len(), 6);
+        assert_eq!(stmt.conditions.len(), 12);
+        assert_eq!(stmt.from[3].table, "E");
+        assert_eq!(stmt.from[3].alias, "E1");
+        assert!(matches!(stmt.conditions[0].rhs, Operand::Lit(Value::Str(_))));
+        assert_eq!(stmt.conditions[9].op, CmpOp::Ne);
+    }
+
+    #[test]
+    fn star_projection_and_implicit_alias() {
+        let stmt = parse_select("SELECT * FROM V v WHERE v.vid >= 3").unwrap();
+        assert!(stmt.projection.is_empty());
+        assert_eq!(stmt.from[0].alias, "v");
+        assert_eq!(stmt.conditions[0].op, CmpOp::Ge);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_select("FROM V").is_err());
+        assert!(parse_select("SELECT x FROM").is_err());
+        assert!(parse_select("SELECT x FROM V WHERE x ==").is_err());
+        assert!(parse_select("SELECT x FROM V extra junk here").is_err());
+        assert!(parse_select("SELECT x FROM V WHERE x = 'unterminated").is_err());
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let stmt = parse_select("select V.vid from V where V.label = 'A' and V.vid < 5").unwrap();
+        assert_eq!(stmt.conditions.len(), 2);
+        assert_eq!(stmt.conditions[1].op, CmpOp::Lt);
+    }
+}

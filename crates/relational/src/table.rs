@@ -1,0 +1,86 @@
+//! In-memory tables with named columns.
+
+use crate::error::{RelError, Result};
+use gql_core::Value;
+
+/// A relation: a schema (column names) plus rows of values.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given schema.
+    pub fn new(name: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            name: name.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Appends a row; errors on arity mismatch.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(RelError::Arity {
+                table: self.name.clone(),
+                expected: self.columns.len(),
+                got: row.len(),
+            });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Row accessor.
+    pub fn row(&self, i: usize) -> &[Value] {
+        &self.rows[i]
+    }
+
+    /// Iterates rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[Value]> {
+        self.rows.iter().map(|r| r.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_and_rows() {
+        let mut t = Table::new("V", &["vid", "label"]);
+        t.insert(vec![Value::Int(0), Value::Str("A".into())]).unwrap();
+        t.insert(vec![Value::Int(1), Value::Str("B".into())]).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.column_index("label"), Some(1));
+        assert_eq!(t.column_index("nope"), None);
+        assert_eq!(t.row(1)[1], Value::Str("B".into()));
+        assert!(t.insert(vec![Value::Int(2)]).is_err());
+        assert!(!t.is_empty());
+        assert_eq!(t.rows().count(), 2);
+    }
+}

@@ -1,0 +1,3 @@
+//! Shared helpers for the runnable examples. The binaries themselves
+//! live at the crate root (`quickstart.rs`, `coauthorship.rs`,
+//! `protein_motifs.rs`, `chemistry.rs`, `rdf_shipping.rs`).

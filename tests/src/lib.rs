@@ -1,0 +1,1 @@
+//! Workspace integration-test crate; see `tests/` directory.

@@ -1,0 +1,159 @@
+//! Property tests: every implementation of pattern matching in the
+//! workspace — the optimized matcher under all configurations, the
+//! trusted backtracking oracle, the SQL pipeline, and the Datalog
+//! translation — agrees on randomized workloads.
+
+use gql_core::{iso, Graph, NodeId, Tuple};
+use gql_datagen::{connected_subgraph_query, erdos_renyi, ErConfig};
+use gql_match::{
+    match_pattern, GraphIndex, LocalPruning, MatchOptions, Pattern, RefineLevel,
+};
+use gql_relational::{graph_to_database, pattern_to_sql, ExecLimits};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small random labeled graph strategy (proptest-native, no rand).
+fn small_graph() -> impl Strategy<Value = Graph> {
+    (2usize..9, proptest::collection::vec(0u8..4, 0..24)).prop_map(|(n, pairs)| {
+        let mut g = Graph::new();
+        let labels = ["A", "B", "C", "D"];
+        for i in 0..n {
+            g.add_labeled_node(labels[i % labels.len()]);
+        }
+        for (k, l) in pairs.iter().enumerate() {
+            let a = (k % n) as u32;
+            let b = ((*l as usize + k / n) % n) as u32;
+            if a != b {
+                let _ = g.add_edge(NodeId(a), NodeId(b), Tuple::new());
+            }
+        }
+        g
+    })
+}
+
+fn small_pattern() -> impl Strategy<Value = Graph> {
+    (1usize..4, 0u8..4, 0u8..4).prop_map(|(n, l1, l2)| {
+        let labels = ["A", "B", "C", "D"];
+        let mut p = Graph::new();
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| {
+                p.add_labeled_node(labels[(l1 as usize + i * l2 as usize) % labels.len()])
+            })
+            .collect();
+        for w in ids.windows(2) {
+            let _ = p.add_edge(w[0], w[1], Tuple::new());
+        }
+        if n == 3 && l2 % 2 == 0 {
+            let _ = p.add_edge(ids[0], ids[2], Tuple::new());
+        }
+        p
+    })
+}
+
+fn count_config(g: &Graph, p: &Pattern, opts: &MatchOptions, idx: &GraphIndex) -> usize {
+    match_pattern(p, g, idx, opts).mappings.len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All matcher configurations return the same mapping count, and a
+    /// positive count iff the trusted oracle embeds the pattern.
+    #[test]
+    fn matcher_configs_agree_with_oracle(g in small_graph(), pm in small_pattern()) {
+        let p = Pattern::structural(pm.clone());
+        let idx = GraphIndex::build_full(&g, 1);
+        let base = count_config(&g, &p, &MatchOptions::baseline(), &idx);
+        let opt = count_config(&g, &p, &MatchOptions::optimized(), &idx);
+        let sub = count_config(&g, &p, &MatchOptions {
+            pruning: LocalPruning::Subgraphs { radius: 1 },
+            refine: RefineLevel::Fixed(3),
+            ..MatchOptions::default()
+        }, &idx);
+        prop_assert_eq!(base, opt);
+        prop_assert_eq!(base, sub);
+        let oracle = iso::subgraph_isomorphic(&pm, &g);
+        prop_assert_eq!(oracle, base > 0);
+    }
+
+    /// The SQL pipeline counts exactly the matcher's mappings.
+    #[test]
+    fn sql_pipeline_agrees(g in small_graph(), pm in small_pattern()) {
+        let p = Pattern::structural(pm.clone());
+        let idx = GraphIndex::build(&g);
+        let matcher = count_config(&g, &p, &MatchOptions::baseline(), &idx);
+        let db = graph_to_database(&g).unwrap();
+        let rows = db.query(&pattern_to_sql(&pm), &ExecLimits::default()).unwrap().rows;
+        prop_assert_eq!(matcher, rows.len());
+    }
+
+    /// The Datalog translation counts exactly the matcher's mappings.
+    #[test]
+    fn datalog_translation_agrees(g in small_graph(), pm in small_pattern()) {
+        use gql_datalog::{evaluate, graph_to_facts, pattern_to_program, FactStore};
+        let p = Pattern::structural(pm);
+        let idx = GraphIndex::build(&g);
+        let matcher = count_config(&g, &p, &MatchOptions::baseline(), &idx);
+        let mut facts = FactStore::new();
+        graph_to_facts(&g, &mut facts);
+        evaluate(&pattern_to_program(&p), &mut facts);
+        prop_assert_eq!(matcher, facts.count("match"));
+    }
+
+    /// Refinement never changes the answer set, only the search space.
+    #[test]
+    fn refinement_is_answer_preserving(g in small_graph(), pm in small_pattern()) {
+        let p = Pattern::structural(pm);
+        let idx = GraphIndex::build(&g);
+        let without = count_config(&g, &p, &MatchOptions {
+            refine: RefineLevel::Off,
+            ..MatchOptions::baseline()
+        }, &idx);
+        let with = count_config(&g, &p, &MatchOptions {
+            refine: RefineLevel::Fixed(8),
+            ..MatchOptions::baseline()
+        }, &idx);
+        prop_assert_eq!(without, with);
+    }
+}
+
+/// Deterministic medium-size agreement run on an Erdős–Rényi graph: the
+/// four pipelines agree on extracted (guaranteed-answerable) queries.
+#[test]
+fn er_graph_cross_validation() {
+    let g = erdos_renyi(&ErConfig {
+        nodes: 300,
+        edges: 900,
+        labels: 12,
+        seed: 99,
+    });
+    let idx = GraphIndex::build_full(&g, 1);
+    let db = graph_to_database(&g).unwrap();
+    let mut rng = StdRng::seed_from_u64(123);
+    let mut checked = 0;
+    for _ in 0..40 {
+        let Some(q) = connected_subgraph_query(&g, 4, &mut rng) else {
+            continue;
+        };
+        let p = Pattern::structural(q.clone());
+        let mut opts = MatchOptions::optimized();
+        opts.max_matches = 5000;
+        let optimized = match_pattern(&p, &g, &idx, &opts).mappings.len();
+        let mut base = MatchOptions::baseline();
+        base.max_matches = 5000;
+        let baseline = match_pattern(&p, &g, &idx, &base).mappings.len();
+        assert_eq!(optimized, baseline, "query {q}");
+        if optimized < 5000 {
+            let rows = db
+                .query(&pattern_to_sql(&q), &ExecLimits::default())
+                .unwrap()
+                .rows
+                .len();
+            assert_eq!(optimized, rows, "query {q}");
+        }
+        assert!(optimized >= 1, "extracted query must have its own embedding");
+        checked += 1;
+    }
+    assert!(checked >= 20, "enough queries exercised: {checked}");
+}

@@ -1,0 +1,136 @@
+//! Property test: pretty-printing any generated AST re-parses to the
+//! same AST (`parse ∘ print = id`).
+
+use gql_core::{BinOp, Value};
+use gql_parser::ast::*;
+use gql_parser::parse_program;
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,5}".prop_filter("not a keyword", |s| {
+        gql_parser::token::Token::keyword(s).is_none()
+    })
+}
+
+fn literal() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(Value::Int),
+        "[ -~&&[^\"\\\\]]{0,8}".prop_map(Value::Str),
+    ]
+}
+
+fn tuple() -> impl Strategy<Value = TupleAst> {
+    (
+        proptest::option::of(ident()),
+        proptest::collection::vec((ident(), literal()), 0..3),
+    )
+        .prop_map(|(tag, attrs)| {
+            // Duplicate keys round-trip ambiguously; dedup.
+            let mut seen = std::collections::HashSet::new();
+            let attrs = attrs
+                .into_iter()
+                .filter(|(k, _)| seen.insert(k.clone()))
+                .collect();
+            TupleAst { tag, attrs }
+        })
+}
+
+fn expr(names: Vec<String>) -> impl Strategy<Value = ExprAst> {
+    let leaf = prop_oneof![
+        literal().prop_map(ExprAst::Literal),
+        proptest::sample::select(names)
+            .prop_map(|n| ExprAst::Name(Names(vec![n, "attr".into()]))),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        (
+            proptest::sample::select(vec![
+                BinOp::Or,
+                BinOp::And,
+                BinOp::Add,
+                BinOp::Mul,
+                BinOp::Eq,
+                BinOp::Lt,
+                BinOp::Ge,
+            ]),
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, l, r)| ExprAst::binary(op, l, r))
+    })
+}
+
+fn pattern() -> impl Strategy<Value = GraphPatternAst> {
+    (
+        proptest::collection::vec((ident(), proptest::option::of(tuple())), 1..5),
+        proptest::option::of(tuple()),
+        proptest::option::of(ident()),
+        any::<u32>(),
+    )
+        .prop_flat_map(|(raw_nodes, gtuple, gname, edge_seed)| {
+            // Unique node names.
+            let mut seen = std::collections::HashSet::new();
+            let nodes: Vec<(String, Option<TupleAst>)> = raw_nodes
+                .into_iter()
+                .filter(|(n, _)| seen.insert(n.clone()))
+                .collect();
+            let names: Vec<String> = nodes.iter().map(|(n, _)| n.clone()).collect();
+            let n = names.len();
+            // Deterministic edge set from the seed over distinct pairs.
+            let mut edges = Vec::new();
+            if n >= 2 {
+                let mut s = edge_seed;
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+                        if s % 3 == 0 {
+                            edges.push(EdgeDecl {
+                                name: Some(format!("e{i}_{j}")),
+                                from: Names(vec![names[i].clone()]),
+                                to: Names(vec![names[j].clone()]),
+                                tuple: None,
+                                where_clause: None,
+                            });
+                        }
+                    }
+                }
+            }
+            let members = {
+                let mut m = vec![MemberDecl::Nodes(
+                    nodes
+                        .iter()
+                        .map(|(name, tuple)| NodeDecl {
+                            name: Some(name.clone()),
+                            tuple: tuple.clone(),
+                            where_clause: None,
+                        })
+                        .collect(),
+                )];
+                if !edges.is_empty() {
+                    m.push(MemberDecl::Edges(edges));
+                }
+                m
+            };
+            (proptest::option::of(expr(names)), Just((members, gtuple, gname)))
+                .prop_map(|(wc, (members, tuple, name))| GraphPatternAst {
+                    name,
+                    tuple,
+                    members,
+                    where_clause: wc,
+                })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_round_trip(p in pattern()) {
+        let program = Program {
+            statements: vec![Statement::Pattern(p)],
+        };
+        let printed = program.to_string();
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+        prop_assert_eq!(program, reparsed, "\n{}", printed);
+    }
+}
