@@ -35,10 +35,7 @@ fn edge_pair_value(a: &Value, b: &Value) -> Value {
 }
 
 fn features_of(g: &Graph) -> Features {
-    let labels = Profile::from_labels(
-        g.nodes()
-            .filter_map(|(_, n)| n.attrs.get("label").cloned()),
-    );
+    let labels = Profile::from_labels(g.nodes().filter_map(|(_, n)| n.attrs.get("label").cloned()));
     let edge_pairs = Profile::from_labels(g.edges().filter_map(|(_, e)| {
         match (g.node_label(e.src), g.node_label(e.dst)) {
             (Some(a), Some(b)) => Some(edge_pair_value(a, b)),
@@ -153,8 +150,7 @@ mod tests {
         assert_eq!(idx.candidates(&triangle), vec![2]);
         assert!(idx.selectivity(&triangle) < 0.3);
 
-        let matches =
-            select_with_index(&triangle, &c, &idx, &MatchOptions::optimized()).unwrap();
+        let matches = select_with_index(&triangle, &c, &idx, &MatchOptions::optimized()).unwrap();
         let unfiltered = select(&triangle, &c, &MatchOptions::optimized()).unwrap();
         assert_eq!(matches.len(), unfiltered.len());
         assert_eq!(matches.len(), 1);
@@ -176,8 +172,7 @@ mod tests {
     fn unlabeled_pattern_passes_everywhere_size_allows() {
         let c = collection();
         let idx = CollectionIndex::build(&c);
-        let any_edge =
-            compile_pattern_text("graph P { node a; node b; edge e (a, b); }").unwrap();
+        let any_edge = compile_pattern_text("graph P { node a; node b; edge e (a, b); }").unwrap();
         assert_eq!(idx.candidates(&any_edge).len(), 4);
     }
 
@@ -201,6 +196,9 @@ mod tests {
         let filtered = select_with_index(&n_ring, &c, &idx, &MatchOptions::optimized()).unwrap();
         let full = select(&n_ring, &c, &MatchOptions::optimized()).unwrap();
         assert_eq!(filtered.len(), full.len());
-        assert!(candidates.len() < 60, "filter removed the pure-carbon rings");
+        assert!(
+            candidates.len() < 60,
+            "filter removed the pure-carbon rings"
+        );
     }
 }

@@ -10,9 +10,7 @@
 use crate::error::{AlgebraError, Result};
 use gql_core::{unify_nodes_full, Graph, NodeId, Tuple};
 use gql_match::{Expr, Pattern};
-use gql_parser::ast::{
-    EdgeDecl, ExprAst, GraphPatternAst, MemberDecl, Names, NodeDecl, TupleAst,
-};
+use gql_parser::ast::{EdgeDecl, ExprAst, GraphPatternAst, MemberDecl, Names, NodeDecl, TupleAst};
 use rustc_hash::FxHashMap;
 
 /// A compiled pattern: the matcher [`Pattern`] plus the variable maps
@@ -54,7 +52,10 @@ fn tuple_from_ast(t: &Option<TupleAst>) -> Tuple {
 }
 
 /// Compiles `ast` against `registry` (which supplies referenced motifs).
-pub fn compile_pattern(ast: &GraphPatternAst, registry: &PatternRegistry) -> Result<CompiledPattern> {
+pub fn compile_pattern(
+    ast: &GraphPatternAst,
+    registry: &PatternRegistry,
+) -> Result<CompiledPattern> {
     let mut stack = Vec::new();
     compile_inner(ast, registry, &mut stack)
 }
@@ -114,8 +115,12 @@ fn compile_inner(
                         anon += 1;
                         format!("_e{anon}")
                     });
-                    let id = graph
-                        .add_named_edge(var.clone(), NodeId(src as u32), NodeId(dst as u32), tuple_from_ast(tuple))?;
+                    let id = graph.add_named_edge(
+                        var.clone(),
+                        NodeId(src as u32),
+                        NodeId(dst as u32),
+                        tuple_from_ast(tuple),
+                    )?;
                     edge_vars.insert(var.clone(), id.index());
                     if let Some(w) = where_clause {
                         edge_wheres.push((var, w.clone()));
@@ -129,9 +134,12 @@ fn compile_inner(
                             name: r.name.clone(),
                         });
                     }
-                    let sub_ast = registry.get(&r.name).ok_or_else(|| AlgebraError::UnknownPattern {
-                        name: r.name.clone(),
-                    })?;
+                    let sub_ast =
+                        registry
+                            .get(&r.name)
+                            .ok_or_else(|| AlgebraError::UnknownPattern {
+                                name: r.name.clone(),
+                            })?;
                     stack.push(r.name.clone());
                     let sub = compile_inner(sub_ast, registry, stack)?;
                     stack.pop();
@@ -142,7 +150,8 @@ fn compile_inner(
                     // can address them (`X.v1`).
                     for (var, idx) in &sub.node_vars {
                         let qualified = format!("{prefix}.{var}");
-                        graph.node_mut(NodeId((offset + idx) as u32)).name = Some(qualified.clone());
+                        graph.node_mut(NodeId((offset + idx) as u32)).name =
+                            Some(qualified.clone());
                         node_vars.insert(qualified, offset + idx);
                     }
                     let edge_offset = graph.edge_count() - sub.pattern.graph.edge_count();
@@ -418,7 +427,6 @@ pub fn compile_pattern_text(src: &str) -> Result<CompiledPattern> {
     compile_pattern(&ast, &PatternRegistry::default())
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -454,10 +462,9 @@ mod tests {
 
     #[test]
     fn node_where_resolves_implicit_subject() {
-        let c = compile_pattern_text(
-            r#"graph P { node v1 where name="A"; node v2 where year>2000; }"#,
-        )
-        .unwrap();
+        let c =
+            compile_pattern_text(r#"graph P { node v1 where name="A"; node v2 where year>2000; }"#)
+                .unwrap();
         assert_eq!(c.pattern.node_preds[0].len(), 1);
         assert_eq!(c.pattern.node_preds[1].len(), 1);
         assert!(c.pattern.global_preds.is_empty());

@@ -71,7 +71,11 @@ impl std::fmt::Debug for AlgebraExpr {
             }
             AlgebraExpr::Compose { input, .. } => write!(f, "ω_T({input:?})"),
             AlgebraExpr::Product(a, b) => write!(f, "({a:?} × {b:?})"),
-            AlgebraExpr::Join { pattern, left, right } => write!(
+            AlgebraExpr::Join {
+                pattern,
+                left,
+                right,
+            } => write!(
                 f,
                 "({left:?} ⋈_{} {right:?})",
                 pattern.name.as_deref().unwrap_or("P")
@@ -130,9 +134,7 @@ impl AlgebraExpr {
                 let ms = ops::select(pattern, &c, &ctx.options)?;
                 ops::compose(template, &ms)
             }
-            AlgebraExpr::Product(a, b) => {
-                Ok(ops::cartesian_product(&a.eval(ctx)?, &b.eval(ctx)?))
-            }
+            AlgebraExpr::Product(a, b) => Ok(ops::cartesian_product(&a.eval(ctx)?, &b.eval(ctx)?)),
             AlgebraExpr::Join {
                 pattern,
                 left,
@@ -143,9 +145,7 @@ impl AlgebraExpr {
             }
             AlgebraExpr::Union(a, b) => Ok(ops::union(&a.eval(ctx)?, &b.eval(ctx)?)),
             AlgebraExpr::Difference(a, b) => Ok(ops::difference(&a.eval(ctx)?, &b.eval(ctx)?)),
-            AlgebraExpr::Intersection(a, b) => {
-                Ok(ops::intersection(&a.eval(ctx)?, &b.eval(ctx)?))
-            }
+            AlgebraExpr::Intersection(a, b) => Ok(ops::intersection(&a.eval(ctx)?, &b.eval(ctx)?)),
         }
     }
 

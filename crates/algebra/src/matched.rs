@@ -94,11 +94,11 @@ mod tests {
         let m = &matched[0];
         assert_eq!(m.node("v1"), Some(NodeId(1)), "Φ(P.v1) → G.v2");
         assert_eq!(m.node("v2"), Some(NodeId(0)), "Φ(P.v2) → G.v1");
+        assert_eq!(m.node_attr("v1", "name"), Some(&Value::Str("A".into())));
         assert_eq!(
-            m.node_attr("v1", "name"),
-            Some(&Value::Str("A".into()))
+            m.resolve_path(&["P", "v2", "title"]),
+            Some(Value::Str("Title1".into()))
         );
-        assert_eq!(m.resolve_path(&["P", "v2", "title"]), Some(Value::Str("Title1".into())));
         assert_eq!(m.resolve_path(&["v2", "year"]), Some(Value::Int(2006)));
         assert_eq!(m.node("vX"), None);
         assert_eq!(m.resolve_path(&["nope", "x"]), None);

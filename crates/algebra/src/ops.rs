@@ -16,30 +16,50 @@ use std::sync::Arc;
 ///
 /// With `opts.exhaustive`, a pattern matching a graph in several places
 /// yields several matched graphs, as §3.3 specifies.
+///
+/// `opts.threads` parallelizes the σ: with several graphs in the
+/// collection, one worker per graph (each inner match sequential, to
+/// avoid oversubscription); a singleton collection instead spends the
+/// whole thread budget inside `match_pattern`. Results come back in
+/// collection order either way, so output is identical to a sequential
+/// run.
 pub fn select(
     pattern: &CompiledPattern,
     collection: &GraphCollection,
     opts: &MatchOptions,
 ) -> Result<Vec<MatchedGraph>> {
     let pattern_arc = Arc::new(pattern.clone());
-    let mut out = Vec::new();
-    for g in collection {
-        let index = GraphIndex::build_with_profiles(g, 1);
-        let report = match_pattern(&pattern.pattern, g, &index, opts);
+    let graphs: Vec<&Graph> = collection.iter().collect();
+    let workers = gql_core::resolve_threads(opts.threads).min(graphs.len().max(1));
+    let inner_opts = if workers > 1 {
+        MatchOptions {
+            threads: 1,
+            ..opts.clone()
+        }
+    } else {
+        opts.clone()
+    };
+    let per_graph: Vec<Vec<MatchedGraph>> = gql_core::par_map_index(graphs.len(), workers, |i| {
+        let g = graphs[i];
+        let index = GraphIndex::build_with_profiles_par(g, 1, inner_opts.threads);
+        let report = match_pattern(&pattern.pattern, g, &index, &inner_opts);
         if report.mappings.is_empty() {
-            continue;
+            return Vec::new();
         }
         let graph_arc = Arc::new(g.clone());
-        for (mapping, edges) in report.mappings.into_iter().zip(report.edge_bindings) {
-            out.push(MatchedGraph {
+        report
+            .mappings
+            .into_iter()
+            .zip(report.edge_bindings)
+            .map(|(mapping, edges)| MatchedGraph {
                 pattern: Arc::clone(&pattern_arc),
                 graph: Arc::clone(&graph_arc),
                 mapping,
                 edge_mapping: edges,
-            });
-        }
-    }
-    Ok(out)
+            })
+            .collect()
+    });
+    Ok(per_graph.into_iter().flatten().collect())
 }
 
 /// Selection against a pre-indexed single large graph — the §4/§5 path
@@ -94,10 +114,7 @@ pub fn join(
 
 /// Primitive composition ω_T(C): instantiates `template` once per
 /// matched graph, with the match bound under its pattern's name.
-pub fn compose(
-    template: &GraphTemplateAst,
-    matches: &[MatchedGraph],
-) -> Result<GraphCollection> {
+pub fn compose(template: &GraphTemplateAst, matches: &[MatchedGraph]) -> Result<GraphCollection> {
     let mut out = GraphCollection::new();
     for m in matches {
         let name = m.pattern.name.clone().unwrap_or_else(|| "P".to_string());
@@ -187,6 +204,29 @@ mod tests {
     }
 
     #[test]
+    fn parallel_select_is_deterministic() {
+        let coll: GraphCollection = figure_4_13_dblp().into();
+        let p = compile_pattern_text(
+            r#"graph P { node v1 <author>; node v2 <author>; } where P.booktitle="SIGMOD""#,
+        )
+        .unwrap();
+        let seq = select(&p, &coll, &MatchOptions::default()).unwrap();
+        assert_eq!(seq.len(), 8);
+        for threads in [0, 2, 8] {
+            let opts = MatchOptions {
+                threads,
+                ..MatchOptions::default()
+            };
+            let par = select(&p, &coll, &opts).unwrap();
+            assert_eq!(par.len(), seq.len(), "threads={threads}");
+            for (a, b) in par.iter().zip(&seq) {
+                assert_eq!(a.mapping, b.mapping);
+                assert_eq!(a.edge_mapping, b.edge_mapping);
+            }
+        }
+    }
+
+    #[test]
     fn cartesian_product_shapes() {
         let c: GraphCollection = vec![labeled_path(&["A"]), labeled_path(&["B"])].into();
         let d: GraphCollection = vec![labeled_path(&["C", "D"])].into();
@@ -220,10 +260,8 @@ mod tests {
         // Instead, test the product+select pipeline over node labels.
         let c: GraphCollection = vec![g1, g3].into();
         let d: GraphCollection = vec![g2].into();
-        let p = compile_pattern_text(
-            r#"graph J { node a <label="X">; node b <label="Y">; }"#,
-        )
-        .unwrap();
+        let p =
+            compile_pattern_text(r#"graph J { node a <label="X">; node b <label="Y">; }"#).unwrap();
         let ms = join(&c, &d, &p, &MatchOptions::default()).unwrap();
         assert_eq!(ms.len(), 1, "only G1×G2 contains both X and Y");
     }
@@ -251,10 +289,7 @@ mod tests {
         )
         .unwrap();
         let ms = select(&p, &coll, &MatchOptions::default()).unwrap();
-        let prog = gql_parser::parse_program(
-            "T := graph { node n <who=P.v1.label>; };",
-        )
-        .unwrap();
+        let prog = gql_parser::parse_program("T := graph { node n <who=P.v1.label>; };").unwrap();
         let gql_parser::ast::Statement::Assign { template, .. } = &prog.statements[0] else {
             panic!()
         };

@@ -103,7 +103,11 @@ mod tests {
         // triangle A1-B1-C2.
         let tri = res.iter().find(|d| d.motif.node_count() == 3);
         assert!(tri.is_some(), "triangle cycle must match");
-        assert_eq!(tri.unwrap().mappings.len(), 6, "3! orientations of one triangle");
+        assert_eq!(
+            tri.unwrap().mappings.len(),
+            6,
+            "3! orientations of one triangle"
+        );
         assert!(matches_recursive(&grammar, "Cycle", 3, &g, &idx).unwrap());
     }
 

@@ -76,7 +76,11 @@ fn eval_expr(
             let a = eval_expr(lhs, env, extra)?;
             let b = eval_expr(rhs, env, extra)?;
             let bad = || AlgebraError::Eval {
-                message: format!("cannot apply {op} to {} and {}", a.type_name(), b.type_name()),
+                message: format!(
+                    "cannot apply {op} to {} and {}",
+                    a.type_name(),
+                    b.type_name()
+                ),
             };
             Ok(match op {
                 BinOp::Or => Value::Bool(a.is_truthy() || b.is_truthy()),
@@ -102,10 +106,7 @@ fn eval_expr(
     }
 }
 
-fn eval_tuple_template(
-    t: &Option<TupleTemplateAst>,
-    env: &TemplateEnv<'_>,
-) -> Result<Tuple> {
+fn eval_tuple_template(t: &Option<TupleTemplateAst>, env: &TemplateEnv<'_>) -> Result<Tuple> {
     let mut out = Tuple::new();
     if let Some(t) = t {
         if let Some(tag) = &t.tag {
@@ -124,10 +125,13 @@ fn eval_tuple_template(
 pub fn instantiate(template: &GraphTemplateAst, env: &TemplateEnv<'_>) -> Result<Graph> {
     let (name, tuple, members) = match template {
         GraphTemplateAst::Ref(var) => {
-            let g = env.vars.get(var.as_str()).ok_or_else(|| AlgebraError::UnknownName {
-                name: var.clone(),
-                context: "graph variable",
-            })?;
+            let g = env
+                .vars
+                .get(var.as_str())
+                .ok_or_else(|| AlgebraError::UnknownName {
+                    name: var.clone(),
+                    context: "graph variable",
+                })?;
             return Ok((*g).clone());
         }
         GraphTemplateAst::Inline {
@@ -151,19 +155,19 @@ pub fn instantiate(template: &GraphTemplateAst, env: &TemplateEnv<'_>) -> Result
         match member {
             TMemberDecl::Graphs(refs) => {
                 for r in refs {
-                    let g = env.vars.get(r.name.as_str()).ok_or_else(|| {
-                        AlgebraError::UnknownName {
-                            name: r.name.clone(),
-                            context: "graph splice",
-                        }
-                    })?;
+                    let g =
+                        env.vars
+                            .get(r.name.as_str())
+                            .ok_or_else(|| AlgebraError::UnknownName {
+                                name: r.name.clone(),
+                                context: "graph splice",
+                            })?;
                     let prefix = r.alias.clone().unwrap_or_else(|| r.name.clone());
                     let offset = out.append_disjoint(g);
                     splices.insert(prefix.clone(), (offset, offset + g.node_count() as u32));
                     for (id, n) in g.nodes() {
                         if let Some(nm) = &n.name {
-                            registry
-                                .insert(format!("{prefix}.{nm}"), NodeId(offset + id.0));
+                            registry.insert(format!("{prefix}.{nm}"), NodeId(offset + id.0));
                         }
                     }
                 }
@@ -374,10 +378,7 @@ mod tests {
         assert_eq!(g.node_count(), 2);
         assert_eq!(g.edge_count(), 1);
         assert_eq!(g.node_label(NodeId(0)), Some(&Value::Str("A".into())));
-        assert_eq!(
-            g.node_label(NodeId(1)),
-            Some(&Value::Str("Title1".into()))
-        );
+        assert_eq!(g.node_label(NodeId(1)), Some(&Value::Str("Title1".into())));
     }
 
     #[test]
@@ -398,9 +399,7 @@ mod tests {
         let mut g = Graph::new();
         g.add_named_node("a", Tuple::new().with("x", 1));
         g.add_named_node("b", Tuple::new().with("x", 2));
-        let t = template_from(
-            "X := graph { graph G as L; graph G as R; unify L.a, R.a; };",
-        );
+        let t = template_from("X := graph { graph G as L; graph G as R; unify L.a, R.a; };");
         let env = TemplateEnv::new().with_var("G", &g);
         let out = instantiate(&t, &env).unwrap();
         assert_eq!(out.node_count(), 3, "L.a and R.a merged");

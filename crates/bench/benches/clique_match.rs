@@ -35,11 +35,9 @@ fn bench_clique_configs(c: &mut Criterion) {
         ] {
             let mut opts = opts.clone();
             opts.max_matches = 1001;
-            group.bench_with_input(
-                BenchmarkId::new(name, size),
-                &pattern,
-                |b, p| b.iter(|| match_pattern(p, &w.graph, &w.index, &opts)),
-            );
+            group.bench_with_input(BenchmarkId::new(name, size), &pattern, |b, p| {
+                b.iter(|| match_pattern(p, &w.graph, &w.index, &opts))
+            });
         }
     }
     group.finish();

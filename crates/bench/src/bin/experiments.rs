@@ -3,15 +3,34 @@
 //! ```text
 //! cargo run -p gql-bench --release --bin experiments -- all          # quick scale
 //! cargo run -p gql-bench --release --bin experiments -- fig4_21 full
+//! cargo run -p gql-bench --release --bin experiments -- smoke --threads 0
 //! ```
+//!
+//! `smoke` compares sequential vs `--threads N` selection (0 = one
+//! worker per core, the default) on one clique and one synthetic
+//! workload and writes machine-readable `BENCH_parallel.json`.
 
 use gql_bench::experiments::{
-    fig4_20, fig4_21, fig4_22, fig4_23a, fig4_23b, print_space_rows, print_step_rows,
-    print_total_rows, Scale,
+    bench_parallel, fig4_20, fig4_21, fig4_22, fig4_23a, fig4_23b, parallel_bench_json,
+    print_parallel_rows, print_space_rows, print_step_rows, print_total_rows, Scale,
 };
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads = 0usize;
+    let mut args: Vec<String> = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            let v = it.next().unwrap_or_default();
+            threads = v.parse().unwrap_or_else(|_| {
+                eprintln!("bad --threads value {v:?}");
+                std::process::exit(2);
+            });
+        } else {
+            args.push(a);
+        }
+    }
     let which = args.first().map(String::as_str).unwrap_or("all");
     let scale = match args.get(1).map(String::as_str) {
         Some("full") => Scale::Full,
@@ -66,19 +85,37 @@ fn main() {
         );
     };
 
+    let run_smoke = || {
+        let rows = bench_parallel(scale, threads);
+        print_parallel_rows(
+            "Parallel selection — sequential vs threaded wall-clock",
+            &rows,
+        );
+        let json = parallel_bench_json(scale, threads, &rows);
+        let path = "BENCH_parallel.json";
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("# wrote {path}"),
+            Err(e) => eprintln!("# could not write {path}: {e}"),
+        }
+    };
+
     match which {
         "fig4_20" => run_20(),
         "fig4_21" => run_21(),
         "fig4_22" => run_22(),
         "fig4_23" => run_23(),
+        "smoke" => run_smoke(),
         "all" => {
             run_20();
             run_21();
             run_22();
             run_23();
+            run_smoke();
         }
         other => {
-            eprintln!("unknown experiment {other:?}; use fig4_20|fig4_21|fig4_22|fig4_23|all");
+            eprintln!(
+                "unknown experiment {other:?}; use fig4_20|fig4_21|fig4_22|fig4_23|smoke|all"
+            );
             std::process::exit(2);
         }
     }

@@ -272,7 +272,9 @@ pub fn fig4_22(scale: Scale) -> (Vec<SpaceRow>, Vec<StepRow>) {
         // Spaces.
         let mut accs = Vec::new();
         for q in &queries {
-            let Some(HitClass::Low) = w.classify(q) else { continue };
+            let Some(HitClass::Low) = w.classify(q) else {
+                continue;
+            };
             let prof = w.run(q, &Configs::profiles());
             let sub = w.run(q, &Configs::subgraphs());
             let refined = w.run(q, &Configs::refined());
@@ -353,12 +355,149 @@ pub fn fig4_23b(scale: Scale) -> Vec<TotalRow> {
     totals
 }
 
+// ------------------------------------------------------- parallel bench
+
+/// One sequential-vs-parallel comparison (a `BENCH_parallel.json` row).
+#[derive(Debug, Clone)]
+pub struct ParallelBenchRow {
+    /// Workload name.
+    pub name: String,
+    /// Number of queries timed.
+    pub queries: usize,
+    /// Total matches found (identical for both runs by construction).
+    pub hits: usize,
+    /// Wall-clock for the whole query batch with `threads = 1`, µs.
+    pub seq_us: f64,
+    /// Wall-clock with the requested thread count, µs.
+    pub par_us: f64,
+    /// `seq_us / par_us`.
+    pub speedup: f64,
+}
+
+fn bench_one(name: &str, w: &Workload, queries: &[Graph], threads: usize) -> ParallelBenchRow {
+    let time = |opts: &gql_match::MatchOptions| {
+        let t = std::time::Instant::now();
+        let mut hits = 0usize;
+        let mut mappings = Vec::new();
+        for q in queries {
+            let rep = w.run(q, opts);
+            hits += rep.mappings.len();
+            mappings.push(rep.mappings);
+        }
+        (t.elapsed().as_secs_f64() * 1e6, hits, mappings)
+    };
+    let seq_opts = Configs::optimized();
+    let mut par_opts = Configs::optimized();
+    par_opts.threads = threads;
+    // Untimed warm-up so the first measured batch doesn't pay the
+    // cold-cache cost the second one skips.
+    let _ = time(&seq_opts);
+    let (seq_us, seq_hits, seq_maps) = time(&seq_opts);
+    let (par_us, par_hits, par_maps) = time(&par_opts);
+    assert_eq!(
+        seq_maps, par_maps,
+        "parallel run diverged from sequential on {name}"
+    );
+    let _ = par_hits;
+    ParallelBenchRow {
+        name: name.to_string(),
+        queries: queries.len(),
+        hits: seq_hits,
+        seq_us,
+        par_us,
+        speedup: seq_us / par_us,
+    }
+}
+
+/// Sequential vs `threads`-worker selection on one clique workload (PPI
+/// graph) and one §5 synthetic workload (10K-node Erdős–Rényi, query
+/// size 8). Asserts that both runs return identical mappings.
+pub fn bench_parallel(scale: Scale, threads: usize) -> Vec<ParallelBenchRow> {
+    let threads = gql_core::resolve_threads(threads);
+    let nq = match scale {
+        Scale::Quick => 8,
+        Scale::Full => 40,
+    };
+    let mut rows = Vec::new();
+    let ppi = Workload::ppi();
+    rows.push(bench_one(
+        "ppi_clique_5",
+        &ppi,
+        &ppi.cliques(5, nq, 0xBE11C),
+        threads,
+    ));
+    let syn = Workload::synthetic(10_000, 0x5eed);
+    rows.push(bench_one(
+        "synthetic10k_subgraph_8",
+        &syn,
+        &syn.subgraphs(8, nq, 0xBE5E8),
+        threads,
+    ));
+    rows
+}
+
+/// Renders [`bench_parallel`] rows as the machine-readable
+/// `BENCH_parallel.json` document.
+pub fn parallel_bench_json(scale: Scale, threads: usize, rows: &[ParallelBenchRow]) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"machine_cores\": {cores},\n"));
+    s.push_str(&format!(
+        "  \"threads\": {},\n",
+        gql_core::resolve_threads(threads)
+    ));
+    s.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        if scale == Scale::Full {
+            "full"
+        } else {
+            "quick"
+        }
+    ));
+    s.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"queries\": {}, \"hits\": {}, \"seq_us\": {:.1}, \"par_us\": {:.1}, \"speedup\": {:.3}}}{}\n",
+            r.name,
+            r.queries,
+            r.hits,
+            r.seq_us,
+            r.par_us,
+            r.speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Prints a parallel-bench table.
+pub fn print_parallel_rows(title: &str, rows: &[ParallelBenchRow]) {
+    println!("\n{title}");
+    println!(
+        "{:>26} {:>8} {:>6} {:>14} {:>14} {:>8}",
+        "workload", "queries", "hits", "seq (µs)", "par (µs)", "speedup"
+    );
+    for r in rows {
+        println!(
+            "{:>26} {:>8} {:>6} {:>14.1} {:>14.1} {:>7.2}x",
+            r.name, r.queries, r.hits, r.seq_us, r.par_us, r.speedup
+        );
+    }
+}
+
 /// Prints a per-step table (Figures 4.21a / 4.22b).
 pub fn print_step_rows(title: &str, rows: &[StepRow]) {
     println!("\n{title}  (mean microseconds per query)");
     println!(
         "{:>6} {:>8} {:>14} {:>14} {:>12} {:>14} {:>16}",
-        "size", "queries", "ret-profiles", "ret-subgraphs", "refine", "search(opt)", "search(no-opt)"
+        "size",
+        "queries",
+        "ret-profiles",
+        "ret-subgraphs",
+        "refine",
+        "search(opt)",
+        "search(no-opt)"
     );
     for r in rows {
         println!(

@@ -1,7 +1,9 @@
 //! Shared workload setup for the §5 experiments.
 
 use gql_core::Graph;
-use gql_datagen::{clique_queries, erdos_renyi, ppi_network, subgraph_queries, ErConfig, PpiConfig};
+use gql_datagen::{
+    clique_queries, erdos_renyi, ppi_network, subgraph_queries, ErConfig, PpiConfig,
+};
 use gql_match::{
     match_pattern, GraphIndex, LocalPruning, MatchOptions, MatchReport, Pattern, RefineLevel,
 };
@@ -183,7 +185,10 @@ impl SqlWorkload {
             deadline: Some(std::time::Instant::now() + time_limit),
         };
         let t = std::time::Instant::now();
-        let res = self.db.query(&sql, &limits).expect("generated SQL is valid");
+        let res = self
+            .db
+            .query(&sql, &limits)
+            .expect("generated SQL is valid");
         (res.rows.len(), t.elapsed().as_secs_f64(), res.timed_out)
     }
 }

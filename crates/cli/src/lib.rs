@@ -49,14 +49,17 @@ pub type Result<T> = std::result::Result<T, CliError>;
 /// Parsed command line.
 #[derive(Debug, PartialEq)]
 pub enum Command {
-    /// `gql run <program> [--data NAME=PATH]...`
+    /// `gql run <program> [--data NAME=PATH]... [--threads N]`
     Run {
         /// Program file path.
         program: String,
         /// Named data files.
         data: Vec<(String, String)>,
+        /// Worker threads for σ evaluation (0 = available cores).
+        threads: usize,
     },
-    /// `gql match --graph PATH --pattern PATH [--baseline] [--first]`
+    /// `gql match --graph PATH --pattern PATH [--baseline] [--first]
+    /// [--threads N]`
     Match {
         /// Data graph file.
         graph: String,
@@ -66,6 +69,9 @@ pub enum Command {
         baseline: bool,
         /// Stop at the first match.
         first: bool,
+        /// Worker threads for index build and search (0 = available
+        /// cores).
+        threads: usize,
     },
     /// `gql sql --graph PATH --pattern PATH`
     Sql {
@@ -83,11 +89,22 @@ pub const USAGE: &str = "\
 gql — Graphs-at-a-time query language (He & Singh, SIGMOD 2008)
 
 USAGE:
-    gql run <program.gql> [--data NAME=PATH]...
-    gql match --graph <data.gql> --pattern <pattern.gql> [--baseline] [--first]
+    gql run <program.gql> [--data NAME=PATH]... [--threads N]
+    gql match --graph <data.gql> --pattern <pattern.gql> [--baseline] [--first] [--threads N]
     gql sql   --graph <data.gql> --pattern <pattern.gql>
     gql help
+
+`--threads N` runs the selection pipeline on N workers (0 = one per
+available core; default 1). Results are identical for any setting.
 ";
+
+fn parse_threads(it: &mut std::slice::Iter<'_, String>) -> Result<usize> {
+    let v = it
+        .next()
+        .ok_or_else(|| CliError::usage("--threads needs a count"))?;
+    v.parse()
+        .map_err(|_| CliError::usage(format!("bad --threads value {v:?}")))
+}
 
 /// Parses argv (without the binary name).
 pub fn parse_args(args: &[String]) -> Result<Command> {
@@ -97,6 +114,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
         Some("run") => {
             let mut program = None;
             let mut data = Vec::new();
+            let mut threads = 1;
             while let Some(a) = it.next() {
                 if a == "--data" {
                     let spec = it
@@ -106,6 +124,8 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                         .split_once('=')
                         .ok_or_else(|| CliError::usage(format!("bad --data spec {spec:?}")))?;
                     data.push((name.to_string(), path.to_string()));
+                } else if a == "--threads" {
+                    threads = parse_threads(&mut it)?;
                 } else if program.is_none() {
                     program = Some(a.clone());
                 } else {
@@ -115,6 +135,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             Ok(Command::Run {
                 program: program.ok_or_else(|| CliError::usage("run needs a program file"))?,
                 data,
+                threads,
             })
         }
         Some(cmd @ ("match" | "sql")) => {
@@ -122,12 +143,14 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             let mut pattern = None;
             let mut baseline = false;
             let mut first = false;
+            let mut threads = 1;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--graph" => graph = it.next().cloned(),
                     "--pattern" => pattern = it.next().cloned(),
                     "--baseline" => baseline = true,
                     "--first" => first = true,
+                    "--threads" => threads = parse_threads(&mut it)?,
                     other => return Err(CliError::usage(format!("unexpected argument {other:?}"))),
                 }
             }
@@ -139,6 +162,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                     pattern,
                     baseline,
                     first,
+                    threads,
                 })
             } else {
                 Ok(Command::Sql { graph, pattern })
@@ -149,13 +173,11 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
 }
 
 fn read(path: &str) -> Result<String> {
-    std::fs::read_to_string(path)
-        .map_err(|e| CliError::run(format!("cannot read {path:?}: {e}")))
+    std::fs::read_to_string(path).map_err(|e| CliError::run(format!("cannot read {path:?}: {e}")))
 }
 
 fn load_graph(path: &str) -> Result<gql_core::Graph> {
-    gql_engine::graph_from_text(&read(path)?)
-        .map_err(|e| CliError::run(format!("{path}: {e}")))
+    gql_engine::graph_from_text(&read(path)?).map_err(|e| CliError::run(format!("{path}: {e}")))
 }
 
 /// Executes a parsed command, returning the text to print.
@@ -163,8 +185,12 @@ pub fn execute(cmd: Command) -> Result<String> {
     let mut out = String::new();
     match cmd {
         Command::Help => out.push_str(USAGE),
-        Command::Run { program, data } => {
-            let mut db = Database::new();
+        Command::Run {
+            program,
+            data,
+            threads,
+        } => {
+            let mut db = Database::new().with_threads(threads);
             for (name, path) in data {
                 let c: GraphCollection = collection_from_text(&read(&path)?)
                     .map_err(|e| CliError::run(format!("{path}: {e}")))?;
@@ -200,17 +226,19 @@ pub fn execute(cmd: Command) -> Result<String> {
             pattern,
             baseline,
             first,
+            threads,
         } => {
             let g = load_graph(&graph)?;
             let p = compile_pattern_text(&read(&pattern)?)
                 .map_err(|e| CliError::run(format!("{pattern}: {e}")))?;
-            let index = GraphIndex::build_with_profiles(&g, 1);
+            let index = GraphIndex::build_with_profiles_par(&g, 1, threads);
             let mut opts = if baseline {
                 MatchOptions::baseline()
             } else {
                 MatchOptions::optimized()
             };
             opts.exhaustive = !first;
+            opts.threads = threads;
             let rep = match_pattern(&p.pattern, &g, &index, &opts);
             let _ = writeln!(out, "matches: {}", rep.mappings.len());
             let fmt_space = |ln: f64| {
@@ -232,12 +260,7 @@ pub fn execute(cmd: Command) -> Result<String> {
             for (i, m) in rep.mappings.iter().enumerate().take(20) {
                 let names: Vec<String> = m
                     .iter()
-                    .map(|&v| {
-                        g.node(v)
-                            .name
-                            .clone()
-                            .unwrap_or_else(|| v.to_string())
-                    })
+                    .map(|&v| g.node(v).name.clone().unwrap_or_else(|| v.to_string()))
                     .collect();
                 let _ = writeln!(out, "  #{}: [{}]", i + 1, names.join(", "));
             }
@@ -281,18 +304,51 @@ mod tests {
             parse_args(&args(&["run", "p.gql", "--data", "DBLP=d.gql"])).unwrap(),
             Command::Run {
                 program: "p.gql".into(),
-                data: vec![("DBLP".into(), "d.gql".into())]
+                data: vec![("DBLP".into(), "d.gql".into())],
+                threads: 1,
             }
         );
         assert!(matches!(
-            parse_args(&args(&["match", "--graph", "g", "--pattern", "p", "--first"])).unwrap(),
-            Command::Match { first: true, baseline: false, .. }
+            parse_args(&args(&[
+                "match",
+                "--graph",
+                "g",
+                "--pattern",
+                "p",
+                "--first"
+            ]))
+            .unwrap(),
+            Command::Match {
+                first: true,
+                baseline: false,
+                threads: 1,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_args(&args(&[
+                "match",
+                "--graph",
+                "g",
+                "--pattern",
+                "p",
+                "--threads",
+                "4"
+            ]))
+            .unwrap(),
+            Command::Match { threads: 4, .. }
+        ));
+        assert!(matches!(
+            parse_args(&args(&["run", "p.gql", "--threads", "0"])).unwrap(),
+            Command::Run { threads: 0, .. }
         ));
         assert!(parse_args(&args(&["run"])).is_err());
         assert!(parse_args(&args(&["frobnicate"])).is_err());
         assert!(parse_args(&args(&["match", "--graph", "g"])).is_err());
         assert!(parse_args(&args(&["run", "a", "b"])).is_err());
         assert!(parse_args(&args(&["run", "a", "--data", "nopath"])).is_err());
+        assert!(parse_args(&args(&["run", "a", "--threads", "x"])).is_err());
+        assert!(parse_args(&args(&["run", "a", "--threads"])).is_err());
     }
 
     #[test]
@@ -319,6 +375,7 @@ mod tests {
             pattern: ppath.to_string_lossy().into_owned(),
             baseline: false,
             first: false,
+            threads: 2,
         })
         .unwrap();
         assert!(out.contains("matches: 1"), "{out}");
@@ -357,6 +414,7 @@ mod tests {
         let out = execute(Command::Run {
             program: prog.to_string_lossy().into_owned(),
             data: vec![("DBLP".into(), data.to_string_lossy().into_owned())],
+            threads: 2,
         })
         .unwrap();
         assert!(out.contains("loaded DBLP: 2 graph(s)"), "{out}");
@@ -369,6 +427,7 @@ mod tests {
         let err = execute(Command::Run {
             program: "/nonexistent/prog.gql".into(),
             data: vec![],
+            threads: 1,
         })
         .unwrap_err();
         assert_eq!(err.code, 1);

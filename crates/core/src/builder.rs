@@ -236,7 +236,11 @@ mod tests {
         g.add_edge(b, c, Tuple::new()).unwrap();
         let (h, _) = unify_nodes(&g, &[(a, b)]).unwrap();
         assert_eq!(h.node_count(), 2);
-        assert_eq!(h.edge_count(), 1, "edge (a,b) degenerates to a self-loop and is dropped");
+        assert_eq!(
+            h.edge_count(),
+            1,
+            "edge (a,b) degenerates to a self-loop and is dropped"
+        );
     }
 
     #[test]

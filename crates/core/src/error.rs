@@ -35,10 +35,16 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::NodeOutOfRange { node, count } => {
-                write!(f, "node index {node} out of range (graph has {count} nodes)")
+                write!(
+                    f,
+                    "node index {node} out of range (graph has {count} nodes)"
+                )
             }
             CoreError::SelfLoop { node } => {
-                write!(f, "self-loop on node {node} is not allowed in a simple graph")
+                write!(
+                    f,
+                    "self-loop on node {node} is not allowed in a simple graph"
+                )
             }
             CoreError::DuplicateEdge { src, dst } => {
                 write!(f, "edge ({src}, {dst}) already exists")

@@ -17,7 +17,8 @@ pub fn figure_4_16_graph() -> (Graph, [NodeId; 6]) {
     let c1 = g.add_named_node("C1", Tuple::new().with("label", "C"));
     let c2 = g.add_named_node("C2", Tuple::new().with("label", "C"));
     for (x, y) in [(a1, b1), (a1, c2), (b1, c2), (b1, c1), (b2, c2), (a2, b2)] {
-        g.add_edge(x, y, Tuple::new()).expect("fixture edges are valid");
+        g.add_edge(x, y, Tuple::new())
+            .expect("fixture edges are valid");
     }
     (g, [a1, a2, b1, b2, c1, c2])
 }

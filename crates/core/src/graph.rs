@@ -8,12 +8,10 @@ use std::fmt;
 
 /// Index of a node within its graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(pub u32);
 
 /// Index of an edge within its graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EdgeId(pub u32);
 
 impl NodeId {
@@ -47,7 +45,6 @@ impl fmt::Display for EdgeId {
 /// A node: a name (the variable that identified it in the source text, if
 /// any) plus its attribute tuple.
 #[derive(Debug, Clone, Default, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Node {
     /// Variable name from the source text (`v1`, `P.v2`, ...), if any.
     pub name: Option<String>,
@@ -57,7 +54,6 @@ pub struct Node {
 
 /// An edge between two nodes with an attribute tuple.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Edge {
     /// Variable name from the source text, if any.
     pub name: Option<String>,

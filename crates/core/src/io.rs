@@ -2,8 +2,7 @@
 //!
 //! [`Graph`] carries derived state (adjacency lists, the edge hash
 //! index) that should not travel over the wire; [`GraphData`] is the
-//! plain exchange form — with the `serde` feature it derives
-//! `Serialize`/`Deserialize`, and conversions rebuild the indexes.
+//! plain exchange form, and conversions rebuild the indexes.
 
 use crate::error::Result;
 use crate::graph::{Graph, NodeId};
@@ -11,7 +10,6 @@ use crate::tuple::Tuple;
 
 /// Plain node record.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeData {
     /// Variable name, if any.
     pub name: Option<String>,
@@ -21,7 +19,6 @@ pub struct NodeData {
 
 /// Plain edge record.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EdgeData {
     /// Variable name, if any.
     pub name: Option<String>,
@@ -36,7 +33,6 @@ pub struct EdgeData {
 /// The exchange form of a graph: exactly the information a user wrote,
 /// no derived indexes.
 #[derive(Debug, Clone, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GraphData {
     /// Graph name.
     pub name: Option<String>,
@@ -122,17 +118,5 @@ mod tests {
         let mut data = GraphData::from(&figure_4_16_graph().0);
         data.edges[0].dst = 99;
         assert!(data.into_graph().is_err());
-    }
-
-    #[cfg(feature = "serde")]
-    #[test]
-    fn json_round_trip() {
-        let (g, _) = figure_4_16_graph();
-        let data = GraphData::from(&g);
-        let json = serde_json::to_string(&data).unwrap();
-        let back: GraphData = serde_json::from_str(&json).unwrap();
-        assert_eq!(data, back);
-        let rebuilt = back.into_graph().unwrap();
-        assert_eq!(rebuilt.edge_count(), 6);
     }
 }

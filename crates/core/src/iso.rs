@@ -31,7 +31,11 @@ pub fn subgraph_isomorphic_anchored(p: &Graph, g: &Graph, anchor: (NodeId, NodeI
 }
 
 /// Finds one embedding (as `pattern index → data NodeId`), or `None`.
-pub fn find_embedding(p: &Graph, g: &Graph, anchor: Option<(NodeId, NodeId)>) -> Option<Vec<NodeId>> {
+pub fn find_embedding(
+    p: &Graph,
+    g: &Graph,
+    anchor: Option<(NodeId, NodeId)>,
+) -> Option<Vec<NodeId>> {
     let k = p.node_count();
     if k == 0 {
         return Some(Vec::new());
@@ -192,7 +196,10 @@ mod tests {
             &triangle(["A", "B", "C"]),
             &triangle(["A", "B", "B"])
         ));
-        assert!(!graph_isomorphic(&path(&["A", "B"]), &triangle(["A", "B", "C"])));
+        assert!(!graph_isomorphic(
+            &path(&["A", "B"]),
+            &triangle(["A", "B", "C"])
+        ));
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! - [`iso`]: trusted (unoptimized) subgraph-isomorphism oracles;
 //! - [`stats`]: label frequencies feeding the §4.4 cost model;
 //! - [`builder`]: union-find node unification backing the composition
-//!   operator's `unify` semantics (§2.1, §3.4).
+//!   operator's `unify` semantics (§2.1, §3.4);
+//! - [`par`]: std-only order-preserving parallel map helpers used by the
+//!   matcher's multi-threaded execution layer.
 //!
 //! ```
 //! use gql_core::{Graph, Tuple};
@@ -38,6 +40,7 @@ pub mod io;
 pub mod iso;
 pub mod neighborhood;
 pub mod op;
+pub mod par;
 pub mod stats;
 pub mod storage;
 pub mod tuple;
@@ -50,6 +53,7 @@ pub use graph::{Edge, EdgeId, Graph, Node, NodeId};
 pub use io::{EdgeData, GraphData, NodeData};
 pub use neighborhood::{neighborhood_subgraph, NeighborhoodSubgraph, Profile};
 pub use op::BinOp;
+pub use par::{par_map_index, par_map_slice, resolve_threads};
 pub use stats::GraphStats;
 pub use storage::{decode_collection, decode_graph, encode_collection, encode_graph, StorageError};
 pub use tuple::Tuple;

@@ -1,0 +1,101 @@
+//! Minimal std-only data-parallel helpers.
+//!
+//! The engine's parallel execution layer (DESIGN.md §5) is built on
+//! `std::thread::scope` — the build environment is offline, so no
+//! work-stealing crate (rayon) is available. These helpers cover the
+//! embarrassingly parallel shapes the paper's Algorithm 4.1 exposes:
+//! independent per-item maps whose outputs must come back in input
+//! order so parallel runs stay bit-identical to sequential ones.
+
+use std::num::NonZeroUsize;
+
+/// Resolves a thread-count knob: `0` means "one worker per available
+/// core" (`std::thread::available_parallelism`), anything else is
+/// taken literally.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Maps `f` over `0..n` using up to `threads` scoped workers and
+/// returns results in index order — output is identical to
+/// `(0..n).map(f).collect()` regardless of the worker count.
+///
+/// Work is split into contiguous chunks, one per worker; each worker
+/// collects its own results, and the chunks are concatenated in order.
+/// With `threads <= 1` (after [`resolve_threads`]) no thread is
+/// spawned.
+pub fn par_map_index<U, F>(n: usize, threads: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = resolve_threads(threads).min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let parts: Vec<Vec<U>> = std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<U>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map_index worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
+/// Maps `f` over a slice in parallel, preserving input order.
+pub fn par_map_slice<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_index(items.len(), threads, |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_resolves_to_available_parallelism() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn par_map_matches_sequential_for_any_thread_count() {
+        let expected: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 8, 128] {
+            assert_eq!(par_map_index(97, threads, |i| i * i), expected);
+        }
+        assert_eq!(par_map_index(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_index(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn par_map_slice_preserves_order() {
+        let items: Vec<String> = (0..50).map(|i| format!("x{i}")).collect();
+        let out = par_map_slice(&items, 4, |s| s.len());
+        let expected: Vec<usize> = items.iter().map(|s| s.len()).collect();
+        assert_eq!(out, expected);
+    }
+}

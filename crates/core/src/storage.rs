@@ -337,7 +337,6 @@ pub fn decode_collection(buf: &[u8]) -> Result<Vec<Graph>> {
     Ok(out)
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,8 +389,14 @@ mod tests {
             decode_graph(&bytes),
             Err(StorageError::Corrupt) | Err(StorageError::Malformed(_))
         ));
-        assert!(matches!(decode_graph(b"NOPE-this-is-not-a-graph"), Err(StorageError::BadMagic)));
-        assert!(matches!(decode_graph(&bytes[..3]), Err(StorageError::Truncated)));
+        assert!(matches!(
+            decode_graph(b"NOPE-this-is-not-a-graph"),
+            Err(StorageError::BadMagic)
+        ));
+        assert!(matches!(
+            decode_graph(&bytes[..3]),
+            Err(StorageError::Truncated)
+        ));
     }
 
     #[test]

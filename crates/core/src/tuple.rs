@@ -13,7 +13,6 @@ use std::fmt;
 /// lookup is by name; tuples in this system are small (a handful of
 /// attributes) so linear search beats a hash map.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Tuple {
     tag: Option<String>,
     attrs: Vec<(String, Value)>,

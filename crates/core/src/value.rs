@@ -16,7 +16,6 @@ use std::hash::{Hash, Hasher};
 /// [`f64::total_cmp`]) so that values can be used as index keys in the
 /// relational substrate and hashed in feasible-mate tables.
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Value {
     /// 64-bit signed integer literal, e.g. `year=2006`.
     Int(i64),
@@ -280,12 +279,14 @@ mod tests {
 
     #[test]
     fn cross_type_ordering_is_total() {
-        let mut vs = [Value::Str("z".into()),
+        let mut vs = [
+            Value::Str("z".into()),
             Value::Int(-1),
             Value::Bool(true),
             Value::Float(0.5),
             Value::Str("a".into()),
-            Value::Bool(false)];
+            Value::Bool(false),
+        ];
         vs.sort();
         assert_eq!(vs[0], Value::Bool(false));
         assert_eq!(vs[1], Value::Bool(true));

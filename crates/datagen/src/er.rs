@@ -79,7 +79,10 @@ mod tests {
         assert_eq!(g.edge_count(), 5000);
         let stats = GraphStats::collect(&g);
         assert!(stats.distinct_labels() <= 100);
-        assert!(stats.distinct_labels() > 50, "Zipf over 1000 draws covers most labels");
+        assert!(
+            stats.distinct_labels() > 50,
+            "Zipf over 1000 draws covers most labels"
+        );
         // Most frequent label should dominate: p(1) ≈ 1/H(100) ≈ 0.19.
         let top = stats.top_labels(1);
         let f = stats.node_label_freq(&top[0]) as f64 / 1000.0;
@@ -92,9 +95,7 @@ mod tests {
         let b = erdos_renyi(&ErConfig::paper_default(100, 7));
         let c = erdos_renyi(&ErConfig::paper_default(100, 8));
         assert_eq!(a.edge_count(), b.edge_count());
-        let eq_labels = a
-            .node_ids()
-            .all(|v| a.node_label(v) == b.node_label(v));
+        let eq_labels = a.node_ids().all(|v| a.node_label(v) == b.node_label(v));
         assert!(eq_labels);
         let diff = c.node_ids().any(|v| a.node_label(v) != c.node_label(v));
         assert!(diff, "different seeds should differ");

@@ -42,7 +42,8 @@ fn ring(g: &mut Graph, hetero: bool) -> Vec<NodeId> {
         .collect();
     for i in 0..6 {
         let bond = Tuple::tagged("bond").with("kind", if hetero { "aromatic" } else { "single" });
-        g.add_edge(ids[i], ids[(i + 1) % 6], bond).expect("ring edges unique");
+        g.add_edge(ids[i], ids[(i + 1) % 6], bond)
+            .expect("ring edges unique");
     }
     ids
 }

@@ -101,8 +101,7 @@ pub fn ppi_network(cfg: &PpiConfig) -> Graph {
         }
         for i in 0..size {
             for j in (i + 1)..size {
-                if g
-                    .add_edge(NodeId(members[i]), NodeId(members[j]), Tuple::new())
+                if g.add_edge(NodeId(members[i]), NodeId(members[j]), Tuple::new())
                     .is_ok()
                 {
                     planted += 1;

@@ -32,7 +32,10 @@ impl Zipf {
     /// Samples a rank in `0..n` (0 = most frequent).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("no NaN")) {
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

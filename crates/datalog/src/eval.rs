@@ -33,9 +33,7 @@ impl FactStore {
 
     /// Membership test.
     pub fn contains(&self, pred: &str, tuple: &[Value]) -> bool {
-        self.relations
-            .get(pred)
-            .is_some_and(|s| s.contains(tuple))
+        self.relations.get(pred).is_some_and(|s| s.contains(tuple))
     }
 
     /// Total fact count.

@@ -149,9 +149,6 @@ mod tests {
                 },
             ],
         };
-        assert_eq!(
-            r.to_string(),
-            "Pattern(P, V2) :- graph(P), Temp > 2000."
-        );
+        assert_eq!(r.to_string(), "Pattern(P, V2) :- graph(P), Temp > 2000.");
     }
 }

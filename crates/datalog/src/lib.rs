@@ -18,6 +18,6 @@ pub mod parse;
 pub mod translate;
 
 pub use eval::{evaluate, FactStore};
-pub use parse::{parse_datalog, DatalogParseError};
 pub use lang::{Atom, BodyItem, Program, Rule, Term};
+pub use parse::{parse_datalog, DatalogParseError};
 pub use translate::{graph_to_facts, pattern_to_program, pattern_to_rule};

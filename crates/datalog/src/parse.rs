@@ -28,7 +28,11 @@ pub struct DatalogParseError {
 
 impl fmt::Display for DatalogParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "datalog parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "datalog parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -134,10 +138,7 @@ impl<'a> P<'a> {
                         // follows; otherwise it terminates the clause.
                         Some(b'.')
                             if !float
-                                && self
-                                    .src
-                                    .get(self.pos + 1)
-                                    .is_some_and(u8::is_ascii_digit) =>
+                                && self.src.get(self.pos + 1).is_some_and(u8::is_ascii_digit) =>
                         {
                             float = true;
                             self.pos += 1;
@@ -344,10 +345,7 @@ mod tests {
 
     #[test]
     fn float_terms() {
-        let (prog, mut facts) = parse_datalog(
-            "m(1.5). m(2.5). big(X) :- m(X), X >= 2.0.",
-        )
-        .unwrap();
+        let (prog, mut facts) = parse_datalog("m(1.5). m(2.5). big(X) :- m(X), X >= 2.0.").unwrap();
         evaluate(&prog, &mut facts);
         assert_eq!(facts.count("big"), 1);
     }

@@ -195,7 +195,11 @@ fn operand_term(
             let t = Term::var(format!("T{fresh}"));
             body.push(BodyItem::Atom(Atom::new(
                 "attribute",
-                vec![Term::var(format!("V{node}")), Term::val(attr.as_str()), t.clone()],
+                vec![
+                    Term::var(format!("V{node}")),
+                    Term::val(attr.as_str()),
+                    t.clone(),
+                ],
             )));
             Some(t)
         }
@@ -204,7 +208,11 @@ fn operand_term(
             let t = Term::var(format!("T{fresh}"));
             body.push(BodyItem::Atom(Atom::new(
                 "attribute",
-                vec![Term::var(format!("E{edge}")), Term::val(attr.as_str()), t.clone()],
+                vec![
+                    Term::var(format!("E{edge}")),
+                    Term::val(attr.as_str()),
+                    t.clone(),
+                ],
             )));
             Some(t)
         }

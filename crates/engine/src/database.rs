@@ -2,14 +2,10 @@
 //! variables, and program execution (§3.4's FLWR semantics).
 
 use crate::error::{EngineError, Result};
-use gql_algebra::{
-    compile_pattern, ops, CompiledPattern, PatternRegistry, TemplateEnv,
-};
+use gql_algebra::{compile_pattern, ops, CompiledPattern, PatternRegistry, TemplateEnv};
 use gql_core::{Graph, GraphCollection};
 use gql_match::{MatchOptions, Pattern};
-use gql_parser::ast::{
-    FlwrAst, FlwrBody, GraphTemplateAst, PatternRef, Program, Statement,
-};
+use gql_parser::ast::{FlwrAst, FlwrBody, GraphTemplateAst, PatternRef, Program, Statement};
 use gql_parser::parse_program;
 use rustc_hash::FxHashMap;
 
@@ -26,21 +22,46 @@ pub struct ExecOutcome {
 /// A GraphQL database: "one or more collections of graphs" (§3.1) plus
 /// the session state a program builds up (declared patterns and graph
 /// variables).
-#[derive(Default)]
 pub struct Database {
     collections: FxHashMap<String, GraphCollection>,
     registry: PatternRegistry,
     compiled: FxHashMap<String, CompiledPattern>,
     vars: FxHashMap<String, Graph>,
     /// Matching options used by `for` clauses (the `exhaustive` keyword
-    /// still overrides the `exhaustive` field per query).
+    /// still overrides the `exhaustive` field per query). The engine
+    /// default skips the §5 baseline-space recomputation — it never
+    /// reads the ratio report — and runs single-threaded; see
+    /// [`Database::with_threads`].
     pub options: MatchOptions,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
 }
 
 impl Database {
     /// An empty database with default (optimized) matching options.
     pub fn new() -> Self {
-        Database::default()
+        Database {
+            collections: FxHashMap::default(),
+            registry: PatternRegistry::default(),
+            compiled: FxHashMap::default(),
+            vars: FxHashMap::default(),
+            options: MatchOptions {
+                report_baseline_space: false,
+                ..MatchOptions::default()
+            },
+        }
+    }
+
+    /// Sets the worker-thread count used by σ evaluation (`0` = one per
+    /// available core; `1` = sequential). Results are identical for any
+    /// setting.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads;
+        self
     }
 
     /// Registers a collection under `name` (the target of
@@ -109,7 +130,10 @@ impl Database {
         Ok(outcome)
     }
 
-    fn template_env<'a>(&'a self, param: Option<(&str, &'a gql_algebra::MatchedGraph)>) -> TemplateEnv<'a> {
+    fn template_env<'a>(
+        &'a self,
+        param: Option<(&str, &'a gql_algebra::MatchedGraph)>,
+    ) -> TemplateEnv<'a> {
         let mut env = TemplateEnv::new();
         for (k, v) in &self.vars {
             env.vars.insert(k.clone(), v);
@@ -158,12 +182,12 @@ impl Database {
             }
         };
 
-        let collection = self
-            .collections
-            .get(&f.source)
-            .ok_or_else(|| EngineError::UnknownCollection {
-                name: f.source.clone(),
-            })?;
+        let collection =
+            self.collections
+                .get(&f.source)
+                .ok_or_else(|| EngineError::UnknownCollection {
+                    name: f.source.clone(),
+                })?;
 
         let mut opts = self.options.clone();
         opts.exhaustive = f.exhaustive;
@@ -196,7 +220,10 @@ impl Database {
     /// Runs `template` once with no pattern parameter — public so callers
     /// can instantiate ad-hoc templates against the database variables.
     pub fn instantiate(&self, template: &GraphTemplateAst) -> Result<Graph> {
-        Ok(gql_algebra::instantiate(template, &self.template_env(None))?)
+        Ok(gql_algebra::instantiate(
+            template,
+            &self.template_env(None),
+        )?)
     }
 }
 
@@ -238,7 +265,12 @@ mod tests {
         assert_eq!(c.edge_count(), 4, "{c}");
         let names: Vec<String> = c
             .nodes()
-            .filter_map(|(_, n)| n.attrs.get("name").and_then(|v| v.as_str()).map(String::from))
+            .filter_map(|(_, n)| {
+                n.attrs
+                    .get("name")
+                    .and_then(|v| v.as_str())
+                    .map(String::from)
+            })
             .collect();
         for expected in ["A", "B", "C", "D"] {
             assert!(names.contains(&expected.to_string()), "{names:?}");
@@ -317,10 +349,7 @@ mod tests {
             db.execute(r#"for P in doc("X") return graph {};"#),
             Err(EngineError::UnknownCollection { .. })
         ));
-        assert!(matches!(
-            db.execute("graph {"),
-            Err(EngineError::Parse(_))
-        ));
+        assert!(matches!(db.execute("graph {"), Err(EngineError::Parse(_))));
     }
 
     #[test]

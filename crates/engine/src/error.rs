@@ -27,10 +27,16 @@ impl fmt::Display for EngineError {
             EngineError::Parse(e) => write!(f, "{e}"),
             EngineError::Algebra(e) => write!(f, "{e}"),
             EngineError::UnknownCollection { name } => {
-                write!(f, "unknown collection {name:?}; register it with Database::add_collection")
+                write!(
+                    f,
+                    "unknown collection {name:?}; register it with Database::add_collection"
+                )
             }
             EngineError::UnknownPattern { name } => {
-                write!(f, "unknown pattern {name:?}; declare it before the FLWR expression")
+                write!(
+                    f,
+                    "unknown pattern {name:?}; declare it before the FLWR expression"
+                )
             }
         }
     }

@@ -28,7 +28,8 @@ fn multiple_flwr_statements_compose() {
 fn let_accumulator_persists_across_statements() {
     let mut db = Database::new();
     db.add_collection("DBLP", figure_4_13_dblp().into());
-    db.execute("C := graph { node seed <kind=\"root\">; };").unwrap();
+    db.execute("C := graph { node seed <kind=\"root\">; };")
+        .unwrap();
     db.execute(
         r#"
         for graph Q { node a <author>; } exhaustive in doc("DBLP")

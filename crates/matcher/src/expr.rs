@@ -77,10 +77,9 @@ impl Expr {
     /// The set of pattern-node indices this expression mentions.
     pub fn referenced_nodes(&self, out: &mut Vec<usize>) {
         match self {
-            Expr::NodeAttr { node, .. }
-                if !out.contains(node) => {
-                    out.push(*node);
-                }
+            Expr::NodeAttr { node, .. } if !out.contains(node) => {
+                out.push(*node);
+            }
             Expr::Binary { lhs, rhs, .. } => {
                 lhs.referenced_nodes(out);
                 rhs.referenced_nodes(out);
@@ -92,10 +91,9 @@ impl Expr {
     /// The set of pattern-edge indices this expression mentions.
     pub fn referenced_edges(&self, out: &mut Vec<usize>) {
         match self {
-            Expr::EdgeAttr { edge, .. }
-                if !out.contains(edge) => {
-                    out.push(*edge);
-                }
+            Expr::EdgeAttr { edge, .. } if !out.contains(edge) => {
+                out.push(*edge);
+            }
             Expr::Binary { lhs, rhs, .. } => {
                 lhs.referenced_edges(out);
                 rhs.referenced_edges(out);
@@ -363,11 +361,7 @@ mod tests {
         );
         assert!(p.holds(&ctx));
         // division by zero is undefined
-        let q = Expr::binary(
-            BinOp::Div,
-            Expr::Literal(1.into()),
-            Expr::Literal(0.into()),
-        );
+        let q = Expr::binary(BinOp::Div, Expr::Literal(1.into()), Expr::Literal(0.into()));
         assert_eq!(q.eval(&ctx), EvalResult::Undefined);
     }
 }

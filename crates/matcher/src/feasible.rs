@@ -31,6 +31,59 @@ pub enum LocalPruning {
     },
 }
 
+/// Computes `Φ(u)` for one pattern node (retrieval + local pruning).
+fn mates_for(
+    pattern: &Pattern,
+    g: &Graph,
+    index: &GraphIndex,
+    pruning: LocalPruning,
+    u: NodeId,
+) -> Vec<NodeId> {
+    // Indexed retrieval when the motif pins the label.
+    let base: Vec<NodeId> = match pattern.graph.node(u).attrs.get("label") {
+        Some(label) => index
+            .nodes_with_label(label)
+            .iter()
+            .copied()
+            .filter(|&v| pattern.node_feasible(u, g, v))
+            .collect(),
+        None => g
+            .node_ids()
+            .filter(|&v| pattern.node_feasible(u, g, v))
+            .collect(),
+    };
+    match pruning {
+        LocalPruning::NodeAttributes => base,
+        LocalPruning::Profiles { radius } => {
+            let pu = Profile::of_neighborhood(&pattern.graph, u, radius);
+            base.into_iter()
+                .filter(|&v| {
+                    let pv = if index.has_profiles() && index.radius() == radius {
+                        index.profile(v).clone()
+                    } else {
+                        Profile::of_neighborhood(g, v, radius)
+                    };
+                    pu.subsumed_by(&pv)
+                })
+                .collect()
+        }
+        LocalPruning::Subgraphs { radius } => {
+            let nu = neighborhood_subgraph(&pattern.graph, u, radius);
+            base.into_iter()
+                .filter(|&v| {
+                    if index.has_neighborhoods() && index.radius() == radius {
+                        let nv = index.neighborhood(v);
+                        subgraph_isomorphic_anchored(&nu.graph, &nv.graph, (nu.center, nv.center))
+                    } else {
+                        let nv = neighborhood_subgraph(g, v, radius);
+                        subgraph_isomorphic_anchored(&nu.graph, &nv.graph, (nu.center, nv.center))
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
 /// Computes feasible mates `Φ(u)` for every pattern node.
 ///
 /// Retrieval is by indexed access when the pattern node constrains the
@@ -42,62 +95,21 @@ pub fn feasible_mates(
     index: &GraphIndex,
     pruning: LocalPruning,
 ) -> Vec<Vec<NodeId>> {
-    let mut mates = Vec::with_capacity(pattern.node_count());
-    for u in pattern.graph.node_ids() {
-        // Indexed retrieval when the motif pins the label.
-        let base: Vec<NodeId> = match pattern.graph.node(u).attrs.get("label") {
-            Some(label) => index
-                .nodes_with_label(label)
-                .iter()
-                .copied()
-                .filter(|&v| pattern.node_feasible(u, g, v))
-                .collect(),
-            None => g
-                .node_ids()
-                .filter(|&v| pattern.node_feasible(u, g, v))
-                .collect(),
-        };
-        let pruned = match pruning {
-            LocalPruning::NodeAttributes => base,
-            LocalPruning::Profiles { radius } => {
-                let pu = Profile::of_neighborhood(&pattern.graph, u, radius);
-                base.into_iter()
-                    .filter(|&v| {
-                        let pv = if index.has_profiles() && index.radius() == radius {
-                            index.profile(v).clone()
-                        } else {
-                            Profile::of_neighborhood(g, v, radius)
-                        };
-                        pu.subsumed_by(&pv)
-                    })
-                    .collect()
-            }
-            LocalPruning::Subgraphs { radius } => {
-                let nu = neighborhood_subgraph(&pattern.graph, u, radius);
-                base.into_iter()
-                    .filter(|&v| {
-                        if index.has_neighborhoods() && index.radius() == radius {
-                            let nv = index.neighborhood(v);
-                            subgraph_isomorphic_anchored(
-                                &nu.graph,
-                                &nv.graph,
-                                (nu.center, nv.center),
-                            )
-                        } else {
-                            let nv = neighborhood_subgraph(g, v, radius);
-                            subgraph_isomorphic_anchored(
-                                &nu.graph,
-                                &nv.graph,
-                                (nu.center, nv.center),
-                            )
-                        }
-                    })
-                    .collect()
-            }
-        };
-        mates.push(pruned);
-    }
-    mates
+    feasible_mates_par(pattern, g, index, pruning, 1)
+}
+
+/// [`feasible_mates`] with the per-pattern-node work spread across
+/// `threads` workers (`0` = available cores). Each `Φ(u)` is
+/// independent, so the result is identical for every thread count.
+pub fn feasible_mates_par(
+    pattern: &Pattern,
+    g: &Graph,
+    index: &GraphIndex,
+    pruning: LocalPruning,
+    threads: usize,
+) -> Vec<Vec<NodeId>> {
+    let ids: Vec<NodeId> = pattern.graph.node_ids().collect();
+    gql_core::par_map_slice(&ids, threads, |&u| mates_for(pattern, g, index, pruning, u))
 }
 
 /// Natural log of the search-space size `|Φ(u1)| × .. × |Φ(uk)|`

@@ -39,7 +39,9 @@ pub mod refine;
 pub mod search;
 
 pub use expr::{BinOp, EvalCtx, EvalResult, Expr};
-pub use feasible::{feasible_mates, reduction_ratio, search_space_ln, LocalPruning};
+pub use feasible::{
+    feasible_mates, feasible_mates_par, reduction_ratio, search_space_ln, LocalPruning,
+};
 pub use index::GraphIndex;
 pub use matcher::{
     match_pattern, MatchOptions, MatchReport, RefineLevel, SpaceReport, StepTimings,

@@ -2,7 +2,7 @@
 //! (retrieval → local pruning → global refinement → ordered search),
 //! with per-step instrumentation for the §5 experiments.
 
-use crate::feasible::{feasible_mates, search_space_ln, LocalPruning};
+use crate::feasible::{feasible_mates_par, search_space_ln, LocalPruning};
 use crate::index::GraphIndex;
 use crate::order::{optimize_order, GammaMode, SearchOrder};
 use crate::pattern::Pattern;
@@ -44,6 +44,15 @@ pub struct MatchOptions {
     pub max_matches: usize,
     /// Wall-clock budget for the search phase.
     pub time_limit: Option<Duration>,
+    /// Worker threads for retrieval and search: `1` is the classic
+    /// sequential pipeline, `0` means one worker per available core.
+    /// Output is identical for every setting.
+    pub threads: usize,
+    /// Whether to recompute the node-attribute baseline search space for
+    /// [`SpaceReport`] ratios. The experiments need it; hot paths
+    /// (engine σ, first-match lookups) can skip the redundant
+    /// `feasible_mates` pass, leaving `baseline_ln` as NaN.
+    pub report_baseline_space: bool,
 }
 
 impl Default for MatchOptions {
@@ -56,6 +65,8 @@ impl Default for MatchOptions {
             exhaustive: true,
             max_matches: usize::MAX,
             time_limit: None,
+            threads: 1,
+            report_baseline_space: true,
         }
     }
 }
@@ -103,6 +114,8 @@ impl StepTimings {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SpaceReport {
     /// `ln` of the baseline space (retrieval by node attributes).
+    /// NaN when [`MatchOptions::report_baseline_space`] was off (the
+    /// ratio methods then return NaN too).
     pub baseline_ln: f64,
     /// `ln` after local pruning.
     pub local_ln: f64,
@@ -157,20 +170,23 @@ pub fn match_pattern(
 
     // Phase 1: feasible mates + local pruning (lines 1–4 of Alg. 4.1).
     let t0 = Instant::now();
-    let mut mates = feasible_mates(pattern, g, index, opts.pruning);
+    let mut mates = feasible_mates_par(pattern, g, index, opts.pruning, opts.threads);
     report.timings.retrieve = t0.elapsed();
     report.spaces.local_ln = search_space_ln(&mates);
     // Baseline space for ratio reporting: recompute only if a different
-    // strategy was used (cheap — index lookup).
+    // strategy was used AND the caller wants the ratios.
     report.spaces.baseline_ln = if opts.pruning == LocalPruning::NodeAttributes {
         report.spaces.local_ln
-    } else {
-        search_space_ln(&feasible_mates(
+    } else if opts.report_baseline_space {
+        search_space_ln(&feasible_mates_par(
             pattern,
             g,
             index,
             LocalPruning::NodeAttributes,
+            opts.threads,
         ))
+    } else {
+        f64::NAN
     };
 
     // Phase 2: joint reduction (§4.3).
@@ -197,13 +213,14 @@ pub fn match_pattern(
         }
     };
     report.timings.order = t2.elapsed();
-    report.order = order.order.clone();
+    report.order = order.order;
 
     // Phase 4: DFS search (Alg. 4.1 lines 7–26).
     let cfg = SearchConfig {
         exhaustive: opts.exhaustive,
         max_matches: opts.max_matches,
         deadline: opts.time_limit.map(|d| Instant::now() + d),
+        threads: opts.threads,
     };
     let t3 = Instant::now();
     let SearchOutcome {
@@ -211,7 +228,7 @@ pub fn match_pattern(
         edge_bindings,
         steps,
         timed_out,
-    } = search(pattern, g, &mates, &order.order, &cfg);
+    } = search(pattern, g, &mates, &report.order, &cfg);
     report.timings.search = t3.elapsed();
     report.mappings = mappings;
     report.edge_bindings = edge_bindings;

@@ -104,10 +104,12 @@ pub fn optimize_order(
     // First leaf: smallest |Φ|.
     let first = (0..k)
         .min_by(|&a, &b| {
-            mates[a]
-                .len()
-                .cmp(&mates[b].len())
-                .then(pattern.graph.degree(NodeId(b as u32)).cmp(&pattern.graph.degree(NodeId(a as u32))))
+            mates[a].len().cmp(&mates[b].len()).then(
+                pattern
+                    .graph
+                    .degree(NodeId(b as u32))
+                    .cmp(&pattern.graph.degree(NodeId(a as u32))),
+            )
         })
         .expect("k > 0");
     chosen[first] = true;
@@ -206,7 +208,10 @@ mod tests {
         let mode = GammaMode::Constant(gamma);
         let abc = cost_of_order(&p, &mates, &[0, 1, 2], None, mode);
         let acb = cost_of_order(&p, &mates, &[0, 2, 1], None, mode);
-        assert!((abc - (2.0 + 2.0 * gamma * gamma)).abs() < 1e-12 || (abc - (2.0 + 2.0 * gamma)).abs() < 1e-12);
+        assert!(
+            (abc - (2.0 + 2.0 * gamma * gamma)).abs() < 1e-12
+                || (abc - (2.0 + 2.0 * gamma)).abs() < 1e-12
+        );
         assert!(acb < abc, "(A⋈C)⋈B must be cheaper: {acb} vs {abc}");
     }
 
@@ -238,7 +243,11 @@ mod tests {
             vec![NodeId(4), NodeId(5)],
         ];
         let res = optimize_order(&p, &mates, None, GammaMode::Constant(0.1));
-        assert_eq!(res.order[2], 2, "isolated node should come last: {:?}", res.order);
+        assert_eq!(
+            res.order[2], 2,
+            "isolated node should come last: {:?}",
+            res.order
+        );
     }
 
     #[test]
@@ -251,8 +260,12 @@ mod tests {
 
     #[test]
     fn order_is_a_permutation() {
-        let p = Pattern::structural(gql_core::fixtures::labeled_clique(&["A", "B", "C", "D", "E"]));
-        let mates: Vec<Vec<NodeId>> = (0..5).map(|i| (0..=i).map(|j| NodeId(j as u32)).collect()).collect();
+        let p = Pattern::structural(gql_core::fixtures::labeled_clique(&[
+            "A", "B", "C", "D", "E",
+        ]));
+        let mates: Vec<Vec<NodeId>> = (0..5)
+            .map(|i| (0..=i).map(|j| NodeId(j as u32)).collect())
+            .collect();
         let res = optimize_order(&p, &mates, None, GammaMode::default());
         let mut sorted = res.order.clone();
         sorted.sort_unstable();

@@ -136,7 +136,12 @@ impl Pattern {
     }
 
     /// Evaluates the residual graph-wide predicate on a complete mapping.
-    pub fn global_holds(&self, g: &Graph, mapping: &[NodeId], edge_bind: &[Option<EdgeId>]) -> bool {
+    pub fn global_holds(
+        &self,
+        g: &Graph,
+        mapping: &[NodeId],
+        edge_bind: &[Option<EdgeId>],
+    ) -> bool {
         if self.global_preds.is_empty() {
             return true;
         }
@@ -205,10 +210,7 @@ mod tests {
     fn node_feasibility_combines_tuple_and_predicate() {
         let mut motif = Graph::new();
         let u = motif.add_node(Tuple::tagged("author"));
-        let p = Pattern::new(
-            motif,
-            vec![Expr::node_attr_eq(u.index(), "name", "A")],
-        );
+        let p = Pattern::new(motif, vec![Expr::node_attr_eq(u.index(), "name", "A")]);
 
         let mut g = Graph::new();
         let ok = g.add_node(Tuple::tagged("author").with("name", "A"));

@@ -125,7 +125,9 @@ mod tests {
     use super::*;
     use crate::feasible::{feasible_mates, LocalPruning};
     use crate::index::GraphIndex;
-    use gql_core::fixtures::{figure_4_16_graph, figure_4_16_pattern, labeled_clique, labeled_path};
+    use gql_core::fixtures::{
+        figure_4_16_graph, figure_4_16_pattern, labeled_clique, labeled_path,
+    };
 
     fn names(g: &Graph, vs: &[NodeId]) -> Vec<String> {
         vs.iter()

@@ -1,7 +1,43 @@
-//! The depth-first search phase of Algorithm 4.1 (`Search` / `Check`).
+//! The depth-first search phase of Algorithm 4.1 (`Search` / `Check`),
+//! with an optional work-partitioned parallel driver.
+//!
+//! # Parallel execution model
+//!
+//! The recursion tree of Algorithm 4.1 fans out at depth 0 over the
+//! feasible mates of the first pattern node in the search order,
+//! Φ(order\[0\]). Those subtrees are independent, so the parallel driver
+//! partitions the root candidate list into contiguous chunks and hands
+//! them to `threads` scoped workers, each running the unmodified
+//! sequential recursion over its chunk.
+//!
+//! Determinism is preserved — parallel output is **identical** to the
+//! sequential run, including under `max_matches` caps and the
+//! non-`exhaustive` first-match mode:
+//!
+//! - each worker caps its own chunk at `take` matches (`take` = 1 when
+//!   not exhaustive, else `max_matches`), so no chunk ever over-collects
+//!   past what the merge can use;
+//! - a chunk is *complete* when its subtree was exhausted or its local
+//!   cap was reached. Completed chunk counts are folded into a
+//!   completed-**prefix** total (chunks 0..p all complete); only when
+//!   that prefix total reaches `take` is the shared stop flag raised.
+//!   This guarantees the truncation point of the final result lies
+//!   inside chunks that ran to completion, so later partial chunks can
+//!   never perturb the reported prefix;
+//! - outcomes are merged in chunk order and truncated to `take`, which
+//!   reproduces exactly the first `take` matches in root order — the
+//!   sequential answer.
+//!
+//! The wall-clock deadline also propagates through the stop flag: the
+//! first worker to observe the deadline raises it, every worker aborts
+//! at its next step-counter check, and the merged outcome carries
+//! `timed_out` plus whatever was found (a lower bound, mirroring the
+//! sequential protocol).
 
 use crate::pattern::Pattern;
 use gql_core::{EdgeId, Graph, NodeId};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Knobs for the search phase.
@@ -16,6 +52,10 @@ pub struct SearchConfig {
     /// Wall-clock budget; exceeded runs set `timed_out` and return what
     /// they found (lower bound), mirroring the paper's protocol.
     pub deadline: Option<Instant>,
+    /// Worker threads for the root-partitioned parallel driver: `1`
+    /// runs the classic sequential search, `0` means one worker per
+    /// available core. Any setting produces identical output.
+    pub threads: usize,
 }
 
 impl Default for SearchConfig {
@@ -24,6 +64,7 @@ impl Default for SearchConfig {
             exhaustive: true,
             max_matches: usize::MAX,
             deadline: None,
+            threads: 1,
         }
     }
 }
@@ -36,14 +77,176 @@ pub struct SearchOutcome {
     /// For each mapping, the data edge bound to each pattern edge.
     pub edge_bindings: Vec<Vec<EdgeId>>,
     /// Candidate (node, mate) extension attempts — the paper's notion of
-    /// search effort.
+    /// search effort. Under a parallel run this aggregates the steps of
+    /// every worker, so early-exit runs may report more steps than a
+    /// sequential run that stopped at the same match.
     pub steps: u64,
     /// True if the deadline fired before the space was exhausted.
     pub timed_out: bool,
 }
 
+/// Shared read-only state for one (chunk of the) search.
+struct Ctx<'a> {
+    pattern: &'a Pattern,
+    g: &'a Graph,
+    mates: &'a [Vec<NodeId>],
+    order: &'a [usize],
+    /// Root candidates explored at depth 0 (a sub-slice of
+    /// `mates[order[0]]` under the parallel driver).
+    roots: &'a [NodeId],
+    /// Stop after this many mappings (checked after each push).
+    take: usize,
+    deadline: Option<Instant>,
+    /// Cross-worker abort flag (None in the sequential path).
+    stop: Option<&'a AtomicBool>,
+}
+
+/// `Check(u_i, v)` (Algorithm 4.1 lines 19–26): every pattern edge
+/// from `u_i` to an already-assigned node must map to a data edge
+/// satisfying `F_e`. On success records the edge bindings.
+fn check(
+    ctx: &Ctx<'_>,
+    u: NodeId,
+    v: NodeId,
+    assign: &[Option<NodeId>],
+    edge_bind: &mut [Option<EdgeId>],
+    touched: &mut Vec<u32>,
+) -> bool {
+    for &(w, pe) in ctx.pattern.incident(u) {
+        let Some(mapped) = assign[w.index()] else {
+            continue;
+        };
+        // Respect orientation for directed patterns: the motif edge
+        // runs src→dst; look up the data edge the same way.
+        let e = ctx.pattern.graph.edge(pe);
+        let data_edge = if ctx.pattern.graph.is_directed() {
+            if e.src == u {
+                ctx.g.edge_between(v, mapped)
+            } else {
+                ctx.g.edge_between(mapped, v)
+            }
+        } else {
+            ctx.g.edge_between(v, mapped)
+        };
+        match data_edge {
+            Some(ge) if ctx.pattern.edge_feasible(pe, ctx.g, ge) => {
+                edge_bind[pe.index()] = Some(ge);
+                touched.push(pe.0);
+            }
+            _ => return false,
+        }
+    }
+    true
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    ctx: &Ctx<'_>,
+    depth: usize,
+    assign: &mut Vec<Option<NodeId>>,
+    edge_bind: &mut Vec<Option<EdgeId>>,
+    used: &mut Vec<bool>,
+    out: &mut SearchOutcome,
+) -> bool {
+    // Returns false to abort the whole search (limit/deadline/stop hit).
+    if depth == ctx.order.len() {
+        // Complete mapping: evaluate the graph-wide predicate F.
+        let mapping: Vec<NodeId> = assign.iter().map(|a| a.expect("complete")).collect();
+        if ctx.pattern.global_holds(ctx.g, &mapping, edge_bind) {
+            out.mappings.push(mapping);
+            out.edge_bindings
+                .push(edge_bind.iter().map(|e| e.expect("complete")).collect());
+            if out.mappings.len() >= ctx.take {
+                return false;
+            }
+        }
+        return true;
+    }
+    let u = NodeId(ctx.order[depth] as u32);
+    let cands: &[NodeId] = if depth == 0 {
+        ctx.roots
+    } else {
+        &ctx.mates[u.index()]
+    };
+    for &v in cands {
+        if used[v.index()] {
+            continue; // injectivity: v is not free
+        }
+        out.steps += 1;
+        if out.steps.is_multiple_of(1024) {
+            if let Some(stop) = ctx.stop {
+                if stop.load(Ordering::Relaxed) {
+                    return false;
+                }
+            }
+            if let Some(d) = ctx.deadline {
+                if Instant::now() >= d {
+                    out.timed_out = true;
+                    return false;
+                }
+            }
+        }
+        let mut touched: Vec<u32> = Vec::new();
+        if !check(ctx, u, v, assign, edge_bind, &mut touched) {
+            for pe in touched {
+                edge_bind[pe as usize] = None;
+            }
+            continue;
+        }
+        assign[u.index()] = Some(v);
+        used[v.index()] = true;
+        let keep_going = recurse(ctx, depth + 1, assign, edge_bind, used, out);
+        assign[u.index()] = None;
+        used[v.index()] = false;
+        for pe in touched {
+            edge_bind[pe as usize] = None;
+        }
+        if !keep_going {
+            return false;
+        }
+    }
+    true
+}
+
+/// Scratch buffers reused across chunks by one worker.
+struct Scratch {
+    assign: Vec<Option<NodeId>>,
+    edge_bind: Vec<Option<EdgeId>>,
+    used: Vec<bool>,
+}
+
+impl Scratch {
+    fn new(pattern: &Pattern, g: &Graph) -> Self {
+        Scratch {
+            assign: vec![None; pattern.node_count()],
+            edge_bind: vec![None; pattern.edge_count()],
+            used: vec![false; g.node_count()],
+        }
+    }
+}
+
+/// Runs the recursion over one root slice. Returns the outcome plus a
+/// `complete` flag: true when the slice was exhausted or the local cap
+/// was reached (i.e. this chunk's contribution to the merged prefix is
+/// final), false when aborted by the stop flag or the deadline.
+fn run_roots(ctx: &Ctx<'_>, scratch: &mut Scratch) -> (SearchOutcome, bool) {
+    let mut out = SearchOutcome::default();
+    let finished = recurse(
+        ctx,
+        0,
+        &mut scratch.assign,
+        &mut scratch.edge_bind,
+        &mut scratch.used,
+        &mut out,
+    );
+    let complete = finished || (!out.timed_out && out.mappings.len() >= ctx.take);
+    (out, complete)
+}
+
 /// Runs the `Search(1)` recursion of Algorithm 4.1 over the given
-/// feasible mates and search order.
+/// feasible mates and search order. With `cfg.threads != 1` the root
+/// candidates are partitioned across scoped workers; output is
+/// identical to the sequential run (see module docs).
 pub fn search(
     pattern: &Pattern,
     g: &Graph,
@@ -64,124 +267,136 @@ pub fn search(
         return out;
     }
 
-    let mut assign: Vec<Option<NodeId>> = vec![None; k];
-    let mut edge_bind: Vec<Option<EdgeId>> = vec![None; pattern.edge_count()];
-    let mut used = vec![false; g.node_count()];
+    let roots: &[NodeId] = &mates[order[0]];
+    // The sequential code stops once `mappings.len() >= cap` *after* a
+    // push, so the effective result size is max(cap, 1); `exhaustive:
+    // false` behaves as a cap of 1.
+    let take = if cfg.exhaustive { cfg.max_matches } else { 1 }.max(1);
+    let workers = gql_core::resolve_threads(cfg.threads).min(roots.len());
 
-    struct Ctx<'a> {
-        pattern: &'a Pattern,
-        g: &'a Graph,
-        mates: &'a [Vec<NodeId>],
-        order: &'a [usize],
-        cfg: &'a SearchConfig,
+    if workers <= 1 {
+        let ctx = Ctx {
+            pattern,
+            g,
+            mates,
+            order,
+            roots,
+            take,
+            deadline: cfg.deadline,
+            stop: None,
+        };
+        return run_roots(&ctx, &mut Scratch::new(pattern, g)).0;
     }
+    search_parallel(pattern, g, mates, order, cfg, roots, take, workers)
+}
 
-    /// `Check(u_i, v)` (Algorithm 4.1 lines 19–26): every pattern edge
-    /// from `u_i` to an already-assigned node must map to a data edge
-    /// satisfying `F_e`. On success records the edge bindings.
-    fn check(
-        ctx: &Ctx<'_>,
-        u: NodeId,
-        v: NodeId,
-        assign: &[Option<NodeId>],
-        edge_bind: &mut [Option<EdgeId>],
-        touched: &mut Vec<u32>,
-    ) -> bool {
-        for &(w, pe) in ctx.pattern.incident(u) {
-            let Some(mapped) = assign[w.index()] else {
-                continue;
-            };
-            // Respect orientation for directed patterns: the motif edge
-            // runs src→dst; look up the data edge the same way.
-            let e = ctx.pattern.graph.edge(pe);
-            let data_edge = if ctx.pattern.graph.is_directed() {
-                if e.src == u {
-                    ctx.g.edge_between(v, mapped)
-                } else {
-                    ctx.g.edge_between(mapped, v)
-                }
-            } else {
-                ctx.g.edge_between(v, mapped)
-            };
-            match data_edge {
-                Some(ge) if ctx.pattern.edge_feasible(pe, ctx.g, ge) => {
-                    edge_bind[pe.index()] = Some(ge);
-                    touched.push(pe.0);
-                }
-                _ => return false,
-            }
-        }
-        true
-    }
+/// Per-chunk bookkeeping for the completed-prefix early-exit protocol.
+struct Prefix {
+    /// Match count per *complete* chunk (None while running/aborted).
+    counts: Vec<Option<usize>>,
+    /// First chunk index not yet folded into `total`.
+    next: usize,
+    /// Matches across the completed prefix `0..next`.
+    total: usize,
+}
 
-    #[allow(clippy::too_many_arguments)]
-    fn recurse(
-        ctx: &Ctx<'_>,
-        depth: usize,
-        assign: &mut Vec<Option<NodeId>>,
-        edge_bind: &mut Vec<Option<EdgeId>>,
-        used: &mut Vec<bool>,
-        out: &mut SearchOutcome,
-    ) -> bool {
-        // Returns false to abort the whole search (limit/deadline hit).
-        if depth == ctx.order.len() {
-            // Complete mapping: evaluate the graph-wide predicate F.
-            let mapping: Vec<NodeId> = assign.iter().map(|a| a.expect("complete")).collect();
-            if ctx.pattern.global_holds(ctx.g, &mapping, edge_bind) {
-                out.mappings.push(mapping);
-                out.edge_bindings
-                    .push(edge_bind.iter().map(|e| e.expect("complete")).collect());
-                if !ctx.cfg.exhaustive || out.mappings.len() >= ctx.cfg.max_matches {
-                    return false;
-                }
-            }
-            return true;
-        }
-        let u = NodeId(ctx.order[depth] as u32);
-        for &v in &ctx.mates[u.index()] {
-            if used[v.index()] {
-                continue; // injectivity: v is not free
-            }
-            out.steps += 1;
-            if out.steps.is_multiple_of(1024) {
-                if let Some(d) = ctx.cfg.deadline {
-                    if Instant::now() >= d {
-                        out.timed_out = true;
-                        return false;
+#[allow(clippy::too_many_arguments)]
+fn search_parallel(
+    pattern: &Pattern,
+    g: &Graph,
+    mates: &[Vec<NodeId>],
+    order: &[usize],
+    cfg: &SearchConfig,
+    roots: &[NodeId],
+    take: usize,
+    workers: usize,
+) -> SearchOutcome {
+    // Over-partition so faster workers pick up slack from skewed
+    // subtrees; chunks stay contiguous to keep the merge a simple
+    // in-order concatenation.
+    let nchunks = roots.len().min(workers * 4);
+    let chunk = roots.len().div_ceil(nchunks);
+
+    let stop = AtomicBool::new(false);
+    let next_chunk = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<SearchOutcome>>> = (0..nchunks).map(|_| Mutex::new(None)).collect();
+    let prefix = Mutex::new(Prefix {
+        counts: vec![None; nchunks],
+        next: 0,
+        total: 0,
+    });
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut scratch = Scratch::new(pattern, g);
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+                    if c >= nchunks {
+                        break;
+                    }
+                    let lo = c * chunk;
+                    let hi = ((c + 1) * chunk).min(roots.len());
+                    let ctx = Ctx {
+                        pattern,
+                        g,
+                        mates,
+                        order,
+                        roots: &roots[lo..hi],
+                        take,
+                        deadline: cfg.deadline,
+                        stop: Some(&stop),
+                    };
+                    let (outcome, complete) = run_roots(&ctx, &mut scratch);
+                    if outcome.timed_out {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                    let found = outcome.mappings.len();
+                    *slots[c].lock().expect("slot poisoned") = Some(outcome);
+                    if complete {
+                        let mut p = prefix.lock().expect("prefix poisoned");
+                        p.counts[c] = Some(found);
+                        while p.next < nchunks {
+                            match p.counts[p.next] {
+                                Some(n) => {
+                                    p.total += n;
+                                    p.next += 1;
+                                }
+                                None => break,
+                            }
+                        }
+                        if p.total >= take {
+                            stop.store(true, Ordering::Relaxed);
+                        }
                     }
                 }
-            }
-            let mut touched: Vec<u32> = Vec::new();
-            if !check(ctx, u, v, assign, edge_bind, &mut touched) {
-                for pe in touched {
-                    edge_bind[pe as usize] = None;
-                }
-                continue;
-            }
-            assign[u.index()] = Some(v);
-            used[v.index()] = true;
-            let keep_going = recurse(ctx, depth + 1, assign, edge_bind, used, out);
-            assign[u.index()] = None;
-            used[v.index()] = false;
-            for pe in touched {
-                edge_bind[pe as usize] = None;
-            }
-            if !keep_going {
-                return false;
-            }
+            });
         }
-        true
-    }
+    });
 
-    let ctx = Ctx {
-        pattern,
-        g,
-        mates,
-        order,
-        cfg,
-    };
-    recurse(&ctx, 0, &mut assign, &mut edge_bind, &mut used, &mut out);
-    out
+    // Merge in chunk order: completed-prefix accounting guarantees the
+    // first `take` matches come from complete chunks, so truncation
+    // reproduces the sequential answer exactly. Partial (aborted)
+    // chunks past the truncation point only contribute their step
+    // counts and the timed-out flag.
+    let mut merged = SearchOutcome::default();
+    for slot in slots {
+        let Some(o) = slot.into_inner().expect("slot poisoned") else {
+            continue; // chunk never claimed (stop fired first)
+        };
+        merged.steps += o.steps;
+        merged.timed_out |= o.timed_out;
+        if merged.mappings.len() < take {
+            merged.mappings.extend(o.mappings);
+            merged.edge_bindings.extend(o.edge_bindings);
+        }
+    }
+    merged.mappings.truncate(take);
+    merged.edge_bindings.truncate(take);
+    merged
 }
 
 #[cfg(test)]
@@ -323,13 +538,20 @@ mod tests {
         let x = fwd.add_labeled_node("A");
         let y = fwd.add_labeled_node("B");
         fwd.add_edge(x, y, Tuple::new()).unwrap();
-        assert_eq!(run(&Pattern::structural(fwd), &g, &SearchConfig::default()).mappings.len(), 1);
+        assert_eq!(
+            run(&Pattern::structural(fwd), &g, &SearchConfig::default())
+                .mappings
+                .len(),
+            1
+        );
 
         let mut bwd = Graph::new_directed();
         let x = bwd.add_labeled_node("A");
         let y = bwd.add_labeled_node("B");
         bwd.add_edge(y, x, Tuple::new()).unwrap();
-        assert!(run(&Pattern::structural(bwd), &g, &SearchConfig::default()).mappings.is_empty());
+        assert!(run(&Pattern::structural(bwd), &g, &SearchConfig::default())
+            .mappings
+            .is_empty());
     }
 
     #[test]
@@ -350,6 +572,86 @@ mod tests {
         let order: Vec<usize> = (0..p.node_count()).collect();
         let cfg = SearchConfig {
             deadline: Some(Instant::now()),
+            ..SearchConfig::default()
+        };
+        let out = search(&p, &g, &mates, &order, &cfg);
+        assert!(out.timed_out);
+    }
+
+    #[test]
+    fn parallel_output_is_identical_to_sequential() {
+        let g = labeled_clique(&["A"; 7]);
+        let p = Pattern::structural(labeled_clique(&["A"; 4]));
+        let seq = run(&p, &g, &SearchConfig::default());
+        assert_eq!(seq.mappings.len(), 840, "7P4 ordered embeddings");
+        for threads in [0, 2, 3, 8] {
+            let par = run(
+                &p,
+                &g,
+                &SearchConfig {
+                    threads,
+                    ..SearchConfig::default()
+                },
+            );
+            assert_eq!(par.mappings, seq.mappings, "threads={threads}");
+            assert_eq!(par.edge_bindings, seq.edge_bindings, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_respects_caps_and_first_match() {
+        let g = labeled_clique(&["A"; 7]);
+        let p = Pattern::structural(labeled_clique(&["A"; 4]));
+        let seq_cap = run(
+            &p,
+            &g,
+            &SearchConfig {
+                max_matches: 17,
+                ..SearchConfig::default()
+            },
+        );
+        let seq_first = run(
+            &p,
+            &g,
+            &SearchConfig {
+                exhaustive: false,
+                ..SearchConfig::default()
+            },
+        );
+        for threads in [2, 8] {
+            let par_cap = run(
+                &p,
+                &g,
+                &SearchConfig {
+                    max_matches: 17,
+                    threads,
+                    ..SearchConfig::default()
+                },
+            );
+            assert_eq!(par_cap.mappings, seq_cap.mappings, "threads={threads}");
+            let par_first = run(
+                &p,
+                &g,
+                &SearchConfig {
+                    exhaustive: false,
+                    threads,
+                    ..SearchConfig::default()
+                },
+            );
+            assert_eq!(par_first.mappings, seq_first.mappings, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_deadline_in_the_past_times_out() {
+        let g = labeled_clique(["A"; 10].as_slice());
+        let p = Pattern::structural(labeled_clique(["A"; 8].as_slice()));
+        let idx = GraphIndex::build(&g);
+        let mates = feasible_mates(&p, &g, &idx, LocalPruning::NodeAttributes);
+        let order: Vec<usize> = (0..p.node_count()).collect();
+        let cfg = SearchConfig {
+            deadline: Some(Instant::now()),
+            threads: 4,
             ..SearchConfig::default()
         };
         let out = search(&p, &g, &mates, &order, &cfg);

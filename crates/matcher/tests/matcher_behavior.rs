@@ -132,7 +132,10 @@ fn profile_radius_two_works() {
 fn space_chain_is_ordered_on_er_graphs() {
     let g = erdos_renyi(&ErConfig::paper_default(2000, 21));
     let idx = GraphIndex::build_full(&g, 1);
-    for (i, q) in gql_datagen::subgraph_queries(&g, 8, 5, 31).iter().enumerate() {
+    for (i, q) in gql_datagen::subgraph_queries(&g, 8, 5, 31)
+        .iter()
+        .enumerate()
+    {
         let p = Pattern::structural(q.clone());
         let rep = match_pattern(&p, &g, &idx, &MatchOptions::optimized());
         assert!(

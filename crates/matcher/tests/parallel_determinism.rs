@@ -1,0 +1,164 @@
+//! Parallel ≡ sequential: the work-partitioned search driver must
+//! return byte-identical results (same mapping sets AND the same
+//! order) for every thread count, including under early-exit caps.
+
+use gql_core::fixtures::{figure_4_16_graph, figure_4_16_pattern, labeled_clique};
+use gql_core::Graph;
+use gql_datagen::{erdos_renyi, subgraph_queries, ErConfig};
+use gql_match::{
+    feasible_mates, match_pattern, search, GraphIndex, LocalPruning, MatchOptions, Pattern,
+    SearchConfig,
+};
+use std::time::{Duration, Instant};
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Runs the full pipeline at a given thread count.
+fn run(
+    pattern: &Pattern,
+    g: &Graph,
+    opts: &MatchOptions,
+    threads: usize,
+) -> gql_match::MatchReport {
+    let index = GraphIndex::build_with_profiles_par(g, 1, threads);
+    let opts = MatchOptions {
+        threads,
+        ..opts.clone()
+    };
+    match_pattern(pattern, g, &index, &opts)
+}
+
+/// Asserts every thread count reproduces the threads=1 report exactly.
+fn assert_deterministic(pattern: &Pattern, g: &Graph, opts: &MatchOptions) {
+    let seq = run(pattern, g, opts, 1);
+    for threads in THREADS {
+        let par = run(pattern, g, opts, threads);
+        assert_eq!(par.mappings, seq.mappings, "mappings, threads={threads}");
+        assert_eq!(
+            par.edge_bindings, seq.edge_bindings,
+            "edge bindings, threads={threads}"
+        );
+        assert_eq!(par.order, seq.order, "search order, threads={threads}");
+        assert_eq!(par.timed_out, seq.timed_out, "timeout, threads={threads}");
+    }
+}
+
+#[test]
+fn figure_4_16_pipeline_is_deterministic() {
+    let (g, _) = figure_4_16_graph();
+    let p = Pattern::structural(figure_4_16_pattern());
+    assert_deterministic(&p, &g, &MatchOptions::optimized());
+    assert_deterministic(&p, &g, &MatchOptions::baseline());
+}
+
+#[test]
+fn figure_4_17_pruning_variants_are_deterministic() {
+    let (g, _) = figure_4_16_graph();
+    let p = Pattern::structural(figure_4_16_pattern());
+    for pruning in [
+        LocalPruning::NodeAttributes,
+        LocalPruning::Profiles { radius: 1 },
+        LocalPruning::Subgraphs { radius: 1 },
+    ] {
+        let opts = MatchOptions {
+            pruning,
+            ..MatchOptions::default()
+        };
+        assert_deterministic(&p, &g, &opts);
+    }
+}
+
+#[test]
+fn clique_queries_are_deterministic() {
+    let g = labeled_clique(&["A"; 8]);
+    for size in [3usize, 4, 5] {
+        let p = Pattern::structural(labeled_clique(&vec!["A"; size][..]));
+        assert_deterministic(&p, &g, &MatchOptions::optimized());
+    }
+}
+
+#[test]
+fn erdos_renyi_queries_are_deterministic() {
+    let g = erdos_renyi(&ErConfig::paper_default(600, 0xD5EED));
+    for q in subgraph_queries(&g, 5, 4, 0xD5EED ^ 1) {
+        let p = Pattern::structural(q);
+        assert_deterministic(&p, &g, &MatchOptions::optimized());
+    }
+}
+
+#[test]
+fn max_matches_cap_is_deterministic_under_parallelism() {
+    let g = labeled_clique(&["A"; 8]);
+    let p = Pattern::structural(labeled_clique(&["A"; 4]));
+    // 8P4 = 1680 embeddings; caps below, at, and above chunk sizes.
+    for cap in [1usize, 5, 17, 100, 1680, 5000] {
+        let opts = MatchOptions {
+            max_matches: cap,
+            ..MatchOptions::optimized()
+        };
+        assert_deterministic(&p, &g, &opts);
+        let seq = run(&p, &g, &opts, 1);
+        assert_eq!(seq.mappings.len(), cap.min(1680));
+    }
+}
+
+#[test]
+fn first_match_mode_is_deterministic_under_parallelism() {
+    let g = labeled_clique(&["A"; 8]);
+    let p = Pattern::structural(labeled_clique(&["A"; 4]));
+    let opts = MatchOptions {
+        exhaustive: false,
+        ..MatchOptions::optimized()
+    };
+    assert_deterministic(&p, &g, &opts);
+    assert_eq!(run(&p, &g, &opts, 8).mappings.len(), 1);
+}
+
+#[test]
+fn deadline_propagates_across_workers() {
+    // A worst-case unlabeled clique-in-clique search that cannot finish
+    // in the budget: every worker must observe the shared stop flag and
+    // return promptly with `timed_out`.
+    let g = labeled_clique(&["A"; 24]);
+    let p = Pattern::structural(labeled_clique(&["A"; 16]));
+    let index = GraphIndex::build(&g);
+    let mates = feasible_mates(&p, &g, &index, LocalPruning::NodeAttributes);
+    let order: Vec<usize> = (0..p.node_count()).collect();
+    for threads in [2, 8] {
+        let cfg = SearchConfig {
+            deadline: Some(Instant::now() + Duration::from_millis(30)),
+            threads,
+            ..SearchConfig::default()
+        };
+        let t = Instant::now();
+        let out = search(&p, &g, &mates, &order, &cfg);
+        assert!(out.timed_out, "threads={threads}");
+        assert!(
+            t.elapsed() < Duration::from_secs(5),
+            "stop flag failed to propagate (threads={threads}, took {:?})",
+            t.elapsed()
+        );
+    }
+}
+
+#[test]
+fn raw_search_layer_is_deterministic() {
+    // Exercise `search` directly (bypassing match_pattern) so chunking
+    // edge cases — more workers than roots, one root, empty mates —
+    // are covered.
+    let g = labeled_clique(&["A", "A", "B", "B", "A"]);
+    let p = Pattern::structural(labeled_clique(&["A", "B"]));
+    let index = GraphIndex::build(&g);
+    let mates = feasible_mates(&p, &g, &index, LocalPruning::NodeAttributes);
+    let order: Vec<usize> = (0..p.node_count()).collect();
+    let seq = search(&p, &g, &mates, &order, &SearchConfig::default());
+    for threads in [0, 2, 8, 64] {
+        let cfg = SearchConfig {
+            threads,
+            ..SearchConfig::default()
+        };
+        let par = search(&p, &g, &mates, &order, &cfg);
+        assert_eq!(par.mappings, seq.mappings, "threads={threads}");
+        assert_eq!(par.edge_bindings, seq.edge_bindings);
+    }
+}

@@ -79,9 +79,9 @@ fn derive_motif(
             // Enumerate derivations per part.
             let mut part_derivs: Vec<(String, Vec<Derived>)> = Vec::with_capacity(parts.len());
             for PartRef { motif, alias } in parts {
-                let sub = grammar
-                    .get(motif)
-                    .ok_or_else(|| MotifError::UnknownMotif { name: motif.clone() })?;
+                let sub = grammar.get(motif).ok_or_else(|| MotifError::UnknownMotif {
+                    name: motif.clone(),
+                })?;
                 let mut sub_out = Vec::new();
                 derive_motif(grammar, sub, depth - 1, &mut sub_out)?;
                 part_derivs.push((alias.clone(), sub_out));
@@ -89,7 +89,11 @@ fn derive_motif(
             // Cartesian product over the per-part choices.
             let mut choice = vec![0usize; part_derivs.len()];
             loop {
-                if part_derivs.iter().zip(&choice).all(|((_, ds), &c)| c < ds.len()) {
+                if part_derivs
+                    .iter()
+                    .zip(&choice)
+                    .all(|((_, ds), &c)| c < ds.len())
+                {
                     let selected: Vec<(&str, &Derived)> = part_derivs
                         .iter()
                         .zip(&choice)
@@ -150,16 +154,16 @@ fn assemble(
     // Exports enter the namespace *before* edges: Figure 4.6(b)'s
     // `edge e1 (v0, G1.v1)` refers to the exported `v0`.
     for (inner, alias) in exports {
-        let id = *names
-            .get(inner)
-            .ok_or_else(|| MotifError::UnknownName { name: inner.clone() })?;
+        let id = *names.get(inner).ok_or_else(|| MotifError::UnknownName {
+            name: inner.clone(),
+        })?;
         names.insert(alias.clone(), id);
     }
     // New edges.
     for e in edges {
-        let s = *names
-            .get(&e.from)
-            .ok_or_else(|| MotifError::UnknownName { name: e.from.clone() })?;
+        let s = *names.get(&e.from).ok_or_else(|| MotifError::UnknownName {
+            name: e.from.clone(),
+        })?;
         let d = *names
             .get(&e.to)
             .ok_or_else(|| MotifError::UnknownName { name: e.to.clone() })?;

@@ -30,7 +30,10 @@ impl fmt::Display for MotifError {
             MotifError::UnknownMotif { name } => write!(f, "unknown motif {name:?}"),
             MotifError::UnknownName { name } => write!(f, "unknown name {name:?} in motif body"),
             MotifError::TooManyDerivations { max } => {
-                write!(f, "derivation produced more than {max} graphs; lower the depth")
+                write!(
+                    f,
+                    "derivation produced more than {max} graphs; lower the depth"
+                )
             }
             MotifError::Core(e) => write!(f, "graph construction failed: {e}"),
         }

@@ -34,7 +34,8 @@ pub fn path_grammar() -> Grammar {
     let mut base = Graph::new();
     let v1 = base.add_named_node("v1", Tuple::new());
     let v2 = base.add_named_node("v2", Tuple::new());
-    base.add_named_edge("e1", v1, v2, Tuple::new()).expect("valid");
+    base.add_named_edge("e1", v1, v2, Tuple::new())
+        .expect("valid");
 
     let recursive = Motif::Compose {
         parts: vec![PartRef {

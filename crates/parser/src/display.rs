@@ -303,9 +303,8 @@ mod tests {
     fn round_trip(src: &str) {
         let p1 = parse_program(src).unwrap();
         let printed = p1.to_string();
-        let p2 = parse_program(&printed).unwrap_or_else(|e| {
-            panic!("re-parse failed: {e}\n--- printed ---\n{printed}")
-        });
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n--- printed ---\n{printed}"));
         assert_eq!(p1, p2, "--- printed ---\n{printed}");
     }
 
@@ -320,9 +319,7 @@ mod tests {
                 node v2 <author name="A">;
             };"#,
         );
-        round_trip(
-            r#"graph P { node v1; node v2; } where v1.name="A" & v2.year>2000;"#,
-        );
+        round_trip(r#"graph P { node v1; node v2; } where v1.name="A" & v2.year>2000;"#);
         round_trip(
             r#"graph G3 { graph G1 as X; graph G1 as Y; unify X.v1, Y.v1; unify X.v3, Y.v2; };"#,
         );

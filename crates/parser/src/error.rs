@@ -40,7 +40,11 @@ impl ParseError {
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let kind = if self.lexical { "lex" } else { "syntax" };
-        write!(f, "{kind} error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "{kind} error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 

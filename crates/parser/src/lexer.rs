@@ -73,7 +73,9 @@ impl<'a> Lexer<'a> {
                                 let mut prev = '\0';
                                 loop {
                                     match self.bump() {
-                                        None => return Err(self.error("unterminated block comment")),
+                                        None => {
+                                            return Err(self.error("unterminated block comment"))
+                                        }
                                         Some('/') if prev == '*' => break,
                                         Some(c) => prev = c,
                                     }
@@ -132,9 +134,7 @@ impl<'a> Lexer<'a> {
                                         | Token::RParen
                                 )
                             );
-                            if !after_operand
-                                && self.peek().is_some_and(|d| d.is_ascii_digit())
-                            {
+                            if !after_operand && self.peek().is_some_and(|d| d.is_ascii_digit()) {
                                 self.number(true)?
                             } else {
                                 Token::Minus
@@ -180,9 +180,7 @@ impl<'a> Lexer<'a> {
                                 Token::Gt
                             }
                         }
-                        other => {
-                            return Err(self.error(format!("unexpected character {other:?}")))
-                        }
+                        other => return Err(self.error(format!("unexpected character {other:?}"))),
                     }
                 }
             };
@@ -380,7 +378,10 @@ mod tests {
             toks("graph // c\n /* multi\nline */ node"),
             vec![Token::Graph, Token::Node, Token::Eof]
         );
-        assert_eq!(toks("1 / 2"), vec![Token::Int(1), Token::Slash, Token::Int(2), Token::Eof]);
+        assert_eq!(
+            toks("1 / 2"),
+            vec![Token::Int(1), Token::Slash, Token::Int(2), Token::Eof]
+        );
     }
 
     #[test]

@@ -526,9 +526,7 @@ impl Parser {
                     template: self.graph_template()?,
                 }
             }
-            other => {
-                return Err(self.err(format!("expected `return` or `let`, found {other:?}")))
-            }
+            other => return Err(self.err(format!("expected `return` or `let`, found {other:?}"))),
         };
         Ok(FlwrAst {
             pattern,
@@ -587,7 +585,9 @@ impl Parser {
                 self.eat(&Token::RParen)?;
                 Ok(e)
             }
-            Token::Int(_) | Token::Float(_) | Token::Str(_) => Ok(ExprAst::Literal(self.literal()?)),
+            Token::Int(_) | Token::Float(_) | Token::Str(_) => {
+                Ok(ExprAst::Literal(self.literal()?))
+            }
             Token::Ident(_) => Ok(ExprAst::Name(self.names()?)),
             other => Err(self.err(format!("expected expression term, found {other:?}"))),
         }
@@ -634,7 +634,10 @@ mod tests {
         let Statement::Pattern(p) = &prog.statements[0] else {
             panic!()
         };
-        assert_eq!(p.tuple.as_ref().unwrap().tag.as_deref(), Some("inproceedings"));
+        assert_eq!(
+            p.tuple.as_ref().unwrap().tag.as_deref(),
+            Some("inproceedings")
+        );
         let MemberDecl::Nodes(ns) = &p.members[1] else {
             panic!()
         };
@@ -645,15 +648,12 @@ mod tests {
 
     #[test]
     fn parses_pattern_with_where_figure_4_8_both_styles() {
-        let a = parse_pattern(
-            r#"graph P { node v1; node v2; } where v1.name="A" and v2.year>2000"#,
-        )
-        .unwrap();
+        let a =
+            parse_pattern(r#"graph P { node v1; node v2; } where v1.name="A" and v2.year>2000"#)
+                .unwrap();
         assert!(a.where_clause.is_some());
-        let b = parse_pattern(
-            r#"graph P { node v1 where name=="A"; node v2 where year>2000; }"#,
-        )
-        .unwrap();
+        let b = parse_pattern(r#"graph P { node v1 where name=="A"; node v2 where year>2000; }"#)
+            .unwrap();
         let MemberDecl::Nodes(ns) = &b.members[0] else {
             panic!()
         };
@@ -772,13 +772,26 @@ mod tests {
     fn precedence_is_standard() {
         let e = parse_expr("a.x + 2 * 3 == 7 & b.y < 4 | c.z = 1").unwrap();
         // Top level must be `|`.
-        let ExprAst::Binary { op: BinOp::Or, lhs, .. } = e else {
+        let ExprAst::Binary {
+            op: BinOp::Or, lhs, ..
+        } = e
+        else {
             panic!("top should be Or");
         };
-        let ExprAst::Binary { op: BinOp::And, lhs: l2, .. } = *lhs else {
+        let ExprAst::Binary {
+            op: BinOp::And,
+            lhs: l2,
+            ..
+        } = *lhs
+        else {
             panic!("next should be And");
         };
-        let ExprAst::Binary { op: BinOp::Eq, lhs: add, .. } = *l2 else {
+        let ExprAst::Binary {
+            op: BinOp::Eq,
+            lhs: add,
+            ..
+        } = *l2
+        else {
             panic!("then Eq");
         };
         assert!(matches!(*add, ExprAst::Binary { op: BinOp::Add, .. }));

@@ -118,7 +118,9 @@ impl Plan {
             let table = db
                 .tables
                 .get(&t.table)
-                .ok_or_else(|| RelError::UnknownTable { name: t.table.clone() })?;
+                .ok_or_else(|| RelError::UnknownTable {
+                    name: t.table.clone(),
+                })?;
             if alias_ids.insert(t.alias.as_str(), i).is_some() {
                 return Err(RelError::Sql(format!("duplicate alias {:?}", t.alias)));
             }
@@ -215,30 +217,25 @@ impl Plan {
             .map(|a| {
                 preds
                     .iter()
-                    .filter(
-                        |p| matches!(p, Pred::Const { col, op: CmpOp::Eq, .. } if col.0 == a),
-                    )
+                    .filter(|p| matches!(p, Pred::Const { col, op: CmpOp::Eq, .. } if col.0 == a))
                     .count()
             })
             .collect();
         let mut bound = vec![false; k];
         let mut order = Vec::with_capacity(k);
         let first = (0..k)
-            .min_by_key(|&a| {
-                (
-                    std::cmp::Reverse(const_eqs[a]),
-                    aliases[a].n_rows,
-                )
-            })
+            .min_by_key(|&a| (std::cmp::Reverse(const_eqs[a]), aliases[a].n_rows))
             .ok_or_else(|| RelError::Sql("empty FROM".into()))?;
         bound[first] = true;
         order.push(first);
         while order.len() < k {
             let joined = |a: usize| {
                 preds.iter().any(|p| match p {
-                    Pred::Join { l, op: CmpOp::Eq, r } => {
-                        (l.0 == a && bound[r.0]) || (r.0 == a && bound[l.0])
-                    }
+                    Pred::Join {
+                        l,
+                        op: CmpOp::Eq,
+                        r,
+                    } => (l.0 == a && bound[r.0]) || (r.0 == a && bound[l.0]),
                     _ => false,
                 })
             };
@@ -272,14 +269,24 @@ impl Plan {
         let mut access: Vec<Access> = vec![Access::Scan; k];
         for (pi, p) in preds.iter().enumerate() {
             match p {
-                Pred::Const { col, op: CmpOp::Eq, .. } => {
+                Pred::Const {
+                    col, op: CmpOp::Eq, ..
+                } => {
                     if matches!(access[col.0], Access::Scan) {
                         access[col.0] = Access::Pred(pi);
                     }
                 }
-                Pred::Join { l, op: CmpOp::Eq, r } => {
+                Pred::Join {
+                    l,
+                    op: CmpOp::Eq,
+                    r,
+                } => {
                     // The later alias can be driven by the earlier one.
-                    let (later, _earlier) = if pos[l.0] > pos[r.0] { (l.0, r.0) } else { (r.0, l.0) };
+                    let (later, _earlier) = if pos[l.0] > pos[r.0] {
+                        (l.0, r.0)
+                    } else {
+                        (r.0, l.0)
+                    };
                     if matches!(access[later], Access::Scan) {
                         access[later] = Access::Pred(pi);
                     }
@@ -299,7 +306,10 @@ impl Plan {
         }
         // Constant equality predicates win over everything.
         for (pi, p) in preds.iter().enumerate() {
-            if let Pred::Const { col, op: CmpOp::Eq, .. } = p {
+            if let Pred::Const {
+                col, op: CmpOp::Eq, ..
+            } = p
+            {
                 access[col.0] = Access::Pred(pi);
             }
         }
@@ -389,10 +399,16 @@ impl Plan {
                 Pred::Join { l, r, .. } => {
                     if l.0 == alias && current[r.0].is_some() {
                         let rid = current[r.0].expect("bound") as usize;
-                        Some((l.1, db.tables[&self.aliases[r.0].table].row(rid)[r.1].clone()))
+                        Some((
+                            l.1,
+                            db.tables[&self.aliases[r.0].table].row(rid)[r.1].clone(),
+                        ))
                     } else if r.0 == alias && current[l.0].is_some() {
                         let rid = current[l.0].expect("bound") as usize;
-                        Some((r.1, db.tables[&self.aliases[l.0].table].row(rid)[l.1].clone()))
+                        Some((
+                            r.1,
+                            db.tables[&self.aliases[l.0].table].row(rid)[l.1].clone(),
+                        ))
                     } else {
                         None
                     }
@@ -420,7 +436,9 @@ impl Plan {
             }
             current[alias] = Some(rid);
             // Check every predicate fully determined at this level.
-            let ok = level_preds[depth].iter().all(|p| self.check(db, p, current));
+            let ok = level_preds[depth]
+                .iter()
+                .all(|p| self.check(db, p, current));
             if ok && !self.recurse(db, limits, depth + 1, level_preds, current, out)? {
                 current[alias] = None;
                 return Ok(false);
@@ -494,7 +512,10 @@ mod tests {
     #[test]
     fn selection_with_constant() {
         let r = db()
-            .query("SELECT V.vid FROM V WHERE V.label = 'B'", &ExecLimits::default())
+            .query(
+                "SELECT V.vid FROM V WHERE V.label = 'B'",
+                &ExecLimits::default(),
+            )
             .unwrap();
         assert_eq!(r.rows.len(), 2);
         assert_eq!(r.rows[0], vec![Value::Int(2)]);
@@ -581,9 +602,11 @@ mod tests {
         assert!(d
             .query("SELECT vid1 FROM V, E", &ExecLimits::default())
             .is_ok());
-        assert!(d
-            .query("SELECT vid FROM V AS a, V AS b", &ExecLimits::default())
-            .is_err(), "ambiguous unqualified column");
+        assert!(
+            d.query("SELECT vid FROM V AS a, V AS b", &ExecLimits::default())
+                .is_err(),
+            "ambiguous unqualified column"
+        );
     }
 }
 
@@ -601,7 +624,10 @@ mod range_tests {
         }
         db.add_table(v);
         let r = db
-            .query("SELECT V.vid FROM V WHERE V.vid >= 990", &ExecLimits::default())
+            .query(
+                "SELECT V.vid FROM V WHERE V.vid >= 990",
+                &ExecLimits::default(),
+            )
             .unwrap();
         assert_eq!(r.rows.len(), 10);
         assert!(
@@ -623,7 +649,8 @@ mod range_tests {
         let mut db = RelDatabase::new();
         let mut v = Table::new("V", &["vid", "label"]);
         for i in 0..100i64 {
-            v.insert(vec![Value::Int(i), Value::Str("X".into())]).unwrap();
+            v.insert(vec![Value::Int(i), Value::Str("X".into())])
+                .unwrap();
         }
         db.add_table(v);
         let r = db

@@ -58,7 +58,9 @@ impl BTreeIndex {
 
     /// Row ids in `(lo, hi)` bounds.
     pub fn range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> impl Iterator<Item = u32> + '_ {
-        self.map.range((lo, hi)).flat_map(|(_, rows)| rows.iter().copied())
+        self.map
+            .range((lo, hi))
+            .flat_map(|(_, rows)| rows.iter().copied())
     }
 
     /// Number of distinct keys.

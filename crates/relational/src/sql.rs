@@ -185,9 +185,10 @@ fn lex_sql(src: &str) -> Result<Vec<Tok>> {
                         break;
                     }
                 }
-                out.push(Tok::Num(s.parse().map_err(|e| {
-                    RelError::Sql(format!("bad number {s:?}: {e}"))
-                })?));
+                out.push(Tok::Num(
+                    s.parse()
+                        .map_err(|e| RelError::Sql(format!("bad number {s:?}: {e}")))?,
+                ));
             }
             c if c.is_alphanumeric() || c == '_' => {
                 let mut s = String::new();
@@ -222,7 +223,9 @@ pub fn parse_select(src: &str) -> Result<SelectStmt> {
                 *p += 1;
                 Ok(s.clone())
             }
-            other => Err(RelError::Sql(format!("expected identifier, found {other:?}"))),
+            other => Err(RelError::Sql(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     };
     let colref = |toks: &[Tok], p: &mut usize| -> Result<ColRef> {
@@ -300,7 +303,11 @@ pub fn parse_select(src: &str) -> Result<SelectStmt> {
                     p += 1;
                     *o
                 }
-                other => return Err(RelError::Sql(format!("expected comparison, found {other:?}"))),
+                other => {
+                    return Err(RelError::Sql(format!(
+                        "expected comparison, found {other:?}"
+                    )))
+                }
             };
             let rhs = operand(&toks, &mut p)?;
             conditions.push(Condition { lhs, op, rhs });
@@ -383,7 +390,10 @@ mod tests {
         assert_eq!(stmt.conditions.len(), 12);
         assert_eq!(stmt.from[3].table, "E");
         assert_eq!(stmt.from[3].alias, "E1");
-        assert!(matches!(stmt.conditions[0].rhs, Operand::Lit(Value::Str(_))));
+        assert!(matches!(
+            stmt.conditions[0].rhs,
+            Operand::Lit(Value::Str(_))
+        ));
         assert_eq!(stmt.conditions[9].op, CmpOp::Ne);
     }
 

@@ -73,8 +73,10 @@ mod tests {
     #[test]
     fn schema_and_rows() {
         let mut t = Table::new("V", &["vid", "label"]);
-        t.insert(vec![Value::Int(0), Value::Str("A".into())]).unwrap();
-        t.insert(vec![Value::Int(1), Value::Str("B".into())]).unwrap();
+        t.insert(vec![Value::Int(0), Value::Str("A".into())])
+            .unwrap();
+        t.insert(vec![Value::Int(1), Value::Str("B".into())])
+            .unwrap();
         assert_eq!(t.len(), 2);
         assert_eq!(t.column_index("label"), Some(1));
         assert_eq!(t.column_index("nope"), None);

@@ -95,10 +95,7 @@ mod tests {
         assert!(sql.contains("V1.vid <> V2.vid"));
         let r = db.query(&sql, &ExecLimits::default()).unwrap();
         assert_eq!(r.rows.len(), 1);
-        assert_eq!(
-            r.rows[0],
-            vec![Value::Int(0), Value::Int(2), Value::Int(5)]
-        );
+        assert_eq!(r.rows[0], vec![Value::Int(0), Value::Int(2), Value::Int(5)]);
     }
 
     #[test]
@@ -123,12 +120,7 @@ mod tests {
             .unwrap()
             .rows;
         let idx = GraphIndex::build(&g);
-        let rep = match_pattern(
-            &Pattern::structural(p),
-            &g,
-            &idx,
-            &MatchOptions::baseline(),
-        );
+        let rep = match_pattern(&Pattern::structural(p), &g, &idx, &MatchOptions::baseline());
         assert_eq!(sql_rows.len(), rep.mappings.len());
     }
 }

@@ -7,9 +7,7 @@
 //! ```
 
 use gql_datagen::{clique_queries, ppi_network, PpiConfig};
-use gql_match::{
-    match_pattern, GraphIndex, LocalPruning, MatchOptions, Pattern, RefineLevel,
-};
+use gql_match::{match_pattern, GraphIndex, LocalPruning, MatchOptions, Pattern, RefineLevel};
 
 fn main() {
     println!("Generating the synthetic yeast PPI network (3112 proteins, 12519 interactions)...");
@@ -37,7 +35,10 @@ fn main() {
                 ..MatchOptions::default()
             },
         ),
-        ("optimized (profiles+refine+order)", MatchOptions::optimized()),
+        (
+            "optimized (profiles+refine+order)",
+            MatchOptions::optimized(),
+        ),
     ];
 
     for size in [3usize, 4, 5] {

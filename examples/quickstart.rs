@@ -34,8 +34,8 @@ fn main() {
 
     // 3. Selection: match the pattern against the (1-graph) collection.
     let collection = GraphCollection::from_graph(graph);
-    let matches = ops::select(&pattern, &collection, &MatchOptions::optimized())
-        .expect("selection succeeds");
+    let matches =
+        ops::select(&pattern, &collection, &MatchOptions::optimized()).expect("selection succeeds");
     println!("The triangle matches {} time(s):", matches.len());
     for m in &matches {
         println!(

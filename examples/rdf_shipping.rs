@@ -38,8 +38,8 @@ fn main() {
     .expect("pattern compiles");
 
     let collection = GraphCollection::from_graph(data);
-    let matches = ops::select(&pattern, &collection, &MatchOptions::optimized())
-        .expect("selection runs");
+    let matches =
+        ops::select(&pattern, &collection, &MatchOptions::optimized()).expect("selection runs");
     println!("Department pairs sharing a shipper: {}", matches.len() / 2);
 
     // Compose the result into a single graph: departments as nodes,

@@ -159,10 +159,13 @@ fn optimizer_outputs_permutations() {
             pg.add_labeled_node(["A", "B"][i % 2]);
         }
         for i in 1..k {
-            pg.add_edge(NodeId(0), NodeId(i as u32), Tuple::new()).unwrap();
+            pg.add_edge(NodeId(0), NodeId(i as u32), Tuple::new())
+                .unwrap();
         }
         let p = Pattern::structural(pg);
-        let mates: Vec<Vec<NodeId>> = (0..k).map(|i| (0..=i as u32).map(NodeId).collect()).collect();
+        let mates: Vec<Vec<NodeId>> = (0..k)
+            .map(|i| (0..=i as u32).map(NodeId).collect())
+            .collect();
         let so = optimize_order(&p, &mates, None, GammaMode::Constant(0.3));
         let mut sorted = so.order.clone();
         sorted.sort_unstable();

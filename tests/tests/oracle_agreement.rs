@@ -5,9 +5,7 @@
 
 use gql_core::{iso, Graph, NodeId, Tuple};
 use gql_datagen::{connected_subgraph_query, erdos_renyi, ErConfig};
-use gql_match::{
-    match_pattern, GraphIndex, LocalPruning, MatchOptions, Pattern, RefineLevel,
-};
+use gql_match::{match_pattern, GraphIndex, LocalPruning, MatchOptions, Pattern, RefineLevel};
 use gql_relational::{graph_to_database, pattern_to_sql, ExecLimits};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -37,9 +35,7 @@ fn small_pattern() -> impl Strategy<Value = Graph> {
         let labels = ["A", "B", "C", "D"];
         let mut p = Graph::new();
         let ids: Vec<NodeId> = (0..n)
-            .map(|i| {
-                p.add_labeled_node(labels[(l1 as usize + i * l2 as usize) % labels.len()])
-            })
+            .map(|i| p.add_labeled_node(labels[(l1 as usize + i * l2 as usize) % labels.len()]))
             .collect();
         for w in ids.windows(2) {
             let _ = p.add_edge(w[0], w[1], Tuple::new());
@@ -152,7 +148,10 @@ fn er_graph_cross_validation() {
                 .len();
             assert_eq!(optimized, rows, "query {q}");
         }
-        assert!(optimized >= 1, "extracted query must have its own embedding");
+        assert!(
+            optimized >= 1,
+            "extracted query must have its own embedding"
+        );
         checked += 1;
     }
     assert!(checked >= 20, "enough queries exercised: {checked}");

@@ -5,9 +5,7 @@ use gql_algebra::{compile_pattern_text, ops};
 use gql_core::fixtures::*;
 use gql_core::{GraphCollection, Value};
 use gql_engine::Database;
-use gql_match::{
-    feasible_mates, match_pattern, GraphIndex, LocalPruning, MatchOptions, Pattern,
-};
+use gql_match::{feasible_mates, match_pattern, GraphIndex, LocalPruning, MatchOptions, Pattern};
 use gql_relational::{graph_to_database, pattern_to_sql, ExecLimits};
 
 /// Figure 4.1 / Figure 4.2: the sample query has exactly one answer,
@@ -47,17 +45,13 @@ fn section_1_2_pruning_narrative() {
 /// Φ(P.v2) → G.v1.
 #[test]
 fn figure_4_9_binding_through_selection() {
-    let p = compile_pattern_text(
-        r#"graph P { node v1; node v2; } where v1.name="A" and v2.year>2000"#,
-    )
-    .unwrap();
+    let p =
+        compile_pattern_text(r#"graph P { node v1; node v2; } where v1.name="A" and v2.year>2000"#)
+            .unwrap();
     let coll = GraphCollection::from_graph(figure_4_7_paper());
     let ms = ops::select(&p, &coll, &MatchOptions::optimized()).unwrap();
     assert_eq!(ms.len(), 1);
-    assert_eq!(
-        ms[0].node_attr("v1", "name"),
-        Some(&Value::Str("A".into()))
-    );
+    assert_eq!(ms[0].node_attr("v1", "name"), Some(&Value::Str("A".into())));
     assert_eq!(ms[0].node_attr("v2", "year"), Some(&Value::Int(2006)));
 }
 

@@ -38,8 +38,7 @@ fn tuple() -> impl Strategy<Value = TupleAst> {
 fn expr(names: Vec<String>) -> impl Strategy<Value = ExprAst> {
     let leaf = prop_oneof![
         literal().prop_map(ExprAst::Literal),
-        proptest::sample::select(names)
-            .prop_map(|n| ExprAst::Name(Names(vec![n, "attr".into()]))),
+        proptest::sample::select(names).prop_map(|n| ExprAst::Name(Names(vec![n, "attr".into()]))),
     ];
     leaf.prop_recursive(3, 16, 2, |inner| {
         (
@@ -110,7 +109,10 @@ fn pattern() -> impl Strategy<Value = GraphPatternAst> {
                 }
                 m
             };
-            (proptest::option::of(expr(names)), Just((members, gtuple, gname)))
+            (
+                proptest::option::of(expr(names)),
+                Just((members, gtuple, gname)),
+            )
                 .prop_map(|(wc, (members, tuple, name))| GraphPatternAst {
                     name,
                     tuple,

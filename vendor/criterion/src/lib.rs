@@ -1,0 +1,241 @@
+// Vendored API shim: keep close to upstream shape; exempt from style lints.
+#![allow(clippy::all, unused, dead_code)]
+
+//! Workspace-internal stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this crate supplies
+//! the subset of the criterion API the workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size` / `warm_up_time` / `measurement_time` /
+//! `bench_with_input`, [`BenchmarkId`], `black_box`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Statistics are intentionally simple: each benchmark runs for the
+//! configured measurement window and reports min / mean / median
+//! per-iteration wall-clock time. Under `cargo test` (which passes
+//! `--test` to `harness = false` bench binaries) every benchmark body
+//! runs exactly once, as a smoke test.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export-compatible `black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one parameterized benchmark: `name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just a parameter (used with a group-level function name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Drives one benchmark's iterations.
+pub struct Bencher {
+    /// True when invoked via `cargo test`: run the body once.
+    test_mode: bool,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    /// Collected per-iteration times, filled by [`Bencher::iter`].
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly; the routine's result is black-boxed.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm-up.
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up {
+            black_box(f());
+        }
+        // Measurement: up to sample_size samples within the window.
+        let window = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+            if window.elapsed() > self.measurement {
+                break;
+            }
+        }
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<50} ok (test mode)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{id:<50} min {:>12?}  mean {:>12?}  median {:>12?}  ({} samples)",
+        sorted[0],
+        mean,
+        sorted[sorted.len() / 2],
+        samples.len()
+    );
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Configure-from-args constructor (compat shim; no-op).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(self.test_mode, id, Defaults::default(), f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let test_mode = self.test_mode;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            test_mode,
+            cfg: Defaults::default(),
+        }
+    }
+
+    /// Finalizes reporting (compat shim; no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+#[derive(Clone, Copy)]
+struct Defaults {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Defaults {
+    fn default() -> Self {
+        Defaults {
+            sample_size: 100,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(test_mode: bool, id: &str, cfg: Defaults, mut f: F) {
+    let mut b = Bencher {
+        test_mode,
+        sample_size: cfg.sample_size,
+        warm_up: cfg.warm_up,
+        measurement: cfg.measurement,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    report(id, &b.samples);
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    test_mode: bool,
+    cfg: Defaults,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Target number of samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n;
+        self
+    }
+
+    /// Warm-up duration before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up = d;
+        self
+    }
+
+    /// Measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.test_mode, &full, self.cfg, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(self.test_mode, &full, self.cfg, |b| f(b, input));
+        self
+    }
+
+    /// Closes the group (compat shim; no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function calling each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,163 @@
+//! Generator for the regex subset the workspace's string strategies
+//! use: literal characters, character classes (ranges, escapes, `^`
+//! negation, `&&` intersection, one level of nesting), and `{m,n}` /
+//! `{n}` quantifiers. The alphabet is printable ASCII (0x20–0x7E).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const MIN_CHAR: u8 = 0x20;
+const MAX_CHAR: u8 = 0x7e;
+
+/// One sequential element: an allowed-character set plus repetition.
+struct Element {
+    allowed: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Generates a string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let elements = parse(pattern);
+    let mut out = String::new();
+    for el in &elements {
+        let n = rng.gen_range(el.min..=el.max);
+        for _ in 0..n {
+            let i = rng.gen_range(0..el.allowed.len());
+            out.push(el.allowed[i]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Element> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out: Vec<Element> = Vec::new();
+    while i < chars.len() {
+        let allowed = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1);
+                i = next;
+                set
+            }
+            '\\' => {
+                i += 2;
+                vec![chars[i - 1]]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        assert!(!allowed.is_empty(), "empty character class in {pattern:?}");
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unclosed quantifier")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (lo.parse().unwrap(), hi.parse().unwrap()),
+                None => {
+                    let n = body.parse().unwrap();
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        out.push(Element { allowed, min, max });
+    }
+    out
+}
+
+/// Parses a class body starting after `[`, returning the allowed set
+/// and the index just past the closing `]`. Supports `&&` intersection
+/// whose operands are plain specs or nested bracketed classes.
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut result: Option<[bool; 256]> = None;
+    let intersect = |set: [bool; 256], result: &mut Option<[bool; 256]>| match result {
+        None => *result = Some(set),
+        Some(r) => {
+            for (a, b) in r.iter_mut().zip(set.iter()) {
+                *a &= *b;
+            }
+        }
+    };
+
+    loop {
+        // One operand: nested class or plain spec up to `&&` / `]`.
+        if chars[i] == '[' {
+            let (nested, next) = parse_class(chars, i + 1);
+            let mut set = [false; 256];
+            for c in nested {
+                set[c as usize] = true;
+            }
+            intersect(set, &mut result);
+            i = next;
+        } else {
+            let negated = chars[i] == '^';
+            if negated {
+                i += 1;
+            }
+            let mut set = [false; 256];
+            while i < chars.len() && chars[i] != ']' && !(chars[i] == '&' && chars[i + 1] == '&') {
+                let lo = if chars[i] == '\\' {
+                    i += 2;
+                    chars[i - 1]
+                } else {
+                    i += 1;
+                    chars[i - 1]
+                };
+                // Range `a-z` (a trailing `-` before `]` is a literal).
+                if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                    let hi = if chars[i + 1] == '\\' {
+                        i += 3;
+                        chars[i - 1]
+                    } else {
+                        i += 2;
+                        chars[i - 1]
+                    };
+                    for b in lo as usize..=hi as usize {
+                        set[b] = true;
+                    }
+                } else {
+                    set[lo as usize] = true;
+                }
+            }
+            if negated {
+                let mut full = [false; 256];
+                for (b, slot) in full
+                    .iter_mut()
+                    .enumerate()
+                    .take(MAX_CHAR as usize + 1)
+                    .skip(MIN_CHAR as usize)
+                {
+                    *slot = !set[b];
+                }
+                set = full;
+            }
+            intersect(set, &mut result);
+        }
+        match chars[i] {
+            ']' => {
+                i += 1;
+                break;
+            }
+            '&' if chars[i + 1] == '&' => {
+                i += 2;
+            }
+            other => panic!("unexpected {other:?} in character class"),
+        }
+    }
+
+    let set = result.expect("empty character class");
+    let allowed = (MIN_CHAR..=MAX_CHAR)
+        .filter(|&b| set[b as usize])
+        .map(|b| b as char)
+        .collect();
+    (allowed, i)
+}

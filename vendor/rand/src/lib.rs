@@ -1,0 +1,244 @@
+// Vendored API shim: keep close to upstream shape; exempt from style lints.
+#![allow(clippy::all, unused, dead_code)]
+
+//! Workspace-internal stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this crate supplies
+//! the subset of the `rand` 0.8 API the workspace uses: [`rngs::StdRng`]
+//! (and [`rngs::SmallRng`]), [`SeedableRng::seed_from_u64`], and the
+//! [`Rng`] extension methods `gen`, `gen_range`, and `gen_bool`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — fast,
+//! high-quality, and fully deterministic per seed. Streams do **not**
+//! match upstream `StdRng` (ChaCha12); any test that depended on exact
+//! upstream values has been updated to the streams produced here.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform bit source, as in `rand_core`.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Builds a generator from OS "entropy". Offline stand-in: a fixed
+    /// arbitrary seed — deterministic by design.
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(0x9e37_79b9_7f4a_7c15)
+    }
+}
+
+/// Types samplable uniformly over their whole domain (`rng.gen()`).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types uniformly samplable from half-open/closed bounds — the pivot
+/// that lets integer-literal ranges unify with the result type the
+/// caller needs (mirroring `rand`'s `SampleUniform`).
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_bounds<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
+        -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_bounds<R: RngCore + ?Sized>(lo: $t, hi: $t, inclusive: bool, rng: &mut R) -> $t {
+                let span = hi as i128 - lo as i128 + inclusive as i128;
+                assert!(span > 0, "cannot sample empty range");
+                let v = (rng.next_u64() as u128) % (span as u128);
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_bounds<R: RngCore + ?Sized>(lo: f64, hi: f64, _inclusive: bool, rng: &mut R) -> f64 {
+        assert!(lo < hi, "cannot sample empty range");
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range. Panics when empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_bounds(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_bounds(*self.start(), *self.end(), true, rng)
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every bit
+/// source, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniform value over the full domain of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform value from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the stand-in for `rand`'s `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 seed expansion, per the xoshiro reference.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias: the "small" generator is the same xoshiro256++ here.
+    pub type SmallRng = StdRng;
+}
+
+/// `rand::prelude`-style glob imports.
+pub mod prelude {
+    pub use super::rngs::{SmallRng, StdRng};
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let va: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen::<u64>()).collect();
+        assert_eq!(va, vb);
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(va[0], c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((1800..3200).contains(&hits), "hits={hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}
