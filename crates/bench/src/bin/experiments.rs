@@ -8,11 +8,15 @@
 //!
 //! `smoke` compares sequential vs `--threads N` selection (0 = one
 //! worker per core, the default) on one clique and one synthetic
-//! workload and writes machine-readable `BENCH_parallel.json`.
+//! workload and writes machine-readable `BENCH_parallel.json`, then
+//! compares the seed `Value` kernels against the interned bitset
+//! kernels (search-space build + refinement) and writes
+//! `BENCH_refine.json`. `refine` runs only the latter comparison.
 
 use gql_bench::experiments::{
-    bench_parallel, fig4_20, fig4_21, fig4_22, fig4_23a, fig4_23b, parallel_bench_json,
-    print_parallel_rows, print_space_rows, print_step_rows, print_total_rows, Scale,
+    bench_parallel, bench_refine, fig4_20, fig4_21, fig4_22, fig4_23a, fig4_23b,
+    parallel_bench_json, print_parallel_rows, print_refine_rows, print_space_rows, print_step_rows,
+    print_total_rows, refine_bench_json, Scale,
 };
 
 fn main() {
@@ -85,6 +89,19 @@ fn main() {
         );
     };
 
+    let run_refine = || {
+        let rows = bench_refine(scale, threads);
+        print_refine_rows(
+            "Interned kernels — seed vs interned search-space build + refine",
+            &rows,
+        );
+        let json = refine_bench_json(scale, threads, &rows);
+        let path = "BENCH_refine.json";
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("# wrote {path}"),
+            Err(e) => eprintln!("# could not write {path}: {e}"),
+        }
+    };
     let run_smoke = || {
         let rows = bench_parallel(scale, threads);
         print_parallel_rows(
@@ -97,6 +114,7 @@ fn main() {
             Ok(()) => eprintln!("# wrote {path}"),
             Err(e) => eprintln!("# could not write {path}: {e}"),
         }
+        run_refine();
     };
 
     match which {
@@ -104,6 +122,7 @@ fn main() {
         "fig4_21" => run_21(),
         "fig4_22" => run_22(),
         "fig4_23" => run_23(),
+        "refine" => run_refine(),
         "smoke" => run_smoke(),
         "all" => {
             run_20();
@@ -114,7 +133,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment {other:?}; use fig4_20|fig4_21|fig4_22|fig4_23|smoke|all"
+                "unknown experiment {other:?}; use fig4_20|fig4_21|fig4_22|fig4_23|refine|smoke|all"
             );
             std::process::exit(2);
         }

@@ -471,6 +471,199 @@ pub fn parallel_bench_json(scale: Scale, threads: usize, rows: &[ParallelBenchRo
     s
 }
 
+// --------------------------------------------------------- refine bench
+
+/// One seed-vs-interned kernel comparison (a `BENCH_refine.json` row):
+/// wall-clock of search-space build (retrieval + local pruning) plus
+/// refinement, before (`Value` reference kernels) and after (interned
+/// bitset kernels).
+#[derive(Debug, Clone)]
+pub struct RefineBenchRow {
+    /// Workload name.
+    pub name: String,
+    /// Queries timed.
+    pub queries: usize,
+    /// Candidate pairs removed by refinement (identical for both paths
+    /// by construction).
+    pub removed: u64,
+    /// DFS extension attempts over the refined space (identical for
+    /// both paths by construction).
+    pub steps: u64,
+    /// Batch wall-clock of reference retrieval + refinement, µs.
+    pub before_us: f64,
+    /// Batch wall-clock of interned retrieval + refinement, µs.
+    pub after_us: f64,
+    /// `before_us / after_us`.
+    pub speedup: f64,
+}
+
+fn bench_refine_one(name: &str, w: &Workload, queries: &[Graph], threads: usize) -> RefineBenchRow {
+    use gql_match::{
+        feasible_mates_par, feasible_mates_reference, refine_search_space_par,
+        refine_search_space_reference, search, LocalPruning, Pattern, SearchConfig,
+    };
+    let pruning = LocalPruning::Profiles { radius: 1 };
+    let patterns: Vec<Pattern> = queries
+        .iter()
+        .map(|q| Pattern::structural(q.clone()))
+        .collect();
+
+    let run_before = || {
+        let t = std::time::Instant::now();
+        let mut spaces = Vec::new();
+        let mut removed = 0u64;
+        for p in &patterns {
+            let mut mates = feasible_mates_reference(p, &w.graph, &w.index, pruning);
+            removed +=
+                refine_search_space_reference(p, &w.graph, &mut mates, p.node_count()).removed;
+            spaces.push(mates);
+        }
+        (t.elapsed().as_secs_f64() * 1e6, removed, spaces)
+    };
+    let run_after = || {
+        let t = std::time::Instant::now();
+        let mut spaces = Vec::new();
+        let mut removed = 0u64;
+        for p in &patterns {
+            let mut mates = feasible_mates_par(p, &w.graph, &w.index, pruning, threads);
+            removed +=
+                refine_search_space_par(p, &w.graph, &mut mates, p.node_count(), threads).removed;
+            spaces.push(mates);
+        }
+        (t.elapsed().as_secs_f64() * 1e6, removed, spaces)
+    };
+
+    // Untimed warm-up, then timed batches.
+    let _ = run_before();
+    let (before_us, removed_ref, spaces_ref) = run_before();
+    let (after_us, removed_fast, spaces_fast) = run_after();
+    assert_eq!(
+        spaces_ref, spaces_fast,
+        "interned kernels diverged from the reference on {name}"
+    );
+    assert_eq!(
+        removed_ref, removed_fast,
+        "RefineStats.removed diverged on {name}"
+    );
+
+    // The refined spaces are identical, so search effort is too; count
+    // it once per path and assert.
+    let steps: u64 = patterns
+        .iter()
+        .zip(&spaces_ref)
+        .map(|(p, mates)| {
+            let order: Vec<usize> = (0..p.node_count()).collect();
+            let cfg = SearchConfig {
+                max_matches: 1000,
+                ..SearchConfig::default()
+            };
+            search(p, &w.graph, mates, &order, &cfg).steps
+        })
+        .sum();
+    let steps_fast: u64 = patterns
+        .iter()
+        .zip(&spaces_fast)
+        .map(|(p, mates)| {
+            let order: Vec<usize> = (0..p.node_count()).collect();
+            let cfg = SearchConfig {
+                max_matches: 1000,
+                ..SearchConfig::default()
+            };
+            gql_match::search_indexed(p, &w.graph, Some(&w.index), mates, &order, &cfg).steps
+        })
+        .sum();
+    assert_eq!(steps, steps_fast, "search_steps diverged on {name}");
+
+    RefineBenchRow {
+        name: name.to_string(),
+        queries: queries.len(),
+        removed: removed_ref,
+        steps,
+        before_us,
+        after_us,
+        speedup: before_us / after_us,
+    }
+}
+
+/// Seed (`Value`) vs interned (bitset) kernels for search-space build +
+/// refinement on one PPI clique workload and one synthetic subgraph
+/// workload. Asserts the refined spaces, `removed` counters, and search
+/// steps are identical before reporting the timing delta.
+pub fn bench_refine(scale: Scale, threads: usize) -> Vec<RefineBenchRow> {
+    let threads = gql_core::resolve_threads(threads);
+    let nq = match scale {
+        Scale::Quick => 8,
+        Scale::Full => 40,
+    };
+    let mut rows = Vec::new();
+    let ppi = Workload::ppi();
+    rows.push(bench_refine_one(
+        "ppi_clique_5",
+        &ppi,
+        &ppi.cliques(5, nq, 0x4EF1),
+        threads,
+    ));
+    let syn = Workload::synthetic(10_000, 0x5eed);
+    rows.push(bench_refine_one(
+        "synthetic10k_subgraph_8",
+        &syn,
+        &syn.subgraphs(8, nq, 0x4EF2),
+        threads,
+    ));
+    rows
+}
+
+/// Renders [`bench_refine`] rows as the machine-readable
+/// `BENCH_refine.json` document.
+pub fn refine_bench_json(scale: Scale, threads: usize, rows: &[RefineBenchRow]) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"machine_cores\": {cores},\n"));
+    s.push_str(&format!(
+        "  \"threads\": {},\n",
+        gql_core::resolve_threads(threads)
+    ));
+    s.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        if scale == Scale::Full {
+            "full"
+        } else {
+            "quick"
+        }
+    ));
+    s.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"queries\": {}, \"removed\": {}, \"steps\": {}, \"before_us\": {:.1}, \"after_us\": {:.1}, \"speedup\": {:.3}}}{}\n",
+            r.name,
+            r.queries,
+            r.removed,
+            r.steps,
+            r.before_us,
+            r.after_us,
+            r.speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Prints a refine-bench table.
+pub fn print_refine_rows(title: &str, rows: &[RefineBenchRow]) {
+    println!("\n{title}");
+    println!(
+        "{:>26} {:>8} {:>9} {:>10} {:>14} {:>14} {:>8}",
+        "workload", "queries", "removed", "steps", "before (µs)", "after (µs)", "speedup"
+    );
+    for r in rows {
+        println!(
+            "{:>26} {:>8} {:>9} {:>10} {:>14.1} {:>14.1} {:>7.2}x",
+            r.name, r.queries, r.removed, r.steps, r.before_us, r.after_us, r.speedup
+        );
+    }
+}
+
 /// Prints a parallel-bench table.
 pub fn print_parallel_rows(title: &str, rows: &[ParallelBenchRow]) {
     println!("\n{title}");

@@ -1,0 +1,252 @@
+//! Label interning: a `Value ↔ u32` dictionary plus compact interned
+//! profiles for the matcher's hot kernels.
+//!
+//! The paper's own measurements (Figure 4.21a) show feasible-mate
+//! pruning and pseudo-iso refinement dominating query time. Both
+//! kernels compare node *labels*, and comparing `Value`s means string
+//! comparisons and heap traffic. Interning every distinct label into a
+//! dense `u32` turns those comparisons into integer compares, lets
+//! candidate sets live in flat arrays, and enables the 64-bit
+//! label-signature pre-filter of [`IdProfile`].
+//!
+//! Interning respects `Value` equality (`Int(3) == Float(3.0)` intern
+//! to the same id), so every interned comparison is observably
+//! equivalent to the `Value`-based one.
+
+use crate::value::Value;
+use rustc_hash::FxHashMap;
+
+/// Sentinel id for "this node/edge carries no `label` attribute".
+/// Never returned by [`LabelInterner::intern`].
+pub const NO_LABEL: u32 = u32::MAX;
+
+/// Sentinel id for "this label exists in the query but not in the data
+/// graph": it compares unequal to every real id and to [`NO_LABEL`], so
+/// a pattern constraint encoded as `IMPOSSIBLE_LABEL` can never match.
+pub const IMPOSSIBLE_LABEL: u32 = u32::MAX - 1;
+
+/// A dictionary of distinct label values, assigning dense `u32` ids in
+/// first-seen order.
+#[derive(Debug, Clone, Default)]
+pub struct LabelInterner {
+    ids: FxHashMap<Value, u32>,
+    values: Vec<Value>,
+}
+
+impl LabelInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        LabelInterner::default()
+    }
+
+    /// Returns the id of `v`, interning it if unseen. Ids are dense and
+    /// assigned in first-intern order; two `Value`s receive the same id
+    /// iff they compare equal.
+    pub fn intern(&mut self, v: &Value) -> u32 {
+        if let Some(&id) = self.ids.get(v) {
+            return id;
+        }
+        let id = self.values.len() as u32;
+        debug_assert!(id < IMPOSSIBLE_LABEL, "interner id space exhausted");
+        self.ids.insert(v.clone(), id);
+        self.values.push(v.clone());
+        id
+    }
+
+    /// The id of `v` if it was interned, else `None`.
+    pub fn lookup(&self, v: &Value) -> Option<u32> {
+        self.ids.get(v).copied()
+    }
+
+    /// Like [`LabelInterner::lookup`] but mapping unknown labels to
+    /// [`IMPOSSIBLE_LABEL`] — the encoding used for query-side
+    /// constraints, where "unknown to the data graph" means "matches
+    /// nothing".
+    pub fn encode_constraint(&self, v: &Value) -> u32 {
+        self.lookup(v).unwrap_or(IMPOSSIBLE_LABEL)
+    }
+
+    /// The value behind an id (panics on sentinel or out-of-range ids).
+    pub fn resolve(&self, id: u32) -> &Value {
+        &self.values[id as usize]
+    }
+
+    /// Number of distinct interned labels.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if nothing was interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Encodes a [`crate::Profile`] as an [`IdProfile`], or `None` if
+    /// some label of the profile was never interned (for a query-side
+    /// profile that means no data profile can subsume it).
+    pub fn encode_profile(&self, profile: &crate::Profile) -> Option<IdProfile> {
+        let mut ids = Vec::with_capacity(profile.len());
+        for l in profile.labels() {
+            ids.push(self.lookup(l)?);
+        }
+        Some(IdProfile::from_ids(ids))
+    }
+}
+
+/// The bit a label id occupies in a 64-bit profile signature.
+#[inline]
+fn signature_bit(id: u32) -> u64 {
+    1u64 << (id & 63)
+}
+
+/// A profile re-encoded on interned ids: the sorted multiset of label
+/// ids plus a 64-bit signature (bit `id mod 64` set for every id
+/// present).
+///
+/// The signature is a *sound* pre-filter for multiset containment: if
+/// `p ⊆ q` as multisets then every id of `p` occurs in `q`, hence every
+/// signature bit of `p` is set in `q` — so `sig(p) & !sig(q) != 0`
+/// proves non-containment without touching the id arrays. Hash
+/// collisions (two labels sharing `id mod 64`) only make the filter
+/// pass when it could have rejected; the exact two-pointer test behind
+/// it restores precision, so the final verdict is byte-identical to the
+/// `Value`-profile test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdProfile {
+    ids: Vec<u32>,
+    signature: u64,
+}
+
+impl IdProfile {
+    /// Builds a profile from label ids (sorted internally).
+    pub fn from_ids(mut ids: Vec<u32>) -> Self {
+        ids.sort_unstable();
+        let signature = ids.iter().fold(0u64, |s, &id| s | signature_bit(id));
+        IdProfile { ids, signature }
+    }
+
+    /// Number of labels (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if the profile has no labels.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The sorted id multiset.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// The 64-bit label signature.
+    pub fn signature(&self) -> u64 {
+        self.signature
+    }
+
+    /// Multiset containment `self ⊆ other`, rejecting in O(1) via the
+    /// signature before running the exact two-pointer merge.
+    pub fn subsumed_by(&self, other: &IdProfile) -> bool {
+        if self.ids.len() > other.ids.len() || (self.signature & !other.signature) != 0 {
+            return false;
+        }
+        let mut j = 0;
+        for &id in &self.ids {
+            while j < other.ids.len() && other.ids[j] < id {
+                j += 1;
+            }
+            if j >= other.ids.len() || other.ids[j] != id {
+                return false;
+            }
+            j += 1;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Profile;
+
+    #[test]
+    fn interning_respects_value_equality() {
+        let mut it = LabelInterner::new();
+        let a = it.intern(&Value::Str("A".into()));
+        let b = it.intern(&Value::Str("B".into()));
+        assert_ne!(a, b);
+        assert_eq!(it.intern(&Value::Str("A".into())), a);
+        // Int/Float equality classes collapse to one id.
+        let three = it.intern(&Value::Int(3));
+        assert_eq!(it.intern(&Value::Float(3.0)), three);
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.resolve(a), &Value::Str("A".into()));
+        assert_eq!(it.lookup(&Value::Str("Z".into())), None);
+        assert_eq!(
+            it.encode_constraint(&Value::Str("Z".into())),
+            IMPOSSIBLE_LABEL
+        );
+    }
+
+    #[test]
+    fn id_profile_containment_matches_value_profiles() {
+        let mut it = LabelInterner::new();
+        let labels = ["A", "B", "B", "C", "D"];
+        for l in labels {
+            it.intern(&Value::Str(l.into()));
+        }
+        let enc = |ls: &[&str]| {
+            it.encode_profile(&Profile::from_labels(ls.iter().map(|&l| Value::from(l))))
+                .unwrap()
+        };
+        let cases: [(&[&str], &[&str]); 5] = [
+            (&["A", "B"], &["A", "B", "C"]),
+            (&["B", "B"], &["A", "B", "C"]),
+            (&["B", "B"], &["B", "C", "B"]),
+            (&[], &["A"]),
+            (&["A", "C", "D"], &["A", "B", "C", "D"]),
+        ];
+        for (p, q) in cases {
+            let vp = Profile::from_labels(p.iter().map(|&l| Value::from(l)));
+            let vq = Profile::from_labels(q.iter().map(|&l| Value::from(l)));
+            assert_eq!(
+                enc(p).subsumed_by(&enc(q)),
+                vp.subsumed_by(&vq),
+                "{p:?} vs {q:?}"
+            );
+            assert_eq!(
+                enc(q).subsumed_by(&enc(p)),
+                vq.subsumed_by(&vp),
+                "{q:?} vs {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn signature_rejects_disjoint_profiles() {
+        let p = IdProfile::from_ids(vec![1]);
+        let q = IdProfile::from_ids(vec![2, 3]);
+        assert_ne!(p.signature() & !q.signature(), 0, "pre-filter must fire");
+        assert!(!p.subsumed_by(&q));
+        assert!(p.subsumed_by(&p));
+    }
+
+    #[test]
+    fn encode_profile_fails_on_unknown_label() {
+        let mut it = LabelInterner::new();
+        it.intern(&Value::Str("A".into()));
+        let known = Profile::from_labels(vec![Value::from("A")]);
+        let unknown = Profile::from_labels(vec![Value::from("A"), Value::from("Z")]);
+        assert!(it.encode_profile(&known).is_some());
+        assert!(it.encode_profile(&unknown).is_none());
+    }
+
+    #[test]
+    fn signature_bits_wrap_mod_64() {
+        let p = IdProfile::from_ids(vec![0, 64]);
+        assert_eq!(p.signature(), 1, "ids 0 and 64 share bit 0");
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+}

@@ -12,6 +12,8 @@
 //!
 //! - [`neighborhood`]: radius-r neighborhood subgraphs and their label
 //!   [`Profile`]s (§4.2 local pruning);
+//! - [`intern`]: the `Value ↔ u32` label dictionary and signature-carrying
+//!   [`IdProfile`]s behind the matcher's interned fast path;
 //! - [`iso`]: trusted (unoptimized) subgraph-isomorphism oracles;
 //! - [`stats`]: label frequencies feeding the §4.4 cost model;
 //! - [`builder`]: union-find node unification backing the composition
@@ -36,6 +38,7 @@ pub mod collection;
 pub mod error;
 pub mod fixtures;
 pub mod graph;
+pub mod intern;
 pub mod io;
 pub mod iso;
 pub mod neighborhood;
@@ -50,6 +53,7 @@ pub use builder::{unify_nodes, unify_nodes_full, UnifyResult, UnionFind};
 pub use collection::GraphCollection;
 pub use error::{CoreError, Result};
 pub use graph::{Edge, EdgeId, Graph, Node, NodeId};
+pub use intern::{IdProfile, LabelInterner, IMPOSSIBLE_LABEL, NO_LABEL};
 pub use io::{EdgeData, GraphData, NodeData};
 pub use neighborhood::{neighborhood_subgraph, NeighborhoodSubgraph, Profile};
 pub use op::BinOp;

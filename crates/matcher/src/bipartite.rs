@@ -4,14 +4,32 @@
 //! "If the bipartite graph has a semi-perfect matching, i.e., all
 //! neighbors of u are matched, then u is level-l sub-isomorphic to v."
 //! The paper cites Hopcroft & Karp's O(E·√V) algorithm \[19].
+//!
+//! The refinement loop runs one matching test per marked pair per level,
+//! so both the graph and the matching state are reusable: [`Bipartite::clear`]
+//! resets the adjacency without dropping its buffers, and
+//! [`MatchingScratch`] carries the BFS/DFS arrays across calls via
+//! [`Bipartite::max_matching_with`].
+
+use std::collections::VecDeque;
 
 /// A bipartite graph between `left_n` left vertices and `right_n` right
 /// vertices, represented by left adjacency lists.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Bipartite {
     left_n: usize,
     right_n: usize,
     adj: Vec<Vec<u32>>,
+}
+
+/// Reusable Hopcroft–Karp working state (match arrays, BFS layer
+/// distances, queue). One instance per worker; reset on each call.
+#[derive(Debug, Clone, Default)]
+pub struct MatchingScratch {
+    match_l: Vec<u32>,
+    match_r: Vec<u32>,
+    dist: Vec<u32>,
+    queue: VecDeque<u32>,
 }
 
 impl Bipartite {
@@ -22,6 +40,22 @@ impl Bipartite {
             right_n,
             adj: vec![Vec::new(); left_n],
         }
+    }
+
+    /// Resets to an edgeless `left_n × right_n` graph, keeping the
+    /// allocation of every adjacency list already grown.
+    pub fn clear(&mut self, left_n: usize, right_n: usize) {
+        // Clear every list the new graph will use — including lists
+        // beyond the *current* left_n that may hold edges from an
+        // earlier, larger instance.
+        for a in self.adj.iter_mut().take(left_n) {
+            a.clear();
+        }
+        if left_n > self.adj.len() {
+            self.adj.resize_with(left_n, Vec::new);
+        }
+        self.left_n = left_n;
+        self.right_n = right_n;
     }
 
     /// Adds an edge `left → right`.
@@ -35,18 +69,30 @@ impl Bipartite {
         self.left_n
     }
 
-    /// Size of the maximum matching (Hopcroft–Karp).
+    /// Size of the maximum matching (Hopcroft–Karp), allocating fresh
+    /// working state. Prefer [`Bipartite::max_matching_with`] in loops.
     pub fn max_matching(&self) -> usize {
+        self.max_matching_with(&mut MatchingScratch::default())
+    }
+
+    /// Size of the maximum matching, reusing `scratch`'s buffers.
+    pub fn max_matching_with(&self, scratch: &mut MatchingScratch) -> usize {
         const NIL: u32 = u32::MAX;
         const INF: u32 = u32::MAX;
         let (ln, rn) = (self.left_n, self.right_n);
         if ln == 0 {
             return 0;
         }
-        let mut match_l = vec![NIL; ln];
-        let mut match_r = vec![NIL; rn];
-        let mut dist = vec![INF; ln];
-        let mut queue = std::collections::VecDeque::with_capacity(ln);
+        scratch.match_l.clear();
+        scratch.match_l.resize(ln, NIL);
+        scratch.match_r.clear();
+        scratch.match_r.resize(rn, NIL);
+        scratch.dist.clear();
+        scratch.dist.resize(ln, INF);
+        let match_l = &mut scratch.match_l;
+        let match_r = &mut scratch.match_r;
+        let dist = &mut scratch.dist;
+        let queue = &mut scratch.queue;
         let mut result = 0usize;
 
         loop {
@@ -99,7 +145,7 @@ impl Bipartite {
                 false
             }
             for l in 0..ln {
-                if match_l[l] == NIL && dfs(l, &self.adj, &mut match_l, &mut match_r, &mut dist) {
+                if match_l[l] == NIL && dfs(l, &self.adj, match_l, match_r, dist) {
                     result += 1;
                 }
             }
@@ -110,14 +156,19 @@ impl Bipartite {
     /// True iff a matching saturating *all left vertices* exists — the
     /// paper's semi-perfect matching condition.
     pub fn has_semi_perfect_matching(&self) -> bool {
+        self.has_semi_perfect_matching_with(&mut MatchingScratch::default())
+    }
+
+    /// [`Bipartite::has_semi_perfect_matching`] with reusable state.
+    pub fn has_semi_perfect_matching_with(&self, scratch: &mut MatchingScratch) -> bool {
         if self.left_n == 0 {
             return true;
         }
         // Quick reject: some left vertex has no candidates.
-        if self.adj.iter().any(|a| a.is_empty()) {
+        if self.adj[..self.left_n].iter().any(|a| a.is_empty()) {
             return false;
         }
-        self.max_matching() == self.left_n
+        self.max_matching_with(scratch) == self.left_n
     }
 }
 
@@ -193,5 +244,29 @@ mod tests {
         }
         assert_eq!(b.max_matching(), n);
         assert!(b.has_semi_perfect_matching());
+    }
+
+    #[test]
+    fn clear_reuses_buffers_and_scratch_is_stable() {
+        let mut b = Bipartite::new(3, 3);
+        for i in 0..3 {
+            b.add_edge(i, i);
+        }
+        let mut s = MatchingScratch::default();
+        assert!(b.has_semi_perfect_matching_with(&mut s));
+        // Shrink to a failing instance; stale larger-graph state must
+        // not leak into the verdict.
+        b.clear(2, 1);
+        b.add_edge(0, 0);
+        b.add_edge(1, 0);
+        assert!(!b.has_semi_perfect_matching_with(&mut s));
+        assert_eq!(b.max_matching_with(&mut s), 1);
+        // Grow again past the original size.
+        b.clear(4, 8);
+        for i in 0..4 {
+            b.add_edge(i, 2 * i);
+        }
+        assert!(b.has_semi_perfect_matching_with(&mut s));
+        assert_eq!(b.left_len(), 4);
     }
 }

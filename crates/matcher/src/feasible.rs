@@ -5,6 +5,13 @@
 //! node's (retrieve-by-subgraphs), or the cheaper profile-subsequence
 //! condition (retrieve-by-profiles). Figure 4.17 is reproduced in the
 //! tests.
+//!
+//! Profile pruning runs on the index's *interned* fast path: the pattern
+//! profile is encoded once as an [`gql_core::IdProfile`] and each
+//! candidate is first screened by the O(1) 64-bit signature test, then
+//! by the exact id-multiset containment — no `Value` comparisons and no
+//! per-candidate profile clones. [`feasible_mates_reference`] keeps the
+//! `Value`-typed kernel alive as the equivalence oracle.
 
 use crate::index::GraphIndex;
 use crate::pattern::Pattern;
@@ -31,16 +38,9 @@ pub enum LocalPruning {
     },
 }
 
-/// Computes `Φ(u)` for one pattern node (retrieval + local pruning).
-fn mates_for(
-    pattern: &Pattern,
-    g: &Graph,
-    index: &GraphIndex,
-    pruning: LocalPruning,
-    u: NodeId,
-) -> Vec<NodeId> {
-    // Indexed retrieval when the motif pins the label.
-    let base: Vec<NodeId> = match pattern.graph.node(u).attrs.get("label") {
+/// Indexed retrieval when the motif pins the label, else a scan.
+fn retrieve(pattern: &Pattern, g: &Graph, index: &GraphIndex, u: NodeId) -> Vec<NodeId> {
+    match pattern.graph.node(u).attrs.get("label") {
         Some(label) => index
             .nodes_with_label(label)
             .iter()
@@ -51,35 +51,51 @@ fn mates_for(
             .node_ids()
             .filter(|&v| pattern.node_feasible(u, g, v))
             .collect(),
-    };
+    }
+}
+
+/// Computes `Φ(u)` for one pattern node (retrieval + local pruning).
+fn mates_for(
+    pattern: &Pattern,
+    g: &Graph,
+    index: &GraphIndex,
+    pruning: LocalPruning,
+    u: NodeId,
+) -> Vec<NodeId> {
+    let mut base = retrieve(pattern, g, index, u);
     match pruning {
         LocalPruning::NodeAttributes => base,
         LocalPruning::Profiles { radius } => {
             let pu = Profile::of_neighborhood(&pattern.graph, u, radius);
-            base.into_iter()
-                .filter(|&v| {
-                    let pv = if index.has_profiles() && index.radius() == radius {
-                        index.profile(v).clone()
-                    } else {
-                        Profile::of_neighborhood(g, v, radius)
-                    };
-                    pu.subsumed_by(&pv)
-                })
-                .collect()
+            if index.has_profiles() && index.radius() == radius {
+                // Interned fast path: encode the pattern profile once;
+                // an unencodable profile contains a label absent from
+                // the data graph, so nothing can subsume it.
+                match index.interner().encode_profile(&pu) {
+                    Some(pid) => base.retain(|&v| pid.subsumed_by(index.id_profile(v))),
+                    None => base.clear(),
+                }
+                base
+            } else {
+                // Index lacks radius-`radius` profiles: compute data
+                // profiles on the fly (owned, but never cloned from the
+                // index).
+                base.retain(|&v| pu.subsumed_by(&Profile::of_neighborhood(g, v, radius)));
+                base
+            }
         }
         LocalPruning::Subgraphs { radius } => {
             let nu = neighborhood_subgraph(&pattern.graph, u, radius);
-            base.into_iter()
-                .filter(|&v| {
-                    if index.has_neighborhoods() && index.radius() == radius {
-                        let nv = index.neighborhood(v);
-                        subgraph_isomorphic_anchored(&nu.graph, &nv.graph, (nu.center, nv.center))
-                    } else {
-                        let nv = neighborhood_subgraph(g, v, radius);
-                        subgraph_isomorphic_anchored(&nu.graph, &nv.graph, (nu.center, nv.center))
-                    }
-                })
-                .collect()
+            base.retain(|&v| {
+                if index.has_neighborhoods() && index.radius() == radius {
+                    let nv = index.neighborhood(v);
+                    subgraph_isomorphic_anchored(&nu.graph, &nv.graph, (nu.center, nv.center))
+                } else {
+                    let nv = neighborhood_subgraph(g, v, radius);
+                    subgraph_isomorphic_anchored(&nu.graph, &nv.graph, (nu.center, nv.center))
+                }
+            });
+            base
         }
     }
 }
@@ -110,6 +126,68 @@ pub fn feasible_mates_par(
 ) -> Vec<Vec<NodeId>> {
     let ids: Vec<NodeId> = pattern.graph.node_ids().collect();
     gql_core::par_map_slice(&ids, threads, |&u| mates_for(pattern, g, index, pruning, u))
+}
+
+/// Reference (oracle) implementation of [`feasible_mates`]: the
+/// `Value`-typed §4.2 kernel, kept verbatim so the interned fast path
+/// can be checked for observable equivalence. Profile pruning borrows
+/// the precomputed profile (no clone) and materializes one only when
+/// computing on the fly.
+pub fn feasible_mates_reference(
+    pattern: &Pattern,
+    g: &Graph,
+    index: &GraphIndex,
+    pruning: LocalPruning,
+) -> Vec<Vec<NodeId>> {
+    pattern
+        .graph
+        .node_ids()
+        .map(|u| {
+            let base = retrieve(pattern, g, index, u);
+            match pruning {
+                LocalPruning::NodeAttributes => base,
+                LocalPruning::Profiles { radius } => {
+                    let pu = Profile::of_neighborhood(&pattern.graph, u, radius);
+                    base.into_iter()
+                        .filter(|&v| {
+                            let owned;
+                            let pv: &Profile = if index.has_profiles() && index.radius() == radius {
+                                index.profile(v)
+                            } else {
+                                owned = Profile::of_neighborhood(g, v, radius);
+                                &owned
+                            };
+                            pu.subsumed_by(pv)
+                        })
+                        .collect()
+                }
+                // Subgraph pruning never touched the interned tables;
+                // the fast path is the reference.
+                LocalPruning::Subgraphs { radius } => {
+                    let mut base = base;
+                    let nu = neighborhood_subgraph(&pattern.graph, u, radius);
+                    base.retain(|&v| {
+                        if index.has_neighborhoods() && index.radius() == radius {
+                            let nv = index.neighborhood(v);
+                            subgraph_isomorphic_anchored(
+                                &nu.graph,
+                                &nv.graph,
+                                (nu.center, nv.center),
+                            )
+                        } else {
+                            let nv = neighborhood_subgraph(g, v, radius);
+                            subgraph_isomorphic_anchored(
+                                &nu.graph,
+                                &nv.graph,
+                                (nu.center, nv.center),
+                            )
+                        }
+                    });
+                    base
+                }
+            }
+        })
+        .collect()
 }
 
 /// Natural log of the search-space size `|Φ(u1)| × .. × |Φ(uk)|`
@@ -199,6 +277,43 @@ mod tests {
         assert_eq!(names(&g, &m[0]), ["A1"]);
         assert_eq!(names(&g, &m[1]), ["B1", "B2"]);
         assert_eq!(names(&g, &m[2]), ["C2"]);
+    }
+
+    /// The interned fast path and the `Value` reference kernel agree on
+    /// every pruning strategy.
+    #[test]
+    fn fast_path_matches_reference() {
+        let (p, g, idx) = setup();
+        let plain = GraphIndex::build(&g);
+        for pruning in [
+            LocalPruning::NodeAttributes,
+            LocalPruning::Profiles { radius: 1 },
+            LocalPruning::Profiles { radius: 2 },
+            LocalPruning::Subgraphs { radius: 1 },
+        ] {
+            assert_eq!(
+                feasible_mates(&p, &g, &idx, pruning),
+                feasible_mates_reference(&p, &g, &idx, pruning),
+                "full index, {pruning:?}"
+            );
+            assert_eq!(
+                feasible_mates(&p, &g, &plain, pruning),
+                feasible_mates_reference(&p, &g, &plain, pruning),
+                "plain index, {pruning:?}"
+            );
+        }
+    }
+
+    /// A pattern label absent from the data graph empties the profile
+    /// space on both paths.
+    #[test]
+    fn unknown_pattern_label_empties_space() {
+        let (_, g, idx) = setup();
+        let p = Pattern::structural(gql_core::fixtures::labeled_path(&["A", "Z"]));
+        let fast = feasible_mates(&p, &g, &idx, LocalPruning::Profiles { radius: 1 });
+        let refr = feasible_mates_reference(&p, &g, &idx, LocalPruning::Profiles { radius: 1 });
+        assert_eq!(fast, refr);
+        assert!(fast.iter().all(|m| m.is_empty()));
     }
 
     #[test]

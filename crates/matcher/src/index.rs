@@ -4,18 +4,34 @@
 //! structures such as B-trees. ... If the node attributes are selective
 //! ... one can index the node attributes using a B-tree or hashtable, and
 //! store the neighborhood subgraphs or profiles as well."
+//!
+//! Every index additionally *interns* the label domain: each distinct
+//! node or edge `label` value gets a dense `u32` id, the per-node and
+//! per-edge ids live in flat arrays, `by_label` is keyed by label id,
+//! and profiles are re-encoded as sorted id sequences with a 64-bit
+//! signature ([`IdProfile`]). The interned structures are derived from
+//! the same `Value` data, so every lookup through them is observably
+//! equivalent to the `Value`-based one — they just make the §4.2/§4.3
+//! kernels integer-compare-and-bitset cheap.
 
 use gql_core::{
-    neighborhood_subgraph, Graph, GraphStats, NeighborhoodSubgraph, NodeId, Profile, Value,
+    neighborhood_subgraph, Graph, GraphStats, IdProfile, LabelInterner, NeighborhoodSubgraph,
+    NodeId, Profile, Value, NO_LABEL,
 };
-use rustc_hash::FxHashMap;
 
-/// Per-graph index: hashtable over the `label` attribute plus optional
-/// precomputed radius-`r` profiles and neighborhood subgraphs.
+/// Per-graph index: label-id table over the `label` attribute plus
+/// optional precomputed radius-`r` profiles and neighborhood subgraphs.
 #[derive(Debug, Default)]
 pub struct GraphIndex {
-    by_label: FxHashMap<Value, Vec<NodeId>>,
+    interner: LabelInterner,
+    /// Node label ids in node order ([`NO_LABEL`] for unlabeled nodes).
+    node_label_ids: Vec<u32>,
+    /// Edge label ids in edge order ([`NO_LABEL`] for unlabeled edges).
+    edge_label_ids: Vec<u32>,
+    /// Nodes per label, indexed by label id (node order within each).
+    by_label: Vec<Vec<NodeId>>,
     profiles: Vec<Profile>,
+    id_profiles: Vec<IdProfile>,
     neighborhoods: Vec<NeighborhoodSubgraph>,
     radius: usize,
     stats: GraphStats,
@@ -60,12 +76,33 @@ impl GraphIndex {
         subgraphs: bool,
         threads: usize,
     ) -> Self {
-        let mut by_label: FxHashMap<Value, Vec<NodeId>> = FxHashMap::default();
+        // Intern the label domain and build the id-keyed label table in
+        // one node scan; ids are dense and assigned in first-seen order.
+        let mut interner = LabelInterner::new();
+        let mut node_label_ids = Vec::with_capacity(g.node_count());
+        let mut by_label: Vec<Vec<NodeId>> = Vec::new();
         for (id, n) in g.nodes() {
-            if let Some(l) = n.attrs.get("label") {
-                by_label.entry(l.clone()).or_default().push(id);
-            }
+            let lid = match n.attrs.get("label") {
+                Some(l) => {
+                    let lid = interner.intern(l);
+                    if lid as usize == by_label.len() {
+                        by_label.push(Vec::new());
+                    }
+                    by_label[lid as usize].push(id);
+                    lid
+                }
+                None => NO_LABEL,
+            };
+            node_label_ids.push(lid);
         }
+        let edge_label_ids: Vec<u32> = g
+            .edges()
+            .map(|(_, e)| {
+                e.attrs
+                    .get("label")
+                    .map_or(NO_LABEL, |l| interner.intern(l))
+            })
+            .collect();
         // Per-node profiles and neighborhood balls are independent; fan
         // them out across workers in node order.
         let ids: Vec<NodeId> = g.node_ids().collect();
@@ -74,14 +111,25 @@ impl GraphIndex {
         } else {
             Vec::new()
         };
+        // Re-encode profiles on label ids. Every profile label is a node
+        // label of `g`, so encoding cannot fail.
+        let id_profiles = gql_core::par_map_slice(&profiles, threads, |p| {
+            interner
+                .encode_profile(p)
+                .expect("profile labels are node labels and therefore interned")
+        });
         let neighborhoods = if subgraphs {
             gql_core::par_map_slice(&ids, threads, |&v| neighborhood_subgraph(g, v, radius))
         } else {
             Vec::new()
         };
         GraphIndex {
+            interner,
+            node_label_ids,
+            edge_label_ids,
             by_label,
             profiles,
+            id_profiles,
             neighborhoods,
             radius,
             stats: GraphStats::collect(g),
@@ -90,7 +138,37 @@ impl GraphIndex {
 
     /// Nodes carrying `label`, or an empty slice.
     pub fn nodes_with_label(&self, label: &Value) -> &[NodeId] {
-        self.by_label.get(label).map_or(&[], |v| v.as_slice())
+        self.interner
+            .lookup(label)
+            .map_or(&[], |id| self.nodes_with_label_id(id))
+    }
+
+    /// Nodes carrying the label with interned id `id`, or an empty
+    /// slice (also for the [`NO_LABEL`]/impossible sentinels).
+    pub fn nodes_with_label_id(&self, id: u32) -> &[NodeId] {
+        self.by_label.get(id as usize).map_or(&[], |v| v.as_slice())
+    }
+
+    /// The label dictionary built over this graph's node and edge
+    /// `label` attributes.
+    pub fn interner(&self) -> &LabelInterner {
+        &self.interner
+    }
+
+    /// Label id of node `v` ([`NO_LABEL`] if unlabeled).
+    #[inline]
+    pub fn node_label_id(&self, v: NodeId) -> u32 {
+        self.node_label_ids[v.index()]
+    }
+
+    /// Per-node label ids in node order.
+    pub fn node_label_ids(&self) -> &[u32] {
+        &self.node_label_ids
+    }
+
+    /// Per-edge label ids in edge order ([`NO_LABEL`] if unlabeled).
+    pub fn edge_label_ids(&self) -> &[u32] {
+        &self.edge_label_ids
     }
 
     /// Precomputed radius used for profiles/neighborhoods.
@@ -101,6 +179,13 @@ impl GraphIndex {
     /// Precomputed profile of `v` (panics if profiles were not built).
     pub fn profile(&self, v: NodeId) -> &Profile {
         &self.profiles[v.index()]
+    }
+
+    /// Precomputed interned profile of `v` (panics if profiles were not
+    /// built).
+    #[inline]
+    pub fn id_profile(&self, v: NodeId) -> &IdProfile {
+        &self.id_profiles[v.index()]
     }
 
     /// Whether profiles were materialized.
@@ -152,5 +237,48 @@ mod tests {
         // A1's r=1 neighborhood is the triangle.
         assert_eq!(idx.neighborhood(ids[0]).graph.node_count(), 3);
         assert_eq!(idx.neighborhood(ids[0]).graph.edge_count(), 3);
+    }
+
+    #[test]
+    fn interned_tables_mirror_value_data() {
+        let (g, ids) = figure_4_16_graph();
+        let idx = GraphIndex::build_with_profiles(&g, 1);
+        // Every node's id resolves back to its label value.
+        for v in g.node_ids() {
+            let lid = idx.node_label_id(v);
+            assert_eq!(idx.interner().resolve(lid), g.node_label(v).unwrap());
+        }
+        // Id-keyed retrieval agrees with Value-keyed retrieval.
+        for label in ["A", "B", "C"] {
+            let value: Value = label.into();
+            let lid = idx.interner().lookup(&value).unwrap();
+            assert_eq!(idx.nodes_with_label_id(lid), idx.nodes_with_label(&value));
+        }
+        assert_eq!(
+            idx.nodes_with_label_id(gql_core::NO_LABEL),
+            &[] as &[NodeId]
+        );
+        // Id profiles carry the same multiset sizes as Value profiles.
+        for v in g.node_ids() {
+            assert_eq!(idx.id_profile(v).len(), idx.profile(v).len());
+        }
+        // A2 ⊆ A1 as profiles (AB ⊆ ABC), in both encodings.
+        assert!(idx.profile(ids[1]).subsumed_by(idx.profile(ids[0])));
+        assert!(idx.id_profile(ids[1]).subsumed_by(idx.id_profile(ids[0])));
+    }
+
+    #[test]
+    fn edge_labels_are_interned() {
+        let mut g = Graph::new();
+        let a = g.add_labeled_node("A");
+        let b = g.add_labeled_node("B");
+        let c = g.add_labeled_node("C");
+        g.add_edge(a, b, gql_core::Tuple::new().with("label", "x"))
+            .unwrap();
+        g.add_edge(b, c, gql_core::Tuple::new()).unwrap();
+        let idx = GraphIndex::build(&g);
+        let eids = idx.edge_label_ids();
+        assert_eq!(idx.interner().resolve(eids[0]), &Value::from("x"));
+        assert_eq!(eids[1], gql_core::NO_LABEL);
     }
 }

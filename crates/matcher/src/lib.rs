@@ -40,7 +40,8 @@ pub mod search;
 
 pub use expr::{BinOp, EvalCtx, EvalResult, Expr};
 pub use feasible::{
-    feasible_mates, feasible_mates_par, reduction_ratio, search_space_ln, LocalPruning,
+    feasible_mates, feasible_mates_par, feasible_mates_reference, reduction_ratio, search_space_ln,
+    LocalPruning,
 };
 pub use index::GraphIndex;
 pub use matcher::{
@@ -48,5 +49,7 @@ pub use matcher::{
 };
 pub use order::{cost_of_order, optimize_order, GammaMode, SearchOrder};
 pub use pattern::Pattern;
-pub use refine::{refine_search_space, RefineStats};
-pub use search::{search, SearchConfig, SearchOutcome};
+pub use refine::{
+    refine_search_space, refine_search_space_par, refine_search_space_reference, RefineStats,
+};
+pub use search::{search, search_indexed, SearchConfig, SearchOutcome};

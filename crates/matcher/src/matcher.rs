@@ -6,8 +6,8 @@ use crate::feasible::{feasible_mates_par, search_space_ln, LocalPruning};
 use crate::index::GraphIndex;
 use crate::order::{optimize_order, GammaMode, SearchOrder};
 use crate::pattern::Pattern;
-use crate::refine::{refine_search_space, RefineStats};
-use crate::search::{search, SearchConfig, SearchOutcome};
+use crate::refine::{refine_search_space_par, RefineStats};
+use crate::search::{search_indexed, SearchConfig, SearchOutcome};
 use gql_core::{EdgeId, Graph, NodeId};
 use std::time::{Duration, Instant};
 
@@ -197,7 +197,7 @@ pub fn match_pattern(
     };
     let t1 = Instant::now();
     if level > 0 {
-        report.refine_stats = refine_search_space(pattern, g, &mut mates, level);
+        report.refine_stats = refine_search_space_par(pattern, g, &mut mates, level, opts.threads);
     }
     report.timings.refine = t1.elapsed();
     report.spaces.refined_ln = search_space_ln(&mates);
@@ -228,7 +228,7 @@ pub fn match_pattern(
         edge_bindings,
         steps,
         timed_out,
-    } = search(pattern, g, &mates, &report.order, &cfg);
+    } = search_indexed(pattern, g, Some(index), &mates, &report.order, &cfg);
     report.timings.search = t3.elapsed();
     report.mappings = mappings;
     report.edge_bindings = edge_bindings;

@@ -11,10 +11,25 @@
 //! worked trace of Figure 4.18: removals discovered during level `i` take
 //! effect only after the level completes. Both implementation
 //! improvements of the paper are included: the marked-pair worklist that
-//! avoids unnecessary matchings, and a hashtable representation of the
-//! pairs (space `O(Σ|Φ(u_i)|)` rather than `O(k·n)`).
+//! avoids unnecessary matchings, and a compact representation of the
+//! pairs.
+//!
+//! # Fast-path data layout
+//!
+//! The production kernel ([`refine_search_space`]) keeps `Φ` as one
+//! dense **bitset per pattern node** (`Vec<u64>` over data-node ids), so
+//! the inner `v' ∈ Φ(u')` probe of the bipartite build is a single
+//! shift-and-mask. The mark table is a flat `Vec<bool>` over
+//! `(pattern, data)` pairs, and each worker reuses one
+//! [`RefineScratch`] (bipartite adjacency, Hopcroft–Karp arrays,
+//! neighbor-position table), so steady-state levels allocate nothing
+//! per pair. Within a level every check reads only the level-(l−1)
+//! bitsets, so the per-level worklist can fan out across
+//! `gql_core::par` workers while keeping the output byte-identical at
+//! any thread count. [`refine_search_space_reference`] retains the
+//! seed's hashtable kernel as the equivalence oracle.
 
-use crate::bipartite::Bipartite;
+use crate::bipartite::{Bipartite, MatchingScratch};
 use crate::pattern::Pattern;
 use gql_core::{EdgeId, Graph, NodeId};
 use rustc_hash::{FxHashMap, FxHashSet};
@@ -30,9 +45,95 @@ pub struct RefineStats {
     pub removed: u64,
 }
 
-/// Incident data-graph neighbors regardless of direction.
-fn data_neighbors(g: &Graph, v: NodeId) -> Vec<(NodeId, EdgeId)> {
-    g.incident(v).collect()
+/// Dense bitset over data-node ids.
+#[derive(Debug, Clone)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn new(n: usize) -> Self {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: u32) {
+        self.words[(i >> 6) as usize] |= 1u64 << (i & 63);
+    }
+
+    #[inline]
+    fn unset(&mut self, i: u32) {
+        self.words[(i >> 6) as usize] &= !(1u64 << (i & 63));
+    }
+
+    #[inline]
+    fn contains(&self, i: u32) -> bool {
+        (self.words[(i >> 6) as usize] >> (i & 63)) & 1 != 0
+    }
+}
+
+/// Per-worker reusable buffers: the bipartite graph `B(u,v)`, the
+/// Hopcroft–Karp state, and the dense neighbor-position table used to
+/// deduplicate `N(v)` without a hash map.
+struct RefineScratch {
+    bip: Bipartite,
+    matching: MatchingScratch,
+    /// `right_pos[w] == u32::MAX` ⇔ data node `w` not yet seen as a
+    /// neighbor of the current `v`; else its right-side index.
+    right_pos: Vec<u32>,
+    /// Distinct neighbors of the current `v`, in first-seen order.
+    right_nodes: Vec<u32>,
+}
+
+impl RefineScratch {
+    fn new(n: usize) -> Self {
+        RefineScratch {
+            bip: Bipartite::default(),
+            matching: MatchingScratch::default(),
+            right_pos: vec![u32::MAX; n],
+            right_nodes: Vec::new(),
+        }
+    }
+
+    /// Does `B(u,v)` lack a semi-perfect matching against the
+    /// level-(l−1) space in `feasible`? (True ⇒ remove the pair.)
+    fn pair_fails(
+        &mut self,
+        pattern: &Pattern,
+        g: &Graph,
+        feasible: &[BitSet],
+        u: u32,
+        v: u32,
+    ) -> bool {
+        let np = pattern.incident(NodeId(u));
+        // Collect the distinct data-side neighbors of v (directed
+        // motifs can report a node as both in- and out-neighbor).
+        self.right_nodes.clear();
+        for (w, _) in g.incident(NodeId(v)) {
+            let slot = &mut self.right_pos[w.index()];
+            if *slot == u32::MAX {
+                *slot = self.right_nodes.len() as u32;
+                self.right_nodes.push(w.0);
+            }
+        }
+        // Build B(u,v) (Algorithm 4.2 lines 5–9) in the reusable
+        // buffers — a bit probe per (u', v') pair, no allocation.
+        self.bip.clear(np.len(), self.right_nodes.len());
+        for (li, &(pu, _)) in np.iter().enumerate() {
+            let fs = &feasible[pu.index()];
+            for (ri, &gw) in self.right_nodes.iter().enumerate() {
+                if fs.contains(gw) {
+                    self.bip.add_edge(li, ri);
+                }
+            }
+        }
+        for &gw in &self.right_nodes {
+            self.right_pos[gw as usize] = u32::MAX;
+        }
+        !self.bip.has_semi_perfect_matching_with(&mut self.matching)
+    }
 }
 
 /// Runs Algorithm 4.2: refines `mates` in place for up to `level`
@@ -43,6 +144,162 @@ pub fn refine_search_space(
     mates: &mut [Vec<NodeId>],
     level: usize,
 ) -> RefineStats {
+    refine_search_space_par(pattern, g, mates, level, 1)
+}
+
+/// [`refine_search_space`] with each level's worklist spread across
+/// `threads` workers (`0` = available cores). Levels stay synchronous —
+/// every check reads the level-(l−1) space — so the refined space and
+/// all statistics are identical for every thread count.
+pub fn refine_search_space_par(
+    pattern: &Pattern,
+    g: &Graph,
+    mates: &mut [Vec<NodeId>],
+    level: usize,
+    threads: usize,
+) -> RefineStats {
+    let k = pattern.node_count();
+    debug_assert_eq!(k, mates.len());
+    let mut stats = RefineStats::default();
+    if k == 0 || level == 0 {
+        return stats;
+    }
+    let n = g.node_count();
+
+    // Φ as one dense bitset per pattern node: O(1) membership probes
+    // for the bipartite builds, O(k·n/64) words total.
+    let mut feasible: Vec<BitSet> = mates
+        .iter()
+        .map(|m| {
+            let mut b = BitSet::new(n);
+            for v in m {
+                b.set(v.0);
+            }
+            b
+        })
+        .collect();
+
+    // Mark every pair ⟨u, v⟩ (Algorithm 4.2, line 2). The mark table is
+    // a flat Vec<bool>; the worklist keeps the pairs themselves.
+    let mut marked = vec![false; k * n];
+    let mut worklist: Vec<(u32, u32)> = Vec::new();
+    for (u, m) in mates.iter().enumerate() {
+        for v in m {
+            marked[u * n + v.index()] = true;
+            worklist.push((u as u32, v.0));
+        }
+    }
+
+    let workers = gql_core::resolve_threads(threads);
+    let mut scratch = RefineScratch::new(n);
+
+    for _ in 0..level {
+        if worklist.is_empty() {
+            break; // line 19
+        }
+        stats.iterations += 1;
+        stats.bipartite_checks += worklist.len() as u64;
+        // Drain the marks of every pair being checked this level.
+        for &(u, v) in &worklist {
+            marked[u as usize * n + v as usize] = false;
+        }
+        // Check all pairs against the immutable level-(l−1) space; the
+        // worklist fans out across workers in contiguous chunks, and
+        // verdicts come back in worklist order, so the level is
+        // deterministic at any worker count.
+        let removals: Vec<(u32, u32)> = if workers <= 1 || worklist.len() < 2 {
+            worklist
+                .iter()
+                .copied()
+                .filter(|&(u, v)| scratch.pair_fails(pattern, g, &feasible, u, v))
+                .collect()
+        } else {
+            check_level_parallel(pattern, g, &feasible, &worklist, workers, n)
+        };
+        if removals.is_empty() {
+            break; // space stable: further levels cannot change it
+        }
+        // Apply removals (line 13, deferred to level end), then re-mark
+        // affected neighbor pairs (lines 14–15).
+        for &(u, v) in &removals {
+            feasible[u as usize].unset(v);
+            stats.removed += 1;
+        }
+        worklist.clear();
+        for &(u, v) in &removals {
+            for &(pu, _) in pattern.incident(NodeId(u)) {
+                for (gw, _) in g.incident(NodeId(v)) {
+                    let slot = pu.index() * n + gw.index();
+                    if feasible[pu.index()].contains(gw.0) && !marked[slot] {
+                        marked[slot] = true;
+                        worklist.push((pu.0, gw.0));
+                    }
+                }
+            }
+        }
+    }
+
+    // Write the reduced space back, preserving the original order.
+    for (u, m) in mates.iter_mut().enumerate() {
+        m.retain(|v| feasible[u].contains(v.0));
+    }
+    stats
+}
+
+/// One level's checks across `workers` scoped threads. Each worker owns
+/// a [`RefineScratch`] and processes a contiguous chunk; chunk results
+/// are concatenated in order, so the removal list equals the sequential
+/// one.
+fn check_level_parallel(
+    pattern: &Pattern,
+    g: &Graph,
+    feasible: &[BitSet],
+    worklist: &[(u32, u32)],
+    workers: usize,
+    n: usize,
+) -> Vec<(u32, u32)> {
+    let workers = workers.min(worklist.len());
+    let chunk = worklist.len().div_ceil(workers);
+    let parts: Vec<Vec<(u32, u32)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                // div_ceil chunks can overshoot: with 9 items over 8
+                // workers (chunk = 2) worker 5 starts past the end.
+                let lo = (w * chunk).min(worklist.len());
+                let hi = ((w + 1) * chunk).min(worklist.len());
+                let slice = &worklist[lo..hi];
+                s.spawn(move || {
+                    let mut scratch = RefineScratch::new(n);
+                    slice
+                        .iter()
+                        .copied()
+                        .filter(|&(u, v)| scratch.pair_fails(pattern, g, feasible, u, v))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("refine worker panicked"))
+            .collect()
+    });
+    parts.into_iter().flatten().collect()
+}
+
+/// Reference (oracle) implementation: the seed's `FxHashMap`/`FxHashSet`
+/// kernel, kept verbatim so the bitset fast path can be checked for
+/// observable equivalence ([`RefineStats`] included).
+pub fn refine_search_space_reference(
+    pattern: &Pattern,
+    g: &Graph,
+    mates: &mut [Vec<NodeId>],
+    level: usize,
+) -> RefineStats {
+    /// Incident data-graph neighbors regardless of direction.
+    fn data_neighbors(g: &Graph, v: NodeId) -> Vec<(NodeId, EdgeId)> {
+        g.incident(v).collect()
+    }
+
     let k = pattern.node_count();
     debug_assert_eq!(k, mates.len());
     let mut stats = RefineStats::default();
@@ -79,7 +336,7 @@ pub fn refine_search_space(
             for (i, &(w, _)) in ng.iter().enumerate() {
                 right_ids.insert(w.0, i);
             }
-            let mut b = Bipartite::new(np.len(), right_ids.len());
+            let mut b = Bipartite::new(np.len(), ng.len());
             for (li, &(pu, _)) in np.iter().enumerate() {
                 for (&gw, &ri) in right_ids.iter() {
                     if feasible[pu.index()].contains(&gw) {
@@ -238,5 +495,39 @@ mod tests {
         let mut mates = feasible_mates(&p, &data, &idx, LocalPruning::NodeAttributes);
         refine_search_space(&p, &data, &mut mates, 3);
         assert!(mates.iter().all(|m| m.len() == 1));
+    }
+
+    /// The bitset kernel and the seed's hashtable kernel agree on the
+    /// refined space *and* the statistics, at several thread counts.
+    #[test]
+    fn bitset_kernel_matches_reference() {
+        let cases: Vec<(Graph, Pattern)> = vec![
+            (
+                figure_4_16_graph().0,
+                Pattern::structural(figure_4_16_pattern()),
+            ),
+            (
+                labeled_clique(&["A", "B", "C", "D", "A"]),
+                Pattern::structural(labeled_clique(&["A", "B", "C"])),
+            ),
+            (
+                labeled_path(&["A", "B", "C", "A", "B", "C"]),
+                Pattern::structural(labeled_clique(&["A", "B", "C"])),
+            ),
+        ];
+        for (g, p) in &cases {
+            let idx = GraphIndex::build(g);
+            for level in [1, 2, 4, 8] {
+                let base = feasible_mates(p, g, &idx, LocalPruning::NodeAttributes);
+                let mut expect = base.clone();
+                let expect_stats = refine_search_space_reference(p, g, &mut expect, level);
+                for threads in [1, 2, 8] {
+                    let mut got = base.clone();
+                    let stats = refine_search_space_par(p, g, &mut got, level, threads);
+                    assert_eq!(got, expect, "level={level} threads={threads}");
+                    assert_eq!(stats, expect_stats, "level={level} threads={threads}");
+                }
+            }
+        }
     }
 }

@@ -33,7 +33,20 @@
 //! at its next step-counter check, and the merged outcome carries
 //! `timed_out` plus whatever was found (a lower bound, mirroring the
 //! sequential protocol).
+//!
+//! # Interned edge checks
+//!
+//! [`search_indexed`] accepts the data graph's [`GraphIndex`] and
+//! precomputes one [`EdgeCheck`] per pattern edge: a motif-edge `label`
+//! constraint becomes a single `u32` compare against the index's
+//! per-edge label-id table, executed *before* (and — when the label is
+//! the edge's only constraint — *instead of*) the `Value`-typed tuple
+//! subsumption and predicate evaluation. Label values intern to equal
+//! ids exactly when they are equal `Value`s, so the fast path accepts
+//! and rejects precisely the same data edges as
+//! [`Pattern::edge_feasible`].
 
+use crate::index::GraphIndex;
 use crate::pattern::Pattern;
 use gql_core::{EdgeId, Graph, NodeId};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -85,6 +98,66 @@ pub struct SearchOutcome {
     pub timed_out: bool,
 }
 
+/// Per-pattern-edge check, precomputed once per search when a
+/// [`GraphIndex`] is available.
+#[derive(Debug, Clone, Copy)]
+struct EdgeCheck {
+    /// Interned id the data edge's label must carry, or `None` when the
+    /// motif edge has no `label` constraint. Unknown label values encode
+    /// to [`gql_core::IMPOSSIBLE_LABEL`], which no data edge carries.
+    label_id: Option<u32>,
+    /// Whether [`Pattern::edge_feasible`] must still run after the label
+    /// precheck (other attributes, a tag, or pushed-down predicates).
+    full: bool,
+}
+
+/// The per-edge plan plus the index's data-edge label-id table.
+struct EdgePlan<'a> {
+    checks: Vec<EdgeCheck>,
+    data_edge_labels: &'a [u32],
+}
+
+impl<'a> EdgePlan<'a> {
+    fn build(pattern: &Pattern, index: &'a GraphIndex) -> Self {
+        let checks = pattern
+            .graph
+            .edges()
+            .map(|(pe, e)| {
+                let label_id = e
+                    .attrs
+                    .get("label")
+                    .map(|l| index.interner().encode_constraint(l));
+                // The label compare fully covers the check iff the label
+                // is the tuple's only constraint and no predicates were
+                // pushed down to this edge.
+                let covered = e.attrs.tag().is_none()
+                    && e.attrs.len() == usize::from(label_id.is_some())
+                    && pattern.edge_preds[pe.index()].is_empty();
+                EdgeCheck {
+                    label_id,
+                    full: !covered,
+                }
+            })
+            .collect();
+        EdgePlan {
+            checks,
+            data_edge_labels: index.edge_label_ids(),
+        }
+    }
+
+    /// Fast-path equivalent of `pattern.edge_feasible(pe, g, ge)`.
+    #[inline]
+    fn edge_ok(&self, pattern: &Pattern, g: &Graph, pe: EdgeId, ge: EdgeId) -> bool {
+        let check = self.checks[pe.index()];
+        if let Some(want) = check.label_id {
+            if self.data_edge_labels[ge.index()] != want {
+                return false;
+            }
+        }
+        !check.full || pattern.edge_feasible(pe, g, ge)
+    }
+}
+
 /// Shared read-only state for one (chunk of the) search.
 struct Ctx<'a> {
     pattern: &'a Pattern,
@@ -94,6 +167,8 @@ struct Ctx<'a> {
     /// Root candidates explored at depth 0 (a sub-slice of
     /// `mates[order[0]]` under the parallel driver).
     roots: &'a [NodeId],
+    /// Interned edge-check plan (None without an index).
+    plan: Option<&'a EdgePlan<'a>>,
     /// Stop after this many mappings (checked after each push).
     take: usize,
     deadline: Option<Instant>,
@@ -128,8 +203,12 @@ fn check(
         } else {
             ctx.g.edge_between(v, mapped)
         };
+        let feasible = |ge| match ctx.plan {
+            Some(plan) => plan.edge_ok(ctx.pattern, ctx.g, pe, ge),
+            None => ctx.pattern.edge_feasible(pe, ctx.g, ge),
+        };
         match data_edge {
-            Some(ge) if ctx.pattern.edge_feasible(pe, ctx.g, ge) => {
+            Some(ge) if feasible(ge) => {
                 edge_bind[pe.index()] = Some(ge);
                 touched.push(pe.0);
             }
@@ -254,6 +333,21 @@ pub fn search(
     order: &[usize],
     cfg: &SearchConfig,
 ) -> SearchOutcome {
+    search_indexed(pattern, g, None, mates, order, cfg)
+}
+
+/// [`search`] with the data graph's index: pattern-edge `label`
+/// constraints are checked by a single interned-id compare before (or
+/// instead of) the `Value`-typed tuple machinery. `index` must have
+/// been built from `g`; the outcome is identical to [`search`]'s.
+pub fn search_indexed(
+    pattern: &Pattern,
+    g: &Graph,
+    index: Option<&GraphIndex>,
+    mates: &[Vec<NodeId>],
+    order: &[usize],
+    cfg: &SearchConfig,
+) -> SearchOutcome {
     let k = pattern.node_count();
     debug_assert_eq!(order.len(), k);
     let mut out = SearchOutcome::default();
@@ -266,6 +360,7 @@ pub fn search(
     if mates.iter().any(|m| m.is_empty()) {
         return out;
     }
+    let plan = index.map(|idx| EdgePlan::build(pattern, idx));
 
     let roots: &[NodeId] = &mates[order[0]];
     // The sequential code stops once `mappings.len() >= cap` *after* a
@@ -281,13 +376,24 @@ pub fn search(
             mates,
             order,
             roots,
+            plan: plan.as_ref(),
             take,
             deadline: cfg.deadline,
             stop: None,
         };
         return run_roots(&ctx, &mut Scratch::new(pattern, g)).0;
     }
-    search_parallel(pattern, g, mates, order, cfg, roots, take, workers)
+    search_parallel(
+        pattern,
+        g,
+        mates,
+        order,
+        cfg,
+        plan.as_ref(),
+        roots,
+        take,
+        workers,
+    )
 }
 
 /// Per-chunk bookkeeping for the completed-prefix early-exit protocol.
@@ -307,6 +413,7 @@ fn search_parallel(
     mates: &[Vec<NodeId>],
     order: &[usize],
     cfg: &SearchConfig,
+    plan: Option<&EdgePlan<'_>>,
     roots: &[NodeId],
     take: usize,
     workers: usize,
@@ -346,6 +453,7 @@ fn search_parallel(
                         mates,
                         order,
                         roots: &roots[lo..hi],
+                        plan,
                         take,
                         deadline: cfg.deadline,
                         stop: Some(&stop),
@@ -640,6 +748,89 @@ mod tests {
             );
             assert_eq!(par_first.mappings, seq_first.mappings, "threads={threads}");
         }
+    }
+
+    /// The interned edge-check plan accepts/rejects exactly the data
+    /// edges `edge_feasible` does: labeled edges, unlabeled edges,
+    /// unknown motif labels, and label+predicate combinations.
+    #[test]
+    fn indexed_search_matches_plain_search() {
+        let mut g = Graph::new();
+        let a = g.add_labeled_node("A");
+        let b1 = g.add_labeled_node("B");
+        let b2 = g.add_labeled_node("B");
+        let b3 = g.add_labeled_node("B");
+        g.add_edge(a, b1, Tuple::new().with("label", "x").with("w", 1))
+            .unwrap();
+        g.add_edge(a, b2, Tuple::new().with("label", "x").with("w", 9))
+            .unwrap();
+        g.add_edge(a, b3, Tuple::new().with("label", "y").with("w", 9))
+            .unwrap();
+        let idx = GraphIndex::build(&g);
+
+        let mk_motif = |edge_label: Option<&str>| {
+            let mut m = Graph::new();
+            let x = m.add_labeled_node("A");
+            let y = m.add_labeled_node("B");
+            let attrs = match edge_label {
+                Some(l) => Tuple::new().with("label", l),
+                None => Tuple::new(),
+            };
+            m.add_edge(x, y, attrs).unwrap();
+            m
+        };
+        let w_gt_5 = Expr::binary(
+            BinOp::Gt,
+            Expr::EdgeAttr {
+                edge: 0,
+                attr: "w".into(),
+            },
+            Expr::Literal(5.into()),
+        );
+        let patterns = [
+            Pattern::structural(mk_motif(None)),        // no constraint
+            Pattern::structural(mk_motif(Some("x"))),   // label only
+            Pattern::structural(mk_motif(Some("zzz"))), // unknown label
+            Pattern::new(mk_motif(Some("x")), vec![w_gt_5.clone()]), // label + pred
+            Pattern::new(mk_motif(None), vec![w_gt_5]), // pred only
+        ];
+        let expected = [3, 2, 0, 1, 2];
+        for (p, want) in patterns.iter().zip(expected) {
+            let mates = feasible_mates(p, &g, &idx, LocalPruning::NodeAttributes);
+            let order: Vec<usize> = (0..p.node_count()).collect();
+            for threads in [1, 4] {
+                let cfg = SearchConfig {
+                    threads,
+                    ..SearchConfig::default()
+                };
+                let plain = search(p, &g, &mates, &order, &cfg);
+                let fast = search_indexed(p, &g, Some(&idx), &mates, &order, &cfg);
+                assert_eq!(fast.mappings, plain.mappings, "threads={threads}");
+                assert_eq!(fast.edge_bindings, plain.edge_bindings);
+                assert_eq!(fast.steps, plain.steps);
+                assert_eq!(plain.mappings.len(), want);
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_search_respects_directed_orientation() {
+        let mut g = Graph::new_directed();
+        let a = g.add_labeled_node("A");
+        let b = g.add_labeled_node("B");
+        g.add_edge(a, b, Tuple::new().with("label", "x")).unwrap();
+        let idx = GraphIndex::build(&g);
+
+        let mut fwd = Graph::new_directed();
+        let x = fwd.add_labeled_node("A");
+        let y = fwd.add_labeled_node("B");
+        fwd.add_edge(x, y, Tuple::new().with("label", "x")).unwrap();
+        let p = Pattern::structural(fwd);
+        let mates = feasible_mates(&p, &g, &idx, LocalPruning::NodeAttributes);
+        let order = vec![0, 1];
+        let cfg = SearchConfig::default();
+        let out = search_indexed(&p, &g, Some(&idx), &mates, &order, &cfg);
+        assert_eq!(out.mappings.len(), 1);
     }
 
     #[test]

@@ -16,4 +16,10 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> interned-kernel equivalence suite"
+cargo test -q -p gql-match --test interned_equivalence
+
+echo "==> cargo bench --no-run (benches must compile)"
+cargo bench --no-run -p gql-bench
+
 echo "verify: OK"
