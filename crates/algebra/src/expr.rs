@@ -132,9 +132,14 @@ impl AlgebraExpr {
             } => {
                 let c = input.eval(ctx)?;
                 let ms = ops::select(pattern, &c, &ctx.options)?;
+                let _span = ctx.options.obs.as_deref().map(|o| o.span("op.compose"));
                 ops::compose(template, &ms)
             }
-            AlgebraExpr::Product(a, b) => Ok(ops::cartesian_product(&a.eval(ctx)?, &b.eval(ctx)?)),
+            AlgebraExpr::Product(a, b) => {
+                let (ca, cb) = (a.eval(ctx)?, b.eval(ctx)?);
+                let _span = ctx.options.obs.as_deref().map(|o| o.span("op.product"));
+                Ok(ops::cartesian_product(&ca, &cb))
+            }
             AlgebraExpr::Join {
                 pattern,
                 left,

@@ -28,8 +28,55 @@ pub fn select(
     collection: &GraphCollection,
     opts: &MatchOptions,
 ) -> Result<Vec<MatchedGraph>> {
+    let indexes = build_collection_indexes(collection, opts);
+    select_with_indexes(pattern, collection, &indexes, opts)
+}
+
+/// Builds the per-graph [`GraphIndex`]es a σ over `collection` needs
+/// (radius-1 profiles, the paper's recommended configuration), using the
+/// same worker split as [`select`]. Exposed so the engine can build a
+/// collection's indexes once, cache them, and pass them to
+/// [`select_with_indexes`] across queries.
+///
+/// With an observability sink in `opts`, records an `op.index_build`
+/// span and bumps `index.builds` by the number of graphs indexed.
+pub fn build_collection_indexes(
+    collection: &GraphCollection,
+    opts: &MatchOptions,
+) -> Vec<Arc<GraphIndex>> {
+    let _span = opts.obs.as_deref().map(|o| o.span("op.index_build"));
+    let graphs: Vec<&Graph> = collection.iter().collect();
+    let workers = gql_core::resolve_threads(opts.threads).min(graphs.len().max(1));
+    // Several graphs: one single-threaded build per worker; a singleton
+    // collection spends the whole budget inside one parallel build.
+    let inner_threads = if workers > 1 { 1 } else { opts.threads };
+    let indexes = gql_core::par_map_index(graphs.len(), workers, |i| {
+        Arc::new(GraphIndex::build_with_profiles_par(
+            graphs[i],
+            1,
+            inner_threads,
+        ))
+    });
+    if let Some(obs) = &opts.obs {
+        obs.add("index.builds", indexes.len() as u64);
+    }
+    indexes
+}
+
+/// [`select`] against prebuilt per-graph indexes (`indexes[i]` built
+/// from the i-th graph of `collection` — see
+/// [`build_collection_indexes`]). The engine's index cache goes through
+/// here; results are identical to [`select`]'s.
+pub fn select_with_indexes(
+    pattern: &CompiledPattern,
+    collection: &GraphCollection,
+    indexes: &[Arc<GraphIndex>],
+    opts: &MatchOptions,
+) -> Result<Vec<MatchedGraph>> {
+    let _span = opts.obs.as_deref().map(|o| o.span("op.select"));
     let pattern_arc = Arc::new(pattern.clone());
     let graphs: Vec<&Graph> = collection.iter().collect();
+    debug_assert_eq!(graphs.len(), indexes.len());
     let workers = gql_core::resolve_threads(opts.threads).min(graphs.len().max(1));
     let inner_opts = if workers > 1 {
         MatchOptions {
@@ -41,8 +88,7 @@ pub fn select(
     };
     let per_graph: Vec<Vec<MatchedGraph>> = gql_core::par_map_index(graphs.len(), workers, |i| {
         let g = graphs[i];
-        let index = GraphIndex::build_with_profiles_par(g, 1, inner_opts.threads);
-        let report = match_pattern(&pattern.pattern, g, &index, &inner_opts);
+        let report = match_pattern(&pattern.pattern, g, &indexes[i], &inner_opts);
         if report.mappings.is_empty() {
             return Vec::new();
         }
@@ -108,7 +154,11 @@ pub fn join(
     pattern: &CompiledPattern,
     opts: &MatchOptions,
 ) -> Result<Vec<MatchedGraph>> {
-    let product = cartesian_product(c, d);
+    let _span = opts.obs.as_deref().map(|o| o.span("op.join"));
+    let product = {
+        let _pspan = opts.obs.as_deref().map(|o| o.span("op.product"));
+        cartesian_product(c, d)
+    };
     select(pattern, &product, opts)
 }
 

@@ -12,11 +12,15 @@
 //! compares the seed `Value` kernels against the interned bitset
 //! kernels (search-space build + refinement) and writes
 //! `BENCH_refine.json`. `refine` runs only the latter comparison.
+//! `profile` times the optimized pipeline with the observability sink
+//! disabled vs enabled and writes the captured per-phase report to
+//! `BENCH_profile.json`.
 
 use gql_bench::experiments::{
-    bench_parallel, bench_refine, fig4_20, fig4_21, fig4_22, fig4_23a, fig4_23b,
-    parallel_bench_json, print_parallel_rows, print_refine_rows, print_space_rows, print_step_rows,
-    print_total_rows, refine_bench_json, Scale,
+    bench_parallel, bench_profile, bench_refine, fig4_20, fig4_21, fig4_22, fig4_23a, fig4_23b,
+    parallel_bench_json, print_parallel_rows, print_profile_result, print_refine_rows,
+    print_space_rows, print_step_rows, print_total_rows, profile_bench_json, refine_bench_json,
+    Scale,
 };
 
 fn main() {
@@ -102,6 +106,16 @@ fn main() {
             Err(e) => eprintln!("# could not write {path}: {e}"),
         }
     };
+    let run_profile = || {
+        let r = bench_profile(scale, threads);
+        print_profile_result("Pipeline observability — obs sink disabled vs enabled", &r);
+        let json = profile_bench_json(scale, threads, &r);
+        let path = "BENCH_profile.json";
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("# wrote {path}"),
+            Err(e) => eprintln!("# could not write {path}: {e}"),
+        }
+    };
     let run_smoke = || {
         let rows = bench_parallel(scale, threads);
         print_parallel_rows(
@@ -123,6 +137,7 @@ fn main() {
         "fig4_22" => run_22(),
         "fig4_23" => run_23(),
         "refine" => run_refine(),
+        "profile" => run_profile(),
         "smoke" => run_smoke(),
         "all" => {
             run_20();
@@ -133,7 +148,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment {other:?}; use fig4_20|fig4_21|fig4_22|fig4_23|refine|smoke|all"
+                "unknown experiment {other:?}; use fig4_20|fig4_21|fig4_22|fig4_23|refine|profile|smoke|all"
             );
             std::process::exit(2);
         }

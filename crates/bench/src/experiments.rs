@@ -649,6 +649,119 @@ pub fn refine_bench_json(scale: Scale, threads: usize, rows: &[RefineBenchRow]) 
     s
 }
 
+// -------------------------------------------------------- profile bench
+
+/// Result of the observability benchmark (a `BENCH_profile.json`
+/// document): batch wall-clock with the obs sink disabled vs enabled,
+/// plus the full profile report collected by the enabled run.
+#[derive(Debug, Clone)]
+pub struct ProfileBenchResult {
+    /// Queries timed per batch.
+    pub queries: usize,
+    /// Batch wall-clock with `MatchOptions.obs = None`, µs.
+    pub obs_off_us: f64,
+    /// Batch wall-clock with an attached [`gql_core::Obs`] sink, µs.
+    pub obs_on_us: f64,
+    /// `obs_on_us / obs_off_us - 1` (fraction; negative = noise).
+    pub overhead: f64,
+    /// The report the enabled run produced.
+    pub report: gql_core::ObsReport,
+}
+
+/// Runs the optimized pipeline over a PPI clique batch twice — obs sink
+/// disabled then enabled — and captures the profile. Asserts both runs
+/// return identical mappings (the sink must never change results).
+pub fn bench_profile(scale: Scale, threads: usize) -> ProfileBenchResult {
+    let threads = gql_core::resolve_threads(threads);
+    let nq = match scale {
+        Scale::Quick => 8,
+        Scale::Full => 40,
+    };
+    let w = Workload::ppi();
+    let queries = w.cliques(5, nq, 0x0B5E);
+    let time = |opts: &gql_match::MatchOptions| {
+        let t = std::time::Instant::now();
+        let mut mappings = Vec::new();
+        for q in &queries {
+            mappings.push(w.run(q, opts).mappings);
+        }
+        (t.elapsed().as_secs_f64() * 1e6, mappings)
+    };
+    let mut off = Configs::optimized();
+    off.threads = threads;
+    let mut on = off.clone();
+    let obs = gql_core::Obs::new();
+    on.obs = Some(obs.clone());
+
+    // Untimed warm-up, then timed batches.
+    let _ = time(&off);
+    let (obs_off_us, maps_off) = time(&off);
+    let (obs_on_us, maps_on) = time(&on);
+    assert_eq!(maps_off, maps_on, "obs sink changed the match results");
+
+    ProfileBenchResult {
+        queries: queries.len(),
+        obs_off_us,
+        obs_on_us,
+        overhead: obs_on_us / obs_off_us - 1.0,
+        report: obs.report(),
+    }
+}
+
+/// Renders [`bench_profile`] as the machine-readable
+/// `BENCH_profile.json` document (timing envelope + embedded report).
+pub fn profile_bench_json(scale: Scale, threads: usize, r: &ProfileBenchResult) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"machine_cores\": {cores},\n"));
+    s.push_str(&format!(
+        "  \"threads\": {},\n",
+        gql_core::resolve_threads(threads)
+    ));
+    s.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        if scale == Scale::Full {
+            "full"
+        } else {
+            "quick"
+        }
+    ));
+    s.push_str(&format!("  \"queries\": {},\n", r.queries));
+    s.push_str(&format!("  \"obs_off_us\": {:.1},\n", r.obs_off_us));
+    s.push_str(&format!("  \"obs_on_us\": {:.1},\n", r.obs_on_us));
+    s.push_str(&format!("  \"overhead\": {:.4},\n", r.overhead));
+    // Embed the report verbatim; it is already a JSON object.
+    let report = r.report.render_json();
+    s.push_str("  \"profile\": ");
+    for (i, line) in report.lines().enumerate() {
+        if i > 0 {
+            s.push_str("  ");
+        }
+        s.push_str(line);
+        s.push('\n');
+    }
+    s.pop();
+    s.push_str("\n}\n");
+    s
+}
+
+/// Prints a profile-bench summary (timings + the text report).
+pub fn print_profile_result(title: &str, r: &ProfileBenchResult) {
+    println!("\n{title}");
+    println!(
+        "{:>8} {:>16} {:>16} {:>10}",
+        "queries", "obs off (µs)", "obs on (µs)", "overhead"
+    );
+    println!(
+        "{:>8} {:>16.1} {:>16.1} {:>9.1}%",
+        r.queries,
+        r.obs_off_us,
+        r.obs_on_us,
+        r.overhead * 100.0
+    );
+    println!("\n{}", r.report.render_text());
+}
+
 /// Prints a refine-bench table.
 pub fn print_refine_rows(title: &str, rows: &[RefineBenchRow]) {
     println!("\n{title}");

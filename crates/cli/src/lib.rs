@@ -46,10 +46,20 @@ impl CliError {
 /// Result alias.
 pub type Result<T> = std::result::Result<T, CliError>;
 
+/// Output format for `--profile`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileFormat {
+    /// Human-readable table.
+    Text,
+    /// Machine-readable JSON.
+    Json,
+}
+
 /// Parsed command line.
 #[derive(Debug, PartialEq)]
 pub enum Command {
-    /// `gql run <program> [--data NAME=PATH]... [--threads N]`
+    /// `gql run <program> [--data NAME=PATH]... [--threads N]
+    /// [--profile[=json]]`
     Run {
         /// Program file path.
         program: String,
@@ -57,6 +67,8 @@ pub enum Command {
         data: Vec<(String, String)>,
         /// Worker threads for σ evaluation (0 = available cores).
         threads: usize,
+        /// Print a pipeline profile after execution.
+        profile: Option<ProfileFormat>,
     },
     /// `gql match --graph PATH --pattern PATH [--baseline] [--first]
     /// [--threads N]`
@@ -89,13 +101,17 @@ pub const USAGE: &str = "\
 gql — Graphs-at-a-time query language (He & Singh, SIGMOD 2008)
 
 USAGE:
-    gql run <program.gql> [--data NAME=PATH]... [--threads N]
+    gql run <program.gql> [--data NAME=PATH]... [--threads N] [--profile[=json]]
     gql match --graph <data.gql> --pattern <pattern.gql> [--baseline] [--first] [--threads N]
     gql sql   --graph <data.gql> --pattern <pattern.gql>
     gql help
 
 `--threads N` runs the selection pipeline on N workers (0 = one per
 available core; default 1). Results are identical for any setting.
+
+`--profile` appends a per-phase breakdown of the pipeline (retrieval,
+refinement, search, operator timings) after the results; `--profile=json`
+emits the same report as JSON.
 ";
 
 fn parse_threads(it: &mut std::slice::Iter<'_, String>) -> Result<usize> {
@@ -115,8 +131,15 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             let mut program = None;
             let mut data = Vec::new();
             let mut threads = 1;
+            let mut profile = None;
             while let Some(a) = it.next() {
-                if a == "--data" {
+                if a == "--profile" || a == "--profile=text" {
+                    profile = Some(ProfileFormat::Text);
+                } else if a == "--profile=json" {
+                    profile = Some(ProfileFormat::Json);
+                } else if let Some(fmt) = a.strip_prefix("--profile=") {
+                    return Err(CliError::usage(format!("bad --profile format {fmt:?}")));
+                } else if a == "--data" {
                     let spec = it
                         .next()
                         .ok_or_else(|| CliError::usage("--data needs NAME=PATH"))?;
@@ -136,6 +159,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 program: program.ok_or_else(|| CliError::usage("run needs a program file"))?,
                 data,
                 threads,
+                profile,
             })
         }
         Some(cmd @ ("match" | "sql")) => {
@@ -189,8 +213,12 @@ pub fn execute(cmd: Command) -> Result<String> {
             program,
             data,
             threads,
+            profile,
         } => {
             let mut db = Database::new().with_threads(threads);
+            if profile.is_some() {
+                db.enable_profiling();
+            }
             for (name, path) in data {
                 let c: GraphCollection = collection_from_text(&read(&path)?)
                     .map_err(|e| CliError::run(format!("{path}: {e}")))?;
@@ -220,6 +248,19 @@ pub fn execute(cmd: Command) -> Result<String> {
                 );
             }
             out.push_str("ok\n");
+            match profile {
+                Some(ProfileFormat::Text) => {
+                    let _ = writeln!(
+                        out,
+                        "\n-- profile --\n{}",
+                        db.profile_report().render_text()
+                    );
+                }
+                Some(ProfileFormat::Json) => {
+                    let _ = writeln!(out, "{}", db.profile_report().render_json());
+                }
+                None => {}
+            }
         }
         Command::Match {
             graph,
@@ -306,8 +347,24 @@ mod tests {
                 program: "p.gql".into(),
                 data: vec![("DBLP".into(), "d.gql".into())],
                 threads: 1,
+                profile: None,
             }
         );
+        assert!(matches!(
+            parse_args(&args(&["run", "p.gql", "--profile"])).unwrap(),
+            Command::Run {
+                profile: Some(ProfileFormat::Text),
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_args(&args(&["run", "p.gql", "--profile=json"])).unwrap(),
+            Command::Run {
+                profile: Some(ProfileFormat::Json),
+                ..
+            }
+        ));
+        assert!(parse_args(&args(&["run", "p.gql", "--profile=xml"])).is_err());
         assert!(matches!(
             parse_args(&args(&[
                 "match",
@@ -415,10 +472,30 @@ mod tests {
             program: prog.to_string_lossy().into_owned(),
             data: vec![("DBLP".into(), data.to_string_lossy().into_owned())],
             threads: 2,
+            profile: None,
         })
         .unwrap();
         assert!(out.contains("loaded DBLP: 2 graph(s)"), "{out}");
         assert!(out.contains("result 1 (3 graph(s))"), "{out}");
+
+        // --profile appends the per-phase breakdown; =json is parseable
+        // by shape (counters + phases objects).
+        let run = |profile| {
+            execute(Command::Run {
+                program: prog.to_string_lossy().into_owned(),
+                data: vec![("DBLP".into(), data.to_string_lossy().into_owned())],
+                threads: 2,
+                profile,
+            })
+            .unwrap()
+        };
+        let text = run(Some(ProfileFormat::Text));
+        assert!(text.contains("-- profile --"), "{text}");
+        assert!(text.contains("match.search"), "{text}");
+        assert!(text.contains("retrieve.kept"), "{text}");
+        let json = run(Some(ProfileFormat::Json));
+        assert!(json.contains("\"counters\""), "{json}");
+        assert!(json.contains("\"engine.flwr\""), "{json}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -428,6 +505,7 @@ mod tests {
             program: "/nonexistent/prog.gql".into(),
             data: vec![],
             threads: 1,
+            profile: None,
         })
         .unwrap_err();
         assert_eq!(err.code, 1);

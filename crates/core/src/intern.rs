@@ -145,12 +145,20 @@ impl IdProfile {
         self.signature
     }
 
-    /// Multiset containment `self ⊆ other`, rejecting in O(1) via the
-    /// signature before running the exact two-pointer merge.
-    pub fn subsumed_by(&self, other: &IdProfile) -> bool {
-        if self.ids.len() > other.ids.len() || (self.signature & !other.signature) != 0 {
-            return false;
-        }
+    /// The O(1) screen of [`IdProfile::subsumed_by`]: true when the
+    /// length or signature test alone proves `self ⊄ other`, without
+    /// touching the id arrays. Exposed so instrumentation can attribute
+    /// rejections to the signature filter vs. the exact merge.
+    #[inline]
+    pub fn signature_rejects(&self, other: &IdProfile) -> bool {
+        self.ids.len() > other.ids.len() || (self.signature & !other.signature) != 0
+    }
+
+    /// The exact two-pointer multiset-containment merge, *without* the
+    /// signature screen. Only meaningful after
+    /// [`IdProfile::signature_rejects`] returned false (the screen is
+    /// sound, so running the merge anyway would agree).
+    pub fn contained_exact(&self, other: &IdProfile) -> bool {
         let mut j = 0;
         for &id in &self.ids {
             while j < other.ids.len() && other.ids[j] < id {
@@ -162,6 +170,12 @@ impl IdProfile {
             j += 1;
         }
         true
+    }
+
+    /// Multiset containment `self ⊆ other`, rejecting in O(1) via the
+    /// signature before running the exact two-pointer merge.
+    pub fn subsumed_by(&self, other: &IdProfile) -> bool {
+        !self.signature_rejects(other) && self.contained_exact(other)
     }
 }
 

@@ -19,7 +19,9 @@
 //! - [`builder`]: union-find node unification backing the composition
 //!   operator's `unify` semantics (§2.1, §3.4);
 //! - [`par`]: std-only order-preserving parallel map helpers used by the
-//!   matcher's multi-threaded execution layer.
+//!   matcher's multi-threaded execution layer;
+//! - [`obs`]: the zero-dependency metrics registry (counters, phase
+//!   spans) behind the pipeline's `--profile` observability surface.
 //!
 //! ```
 //! use gql_core::{Graph, Tuple};
@@ -42,6 +44,7 @@ pub mod intern;
 pub mod io;
 pub mod iso;
 pub mod neighborhood;
+pub mod obs;
 pub mod op;
 pub mod par;
 pub mod stats;
@@ -56,6 +59,7 @@ pub use graph::{Edge, EdgeId, Graph, Node, NodeId};
 pub use intern::{IdProfile, LabelInterner, IMPOSSIBLE_LABEL, NO_LABEL};
 pub use io::{EdgeData, GraphData, NodeData};
 pub use neighborhood::{neighborhood_subgraph, NeighborhoodSubgraph, Profile};
+pub use obs::{Obs, ObsReport, PhaseStats};
 pub use op::BinOp;
 pub use par::{par_map_index, par_map_slice, resolve_threads};
 pub use stats::GraphStats;

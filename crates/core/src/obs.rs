@@ -1,0 +1,417 @@
+//! Pipeline observability: a zero-dependency metrics registry.
+//!
+//! The paper's whole §5 evaluation is per-phase instrumentation —
+//! pruning power of profiles vs. refinement, search-space ratios,
+//! per-phase wall-clock — and a production deployment needs the same
+//! visibility. This module provides the substrate: an [`Obs`] registry
+//! of named **atomic counters** and **duration histograms**, cheap
+//! enough to leave compiled into every pipeline layer.
+//!
+//! Design rules:
+//!
+//! - **Disabled means free.** Pipeline code holds an
+//!   `Option<Arc<Obs>>`; when it is `None` the instrumentation is a
+//!   skipped branch. Hot kernels never consult the registry per
+//!   element — they keep local integer counts (as they always did) and
+//!   flush aggregates once per phase.
+//! - **Deterministic counters.** Counters record logical quantities
+//!   (candidates pruned, search steps, pairs removed), so for
+//!   deterministic workloads the counter snapshot is byte-identical at
+//!   any `--threads` setting. Histograms record wall-clock and are
+//!   explicitly excluded from determinism comparisons.
+//! - **Std-only.** `Mutex<BTreeMap>` name table (names are touched once
+//!   per phase, not per element) with `AtomicU64` cells behind `Arc`,
+//!   so recording never holds the table lock.
+//!
+//! ```
+//! use gql_core::obs::Obs;
+//! use std::time::Duration;
+//!
+//! let obs = Obs::new();
+//! obs.add("search.steps", 42);
+//! obs.record("phase.search", Duration::from_micros(7));
+//! let report = obs.report();
+//! assert_eq!(report.counter("search.steps"), Some(42));
+//! assert!(report.render_json().contains("\"search.steps\": 42"));
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A monotone atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A thread-safe duration accumulator: count, total, min, max.
+///
+/// (A full log-bucketed histogram adds nothing for per-phase spans that
+/// fire once per query; min/max/total keep the report small and the
+/// recording path to four atomic RMWs.)
+#[derive(Debug)]
+pub struct DurationStat {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for DurationStat {
+    fn default() -> Self {
+        DurationStat {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl DurationStat {
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+}
+
+/// Immutable snapshot of one [`DurationStat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Spans recorded.
+    pub count: u64,
+    /// Sum of all spans.
+    pub total: Duration,
+    /// Shortest span ([`Duration::ZERO`] when `count == 0`).
+    pub min: Duration,
+    /// Longest span.
+    pub max: Duration,
+}
+
+impl PhaseStats {
+    /// Mean span duration (zero when nothing was recorded).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / u32::try_from(self.count).unwrap_or(u32::MAX)
+        }
+    }
+}
+
+/// An in-flight phase span; records its elapsed time into the owning
+/// stat on drop.
+pub struct Span {
+    stat: Arc<DurationStat>,
+    start: Instant,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.stat.record(self.start.elapsed());
+    }
+}
+
+/// The metrics registry: named counters and duration stats.
+///
+/// Cloning the `Arc<Obs>` shares the registry; [`Obs::report`] takes a
+/// consistent-enough snapshot for end-of-query reporting (individual
+/// cells are read atomically).
+#[derive(Default)]
+pub struct Obs {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    phases: Mutex<BTreeMap<String, Arc<DurationStat>>>,
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let nc = self.counters.lock().map(|c| c.len()).unwrap_or(0);
+        let np = self.phases.lock().map(|p| p.len()).unwrap_or(0);
+        write!(f, "Obs({nc} counters, {np} phases)")
+    }
+}
+
+impl Obs {
+    /// A fresh, empty registry behind an `Arc` (the shape every pipeline
+    /// layer consumes).
+    pub fn new() -> Arc<Obs> {
+        Arc::new(Obs::default())
+    }
+
+    /// The counter named `name`, created on first use. Cache the handle
+    /// when recording repeatedly.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("obs counters poisoned");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::default())),
+        )
+    }
+
+    /// The duration stat named `name`, created on first use.
+    pub fn phase(&self, name: &str) -> Arc<DurationStat> {
+        let mut map = self.phases.lock().expect("obs phases poisoned");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(DurationStat::default())),
+        )
+    }
+
+    /// Adds `n` to counter `name`.
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Records `d` into duration stat `name`.
+    pub fn record(&self, name: &str, d: Duration) {
+        self.phase(name).record(d);
+    }
+
+    /// Starts a span over phase `name`; the elapsed time is recorded
+    /// when the returned guard drops.
+    pub fn span(&self, name: &str) -> Span {
+        Span {
+            stat: self.phase(name),
+            start: Instant::now(),
+        }
+    }
+
+    /// Snapshot of every counter and phase.
+    pub fn report(&self) -> ObsReport {
+        let counters = self
+            .counters
+            .lock()
+            .expect("obs counters poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let phases = self
+            .phases
+            .lock()
+            .expect("obs phases poisoned")
+            .iter()
+            .map(|(k, v)| {
+                let count = v.count.load(Ordering::Relaxed);
+                (
+                    k.clone(),
+                    PhaseStats {
+                        count,
+                        total: Duration::from_nanos(v.total_ns.load(Ordering::Relaxed)),
+                        min: if count == 0 {
+                            Duration::ZERO
+                        } else {
+                            Duration::from_nanos(v.min_ns.load(Ordering::Relaxed))
+                        },
+                        max: Duration::from_nanos(v.max_ns.load(Ordering::Relaxed)),
+                    },
+                )
+            })
+            .collect();
+        ObsReport { counters, phases }
+    }
+
+    /// Clears every counter and phase (the names are forgotten too, so
+    /// the next report only contains metrics touched since the reset).
+    pub fn reset(&self) {
+        self.counters.lock().expect("obs counters poisoned").clear();
+        self.phases.lock().expect("obs phases poisoned").clear();
+    }
+}
+
+/// A point-in-time snapshot of a registry, ready to print or serialize.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObsReport {
+    /// `(name, value)` pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, stats)` pairs, sorted by name.
+    pub phases: Vec<(String, PhaseStats)>,
+}
+
+/// JSON string escaping for metric names (ours are plain ASCII, but be
+/// correct anyway).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl ObsReport {
+    /// Value of counter `name`, if it was ever touched.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Stats of phase `name`, if it was ever recorded.
+    pub fn phase(&self, name: &str) -> Option<PhaseStats> {
+        self.phases.iter().find(|(k, _)| k == name).map(|&(_, v)| v)
+    }
+
+    /// Human-readable per-phase breakdown (the `--profile` text form).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if !self.phases.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>8} {:>12} {:>12} {:>12}",
+                "phase", "count", "total", "mean", "max"
+            );
+            for (name, p) in &self.phases {
+                let _ = writeln!(
+                    out,
+                    "{:<28} {:>8} {:>12} {:>12} {:>12}",
+                    name,
+                    p.count,
+                    format!("{:.1?}", p.total),
+                    format!("{:.1?}", p.mean()),
+                    format!("{:.1?}", p.max),
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            if !self.phases.is_empty() {
+                out.push('\n');
+            }
+            let _ = writeln!(out, "{:<40} {:>14}", "counter", "value");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "{name:<40} {v:>14}");
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+
+    /// Machine-readable JSON (`--profile=json`): an object with
+    /// `counters` (name → integer) and `phases` (name → ns stats).
+    pub fn render_json(&self) -> String {
+        let mut s = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(s, "{sep}    \"{}\": {v}", json_escape(name));
+        }
+        if !self.counters.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("},\n  \"phases\": {");
+        for (i, (name, p)) in self.phases.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                s,
+                "{sep}    \"{}\": {{\"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+                json_escape(name),
+                p.count,
+                p.total.as_nanos(),
+                p.min.as_nanos(),
+                p.max.as_nanos(),
+            );
+        }
+        if !self.phases.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("}\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let obs = Obs::new();
+        obs.add("a", 1);
+        obs.add("a", 2);
+        obs.add("b", 5);
+        let rep = obs.report();
+        assert_eq!(rep.counter("a"), Some(3));
+        assert_eq!(rep.counter("b"), Some(5));
+        assert_eq!(rep.counter("missing"), None);
+        obs.reset();
+        assert!(obs.report().counters.is_empty());
+    }
+
+    #[test]
+    fn spans_record_durations() {
+        let obs = Obs::new();
+        {
+            let _s = obs.span("p");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        obs.record("p", Duration::from_millis(2));
+        let p = obs.report().phase("p").unwrap();
+        assert_eq!(p.count, 2);
+        assert!(p.total >= Duration::from_millis(3));
+        assert!(p.min <= p.max);
+        assert!(p.mean() >= p.min && p.mean() <= p.max);
+    }
+
+    #[test]
+    fn concurrent_adds_are_exact() {
+        let obs = Obs::new();
+        let c = obs.counter("n");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(obs.report().counter("n"), Some(8000));
+    }
+
+    #[test]
+    fn json_and_text_render() {
+        let obs = Obs::new();
+        obs.add("x.y", 7);
+        obs.record("ph", Duration::from_nanos(500));
+        let rep = obs.report();
+        let json = rep.render_json();
+        assert!(json.contains("\"x.y\": 7"), "{json}");
+        assert!(json.contains("\"ph\": {\"count\": 1"), "{json}");
+        let text = rep.render_text();
+        assert!(text.contains("x.y"), "{text}");
+        assert!(text.contains("ph"), "{text}");
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+        // Empty report renders without panicking.
+        assert!(ObsReport::default().render_json().contains("counters"));
+        assert!(ObsReport::default()
+            .render_text()
+            .contains("no metrics recorded"));
+    }
+}

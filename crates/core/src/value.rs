@@ -95,41 +95,50 @@ impl Value {
             (Str(a), Str(b)) => Some(a.cmp(b)),
             (Bool(a), Bool(b)) => Some(a.cmp(b)),
             (Float(a), Float(b)) => Some(float_cmp(*a, *b)),
-            (Int(a), Float(b)) => Some(float_cmp(*a as f64, *b)),
-            (Float(a), Int(b)) => Some(float_cmp(*a, *b as f64)),
+            (Int(a), Float(b)) => Some(cmp_i64_f64(*a, *b)),
+            (Float(a), Int(b)) => Some(cmp_i64_f64(*b, *a).reverse()),
             _ => None,
         }
     }
 
     /// Arithmetic addition with numeric coercion; string `+` concatenates.
+    ///
+    /// Integer arithmetic is *checked*: on i64 overflow the result is
+    /// promoted to `Float` (approximate but correctly ordered) rather
+    /// than silently wrapped, so predicates and composition-accumulated
+    /// attributes never see a sign-flipped value.
     pub fn add(&self, other: &Value) -> Option<Value> {
         use Value::*;
         match (self, other) {
-            (Int(a), Int(b)) => Some(Int(a.wrapping_add(*b))),
+            (Int(a), Int(b)) => Some(a.checked_add(*b).map_or(Float(*a as f64 + *b as f64), Int)),
             (Str(a), Str(b)) => Some(Str(format!("{a}{b}"))),
             _ => Some(Float(self.as_float()? + other.as_float()?)),
         }
     }
 
-    /// Arithmetic subtraction with numeric coercion.
+    /// Arithmetic subtraction with numeric coercion; overflow promotes
+    /// to `Float` (see [`Value::add`]).
     pub fn sub(&self, other: &Value) -> Option<Value> {
         use Value::*;
         match (self, other) {
-            (Int(a), Int(b)) => Some(Int(a.wrapping_sub(*b))),
+            (Int(a), Int(b)) => Some(a.checked_sub(*b).map_or(Float(*a as f64 - *b as f64), Int)),
             _ => Some(Float(self.as_float()? - other.as_float()?)),
         }
     }
 
-    /// Arithmetic multiplication with numeric coercion.
+    /// Arithmetic multiplication with numeric coercion; overflow
+    /// promotes to `Float` (see [`Value::add`]).
     pub fn mul(&self, other: &Value) -> Option<Value> {
         use Value::*;
         match (self, other) {
-            (Int(a), Int(b)) => Some(Int(a.wrapping_mul(*b))),
+            (Int(a), Int(b)) => Some(a.checked_mul(*b).map_or(Float(*a as f64 * *b as f64), Int)),
             _ => Some(Float(self.as_float()? * other.as_float()?)),
         }
     }
 
-    /// Arithmetic division; integer division by zero yields `None`.
+    /// Arithmetic division; integer division by zero yields `None`, and
+    /// the single overflowing case (`i64::MIN / -1`) promotes to `Float`
+    /// (see [`Value::add`]).
     pub fn div(&self, other: &Value) -> Option<Value> {
         use Value::*;
         match (self, other) {
@@ -137,7 +146,7 @@ impl Value {
                 if *b == 0 {
                     None
                 } else {
-                    Some(Int(a.wrapping_div(*b)))
+                    Some(a.checked_div(*b).map_or(Float(*a as f64 / *b as f64), Int))
                 }
             }
             _ => Some(Float(self.as_float()? / other.as_float()?)),
@@ -149,6 +158,54 @@ impl Value {
 /// NaN fallback so `Value` can still implement `Ord`.
 fn float_cmp(a: f64, b: f64) -> Ordering {
     a.partial_cmp(&b).unwrap_or_else(|| a.total_cmp(&b))
+}
+
+/// Exact comparison of an `i64` against an `f64`, without rounding the
+/// integer through a lossy `as f64` cast.
+///
+/// For |i| ≥ 2^53 the cast collapses distinct integers onto the same
+/// float, which made `Int(2^53) == Float(2^53) == Int(2^53 + 1)` while
+/// `Int(2^53) < Int(2^53 + 1)` — an intransitive `Eq`/`Ord` that
+/// corrupts B-tree keys and sort order. Here the float is split into
+/// integral and fractional parts instead, so every comparison is exact.
+///
+/// NaN placement follows [`f64::total_cmp`] (used by `float_cmp` for
+/// float/float NaN pairs): negative NaN sorts below every real, positive
+/// NaN above, keeping the merged numeric order transitive.
+fn cmp_i64_f64(a: i64, b: f64) -> Ordering {
+    if b.is_nan() {
+        return if b.is_sign_negative() {
+            Ordering::Greater
+        } else {
+            Ordering::Less
+        };
+    }
+    // All i64 lie strictly inside (-2^63 - 1, 2^63); floats at or beyond
+    // those bounds (incl. ±inf) compare without looking at digits. Both
+    // bounds are exactly representable, and -2^63 itself IS i64::MIN.
+    const TWO_63: f64 = 9_223_372_036_854_775_808.0; // 2^63
+    if b >= TWO_63 {
+        return Ordering::Less;
+    }
+    if b < -TWO_63 {
+        return Ordering::Greater;
+    }
+    // b ∈ [-2^63, 2^63): trunc(b) fits in i64 exactly.
+    let t = b.trunc() as i64;
+    match a.cmp(&t) {
+        Ordering::Equal => {
+            let frac = b - b.trunc();
+            // frac carries b's sub-integer part; sign decides the order.
+            if frac > 0.0 {
+                Ordering::Less
+            } else if frac < 0.0 {
+                Ordering::Greater
+            } else {
+                Ordering::Equal
+            }
+        }
+        ord => ord,
+    }
 }
 
 impl PartialEq for Value {
@@ -185,8 +242,11 @@ impl Ord for Value {
 
 impl Hash for Value {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        // Int(k) and Float(k as f64) compare equal, so they must hash
-        // identically: hash all numerics through the f64 bit pattern.
+        // Int(i) == Float(f) only when f represents i exactly, and then
+        // (i as f64) == f bit-for-bit (after -0.0 normalization), so
+        // hashing all numerics through the f64 bit pattern stays
+        // consistent with Eq. Distinct huge ints that round to the same
+        // float merely collide, which is harmless.
         match self {
             Value::Bool(b) => {
                 state.write_u8(0);
@@ -311,6 +371,57 @@ mod tests {
         assert_eq!(Value::Int(7).div(&Value::Int(2)), Some(Value::Int(3)));
         assert_eq!(Value::Int(6).mul(&Value::Int(7)), Some(Value::Int(42)));
         assert_eq!(Value::Int(6).sub(&Value::Int(7)), Some(Value::Int(-1)));
+    }
+
+    /// Pre-fix, `Int` was compared to `Float` via a lossy `as f64` cast:
+    /// `Int(2^53 + 1)` compared `Equal` to `Float(2^53)` even though
+    /// `Int(2^53)` also equals `Float(2^53)` — intransitive.
+    #[test]
+    fn large_int_float_comparison_is_exact() {
+        const P53: i64 = 1 << 53; // 9007199254740992; 2^53 + 1 rounds to it
+        assert_eq!(Value::Int(P53), Value::Float(P53 as f64));
+        assert!(Value::Int(P53 + 1) > Value::Float(P53 as f64));
+        assert!(Value::Float(P53 as f64) < Value::Int(P53 + 1));
+        // i64::MAX as f64 rounds UP to 2^63; the exact comparison knows
+        // the integer is smaller.
+        assert!(Value::Int(i64::MAX) < Value::Float(i64::MAX as f64));
+        assert_eq!(Value::Int(i64::MIN), Value::Float(i64::MIN as f64));
+        assert!(Value::Int(i64::MIN + 1) > Value::Float(i64::MIN as f64));
+        // Fractional parts order correctly around an exact integer.
+        assert!(Value::Int(3) < Value::Float(3.5));
+        assert!(Value::Int(4) > Value::Float(3.5));
+        assert!(Value::Int(-3) > Value::Float(-3.5));
+        assert_eq!(Value::Int(0), Value::Float(-0.0));
+        // Infinities and NaN bracket every integer (total_cmp placement).
+        assert!(Value::Int(i64::MAX) < Value::Float(f64::INFINITY));
+        assert!(Value::Int(i64::MIN) > Value::Float(f64::NEG_INFINITY));
+        assert!(Value::Int(i64::MAX) < Value::Float(f64::NAN));
+        assert!(Value::Int(i64::MIN) > Value::Float(-f64::NAN));
+    }
+
+    /// Pre-fix, i64 arithmetic wrapped: `i64::MAX + 1` yielded
+    /// `Int(i64::MIN)` inside predicates. Now overflow promotes to
+    /// `Float`, which stays on the correct side of the number line.
+    #[test]
+    fn integer_overflow_promotes_to_float() {
+        let max = Value::Int(i64::MAX);
+        let sum = max.add(&Value::Int(1)).unwrap();
+        assert_eq!(sum, Value::Float(i64::MAX as f64 + 1.0));
+        assert!(sum > max, "overflowed sum must not wrap negative");
+        // i64::MIN - 1 rounds back to -2^63 as a float; the point is it
+        // stays negative instead of wrapping to +i64::MAX.
+        let diff = Value::Int(i64::MIN).sub(&Value::Int(1)).unwrap();
+        assert_eq!(diff, Value::Float(-9_223_372_036_854_775_808.0));
+        assert!(diff < Value::Int(0));
+        let prod = Value::Int(i64::MAX).mul(&Value::Int(2)).unwrap();
+        assert!(prod > Value::Int(i64::MAX));
+        let quot = Value::Int(i64::MIN).div(&Value::Int(-1)).unwrap();
+        assert_eq!(quot, Value::Float(9_223_372_036_854_775_808.0));
+        // Non-overflowing arithmetic still returns exact ints.
+        assert_eq!(
+            Value::Int(i64::MAX).add(&Value::Int(-1)),
+            Some(Value::Int(i64::MAX - 1))
+        );
     }
 
     #[test]

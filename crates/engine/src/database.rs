@@ -3,11 +3,12 @@
 
 use crate::error::{EngineError, Result};
 use gql_algebra::{compile_pattern, ops, CompiledPattern, PatternRegistry, TemplateEnv};
-use gql_core::{Graph, GraphCollection};
-use gql_match::{MatchOptions, Pattern};
+use gql_core::{Graph, GraphCollection, Obs, ObsReport};
+use gql_match::{GraphIndex, MatchOptions, Pattern};
 use gql_parser::ast::{FlwrAst, FlwrBody, GraphTemplateAst, PatternRef, Program, Statement};
 use gql_parser::parse_program;
 use rustc_hash::FxHashMap;
+use std::sync::Arc;
 
 /// Result of executing a program: every `return` clause contributes one
 /// collection, in order.
@@ -27,6 +28,11 @@ pub struct Database {
     registry: PatternRegistry,
     compiled: FxHashMap<String, CompiledPattern>,
     vars: FxHashMap<String, Graph>,
+    /// Per-collection σ indexes, built lazily on first query and reused
+    /// until the collection is replaced (`add_collection`/`add_graph`
+    /// invalidate the entry). `Arc`s so cached indexes survive the
+    /// borrow dance of `eval_flwr` without cloning index data.
+    index_cache: FxHashMap<String, Vec<Arc<GraphIndex>>>,
     /// Matching options used by `for` clauses (the `exhaustive` keyword
     /// still overrides the `exhaustive` field per query). The engine
     /// default skips the §5 baseline-space recomputation — it never
@@ -49,6 +55,7 @@ impl Database {
             registry: PatternRegistry::default(),
             compiled: FxHashMap::default(),
             vars: FxHashMap::default(),
+            index_cache: FxHashMap::default(),
             options: MatchOptions {
                 report_baseline_space: false,
                 ..MatchOptions::default()
@@ -64,16 +71,45 @@ impl Database {
         self
     }
 
-    /// Registers a collection under `name` (the target of
-    /// `doc("name")`).
-    pub fn add_collection(&mut self, name: impl Into<String>, c: GraphCollection) {
-        self.collections.insert(name.into(), c);
+    /// Attaches a fresh observability registry: every subsequent query
+    /// records per-phase timings and pipeline counters into it. Returns
+    /// the registry handle (also retrievable via [`Database::obs`]).
+    pub fn enable_profiling(&mut self) -> Arc<Obs> {
+        let obs = Obs::new();
+        self.options.obs = Some(Arc::clone(&obs));
+        obs
     }
 
-    /// Registers a single large graph as a one-graph collection.
+    /// The attached observability registry, if profiling is enabled.
+    pub fn obs(&self) -> Option<&Arc<Obs>> {
+        self.options.obs.as_ref()
+    }
+
+    /// Snapshot of all metrics recorded so far (empty report when
+    /// profiling was never enabled).
+    pub fn profile_report(&self) -> ObsReport {
+        self.options
+            .obs
+            .as_ref()
+            .map(|o| o.report())
+            .unwrap_or_default()
+    }
+
+    /// Registers a collection under `name` (the target of
+    /// `doc("name")`), invalidating any cached indexes for it.
+    pub fn add_collection(&mut self, name: impl Into<String>, c: GraphCollection) {
+        let name = name.into();
+        self.index_cache.remove(&name);
+        self.collections.insert(name, c);
+    }
+
+    /// Registers a single large graph as a one-graph collection,
+    /// invalidating any cached indexes for it.
     pub fn add_graph(&mut self, name: impl Into<String>, g: Graph) {
+        let name = name.into();
+        self.index_cache.remove(&name);
         self.collections
-            .insert(name.into(), GraphCollection::from_graph(g));
+            .insert(name, GraphCollection::from_graph(g));
     }
 
     /// Looks up a collection.
@@ -145,6 +181,9 @@ impl Database {
     }
 
     fn eval_flwr(&mut self, f: &FlwrAst) -> Result<Option<GraphCollection>> {
+        // Per-statement FLWR timing (covers pattern resolution, σ, and
+        // the return/let body).
+        let _stmt_span = self.options.obs.as_deref().map(|o| o.span("engine.flwr"));
         // Resolve the pattern.
         let (compiled, pname) = match &f.pattern {
             PatternRef::Named(n) => (
@@ -191,8 +230,29 @@ impl Database {
 
         let mut opts = self.options.clone();
         opts.exhaustive = f.exhaustive;
-        let matches = ops::select(&compiled, collection, &opts)?;
 
+        // σ against cached per-graph indexes: a stored collection is
+        // indexed once and every subsequent query over it reuses the
+        // indexes (`add_collection`/`add_graph` invalidate on mutation).
+        let indexes = match self.index_cache.get(&f.source) {
+            Some(ix) => {
+                if let Some(obs) = &opts.obs {
+                    obs.add("engine.index_cache.hits", 1);
+                }
+                ix.clone()
+            }
+            None => {
+                if let Some(obs) = &opts.obs {
+                    obs.add("engine.index_cache.misses", 1);
+                }
+                let built = ops::build_collection_indexes(collection, &opts);
+                self.index_cache.insert(f.source.clone(), built.clone());
+                built
+            }
+        };
+        let matches = ops::select_with_indexes(&compiled, collection, &indexes, &opts)?;
+
+        let _body_span = opts.obs.as_deref().map(|o| o.span("op.compose"));
         match &f.body {
             FlwrBody::Return(template) => {
                 let mut out = GraphCollection::new();
@@ -335,6 +395,49 @@ mod tests {
             )
             .unwrap();
         assert_eq!(out.returned[0].len(), 2, "author A appears in G1 and G2");
+    }
+
+    /// Repeated queries over the same stored collection must reuse the
+    /// cached σ indexes (pre-fix, every σ call rebuilt them), and
+    /// mutating the collection must invalidate the cache.
+    #[test]
+    fn index_cache_hits_across_queries_and_invalidates_on_mutation() {
+        let mut db = Database::new();
+        let obs = db.enable_profiling();
+        let (g, _) = figure_4_16_graph();
+        db.add_graph("G", g.clone());
+        let query = r#"
+            for graph Q { node a <label="A">; node b <label="B">; edge e (a, b); }
+            exhaustive in doc("G")
+            return graph { node n <who=Q.a.label>; };
+        "#;
+        let first = db.execute(query).unwrap();
+        let rep = db.profile_report();
+        // Counters are created lazily: no hit has been recorded yet.
+        assert_eq!(rep.counter("engine.index_cache.hits").unwrap_or(0), 0);
+        assert_eq!(rep.counter("engine.index_cache.misses"), Some(1));
+        assert_eq!(rep.counter("index.builds"), Some(1));
+
+        let second = db.execute(query).unwrap();
+        assert_eq!(second.returned[0].len(), first.returned[0].len());
+        let rep = db.profile_report();
+        assert_eq!(rep.counter("engine.index_cache.hits"), Some(1));
+        assert_eq!(rep.counter("engine.index_cache.misses"), Some(1));
+        assert_eq!(
+            rep.counter("index.builds"),
+            Some(1),
+            "cache hit must not rebuild the index"
+        );
+
+        // Replacing the collection invalidates the cached indexes.
+        db.add_graph("G", g);
+        db.execute(query).unwrap();
+        let rep = db.profile_report();
+        assert_eq!(rep.counter("engine.index_cache.misses"), Some(2));
+        assert_eq!(rep.counter("index.builds"), Some(2));
+        // Per-statement spans were recorded for all three FLWRs.
+        assert_eq!(rep.phase("engine.flwr").map(|p| p.count), Some(3));
+        assert_eq!(obs.report().phase("op.select").map(|p| p.count), Some(3));
     }
 
     #[test]

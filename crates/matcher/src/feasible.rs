@@ -38,6 +38,33 @@ pub enum LocalPruning {
     },
 }
 
+/// Counters from a stats-collecting retrieval pass
+/// ([`feasible_mates_stats_par`]). All quantities are logical (not
+/// timing-dependent), so they are identical at every thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetrieveStats {
+    /// Candidates surviving attribute retrieval and entering local
+    /// pruning (summed over pattern nodes).
+    pub candidates: u64,
+    /// Candidates rejected by the O(1) profile length/signature screen.
+    pub sig_rejected: u64,
+    /// Candidates rejected by the exact containment / sub-isomorphism
+    /// test after passing (or lacking) the signature screen.
+    pub exact_rejected: u64,
+    /// Candidates kept in `Φ` (`candidates - sig_rejected -
+    /// exact_rejected`).
+    pub kept: u64,
+}
+
+impl RetrieveStats {
+    fn absorb(&mut self, other: &RetrieveStats) {
+        self.candidates += other.candidates;
+        self.sig_rejected += other.sig_rejected;
+        self.exact_rejected += other.exact_rejected;
+        self.kept += other.kept;
+    }
+}
+
 /// Indexed retrieval when the motif pins the label, else a scan.
 fn retrieve(pattern: &Pattern, g: &Graph, index: &GraphIndex, u: NodeId) -> Vec<NodeId> {
     match pattern.graph.node(u).attrs.get("label") {
@@ -126,6 +153,105 @@ pub fn feasible_mates_par(
 ) -> Vec<Vec<NodeId>> {
     let ids: Vec<NodeId> = pattern.graph.node_ids().collect();
     gql_core::par_map_slice(&ids, threads, |&u| mates_for(pattern, g, index, pruning, u))
+}
+
+/// Like [`mates_for`] but attributing every pruned candidate to the
+/// filter that rejected it. Kept as a separate function (rather than an
+/// `Option<&mut ..>` parameter threaded through the hot path) so the
+/// un-instrumented kernel stays branch-free; the equivalence test below
+/// pins the two against each other.
+fn mates_for_stats(
+    pattern: &Pattern,
+    g: &Graph,
+    index: &GraphIndex,
+    pruning: LocalPruning,
+    u: NodeId,
+) -> (Vec<NodeId>, RetrieveStats) {
+    let mut base = retrieve(pattern, g, index, u);
+    let mut stats = RetrieveStats {
+        candidates: base.len() as u64,
+        ..RetrieveStats::default()
+    };
+    match pruning {
+        LocalPruning::NodeAttributes => {}
+        LocalPruning::Profiles { radius } => {
+            let pu = Profile::of_neighborhood(&pattern.graph, u, radius);
+            if index.has_profiles() && index.radius() == radius {
+                match index.interner().encode_profile(&pu) {
+                    Some(pid) => base.retain(|&v| {
+                        let pv = index.id_profile(v);
+                        if pid.signature_rejects(pv) {
+                            stats.sig_rejected += 1;
+                            false
+                        } else if !pid.contained_exact(pv) {
+                            stats.exact_rejected += 1;
+                            false
+                        } else {
+                            true
+                        }
+                    }),
+                    None => {
+                        // Unencodable pattern profile: the whole base is
+                        // rejected by the (vacuous) signature screen.
+                        stats.sig_rejected += base.len() as u64;
+                        base.clear();
+                    }
+                }
+            } else {
+                base.retain(|&v| {
+                    let keep = pu.subsumed_by(&Profile::of_neighborhood(g, v, radius));
+                    if !keep {
+                        stats.exact_rejected += 1;
+                    }
+                    keep
+                });
+            }
+        }
+        LocalPruning::Subgraphs { radius } => {
+            let nu = neighborhood_subgraph(&pattern.graph, u, radius);
+            base.retain(|&v| {
+                let keep = if index.has_neighborhoods() && index.radius() == radius {
+                    let nv = index.neighborhood(v);
+                    subgraph_isomorphic_anchored(&nu.graph, &nv.graph, (nu.center, nv.center))
+                } else {
+                    let nv = neighborhood_subgraph(g, v, radius);
+                    subgraph_isomorphic_anchored(&nu.graph, &nv.graph, (nu.center, nv.center))
+                };
+                if !keep {
+                    stats.exact_rejected += 1;
+                }
+                keep
+            });
+        }
+    }
+    stats.kept = base.len() as u64;
+    (base, stats)
+}
+
+/// [`feasible_mates_par`] plus [`RetrieveStats`] attributing pruned
+/// candidates to the signature screen vs. the exact test. The mates are
+/// identical to the plain path's; the stats are identical at every
+/// thread count.
+pub fn feasible_mates_stats_par(
+    pattern: &Pattern,
+    g: &Graph,
+    index: &GraphIndex,
+    pruning: LocalPruning,
+    threads: usize,
+) -> (Vec<Vec<NodeId>>, RetrieveStats) {
+    let ids: Vec<NodeId> = pattern.graph.node_ids().collect();
+    let per_node = gql_core::par_map_slice(&ids, threads, |&u| {
+        mates_for_stats(pattern, g, index, pruning, u)
+    });
+    let mut stats = RetrieveStats::default();
+    let mates = per_node
+        .into_iter()
+        .map(|(m, s)| {
+            stats.absorb(&s);
+            m
+        })
+        .collect();
+    (mates, stats)
 }
 
 /// Reference (oracle) implementation of [`feasible_mates`]: the
@@ -314,6 +440,49 @@ mod tests {
         let refr = feasible_mates_reference(&p, &g, &idx, LocalPruning::Profiles { radius: 1 });
         assert_eq!(fast, refr);
         assert!(fast.iter().all(|m| m.is_empty()));
+    }
+
+    /// The stats-collecting path returns the same mates as the plain
+    /// path for every strategy, its counters add up, and the counters
+    /// are identical at every thread count.
+    #[test]
+    fn stats_path_matches_plain_path() {
+        let (p, g, idx) = setup();
+        let plain_idx = GraphIndex::build(&g);
+        for (index, name) in [(&idx, "full"), (&plain_idx, "plain")] {
+            for pruning in [
+                LocalPruning::NodeAttributes,
+                LocalPruning::Profiles { radius: 1 },
+                LocalPruning::Profiles { radius: 2 },
+                LocalPruning::Subgraphs { radius: 1 },
+            ] {
+                let mates = feasible_mates(&p, &g, index, pruning);
+                let (m1, s1) = feasible_mates_stats_par(&p, &g, index, pruning, 1);
+                assert_eq!(m1, mates, "{name} {pruning:?}");
+                assert_eq!(
+                    s1.candidates,
+                    s1.sig_rejected + s1.exact_rejected + s1.kept,
+                    "{name} {pruning:?}: counters must add up: {s1:?}"
+                );
+                assert_eq!(
+                    s1.kept as usize,
+                    mates.iter().map(Vec::len).sum::<usize>(),
+                    "{name} {pruning:?}"
+                );
+                for threads in [2, 8] {
+                    let (mt, st) = feasible_mates_stats_par(&p, &g, index, pruning, threads);
+                    assert_eq!(mt, mates, "{name} {pruning:?} threads={threads}");
+                    assert_eq!(st, s1, "{name} {pruning:?} threads={threads}");
+                }
+            }
+        }
+        // An unencodable pattern profile (unknown label) must charge the
+        // whole base to the signature screen.
+        let zp = Pattern::structural(gql_core::fixtures::labeled_path(&["A", "Z"]));
+        let (zm, zs) =
+            feasible_mates_stats_par(&zp, &g, &idx, LocalPruning::Profiles { radius: 1 }, 1);
+        assert!(zm.iter().all(|m| m.is_empty()));
+        assert_eq!(zs.candidates, zs.sig_rejected);
     }
 
     #[test]

@@ -40,8 +40,8 @@ pub mod search;
 
 pub use expr::{BinOp, EvalCtx, EvalResult, Expr};
 pub use feasible::{
-    feasible_mates, feasible_mates_par, feasible_mates_reference, reduction_ratio, search_space_ln,
-    LocalPruning,
+    feasible_mates, feasible_mates_par, feasible_mates_reference, feasible_mates_stats_par,
+    reduction_ratio, search_space_ln, LocalPruning, RetrieveStats,
 };
 pub use index::GraphIndex;
 pub use matcher::{

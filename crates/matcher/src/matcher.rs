@@ -2,13 +2,16 @@
 //! (retrieval → local pruning → global refinement → ordered search),
 //! with per-step instrumentation for the §5 experiments.
 
-use crate::feasible::{feasible_mates_par, search_space_ln, LocalPruning};
+use crate::feasible::{
+    feasible_mates_par, feasible_mates_stats_par, search_space_ln, LocalPruning,
+};
 use crate::index::GraphIndex;
 use crate::order::{optimize_order, GammaMode, SearchOrder};
 use crate::pattern::Pattern;
 use crate::refine::{refine_search_space_par, RefineStats};
 use crate::search::{search_indexed, SearchConfig, SearchOutcome};
-use gql_core::{EdgeId, Graph, NodeId};
+use gql_core::{EdgeId, Graph, NodeId, Obs};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Global refinement setting.
@@ -53,6 +56,14 @@ pub struct MatchOptions {
     /// (engine σ, first-match lookups) can skip the redundant
     /// `feasible_mates` pass, leaving `baseline_ln` as NaN.
     pub report_baseline_space: bool,
+    /// Observability sink: when set, the pipeline records per-phase
+    /// durations (`match.retrieve` / `match.refine` / `match.order` /
+    /// `match.search`) and logical counters (retrieval pruning
+    /// attribution, refinement work, search effort) into the registry.
+    /// `None` (the default) keeps the hot kernels on their
+    /// un-instrumented paths. The registry is shared, not per-query:
+    /// pass the same `Arc` across calls to aggregate.
+    pub obs: Option<Arc<Obs>>,
 }
 
 impl Default for MatchOptions {
@@ -67,6 +78,7 @@ impl Default for MatchOptions {
             time_limit: None,
             threads: 1,
             report_baseline_space: true,
+            obs: None,
         }
     }
 }
@@ -152,6 +164,8 @@ pub struct MatchReport {
     pub order: Vec<usize>,
     /// DFS extension attempts.
     pub search_steps: u64,
+    /// DFS extension attempts rejected by `Check`.
+    pub search_backtracks: u64,
     /// True if the search hit its deadline.
     pub timed_out: bool,
 }
@@ -169,8 +183,19 @@ pub fn match_pattern(
     let mut report = MatchReport::default();
 
     // Phase 1: feasible mates + local pruning (lines 1–4 of Alg. 4.1).
+    // With a sink attached, the stats-collecting retrieval attributes
+    // every pruned candidate to signature vs. exact test; without one
+    // the branch-free kernel runs.
     let t0 = Instant::now();
-    let mut mates = feasible_mates_par(pattern, g, index, opts.pruning, opts.threads);
+    let (mut mates, retrieve_stats) = if opts.obs.is_some() {
+        let (m, s) = feasible_mates_stats_par(pattern, g, index, opts.pruning, opts.threads);
+        (m, Some(s))
+    } else {
+        (
+            feasible_mates_par(pattern, g, index, opts.pruning, opts.threads),
+            None,
+        )
+    };
     report.timings.retrieve = t0.elapsed();
     report.spaces.local_ln = search_space_ln(&mates);
     // Baseline space for ratio reporting: recompute only if a different
@@ -227,14 +252,50 @@ pub fn match_pattern(
         mappings,
         edge_bindings,
         steps,
+        backtracks,
         timed_out,
     } = search_indexed(pattern, g, Some(index), &mates, &report.order, &cfg);
     report.timings.search = t3.elapsed();
     report.mappings = mappings;
     report.edge_bindings = edge_bindings;
     report.search_steps = steps;
+    report.search_backtracks = backtracks;
     report.timed_out = timed_out;
+
+    if let Some(obs) = &opts.obs {
+        flush_obs(obs, &report, retrieve_stats.as_ref());
+    }
     report
+}
+
+/// Records one pipeline run's phase durations and logical counters into
+/// the registry. Counters aggregate across queries sharing the sink;
+/// all of them are deterministic for exhaustive runs at any thread
+/// count (capped/early-exit parallel runs may legitimately report more
+/// `search.steps`, as documented on [`SearchOutcome::steps`]).
+fn flush_obs(obs: &Obs, report: &MatchReport, retrieve: Option<&crate::feasible::RetrieveStats>) {
+    obs.add("match.queries", 1);
+    obs.record("match.retrieve", report.timings.retrieve);
+    obs.record("match.refine", report.timings.refine);
+    obs.record("match.order", report.timings.order);
+    obs.record("match.search", report.timings.search);
+    if let Some(r) = retrieve {
+        obs.add("retrieve.candidates", r.candidates);
+        obs.add("retrieve.sig_rejected", r.sig_rejected);
+        obs.add("retrieve.exact_rejected", r.exact_rejected);
+        obs.add("retrieve.kept", r.kept);
+    }
+    let rs = &report.refine_stats;
+    obs.add("refine.iterations", rs.iterations as u64);
+    obs.add("refine.bipartite_checks", rs.bipartite_checks);
+    obs.add("refine.removed", rs.removed);
+    for (l, &n) in rs.removed_per_level.iter().enumerate() {
+        obs.add(&format!("refine.removed.l{}", l + 1), n);
+    }
+    obs.add("search.steps", report.search_steps);
+    obs.add("search.backtracks", report.search_backtracks);
+    obs.add("search.matches", report.mappings.len() as u64);
+    obs.add("search.timeouts", u64::from(report.timed_out));
 }
 
 #[cfg(test)]
@@ -305,6 +366,51 @@ mod tests {
         // Subgraph pruning of a clique pattern collapses the space to the
         // answer itself: ratio log10(1/8).
         assert!((rep.spaces.local_ratio_log10() - (1f64 / 8f64).log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn obs_sink_records_pipeline_counters_without_changing_results() {
+        let (g, _) = figure_4_16_graph();
+        let p = Pattern::structural(figure_4_16_pattern());
+        let idx = GraphIndex::build_with_profiles(&g, 1);
+        let plain = match_pattern(&p, &g, &idx, &MatchOptions::optimized());
+        let obs = Obs::new();
+        let opts = MatchOptions {
+            obs: Some(Arc::clone(&obs)),
+            ..MatchOptions::optimized()
+        };
+        let profiled = match_pattern(&p, &g, &idx, &opts);
+        assert_eq!(profiled.mappings, plain.mappings);
+        assert_eq!(profiled.edge_bindings, plain.edge_bindings);
+        assert_eq!(profiled.search_steps, plain.search_steps);
+
+        let rep = obs.report();
+        assert_eq!(rep.counter("match.queries"), Some(1));
+        assert_eq!(rep.counter("search.matches"), Some(1));
+        assert_eq!(rep.counter("search.steps"), Some(plain.search_steps));
+        assert_eq!(rep.counter("search.timeouts"), Some(0));
+        // Figure 4.17 bottom row: profile pruning keeps {A1}×{B1,B2}×{C2}.
+        assert_eq!(rep.counter("retrieve.kept"), Some(4));
+        let cands = rep.counter("retrieve.candidates").unwrap();
+        assert_eq!(
+            cands,
+            rep.counter("retrieve.sig_rejected").unwrap()
+                + rep.counter("retrieve.exact_rejected").unwrap()
+                + rep.counter("retrieve.kept").unwrap()
+        );
+        assert_eq!(
+            rep.counter("refine.removed"),
+            Some(profiled.refine_stats.removed)
+        );
+        // Phase durations were recorded once each.
+        for phase in [
+            "match.retrieve",
+            "match.refine",
+            "match.order",
+            "match.search",
+        ] {
+            assert_eq!(rep.phase(phase).map(|p| p.count), Some(1), "{phase}");
+        }
     }
 
     #[test]

@@ -35,7 +35,7 @@ use gql_core::{EdgeId, Graph, NodeId};
 use rustc_hash::{FxHashMap, FxHashSet};
 
 /// Counters reported by a refinement run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RefineStats {
     /// Levels actually performed (≤ requested level).
     pub iterations: usize,
@@ -43,6 +43,10 @@ pub struct RefineStats {
     pub bipartite_checks: u64,
     /// Candidate pairs removed from the search space.
     pub removed: u64,
+    /// Pairs removed at each performed level, `removed_per_level[l]`
+    /// being level `l+1`'s removals (sums to `removed`; a trailing
+    /// stable level that removed nothing still records a `0`).
+    pub removed_per_level: Vec<u64>,
 }
 
 /// Dense bitset over data-node ids.
@@ -216,6 +220,7 @@ pub fn refine_search_space_par(
         } else {
             check_level_parallel(pattern, g, &feasible, &worklist, workers, n)
         };
+        stats.removed_per_level.push(removals.len() as u64);
         if removals.is_empty() {
             break; // space stable: further levels cannot change it
         }
@@ -350,6 +355,7 @@ pub fn refine_search_space_reference(
             }
             // else: unmarked (lines 10–11) — pair was drained already.
         }
+        stats.removed_per_level.push(removals.len() as u64);
         if removals.is_empty() {
             break; // space stable: further levels cannot change it
         }

@@ -94,9 +94,19 @@ pub struct SearchOutcome {
     /// every worker, so early-exit runs may report more steps than a
     /// sequential run that stopped at the same match.
     pub steps: u64,
+    /// Extension attempts rejected by `Check` (the search backtracked
+    /// without descending). Aggregated like `steps`.
+    pub backtracks: u64,
     /// True if the deadline fired before the space was exhausted.
     pub timed_out: bool,
 }
+
+/// Poll the stop flag / deadline after this much work. Work counts both
+/// candidate considerations (including injectivity skips, which the old
+/// step counter missed) and per-incident-edge probes inside `Check`, so
+/// a high-fan-out `Check` loop cannot run far past its budget between
+/// polls.
+const POLL_INTERVAL: u64 = 256;
 
 /// Per-pattern-edge check, precomputed once per search when a
 /// [`GraphIndex`] is available.
@@ -176,9 +186,34 @@ struct Ctx<'a> {
     stop: Option<&'a AtomicBool>,
 }
 
+/// Abort checks shared by the sequential and parallel paths: the
+/// cross-worker stop flag, then the wall-clock deadline. A worker that
+/// observes the deadline first raises the stop flag itself, so its
+/// siblings abort at their next poll instead of re-deriving the timeout.
+/// Returns true when the search must unwind.
+fn poll_abort(ctx: &Ctx<'_>, out: &mut SearchOutcome) -> bool {
+    if let Some(stop) = ctx.stop {
+        if stop.load(Ordering::Relaxed) {
+            return true;
+        }
+    }
+    if let Some(d) = ctx.deadline {
+        if Instant::now() >= d {
+            out.timed_out = true;
+            if let Some(stop) = ctx.stop {
+                stop.store(true, Ordering::Relaxed);
+            }
+            return true;
+        }
+    }
+    false
+}
+
 /// `Check(u_i, v)` (Algorithm 4.1 lines 19–26): every pattern edge
 /// from `u_i` to an already-assigned node must map to a data edge
-/// satisfying `F_e`. On success records the edge bindings.
+/// satisfying `F_e`. On success records the edge bindings. Each probed
+/// incident edge charges one unit to `work`.
+#[allow(clippy::too_many_arguments)]
 fn check(
     ctx: &Ctx<'_>,
     u: NodeId,
@@ -186,8 +221,10 @@ fn check(
     assign: &[Option<NodeId>],
     edge_bind: &mut [Option<EdgeId>],
     touched: &mut Vec<u32>,
+    work: &mut u64,
 ) -> bool {
     for &(w, pe) in ctx.pattern.incident(u) {
+        *work += 1;
         let Some(mapped) = assign[w.index()] else {
             continue;
         };
@@ -226,6 +263,7 @@ fn recurse(
     edge_bind: &mut Vec<Option<EdgeId>>,
     used: &mut Vec<bool>,
     out: &mut SearchOutcome,
+    work: &mut u64,
 ) -> bool {
     // Returns false to abort the whole search (limit/deadline/stop hit).
     if depth == ctx.order.len() {
@@ -248,25 +286,24 @@ fn recurse(
         &ctx.mates[u.index()]
     };
     for &v in cands {
+        // Charge every candidate considered — injectivity skips too, so
+        // a worker spinning over mostly-used candidates still reaches a
+        // poll (`out.steps` only counts real extension attempts and
+        // would starve the old modulo check).
+        *work += 1;
+        if *work >= POLL_INTERVAL {
+            *work = 0;
+            if poll_abort(ctx, out) {
+                return false;
+            }
+        }
         if used[v.index()] {
             continue; // injectivity: v is not free
         }
         out.steps += 1;
-        if out.steps.is_multiple_of(1024) {
-            if let Some(stop) = ctx.stop {
-                if stop.load(Ordering::Relaxed) {
-                    return false;
-                }
-            }
-            if let Some(d) = ctx.deadline {
-                if Instant::now() >= d {
-                    out.timed_out = true;
-                    return false;
-                }
-            }
-        }
         let mut touched: Vec<u32> = Vec::new();
-        if !check(ctx, u, v, assign, edge_bind, &mut touched) {
+        if !check(ctx, u, v, assign, edge_bind, &mut touched, work) {
+            out.backtracks += 1;
             for pe in touched {
                 edge_bind[pe as usize] = None;
             }
@@ -274,7 +311,7 @@ fn recurse(
         }
         assign[u.index()] = Some(v);
         used[v.index()] = true;
-        let keep_going = recurse(ctx, depth + 1, assign, edge_bind, used, out);
+        let keep_going = recurse(ctx, depth + 1, assign, edge_bind, used, out, work);
         assign[u.index()] = None;
         used[v.index()] = false;
         for pe in touched {
@@ -310,6 +347,12 @@ impl Scratch {
 /// final), false when aborted by the stop flag or the deadline.
 fn run_roots(ctx: &Ctx<'_>, scratch: &mut Scratch) -> (SearchOutcome, bool) {
     let mut out = SearchOutcome::default();
+    // Poll up front so an already-expired deadline (or raised stop flag)
+    // aborts before any work, however small the chunk.
+    if poll_abort(ctx, &mut out) {
+        return (out, false);
+    }
+    let mut work = 0u64;
     let finished = recurse(
         ctx,
         0,
@@ -317,6 +360,7 @@ fn run_roots(ctx: &Ctx<'_>, scratch: &mut Scratch) -> (SearchOutcome, bool) {
         &mut scratch.edge_bind,
         &mut scratch.used,
         &mut out,
+        &mut work,
     );
     let complete = finished || (!out.timed_out && out.mappings.len() >= ctx.take);
     (out, complete)
@@ -496,6 +540,7 @@ fn search_parallel(
             continue; // chunk never claimed (stop fired first)
         };
         merged.steps += o.steps;
+        merged.backtracks += o.backtracks;
         merged.timed_out |= o.timed_out;
         if merged.mappings.len() < take {
             merged.mappings.extend(o.mappings);
@@ -831,6 +876,42 @@ mod tests {
         let cfg = SearchConfig::default();
         let out = search_indexed(&p, &g, Some(&idx), &mates, &order, &cfg);
         assert_eq!(out.mappings.len(), 1);
+    }
+
+    /// Pre-fix, the deadline was polled only when `steps % 1024 == 0`,
+    /// `steps` did not count injectivity skips or `Check` edge probes,
+    /// and each root chunk restarted its counter — so a ~1ms budget on a
+    /// large clique could overshoot by orders of magnitude. The fixed
+    /// work-based cadence must return promptly at any thread count.
+    #[test]
+    fn tight_deadline_returns_promptly() {
+        use std::time::Duration;
+        // 24-clique / 12-node pattern: an exhaustive run is astronomically
+        // large (24P12 ≈ 1.3e15 embeddings), so finishing at all within
+        // the allowance proves the deadline fired, not exhaustion.
+        let g = labeled_clique(["A"; 24].as_slice());
+        let p = Pattern::structural(labeled_clique(["A"; 12].as_slice()));
+        let idx = GraphIndex::build(&g);
+        let mates = feasible_mates(&p, &g, &idx, LocalPruning::NodeAttributes);
+        let order: Vec<usize> = (0..p.node_count()).collect();
+        for threads in [1, 8] {
+            let cfg = SearchConfig {
+                deadline: Some(Instant::now() + Duration::from_millis(1)),
+                threads,
+                ..SearchConfig::default()
+            };
+            let started = Instant::now();
+            let out = search(&p, &g, &mates, &order, &cfg);
+            let elapsed = started.elapsed();
+            assert!(out.timed_out, "threads={threads}");
+            // Generous bound for slow CI machines; the pre-fix code blows
+            // way past it (the 1024-step stride alone visits millions of
+            // edge probes between polls on this workload).
+            assert!(
+                elapsed < Duration::from_millis(250),
+                "threads={threads}: deadline overshot, took {elapsed:?}"
+            );
+        }
     }
 
     #[test]

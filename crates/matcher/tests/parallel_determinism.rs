@@ -142,6 +142,42 @@ fn deadline_propagates_across_workers() {
 }
 
 #[test]
+fn profiled_counters_are_identical_across_thread_counts() {
+    // The obs sink records logical pipeline quantities (candidates,
+    // rejections, refinement removals, search steps), not timings, so
+    // an exhaustive run must produce byte-identical counter tables at
+    // any thread count. Histogram (phase) *durations* are wall-clock
+    // and excluded; their counts are still deterministic.
+    let g = erdos_renyi(&ErConfig::paper_default(600, 0xD5EED));
+    let queries = subgraph_queries(&g, 5, 4, 0xD5EED ^ 2);
+    let profile = |threads: usize| {
+        let obs = gql_core::Obs::new();
+        let opts = MatchOptions {
+            obs: Some(obs.clone()),
+            ..MatchOptions::optimized()
+        };
+        for q in &queries {
+            let p = Pattern::structural(q.clone());
+            run(&p, &g, &opts, threads);
+        }
+        let report = obs.report();
+        let phase_counts: Vec<(String, u64)> = report
+            .phases
+            .iter()
+            .map(|(name, p)| (name.clone(), p.count))
+            .collect();
+        (report.counters, phase_counts)
+    };
+    let seq = profile(1);
+    assert!(!seq.0.is_empty(), "counters were recorded");
+    for threads in THREADS {
+        let par = profile(threads);
+        assert_eq!(par.0, seq.0, "counters, threads={threads}");
+        assert_eq!(par.1, seq.1, "phase counts, threads={threads}");
+    }
+}
+
+#[test]
 fn raw_search_layer_is_deterministic() {
     // Exercise `search` directly (bypassing match_pattern) so chunking
     // edge cases — more workers than roots, one root, empty mates —

@@ -19,6 +19,11 @@ cargo test -q --workspace
 echo "==> interned-kernel equivalence suite"
 cargo test -q -p gql-match --test interned_equivalence
 
+echo "==> profile smoke (gql run --profile on the bundled example)"
+cargo run --release -q -p gql-cli -- run examples/gql/coauthors.gql \
+    --data DBLP=examples/gql/dblp_sample.gql --profile \
+    | grep -q "match.search" || { echo "profile output missing phases"; exit 1; }
+
 echo "==> cargo bench --no-run (benches must compile)"
 cargo bench --no-run -p gql-bench
 

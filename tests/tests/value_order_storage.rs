@@ -1,0 +1,177 @@
+//! Property tests for the `Value` order axioms (including the exact
+//! Int↔Float comparison across the 2^53 precision boundary) and
+//! robustness of the binary storage codec against truncated, bit-flipped,
+//! and arbitrary input — decoding must return `StorageError`, never
+//! panic.
+
+use gql_core::{decode_collection, decode_graph, encode_collection, encode_graph};
+use gql_core::{Graph, Tuple, Value};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+/// Values spanning every variant, biased toward the hard cases: integers
+/// beyond 2^53 (where `as f64` loses precision), floats that are exact
+/// integer images, fractions, and infinities.
+fn value_strategy() -> BoxedStrategy<Value> {
+    let hard_ints = proptest::sample::select(vec![
+        i64::MIN,
+        i64::MIN + 1,
+        -(1 << 53) - 1,
+        -(1 << 53),
+        -1,
+        0,
+        1,
+        (1 << 53),
+        (1 << 53) + 1,
+        i64::MAX - 1,
+        i64::MAX,
+    ]);
+    let hard_floats = proptest::sample::select(vec![
+        f64::NEG_INFINITY,
+        i64::MIN as f64,
+        -9.007_199_254_740_993e15,
+        -0.5,
+        -0.0,
+        0.0,
+        0.5,
+        9.007_199_254_740_993e15,
+        i64::MAX as f64,
+        1e300,
+        f64::INFINITY,
+    ]);
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        hard_ints.prop_map(Value::Int),
+        (-1e19f64..1e19).prop_map(Value::Float),
+        any::<i64>().prop_map(|i| Value::Float(i as f64)),
+        hard_floats.prop_map(Value::Float),
+        "[a-c]{0,3}".prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+    .boxed()
+}
+
+fn hash_of(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+fn le(a: &Value, b: &Value) -> bool {
+    matches!(a.compare(b), Some(Ordering::Less | Ordering::Equal))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `compare` is a partial order consistent with `Eq` and `Hash`:
+    /// reflexive, antisymmetric (with exact Int↔Float equality), and
+    /// its two orientations always agree.
+    #[test]
+    fn value_compare_is_reflexive_and_antisymmetric(
+        a in value_strategy(),
+        b in value_strategy(),
+    ) {
+        prop_assert_eq!(a.compare(&a), Some(Ordering::Equal), "{:?}", a);
+        // compare(a,b) and compare(b,a) are mirror images (or both None).
+        prop_assert_eq!(a.compare(&b), b.compare(&a).map(Ordering::reverse),
+            "{:?} vs {:?}", a, b);
+        // Antisymmetry: mutual ≤ means Equal, and equal values must hash
+        // identically (mixed Int/Float pairs included — the lossy
+        // `as f64` comparison violated this for large integers).
+        if le(&a, &b) && le(&b, &a) {
+            prop_assert_eq!(a.compare(&b), Some(Ordering::Equal));
+            prop_assert_eq!(hash_of(&a), hash_of(&b), "{:?} vs {:?}", a, b);
+        }
+    }
+
+    /// Transitivity across all variant mixes: a ≤ b ≤ c implies a ≤ c.
+    /// The pre-fix rounding in Int↔Float comparison broke this around
+    /// the 2^53 boundary (e.g. Int(2^53) vs Float(2^53) vs Int(2^53+1)).
+    #[test]
+    fn value_compare_is_transitive(
+        a in value_strategy(),
+        b in value_strategy(),
+        c in value_strategy(),
+    ) {
+        if le(&a, &b) && le(&b, &c) {
+            prop_assert!(le(&a, &c), "{:?} ≤ {:?} ≤ {:?} but not {:?} ≤ {:?}",
+                a, b, c, a, c);
+        }
+        if a.compare(&b) == Some(Ordering::Equal) {
+            // Equal values are interchangeable in any comparison.
+            prop_assert_eq!(a.compare(&c), b.compare(&c),
+                "{:?} == {:?} but they order {:?} differently", a, b, c);
+        }
+    }
+
+    /// Arbitrary byte soup never panics the decoder.
+    #[test]
+    fn decode_arbitrary_bytes_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = decode_graph(&bytes);
+        let _ = decode_collection(&bytes);
+    }
+}
+
+/// A graph exercising every tuple tag the codec has: named/unnamed
+/// nodes, all four `Value` variants, and edge attributes.
+fn rich_graph() -> Graph {
+    let mut g = Graph::named("rich");
+    let mut attrs = Tuple::new();
+    attrs.set("i", Value::Int(i64::MIN));
+    attrs.set("f", Value::Float(-0.5));
+    attrs.set("s", Value::Str("αβ\"\\".into()));
+    attrs.set("b", Value::Bool(true));
+    let a = g.add_named_node("a", attrs.clone());
+    let b = g.add_node(Tuple::new());
+    let c = g.add_labeled_node("C");
+    g.add_edge(a, b, attrs).unwrap();
+    g.add_edge(b, c, Tuple::new()).unwrap();
+    g
+}
+
+#[test]
+fn decode_rejects_every_truncation_without_panicking() {
+    let bytes = encode_graph(&rich_graph());
+    assert!(decode_graph(&bytes).is_ok(), "sanity: full buffer decodes");
+    for len in 0..bytes.len() {
+        assert!(
+            decode_graph(&bytes[..len]).is_err(),
+            "truncation to {len} bytes must fail"
+        );
+    }
+}
+
+#[test]
+fn decode_rejects_every_single_bit_flip() {
+    // The frame is checksummed, so any single-bit corruption — header,
+    // body, or the CRC itself — must surface as an error.
+    let bytes = encode_graph(&rich_graph());
+    for i in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut buf = bytes.clone();
+            buf[i] ^= 1 << bit;
+            assert!(
+                decode_graph(&buf).is_err(),
+                "flipping bit {bit} of byte {i} must fail"
+            );
+        }
+    }
+}
+
+#[test]
+fn collection_stream_truncations_never_panic() {
+    let g = rich_graph();
+    let bytes = encode_collection([&g, &g]);
+    assert_eq!(decode_collection(&bytes).unwrap().len(), 2);
+    for len in 0..bytes.len() {
+        // A cut at a frame boundary legitimately yields a shorter
+        // stream; anything else must error. Either way: no panic.
+        if let Ok(graphs) = decode_collection(&bytes[..len]) {
+            assert!(graphs.len() < 2, "truncation to {len} kept both frames");
+        }
+    }
+}
