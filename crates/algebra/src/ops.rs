@@ -7,7 +7,7 @@ use crate::matched::MatchedGraph;
 use crate::template::{instantiate, TemplateEnv};
 use gql_core::iso::graph_isomorphic;
 use gql_core::{Graph, GraphCollection};
-use gql_match::{match_pattern, GraphIndex, MatchOptions};
+use gql_match::{match_pattern, GraphIndex, IndexOptions, MatchOptions};
 use gql_parser::ast::GraphTemplateAst;
 use std::sync::Arc;
 
@@ -50,12 +50,15 @@ pub fn build_collection_indexes(
     // Several graphs: one single-threaded build per worker; a singleton
     // collection spends the whole budget inside one parallel build.
     let inner_threads = if workers > 1 { 1 } else { opts.threads };
+    let index_opts = IndexOptions {
+        radius: 1,
+        profiles: true,
+        subgraphs: false,
+        threads: inner_threads,
+        csr: opts.csr,
+    };
     let indexes = gql_core::par_map_index(graphs.len(), workers, |i| {
-        Arc::new(GraphIndex::build_with_profiles_par(
-            graphs[i],
-            1,
-            inner_threads,
-        ))
+        Arc::new(GraphIndex::build_with(graphs[i], &index_opts))
     });
     if let Some(obs) = &opts.obs {
         obs.add("index.builds", indexes.len() as u64);

@@ -1,0 +1,141 @@
+//! Microbenchmarks of the CSR adjacency snapshot: raw neighbor scans
+//! and edge probes against the `Vec`-adjacency `Graph`, plus the
+//! end-to-end optimized pipeline over a CSR-carrying index vs one
+//! without the snapshot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gql_core::{CsrGraph, Graph, LabelInterner, NodeId, NO_LABEL};
+use gql_datagen::{erdos_renyi, subgraph_queries, ErConfig};
+use gql_match::{match_pattern, GraphIndex, IndexOptions, MatchOptions, Pattern};
+
+fn data_graph() -> Graph {
+    erdos_renyi(&ErConfig::paper_default(5_000, 0xC5A))
+}
+
+fn label_table(g: &Graph) -> Vec<u32> {
+    let mut interner = LabelInterner::new();
+    g.node_ids()
+        .map(|v| match g.node_label(v) {
+            Some(l) => interner.intern(l),
+            None => NO_LABEL,
+        })
+        .collect()
+}
+
+/// Full sweep over every adjacency row: `Vec<Vec>` pointer chases vs
+/// one contiguous CSR entry slab.
+fn bench_neighbor_scan(c: &mut Criterion) {
+    let g = data_graph();
+    let labels = label_table(&g);
+    let csr = CsrGraph::build(&g, &labels, 1);
+    let mut group = c.benchmark_group("neighbor_scan");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("vec_adjacency", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in g.node_ids() {
+                for &(w, _) in g.neighbors(v) {
+                    acc = acc.wrapping_add(w.0 as u64);
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("csr", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in g.node_ids() {
+                for e in csr.neighbors(v) {
+                    acc = acc.wrapping_add(e.node as u64);
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+/// Edge-existence probes over a fixed pseudo-random pair set: hash-map
+/// lookup vs binary search in the label-sorted CSR row.
+fn bench_edge_probes(c: &mut Criterion) {
+    let g = data_graph();
+    let labels = label_table(&g);
+    let csr = CsrGraph::build(&g, &labels, 1);
+    let n = g.node_count() as u64;
+    let pairs: Vec<(NodeId, NodeId)> = (0..10_000u64)
+        .map(|i| {
+            let h = i.wrapping_mul(0x9E3779B97F4A7C15);
+            (NodeId((h % n) as u32), NodeId(((h >> 32) % n) as u32))
+        })
+        .collect();
+    let mut group = c.benchmark_group("edge_probes");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("hash", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|&&(a, v)| g.edge_between(a, v).is_some())
+                .count()
+        })
+    });
+    group.bench_function("csr_binary_search", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|&&(a, v)| csr.edge_between(a, v).is_some())
+                .count()
+        })
+    });
+    group.finish();
+}
+
+/// End-to-end optimized match over the same graph with the snapshot
+/// attached vs absent — the headline number recorded in
+/// `BENCH_csr.json`.
+fn bench_end_to_end_match(c: &mut Criterion) {
+    let g = data_graph();
+    let queries = subgraph_queries(&g, 8, 4, 0x4EF);
+    let patterns: Vec<Pattern> = queries
+        .iter()
+        .map(|q| Pattern::structural(q.clone()))
+        .collect();
+    let build = |csr| {
+        GraphIndex::build_with(
+            &g,
+            &IndexOptions {
+                radius: 1,
+                profiles: true,
+                subgraphs: false,
+                threads: 1,
+                csr,
+            },
+        )
+    };
+    let mut opts = MatchOptions::optimized();
+    opts.max_matches = 1000;
+    let mut group = c.benchmark_group("end_to_end_match");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, csr) in [("vec_adjacency", false), ("csr", true)] {
+        let index = build(csr);
+        group.bench_with_input(BenchmarkId::new(name, "subgraph8"), &index, |b, index| {
+            b.iter(|| {
+                patterns
+                    .iter()
+                    .map(|p| match_pattern(p, &g, index, &opts).mappings.len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_neighbor_scan,
+    bench_edge_probes,
+    bench_end_to_end_match
+);
+criterion_main!(benches);

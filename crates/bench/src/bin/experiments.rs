@@ -14,13 +14,15 @@
 //! `BENCH_refine.json`. `refine` runs only the latter comparison.
 //! `profile` times the optimized pipeline with the observability sink
 //! disabled vs enabled and writes the captured per-phase report to
-//! `BENCH_profile.json`.
+//! `BENCH_profile.json`. `csr` compares the full optimized pipeline
+//! over a CSR-carrying index vs a `Vec`-adjacency one and writes
+//! `BENCH_csr.json`.
 
 use gql_bench::experiments::{
-    bench_parallel, bench_profile, bench_refine, fig4_20, fig4_21, fig4_22, fig4_23a, fig4_23b,
-    parallel_bench_json, print_parallel_rows, print_profile_result, print_refine_rows,
-    print_space_rows, print_step_rows, print_total_rows, profile_bench_json, refine_bench_json,
-    Scale,
+    bench_csr, bench_parallel, bench_profile, bench_refine, csr_bench_json, fig4_20, fig4_21,
+    fig4_22, fig4_23a, fig4_23b, parallel_bench_json, print_csr_rows, print_parallel_rows,
+    print_profile_result, print_refine_rows, print_space_rows, print_step_rows, print_total_rows,
+    profile_bench_json, refine_bench_json, Scale,
 };
 
 fn main() {
@@ -116,6 +118,19 @@ fn main() {
             Err(e) => eprintln!("# could not write {path}: {e}"),
         }
     };
+    let run_csr = || {
+        let rows = bench_csr(scale, threads);
+        print_csr_rows(
+            "CSR kernels — Vec-adjacency vs CSR snapshot, optimized pipeline",
+            &rows,
+        );
+        let json = csr_bench_json(scale, threads, &rows);
+        let path = "BENCH_csr.json";
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("# wrote {path}"),
+            Err(e) => eprintln!("# could not write {path}: {e}"),
+        }
+    };
     let run_smoke = || {
         let rows = bench_parallel(scale, threads);
         print_parallel_rows(
@@ -138,6 +153,7 @@ fn main() {
         "fig4_23" => run_23(),
         "refine" => run_refine(),
         "profile" => run_profile(),
+        "csr" => run_csr(),
         "smoke" => run_smoke(),
         "all" => {
             run_20();
@@ -148,7 +164,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment {other:?}; use fig4_20|fig4_21|fig4_22|fig4_23|refine|profile|smoke|all"
+                "unknown experiment {other:?}; use fig4_20|fig4_21|fig4_22|fig4_23|refine|profile|csr|smoke|all"
             );
             std::process::exit(2);
         }

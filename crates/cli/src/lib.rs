@@ -14,7 +14,7 @@
 use gql_algebra::compile_pattern_text;
 use gql_core::GraphCollection;
 use gql_engine::{collection_from_text, Database};
-use gql_match::{match_pattern, GraphIndex, MatchOptions};
+use gql_match::{match_pattern, GraphIndex, IndexOptions, MatchOptions};
 use gql_relational::{graph_to_database, pattern_to_sql, ExecLimits};
 use std::fmt::Write as _;
 
@@ -59,7 +59,7 @@ pub enum ProfileFormat {
 #[derive(Debug, PartialEq)]
 pub enum Command {
     /// `gql run <program> [--data NAME=PATH]... [--threads N]
-    /// [--profile[=json]]`
+    /// [--profile[=json]] [--no-csr]`
     Run {
         /// Program file path.
         program: String,
@@ -69,9 +69,12 @@ pub enum Command {
         threads: usize,
         /// Print a pipeline profile after execution.
         profile: Option<ProfileFormat>,
+        /// Attach the CSR adjacency snapshot to built indexes
+        /// (`--no-csr` turns it off; results are identical).
+        csr: bool,
     },
     /// `gql match --graph PATH --pattern PATH [--baseline] [--first]
-    /// [--threads N]`
+    /// [--threads N] [--no-csr]`
     Match {
         /// Data graph file.
         graph: String,
@@ -84,6 +87,9 @@ pub enum Command {
         /// Worker threads for index build and search (0 = available
         /// cores).
         threads: usize,
+        /// Attach the CSR adjacency snapshot to the index (`--no-csr`
+        /// turns it off; results are identical).
+        csr: bool,
     },
     /// `gql sql --graph PATH --pattern PATH`
     Sql {
@@ -101,8 +107,8 @@ pub const USAGE: &str = "\
 gql — Graphs-at-a-time query language (He & Singh, SIGMOD 2008)
 
 USAGE:
-    gql run <program.gql> [--data NAME=PATH]... [--threads N] [--profile[=json]]
-    gql match --graph <data.gql> --pattern <pattern.gql> [--baseline] [--first] [--threads N]
+    gql run <program.gql> [--data NAME=PATH]... [--threads N] [--profile[=json]] [--no-csr]
+    gql match --graph <data.gql> --pattern <pattern.gql> [--baseline] [--first] [--threads N] [--no-csr]
     gql sql   --graph <data.gql> --pattern <pattern.gql>
     gql help
 
@@ -112,6 +118,11 @@ available core; default 1). Results are identical for any setting.
 `--profile` appends a per-phase breakdown of the pipeline (retrieval,
 refinement, search, operator timings) after the results; `--profile=json`
 emits the same report as JSON.
+
+`--no-csr` skips the CSR adjacency snapshot when building graph indexes,
+dropping search/refinement/profile construction back to the plain
+adjacency-list kernels. Results are identical; the flag exists to
+compare performance and as an escape hatch.
 ";
 
 fn parse_threads(it: &mut std::slice::Iter<'_, String>) -> Result<usize> {
@@ -132,8 +143,11 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             let mut data = Vec::new();
             let mut threads = 1;
             let mut profile = None;
+            let mut csr = true;
             while let Some(a) = it.next() {
-                if a == "--profile" || a == "--profile=text" {
+                if a == "--no-csr" {
+                    csr = false;
+                } else if a == "--profile" || a == "--profile=text" {
                     profile = Some(ProfileFormat::Text);
                 } else if a == "--profile=json" {
                     profile = Some(ProfileFormat::Json);
@@ -160,6 +174,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 data,
                 threads,
                 profile,
+                csr,
             })
         }
         Some(cmd @ ("match" | "sql")) => {
@@ -168,6 +183,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             let mut baseline = false;
             let mut first = false;
             let mut threads = 1;
+            let mut csr = true;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--graph" => graph = it.next().cloned(),
@@ -175,6 +191,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                     "--baseline" => baseline = true,
                     "--first" => first = true,
                     "--threads" => threads = parse_threads(&mut it)?,
+                    "--no-csr" => csr = false,
                     other => return Err(CliError::usage(format!("unexpected argument {other:?}"))),
                 }
             }
@@ -187,6 +204,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                     baseline,
                     first,
                     threads,
+                    csr,
                 })
             } else {
                 Ok(Command::Sql { graph, pattern })
@@ -214,8 +232,9 @@ pub fn execute(cmd: Command) -> Result<String> {
             data,
             threads,
             profile,
+            csr,
         } => {
-            let mut db = Database::new().with_threads(threads);
+            let mut db = Database::new().with_threads(threads).with_csr(csr);
             if profile.is_some() {
                 db.enable_profiling();
             }
@@ -268,11 +287,21 @@ pub fn execute(cmd: Command) -> Result<String> {
             baseline,
             first,
             threads,
+            csr,
         } => {
             let g = load_graph(&graph)?;
             let p = compile_pattern_text(&read(&pattern)?)
                 .map_err(|e| CliError::run(format!("{pattern}: {e}")))?;
-            let index = GraphIndex::build_with_profiles_par(&g, 1, threads);
+            let index = GraphIndex::build_with(
+                &g,
+                &IndexOptions {
+                    radius: 1,
+                    profiles: true,
+                    subgraphs: false,
+                    threads,
+                    csr,
+                },
+            );
             let mut opts = if baseline {
                 MatchOptions::baseline()
             } else {
@@ -280,6 +309,7 @@ pub fn execute(cmd: Command) -> Result<String> {
             };
             opts.exhaustive = !first;
             opts.threads = threads;
+            opts.csr = csr;
             let rep = match_pattern(&p.pattern, &g, &index, &opts);
             let _ = writeln!(out, "matches: {}", rep.mappings.len());
             let fmt_space = |ln: f64| {
@@ -348,8 +378,25 @@ mod tests {
                 data: vec![("DBLP".into(), "d.gql".into())],
                 threads: 1,
                 profile: None,
+                csr: true,
             }
         );
+        assert!(matches!(
+            parse_args(&args(&["run", "p.gql", "--no-csr"])).unwrap(),
+            Command::Run { csr: false, .. }
+        ));
+        assert!(matches!(
+            parse_args(&args(&[
+                "match",
+                "--graph",
+                "g",
+                "--pattern",
+                "p",
+                "--no-csr"
+            ]))
+            .unwrap(),
+            Command::Match { csr: false, .. }
+        ));
         assert!(matches!(
             parse_args(&args(&["run", "p.gql", "--profile"])).unwrap(),
             Command::Run {
@@ -379,6 +426,7 @@ mod tests {
                 first: true,
                 baseline: false,
                 threads: 1,
+                csr: true,
                 ..
             }
         ));
@@ -427,16 +475,23 @@ mod tests {
             r#"graph P { node x <label="A">; node y <label="B">; edge e (x, y); }"#,
         )
         .unwrap();
-        let out = execute(Command::Match {
-            graph: gpath.to_string_lossy().into_owned(),
-            pattern: ppath.to_string_lossy().into_owned(),
-            baseline: false,
-            first: false,
-            threads: 2,
-        })
-        .unwrap();
+        let run_match = |csr| {
+            execute(Command::Match {
+                graph: gpath.to_string_lossy().into_owned(),
+                pattern: ppath.to_string_lossy().into_owned(),
+                baseline: false,
+                first: false,
+                threads: 2,
+                csr,
+            })
+            .unwrap()
+        };
+        let out = run_match(true);
         assert!(out.contains("matches: 1"), "{out}");
         assert!(out.contains("a1"), "{out}");
+        // --no-csr must produce the same match output.
+        let no_csr = run_match(false);
+        assert!(no_csr.contains("matches: 1"), "{no_csr}");
 
         let sql_out = execute(Command::Sql {
             graph: gpath.to_string_lossy().into_owned(),
@@ -473,6 +528,7 @@ mod tests {
             data: vec![("DBLP".into(), data.to_string_lossy().into_owned())],
             threads: 2,
             profile: None,
+            csr: true,
         })
         .unwrap();
         assert!(out.contains("loaded DBLP: 2 graph(s)"), "{out}");
@@ -486,6 +542,7 @@ mod tests {
                 data: vec![("DBLP".into(), data.to_string_lossy().into_owned())],
                 threads: 2,
                 profile,
+                csr: true,
             })
             .unwrap()
         };
@@ -506,6 +563,7 @@ mod tests {
             data: vec![],
             threads: 1,
             profile: None,
+            csr: true,
         })
         .unwrap_err();
         assert_eq!(err.code, 1);

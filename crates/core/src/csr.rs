@@ -1,0 +1,493 @@
+//! Read-only CSR (compressed sparse row) adjacency snapshot.
+//!
+//! The paper's §4 access methods — feasible-mate retrieval, profile
+//! pruning, pseudo-isomorphism refinement, and the DFS search — are all
+//! adjacency-bound, but [`Graph`] stores adjacency as
+//! `Vec<Vec<(NodeId, EdgeId)>>`: one heap allocation per node and a
+//! pointer chase per neighbor visit. A [`CsrGraph`] is a flat,
+//! cache-contiguous view of the same graph: a single `offsets` array
+//! plus a single entry array per direction (out, in, and combined),
+//! with the neighbor's interned label id co-located in each entry so a
+//! neighbor visit touches one cache line instead of three structures.
+//!
+//! Within each node's slice, entries are sorted by `(label id, node id,
+//! edge id)`. That ordering enables two kernels the `Vec`-of-`Vec`
+//! layout cannot offer:
+//!
+//! - **binary-search edge probes** ([`CsrGraph::edge_between`]) replace
+//!   the hash-map probe of [`Graph::edge_between`], and
+//! - **label-range lookups** ([`CsrGraph::neighbors_with_label`])
+//!   return the sub-slice of neighbors carrying one label without
+//!   scanning the rest.
+//!
+//! The snapshot is immutable: it is built once per [`Graph`] (in
+//! parallel, using the same contiguous-chunk splitting as
+//! [`crate::par`]) and shared read-only by every pipeline phase.
+//! Mutating the source graph invalidates the snapshot; callers
+//! (the matcher's `GraphIndex`) rebuild it alongside the other
+//! per-graph indexes.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::intern::{IdProfile, NO_LABEL};
+use crate::par::resolve_threads;
+use std::collections::VecDeque;
+
+/// One adjacency entry: a neighbor plus the connecting edge, with the
+/// neighbor's interned node-label id co-located for cache-friendly
+/// label filtering ([`NO_LABEL`] when the neighbor is unlabeled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CsrEntry {
+    /// Interned label id of `node` ([`NO_LABEL`] if it has none).
+    pub label: u32,
+    /// Neighbor node id.
+    pub node: u32,
+    /// Id of the edge connecting the row's node to `node`.
+    pub edge: u32,
+}
+
+/// One direction of adjacency in CSR form: `offsets` has `n + 1`
+/// entries and node `v`'s neighbors live in
+/// `entries[offsets[v]..offsets[v + 1]]`, sorted by (label, node, edge).
+#[derive(Debug, Clone, Default)]
+struct Adjacency {
+    offsets: Vec<u32>,
+    entries: Vec<CsrEntry>,
+}
+
+impl Adjacency {
+    #[inline]
+    fn row(&self, v: usize) -> &[CsrEntry] {
+        &self.entries[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+}
+
+/// Builds one CSR direction. `degree_of` gives each node's row length;
+/// `fill` writes exactly that many entries into the row slice (rows are
+/// sorted afterwards). Rows are filled by up to `threads` scoped
+/// workers over contiguous node ranges; output is identical to a
+/// sequential build.
+fn build_adjacency<D, F>(n: usize, threads: usize, degree_of: D, fill: F) -> Adjacency
+where
+    D: Fn(usize) -> usize,
+    F: Fn(usize, &mut [CsrEntry]) + Sync,
+{
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut total = 0u32;
+    offsets.push(0);
+    for v in 0..n {
+        total += degree_of(v) as u32;
+        offsets.push(total);
+    }
+    let mut entries = vec![CsrEntry::default(); total as usize];
+    let fill_row = |v: usize, row: &mut [CsrEntry]| {
+        fill(v, row);
+        row.sort_unstable_by_key(|e| (e.label, e.node, e.edge));
+    };
+    let workers = resolve_threads(threads).min(n.max(1));
+    if workers <= 1 {
+        for v in 0..n {
+            let (a, b) = (offsets[v] as usize, offsets[v + 1] as usize);
+            fill_row(v, &mut entries[a..b]);
+        }
+    } else {
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|s| {
+            let mut rest = entries.as_mut_slice();
+            let mut consumed = 0usize;
+            for w in 0..workers {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                if lo >= hi {
+                    break;
+                }
+                let take = offsets[hi] as usize - consumed;
+                let (mine, tail) = rest.split_at_mut(take);
+                rest = tail;
+                consumed += take;
+                let offsets = &offsets;
+                let fill_row = &fill_row;
+                s.spawn(move || {
+                    let base = offsets[lo] as usize;
+                    for v in lo..hi {
+                        let a = offsets[v] as usize - base;
+                        let b = offsets[v + 1] as usize - base;
+                        fill_row(v, &mut mine[a..b]);
+                    }
+                });
+            }
+        });
+    }
+    Adjacency { offsets, entries }
+}
+
+/// Cache-contiguous read-only snapshot of a [`Graph`]'s adjacency with
+/// interned node-label ids, per-row sorted by (label, node) — see the
+/// module docs for the layout and the kernels it enables.
+#[derive(Debug, Clone, Default)]
+pub struct CsrGraph {
+    directed: bool,
+    /// Interned label id per node ([`NO_LABEL`] for unlabeled nodes).
+    node_labels: Vec<u32>,
+    out: Adjacency,
+    /// In-adjacency; only populated for directed graphs.
+    inc: Adjacency,
+    /// Combined out+in adjacency; only populated for directed graphs
+    /// (for undirected graphs `out` already lists every incident edge).
+    all: Adjacency,
+}
+
+impl CsrGraph {
+    /// Snapshots `g`'s adjacency. `node_labels[v]` must be the interned
+    /// label id of node `v` ([`NO_LABEL`] for unlabeled nodes) — the
+    /// matcher's `GraphIndex` supplies its own interner's table, so
+    /// entry labels line up with the ids its pruning kernels use. The
+    /// build parallelizes over contiguous node ranges with up to
+    /// `threads` workers (0 = one per core) and is deterministic at any
+    /// thread count.
+    pub fn build(g: &Graph, node_labels: &[u32], threads: usize) -> Self {
+        let n = g.node_count();
+        assert_eq!(node_labels.len(), n, "one label id per node required");
+        let entry = |w: NodeId, e: EdgeId| CsrEntry {
+            label: node_labels[w.index()],
+            node: w.0,
+            edge: e.0,
+        };
+        let out = build_adjacency(
+            n,
+            threads,
+            |v| g.degree(NodeId(v as u32)),
+            |v, row| {
+                for (slot, &(w, e)) in row.iter_mut().zip(g.neighbors(NodeId(v as u32))) {
+                    *slot = entry(w, e);
+                }
+            },
+        );
+        let (inc, all) = if g.is_directed() {
+            let inc = build_adjacency(
+                n,
+                threads,
+                |v| g.in_neighbors(NodeId(v as u32)).len(),
+                |v, row| {
+                    for (slot, &(w, e)) in row.iter_mut().zip(g.in_neighbors(NodeId(v as u32))) {
+                        *slot = entry(w, e);
+                    }
+                },
+            );
+            let all = build_adjacency(
+                n,
+                threads,
+                |v| g.incident_degree(NodeId(v as u32)),
+                |v, row| {
+                    for (slot, (w, e)) in row.iter_mut().zip(g.incident(NodeId(v as u32))) {
+                        *slot = entry(w, e);
+                    }
+                },
+            );
+            (inc, all)
+        } else {
+            (Adjacency::default(), Adjacency::default())
+        };
+        CsrGraph {
+            directed: g.is_directed(),
+            node_labels: node_labels.to_vec(),
+            out,
+            inc,
+            all,
+        }
+    }
+
+    /// True if the snapshotted graph was directed.
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Number of nodes in the snapshot.
+    pub fn node_count(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Interned label id of node `v` ([`NO_LABEL`] if unlabeled).
+    #[inline]
+    pub fn node_label(&self, v: NodeId) -> u32 {
+        self.node_labels[v.index()]
+    }
+
+    /// The per-node label-id table (indexed by node id).
+    pub fn node_labels(&self) -> &[u32] {
+        &self.node_labels
+    }
+
+    /// Out-neighbors of `v` (every neighbor for undirected graphs),
+    /// sorted by (label, node). Mirrors [`Graph::neighbors`].
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[CsrEntry] {
+        self.out.row(v.index())
+    }
+
+    /// In-neighbors of `v`, sorted by (label, node); empty for
+    /// undirected graphs. Mirrors [`Graph::in_neighbors`].
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[CsrEntry] {
+        if self.directed {
+            self.inc.row(v.index())
+        } else {
+            &[]
+        }
+    }
+
+    /// All edges incident to `v` (out then in for directed graphs,
+    /// merged into one sorted row). Mirrors [`Graph::incident`], but as
+    /// one contiguous slice instead of a chained iterator.
+    #[inline]
+    pub fn incident(&self, v: NodeId) -> &[CsrEntry] {
+        if self.directed {
+            self.all.row(v.index())
+        } else {
+            self.out.row(v.index())
+        }
+    }
+
+    /// Out-degree of `v`. Mirrors [`Graph::degree`].
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Total incident degree of `v`. Mirrors [`Graph::incident_degree`].
+    #[inline]
+    pub fn incident_degree(&self, v: NodeId) -> usize {
+        self.incident(v).len()
+    }
+
+    /// The edge from `a` to `b` if one exists — a binary search over a
+    /// sorted row keyed by `(label, node)`, replacing the hash probe of
+    /// [`Graph::edge_between`] with a cache-local lookup. Matches its
+    /// semantics exactly: for directed graphs only `a → b` counts; for
+    /// undirected graphs either endpoint order works.
+    ///
+    /// The same edge appears in `a`'s forward row and `b`'s reverse row
+    /// (in-row when directed, out-row otherwise), so the probe searches
+    /// whichever is shorter — on hub-heavy graphs most probes involve
+    /// one high-degree endpoint, and the other side's row is a fraction
+    /// of its length.
+    #[inline]
+    pub fn edge_between(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
+        let fwd = self.out.row(a.index());
+        let rev = if self.directed {
+            self.inc.row(b.index())
+        } else {
+            self.out.row(b.index())
+        };
+        let (row, target) = if rev.len() < fwd.len() {
+            (rev, a)
+        } else {
+            (fwd, b)
+        };
+        let key = (self.node_labels[target.index()], target.0);
+        let i = row.partition_point(|e| (e.label, e.node) < key);
+        match row.get(i) {
+            Some(e) if (e.label, e.node) == key => Some(EdgeId(e.edge)),
+            _ => None,
+        }
+    }
+
+    /// The sub-slice of `v`'s out-row whose neighbors carry label
+    /// `label` — two binary searches over the label-sorted row, no scan.
+    pub fn neighbors_with_label(&self, v: NodeId, label: u32) -> &[CsrEntry] {
+        Self::label_range(self.out.row(v.index()), label)
+    }
+
+    /// The sub-slice of `v`'s incident row whose neighbors carry label
+    /// `label` (same as [`Self::neighbors_with_label`] for undirected
+    /// graphs).
+    pub fn incident_with_label(&self, v: NodeId, label: u32) -> &[CsrEntry] {
+        Self::label_range(self.incident(v), label)
+    }
+
+    fn label_range(row: &[CsrEntry], label: u32) -> &[CsrEntry] {
+        let lo = row.partition_point(|e| e.label < label);
+        let hi = lo + row[lo..].partition_point(|e| e.label == label);
+        &row[lo..hi]
+    }
+
+    /// The radius-`radius` neighborhood profile of `v` as an interned
+    /// [`IdProfile`]: label ids of every node within `radius` hops
+    /// (following edges in either direction, center included; unlabeled
+    /// nodes contribute nothing). Equivalent to encoding
+    /// `Profile::of_neighborhood` through the same interner, but runs
+    /// as a flat BFS over CSR rows with no subgraph materialization and
+    /// no `Value` clones; `scratch` is reused across calls so steady
+    /// state allocates only the returned profile's id vector.
+    pub fn id_profile(&self, v: NodeId, radius: usize, scratch: &mut ProfileScratch) -> IdProfile {
+        const UNSEEN: u32 = u32::MAX;
+        let n = self.node_labels.len();
+        if scratch.dist.len() != n {
+            scratch.dist.clear();
+            scratch.dist.resize(n, UNSEEN);
+        }
+        scratch.queue.clear();
+        scratch.ids.clear();
+        let radius = radius.min(u32::MAX as usize - 1) as u32;
+        scratch.dist[v.index()] = 0;
+        scratch.touched.push(v.0);
+        scratch.queue.push_back(v.0);
+        while let Some(u) = scratch.queue.pop_front() {
+            let label = self.node_labels[u as usize];
+            if label != NO_LABEL {
+                scratch.ids.push(label);
+            }
+            let d = scratch.dist[u as usize];
+            if d == radius {
+                continue;
+            }
+            for e in self.incident(NodeId(u)) {
+                let w = e.node as usize;
+                if scratch.dist[w] == UNSEEN {
+                    scratch.dist[w] = d + 1;
+                    scratch.touched.push(e.node);
+                    scratch.queue.push_back(e.node);
+                }
+            }
+        }
+        for &t in &scratch.touched {
+            scratch.dist[t as usize] = UNSEEN;
+        }
+        scratch.touched.clear();
+        IdProfile::from_ids(scratch.ids.clone())
+    }
+}
+
+/// Reusable buffers for [`CsrGraph::id_profile`]: distance stamps,
+/// BFS queue, touched-node list, and the label-id accumulator. One
+/// scratch per worker thread; `new` allocates nothing until first use.
+#[derive(Debug, Default)]
+pub struct ProfileScratch {
+    dist: Vec<u32>,
+    queue: VecDeque<u32>,
+    touched: Vec<u32>,
+    ids: Vec<u32>,
+}
+
+impl ProfileScratch {
+    /// An empty scratch; buffers grow on first [`CsrGraph::id_profile`]
+    /// call and are reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure_4_16_graph;
+    use crate::graph::Graph;
+    use crate::intern::LabelInterner;
+    use crate::neighborhood::Profile;
+
+    fn label_table(g: &Graph) -> (LabelInterner, Vec<u32>) {
+        let mut interner = LabelInterner::new();
+        let labels = g
+            .node_ids()
+            .map(|v| match g.node_label(v) {
+                Some(l) => interner.intern(l),
+                None => NO_LABEL,
+            })
+            .collect();
+        (interner, labels)
+    }
+
+    #[test]
+    fn rows_match_vec_adjacency() {
+        let (g, _) = figure_4_16_graph();
+        let (_, labels) = label_table(&g);
+        for threads in [1, 2, 8] {
+            let csr = CsrGraph::build(&g, &labels, threads);
+            for v in g.node_ids() {
+                let mut expect: Vec<(u32, u32, u32)> = g
+                    .neighbors(v)
+                    .iter()
+                    .map(|&(w, e)| (labels[w.index()], w.0, e.0))
+                    .collect();
+                expect.sort_unstable();
+                let got: Vec<(u32, u32, u32)> = csr
+                    .neighbors(v)
+                    .iter()
+                    .map(|e| (e.label, e.node, e.edge))
+                    .collect();
+                assert_eq!(got, expect, "row of {v:?} with {threads} threads");
+                assert_eq!(csr.degree(v), g.degree(v));
+                assert!(csr.in_neighbors(v).is_empty(), "undirected has no in-rows");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_between_matches_graph() {
+        let (g, _) = figure_4_16_graph();
+        let (_, labels) = label_table(&g);
+        let csr = CsrGraph::build(&g, &labels, 1);
+        for a in g.node_ids() {
+            for b in g.node_ids() {
+                assert_eq!(csr.edge_between(a, b), g.edge_between(a, b), "{a:?}->{b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn directed_rows_and_probes() {
+        let mut g = Graph::new_directed();
+        let a = g.add_labeled_node("A");
+        let b = g.add_labeled_node("B");
+        let c = g.add_labeled_node("C");
+        g.add_edge(a, b, crate::Tuple::new()).unwrap();
+        g.add_edge(c, b, crate::Tuple::new()).unwrap();
+        g.add_edge(b, a, crate::Tuple::new()).unwrap();
+        let (_, labels) = label_table(&g);
+        let csr = CsrGraph::build(&g, &labels, 2);
+        assert_eq!(csr.degree(b), 1);
+        assert_eq!(csr.in_neighbors(b).len(), 2);
+        assert_eq!(csr.incident_degree(b), 3);
+        for x in g.node_ids() {
+            for y in g.node_ids() {
+                assert_eq!(csr.edge_between(x, y), g.edge_between(x, y), "{x:?}->{y:?}");
+            }
+        }
+        // b's incident row merges out {a} and in {a, c}, label-sorted.
+        let inc: Vec<u32> = csr.incident(b).iter().map(|e| e.node).collect();
+        assert_eq!(inc, vec![a.0, a.0, c.0]);
+    }
+
+    #[test]
+    fn label_ranges_filter_rows() {
+        let (g, ids) = figure_4_16_graph();
+        let (interner, labels) = label_table(&g);
+        let csr = CsrGraph::build(&g, &labels, 1);
+        let c_id = interner.lookup(&"C".into()).unwrap();
+        // B1's neighbors: A1, C1, C2 — the C-range holds the two Cs.
+        let cs: Vec<u32> = csr
+            .neighbors_with_label(ids[2], c_id)
+            .iter()
+            .map(|e| e.node)
+            .collect();
+        assert_eq!(cs, vec![ids[4].0, ids[5].0]);
+        assert!(csr.neighbors_with_label(ids[1], c_id).is_empty());
+        assert_eq!(csr.neighbors_with_label(ids[0], u32::MAX - 2), &[]);
+    }
+
+    #[test]
+    fn id_profiles_match_value_profiles() {
+        let (g, _) = figure_4_16_graph();
+        let (interner, labels) = label_table(&g);
+        let csr = CsrGraph::build(&g, &labels, 1);
+        let mut scratch = ProfileScratch::new();
+        for radius in 0..3 {
+            for v in g.node_ids() {
+                let fast = csr.id_profile(v, radius, &mut scratch);
+                let slow = interner
+                    .encode_profile(&Profile::of_neighborhood(&g, v, radius))
+                    .unwrap();
+                assert_eq!(fast, slow, "node {v:?} radius {radius}");
+            }
+        }
+    }
+}

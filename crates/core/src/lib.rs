@@ -18,6 +18,8 @@
 //! - [`stats`]: label frequencies feeding the §4.4 cost model;
 //! - [`builder`]: union-find node unification backing the composition
 //!   operator's `unify` semantics (§2.1, §3.4);
+//! - [`csr`]: the read-only cache-contiguous CSR adjacency snapshot the
+//!   matcher's search/refine/profile kernels run on;
 //! - [`par`]: std-only order-preserving parallel map helpers used by the
 //!   matcher's multi-threaded execution layer;
 //! - [`obs`]: the zero-dependency metrics registry (counters, phase
@@ -37,6 +39,7 @@
 
 pub mod builder;
 pub mod collection;
+pub mod csr;
 pub mod error;
 pub mod fixtures;
 pub mod graph;
@@ -54,6 +57,7 @@ pub mod value;
 
 pub use builder::{unify_nodes, unify_nodes_full, UnifyResult, UnionFind};
 pub use collection::GraphCollection;
+pub use csr::{CsrEntry, CsrGraph, ProfileScratch};
 pub use error::{CoreError, Result};
 pub use graph::{Edge, EdgeId, Graph, Node, NodeId};
 pub use intern::{IdProfile, LabelInterner, IMPOSSIBLE_LABEL, NO_LABEL};
@@ -61,7 +65,7 @@ pub use io::{EdgeData, GraphData, NodeData};
 pub use neighborhood::{neighborhood_subgraph, NeighborhoodSubgraph, Profile};
 pub use obs::{Obs, ObsReport, PhaseStats};
 pub use op::BinOp;
-pub use par::{par_map_index, par_map_slice, resolve_threads};
+pub use par::{par_map_index, par_map_index_with, par_map_slice, resolve_threads};
 pub use stats::GraphStats;
 pub use storage::{decode_collection, decode_graph, encode_collection, encode_graph, StorageError};
 pub use tuple::Tuple;

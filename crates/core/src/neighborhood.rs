@@ -24,10 +24,13 @@ pub struct NeighborhoodSubgraph {
 
 /// Extracts the radius-`r` neighborhood subgraph of `v`.
 ///
-/// BFS collects the ball of radius `r`, then the subgraph induced on it
-/// (all edges of `g` between collected nodes) is materialized. With
-/// `r = 0` this degenerates to the single node, matching the paper's
-/// remark that radius-0 neighborhoods are just nodes.
+/// BFS collects the ball of radius `r` — hops follow edges in *either*
+/// direction, so on directed graphs predecessors are part of the
+/// neighborhood too (Definition 4.10 counts hops, not orientations) —
+/// then the subgraph induced on it (all edges of `g` between collected
+/// nodes) is materialized, preserving the source graph's directedness.
+/// With `r = 0` this degenerates to the single node, matching the
+/// paper's remark that radius-0 neighborhoods are just nodes.
 pub fn neighborhood_subgraph(g: &Graph, v: NodeId, radius: usize) -> NeighborhoodSubgraph {
     let mut dist = vec![usize::MAX; g.node_count()];
     let mut order: Vec<NodeId> = Vec::new();
@@ -39,7 +42,7 @@ pub fn neighborhood_subgraph(g: &Graph, v: NodeId, radius: usize) -> Neighborhoo
         if dist[u.index()] == radius {
             continue;
         }
-        for &(w, _) in g.neighbors(u) {
+        for (w, _) in g.incident(u) {
             if dist[w.index()] == usize::MAX {
                 dist[w.index()] = dist[u.index()] + 1;
                 queue.push_back(w);
@@ -47,15 +50,20 @@ pub fn neighborhood_subgraph(g: &Graph, v: NodeId, radius: usize) -> Neighborhoo
         }
     }
 
-    let mut sub = Graph::new();
+    let mut sub = if g.is_directed() {
+        Graph::new_directed()
+    } else {
+        Graph::new()
+    };
     let mut map = vec![NodeId(u32::MAX); g.node_count()];
     for &u in &order {
         map[u.index()] = sub.add_node(g.node(u).attrs.clone());
     }
     for &u in &order {
         for &(w, e) in g.neighbors(u) {
-            // Add each undirected edge once (when u < w in collected set).
-            if dist[w.index()] != usize::MAX && u < w {
+            // Each directed edge appears once in its source's out-list;
+            // each undirected edge twice, kept only when u < w.
+            if dist[w.index()] != usize::MAX && (g.is_directed() || u < w) {
                 let _ = sub.add_edge(map[u.index()], map[w.index()], g.edge(e).attrs.clone());
             }
         }
@@ -85,8 +93,12 @@ impl Profile {
     }
 
     /// The profile of the radius-`r` neighborhood of `v` in `g`: sorted
-    /// labels of every node in the ball (center included). Nodes without
-    /// a `label` attribute contribute nothing.
+    /// labels of every node in the ball (center included). Hops follow
+    /// edges in either direction, so on directed graphs predecessor
+    /// labels are included — dropping them would let the §4.2
+    /// subsequence test prune valid candidates whose required labels
+    /// arrive over in-edges. Nodes without a `label` attribute
+    /// contribute nothing.
     pub fn of_neighborhood(g: &Graph, v: NodeId, radius: usize) -> Self {
         let mut dist = vec![usize::MAX; g.node_count()];
         let mut labels = Vec::new();
@@ -100,7 +112,7 @@ impl Profile {
             if dist[u.index()] == radius {
                 continue;
             }
-            for &(w, _) in g.neighbors(u) {
+            for (w, _) in g.incident(u) {
                 if dist[w.index()] == usize::MAX {
                     dist[w.index()] = dist[u.index()] + 1;
                     queue.push_back(w);
@@ -197,6 +209,48 @@ mod tests {
         assert_eq!(nb.graph.node_count(), 3);
         let nb3 = neighborhood_subgraph(&g, ids[1], 3);
         assert_eq!(nb3.graph.node_count(), 5, "A2 ball r=3: A2,B2,C2,A1,B1");
+    }
+
+    /// Regression: the directed BFS used to follow out-edges only, so
+    /// b's profile in a(A)→b(B)←c(C) came out as "B" — omitting the
+    /// predecessor labels the §4.2 subsequence test needs, which let it
+    /// prune valid candidates (see the matcher's
+    /// `directed_profile_pruning_keeps_valid_candidates`).
+    #[test]
+    fn directed_profiles_include_predecessor_labels() {
+        let mut g = Graph::new_directed();
+        let a = g.add_labeled_node("A");
+        let b = g.add_labeled_node("B");
+        let c = g.add_labeled_node("C");
+        g.add_edge(a, b, crate::Tuple::new()).unwrap();
+        g.add_edge(c, b, crate::Tuple::new()).unwrap();
+        let s = |v, r| {
+            Profile::of_neighborhood(&g, v, r)
+                .labels()
+                .iter()
+                .map(|l| l.as_str().unwrap().to_string())
+                .collect::<String>()
+        };
+        assert_eq!(s(b, 1), "ABC", "b's ball must include both predecessors");
+        assert_eq!(s(a, 1), "AB");
+        assert_eq!(s(a, 2), "ABC", "c is two undirected hops from a");
+    }
+
+    /// Regression: directed neighborhood subgraphs must keep in-edges
+    /// (and stay directed) instead of materializing only the out-BFS.
+    #[test]
+    fn directed_neighborhood_subgraph_keeps_in_edges() {
+        let mut g = Graph::new_directed();
+        let a = g.add_labeled_node("A");
+        let b = g.add_labeled_node("B");
+        let c = g.add_labeled_node("C");
+        g.add_edge(a, b, crate::Tuple::new()).unwrap();
+        g.add_edge(c, b, crate::Tuple::new()).unwrap();
+        let nb = neighborhood_subgraph(&g, b, 1);
+        assert!(nb.graph.is_directed());
+        assert_eq!(nb.graph.node_count(), 3);
+        assert_eq!(nb.graph.edge_count(), 2, "both in-edges belong to the ball");
+        assert_eq!(nb.graph.degree(nb.center), 0, "b keeps out-degree 0");
     }
 
     #[test]

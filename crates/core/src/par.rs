@@ -61,6 +61,47 @@ where
     out
 }
 
+/// Like [`par_map_index`], but gives every worker a private scratch
+/// value built by `init` and passes it to each `f` call — the shape
+/// reusable-buffer kernels need (e.g. the CSR profile builder's BFS
+/// scratch). Results come back in index order; with `threads <= 1` a
+/// single scratch serves the whole sequential run.
+pub fn par_map_index_with<S, U, I, F>(n: usize, threads: usize, init: I, f: F) -> Vec<U>
+where
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> U + Sync,
+{
+    let workers = resolve_threads(threads).min(n);
+    if workers <= 1 {
+        let mut scratch = init();
+        return (0..n).map(|i| f(&mut scratch, i)).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let parts: Vec<Vec<U>> = std::thread::scope(|s| {
+        let (init, f) = (&init, &f);
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                s.spawn(move || {
+                    let mut scratch = init();
+                    (lo..hi).map(|i| f(&mut scratch, i)).collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map_index_with worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
 /// Maps `f` over a slice in parallel, preserving input order.
 pub fn par_map_slice<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
 where
@@ -89,6 +130,18 @@ mod tests {
         }
         assert_eq!(par_map_index(0, 4, |i| i), Vec::<usize>::new());
         assert_eq!(par_map_index(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn par_map_with_scratch_matches_sequential() {
+        let expected: Vec<usize> = (0..97).map(|i| i * 3).collect();
+        for threads in [1, 2, 8] {
+            let out = par_map_index_with(97, threads, Vec::<usize>::new, |scratch, i| {
+                scratch.push(i); // scratch persists within a worker
+                i * 3
+            });
+            assert_eq!(out, expected);
+        }
     }
 
     #[test]

@@ -71,6 +71,16 @@ impl Database {
         self
     }
 
+    /// Enables or disables the CSR adjacency snapshot on the indexes
+    /// this database builds (the CLI's `--no-csr` escape hatch; on by
+    /// default). Query results are identical either way — only the
+    /// kernels' memory layout changes. Takes effect for indexes built
+    /// after the call; cached indexes are not rebuilt.
+    pub fn with_csr(mut self, csr: bool) -> Self {
+        self.options.csr = csr;
+        self
+    }
+
     /// Attaches a fresh observability registry: every subsequent query
     /// records per-phase timings and pipeline counters into it. Returns
     /// the registry handle (also retrievable via [`Database::obs`]).

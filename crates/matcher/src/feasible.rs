@@ -67,13 +67,24 @@ impl RetrieveStats {
 
 /// Indexed retrieval when the motif pins the label, else a scan.
 fn retrieve(pattern: &Pattern, g: &Graph, index: &GraphIndex, u: NodeId) -> Vec<NodeId> {
-    match pattern.graph.node(u).attrs.get("label") {
-        Some(label) => index
-            .nodes_with_label(label)
-            .iter()
-            .copied()
-            .filter(|&v| pattern.node_feasible(u, g, v))
-            .collect(),
+    let attrs = &pattern.graph.node(u).attrs;
+    match attrs.get("label") {
+        Some(label) => {
+            let bucket = index.nodes_with_label(label);
+            // When the motif constrains exactly `{label}` with no tag
+            // and no pushed-down predicates, every bucket member
+            // satisfies `F_u` by construction of the label index — skip
+            // the per-candidate subsumption filter.
+            if attrs.len() == 1 && attrs.tag().is_none() && pattern.node_preds[u.index()].is_empty()
+            {
+                return bucket.to_vec();
+            }
+            bucket
+                .iter()
+                .copied()
+                .filter(|&v| pattern.node_feasible(u, g, v))
+                .collect()
+        }
         None => g
             .node_ids()
             .filter(|&v| pattern.node_feasible(u, g, v))

@@ -15,12 +15,43 @@
 //! kernels integer-compare-and-bitset cheap.
 
 use gql_core::{
-    neighborhood_subgraph, Graph, GraphStats, IdProfile, LabelInterner, NeighborhoodSubgraph,
-    NodeId, Profile, Value, NO_LABEL,
+    neighborhood_subgraph, CsrGraph, Graph, GraphStats, IdProfile, LabelInterner,
+    NeighborhoodSubgraph, NodeId, Profile, ProfileScratch, Value, NO_LABEL,
 };
 
+/// What a [`GraphIndex::build_with`] call should materialize.
+#[derive(Debug, Clone)]
+pub struct IndexOptions {
+    /// Radius for profiles/neighborhood subgraphs.
+    pub radius: usize,
+    /// Precompute per-node profiles (the paper's recommended setup).
+    pub profiles: bool,
+    /// Materialize neighborhood subgraphs too (heavier).
+    pub subgraphs: bool,
+    /// Worker count for the parallel build phases (`0` = cores).
+    pub threads: usize,
+    /// Attach the [`CsrGraph`] adjacency snapshot (the default; turning
+    /// it off — the `--no-csr` escape hatch — drops every pipeline
+    /// phase back to the `Vec`-adjacency kernels).
+    pub csr: bool,
+}
+
+impl Default for IndexOptions {
+    fn default() -> Self {
+        IndexOptions {
+            radius: 1,
+            profiles: true,
+            subgraphs: false,
+            threads: 1,
+            csr: true,
+        }
+    }
+}
+
 /// Per-graph index: label-id table over the `label` attribute plus
-/// optional precomputed radius-`r` profiles and neighborhood subgraphs.
+/// optional precomputed radius-`r` profiles and neighborhood subgraphs,
+/// and (by default) the cache-contiguous [`CsrGraph`] snapshot the
+/// search/refine/profile kernels run on.
 #[derive(Debug, Default)]
 pub struct GraphIndex {
     interner: LabelInterner,
@@ -33,6 +64,7 @@ pub struct GraphIndex {
     profiles: Vec<Profile>,
     id_profiles: Vec<IdProfile>,
     neighborhoods: Vec<NeighborhoodSubgraph>,
+    csr: Option<CsrGraph>,
     radius: usize,
     stats: GraphStats,
 }
@@ -40,33 +72,47 @@ pub struct GraphIndex {
 impl GraphIndex {
     /// Builds the label index and statistics only (no neighborhood data).
     pub fn build(g: &Graph) -> Self {
-        Self::build_inner(g, 0, false, false, 1)
+        Self::build_inner(g, 0, false, false, 1, true)
     }
 
     /// Builds the label index plus radius-`r` profiles (the practical
     /// combination recommended by the paper's §5 summary).
     pub fn build_with_profiles(g: &Graph, radius: usize) -> Self {
-        Self::build_inner(g, radius, true, false, 1)
+        Self::build_inner(g, radius, true, false, 1, true)
     }
 
     /// [`GraphIndex::build_with_profiles`] with per-node profile
     /// computation spread across `threads` workers (`0` = available
     /// cores). The resulting index is identical.
     pub fn build_with_profiles_par(g: &Graph, radius: usize, threads: usize) -> Self {
-        Self::build_inner(g, radius, true, false, threads)
+        Self::build_inner(g, radius, true, false, threads, true)
     }
 
     /// Builds label index, profiles, *and* materialized neighborhood
     /// subgraphs of radius `r` (heavier; used by retrieve-by-subgraphs).
     pub fn build_full(g: &Graph, radius: usize) -> Self {
-        Self::build_inner(g, radius, true, true, 1)
+        Self::build_inner(g, radius, true, true, 1, true)
     }
 
     /// [`GraphIndex::build_full`] with per-node profile/neighborhood
     /// computation spread across `threads` workers (`0` = available
     /// cores). The resulting index is identical.
     pub fn build_full_par(g: &Graph, radius: usize, threads: usize) -> Self {
-        Self::build_inner(g, radius, true, true, threads)
+        Self::build_inner(g, radius, true, true, threads, true)
+    }
+
+    /// Builds exactly what `opts` asks for — the one constructor with a
+    /// knob for skipping the CSR snapshot (`csr: false`). Index contents
+    /// other than the snapshot are identical either way.
+    pub fn build_with(g: &Graph, opts: &IndexOptions) -> Self {
+        Self::build_inner(
+            g,
+            opts.radius,
+            opts.profiles,
+            opts.subgraphs,
+            opts.threads,
+            opts.csr,
+        )
     }
 
     fn build_inner(
@@ -75,6 +121,7 @@ impl GraphIndex {
         profiles: bool,
         subgraphs: bool,
         threads: usize,
+        csr: bool,
     ) -> Self {
         // Intern the label domain and build the id-keyed label table in
         // one node scan; ids are dense and assigned in first-seen order.
@@ -103,21 +150,45 @@ impl GraphIndex {
                     .map_or(NO_LABEL, |l| interner.intern(l))
             })
             .collect();
+        let csr = csr.then(|| CsrGraph::build(g, &node_label_ids, threads));
         // Per-node profiles and neighborhood balls are independent; fan
-        // them out across workers in node order.
+        // them out across workers in node order. With a CSR snapshot the
+        // interned profiles come straight from its zero-allocation BFS
+        // and the `Value` profiles are decoded from them; without one,
+        // the `Value` profiles are computed first and then encoded.
+        // Either order yields identical vectors.
         let ids: Vec<NodeId> = g.node_ids().collect();
-        let profiles = if profiles {
-            gql_core::par_map_slice(&ids, threads, |&v| Profile::of_neighborhood(g, v, radius))
+        let (profiles, id_profiles) = if profiles {
+            match &csr {
+                Some(snapshot) => {
+                    let id_profiles = gql_core::par_map_index_with(
+                        ids.len(),
+                        threads,
+                        ProfileScratch::new,
+                        |scratch, i| snapshot.id_profile(ids[i], radius, scratch),
+                    );
+                    let profiles = gql_core::par_map_slice(&id_profiles, threads, |p| {
+                        Profile::from_labels(p.ids().iter().map(|&id| interner.resolve(id).clone()))
+                    });
+                    (profiles, id_profiles)
+                }
+                None => {
+                    let profiles = gql_core::par_map_slice(&ids, threads, |&v| {
+                        Profile::of_neighborhood(g, v, radius)
+                    });
+                    // Re-encode profiles on label ids. Every profile label
+                    // is a node label of `g`, so encoding cannot fail.
+                    let id_profiles = gql_core::par_map_slice(&profiles, threads, |p| {
+                        interner
+                            .encode_profile(p)
+                            .expect("profile labels are node labels and therefore interned")
+                    });
+                    (profiles, id_profiles)
+                }
+            }
         } else {
-            Vec::new()
+            (Vec::new(), Vec::new())
         };
-        // Re-encode profiles on label ids. Every profile label is a node
-        // label of `g`, so encoding cannot fail.
-        let id_profiles = gql_core::par_map_slice(&profiles, threads, |p| {
-            interner
-                .encode_profile(p)
-                .expect("profile labels are node labels and therefore interned")
-        });
         let neighborhoods = if subgraphs {
             gql_core::par_map_slice(&ids, threads, |&v| neighborhood_subgraph(g, v, radius))
         } else {
@@ -131,6 +202,7 @@ impl GraphIndex {
             profiles,
             id_profiles,
             neighborhoods,
+            csr,
             radius,
             stats: GraphStats::collect(g),
         }
@@ -203,6 +275,15 @@ impl GraphIndex {
         !self.neighborhoods.is_empty()
     }
 
+    /// The CSR adjacency snapshot, unless the index was built with
+    /// `csr: false` ([`IndexOptions`]). Pipeline phases treat `None` as
+    /// "use the `Vec`-adjacency kernels" and produce identical results
+    /// either way.
+    #[inline]
+    pub fn csr(&self) -> Option<&CsrGraph> {
+        self.csr.as_ref()
+    }
+
     /// Label statistics for the cost model.
     pub fn stats(&self) -> &GraphStats {
         &self.stats
@@ -265,6 +346,34 @@ mod tests {
         // A2 ⊆ A1 as profiles (AB ⊆ ABC), in both encodings.
         assert!(idx.profile(ids[1]).subsumed_by(idx.profile(ids[0])));
         assert!(idx.id_profile(ids[1]).subsumed_by(idx.id_profile(ids[0])));
+    }
+
+    #[test]
+    fn csr_and_vec_profile_builds_agree() {
+        let (g, _) = figure_4_16_graph();
+        for threads in [1, 2, 8] {
+            let with = GraphIndex::build_with(
+                &g,
+                &IndexOptions {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            let without = GraphIndex::build_with(
+                &g,
+                &IndexOptions {
+                    threads,
+                    csr: false,
+                    ..Default::default()
+                },
+            );
+            assert!(with.csr().is_some());
+            assert!(without.csr().is_none());
+            for v in g.node_ids() {
+                assert_eq!(with.profile(v), without.profile(v), "{v:?}");
+                assert_eq!(with.id_profile(v), without.id_profile(v), "{v:?}");
+            }
+        }
     }
 
     #[test]

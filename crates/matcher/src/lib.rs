@@ -43,13 +43,14 @@ pub use feasible::{
     feasible_mates, feasible_mates_par, feasible_mates_reference, feasible_mates_stats_par,
     reduction_ratio, search_space_ln, LocalPruning, RetrieveStats,
 };
-pub use index::GraphIndex;
+pub use index::{GraphIndex, IndexOptions};
 pub use matcher::{
     match_pattern, MatchOptions, MatchReport, RefineLevel, SpaceReport, StepTimings,
 };
 pub use order::{cost_of_order, optimize_order, GammaMode, SearchOrder};
 pub use pattern::Pattern;
 pub use refine::{
-    refine_search_space, refine_search_space_par, refine_search_space_reference, RefineStats,
+    refine_search_space, refine_search_space_csr, refine_search_space_par,
+    refine_search_space_reference, RefineStats,
 };
 pub use search::{search, search_indexed, SearchConfig, SearchOutcome};

@@ -8,7 +8,7 @@ use crate::feasible::{
 use crate::index::GraphIndex;
 use crate::order::{optimize_order, GammaMode, SearchOrder};
 use crate::pattern::Pattern;
-use crate::refine::{refine_search_space_par, RefineStats};
+use crate::refine::{refine_search_space_csr, RefineStats};
 use crate::search::{search_indexed, SearchConfig, SearchOutcome};
 use gql_core::{EdgeId, Graph, NodeId, Obs};
 use std::sync::Arc;
@@ -64,6 +64,13 @@ pub struct MatchOptions {
     /// un-instrumented paths. The registry is shared, not per-query:
     /// pass the same `Arc` across calls to aggregate.
     pub obs: Option<Arc<Obs>>,
+    /// Whether *index builders* driven by these options (the engine's
+    /// collection index cache, the CLI's per-graph build) attach the
+    /// [`gql_core::CsrGraph`] snapshot. [`match_pattern`] itself only
+    /// reads whatever the index carries; with `false` (the `--no-csr`
+    /// escape hatch) every phase falls back to the `Vec`-adjacency
+    /// kernels with identical results.
+    pub csr: bool,
 }
 
 impl Default for MatchOptions {
@@ -79,6 +86,7 @@ impl Default for MatchOptions {
             threads: 1,
             report_baseline_space: true,
             obs: None,
+            csr: true,
         }
     }
 }
@@ -222,7 +230,8 @@ pub fn match_pattern(
     };
     let t1 = Instant::now();
     if level > 0 {
-        report.refine_stats = refine_search_space_par(pattern, g, &mut mates, level, opts.threads);
+        report.refine_stats =
+            refine_search_space_csr(pattern, g, index.csr(), &mut mates, level, opts.threads);
     }
     report.timings.refine = t1.elapsed();
     report.spaces.refined_ln = search_space_ln(&mates);

@@ -28,11 +28,94 @@
 //! `gql_core::par` workers while keeping the output byte-identical at
 //! any thread count. [`refine_search_space_reference`] retains the
 //! seed's hashtable kernel as the equivalence oracle.
+//!
+//! With a [`CsrGraph`] snapshot ([`refine_search_space_csr`]) the
+//! data-side neighbor scans — the bipartite right side and the re-mark
+//! fan-out — walk one contiguous CSR row instead of chasing the
+//! `Vec<Vec<…>>` adjacency. Better: rows are label-sorted, and when all
+//! candidates of a pattern node share one interned label (the common
+//! case — labeled pattern nodes only admit same-label mates), the scan
+//! narrows to that label's sub-row; every skipped neighbor would have
+//! failed the `feasible` probe that follows. Neighbors are therefore
+//! *enumerated* in a different order and number than insertion order;
+//! that cannot change any observable: a pair's verdict is the existence
+//! of a semi-perfect matching (order-free, and right vertices without
+//! edges never matter), levels are synchronous, the mark table dedupes
+//! the worklist into a set, and every statistic is a count over those
+//! sets.
 
 use crate::bipartite::{Bipartite, MatchingScratch};
 use crate::pattern::Pattern;
-use gql_core::{EdgeId, Graph, NodeId};
+use gql_core::{CsrGraph, EdgeId, Graph, NodeId};
 use rustc_hash::{FxHashMap, FxHashSet};
+
+/// The data graph's adjacency as seen by the refinement kernels: either
+/// the mutable-graph `Vec` adjacency or the flat CSR snapshot. Only
+/// incident *neighbor ids* are consumed, which both layouts provide for
+/// the same node set — so the kernel's verdicts are identical.
+///
+/// The CSR variant additionally carries one `Option<u32>` per pattern
+/// node: `Some(l)` when every current candidate of that pattern node
+/// carries interned label `l` (`IMPOSSIBLE_LABEL` when it has none).
+/// Since `feasible[pu]` only shrinks, any neighbor scan that feeds a
+/// `feasible[pu]` membership probe may then walk just the label-`l`
+/// sub-row — every skipped entry would have failed the probe anyway.
+#[derive(Clone, Copy)]
+enum DataAdj<'a> {
+    Vec(&'a Graph),
+    Csr(&'a CsrGraph, &'a [Option<u32>]),
+}
+
+impl DataAdj<'_> {
+    #[inline]
+    fn for_each_incident(&self, v: u32, mut f: impl FnMut(u32)) {
+        match self {
+            DataAdj::Vec(g) => {
+                for (w, _) in g.incident(NodeId(v)) {
+                    f(w.0);
+                }
+            }
+            DataAdj::Csr(c, _) => {
+                for e in c.incident(NodeId(v)) {
+                    f(e.node);
+                }
+            }
+        }
+    }
+
+    /// Distinct incident neighbors of `v` that could be feasible mates
+    /// of pattern node `pu` — the full incident set for the `Vec`
+    /// layout, the label-filtered sub-row for CSR when `pu`'s candidate
+    /// label is known. Callers always follow with a `feasible[pu]`
+    /// membership probe, so over-approximating (Vec, unknown label) is
+    /// fine and under-approximating never happens.
+    #[inline]
+    fn for_each_candidate(&self, v: u32, pu: usize, mut f: impl FnMut(u32)) {
+        match self {
+            DataAdj::Vec(g) => {
+                for (w, _) in g.incident(NodeId(v)) {
+                    f(w.0);
+                }
+            }
+            DataAdj::Csr(c, labels) => {
+                let row = match labels[pu] {
+                    Some(l) => c.incident_with_label(NodeId(v), l),
+                    None => c.incident(NodeId(v)),
+                };
+                // Directed rows can list a node twice (in + out edge);
+                // duplicates are adjacent in the (label, node)-sorted
+                // row.
+                let mut prev = u32::MAX;
+                for e in row {
+                    if e.node != prev {
+                        prev = e.node;
+                        f(e.node);
+                    }
+                }
+            }
+        }
+    }
+}
 
 /// Counters reported by a refinement run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -89,6 +172,9 @@ struct RefineScratch {
     right_pos: Vec<u32>,
     /// Distinct neighbors of the current `v`, in first-seen order.
     right_nodes: Vec<u32>,
+    /// `(left, right)` edge buffer for the CSR build, which discovers
+    /// the right-side size only after scanning the label sub-rows.
+    edges: Vec<(u32, u32)>,
 }
 
 impl RefineScratch {
@@ -98,6 +184,7 @@ impl RefineScratch {
             matching: MatchingScratch::default(),
             right_pos: vec![u32::MAX; n],
             right_nodes: Vec::new(),
+            edges: Vec::new(),
         }
     }
 
@@ -106,32 +193,127 @@ impl RefineScratch {
     fn pair_fails(
         &mut self,
         pattern: &Pattern,
-        g: &Graph,
+        adj: DataAdj<'_>,
+        feasible: &[BitSet],
+        u: u32,
+        v: u32,
+    ) -> bool {
+        let (csr, labels) = match adj {
+            DataAdj::Vec(_) => {
+                let np = pattern.incident(NodeId(u));
+                self.right_nodes.clear();
+                // Collect the distinct data-side neighbors of v
+                // (directed graphs can report a node as both in- and
+                // out-neighbor)…
+                adj.for_each_incident(v, |w| {
+                    let slot = &mut self.right_pos[w as usize];
+                    if *slot == u32::MAX {
+                        *slot = self.right_nodes.len() as u32;
+                        self.right_nodes.push(w);
+                    }
+                });
+                // …then build B(u,v) (Algorithm 4.2 lines 5–9) in the
+                // reusable buffers — a bit probe per (u', v') pair, no
+                // allocation.
+                self.bip.clear(np.len(), self.right_nodes.len());
+                for (li, &(pu, _)) in np.iter().enumerate() {
+                    let fs = &feasible[pu.index()];
+                    for (ri, &gw) in self.right_nodes.iter().enumerate() {
+                        if fs.contains(gw) {
+                            self.bip.add_edge(li, ri);
+                        }
+                    }
+                }
+                for &gw in &self.right_nodes {
+                    self.right_pos[gw as usize] = u32::MAX;
+                }
+                return !self.bip.has_semi_perfect_matching_with(&mut self.matching);
+            }
+            DataAdj::Csr(c, labels) => (c, labels),
+        };
+        self.pair_fails_csr(pattern, csr, labels, feasible, u, v)
+    }
+
+    /// [`RefineScratch::pair_fails`] over label sub-rows of the CSR
+    /// snapshot. Per left vertex, only the sub-row that can contain its
+    /// feasible mates is scanned, and the per-left structure admits two
+    /// verdict-identical short-circuits the collect-then-probe build
+    /// cannot express: a left vertex with no feasible mate fails the
+    /// pair outright (no saturating matching can exist), and a single
+    /// left vertex is saturated by its first feasible mate (no matching
+    /// run needed). Neither changes the verdict, and [`RefineStats`]
+    /// counts pairs, not probes, so the statistics stay byte-identical.
+    fn pair_fails_csr(
+        &mut self,
+        pattern: &Pattern,
+        csr: &CsrGraph,
+        labels: &[Option<u32>],
         feasible: &[BitSet],
         u: u32,
         v: u32,
     ) -> bool {
         let np = pattern.incident(NodeId(u));
-        // Collect the distinct data-side neighbors of v (directed
-        // motifs can report a node as both in- and out-neighbor).
-        self.right_nodes.clear();
-        for (w, _) in g.incident(NodeId(v)) {
-            let slot = &mut self.right_pos[w.index()];
-            if *slot == u32::MAX {
-                *slot = self.right_nodes.len() as u32;
-                self.right_nodes.push(w.0);
-            }
+        let row = |pu: usize| match labels[pu] {
+            Some(l) => csr.incident_with_label(NodeId(v), l),
+            None => csr.incident(NodeId(v)),
+        };
+        // Single left vertex: semi-perfect ⇔ any feasible mate exists
+        // (duplicates in a full directed row don't matter to `any`).
+        if let [(pu, _)] = np {
+            let fs = &feasible[pu.index()];
+            return !row(pu.index()).iter().any(|e| fs.contains(e.node));
         }
-        // Build B(u,v) (Algorithm 4.2 lines 5–9) in the reusable
-        // buffers — a bit probe per (u', v') pair, no allocation.
-        self.bip.clear(np.len(), self.right_nodes.len());
+        self.right_nodes.clear();
+        self.edges.clear();
         for (li, &(pu, _)) in np.iter().enumerate() {
             let fs = &feasible[pu.index()];
-            for (ri, &gw) in self.right_nodes.iter().enumerate() {
-                if fs.contains(gw) {
-                    self.bip.add_edge(li, ri);
+            let before = self.edges.len();
+            let mut prev = u32::MAX;
+            for e in row(pu.index()) {
+                if e.node == prev || !fs.contains(e.node) {
+                    continue;
                 }
+                prev = e.node;
+                // Right vertices are assigned indices lazily on the
+                // first feasible sighting; rights without edges cannot
+                // affect a semi-perfect matching, so B(u,v) keeps the
+                // same verdict as the full-scan build.
+                let slot = &mut self.right_pos[e.node as usize];
+                if *slot == u32::MAX {
+                    *slot = self.right_nodes.len() as u32;
+                    self.right_nodes.push(e.node);
+                }
+                self.edges.push((li as u32, *slot));
             }
+            if self.edges.len() == before {
+                // Left vertex li has no feasible mate: B(u,v) cannot
+                // saturate it (the matching's quick-reject would say
+                // the same after a full build).
+                for &gw in &self.right_nodes {
+                    self.right_pos[gw as usize] = u32::MAX;
+                }
+                return true;
+            }
+        }
+        // Matching-free verdicts: a matching saturating all lefts needs
+        // at least as many distinct rights as lefts; conversely, every
+        // left holding exactly one edge with all rights distinct (one
+        // edge per right) is itself a saturating matching.
+        if self.right_nodes.len() < np.len() {
+            for &gw in &self.right_nodes {
+                self.right_pos[gw as usize] = u32::MAX;
+            }
+            return true;
+        }
+        if self.edges.len() == np.len() && self.right_nodes.len() == np.len() {
+            for &gw in &self.right_nodes {
+                self.right_pos[gw as usize] = u32::MAX;
+            }
+            return false;
+        }
+        self.bip.clear(np.len(), self.right_nodes.len());
+        for &(li, ri) in &self.edges {
+            self.bip.add_edge(li as usize, ri as usize);
         }
         for &gw in &self.right_nodes {
             self.right_pos[gw as usize] = u32::MAX;
@@ -162,6 +344,43 @@ pub fn refine_search_space_par(
     level: usize,
     threads: usize,
 ) -> RefineStats {
+    refine_search_space_csr(pattern, g, None, mates, level, threads)
+}
+
+/// [`refine_search_space_par`] with an optional [`CsrGraph`] snapshot of
+/// `g`: when present, data-side neighbor scans run over contiguous CSR
+/// rows (see the module docs). The refined space and every statistic
+/// are identical with or without the snapshot, at any thread count.
+pub fn refine_search_space_csr(
+    pattern: &Pattern,
+    g: &Graph,
+    csr: Option<&CsrGraph>,
+    mates: &mut [Vec<NodeId>],
+    level: usize,
+    threads: usize,
+) -> RefineStats {
+    // Per pattern node: the one interned label all its current
+    // candidates share, if any (`IMPOSSIBLE_LABEL` for an empty
+    // candidate set — no data node carries it, so label sub-rows come
+    // back empty, exactly like probing an empty `feasible` set). Mixed
+    // labels fall back to full-row scans (`None`).
+    let candidate_label: Option<Vec<Option<u32>>> = csr.map(|c| {
+        debug_assert_eq!(c.node_count(), g.node_count(), "snapshot of another graph?");
+        mates
+            .iter()
+            .map(|m| match m.split_first() {
+                None => Some(gql_core::IMPOSSIBLE_LABEL),
+                Some((first, rest)) => {
+                    let l = c.node_label(*first);
+                    rest.iter().all(|v| c.node_label(*v) == l).then_some(l)
+                }
+            })
+            .collect()
+    });
+    let adj = match (csr, &candidate_label) {
+        (Some(c), Some(labels)) => DataAdj::Csr(c, labels),
+        _ => DataAdj::Vec(g),
+    };
     let k = pattern.node_count();
     debug_assert_eq!(k, mates.len());
     let mut stats = RefineStats::default();
@@ -215,10 +434,10 @@ pub fn refine_search_space_par(
             worklist
                 .iter()
                 .copied()
-                .filter(|&(u, v)| scratch.pair_fails(pattern, g, &feasible, u, v))
+                .filter(|&(u, v)| scratch.pair_fails(pattern, adj, &feasible, u, v))
                 .collect()
         } else {
-            check_level_parallel(pattern, g, &feasible, &worklist, workers, n)
+            check_level_parallel(pattern, adj, &feasible, &worklist, workers, n)
         };
         stats.removed_per_level.push(removals.len() as u64);
         if removals.is_empty() {
@@ -233,13 +452,13 @@ pub fn refine_search_space_par(
         worklist.clear();
         for &(u, v) in &removals {
             for &(pu, _) in pattern.incident(NodeId(u)) {
-                for (gw, _) in g.incident(NodeId(v)) {
-                    let slot = pu.index() * n + gw.index();
-                    if feasible[pu.index()].contains(gw.0) && !marked[slot] {
+                adj.for_each_candidate(v, pu.index(), |gw| {
+                    let slot = pu.index() * n + gw as usize;
+                    if feasible[pu.index()].contains(gw) && !marked[slot] {
                         marked[slot] = true;
-                        worklist.push((pu.0, gw.0));
+                        worklist.push((pu.0, gw));
                     }
-                }
+                });
             }
         }
     }
@@ -257,7 +476,7 @@ pub fn refine_search_space_par(
 /// one.
 fn check_level_parallel(
     pattern: &Pattern,
-    g: &Graph,
+    adj: DataAdj<'_>,
     feasible: &[BitSet],
     worklist: &[(u32, u32)],
     workers: usize,
@@ -278,7 +497,7 @@ fn check_level_parallel(
                     slice
                         .iter()
                         .copied()
-                        .filter(|&(u, v)| scratch.pair_fails(pattern, g, feasible, u, v))
+                        .filter(|&(u, v)| scratch.pair_fails(pattern, adj, feasible, u, v))
                         .collect::<Vec<_>>()
                 })
             })
@@ -532,6 +751,15 @@ mod tests {
                     let stats = refine_search_space_par(p, g, &mut got, level, threads);
                     assert_eq!(got, expect, "level={level} threads={threads}");
                     assert_eq!(stats, expect_stats, "level={level} threads={threads}");
+                    // The CSR row kernel must be observably identical too.
+                    let mut via_csr = base.clone();
+                    let csr_stats =
+                        refine_search_space_csr(p, g, idx.csr(), &mut via_csr, level, threads);
+                    assert_eq!(via_csr, expect, "csr level={level} threads={threads}");
+                    assert_eq!(
+                        csr_stats, expect_stats,
+                        "csr level={level} threads={threads}"
+                    );
                 }
             }
         }

@@ -45,10 +45,22 @@
 //! ids exactly when they are equal `Value`s, so the fast path accepts
 //! and rejects precisely the same data edges as
 //! [`Pattern::edge_feasible`].
+//!
+//! # CSR edge probes
+//!
+//! When the index carries a [`CsrGraph`] snapshot, `Check`'s data-edge
+//! lookups run as binary searches over the CSR's label-sorted rows
+//! instead of [`Graph::edge_between`] hash probes. The probe verdicts —
+//! and therefore every mapping, step, and backtrack count — are
+//! identical; only the memory access pattern changes. The candidate
+//! enumeration itself is deliberately left untouched: pre-intersecting
+//! mate lists against CSR rows would change which candidates are
+//! *considered* (not which match), and the step/backtrack counters are
+//! part of the pipeline's observable, thread-count-invariant contract.
 
 use crate::index::GraphIndex;
 use crate::pattern::Pattern;
-use gql_core::{EdgeId, Graph, NodeId};
+use gql_core::{CsrGraph, EdgeId, Graph, NodeId};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -179,6 +191,9 @@ struct Ctx<'a> {
     roots: &'a [NodeId],
     /// Interned edge-check plan (None without an index).
     plan: Option<&'a EdgePlan<'a>>,
+    /// CSR snapshot of `g` for binary-search edge probes (None without
+    /// an index or when the index was built with `csr: false`).
+    csr: Option<&'a CsrGraph>,
     /// Stop after this many mappings (checked after each push).
     take: usize,
     deadline: Option<Instant>,
@@ -231,14 +246,16 @@ fn check(
         // Respect orientation for directed patterns: the motif edge
         // runs src→dst; look up the data edge the same way.
         let e = ctx.pattern.graph.edge(pe);
-        let data_edge = if ctx.pattern.graph.is_directed() {
-            if e.src == u {
-                ctx.g.edge_between(v, mapped)
-            } else {
-                ctx.g.edge_between(mapped, v)
-            }
+        let (from, to) = if ctx.pattern.graph.is_directed() && e.src != u {
+            (mapped, v)
         } else {
-            ctx.g.edge_between(v, mapped)
+            (v, mapped)
+        };
+        // Same probe either way; the CSR variant is a binary search
+        // over `from`'s label-sorted row instead of a hash lookup.
+        let data_edge = match ctx.csr {
+            Some(csr) => csr.edge_between(from, to),
+            None => ctx.g.edge_between(from, to),
         };
         let feasible = |ge| match ctx.plan {
             Some(plan) => plan.edge_ok(ctx.pattern, ctx.g, pe, ge),
@@ -405,6 +422,7 @@ pub fn search_indexed(
         return out;
     }
     let plan = index.map(|idx| EdgePlan::build(pattern, idx));
+    let csr = index.and_then(GraphIndex::csr);
 
     let roots: &[NodeId] = &mates[order[0]];
     // The sequential code stops once `mappings.len() >= cap` *after* a
@@ -421,6 +439,7 @@ pub fn search_indexed(
             order,
             roots,
             plan: plan.as_ref(),
+            csr,
             take,
             deadline: cfg.deadline,
             stop: None,
@@ -434,6 +453,7 @@ pub fn search_indexed(
         order,
         cfg,
         plan.as_ref(),
+        csr,
         roots,
         take,
         workers,
@@ -458,15 +478,19 @@ fn search_parallel(
     order: &[usize],
     cfg: &SearchConfig,
     plan: Option<&EdgePlan<'_>>,
+    csr: Option<&CsrGraph>,
     roots: &[NodeId],
     take: usize,
     workers: usize,
 ) -> SearchOutcome {
     // Over-partition so faster workers pick up slack from skewed
     // subtrees; chunks stay contiguous to keep the merge a simple
-    // in-order concatenation.
-    let nchunks = roots.len().min(workers * 4);
-    let chunk = roots.len().div_ceil(nchunks);
+    // in-order concatenation. `nchunks` is recomputed from the rounded
+    // chunk size so every chunk is non-empty (e.g. 20 roots over 8
+    // requested chunks yields 7 chunks of ≤3, not an 8th starting past
+    // the end of `roots`).
+    let chunk = roots.len().div_ceil(roots.len().min(workers * 4));
+    let nchunks = roots.len().div_ceil(chunk);
 
     let stop = AtomicBool::new(false);
     let next_chunk = AtomicUsize::new(0);
@@ -498,6 +522,7 @@ fn search_parallel(
                         order,
                         roots: &roots[lo..hi],
                         plan,
+                        csr,
                         take,
                         deadline: cfg.deadline,
                         stop: Some(&stop),
@@ -577,6 +602,29 @@ mod tests {
         assert_eq!(out.mappings[0], vec![ids[0], ids[2], ids[5]]); // A1,B1,C2
         assert_eq!(out.edge_bindings[0].len(), 3);
         assert!(!out.timed_out);
+    }
+
+    /// Root counts that don't divide evenly into `workers * 4` chunks
+    /// must not index past the end of the root slice (20 roots over 8
+    /// requested chunks of 3 used to compute a 9th chunk at offset 21).
+    #[test]
+    fn parallel_chunking_covers_uneven_root_counts() {
+        let g = labeled_clique(&["A"; 20]);
+        let p = Pattern::structural(labeled_clique(&["A", "A"]));
+        let seq = run(&p, &g, &SearchConfig::default());
+        assert_eq!(seq.mappings.len(), 20 * 19);
+        for threads in [2, 3, 8] {
+            let par = run(
+                &p,
+                &g,
+                &SearchConfig {
+                    threads,
+                    ..SearchConfig::default()
+                },
+            );
+            assert_eq!(par.mappings, seq.mappings, "threads {threads}");
+            assert_eq!(par.steps, seq.steps, "threads {threads}");
+        }
     }
 
     #[test]

@@ -43,6 +43,50 @@ fn edge_probability_gamma_prefers_rare_labels() {
     assert_eq!(so.order[2], 0, "order {:?}", so.order);
 }
 
+/// Directed data graphs must build neighborhood profiles from *all*
+/// incident edges, not just out-edges (Definition 4.10 counts hops, not
+/// orientations). Before the fix, `Profile::of_neighborhood` followed
+/// only out-neighbors on directed graphs, so a sink node's profile
+/// missed its predecessors' labels and local pruning dropped a correct
+/// match. See `directed_profiles_include_predecessor_labels` in
+/// `gql_core::neighborhood`.
+#[test]
+fn directed_profile_pruning_keeps_valid_candidates() {
+    // Data: a(A) → b(B) ← c(C). Node b is a sink; with out-only BFS its
+    // radius-1 profile was {B} instead of {A, B, C}.
+    let mut g = Graph::new_directed();
+    let a = g.add_labeled_node("A");
+    let b = g.add_labeled_node("B");
+    let c = g.add_labeled_node("C");
+    g.add_edge(a, b, Tuple::new()).unwrap();
+    g.add_edge(c, b, Tuple::new()).unwrap();
+
+    // Pattern: undirected star A – B – C centered on B, declared with B
+    // first so declaration-order search maps the sink before its
+    // predecessors.
+    let mut pg = Graph::new();
+    let pb = pg.add_labeled_node("B");
+    let pa = pg.add_labeled_node("A");
+    let pc = pg.add_labeled_node("C");
+    pg.add_edge(pa, pb, Tuple::new()).unwrap();
+    pg.add_edge(pc, pb, Tuple::new()).unwrap();
+    let p = Pattern::structural(pg);
+
+    let idx = GraphIndex::build_with_profiles(&g, 1);
+    let opts = MatchOptions {
+        pruning: LocalPruning::Profiles { radius: 1 },
+        refine: RefineLevel::Off,
+        optimize_order: false,
+        ..MatchOptions::default()
+    };
+    let rep = match_pattern(&p, &g, &idx, &opts);
+    assert_eq!(
+        rep.mappings,
+        vec![vec![b, a, c]],
+        "profile pruning dropped the only embedding"
+    );
+}
+
 /// Time limits terminate pathological searches and report it.
 #[test]
 fn time_limit_bounds_pathological_search() {

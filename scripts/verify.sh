@@ -19,6 +19,20 @@ cargo test -q --workspace
 echo "==> interned-kernel equivalence suite"
 cargo test -q -p gql-match --test interned_equivalence
 
+echo "==> CSR-snapshot equivalence suite"
+cargo test -q -p gql-match --test csr_equivalence
+
+echo "==> CSR smoke (match with and without --no-csr must agree)"
+# Wall-clock lines differ run to run; compare everything else.
+with_csr=$(cargo run --release -q -p gql-cli -- match \
+    --graph examples/gql/triangle_net.gql --pattern examples/gql/triangle.gql \
+    | grep -v '^time:')
+without_csr=$(cargo run --release -q -p gql-cli -- match \
+    --graph examples/gql/triangle_net.gql --pattern examples/gql/triangle.gql --no-csr \
+    | grep -v '^time:')
+[ "$with_csr" = "$without_csr" ] || { echo "CSR and --no-csr outputs differ"; exit 1; }
+echo "$with_csr" | grep -q "matches: 2" || { echo "unexpected match count"; exit 1; }
+
 echo "==> profile smoke (gql run --profile on the bundled example)"
 cargo run --release -q -p gql-cli -- run examples/gql/coauthors.gql \
     --data DBLP=examples/gql/dblp_sample.gql --profile \
