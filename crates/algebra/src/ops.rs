@@ -6,10 +6,11 @@ use crate::error::Result;
 use crate::matched::MatchedGraph;
 use crate::template::{instantiate, TemplateEnv};
 use gql_core::iso::graph_isomorphic;
-use gql_core::{Graph, GraphCollection};
+use gql_core::{ArgValue, ExplainNode, Graph, GraphCollection};
 use gql_match::{match_pattern, GraphIndex, IndexOptions, MatchOptions};
 use gql_parser::ast::GraphTemplateAst;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Selection σ_P(C): matches `pattern` against every graph of `collection`
 /// and returns the matched graphs (Definition: `σP(C) = {φP(G) | G ∈ C}`).
@@ -45,6 +46,7 @@ pub fn build_collection_indexes(
     opts: &MatchOptions,
 ) -> Vec<Arc<GraphIndex>> {
     let _span = opts.obs.as_deref().map(|o| o.span("op.index_build"));
+    let trace_start = opts.trace.as_ref().map(|_| Instant::now());
     let graphs: Vec<&Graph> = collection.iter().collect();
     let workers = gql_core::resolve_threads(opts.threads).min(graphs.len().max(1));
     // Several graphs: one single-threaded build per worker; a singleton
@@ -63,6 +65,14 @@ pub fn build_collection_indexes(
     if let Some(obs) = &opts.obs {
         obs.add("index.builds", indexes.len() as u64);
     }
+    if let (Some(sink), Some(start)) = (&opts.trace, trace_start) {
+        sink.complete(
+            "op.index_build",
+            "algebra",
+            start,
+            vec![("graphs", ArgValue::UInt(indexes.len() as u64))],
+        );
+    }
     indexes
 }
 
@@ -76,7 +86,23 @@ pub fn select_with_indexes(
     indexes: &[Arc<GraphIndex>],
     opts: &MatchOptions,
 ) -> Result<Vec<MatchedGraph>> {
+    select_with_indexes_explain(pattern, collection, indexes, opts).map(|(m, _)| m)
+}
+
+/// [`select_with_indexes`] additionally assembling the σ's `EXPLAIN
+/// ANALYZE` subtree when `opts.explain` is set: a `select` node with one
+/// `graph[i]` child per collection member, each carrying that run's
+/// `match` operator tree. With a trace sink attached the whole σ is
+/// also recorded as an `op.select` complete event. Matches are
+/// identical to [`select_with_indexes`]'s in all configurations.
+pub fn select_with_indexes_explain(
+    pattern: &CompiledPattern,
+    collection: &GraphCollection,
+    indexes: &[Arc<GraphIndex>],
+    opts: &MatchOptions,
+) -> Result<(Vec<MatchedGraph>, Option<ExplainNode>)> {
     let _span = opts.obs.as_deref().map(|o| o.span("op.select"));
+    let trace_start = opts.trace.as_ref().map(|_| Instant::now());
     let pattern_arc = Arc::new(pattern.clone());
     let graphs: Vec<&Graph> = collection.iter().collect();
     debug_assert_eq!(graphs.len(), indexes.len());
@@ -89,26 +115,61 @@ pub fn select_with_indexes(
     } else {
         opts.clone()
     };
-    let per_graph: Vec<Vec<MatchedGraph>> = gql_core::par_map_index(graphs.len(), workers, |i| {
-        let g = graphs[i];
-        let report = match_pattern(&pattern.pattern, g, &indexes[i], &inner_opts);
-        if report.mappings.is_empty() {
-            return Vec::new();
+    let per_graph: Vec<(Vec<MatchedGraph>, Option<ExplainNode>)> =
+        gql_core::par_map_index(graphs.len(), workers, |i| {
+            let g = graphs[i];
+            let mut report = match_pattern(&pattern.pattern, g, &indexes[i], &inner_opts);
+            let explain = report.explain.take();
+            if report.mappings.is_empty() {
+                return (Vec::new(), explain);
+            }
+            let graph_arc = Arc::new(g.clone());
+            let matches = report
+                .mappings
+                .into_iter()
+                .zip(report.edge_bindings)
+                .map(|(mapping, edges)| MatchedGraph {
+                    pattern: Arc::clone(&pattern_arc),
+                    graph: Arc::clone(&graph_arc),
+                    mapping,
+                    edge_mapping: edges,
+                })
+                .collect();
+            (matches, explain)
+        });
+    let explain = opts.explain.then(|| {
+        let mut node = ExplainNode::new("select");
+        node.prop("graphs", ArgValue::UInt(graphs.len() as u64));
+        node.prop(
+            "matches",
+            ArgValue::UInt(per_graph.iter().map(|(m, _)| m.len() as u64).sum()),
+        );
+        for (i, (ms, ex)) in per_graph.iter().enumerate() {
+            let mut child = ExplainNode::new(format!("graph[{i}]"));
+            if let Some(name) = collection.get(i).and_then(|g| g.name.as_deref()) {
+                child.prop("name", ArgValue::Str(name.to_string()));
+            }
+            child.prop("matches", ArgValue::UInt(ms.len() as u64));
+            if let Some(tree) = ex {
+                child.child(tree.clone());
+            }
+            node.child(child);
         }
-        let graph_arc = Arc::new(g.clone());
-        report
-            .mappings
-            .into_iter()
-            .zip(report.edge_bindings)
-            .map(|(mapping, edges)| MatchedGraph {
-                pattern: Arc::clone(&pattern_arc),
-                graph: Arc::clone(&graph_arc),
-                mapping,
-                edge_mapping: edges,
-            })
-            .collect()
+        node
     });
-    Ok(per_graph.into_iter().flatten().collect())
+    let matches: Vec<MatchedGraph> = per_graph.into_iter().flat_map(|(m, _)| m).collect();
+    if let (Some(sink), Some(start)) = (&opts.trace, trace_start) {
+        sink.complete(
+            "op.select",
+            "algebra",
+            start,
+            vec![
+                ("graphs", ArgValue::UInt(graphs.len() as u64)),
+                ("matches", ArgValue::UInt(matches.len() as u64)),
+            ],
+        );
+    }
+    Ok((matches, explain))
 }
 
 /// Selection against a pre-indexed single large graph — the §4/§5 path
@@ -276,6 +337,43 @@ mod tests {
                 assert_eq!(a.mapping, b.mapping);
                 assert_eq!(a.edge_mapping, b.edge_mapping);
             }
+        }
+    }
+
+    /// σ with explain + trace on returns identical matches, a `select`
+    /// tree with one `graph[i]` child per collection member, and
+    /// `op.select` / `op.index_build` trace events.
+    #[test]
+    fn select_explain_and_trace_are_equivalent() {
+        let coll: GraphCollection = figure_4_13_dblp().into();
+        let p = compile_pattern_text(
+            r#"graph P { node v1 <author>; node v2 <author>; } where P.booktitle="SIGMOD""#,
+        )
+        .unwrap();
+        let plain = select(&p, &coll, &MatchOptions::default()).unwrap();
+        for threads in [1, 2, 8] {
+            let sink = gql_core::TraceSink::new();
+            let opts = MatchOptions {
+                explain: true,
+                trace: Some(Arc::clone(&sink)),
+                threads,
+                ..MatchOptions::default()
+            };
+            let indexes = build_collection_indexes(&coll, &opts);
+            let (ms, explain) = select_with_indexes_explain(&p, &coll, &indexes, &opts).unwrap();
+            assert_eq!(ms.len(), plain.len(), "threads={threads}");
+            for (a, b) in ms.iter().zip(&plain) {
+                assert_eq!(a.mapping, b.mapping, "threads={threads}");
+            }
+            let tree = explain.expect("explain requested");
+            assert_eq!(tree.label, "select");
+            assert_eq!(tree.children.len(), coll.len());
+            assert!(tree.children.iter().all(|c| c.label.starts_with("graph[")));
+            // Each per-graph child carries the match operator subtree.
+            assert!(tree.children.iter().all(|c| c.children.len() == 1));
+            let names: Vec<String> = sink.events().iter().map(|e| e.name.clone()).collect();
+            assert!(names.iter().any(|n| n == "op.select"), "{names:?}");
+            assert!(names.iter().any(|n| n == "op.index_build"), "{names:?}");
         }
     }
 

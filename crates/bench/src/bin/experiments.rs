@@ -16,13 +16,14 @@
 //! disabled vs enabled and writes the captured per-phase report to
 //! `BENCH_profile.json`. `csr` compares the full optimized pipeline
 //! over a CSR-carrying index vs a `Vec`-adjacency one and writes
-//! `BENCH_csr.json`.
+//! `BENCH_csr.json`. `trace` times the pipeline with the trace sink
+//! absent vs attached and writes `BENCH_obs_overhead.json`.
 
 use gql_bench::experiments::{
-    bench_csr, bench_parallel, bench_profile, bench_refine, csr_bench_json, fig4_20, fig4_21,
-    fig4_22, fig4_23a, fig4_23b, parallel_bench_json, print_csr_rows, print_parallel_rows,
+    bench_csr, bench_parallel, bench_profile, bench_refine, bench_trace, csr_bench_json, fig4_20,
+    fig4_21, fig4_22, fig4_23a, fig4_23b, parallel_bench_json, print_csr_rows, print_parallel_rows,
     print_profile_result, print_refine_rows, print_space_rows, print_step_rows, print_total_rows,
-    profile_bench_json, refine_bench_json, Scale,
+    print_trace_rows, profile_bench_json, refine_bench_json, trace_bench_json, Scale,
 };
 
 fn main() {
@@ -131,6 +132,19 @@ fn main() {
             Err(e) => eprintln!("# could not write {path}: {e}"),
         }
     };
+    let run_trace = || {
+        let rows = bench_trace(scale, threads);
+        print_trace_rows(
+            "Trace sink — disabled vs enabled wall-clock, optimized pipeline",
+            &rows,
+        );
+        let json = trace_bench_json(scale, threads, &rows);
+        let path = "BENCH_obs_overhead.json";
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("# wrote {path}"),
+            Err(e) => eprintln!("# could not write {path}: {e}"),
+        }
+    };
     let run_smoke = || {
         let rows = bench_parallel(scale, threads);
         print_parallel_rows(
@@ -154,6 +168,7 @@ fn main() {
         "refine" => run_refine(),
         "profile" => run_profile(),
         "csr" => run_csr(),
+        "trace" => run_trace(),
         "smoke" => run_smoke(),
         "all" => {
             run_20();
@@ -164,7 +179,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment {other:?}; use fig4_20|fig4_21|fig4_22|fig4_23|refine|profile|csr|smoke|all"
+                "unknown experiment {other:?}; use fig4_20|fig4_21|fig4_22|fig4_23|refine|profile|csr|trace|smoke|all"
             );
             std::process::exit(2);
         }

@@ -1057,6 +1057,195 @@ pub fn csr_bench_json(scale: Scale, threads: usize, rows: &[CsrBenchRow]) -> Str
     s
 }
 
+// -------------------------------------------------------- trace bench
+
+/// One tracing-overhead comparison (a `BENCH_obs_overhead.json` row):
+/// batch wall-clock of the full optimized pipeline with the trace sink
+/// absent and attached. The disabled path is sampled twice
+/// (`off_us`/`off2_us`) so the spread between two identical
+/// configurations bounds measurement noise; `disabled_overhead` is that
+/// spread and must stay small for `enabled_overhead` to mean anything.
+#[derive(Debug, Clone)]
+pub struct TraceBenchRow {
+    /// Workload name.
+    pub name: String,
+    /// Queries timed per pass.
+    pub queries: usize,
+    /// Total matches across the batch (identical for both paths by
+    /// construction).
+    pub hits: usize,
+    /// Batch wall-clock with `MatchOptions.trace = None`, µs.
+    pub off_us: f64,
+    /// Second disabled sample under the same conditions, µs.
+    pub off2_us: f64,
+    /// Batch wall-clock with a [`gql_core::TraceSink`] attached, µs.
+    pub on_us: f64,
+    /// `off2_us / off_us - 1`: noise bound on the disabled path.
+    pub disabled_overhead: f64,
+    /// `on_us / off_us - 1`: cost of recording the timeline.
+    pub enabled_overhead: f64,
+    /// Trace events one enabled pass over the batch records.
+    pub events: usize,
+}
+
+fn bench_trace_one(name: &str, w: &Workload, queries: &[Graph], threads: usize) -> TraceBenchRow {
+    // One timed sample = 3 passes over the batch (µs reported per
+    // pass), interleaved min-of-9 per path — same noise discipline as
+    // the CSR bench.
+    const PASSES: u32 = 3;
+    let mut off = Configs::optimized();
+    off.threads = threads;
+    let time = |opts: &gql_match::MatchOptions| {
+        let t = std::time::Instant::now();
+        let mut hits = 0usize;
+        let mut mappings = Vec::new();
+        for _ in 0..PASSES {
+            mappings.clear();
+            hits = 0;
+            for q in queries {
+                let rep = w.run(q, opts);
+                hits += rep.mappings.len();
+                mappings.push(rep.mappings);
+            }
+        }
+        (
+            t.elapsed().as_secs_f64() * 1e6 / f64::from(PASSES),
+            hits,
+            mappings,
+        )
+    };
+    // Each enabled sample gets a fresh sink so buffer growth across
+    // samples never leaks into later timings.
+    let time_on = || {
+        let sink = gql_core::TraceSink::new();
+        let mut on = off.clone();
+        on.trace = Some(sink.clone());
+        let (us, hits, mappings) = time(&on);
+        (us, hits, mappings, sink.len() / PASSES as usize)
+    };
+
+    // Untimed warm-up, then interleaved timed samples.
+    let _ = time(&off);
+    let _ = time_on();
+    let (mut off_us, hits, maps_off) = time(&off);
+    let (mut on_us, _, maps_on, events) = time_on();
+    let (mut off2_us, _, _) = time(&off);
+    for _ in 0..8 {
+        off_us = off_us.min(time(&off).0);
+        on_us = on_us.min(time_on().0);
+        off2_us = off2_us.min(time(&off).0);
+    }
+    assert_eq!(maps_off, maps_on, "tracing changed match results on {name}");
+
+    TraceBenchRow {
+        name: name.to_string(),
+        queries: queries.len(),
+        hits,
+        off_us,
+        off2_us,
+        on_us,
+        disabled_overhead: off2_us / off_us - 1.0,
+        enabled_overhead: on_us / off_us - 1.0,
+        events,
+    }
+}
+
+/// Trace sink absent vs attached for the full optimized pipeline on one
+/// PPI clique workload and one synthetic subgraph workload. Asserts the
+/// mappings are identical before reporting the timing delta.
+pub fn bench_trace(scale: Scale, threads: usize) -> Vec<TraceBenchRow> {
+    let threads = gql_core::resolve_threads(threads);
+    let nq = match scale {
+        Scale::Quick => 8,
+        Scale::Full => 40,
+    };
+    let mut rows = Vec::new();
+    let ppi = Workload::ppi();
+    rows.push(bench_trace_one(
+        "ppi_clique_5",
+        &ppi,
+        &ppi.cliques(5, nq, 0x7ACE1),
+        threads,
+    ));
+    let syn = Workload::synthetic(10_000, 0x5eed);
+    rows.push(bench_trace_one(
+        "synthetic10k_subgraph_8",
+        &syn,
+        &syn.subgraphs(8, nq, 0x7ACE2),
+        threads,
+    ));
+    rows
+}
+
+/// Renders [`bench_trace`] rows as the machine-readable
+/// `BENCH_obs_overhead.json` document.
+pub fn trace_bench_json(scale: Scale, threads: usize, rows: &[TraceBenchRow]) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"machine_cores\": {cores},\n"));
+    s.push_str(&format!(
+        "  \"threads\": {},\n",
+        gql_core::resolve_threads(threads)
+    ));
+    s.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        if scale == Scale::Full {
+            "full"
+        } else {
+            "quick"
+        }
+    ));
+    s.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"queries\": {}, \"hits\": {}, \"off_us\": {:.1}, \"off2_us\": {:.1}, \"on_us\": {:.1}, \"disabled_overhead\": {:.4}, \"enabled_overhead\": {:.4}, \"events\": {}}}{}\n",
+            r.name,
+            r.queries,
+            r.hits,
+            r.off_us,
+            r.off2_us,
+            r.on_us,
+            r.disabled_overhead,
+            r.enabled_overhead,
+            r.events,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Prints a trace-bench table.
+pub fn print_trace_rows(title: &str, rows: &[TraceBenchRow]) {
+    println!("\n{title}");
+    println!(
+        "{:>26} {:>8} {:>6} {:>12} {:>12} {:>12} {:>9} {:>9} {:>8}",
+        "workload",
+        "queries",
+        "hits",
+        "off (µs)",
+        "off2 (µs)",
+        "on (µs)",
+        "off Δ",
+        "on Δ",
+        "events"
+    );
+    for r in rows {
+        println!(
+            "{:>26} {:>8} {:>6} {:>12.1} {:>12.1} {:>12.1} {:>8.1}% {:>8.1}% {:>8}",
+            r.name,
+            r.queries,
+            r.hits,
+            r.off_us,
+            r.off2_us,
+            r.on_us,
+            r.disabled_overhead * 100.0,
+            r.enabled_overhead * 100.0,
+            r.events
+        );
+    }
+}
+
 /// Prints a CSR-bench table.
 pub fn print_csr_rows(title: &str, rows: &[CsrBenchRow]) {
     println!("\n{title}");

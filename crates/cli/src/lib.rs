@@ -17,6 +17,7 @@ use gql_engine::{collection_from_text, Database};
 use gql_match::{match_pattern, GraphIndex, IndexOptions, MatchOptions};
 use gql_relational::{graph_to_database, pattern_to_sql, ExecLimits};
 use std::fmt::Write as _;
+use std::time::Duration;
 
 /// CLI error: message + exit code.
 #[derive(Debug)]
@@ -46,6 +47,18 @@ impl CliError {
 /// Result alias.
 pub type Result<T> = std::result::Result<T, CliError>;
 
+/// What a command prints: query results go to `stdout`, everything
+/// else — load notices, profiles, EXPLAIN trees, the slow-query log —
+/// goes to `stderr`, so `gql run … > results.txt` captures results
+/// alone.
+#[derive(Debug, Default, PartialEq)]
+pub struct Output {
+    /// Query results (and nothing else, for `run`).
+    pub stdout: String,
+    /// Diagnostics: notices, profiles, EXPLAIN output, slow queries.
+    pub stderr: String,
+}
+
 /// Output format for `--profile`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProfileFormat {
@@ -59,7 +72,8 @@ pub enum ProfileFormat {
 #[derive(Debug, PartialEq)]
 pub enum Command {
     /// `gql run <program> [--data NAME=PATH]... [--threads N]
-    /// [--profile[=json]] [--no-csr]`
+    /// [--profile[=json]] [--explain[=json]] [--trace FILE]
+    /// [--slow-ms N] [--metrics FILE] [--no-csr]`
     Run {
         /// Program file path.
         program: String,
@@ -69,6 +83,14 @@ pub enum Command {
         threads: usize,
         /// Print a pipeline profile after execution.
         profile: Option<ProfileFormat>,
+        /// Print an EXPLAIN ANALYZE operator tree per FLWR expression.
+        explain: Option<ProfileFormat>,
+        /// Write a Chrome trace-event JSON timeline to this file.
+        trace: Option<String>,
+        /// Log statements slower than this many milliseconds.
+        slow_ms: Option<u64>,
+        /// Write Prometheus text-exposition metrics to this file.
+        metrics: Option<String>,
         /// Attach the CSR adjacency snapshot to built indexes
         /// (`--no-csr` turns it off; results are identical).
         csr: bool,
@@ -107,10 +129,14 @@ pub const USAGE: &str = "\
 gql — Graphs-at-a-time query language (He & Singh, SIGMOD 2008)
 
 USAGE:
-    gql run <program.gql> [--data NAME=PATH]... [--threads N] [--profile[=json]] [--no-csr]
+    gql run <program.gql> [--data NAME=PATH]... [--threads N] [--profile[=json]]
+            [--explain[=json]] [--trace FILE] [--slow-ms N] [--metrics FILE] [--no-csr]
     gql match --graph <data.gql> --pattern <pattern.gql> [--baseline] [--first] [--threads N] [--no-csr]
     gql sql   --graph <data.gql> --pattern <pattern.gql>
     gql help
+
+Query results are the only thing `run` writes to stdout; load notices,
+profiles, EXPLAIN trees, and the slow-query log go to stderr.
 
 `--threads N` runs the selection pipeline on N workers (0 = one per
 available core; default 1). Results are identical for any setting.
@@ -118,6 +144,22 @@ available core; default 1). Results are identical for any setting.
 `--profile` appends a per-phase breakdown of the pipeline (retrieval,
 refinement, search, operator timings) after the results; `--profile=json`
 emits the same report as JSON.
+
+`--explain` prints an EXPLAIN ANALYZE operator tree per FLWR expression
+(flwr → σ → retrieval/refinement/search) annotated with cardinalities,
+pruning ratios, and timings; `--explain=json` emits the trees as a JSON
+array.
+
+`--trace FILE` records begin/end events for every pipeline phase on
+every worker thread and writes a Chrome trace-event JSON timeline to
+FILE — open it at https://ui.perfetto.dev to see the query on a
+per-thread timeline.
+
+`--slow-ms N` logs any statement slower than N milliseconds together
+with its EXPLAIN ANALYZE tree.
+
+`--metrics FILE` writes the pipeline counters and phase timings to FILE
+in Prometheus text exposition format.
 
 `--no-csr` skips the CSR adjacency snapshot when building graph indexes,
 dropping search/refinement/profile construction back to the plain
@@ -143,6 +185,10 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             let mut data = Vec::new();
             let mut threads = 1;
             let mut profile = None;
+            let mut explain = None;
+            let mut trace = None;
+            let mut slow_ms = None;
+            let mut metrics = None;
             let mut csr = true;
             while let Some(a) = it.next() {
                 if a == "--no-csr" {
@@ -153,6 +199,30 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                     profile = Some(ProfileFormat::Json);
                 } else if let Some(fmt) = a.strip_prefix("--profile=") {
                     return Err(CliError::usage(format!("bad --profile format {fmt:?}")));
+                } else if a == "--explain" || a == "--explain=text" {
+                    explain = Some(ProfileFormat::Text);
+                } else if a == "--explain=json" {
+                    explain = Some(ProfileFormat::Json);
+                } else if let Some(fmt) = a.strip_prefix("--explain=") {
+                    return Err(CliError::usage(format!("bad --explain format {fmt:?}")));
+                } else if a == "--trace" {
+                    let path = it
+                        .next()
+                        .ok_or_else(|| CliError::usage("--trace needs a file path"))?;
+                    trace = Some(path.clone());
+                } else if a == "--metrics" {
+                    let path = it
+                        .next()
+                        .ok_or_else(|| CliError::usage("--metrics needs a file path"))?;
+                    metrics = Some(path.clone());
+                } else if a == "--slow-ms" {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError::usage("--slow-ms needs a threshold"))?;
+                    slow_ms = Some(
+                        v.parse()
+                            .map_err(|_| CliError::usage(format!("bad --slow-ms value {v:?}")))?,
+                    );
                 } else if a == "--data" {
                     let spec = it
                         .next()
@@ -174,6 +244,10 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 data,
                 threads,
                 profile,
+                explain,
+                trace,
+                slow_ms,
+                metrics,
                 csr,
             })
         }
@@ -222,26 +296,37 @@ fn load_graph(path: &str) -> Result<gql_core::Graph> {
     gql_engine::graph_from_text(&read(path)?).map_err(|e| CliError::run(format!("{path}: {e}")))
 }
 
-/// Executes a parsed command, returning the text to print.
-pub fn execute(cmd: Command) -> Result<String> {
-    let mut out = String::new();
+/// Executes a parsed command, returning the text for each stream.
+pub fn execute(cmd: Command) -> Result<Output> {
+    let mut out = Output::default();
     match cmd {
-        Command::Help => out.push_str(USAGE),
+        Command::Help => out.stdout.push_str(USAGE),
         Command::Run {
             program,
             data,
             threads,
             profile,
+            explain,
+            trace,
+            slow_ms,
+            metrics,
             csr,
         } => {
             let mut db = Database::new().with_threads(threads).with_csr(csr);
-            if profile.is_some() {
+            if profile.is_some() || metrics.is_some() {
                 db.enable_profiling();
+            }
+            if explain.is_some() {
+                db.enable_explain();
+            }
+            let sink = trace.as_ref().map(|_| db.enable_tracing());
+            if let Some(ms) = slow_ms {
+                db.set_slow_query_threshold(Duration::from_millis(ms));
             }
             for (name, path) in data {
                 let c: GraphCollection = collection_from_text(&read(&path)?)
                     .map_err(|e| CliError::run(format!("{path}: {e}")))?;
-                let _ = writeln!(out, "loaded {name}: {} graph(s)", c.len());
+                let _ = writeln!(out.stderr, "loaded {name}: {} graph(s)", c.len());
                 db.add_collection(name, c);
             }
             let src = read(&program)?;
@@ -249,9 +334,14 @@ pub fn execute(cmd: Command) -> Result<String> {
                 .execute(&src)
                 .map_err(|e| CliError::run(format!("{program}: {e}")))?;
             for (i, coll) in result.returned.iter().enumerate() {
-                let _ = writeln!(out, "-- result {} ({} graph(s)) --", i + 1, coll.len());
+                let _ = writeln!(
+                    out.stdout,
+                    "-- result {} ({} graph(s)) --",
+                    i + 1,
+                    coll.len()
+                );
                 for g in coll {
-                    let _ = writeln!(out, "{g}");
+                    let _ = writeln!(out.stdout, "{g}");
                 }
             }
             // `let` accumulators are the result of queries like the
@@ -260,25 +350,66 @@ pub fn execute(cmd: Command) -> Result<String> {
             vars.sort_by_key(|(k, _)| k.to_string());
             for (name, g) in vars {
                 let _ = writeln!(
-                    out,
+                    out.stdout,
                     "-- variable {name} ({} node(s), {} edge(s)) --\n{g}",
                     g.node_count(),
                     g.edge_count()
                 );
             }
-            out.push_str("ok\n");
+            out.stderr.push_str("ok\n");
             match profile {
                 Some(ProfileFormat::Text) => {
                     let _ = writeln!(
-                        out,
+                        out.stderr,
                         "\n-- profile --\n{}",
                         db.profile_report().render_text()
                     );
                 }
                 Some(ProfileFormat::Json) => {
-                    let _ = writeln!(out, "{}", db.profile_report().render_json());
+                    let _ = writeln!(out.stderr, "{}", db.profile_report().render_json());
                 }
                 None => {}
+            }
+            match explain {
+                Some(ProfileFormat::Text) => {
+                    let _ = writeln!(out.stderr, "\n-- explain --");
+                    for tree in db.explain_trees() {
+                        out.stderr.push_str(&tree.render_text());
+                    }
+                }
+                Some(ProfileFormat::Json) => {
+                    let trees: Vec<String> = db
+                        .explain_trees()
+                        .iter()
+                        .map(gql_core::ExplainNode::render_json)
+                        .collect();
+                    let _ = writeln!(out.stderr, "[{}]", trees.join(","));
+                }
+                None => {}
+            }
+            if slow_ms.is_some() {
+                let slow = db.slow_queries();
+                if !slow.is_empty() {
+                    let _ = writeln!(out.stderr, "\n-- slow queries ({}) --", slow.len());
+                    for q in slow {
+                        let _ = writeln!(
+                            out.stderr,
+                            "{} in {} took {:?}",
+                            q.pattern, q.source, q.elapsed
+                        );
+                        out.stderr.push_str(&q.explain.render_text());
+                    }
+                }
+            }
+            if let (Some(path), Some(sink)) = (&trace, &sink) {
+                std::fs::write(path, sink.render_chrome_json())
+                    .map_err(|e| CliError::run(format!("cannot write {path:?}: {e}")))?;
+                let _ = writeln!(out.stderr, "trace written to {path}: {} events", sink.len());
+            }
+            if let Some(path) = &metrics {
+                std::fs::write(path, db.profile_report().render_prometheus())
+                    .map_err(|e| CliError::run(format!("cannot write {path:?}: {e}")))?;
+                let _ = writeln!(out.stderr, "metrics written to {path}");
             }
         }
         Command::Match {
@@ -311,7 +442,7 @@ pub fn execute(cmd: Command) -> Result<String> {
             opts.threads = threads;
             opts.csr = csr;
             let rep = match_pattern(&p.pattern, &g, &index, &opts);
-            let _ = writeln!(out, "matches: {}", rep.mappings.len());
+            let _ = writeln!(out.stdout, "matches: {}", rep.mappings.len());
             let fmt_space = |ln: f64| {
                 if ln.is_finite() {
                     format!("10^{:.1}", ln / std::f64::consts::LN_10)
@@ -320,23 +451,23 @@ pub fn execute(cmd: Command) -> Result<String> {
                 }
             };
             let _ = writeln!(
-                out,
+                out.stdout,
                 "search space: baseline {}, after pruning {}, after refinement {}",
                 fmt_space(rep.spaces.baseline_ln),
                 fmt_space(rep.spaces.local_ln),
                 fmt_space(rep.spaces.refined_ln),
             );
-            let _ = writeln!(out, "search steps: {}", rep.search_steps);
-            let _ = writeln!(out, "time: {:?}", rep.timings.total());
+            let _ = writeln!(out.stdout, "search steps: {}", rep.search_steps);
+            let _ = writeln!(out.stdout, "time: {:?}", rep.timings.total());
             for (i, m) in rep.mappings.iter().enumerate().take(20) {
                 let names: Vec<String> = m
                     .iter()
                     .map(|&v| g.node(v).name.clone().unwrap_or_else(|| v.to_string()))
                     .collect();
-                let _ = writeln!(out, "  #{}: [{}]", i + 1, names.join(", "));
+                let _ = writeln!(out.stdout, "  #{}: [{}]", i + 1, names.join(", "));
             }
             if rep.mappings.len() > 20 {
-                let _ = writeln!(out, "  ... {} more", rep.mappings.len() - 20);
+                let _ = writeln!(out.stdout, "  ... {} more", rep.mappings.len() - 20);
             }
         }
         Command::Sql { graph, pattern } => {
@@ -344,13 +475,13 @@ pub fn execute(cmd: Command) -> Result<String> {
             let p = compile_pattern_text(&read(&pattern)?)
                 .map_err(|e| CliError::run(format!("{pattern}: {e}")))?;
             let sql = pattern_to_sql(&p.pattern.graph);
-            let _ = writeln!(out, "{sql}");
+            let _ = writeln!(out.stdout, "{sql}");
             let rel = graph_to_database(&g).map_err(|e| CliError::run(e.to_string()))?;
             let res = rel
                 .query(&sql, &ExecLimits::default())
                 .map_err(|e| CliError::run(e.to_string()))?;
             let _ = writeln!(
-                out,
+                out.stdout,
                 "rows: {} (examined {})",
                 res.rows.len(),
                 res.rows_examined
@@ -378,6 +509,10 @@ mod tests {
                 data: vec![("DBLP".into(), "d.gql".into())],
                 threads: 1,
                 profile: None,
+                explain: None,
+                trace: None,
+                slow_ms: None,
+                metrics: None,
                 csr: true,
             }
         );
@@ -412,6 +547,37 @@ mod tests {
             }
         ));
         assert!(parse_args(&args(&["run", "p.gql", "--profile=xml"])).is_err());
+        assert!(matches!(
+            parse_args(&args(&["run", "p.gql", "--explain"])).unwrap(),
+            Command::Run {
+                explain: Some(ProfileFormat::Text),
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_args(&args(&["run", "p.gql", "--explain=json"])).unwrap(),
+            Command::Run {
+                explain: Some(ProfileFormat::Json),
+                ..
+            }
+        ));
+        assert!(parse_args(&args(&["run", "p.gql", "--explain=xml"])).is_err());
+        assert!(matches!(
+            parse_args(&args(&["run", "p.gql", "--trace", "t.json", "--slow-ms", "5"])).unwrap(),
+            Command::Run {
+                trace: Some(t),
+                slow_ms: Some(5),
+                ..
+            } if t == "t.json"
+        ));
+        assert!(matches!(
+            parse_args(&args(&["run", "p.gql", "--metrics", "m.prom"])).unwrap(),
+            Command::Run { metrics: Some(m), .. } if m == "m.prom"
+        ));
+        assert!(parse_args(&args(&["run", "p.gql", "--trace"])).is_err());
+        assert!(parse_args(&args(&["run", "p.gql", "--metrics"])).is_err());
+        assert!(parse_args(&args(&["run", "p.gql", "--slow-ms"])).is_err());
+        assert!(parse_args(&args(&["run", "p.gql", "--slow-ms", "x"])).is_err());
         assert!(matches!(
             parse_args(&args(&[
                 "match",
@@ -486,18 +652,19 @@ mod tests {
             })
             .unwrap()
         };
-        let out = run_match(true);
+        let out = run_match(true).stdout;
         assert!(out.contains("matches: 1"), "{out}");
         assert!(out.contains("a1"), "{out}");
         // --no-csr must produce the same match output.
-        let no_csr = run_match(false);
+        let no_csr = run_match(false).stdout;
         assert!(no_csr.contains("matches: 1"), "{no_csr}");
 
         let sql_out = execute(Command::Sql {
             graph: gpath.to_string_lossy().into_owned(),
             pattern: ppath.to_string_lossy().into_owned(),
         })
-        .unwrap();
+        .unwrap()
+        .stdout;
         assert!(sql_out.contains("SELECT V1.vid, V2.vid"), "{sql_out}");
         assert!(sql_out.contains("rows: 1"), "{sql_out}");
         std::fs::remove_dir_all(&dir).ok();
@@ -523,36 +690,116 @@ mod tests {
                return graph { node n <name=Q.a.name>; };"#,
         )
         .unwrap();
-        let out = execute(Command::Run {
-            program: prog.to_string_lossy().into_owned(),
-            data: vec![("DBLP".into(), data.to_string_lossy().into_owned())],
-            threads: 2,
-            profile: None,
-            csr: true,
-        })
-        .unwrap();
-        assert!(out.contains("loaded DBLP: 2 graph(s)"), "{out}");
-        assert!(out.contains("result 1 (3 graph(s))"), "{out}");
-
-        // --profile appends the per-phase breakdown; =json is parseable
-        // by shape (counters + phases objects).
         let run = |profile| {
             execute(Command::Run {
                 program: prog.to_string_lossy().into_owned(),
                 data: vec![("DBLP".into(), data.to_string_lossy().into_owned())],
                 threads: 2,
                 profile,
+                explain: None,
+                trace: None,
+                slow_ms: None,
+                metrics: None,
                 csr: true,
             })
             .unwrap()
         };
-        let text = run(Some(ProfileFormat::Text));
+        let out = run(None);
+        assert!(out.stderr.contains("loaded DBLP: 2 graph(s)"), "{out:?}");
+        assert!(out.stdout.contains("result 1 (3 graph(s))"), "{out:?}");
+
+        // --profile appends the per-phase breakdown to stderr; =json is
+        // parseable by shape (counters + phases objects).
+        let text = run(Some(ProfileFormat::Text)).stderr;
         assert!(text.contains("-- profile --"), "{text}");
         assert!(text.contains("match.search"), "{text}");
         assert!(text.contains("retrieve.kept"), "{text}");
-        let json = run(Some(ProfileFormat::Json));
+        let json = run(Some(ProfileFormat::Json)).stderr;
         assert!(json.contains("\"counters\""), "{json}");
         assert!(json.contains("\"engine.flwr\""), "{json}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The full observability surface at once: stdout carries results
+    /// and nothing else (byte-identical to an uninstrumented run), the
+    /// EXPLAIN trees arrive on stderr as well-formed JSON, and the
+    /// trace + metrics files are written and well-formed.
+    #[test]
+    fn run_stdout_stays_pure_under_instrumentation() {
+        let dir = std::env::temp_dir().join(format!("gqlcli-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("dblp.gql");
+        let prog = dir.join("prog.gql");
+        std::fs::write(
+            &data,
+            r#"
+            graph G1 { node v1 <author name="A">; node v2 <author name="B">; };
+            graph G2 { node v1 <author name="A">; };
+            "#,
+        )
+        .unwrap();
+        std::fs::write(
+            &prog,
+            r#"for graph Q { node a <author>; } exhaustive in doc("DBLP")
+               return graph { node n <name=Q.a.name>; };"#,
+        )
+        .unwrap();
+        let trace_path = dir.join("trace.json");
+        let metrics_path = dir.join("metrics.prom");
+        let run = |instrumented: bool| {
+            execute(Command::Run {
+                program: prog.to_string_lossy().into_owned(),
+                data: vec![("DBLP".into(), data.to_string_lossy().into_owned())],
+                threads: 2,
+                profile: instrumented.then_some(ProfileFormat::Text),
+                explain: instrumented.then_some(ProfileFormat::Json),
+                trace: instrumented.then(|| trace_path.to_string_lossy().into_owned()),
+                slow_ms: instrumented.then_some(0),
+                metrics: instrumented.then(|| metrics_path.to_string_lossy().into_owned()),
+                csr: true,
+            })
+            .unwrap()
+        };
+        let plain = run(false);
+        let full = run(true);
+        assert_eq!(
+            full.stdout, plain.stdout,
+            "instrumentation must not leak into stdout or change results"
+        );
+        assert!(full.stdout.contains("-- result 1"), "{}", full.stdout);
+        for diagnostic in ["loaded DBLP", "-- profile --", "-- slow queries", "ok"] {
+            assert!(!full.stdout.contains(diagnostic), "{}", full.stdout);
+            assert!(full.stderr.contains(diagnostic), "{}", full.stderr);
+        }
+
+        // The --explain=json array is embedded in stderr; it is the
+        // only bracketed region (slow-query trees render as text after
+        // it, but the array's brackets bound all of them).
+        let start = full.stderr.find('[').unwrap();
+        let end = full.stderr[start..]
+            .find("\n]")
+            .map(|i| start + i + 2)
+            .unwrap();
+        gql_core::validate_json(&full.stderr[start..end]).unwrap();
+
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        gql_core::validate_json(&trace).unwrap();
+        assert!(trace.contains("\"traceEvents\""), "{trace}");
+        assert!(trace.contains("engine.flwr"), "{trace}");
+
+        let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(
+            metrics.contains("# TYPE gql_counter_total counter"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("gql_counter_total{name=\"engine.index_cache.misses\"} 1"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("gql_phase_seconds_count{phase=\"engine.flwr\"} 1"),
+            "{metrics}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -563,6 +810,10 @@ mod tests {
             data: vec![],
             threads: 1,
             profile: None,
+            explain: None,
+            trace: None,
+            slow_ms: None,
+            metrics: None,
             csr: true,
         })
         .unwrap_err();

@@ -3,7 +3,10 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match gql_cli::parse_args(&args).and_then(gql_cli::execute) {
-        Ok(out) => print!("{out}"),
+        Ok(out) => {
+            eprint!("{}", out.stderr);
+            print!("{}", out.stdout);
+        }
         Err(e) => {
             eprintln!("error: {}", e.message);
             if e.code == 2 {

@@ -63,6 +63,9 @@ pub use graph::{Edge, EdgeId, Graph, Node, NodeId};
 pub use intern::{IdProfile, LabelInterner, IMPOSSIBLE_LABEL, NO_LABEL};
 pub use io::{EdgeData, GraphData, NodeData};
 pub use neighborhood::{neighborhood_subgraph, NeighborhoodSubgraph, Profile};
+pub use obs::explain::ExplainNode;
+pub use obs::json::validate_json;
+pub use obs::trace::{ArgValue, TraceEvent, TraceSink, TraceSpan};
 pub use obs::{Obs, ObsReport, PhaseStats};
 pub use op::BinOp;
 pub use par::{par_map_index, par_map_index_with, par_map_slice, resolve_threads};

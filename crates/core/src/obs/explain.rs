@@ -1,0 +1,222 @@
+//! Hierarchical operator trees for `EXPLAIN ANALYZE` output.
+//!
+//! An [`ExplainNode`] is one operator in an executed query's plan —
+//! a FLWR clause, a σ selection, an index build, a per-pattern-node
+//! retrieval, a refinement level, a search — annotated with the actual
+//! cardinalities, pruning ratios, and timings observed while running
+//! it. The engine assembles the tree; this module owns the generic
+//! structure and its text/JSON renderings so every layer (and the CLI)
+//! shares one format.
+//!
+//! ```
+//! use gql_core::obs::explain::ExplainNode;
+//! use gql_core::obs::trace::ArgValue;
+//!
+//! let mut root = ExplainNode::new("select");
+//! root.prop("graphs", ArgValue::UInt(3));
+//! root.child(ExplainNode::new("search"));
+//! let text = root.render_text();
+//! assert!(text.starts_with("select"));
+//! assert!(text.contains("└─ search"));
+//! ```
+
+use std::fmt::Write as _;
+
+use super::trace::ArgValue;
+
+/// One operator in an explain tree: a label, ordered key/value
+/// annotations, and child operators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainNode {
+    /// Operator name (e.g. `flwr`, `select`, `retrieve`, `refine.level`).
+    pub label: String,
+    /// Annotations in insertion order (cardinalities, ratios, timings).
+    pub props: Vec<(String, ArgValue)>,
+    /// Child operators, outermost-first in execution order.
+    pub children: Vec<ExplainNode>,
+}
+
+impl ExplainNode {
+    /// A leaf node with the given label and no annotations.
+    pub fn new(label: impl Into<String>) -> ExplainNode {
+        ExplainNode {
+            label: label.into(),
+            props: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Appends an annotation (kept in insertion order).
+    pub fn prop(&mut self, key: impl Into<String>, value: ArgValue) -> &mut Self {
+        self.props.push((key.into(), value));
+        self
+    }
+
+    /// Appends a child operator.
+    pub fn child(&mut self, node: ExplainNode) -> &mut Self {
+        self.children.push(node);
+        self
+    }
+
+    /// Renders the tree as indented text with box-drawing connectors:
+    ///
+    /// ```text
+    /// flwr  (elapsed_ms=1.2)
+    /// └─ select  (graphs=3)
+    ///    ├─ index build  (ms=0.1)
+    ///    └─ graph[0]  (matches=2)
+    /// ```
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        self.render_line(&mut out);
+        out.push('\n');
+        self.render_children(&mut out, "");
+        out
+    }
+
+    fn render_line(&self, out: &mut String) {
+        out.push_str(&self.label);
+        if !self.props.is_empty() {
+            out.push_str("  (");
+            for (i, (k, v)) in self.props.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{k}={}", v.render_text());
+            }
+            out.push(')');
+        }
+    }
+
+    fn render_children(&self, out: &mut String, prefix: &str) {
+        let last = self.children.len().saturating_sub(1);
+        for (i, child) in self.children.iter().enumerate() {
+            out.push_str(prefix);
+            out.push_str(if i == last { "└─ " } else { "├─ " });
+            child.render_line(out);
+            out.push('\n');
+            let next = format!("{prefix}{}", if i == last { "   " } else { "│  " });
+            child.render_children(out, &next);
+        }
+    }
+
+    /// Renders the tree as a JSON object:
+    /// `{"label": ..., "props": {...}, "children": [...]}`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        self.render_json_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_json_into(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let _ = write!(
+            out,
+            "{pad}{{\n{pad}  \"label\": \"{}\",\n{pad}  \"props\": {{",
+            super::json_escape(&self.label)
+        );
+        for (i, (k, v)) in self.props.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n{pad}    \"{}\": ", super::json_escape(k));
+            match v {
+                ArgValue::Int(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                ArgValue::UInt(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                ArgValue::Float(f) if f.is_finite() => {
+                    let _ = write!(out, "{f}");
+                }
+                ArgValue::Float(f) => {
+                    let _ = write!(out, "\"{f}\"");
+                }
+                ArgValue::Str(s) => {
+                    let _ = write!(out, "\"{}\"", super::json_escape(s));
+                }
+                ArgValue::Bool(b) => {
+                    let _ = write!(out, "{b}");
+                }
+            }
+        }
+        if self.props.is_empty() {
+            out.push_str("},");
+        } else {
+            let _ = write!(out, "\n{pad}  }},");
+        }
+        let _ = write!(out, "\n{pad}  \"children\": [");
+        for (i, child) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            child.render_json_into(out, indent + 2);
+        }
+        if self.children.is_empty() {
+            let _ = write!(out, "]\n{pad}}}");
+        } else {
+            let _ = write!(out, "\n{pad}  ]\n{pad}}}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::json::validate_json;
+
+    fn sample() -> ExplainNode {
+        let mut root = ExplainNode::new("flwr");
+        root.prop("elapsed_ms", ArgValue::Float(1.25));
+        let mut select = ExplainNode::new("select");
+        select.prop("graphs", ArgValue::UInt(3));
+        select.prop("collection", ArgValue::Str("db\"x".into()));
+        let mut index = ExplainNode::new("index build");
+        index.prop("cached", ArgValue::Bool(true));
+        select.child(index);
+        select.child(ExplainNode::new("graph[0]"));
+        select.child(ExplainNode::new("graph[1]"));
+        root.child(select);
+        root
+    }
+
+    #[test]
+    fn text_rendering_draws_the_tree() {
+        let text = sample().render_text();
+        assert!(text.starts_with("flwr  (elapsed_ms=1.250)\n"), "{text}");
+        assert!(
+            text.contains("└─ select  (graphs=3, collection=db\"x)"),
+            "{text}"
+        );
+        assert!(text.contains("   ├─ index build  (cached=true)"), "{text}");
+        assert!(text.contains("   ├─ graph[0]"), "{text}");
+        assert!(text.contains("   └─ graph[1]"), "{text}");
+        // Nesting guide for non-last parents.
+        let mut deep = ExplainNode::new("a");
+        let mut b = ExplainNode::new("b");
+        b.child(ExplainNode::new("c"));
+        deep.child(b);
+        deep.child(ExplainNode::new("d"));
+        let text = deep.render_text();
+        assert!(text.contains("│  └─ c"), "{text}");
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let json = sample().render_json();
+        validate_json(&json).expect("explain JSON must be well-formed");
+        assert!(json.contains("\"label\": \"flwr\""), "{json}");
+        assert!(json.contains("\"graphs\": 3"), "{json}");
+        assert!(json.contains("\"db\\\"x\""), "{json}");
+    }
+
+    #[test]
+    fn empty_node_renders_cleanly() {
+        let node = ExplainNode::new("leaf");
+        assert_eq!(node.render_text(), "leaf\n");
+        validate_json(&node.render_json()).unwrap();
+    }
+}

@@ -35,6 +35,10 @@
 //! assert!(report.render_json().contains("\"search.steps\": 42"));
 //! ```
 
+pub mod explain;
+pub mod json;
+pub mod trace;
+
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fmt::Write as _;
@@ -109,11 +113,16 @@ pub struct PhaseStats {
 
 impl PhaseStats {
     /// Mean span duration (zero when nothing was recorded).
+    ///
+    /// Computed in u128 nanoseconds: `total / count` stays exact for
+    /// any span count (a `u32` divisor would silently divide by the
+    /// wrong count past 2^32 spans).
     pub fn mean(&self) -> Duration {
         if self.count == 0 {
             Duration::ZERO
         } else {
-            self.total / u32::try_from(self.count).unwrap_or(u32::MAX)
+            let ns = self.total.as_nanos() / u128::from(self.count);
+            Duration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
         }
     }
 }
@@ -343,6 +352,69 @@ impl ObsReport {
         s.push_str("}\n}\n");
         s
     }
+
+    /// Prometheus text exposition (version 0.0.4), ready for a
+    /// file-based scrape (`gql run --metrics FILE`) or an HTTP
+    /// endpoint. Counters become one `gql_counter_total` family with a
+    /// `name` label; every phase contributes `_count` / `_sum` plus
+    /// `min` / `max` gauges under `gql_phase_seconds`, all keyed by a
+    /// `phase` label (seconds, the Prometheus base unit).
+    pub fn render_prometheus(&self) -> String {
+        fn label_escape(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut s = String::new();
+        s.push_str("# HELP gql_counter_total Deterministic pipeline counters.\n");
+        s.push_str("# TYPE gql_counter_total counter\n");
+        for (name, v) in &self.counters {
+            let _ = writeln!(
+                s,
+                "gql_counter_total{{name=\"{}\"}} {v}",
+                label_escape(name)
+            );
+        }
+        s.push_str("# HELP gql_phase_seconds Wall-clock per pipeline phase.\n");
+        s.push_str("# TYPE gql_phase_seconds summary\n");
+        for (name, p) in &self.phases {
+            let n = label_escape(name);
+            let _ = writeln!(s, "gql_phase_seconds_count{{phase=\"{n}\"}} {}", p.count);
+            let _ = writeln!(
+                s,
+                "gql_phase_seconds_sum{{phase=\"{n}\"}} {}",
+                p.total.as_secs_f64()
+            );
+        }
+        s.push_str("# HELP gql_phase_min_seconds Shortest recorded span per phase.\n");
+        s.push_str("# TYPE gql_phase_min_seconds gauge\n");
+        for (name, p) in &self.phases {
+            let _ = writeln!(
+                s,
+                "gql_phase_min_seconds{{phase=\"{}\"}} {}",
+                label_escape(name),
+                p.min.as_secs_f64()
+            );
+        }
+        s.push_str("# HELP gql_phase_max_seconds Longest recorded span per phase.\n");
+        s.push_str("# TYPE gql_phase_max_seconds gauge\n");
+        for (name, p) in &self.phases {
+            let _ = writeln!(
+                s,
+                "gql_phase_max_seconds{{phase=\"{}\"}} {}",
+                label_escape(name),
+                p.max.as_secs_f64()
+            );
+        }
+        s
+    }
 }
 
 #[cfg(test)]
@@ -393,6 +465,104 @@ mod tests {
             }
         });
         assert_eq!(obs.report().counter("n"), Some(8000));
+    }
+
+    /// Regression: the mean used to be computed with a `u32` divisor
+    /// (`total / u32::try_from(count).unwrap_or(u32::MAX)`), silently
+    /// dividing by the wrong count once more than 2^32 spans were
+    /// recorded. The u128-nanosecond computation stays exact.
+    #[test]
+    fn mean_is_exact_past_u32_span_counts() {
+        let count = 1u64 << 34; // 4x past the clamp point
+        let stats = PhaseStats {
+            count,
+            total: Duration::from_nanos(count * 3),
+            min: Duration::from_nanos(3),
+            max: Duration::from_nanos(3),
+        };
+        assert_eq!(stats.mean(), Duration::from_nanos(3));
+        // The old clamped divisor would have reported ~4x the true mean.
+        let wrong = stats.total / u32::MAX;
+        assert!(wrong >= Duration::from_nanos(12), "{wrong:?}");
+        // Small counts are unchanged.
+        let small = PhaseStats {
+            count: 4,
+            total: Duration::from_nanos(10),
+            min: Duration::from_nanos(1),
+            max: Duration::from_nanos(4),
+        };
+        assert_eq!(small.mean(), Duration::from_nanos(2));
+        let empty = PhaseStats {
+            count: 0,
+            total: Duration::ZERO,
+            min: Duration::ZERO,
+            max: Duration::ZERO,
+        };
+        assert_eq!(empty.mean(), Duration::ZERO);
+    }
+
+    /// Eight threads hammering one `DurationStat` and one `Counter`:
+    /// the count and total must be exact, and the invariant
+    /// min ≤ mean ≤ max must hold on the snapshot.
+    #[test]
+    fn concurrent_duration_recording_is_exact() {
+        let obs = Obs::new();
+        let stat = obs.phase("hammered");
+        let counter = obs.counter("hits");
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 1000;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let stat = Arc::clone(&stat);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Deterministic per-record duration: 1..=8000 ns.
+                        stat.record(Duration::from_nanos(t * PER_THREAD + i + 1));
+                        counter.add(1);
+                    }
+                });
+            }
+        });
+        let rep = obs.report();
+        assert_eq!(rep.counter("hits"), Some(THREADS * PER_THREAD));
+        let p = rep.phase("hammered").unwrap();
+        assert_eq!(p.count, THREADS * PER_THREAD);
+        let n = THREADS * PER_THREAD;
+        assert_eq!(p.total, Duration::from_nanos(n * (n + 1) / 2));
+        assert_eq!(p.min, Duration::from_nanos(1));
+        assert_eq!(p.max, Duration::from_nanos(n));
+        assert!(p.min <= p.mean() && p.mean() <= p.max);
+    }
+
+    #[test]
+    fn prometheus_exposition_renders() {
+        let obs = Obs::new();
+        obs.add("search.steps", 42);
+        obs.record("match.search", Duration::from_millis(5));
+        obs.record("match.search", Duration::from_millis(7));
+        let text = obs.report().render_prometheus();
+        assert!(
+            text.contains("gql_counter_total{name=\"search.steps\"} 42"),
+            "{text}"
+        );
+        assert!(
+            text.contains("gql_phase_seconds_count{phase=\"match.search\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("gql_phase_seconds_sum{phase=\"match.search\"} 0.012"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE gql_counter_total counter"), "{text}");
+        assert!(
+            text.contains("gql_phase_min_seconds{phase=\"match.search\"} 0.005"),
+            "{text}"
+        );
+        assert!(
+            text.contains("gql_phase_max_seconds{phase=\"match.search\"} 0.007"),
+            "{text}"
+        );
     }
 
     #[test]

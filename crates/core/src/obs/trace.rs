@@ -1,0 +1,418 @@
+//! Per-query structured tracing: timestamped begin/end events with
+//! thread ids and typed arguments, exportable as Chrome trace-event
+//! JSON (loadable in Perfetto / `chrome://tracing`).
+//!
+//! Where [`super::Obs`] aggregates counters and phase totals across a
+//! whole run, a [`TraceSink`] records *individual* events — one
+//! retrieval per pattern node, one refinement level, one search chunk
+//! per worker — so per-query questions ("which pattern node's candidate
+//! set exploded?", "did refinement pay for itself?") have answers on a
+//! timeline.
+//!
+//! Design rules mirror the registry's:
+//!
+//! - **Disabled means free.** Pipeline code holds an
+//!   `Option<Arc<TraceSink>>`; `None` is a skipped branch. Events are
+//!   coarse (per phase / pattern node / refine level / search chunk),
+//!   never per candidate.
+//! - **Per-thread buffers.** Each recording thread is assigned a small
+//!   integer id (stable for the thread's lifetime) and appends to a
+//!   sharded buffer selected by that id, so concurrent workers almost
+//!   never contend on a lock; the export pass merges and time-sorts.
+//! - **Std-only.** No serde: the Chrome trace-event format is flat
+//!   enough to emit by hand, and [`super::json`] checks well-formedness
+//!   in tests.
+//!
+//! ```
+//! use gql_core::obs::trace::{ArgValue, TraceSink};
+//!
+//! let sink = TraceSink::new();
+//! {
+//!     let mut span = sink.span("match.search", "match");
+//!     span.arg("steps", ArgValue::UInt(42));
+//! } // records a complete ("X") event on drop
+//! let json = sink.render_chrome_json();
+//! assert!(json.contains("\"traceEvents\""));
+//! assert!(json.contains("\"match.search\""));
+//! ```
+
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A typed event argument (rendered without quotes for numbers and
+/// booleans, quoted and escaped for strings).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (counters, cardinalities).
+    UInt(u64),
+    /// Floating point (ratios). Non-finite values render as strings,
+    /// since JSON has no NaN/Infinity literals.
+    Float(f64),
+    /// Free-form text.
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl ArgValue {
+    fn render_json(&self, out: &mut String) {
+        match self {
+            ArgValue::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            ArgValue::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            ArgValue::Float(v) if v.is_finite() => {
+                let _ = write!(out, "{v}");
+            }
+            ArgValue::Float(v) => {
+                let _ = write!(out, "\"{v}\"");
+            }
+            ArgValue::Str(s) => {
+                let _ = write!(out, "\"{}\"", super::json_escape(s));
+            }
+            ArgValue::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+        }
+    }
+
+    /// The value as it appears in the operator-tree text rendering.
+    pub fn render_text(&self) -> String {
+        match self {
+            ArgValue::Int(v) => v.to_string(),
+            ArgValue::UInt(v) => v.to_string(),
+            ArgValue::Float(v) => format!("{v:.3}"),
+            ArgValue::Str(s) => s.clone(),
+            ArgValue::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+/// Event phase, following the Chrome trace-event vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span with a duration (`"ph": "X"`).
+    Complete,
+    /// A point in time (`"ph": "i"`).
+    Instant,
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Event name (e.g. `match.search`, `refine.level`).
+    pub name: String,
+    /// Category, used by trace viewers to group/filter rows.
+    pub cat: &'static str,
+    /// Complete span or instant marker.
+    pub kind: EventKind,
+    /// Start time in nanoseconds since the sink's epoch.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds (0 for instants).
+    pub dur_ns: u64,
+    /// Recording thread's sink-assigned id.
+    pub tid: u64,
+    /// Typed arguments shown in the viewer's detail pane.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// Number of per-thread buffer shards. Worker pools here are sized by
+/// core count; 16 shards keep same-shard collisions rare, and a
+/// collision only costs brief mutex contention, never corruption.
+const SHARDS: usize = 16;
+
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small integer id for the calling thread, stable for the thread's
+/// lifetime and unique across the process (ids are assigned in first-use
+/// order, so thread 1 is whichever thread traced first).
+pub fn thread_id() -> u64 {
+    THREAD_ID.with(|id| *id)
+}
+
+/// A per-query (or per-run) event collector with per-thread sharded
+/// buffers. Share it via `Arc`; recording takes one uncontended mutex
+/// push per event.
+pub struct TraceSink {
+    epoch: Instant,
+    shards: Vec<Mutex<Vec<TraceEvent>>>,
+}
+
+impl fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TraceSink({} events)", self.len())
+    }
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink {
+            epoch: Instant::now(),
+            shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+}
+
+impl TraceSink {
+    /// A fresh sink behind an `Arc` (the shape every pipeline layer
+    /// consumes). Its epoch — the zero of every event timestamp — is
+    /// the moment of creation.
+    pub fn new() -> Arc<TraceSink> {
+        Arc::new(TraceSink::default())
+    }
+
+    /// Total events recorded so far.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("trace shard poisoned").len())
+            .sum()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push(&self, ev: TraceEvent) {
+        let shard = (ev.tid as usize) % SHARDS;
+        self.shards[shard]
+            .lock()
+            .expect("trace shard poisoned")
+            .push(ev);
+    }
+
+    fn since_epoch(&self, t: Instant) -> u64 {
+        u64::try_from(t.saturating_duration_since(self.epoch).as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Records a complete ("X") event that started at `start` and ends
+    /// now.
+    pub fn complete(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        start: Instant,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        let ts_ns = self.since_epoch(start);
+        let dur_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.push(TraceEvent {
+            name: name.into(),
+            cat,
+            kind: EventKind::Complete,
+            ts_ns,
+            dur_ns,
+            tid: thread_id(),
+            args,
+        });
+    }
+
+    /// Records an instant ("i") event at the current time.
+    pub fn instant(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        self.push(TraceEvent {
+            name: name.into(),
+            cat,
+            kind: EventKind::Instant,
+            ts_ns: self.since_epoch(Instant::now()),
+            dur_ns: 0,
+            tid: thread_id(),
+            args,
+        });
+    }
+
+    /// Starts a span; the complete event is recorded when the returned
+    /// guard drops. Attach arguments with [`TraceSpan::arg`].
+    pub fn span(&self, name: impl Into<String>, cat: &'static str) -> TraceSpan<'_> {
+        TraceSpan {
+            sink: self,
+            name: name.into(),
+            cat,
+            start: Instant::now(),
+            args: Vec::new(),
+        }
+    }
+
+    /// A merged, time-sorted snapshot of every recorded event (the
+    /// buffers are left intact; export is an end-of-run operation).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut all: Vec<TraceEvent> = Vec::new();
+        for shard in &self.shards {
+            all.extend(shard.lock().expect("trace shard poisoned").iter().cloned());
+        }
+        all.sort_by_key(|e| (e.ts_ns, e.tid, e.dur_ns));
+        all
+    }
+
+    /// Renders the whole sink as a Chrome trace-event JSON document
+    /// (the object form: `{"traceEvents": [...]}`), loadable in
+    /// Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing`.
+    /// Timestamps and durations are microseconds with nanosecond
+    /// precision, as the format specifies.
+    pub fn render_chrome_json(&self) -> String {
+        let events = self.events();
+        let mut s = String::from(
+            "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n\
+             {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": 0, \
+             \"args\": {\"name\": \"gql\"}}",
+        );
+        for e in &events {
+            s.push_str(",\n");
+            let _ = write!(
+                s,
+                "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"{}\", \"pid\": 0, \
+                 \"tid\": {}, \"ts\": {}.{:03}",
+                super::json_escape(&e.name),
+                super::json_escape(e.cat),
+                match e.kind {
+                    EventKind::Complete => "X",
+                    EventKind::Instant => "i",
+                },
+                e.tid,
+                e.ts_ns / 1000,
+                e.ts_ns % 1000,
+            );
+            if e.kind == EventKind::Complete {
+                let _ = write!(s, ", \"dur\": {}.{:03}", e.dur_ns / 1000, e.dur_ns % 1000);
+            } else {
+                s.push_str(", \"s\": \"t\"");
+            }
+            if !e.args.is_empty() {
+                s.push_str(", \"args\": {");
+                for (i, (k, v)) in e.args.iter().enumerate() {
+                    if i > 0 {
+                        s.push_str(", ");
+                    }
+                    let _ = write!(s, "\"{}\": ", super::json_escape(k));
+                    v.render_json(&mut s);
+                }
+                s.push('}');
+            }
+            s.push('}');
+        }
+        s.push_str("\n]\n}\n");
+        s
+    }
+}
+
+/// An in-flight trace span; records a complete event into the sink on
+/// drop.
+pub struct TraceSpan<'a> {
+    sink: &'a TraceSink,
+    name: String,
+    cat: &'static str,
+    start: Instant,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+impl TraceSpan<'_> {
+    /// Attaches a typed argument to the event recorded at drop.
+    pub fn arg(&mut self, key: &'static str, value: ArgValue) {
+        self.args.push((key, value));
+    }
+}
+
+impl Drop for TraceSpan<'_> {
+    fn drop(&mut self) {
+        let ts_ns = self.sink.since_epoch(self.start);
+        let dur_ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.sink.push(TraceEvent {
+            name: std::mem::take(&mut self.name),
+            cat: self.cat,
+            kind: EventKind::Complete,
+            ts_ns,
+            dur_ns,
+            tid: thread_id(),
+            args: std::mem::take(&mut self.args),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::json::validate_json;
+
+    #[test]
+    fn spans_and_instants_record_events() {
+        let sink = TraceSink::new();
+        {
+            let mut span = sink.span("phase.a", "match");
+            span.arg("candidates", ArgValue::UInt(10));
+            span.arg("ratio", ArgValue::Float(0.5));
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        sink.instant("marker", "engine", vec![("node", ArgValue::Int(3))]);
+        sink.complete(
+            "phase.b",
+            "match",
+            Instant::now(),
+            vec![("label", ArgValue::Str("A\"B".into()))],
+        );
+        assert_eq!(sink.len(), 3);
+        let events = sink.events();
+        // Sorted by timestamp: the span started first.
+        assert_eq!(events[0].name, "phase.a");
+        assert!(events[0].dur_ns >= 1_000_000, "{:?}", events[0]);
+        assert_eq!(events[0].args[0], ("candidates", ArgValue::UInt(10)));
+        let json = sink.render_chrome_json();
+        validate_json(&json).expect("chrome trace must be well-formed JSON");
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        assert!(json.contains("\"ph\": \"X\""), "{json}");
+        assert!(json.contains("\"ph\": \"i\""), "{json}");
+        assert!(json.contains("\"A\\\"B\""), "{json}");
+    }
+
+    #[test]
+    fn concurrent_recording_keeps_every_event_with_distinct_tids() {
+        let sink = TraceSink::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let sink = Arc::clone(&sink);
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        sink.instant("tick", "test", vec![("i", ArgValue::UInt(i))]);
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.len(), 800);
+        let tids: std::collections::BTreeSet<u64> = sink.events().iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 8, "each worker gets its own thread id");
+        validate_json(&sink.render_chrome_json()).unwrap();
+    }
+
+    #[test]
+    fn empty_sink_renders_metadata_only() {
+        let sink = TraceSink::new();
+        assert!(sink.is_empty());
+        let json = sink.render_chrome_json();
+        validate_json(&json).unwrap();
+        assert!(json.contains("process_name"), "{json}");
+    }
+
+    #[test]
+    fn nonfinite_floats_render_as_strings() {
+        let sink = TraceSink::new();
+        sink.instant("x", "t", vec![("nan", ArgValue::Float(f64::NAN))]);
+        let json = sink.render_chrome_json();
+        validate_json(&json).expect("NaN must not leak as a bare literal");
+        assert!(json.contains("\"NaN\""), "{json}");
+    }
+}

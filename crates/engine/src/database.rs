@@ -3,12 +3,13 @@
 
 use crate::error::{EngineError, Result};
 use gql_algebra::{compile_pattern, ops, CompiledPattern, PatternRegistry, TemplateEnv};
-use gql_core::{Graph, GraphCollection, Obs, ObsReport};
+use gql_core::{ArgValue, ExplainNode, Graph, GraphCollection, Obs, ObsReport, TraceSink};
 use gql_match::{GraphIndex, MatchOptions, Pattern};
 use gql_parser::ast::{FlwrAst, FlwrBody, GraphTemplateAst, PatternRef, Program, Statement};
 use gql_parser::parse_program;
 use rustc_hash::FxHashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Result of executing a program: every `return` clause contributes one
 /// collection, in order.
@@ -18,6 +19,21 @@ pub struct ExecOutcome {
     /// statement with a `return` body; each entry has one graph per
     /// match).
     pub returned: Vec<GraphCollection>,
+}
+
+/// One slow-query log entry: a FLWR statement whose wall-clock time met
+/// the [`Database::set_slow_query_threshold`] threshold, captured with
+/// its `EXPLAIN ANALYZE` operator tree.
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// Name of the pattern the `for` clause matched.
+    pub pattern: String,
+    /// Name of the collection queried.
+    pub source: String,
+    /// Wall-clock time of the whole FLWR statement.
+    pub elapsed: Duration,
+    /// The statement's `EXPLAIN ANALYZE` tree.
+    pub explain: ExplainNode,
 }
 
 /// A GraphQL database: "one or more collections of graphs" (§3.1) plus
@@ -39,6 +55,14 @@ pub struct Database {
     /// reads the ratio report — and runs single-threaded; see
     /// [`Database::with_threads`].
     pub options: MatchOptions,
+    /// `EXPLAIN ANALYZE` trees of executed FLWR statements, collected in
+    /// execution order while [`Database::enable_explain`] is on.
+    explain_trees: Vec<ExplainNode>,
+    /// Wall-clock threshold above which a FLWR statement is logged with
+    /// its ANALYZE tree (`None` = slow-query log off).
+    slow_threshold: Option<Duration>,
+    /// Statements that met the threshold, in execution order.
+    slow_log: Vec<SlowQuery>,
 }
 
 impl Default for Database {
@@ -60,6 +84,9 @@ impl Database {
                 report_baseline_space: false,
                 ..MatchOptions::default()
             },
+            explain_trees: Vec::new(),
+            slow_threshold: None,
+            slow_log: Vec::new(),
         }
     }
 
@@ -103,6 +130,47 @@ impl Database {
             .as_ref()
             .map(|o| o.report())
             .unwrap_or_default()
+    }
+
+    /// Attaches a fresh trace sink: every subsequent query records
+    /// per-phase and fine-grained events into it (exportable as Chrome
+    /// trace-event JSON via [`TraceSink::render_chrome_json`]). Returns
+    /// the sink handle (also retrievable via [`Database::trace_sink`]).
+    pub fn enable_tracing(&mut self) -> Arc<TraceSink> {
+        let sink = TraceSink::new();
+        self.options.trace = Some(Arc::clone(&sink));
+        sink
+    }
+
+    /// The attached trace sink, if tracing is enabled.
+    pub fn trace_sink(&self) -> Option<&Arc<TraceSink>> {
+        self.options.trace.as_ref()
+    }
+
+    /// Turns on `EXPLAIN ANALYZE` collection: each executed FLWR
+    /// statement appends its operator tree to
+    /// [`Database::explain_trees`].
+    pub fn enable_explain(&mut self) {
+        self.options.explain = true;
+    }
+
+    /// Operator trees of the FLWR statements executed since explain was
+    /// enabled, in execution order.
+    pub fn explain_trees(&self) -> &[ExplainNode] {
+        &self.explain_trees
+    }
+
+    /// Enables the slow-query log: any FLWR statement whose wall-clock
+    /// time reaches `threshold` is recorded in
+    /// [`Database::slow_queries`] together with its `EXPLAIN ANALYZE`
+    /// tree (captured automatically — explain need not be enabled).
+    pub fn set_slow_query_threshold(&mut self, threshold: Duration) {
+        self.slow_threshold = Some(threshold);
+    }
+
+    /// Statements that met the slow-query threshold, in execution order.
+    pub fn slow_queries(&self) -> &[SlowQuery] {
+        &self.slow_log
     }
 
     /// Registers a collection under `name` (the target of
@@ -193,6 +261,7 @@ impl Database {
     fn eval_flwr(&mut self, f: &FlwrAst) -> Result<Option<GraphCollection>> {
         // Per-statement FLWR timing (covers pattern resolution, σ, and
         // the return/let body).
+        let started = Instant::now();
         let _stmt_span = self.options.obs.as_deref().map(|o| o.span("engine.flwr"));
         // Resolve the pattern.
         let (compiled, pname) = match &f.pattern {
@@ -240,16 +309,19 @@ impl Database {
 
         let mut opts = self.options.clone();
         opts.exhaustive = f.exhaustive;
+        // The slow-query log needs the ANALYZE tree even when explain
+        // was not requested explicitly.
+        opts.explain = opts.explain || self.slow_threshold.is_some();
 
         // σ against cached per-graph indexes: a stored collection is
         // indexed once and every subsequent query over it reuses the
         // indexes (`add_collection`/`add_graph` invalidate on mutation).
-        let indexes = match self.index_cache.get(&f.source) {
+        let (indexes, cached) = match self.index_cache.get(&f.source) {
             Some(ix) => {
                 if let Some(obs) = &opts.obs {
                     obs.add("engine.index_cache.hits", 1);
                 }
-                ix.clone()
+                (ix.clone(), true)
             }
             None => {
                 if let Some(obs) = &opts.obs {
@@ -257,34 +329,82 @@ impl Database {
                 }
                 let built = ops::build_collection_indexes(collection, &opts);
                 self.index_cache.insert(f.source.clone(), built.clone());
-                built
+                (built, false)
             }
         };
-        let matches = ops::select_with_indexes(&compiled, collection, &indexes, &opts)?;
+        let (matches, select_explain) =
+            ops::select_with_indexes_explain(&compiled, collection, &indexes, &opts)?;
 
-        let _body_span = opts.obs.as_deref().map(|o| o.span("op.compose"));
-        match &f.body {
-            FlwrBody::Return(template) => {
-                let mut out = GraphCollection::new();
-                for m in &matches {
-                    let env = self.template_env(Some((&pname, m)));
-                    out.push(gql_algebra::instantiate(template, &env)?);
+        let result = {
+            let _body_span = opts.obs.as_deref().map(|o| o.span("op.compose"));
+            match &f.body {
+                FlwrBody::Return(template) => {
+                    let mut out = GraphCollection::new();
+                    for m in &matches {
+                        let env = self.template_env(Some((&pname, m)));
+                        out.push(gql_algebra::instantiate(template, &env)?);
+                    }
+                    Some(out)
                 }
-                Ok(Some(out))
+                FlwrBody::Let { name, template } => {
+                    // Sequential accumulation (Figure 4.13): each iteration
+                    // sees the variable state left by the previous one.
+                    for m in &matches {
+                        let env = self.template_env(Some((&pname, m)));
+                        let g = gql_algebra::instantiate(template, &env)?;
+                        self.vars.insert(name.clone(), g);
+                    }
+                    // `let` over zero matches still defines the variable
+                    // if a previous assignment did; otherwise leave it
+                    // unset.
+                    None
+                }
             }
-            FlwrBody::Let { name, template } => {
-                // Sequential accumulation (Figure 4.13): each iteration
-                // sees the variable state left by the previous one.
-                for m in &matches {
-                    let env = self.template_env(Some((&pname, m)));
-                    let g = gql_algebra::instantiate(template, &env)?;
-                    self.vars.insert(name.clone(), g);
+        };
+
+        let elapsed = started.elapsed();
+        if let Some(sel) = select_explain {
+            let mut tree = ExplainNode::new("flwr");
+            tree.prop("pattern", ArgValue::Str(pname.clone()));
+            tree.prop("source", ArgValue::Str(f.source.clone()));
+            tree.prop("exhaustive", ArgValue::Bool(f.exhaustive));
+            tree.prop("matches", ArgValue::UInt(matches.len() as u64));
+            tree.prop("elapsed_ms", ArgValue::Float(elapsed.as_secs_f64() * 1e3));
+            let mut ix = ExplainNode::new("index");
+            ix.prop("cached", ArgValue::Bool(cached));
+            ix.prop("graphs", ArgValue::UInt(indexes.len() as u64));
+            tree.child(ix);
+            tree.child(sel);
+            if let Some(threshold) = self.slow_threshold {
+                if elapsed >= threshold {
+                    if let Some(obs) = &opts.obs {
+                        obs.add("engine.slow_queries", 1);
+                    }
+                    self.slow_log.push(SlowQuery {
+                        pattern: pname.clone(),
+                        source: f.source.clone(),
+                        elapsed,
+                        explain: tree.clone(),
+                    });
                 }
-                // `let` over zero matches still defines the variable if a
-                // previous assignment did; otherwise leave it unset.
-                Ok(None)
+            }
+            if self.options.explain {
+                self.explain_trees.push(tree);
             }
         }
+        if let Some(sink) = &opts.trace {
+            sink.complete(
+                "engine.flwr",
+                "engine",
+                started,
+                vec![
+                    ("pattern", ArgValue::Str(pname.clone())),
+                    ("source", ArgValue::Str(f.source.clone())),
+                    ("matches", ArgValue::UInt(matches.len() as u64)),
+                ],
+            );
+        }
+        Ok(result)
     }
 
     /// Runs `template` once with no pattern parameter — public so callers
@@ -448,6 +568,85 @@ mod tests {
         // Per-statement spans were recorded for all three FLWRs.
         assert_eq!(rep.phase("engine.flwr").map(|p| p.count), Some(3));
         assert_eq!(obs.report().phase("op.select").map(|p| p.count), Some(3));
+    }
+
+    /// Explain + tracing on: results unchanged, one operator tree per
+    /// FLWR with the full flwr → index/select → graph[i] → match
+    /// hierarchy, and the sink holds engine-through-search events.
+    #[test]
+    fn explain_and_tracing_capture_flwr_statements() {
+        let query = r#"
+            for graph Q { node a <label="A">; node b <label="B">; edge e (a, b); }
+            exhaustive in doc("G")
+            return graph { node n <who=Q.a.label>; };
+        "#;
+        let (g, _) = figure_4_16_graph();
+        let mut plain_db = Database::new();
+        plain_db.add_graph("G", g.clone());
+        let plain = plain_db.execute(query).unwrap();
+
+        let mut db = Database::new();
+        let sink = db.enable_tracing();
+        db.enable_explain();
+        db.add_graph("G", g);
+        let out = db.execute(query).unwrap();
+        assert_eq!(out.returned[0].len(), plain.returned[0].len());
+
+        let trees = db.explain_trees();
+        assert_eq!(trees.len(), 1);
+        let tree = &trees[0];
+        assert_eq!(tree.label, "flwr");
+        let labels: Vec<&str> = tree.children.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, ["index", "select"]);
+        let select = &tree.children[1];
+        assert_eq!(select.children[0].label, "graph[0]");
+        assert_eq!(select.children[0].children[0].label, "match");
+        gql_core::validate_json(&tree.render_json()).unwrap();
+
+        let names: Vec<String> = sink.events().iter().map(|e| e.name.clone()).collect();
+        for expected in ["engine.flwr", "op.select", "op.index_build", "match.search"] {
+            assert!(names.iter().any(|n| n == expected), "{expected}: {names:?}");
+        }
+        gql_core::validate_json(&sink.render_chrome_json()).unwrap();
+
+        // A second run reuses cached indexes; the tree records that.
+        db.execute(query).unwrap();
+        let trees = db.explain_trees();
+        assert_eq!(trees.len(), 2);
+        assert!(trees[1].children[0]
+            .props
+            .iter()
+            .any(|(k, v)| k == "cached" && *v == gql_core::ArgValue::Bool(true)));
+    }
+
+    /// A zero threshold logs every statement with its ANALYZE tree even
+    /// though explain was never enabled; a huge threshold logs nothing.
+    #[test]
+    fn slow_query_log_captures_offending_statements() {
+        let query = r#"
+            for graph Q { node a <label="B">; } exhaustive in doc("G")
+            return graph { node n; };
+        "#;
+        let (g, _) = figure_4_16_graph();
+        let mut db = Database::new();
+        db.set_slow_query_threshold(Duration::ZERO);
+        db.add_graph("G", g.clone());
+        db.execute(query).unwrap();
+        assert_eq!(db.slow_queries().len(), 1);
+        let slow = &db.slow_queries()[0];
+        assert_eq!(slow.pattern, "Q");
+        assert_eq!(slow.source, "G");
+        assert_eq!(slow.explain.label, "flwr");
+        assert!(
+            db.explain_trees().is_empty(),
+            "explain was not enabled; the tree goes to the slow log only"
+        );
+
+        let mut fast_db = Database::new();
+        fast_db.set_slow_query_threshold(Duration::from_secs(3600));
+        fast_db.add_graph("G", g);
+        fast_db.execute(query).unwrap();
+        assert!(fast_db.slow_queries().is_empty());
     }
 
     #[test]

@@ -26,5 +26,5 @@ pub mod database;
 pub mod error;
 
 pub use data::{collection_from_text, graph_from_text};
-pub use database::{Database, ExecOutcome};
+pub use database::{Database, ExecOutcome, SlowQuery};
 pub use error::{EngineError, Result};

@@ -16,7 +16,8 @@
 use crate::index::GraphIndex;
 use crate::pattern::Pattern;
 use gql_core::iso::subgraph_isomorphic_anchored;
-use gql_core::{neighborhood_subgraph, Graph, NodeId, Profile};
+use gql_core::{neighborhood_subgraph, ArgValue, Graph, NodeId, Profile, TraceSink};
+use std::time::Instant;
 
 /// Local pruning strategy for feasible-mate retrieval.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -57,7 +58,8 @@ pub struct RetrieveStats {
 }
 
 impl RetrieveStats {
-    fn absorb(&mut self, other: &RetrieveStats) {
+    /// Folds another node's counters into this aggregate.
+    pub fn absorb(&mut self, other: &RetrieveStats) {
         self.candidates += other.candidates;
         self.sig_rejected += other.sig_rejected;
         self.exact_rejected += other.exact_rejected;
@@ -250,19 +252,50 @@ pub fn feasible_mates_stats_par(
     pruning: LocalPruning,
     threads: usize,
 ) -> (Vec<Vec<NodeId>>, RetrieveStats) {
-    let ids: Vec<NodeId> = pattern.graph.node_ids().collect();
-    let per_node = gql_core::par_map_slice(&ids, threads, |&u| {
-        mates_for_stats(pattern, g, index, pruning, u)
-    });
+    let (mates, per_node) =
+        feasible_mates_stats_per_node(pattern, g, index, pruning, threads, None);
     let mut stats = RetrieveStats::default();
-    let mates = per_node
-        .into_iter()
-        .map(|(m, s)| {
-            stats.absorb(&s);
-            m
-        })
-        .collect();
+    for s in &per_node {
+        stats.absorb(s);
+    }
     (mates, stats)
+}
+
+/// [`feasible_mates_stats_par`] keeping the counters *per pattern node*
+/// (for EXPLAIN trees and trace timelines) instead of pre-aggregated.
+/// With a [`TraceSink`] attached, each node's retrieval is additionally
+/// recorded as a `retrieve.node` complete event carrying candidates
+/// in/out, on whichever worker thread ran it. The mates and counters are
+/// identical to the plain paths' at every thread count.
+pub fn feasible_mates_stats_per_node(
+    pattern: &Pattern,
+    g: &Graph,
+    index: &GraphIndex,
+    pruning: LocalPruning,
+    threads: usize,
+    trace: Option<&TraceSink>,
+) -> (Vec<Vec<NodeId>>, Vec<RetrieveStats>) {
+    let ids: Vec<NodeId> = pattern.graph.node_ids().collect();
+    let per_node = gql_core::par_map_slice(&ids, threads, |&u| match trace {
+        None => mates_for_stats(pattern, g, index, pruning, u),
+        Some(sink) => {
+            let start = Instant::now();
+            let (m, s) = mates_for_stats(pattern, g, index, pruning, u);
+            sink.complete(
+                format!("retrieve.node[{}]", u.index()),
+                "match",
+                start,
+                vec![
+                    ("candidates", ArgValue::UInt(s.candidates)),
+                    ("sig_rejected", ArgValue::UInt(s.sig_rejected)),
+                    ("exact_rejected", ArgValue::UInt(s.exact_rejected)),
+                    ("kept", ArgValue::UInt(s.kept)),
+                ],
+            );
+            (m, s)
+        }
+    });
+    per_node.into_iter().unzip()
 }
 
 /// Reference (oracle) implementation of [`feasible_mates`]: the
@@ -494,6 +527,29 @@ mod tests {
             feasible_mates_stats_par(&zp, &g, &idx, LocalPruning::Profiles { radius: 1 }, 1);
         assert!(zm.iter().all(|m| m.is_empty()));
         assert_eq!(zs.candidates, zs.sig_rejected);
+    }
+
+    /// The per-node stats variant returns the same mates, its counters
+    /// sum to the aggregate's, and an attached sink records one
+    /// retrieval event per pattern node.
+    #[test]
+    fn per_node_stats_agree_with_aggregate_and_trace_records() {
+        let (p, g, idx) = setup();
+        let pruning = LocalPruning::Profiles { radius: 1 };
+        let (mates, agg) = feasible_mates_stats_par(&p, &g, &idx, pruning, 1);
+        for threads in [1, 2, 8] {
+            let sink = gql_core::TraceSink::new();
+            let (m, per_node) =
+                feasible_mates_stats_per_node(&p, &g, &idx, pruning, threads, Some(&sink));
+            assert_eq!(m, mates, "threads={threads}");
+            assert_eq!(per_node.len(), p.node_count());
+            let mut sum = RetrieveStats::default();
+            for s in &per_node {
+                sum.absorb(s);
+            }
+            assert_eq!(sum, agg, "threads={threads}");
+            assert_eq!(sink.len(), p.node_count(), "one event per pattern node");
+        }
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod search;
 pub use expr::{BinOp, EvalCtx, EvalResult, Expr};
 pub use feasible::{
     feasible_mates, feasible_mates_par, feasible_mates_reference, feasible_mates_stats_par,
-    reduction_ratio, search_space_ln, LocalPruning, RetrieveStats,
+    feasible_mates_stats_per_node, reduction_ratio, search_space_ln, LocalPruning, RetrieveStats,
 };
 pub use index::{GraphIndex, IndexOptions};
 pub use matcher::{
@@ -51,6 +51,6 @@ pub use order::{cost_of_order, optimize_order, GammaMode, SearchOrder};
 pub use pattern::Pattern;
 pub use refine::{
     refine_search_space, refine_search_space_csr, refine_search_space_par,
-    refine_search_space_reference, RefineStats,
+    refine_search_space_reference, refine_search_space_traced, RefineStats,
 };
 pub use search::{search, search_indexed, SearchConfig, SearchOutcome};

@@ -3,14 +3,14 @@
 //! with per-step instrumentation for the §5 experiments.
 
 use crate::feasible::{
-    feasible_mates_par, feasible_mates_stats_par, search_space_ln, LocalPruning,
+    feasible_mates_par, feasible_mates_stats_per_node, search_space_ln, LocalPruning, RetrieveStats,
 };
 use crate::index::GraphIndex;
 use crate::order::{optimize_order, GammaMode, SearchOrder};
 use crate::pattern::Pattern;
-use crate::refine::{refine_search_space_csr, RefineStats};
+use crate::refine::{refine_search_space_traced, RefineStats};
 use crate::search::{search_indexed, SearchConfig, SearchOutcome};
-use gql_core::{EdgeId, Graph, NodeId, Obs};
+use gql_core::{ArgValue, EdgeId, ExplainNode, Graph, NodeId, Obs, TraceSink};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -64,6 +64,17 @@ pub struct MatchOptions {
     /// un-instrumented paths. The registry is shared, not per-query:
     /// pass the same `Arc` across calls to aggregate.
     pub obs: Option<Arc<Obs>>,
+    /// Trace sink: when set, the pipeline records per-phase complete
+    /// events plus the fine-grained ones the phases emit themselves
+    /// (per-pattern-node retrieval, per-refine-level, per-search-chunk),
+    /// each on the thread that did the work. `None` (the default) keeps
+    /// every kernel on its unobserved path.
+    pub trace: Option<Arc<TraceSink>>,
+    /// Whether to assemble an `EXPLAIN ANALYZE` operator tree
+    /// ([`MatchReport::explain`]) annotated with the run's actual
+    /// cardinalities, pruning ratios, and timings. `false` (the
+    /// default) leaves [`MatchReport::explain`] as `None` at zero cost.
+    pub explain: bool,
     /// Whether *index builders* driven by these options (the engine's
     /// collection index cache, the CLI's per-graph build) attach the
     /// [`gql_core::CsrGraph`] snapshot. [`match_pattern`] itself only
@@ -86,6 +97,8 @@ impl Default for MatchOptions {
             threads: 1,
             report_baseline_space: true,
             obs: None,
+            trace: None,
+            explain: false,
             csr: true,
         }
     }
@@ -106,6 +119,13 @@ impl MatchOptions {
     /// The experiments' "Optimized": profiles + refinement + ordering.
     pub fn optimized() -> Self {
         MatchOptions::default()
+    }
+
+    /// True when any per-query instrumentation is attached (obs
+    /// registry, trace sink, or explain tree) — the pipeline then takes
+    /// the stats-collecting retrieval path.
+    pub fn instrumented(&self) -> bool {
+        self.obs.is_some() || self.trace.is_some() || self.explain
     }
 }
 
@@ -176,6 +196,9 @@ pub struct MatchReport {
     pub search_backtracks: u64,
     /// True if the search hit its deadline.
     pub timed_out: bool,
+    /// The `EXPLAIN ANALYZE` operator tree for this run, present iff
+    /// [`MatchOptions::explain`] was set.
+    pub explain: Option<ExplainNode>,
 }
 
 /// Runs the full §4 pipeline for `pattern` against `g`.
@@ -189,14 +212,17 @@ pub fn match_pattern(
     opts: &MatchOptions,
 ) -> MatchReport {
     let mut report = MatchReport::default();
+    let trace = opts.trace.as_deref();
 
     // Phase 1: feasible mates + local pruning (lines 1–4 of Alg. 4.1).
-    // With a sink attached, the stats-collecting retrieval attributes
-    // every pruned candidate to signature vs. exact test; without one
-    // the branch-free kernel runs.
+    // With any instrumentation attached, the stats-collecting retrieval
+    // attributes every pruned candidate to signature vs. exact test and
+    // keeps the per-pattern-node breakdown; without it the branch-free
+    // kernel runs.
     let t0 = Instant::now();
-    let (mut mates, retrieve_stats) = if opts.obs.is_some() {
-        let (m, s) = feasible_mates_stats_par(pattern, g, index, opts.pruning, opts.threads);
+    let (mut mates, per_node_stats) = if opts.instrumented() {
+        let (m, s) =
+            feasible_mates_stats_per_node(pattern, g, index, opts.pruning, opts.threads, trace);
         (m, Some(s))
     } else {
         (
@@ -204,7 +230,25 @@ pub fn match_pattern(
             None,
         )
     };
+    let retrieve_stats = per_node_stats.as_ref().map(|per_node| {
+        let mut agg = RetrieveStats::default();
+        for s in per_node {
+            agg.absorb(s);
+        }
+        agg
+    });
     report.timings.retrieve = t0.elapsed();
+    if let (Some(sink), Some(agg)) = (trace, retrieve_stats.as_ref()) {
+        sink.complete(
+            "match.retrieve",
+            "match",
+            t0,
+            vec![
+                ("candidates", ArgValue::UInt(agg.candidates)),
+                ("kept", ArgValue::UInt(agg.kept)),
+            ],
+        );
+    }
     report.spaces.local_ln = search_space_ln(&mates);
     // Baseline space for ratio reporting: recompute only if a different
     // strategy was used AND the caller wants the ratios.
@@ -230,11 +274,33 @@ pub fn match_pattern(
     };
     let t1 = Instant::now();
     if level > 0 {
-        report.refine_stats =
-            refine_search_space_csr(pattern, g, index.csr(), &mut mates, level, opts.threads);
+        report.refine_stats = refine_search_space_traced(
+            pattern,
+            g,
+            index.csr(),
+            &mut mates,
+            level,
+            opts.threads,
+            trace,
+        );
     }
     report.timings.refine = t1.elapsed();
     report.spaces.refined_ln = search_space_ln(&mates);
+    if let Some(sink) = trace {
+        sink.complete(
+            "match.refine",
+            "match",
+            t1,
+            vec![
+                ("level", ArgValue::UInt(level as u64)),
+                (
+                    "iterations",
+                    ArgValue::UInt(report.refine_stats.iterations as u64),
+                ),
+                ("removed", ArgValue::UInt(report.refine_stats.removed)),
+            ],
+        );
+    }
 
     // Phase 3: search order (§4.4).
     let t2 = Instant::now();
@@ -248,6 +314,14 @@ pub fn match_pattern(
     };
     report.timings.order = t2.elapsed();
     report.order = order.order;
+    if let Some(sink) = trace {
+        sink.complete(
+            "match.order",
+            "match",
+            t2,
+            vec![("optimized", ArgValue::Bool(opts.optimize_order))],
+        );
+    }
 
     // Phase 4: DFS search (Alg. 4.1 lines 7–26).
     let cfg = SearchConfig {
@@ -255,6 +329,7 @@ pub fn match_pattern(
         max_matches: opts.max_matches,
         deadline: opts.time_limit.map(|d| Instant::now() + d),
         threads: opts.threads,
+        trace: opts.trace.clone(),
     };
     let t3 = Instant::now();
     let SearchOutcome {
@@ -270,11 +345,129 @@ pub fn match_pattern(
     report.search_steps = steps;
     report.search_backtracks = backtracks;
     report.timed_out = timed_out;
+    if let Some(sink) = trace {
+        sink.complete(
+            "match.search",
+            "match",
+            t3,
+            vec![
+                ("steps", ArgValue::UInt(report.search_steps)),
+                ("backtracks", ArgValue::UInt(report.search_backtracks)),
+                ("matches", ArgValue::UInt(report.mappings.len() as u64)),
+            ],
+        );
+    }
 
     if let Some(obs) = &opts.obs {
         flush_obs(obs, &report, retrieve_stats.as_ref());
     }
+    if opts.explain {
+        report.explain = Some(build_explain(
+            pattern,
+            opts,
+            &report,
+            per_node_stats.as_deref().unwrap_or(&[]),
+            &mates,
+        ));
+    }
     report
+}
+
+/// Milliseconds with microsecond precision, for explain annotations.
+fn ms(d: Duration) -> ArgValue {
+    ArgValue::Float(d.as_secs_f64() * 1e3)
+}
+
+/// Assembles the `EXPLAIN ANALYZE` operator tree for one executed
+/// pipeline run: match → (retrieve → per-node) / (refine → per-level) /
+/// order / search, each annotated with the actuals the run recorded.
+fn build_explain(
+    pattern: &Pattern,
+    opts: &MatchOptions,
+    report: &MatchReport,
+    per_node: &[RetrieveStats],
+    mates: &[Vec<NodeId>],
+) -> ExplainNode {
+    let mut root = ExplainNode::new("match");
+    root.prop("pattern_nodes", ArgValue::UInt(pattern.node_count() as u64));
+    root.prop("matches", ArgValue::UInt(report.mappings.len() as u64));
+    root.prop("total_ms", ms(report.timings.total()));
+    if report.timed_out {
+        root.prop("timed_out", ArgValue::Bool(true));
+    }
+
+    let mut retrieve = ExplainNode::new("retrieve");
+    retrieve.prop("strategy", ArgValue::Str(format!("{:?}", opts.pruning)));
+    let agg = {
+        let mut agg = RetrieveStats::default();
+        for s in per_node {
+            agg.absorb(s);
+        }
+        agg
+    };
+    retrieve.prop("candidates", ArgValue::UInt(agg.candidates));
+    retrieve.prop("kept", ArgValue::UInt(agg.kept));
+    if agg.candidates > 0 {
+        retrieve.prop(
+            "pruned_ratio",
+            ArgValue::Float(1.0 - agg.kept as f64 / agg.candidates as f64),
+        );
+    }
+    retrieve.prop("ms", ms(report.timings.retrieve));
+    for (u, s) in per_node.iter().enumerate() {
+        let mut node = ExplainNode::new(format!("node[{u}]"));
+        node.prop("candidates", ArgValue::UInt(s.candidates));
+        node.prop("sig_rejected", ArgValue::UInt(s.sig_rejected));
+        node.prop("exact_rejected", ArgValue::UInt(s.exact_rejected));
+        node.prop("kept", ArgValue::UInt(s.kept));
+        retrieve.child(node);
+    }
+    root.child(retrieve);
+
+    let mut refine = ExplainNode::new("refine");
+    let rs = &report.refine_stats;
+    refine.prop("iterations", ArgValue::UInt(rs.iterations as u64));
+    refine.prop("bipartite_checks", ArgValue::UInt(rs.bipartite_checks));
+    refine.prop("removed", ArgValue::UInt(rs.removed));
+    refine.prop("ms", ms(report.timings.refine));
+    for (l, &removed) in rs.removed_per_level.iter().enumerate() {
+        let mut lvl = ExplainNode::new(format!("level[{}]", l + 1));
+        lvl.prop("removed", ArgValue::UInt(removed));
+        refine.child(lvl);
+    }
+    root.child(refine);
+
+    let mut order = ExplainNode::new("order");
+    order.prop("optimized", ArgValue::Bool(opts.optimize_order));
+    order.prop(
+        "order",
+        ArgValue::Str(
+            report
+                .order
+                .iter()
+                .map(|u| u.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        ),
+    );
+    order.prop("ms", ms(report.timings.order));
+    root.child(order);
+
+    let mut search = ExplainNode::new("search");
+    search.prop(
+        "space",
+        ArgValue::UInt(
+            mates
+                .iter()
+                .fold(1u64, |acc, m| acc.saturating_mul(m.len() as u64)),
+        ),
+    );
+    search.prop("steps", ArgValue::UInt(report.search_steps));
+    search.prop("backtracks", ArgValue::UInt(report.search_backtracks));
+    search.prop("matches", ArgValue::UInt(report.mappings.len() as u64));
+    search.prop("ms", ms(report.timings.search));
+    root.child(search);
+    root
 }
 
 /// Records one pipeline run's phase durations and logical counters into
@@ -420,6 +613,65 @@ mod tests {
         ] {
             assert_eq!(rep.phase(phase).map(|p| p.count), Some(1), "{phase}");
         }
+    }
+
+    /// Trace + explain attached: results identical to the plain run,
+    /// the sink holds phase and fine-grained events, and the explain
+    /// tree's actuals agree with the report.
+    #[test]
+    fn trace_and_explain_record_without_changing_results() {
+        let (g, _) = figure_4_16_graph();
+        let p = Pattern::structural(figure_4_16_pattern());
+        let idx = GraphIndex::build_with_profiles(&g, 1);
+        let plain = match_pattern(&p, &g, &idx, &MatchOptions::optimized());
+        let sink = gql_core::TraceSink::new();
+        let opts = MatchOptions {
+            trace: Some(Arc::clone(&sink)),
+            explain: true,
+            ..MatchOptions::optimized()
+        };
+        let traced = match_pattern(&p, &g, &idx, &opts);
+        assert_eq!(traced.mappings, plain.mappings);
+        assert_eq!(traced.edge_bindings, plain.edge_bindings);
+        assert_eq!(traced.search_steps, plain.search_steps);
+        assert_eq!(traced.search_backtracks, plain.search_backtracks);
+        assert_eq!(traced.refine_stats, plain.refine_stats);
+        assert!(plain.explain.is_none());
+
+        let names: Vec<String> = sink.events().iter().map(|e| e.name.clone()).collect();
+        for phase in [
+            "match.retrieve",
+            "match.refine",
+            "match.order",
+            "match.search",
+        ] {
+            assert!(
+                names.iter().any(|n| n == phase),
+                "{phase} missing: {names:?}"
+            );
+        }
+        assert!(names.iter().any(|n| n.starts_with("retrieve.node[")));
+        assert!(names.iter().any(|n| n.starts_with("search.chunk[")));
+        gql_core::validate_json(&sink.render_chrome_json()).unwrap();
+
+        let tree = traced.explain.expect("explain requested");
+        assert_eq!(tree.label, "match");
+        let text = tree.render_text();
+        assert!(text.contains("retrieve"), "{text}");
+        assert!(text.contains("search"), "{text}");
+        gql_core::validate_json(&tree.render_json()).unwrap();
+        let search = tree
+            .children
+            .iter()
+            .find(|c| c.label == "search")
+            .expect("search node");
+        assert!(
+            search
+                .props
+                .iter()
+                .any(|(k, v)| k == "steps" && *v == gql_core::ArgValue::UInt(plain.search_steps)),
+            "{search:?}"
+        );
     }
 
     #[test]

@@ -46,8 +46,9 @@
 
 use crate::bipartite::{Bipartite, MatchingScratch};
 use crate::pattern::Pattern;
-use gql_core::{CsrGraph, EdgeId, Graph, NodeId};
+use gql_core::{ArgValue, CsrGraph, EdgeId, Graph, NodeId, TraceSink};
 use rustc_hash::{FxHashMap, FxHashSet};
+use std::time::Instant;
 
 /// The data graph's adjacency as seen by the refinement kernels: either
 /// the mutable-graph `Vec` adjacency or the flat CSR snapshot. Only
@@ -359,6 +360,23 @@ pub fn refine_search_space_csr(
     level: usize,
     threads: usize,
 ) -> RefineStats {
+    refine_search_space_traced(pattern, g, csr, mates, level, threads, None)
+}
+
+/// [`refine_search_space_csr`] with an optional [`TraceSink`]: each
+/// performed level is recorded as a `refine.level[l]` complete event
+/// carrying its worklist size and removals. The refined space and every
+/// statistic are identical with or without the sink — tracing only reads
+/// what the level loop already computes.
+pub fn refine_search_space_traced(
+    pattern: &Pattern,
+    g: &Graph,
+    csr: Option<&CsrGraph>,
+    mates: &mut [Vec<NodeId>],
+    level: usize,
+    threads: usize,
+    trace: Option<&TraceSink>,
+) -> RefineStats {
     // Per pattern node: the one interned label all its current
     // candidates share, if any (`IMPOSSIBLE_LABEL` for an empty
     // candidate set — no data node carries it, so label sub-rows come
@@ -420,8 +438,10 @@ pub fn refine_search_space_csr(
         if worklist.is_empty() {
             break; // line 19
         }
+        let level_start = trace.map(|_| Instant::now());
         stats.iterations += 1;
         stats.bipartite_checks += worklist.len() as u64;
+        let level_checks = worklist.len() as u64;
         // Drain the marks of every pair being checked this level.
         for &(u, v) in &worklist {
             marked[u as usize * n + v as usize] = false;
@@ -440,6 +460,17 @@ pub fn refine_search_space_csr(
             check_level_parallel(pattern, adj, &feasible, &worklist, workers, n)
         };
         stats.removed_per_level.push(removals.len() as u64);
+        if let (Some(sink), Some(start)) = (trace, level_start) {
+            sink.complete(
+                format!("refine.level[{}]", stats.iterations),
+                "match",
+                start,
+                vec![
+                    ("checks", ArgValue::UInt(level_checks)),
+                    ("removed", ArgValue::UInt(removals.len() as u64)),
+                ],
+            );
+        }
         if removals.is_empty() {
             break; // space stable: further levels cannot change it
         }
@@ -720,6 +751,31 @@ mod tests {
         let mut mates = feasible_mates(&p, &data, &idx, LocalPruning::NodeAttributes);
         refine_search_space(&p, &data, &mut mates, 3);
         assert!(mates.iter().all(|m| m.len() == 1));
+    }
+
+    /// Attaching a trace sink changes nothing observable and records
+    /// one `refine.level` event per performed iteration.
+    #[test]
+    fn traced_refinement_is_equivalent_and_records_levels() {
+        let (g, _) = figure_4_16_graph();
+        let p = Pattern::structural(figure_4_16_pattern());
+        let idx = GraphIndex::build(&g);
+        let base = feasible_mates(&p, &g, &idx, LocalPruning::NodeAttributes);
+        let mut plain = base.clone();
+        let plain_stats = refine_search_space_csr(&p, &g, idx.csr(), &mut plain, 4, 1);
+        for threads in [1, 2, 8] {
+            let sink = gql_core::TraceSink::new();
+            let mut traced = base.clone();
+            let stats =
+                refine_search_space_traced(&p, &g, idx.csr(), &mut traced, 4, threads, Some(&sink));
+            assert_eq!(traced, plain, "threads={threads}");
+            assert_eq!(stats, plain_stats, "threads={threads}");
+            assert_eq!(
+                sink.len(),
+                stats.iterations,
+                "one event per level, threads={threads}"
+            );
+        }
     }
 
     /// The bitset kernel and the seed's hashtable kernel agree on the

@@ -60,9 +60,9 @@
 
 use crate::index::GraphIndex;
 use crate::pattern::Pattern;
-use gql_core::{CsrGraph, EdgeId, Graph, NodeId};
+use gql_core::{ArgValue, CsrGraph, EdgeId, Graph, NodeId, TraceSink};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Knobs for the search phase.
@@ -81,6 +81,12 @@ pub struct SearchConfig {
     /// runs the classic sequential search, `0` means one worker per
     /// available core. Any setting produces identical output.
     pub threads: usize,
+    /// Trace sink: when set, each root chunk's exploration is recorded
+    /// as a `search.chunk[c]` complete event (on the worker thread that
+    /// ran it) carrying roots, steps, backtracks, and matches. `None`
+    /// keeps the search on its unobserved path; the outcome is
+    /// identical either way.
+    pub trace: Option<Arc<TraceSink>>,
 }
 
 impl Default for SearchConfig {
@@ -90,6 +96,7 @@ impl Default for SearchConfig {
             max_matches: usize::MAX,
             deadline: None,
             threads: 1,
+            trace: None,
         }
     }
 }
@@ -444,7 +451,12 @@ pub fn search_indexed(
             deadline: cfg.deadline,
             stop: None,
         };
-        return run_roots(&ctx, &mut Scratch::new(pattern, g)).0;
+        let start = cfg.trace.as_ref().map(|_| Instant::now());
+        let out = run_roots(&ctx, &mut Scratch::new(pattern, g)).0;
+        if let (Some(sink), Some(start)) = (&cfg.trace, start) {
+            trace_chunk(sink, start, 0, roots.len(), &out);
+        }
+        return out;
     }
     search_parallel(
         pattern,
@@ -458,6 +470,22 @@ pub fn search_indexed(
         take,
         workers,
     )
+}
+
+/// Records one root chunk's exploration as a complete trace event on
+/// the calling (worker) thread.
+fn trace_chunk(sink: &TraceSink, start: Instant, chunk: usize, roots: usize, out: &SearchOutcome) {
+    sink.complete(
+        format!("search.chunk[{chunk}]"),
+        "search",
+        start,
+        vec![
+            ("roots", ArgValue::UInt(roots as u64)),
+            ("steps", ArgValue::UInt(out.steps)),
+            ("backtracks", ArgValue::UInt(out.backtracks)),
+            ("matches", ArgValue::UInt(out.mappings.len() as u64)),
+        ],
+    );
 }
 
 /// Per-chunk bookkeeping for the completed-prefix early-exit protocol.
@@ -527,7 +555,11 @@ fn search_parallel(
                         deadline: cfg.deadline,
                         stop: Some(&stop),
                     };
+                    let start = cfg.trace.as_ref().map(|_| Instant::now());
                     let (outcome, complete) = run_roots(&ctx, &mut scratch);
+                    if let (Some(sink), Some(start)) = (&cfg.trace, start) {
+                        trace_chunk(sink, start, c, hi - lo, &outcome);
+                    }
                     if outcome.timed_out {
                         stop.store(true, Ordering::Relaxed);
                     }
@@ -796,6 +828,42 @@ mod tests {
             );
             assert_eq!(par.mappings, seq.mappings, "threads={threads}");
             assert_eq!(par.edge_bindings, seq.edge_bindings, "threads={threads}");
+        }
+    }
+
+    /// A trace sink changes nothing observable; each explored chunk is
+    /// recorded, and under parallel execution events land on worker
+    /// threads.
+    #[test]
+    fn traced_search_is_equivalent_and_records_chunks() {
+        let g = labeled_clique(&["A"; 7]);
+        let p = Pattern::structural(labeled_clique(&["A"; 4]));
+        let seq = run(&p, &g, &SearchConfig::default());
+        for threads in [1, 2, 8] {
+            let sink = gql_core::TraceSink::new();
+            let traced = run(
+                &p,
+                &g,
+                &SearchConfig {
+                    threads,
+                    trace: Some(Arc::clone(&sink)),
+                    ..SearchConfig::default()
+                },
+            );
+            assert_eq!(traced.mappings, seq.mappings, "threads={threads}");
+            assert_eq!(traced.steps, seq.steps, "threads={threads}");
+            assert!(!sink.is_empty(), "threads={threads}");
+            let events = sink.events();
+            let steps: u64 = events
+                .iter()
+                .flat_map(|e| &e.args)
+                .filter(|(k, _)| *k == "steps")
+                .map(|(_, v)| match v {
+                    gql_core::ArgValue::UInt(n) => *n,
+                    _ => 0,
+                })
+                .sum();
+            assert_eq!(steps, seq.steps, "chunk steps sum, threads={threads}");
         }
     }
 

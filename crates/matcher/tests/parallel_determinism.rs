@@ -178,6 +178,59 @@ fn profiled_counters_are_identical_across_thread_counts() {
 }
 
 #[test]
+fn trace_and_explain_are_deterministic_across_thread_counts() {
+    // With the trace sink attached and EXPLAIN on, the logical outputs
+    // — mappings, steps, backtracks, refine levels, and every
+    // cardinality annotated on the operator tree — must match the
+    // uninstrumented threads=1 run exactly. Only wall-clock props
+    // (which the comparison strips) may differ.
+    let g = erdos_renyi(&ErConfig::paper_default(600, 0xD5EED));
+    let queries = subgraph_queries(&g, 5, 4, 0xD5EED ^ 3);
+    let strip_times = |node: &gql_core::ExplainNode| {
+        fn walk(n: &gql_core::ExplainNode, out: &mut Vec<(String, String, String)>) {
+            for (k, v) in &n.props {
+                if k != "ms" && !k.ends_with("_ms") {
+                    out.push((n.label.clone(), k.clone(), format!("{v:?}")));
+                }
+            }
+            for c in &n.children {
+                walk(c, out);
+            }
+        }
+        let mut out = Vec::new();
+        walk(node, &mut out);
+        out
+    };
+    for q in &queries {
+        let p = Pattern::structural(q.clone());
+        let plain = run(&p, &g, &MatchOptions::optimized(), 1);
+        let mut baseline_tree = None;
+        for threads in THREADS {
+            let sink = gql_core::TraceSink::new();
+            let opts = MatchOptions {
+                trace: Some(sink.clone()),
+                explain: true,
+                ..MatchOptions::optimized()
+            };
+            let rep = run(&p, &g, &opts, threads);
+            assert_eq!(rep.mappings, plain.mappings, "mappings, threads={threads}");
+            assert_eq!(rep.search_steps, plain.search_steps, "threads={threads}");
+            assert_eq!(
+                rep.search_backtracks, plain.search_backtracks,
+                "threads={threads}"
+            );
+            assert!(!sink.is_empty(), "trace events recorded");
+            gql_core::validate_json(&sink.render_chrome_json()).unwrap();
+            let tree = strip_times(rep.explain.as_ref().expect("explain tree"));
+            match &baseline_tree {
+                None => baseline_tree = Some(tree),
+                Some(b) => assert_eq!(&tree, b, "explain cardinalities, threads={threads}"),
+            }
+        }
+    }
+}
+
+#[test]
 fn raw_search_layer_is_deterministic() {
     // Exercise `search` directly (bypassing match_pattern) so chunking
     // edge cases — more workers than roots, one root, empty mates —

@@ -34,9 +34,30 @@ without_csr=$(cargo run --release -q -p gql-cli -- match \
 echo "$with_csr" | grep -q "matches: 2" || { echo "unexpected match count"; exit 1; }
 
 echo "==> profile smoke (gql run --profile on the bundled example)"
+# The profile report goes to stderr; results stay alone on stdout.
 cargo run --release -q -p gql-cli -- run examples/gql/coauthors.gql \
-    --data DBLP=examples/gql/dblp_sample.gql --profile \
+    --data DBLP=examples/gql/dblp_sample.gql --profile 2>&1 \
     | grep -q "match.search" || { echo "profile output missing phases"; exit 1; }
+
+echo "==> explain + trace smoke (gql run on the bundled example)"
+obs_tmp=$(mktemp -d)
+cargo run --release -q -p gql-cli -- run examples/gql/coauthors.gql \
+    --data DBLP=examples/gql/dblp_sample.gql \
+    --explain --slow-ms 0 \
+    --trace "$obs_tmp/trace.json" --metrics "$obs_tmp/metrics.prom" \
+    > "$obs_tmp/results.txt" 2> "$obs_tmp/diag.txt"
+grep -q "flwr" "$obs_tmp/diag.txt" || { echo "explain tree missing"; exit 1; }
+grep -q -- "-- slow queries" "$obs_tmp/diag.txt" || { echo "slow-query log missing"; exit 1; }
+grep -q "traceEvents" "$obs_tmp/trace.json" || { echo "trace file missing events"; exit 1; }
+python3 -m json.tool "$obs_tmp/trace.json" > /dev/null \
+    || { echo "trace file is not valid JSON"; exit 1; }
+grep -q 'gql_phase_seconds_count{phase="engine.flwr"}' "$obs_tmp/metrics.prom" \
+    || { echo "metrics file missing engine.flwr"; exit 1; }
+grep -q -- "-- result" "$obs_tmp/results.txt" || { echo "results missing from stdout"; exit 1; }
+if grep -qE "loaded|profile|flwr|ok" "$obs_tmp/results.txt"; then
+    echo "diagnostics leaked to stdout"; exit 1
+fi
+rm -rf "$obs_tmp"
 
 echo "==> cargo bench --no-run (benches must compile)"
 cargo bench --no-run -p gql-bench
