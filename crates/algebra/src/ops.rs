@@ -118,7 +118,15 @@ pub fn select_with_indexes_explain(
     let per_graph: Vec<(Vec<MatchedGraph>, Option<ExplainNode>)> =
         gql_core::par_map_index(graphs.len(), workers, |i| {
             let g = graphs[i];
-            let mut report = match_pattern(&pattern.pattern, g, &indexes[i], &inner_opts);
+            // Each graph of the collection gets its own plan-cache /
+            // feedback scope: candidate statistics differ per graph, and
+            // disjoint scopes keep the concurrent workers' planner
+            // traffic deterministic.
+            let graph_opts = MatchOptions {
+                plan_graph: i as u64,
+                ..inner_opts.clone()
+            };
+            let mut report = match_pattern(&pattern.pattern, g, &indexes[i], &graph_opts);
             let explain = report.explain.take();
             if report.mappings.is_empty() {
                 return (Vec::new(), explain);

@@ -17,11 +17,14 @@
 //! `BENCH_profile.json`. `csr` compares the full optimized pipeline
 //! over a CSR-carrying index vs a `Vec`-adjacency one and writes
 //! `BENCH_csr.json`. `trace` times the pipeline with the trace sink
-//! absent vs attached and writes `BENCH_obs_overhead.json`.
+//! absent vs attached and writes `BENCH_obs_overhead.json`. `planner`
+//! compares cold-plan vs hot-plan-cache vs adaptive planning on a
+//! repeated-query workload and writes `BENCH_planner.json`.
 
 use gql_bench::experiments::{
-    bench_csr, bench_parallel, bench_profile, bench_refine, bench_trace, csr_bench_json, fig4_20,
-    fig4_21, fig4_22, fig4_23a, fig4_23b, parallel_bench_json, print_csr_rows, print_parallel_rows,
+    bench_csr, bench_parallel, bench_planner, bench_profile, bench_refine, bench_trace,
+    csr_bench_json, fig4_20, fig4_21, fig4_22, fig4_23a, fig4_23b, parallel_bench_json,
+    planner_bench_json, print_csr_rows, print_parallel_rows, print_planner_rows,
     print_profile_result, print_refine_rows, print_space_rows, print_step_rows, print_total_rows,
     print_trace_rows, profile_bench_json, refine_bench_json, trace_bench_json, Scale,
 };
@@ -145,6 +148,19 @@ fn main() {
             Err(e) => eprintln!("# could not write {path}: {e}"),
         }
     };
+    let run_planner = || {
+        let rows = bench_planner(scale, threads);
+        print_planner_rows(
+            "Plan cache — cold plan vs hot cache vs adaptive, optimized pipeline",
+            &rows,
+        );
+        let json = planner_bench_json(scale, threads, &rows);
+        let path = "BENCH_planner.json";
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("# wrote {path}"),
+            Err(e) => eprintln!("# could not write {path}: {e}"),
+        }
+    };
     let run_smoke = || {
         let rows = bench_parallel(scale, threads);
         print_parallel_rows(
@@ -169,6 +185,7 @@ fn main() {
         "profile" => run_profile(),
         "csr" => run_csr(),
         "trace" => run_trace(),
+        "planner" => run_planner(),
         "smoke" => run_smoke(),
         "all" => {
             run_20();
@@ -179,7 +196,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment {other:?}; use fig4_20|fig4_21|fig4_22|fig4_23|refine|profile|csr|trace|smoke|all"
+                "unknown experiment {other:?}; use fig4_20|fig4_21|fig4_22|fig4_23|refine|profile|csr|trace|planner|smoke|all"
             );
             std::process::exit(2);
         }

@@ -1260,3 +1260,296 @@ pub fn print_csr_rows(title: &str, rows: &[CsrBenchRow]) {
         );
     }
 }
+
+// ------------------------------------------------------ planner bench
+
+/// One plan-cache comparison (a `BENCH_planner.json` row): batch
+/// wall-clock of the full optimized pipeline over a repeated-query
+/// workload with (a) a cold planner that compiles every plan from
+/// scratch, (b) a hot shared plan cache serving validated hits, and
+/// (c) the hot cache plus adaptivity and the feedback-driven `Auto`
+/// refinement decision.
+#[derive(Debug, Clone)]
+pub struct PlannerBenchRow {
+    /// Workload name.
+    pub name: String,
+    /// Queries timed per pass.
+    pub queries: usize,
+    /// Total answers across the batch (identical for all paths by
+    /// construction).
+    pub hits: usize,
+    /// Batch wall-clock with a fresh planner per pass (every query is
+    /// a cache miss: compile + insert), µs.
+    pub cold_us: f64,
+    /// Batch wall-clock over a pre-warmed shared plan cache, µs.
+    pub hot_us: f64,
+    /// Batch wall-clock over a pre-warmed cache with `adaptive` on and
+    /// `RefineLevel::Auto` consulting recorded feedback, µs.
+    pub adaptive_us: f64,
+    /// `cold_us / hot_us` — what the cache saves on repeated queries.
+    pub hot_speedup: f64,
+    /// `hot_us / adaptive_us` — what the feedback-driven refinement
+    /// decision adds on top of the hot cache (≥ 1.0 means the
+    /// cost-based decision is no slower than always refining).
+    pub adaptive_speedup: f64,
+    /// Validated cache hits served during the hot timing runs.
+    pub cache_hits: u64,
+    /// Queries whose settled `Auto` decision skipped refinement.
+    pub refine_skipped: usize,
+}
+
+fn bench_planner_one(
+    name: &str,
+    graph: &Graph,
+    candidates: &[Graph],
+    take: usize,
+    threads: usize,
+) -> PlannerBenchRow {
+    use gql_match::{match_pattern, GraphIndex, MatchOptions, Pattern, Planner, RefineLevel};
+    use std::sync::Arc;
+    let index = GraphIndex::build_with_profiles_par(graph, 1, threads);
+
+    // The plan cache targets the per-query planning overhead (edge-plan
+    // construction, join-order optimization, cardinality estimation),
+    // so — like the CSR bench — time the search-heavy queries of the
+    // candidate pool where a planning mistake would also show up.
+    let mut pool: Vec<(u64, &Graph)> = candidates
+        .iter()
+        .map(|q| {
+            let mut opts = Configs::optimized();
+            opts.max_matches = MAX_HITS + 1;
+            opts.time_limit = Some(Duration::from_secs(10));
+            let rep = match_pattern(&Pattern::structural(q.clone()), graph, &index, &opts);
+            (rep.search_steps, q)
+        })
+        .collect();
+    pool.sort_by_key(|&(steps, _)| std::cmp::Reverse(steps));
+    let patterns: Vec<Pattern> = pool
+        .iter()
+        .take(take)
+        .map(|&(_, q)| Pattern::structural(q.clone()))
+        .collect();
+    let mut base = Configs::optimized();
+    base.threads = threads;
+    base.max_matches = MAX_HITS + 1;
+    base.time_limit = Some(Duration::from_secs(10));
+    base.report_baseline_space = false;
+
+    let hot_planner = Arc::new(Planner::new());
+    let hot_opts = MatchOptions {
+        planner: Some(Arc::clone(&hot_planner)),
+        ..base.clone()
+    };
+    let auto_planner = Arc::new(Planner::new());
+    let auto_opts = MatchOptions {
+        planner: Some(Arc::clone(&auto_planner)),
+        adaptive: true,
+        refine: RefineLevel::Auto,
+        ..base.clone()
+    };
+
+    // One timed sample = 3 passes over the batch — the repeated-query
+    // workload the cache exists for (µs reported per pass). `mk_opts`
+    // runs per pass so the cold path can attach a fresh planner each
+    // time, making every query a miss.
+    const PASSES: u32 = 3;
+    let time = |mk_opts: &dyn Fn() -> MatchOptions| {
+        let t = std::time::Instant::now();
+        let mut mappings = Vec::new();
+        for _ in 0..PASSES {
+            mappings.clear();
+            let opts = mk_opts();
+            for p in &patterns {
+                let rep = match_pattern(p, graph, &index, &opts);
+                mappings.push(rep.mappings);
+            }
+        }
+        (
+            t.elapsed().as_secs_f64() * 1e6 / f64::from(PASSES),
+            mappings,
+        )
+    };
+    let cold_opts = || MatchOptions {
+        planner: Some(Arc::new(Planner::new())),
+        ..base.clone()
+    };
+    let hot = || hot_opts.clone();
+    let auto = || auto_opts.clone();
+
+    // Untimed warm-up: fills the hot caches (twice for the Auto path so
+    // its feedback-driven refinement decision settles before timing).
+    let _ = time(&cold_opts);
+    let _ = time(&hot);
+    let _ = time(&auto);
+    let hits_before = hot_planner.cache_stats().0;
+
+    // Interleaved min-of-9 per path, as in the CSR bench: alternating
+    // samples see the same load conditions, and the min is robust
+    // against scheduler noise on a shared container.
+    let (mut cold_us, maps_cold) = time(&cold_opts);
+    let (mut hot_us, maps_hot) = time(&hot);
+    let (mut adaptive_us, maps_auto) = time(&auto);
+    for _ in 0..8 {
+        cold_us = cold_us.min(time(&cold_opts).0);
+        hot_us = hot_us.min(time(&hot).0);
+        adaptive_us = adaptive_us.min(time(&auto).0);
+    }
+    let cache_hits = hot_planner.cache_stats().0 - hits_before;
+
+    // Plans must never change answers: hot ≡ cold byte-for-byte; the
+    // Auto path may legally enumerate in a different order when it
+    // skips refinement, so compare it as a set.
+    assert_eq!(
+        maps_hot, maps_cold,
+        "hot plan cache changed results on {name}"
+    );
+    let sorted = |maps: &[Vec<Vec<gql_core::NodeId>>]| -> Vec<Vec<Vec<gql_core::NodeId>>> {
+        maps.iter()
+            .map(|m| {
+                let mut m = m.clone();
+                m.sort();
+                m
+            })
+            .collect()
+    };
+    assert_eq!(
+        sorted(&maps_auto),
+        sorted(&maps_cold),
+        "adaptive planning changed the result set on {name}"
+    );
+
+    // Count queries whose settled Auto decision skips refinement
+    // (untimed bookkeeping pass).
+    let refine_skipped = patterns
+        .iter()
+        .filter(|p| {
+            match_pattern(p, graph, &index, &auto_opts)
+                .plan
+                .is_some_and(|pl| pl.refine_skipped)
+        })
+        .count();
+
+    PlannerBenchRow {
+        name: name.to_string(),
+        queries: patterns.len(),
+        hits: maps_cold.iter().map(Vec::len).sum(),
+        cold_us,
+        hot_us,
+        adaptive_us,
+        hot_speedup: cold_us / hot_us,
+        adaptive_speedup: hot_us / adaptive_us,
+        cache_hits,
+        refine_skipped,
+    }
+}
+
+/// Cold-plan vs hot-cache vs adaptive planning for the full optimized
+/// pipeline on PPI clique workloads and one synthetic subgraph
+/// workload. `ppi_clique_4` doubles as the refine-decision check: its
+/// `adaptive_speedup` compares the feedback-driven `Auto` refinement
+/// decision against refinement forced on. Asserts result identity
+/// across paths before reporting timing deltas.
+pub fn bench_planner(scale: Scale, threads: usize) -> Vec<PlannerBenchRow> {
+    let threads = gql_core::resolve_threads(threads);
+    let nq = match scale {
+        Scale::Quick => 8,
+        Scale::Full => 40,
+    };
+    let mut rows = Vec::new();
+    let ppi = gql_datagen::ppi_network(&gql_datagen::PpiConfig::default());
+    rows.push(bench_planner_one(
+        "ppi_clique_4",
+        &ppi,
+        &gql_datagen::clique_queries(&ppi, 4, nq * 10, 0x4EF1),
+        nq,
+        threads,
+    ));
+    rows.push(bench_planner_one(
+        "ppi_clique_5",
+        &ppi,
+        &gql_datagen::clique_queries(&ppi, 5, nq * 10, 0x4EF3),
+        nq,
+        threads,
+    ));
+    let syn = gql_datagen::erdos_renyi(&gql_datagen::ErConfig::paper_default(10_000, 0x5eed));
+    rows.push(bench_planner_one(
+        "synthetic10k_subgraph_8",
+        &syn,
+        &gql_datagen::subgraph_queries(&syn, 8, nq * 10, 0x4EF2),
+        nq,
+        threads,
+    ));
+    rows
+}
+
+/// Renders [`bench_planner`] rows as the machine-readable
+/// `BENCH_planner.json` document.
+pub fn planner_bench_json(scale: Scale, threads: usize, rows: &[PlannerBenchRow]) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"machine_cores\": {cores},\n"));
+    s.push_str(&format!(
+        "  \"threads\": {},\n",
+        gql_core::resolve_threads(threads)
+    ));
+    s.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        if scale == Scale::Full {
+            "full"
+        } else {
+            "quick"
+        }
+    ));
+    s.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"queries\": {}, \"hits\": {}, \"cold_us\": {:.1}, \"hot_us\": {:.1}, \"adaptive_us\": {:.1}, \"hot_speedup\": {:.3}, \"adaptive_speedup\": {:.3}, \"cache_hits\": {}, \"refine_skipped\": {}}}{}\n",
+            r.name,
+            r.queries,
+            r.hits,
+            r.cold_us,
+            r.hot_us,
+            r.adaptive_us,
+            r.hot_speedup,
+            r.adaptive_speedup,
+            r.cache_hits,
+            r.refine_skipped,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Prints a planner-bench table.
+pub fn print_planner_rows(title: &str, rows: &[PlannerBenchRow]) {
+    println!("\n{title}");
+    println!(
+        "{:>26} {:>8} {:>6} {:>12} {:>12} {:>12} {:>8} {:>8} {:>6} {:>5}",
+        "workload",
+        "queries",
+        "hits",
+        "cold (µs)",
+        "hot (µs)",
+        "auto (µs)",
+        "hot Δ",
+        "auto Δ",
+        "c-hit",
+        "skip"
+    );
+    for r in rows {
+        println!(
+            "{:>26} {:>8} {:>6} {:>12.1} {:>12.1} {:>12.1} {:>7.2}x {:>7.2}x {:>6} {:>5}",
+            r.name,
+            r.queries,
+            r.hits,
+            r.cold_us,
+            r.hot_us,
+            r.adaptive_us,
+            r.hot_speedup,
+            r.adaptive_speedup,
+            r.cache_hits,
+            r.refine_skipped
+        );
+    }
+}

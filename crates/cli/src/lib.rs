@@ -94,9 +94,15 @@ pub enum Command {
         /// Attach the CSR adjacency snapshot to built indexes
         /// (`--no-csr` turns it off; results are identical).
         csr: bool,
+        /// Cache compiled query plans per collection (`--no-plan-cache`
+        /// turns it off; results are identical).
+        plan_cache: bool,
+        /// Adaptive re-planning of diverged cached plans
+        /// (`--adaptive off` turns it off; results are identical).
+        adaptive: bool,
     },
     /// `gql match --graph PATH --pattern PATH [--baseline] [--first]
-    /// [--threads N] [--no-csr]`
+    /// [--threads N] [--no-csr] [--no-plan-cache] [--adaptive on|off]`
     Match {
         /// Data graph file.
         graph: String,
@@ -112,6 +118,12 @@ pub enum Command {
         /// Attach the CSR adjacency snapshot to the index (`--no-csr`
         /// turns it off; results are identical).
         csr: bool,
+        /// Attach a planner (plan cache + feedback) to the run
+        /// (`--no-plan-cache` turns it off; results are identical).
+        plan_cache: bool,
+        /// Adaptive re-planning of diverged cached plans
+        /// (`--adaptive off` turns it off; results are identical).
+        adaptive: bool,
     },
     /// `gql sql --graph PATH --pattern PATH`
     Sql {
@@ -131,7 +143,9 @@ gql — Graphs-at-a-time query language (He & Singh, SIGMOD 2008)
 USAGE:
     gql run <program.gql> [--data NAME=PATH]... [--threads N] [--profile[=json]]
             [--explain[=json]] [--trace FILE] [--slow-ms N] [--metrics FILE] [--no-csr]
-    gql match --graph <data.gql> --pattern <pattern.gql> [--baseline] [--first] [--threads N] [--no-csr]
+            [--no-plan-cache] [--adaptive on|off]
+    gql match --graph <data.gql> --pattern <pattern.gql> [--baseline] [--first] [--threads N]
+            [--no-csr] [--no-plan-cache] [--adaptive on|off]
     gql sql   --graph <data.gql> --pattern <pattern.gql>
     gql help
 
@@ -165,7 +179,27 @@ in Prometheus text exposition format.
 dropping search/refinement/profile construction back to the plain
 adjacency-list kernels. Results are identical; the flag exists to
 compare performance and as an escape hatch.
+
+`--no-plan-cache` disables the per-collection query planner: compiled
+plans (search order, per-edge checks, refinement decision) are not
+cached across statements and no execution feedback is recorded. Cached
+plans are validated against observed candidate sizes before reuse, so
+results are identical either way.
+
+`--adaptive on|off` (default on) controls whether a cached plan whose
+candidate-size expectations diverged beyond the tolerance is re-planned
+from the observed sizes. A diverged run always recomputes its own order
+from actuals; the knob only decides whether the cache entry adapts.
 ";
+
+fn parse_adaptive(it: &mut std::slice::Iter<'_, String>) -> Result<bool> {
+    match it.next().map(String::as_str) {
+        Some("on") => Ok(true),
+        Some("off") => Ok(false),
+        Some(v) => Err(CliError::usage(format!("bad --adaptive value {v:?}"))),
+        None => Err(CliError::usage("--adaptive needs on|off")),
+    }
+}
 
 fn parse_threads(it: &mut std::slice::Iter<'_, String>) -> Result<usize> {
     let v = it
@@ -190,9 +224,15 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             let mut slow_ms = None;
             let mut metrics = None;
             let mut csr = true;
+            let mut plan_cache = true;
+            let mut adaptive = true;
             while let Some(a) = it.next() {
                 if a == "--no-csr" {
                     csr = false;
+                } else if a == "--no-plan-cache" {
+                    plan_cache = false;
+                } else if a == "--adaptive" {
+                    adaptive = parse_adaptive(&mut it)?;
                 } else if a == "--profile" || a == "--profile=text" {
                     profile = Some(ProfileFormat::Text);
                 } else if a == "--profile=json" {
@@ -249,6 +289,8 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 slow_ms,
                 metrics,
                 csr,
+                plan_cache,
+                adaptive,
             })
         }
         Some(cmd @ ("match" | "sql")) => {
@@ -258,6 +300,8 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             let mut first = false;
             let mut threads = 1;
             let mut csr = true;
+            let mut plan_cache = true;
+            let mut adaptive = true;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--graph" => graph = it.next().cloned(),
@@ -266,6 +310,8 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                     "--first" => first = true,
                     "--threads" => threads = parse_threads(&mut it)?,
                     "--no-csr" => csr = false,
+                    "--no-plan-cache" => plan_cache = false,
+                    "--adaptive" => adaptive = parse_adaptive(&mut it)?,
                     other => return Err(CliError::usage(format!("unexpected argument {other:?}"))),
                 }
             }
@@ -279,6 +325,8 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                     first,
                     threads,
                     csr,
+                    plan_cache,
+                    adaptive,
                 })
             } else {
                 Ok(Command::Sql { graph, pattern })
@@ -311,8 +359,14 @@ pub fn execute(cmd: Command) -> Result<Output> {
             slow_ms,
             metrics,
             csr,
+            plan_cache,
+            adaptive,
         } => {
-            let mut db = Database::new().with_threads(threads).with_csr(csr);
+            let mut db = Database::new()
+                .with_threads(threads)
+                .with_csr(csr)
+                .with_plan_cache(plan_cache)
+                .with_adaptive(adaptive);
             if profile.is_some() || metrics.is_some() {
                 db.enable_profiling();
             }
@@ -419,6 +473,8 @@ pub fn execute(cmd: Command) -> Result<Output> {
             first,
             threads,
             csr,
+            plan_cache,
+            adaptive,
         } => {
             let g = load_graph(&graph)?;
             let p = compile_pattern_text(&read(&pattern)?)
@@ -441,6 +497,10 @@ pub fn execute(cmd: Command) -> Result<Output> {
             opts.exhaustive = !first;
             opts.threads = threads;
             opts.csr = csr;
+            opts.adaptive = adaptive;
+            if plan_cache {
+                opts.planner = Some(std::sync::Arc::new(gql_match::Planner::new()));
+            }
             let rep = match_pattern(&p.pattern, &g, &index, &opts);
             let _ = writeln!(out.stdout, "matches: {}", rep.mappings.len());
             let fmt_space = |ln: f64| {
@@ -514,11 +574,53 @@ mod tests {
                 slow_ms: None,
                 metrics: None,
                 csr: true,
+                plan_cache: true,
+                adaptive: true,
             }
         );
         assert!(matches!(
             parse_args(&args(&["run", "p.gql", "--no-csr"])).unwrap(),
             Command::Run { csr: false, .. }
+        ));
+        assert!(matches!(
+            parse_args(&args(&["run", "p.gql", "--no-plan-cache"])).unwrap(),
+            Command::Run {
+                plan_cache: false,
+                adaptive: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_args(&args(&["run", "p.gql", "--adaptive", "off"])).unwrap(),
+            Command::Run {
+                plan_cache: true,
+                adaptive: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_args(&args(&["run", "p.gql", "--adaptive", "on"])).unwrap(),
+            Command::Run { adaptive: true, .. }
+        ));
+        assert!(parse_args(&args(&["run", "p.gql", "--adaptive"])).is_err());
+        assert!(parse_args(&args(&["run", "p.gql", "--adaptive", "maybe"])).is_err());
+        assert!(matches!(
+            parse_args(&args(&[
+                "match",
+                "--graph",
+                "g",
+                "--pattern",
+                "p",
+                "--no-plan-cache",
+                "--adaptive",
+                "off"
+            ]))
+            .unwrap(),
+            Command::Match {
+                plan_cache: false,
+                adaptive: false,
+                ..
+            }
         ));
         assert!(matches!(
             parse_args(&args(&[
@@ -649,6 +751,8 @@ mod tests {
                 first: false,
                 threads: 2,
                 csr,
+                plan_cache: true,
+                adaptive: true,
             })
             .unwrap()
         };
@@ -701,6 +805,8 @@ mod tests {
                 slow_ms: None,
                 metrics: None,
                 csr: true,
+                plan_cache: true,
+                adaptive: true,
             })
             .unwrap()
         };
@@ -757,6 +863,8 @@ mod tests {
                 slow_ms: instrumented.then_some(0),
                 metrics: instrumented.then(|| metrics_path.to_string_lossy().into_owned()),
                 csr: true,
+                plan_cache: true,
+                adaptive: true,
             })
             .unwrap()
         };
@@ -815,6 +923,8 @@ mod tests {
             slow_ms: None,
             metrics: None,
             csr: true,
+            plan_cache: true,
+            adaptive: true,
         })
         .unwrap_err();
         assert_eq!(err.code, 1);

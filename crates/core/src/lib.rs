@@ -16,6 +16,8 @@
 //!   [`IdProfile`]s behind the matcher's interned fast path;
 //! - [`iso`]: trusted (unoptimized) subgraph-isomorphism oracles;
 //! - [`stats`]: label frequencies feeding the §4.4 cost model;
+//! - [`plan`]: renaming-invariant plan-cache keys and execution
+//!   feedback statistics for the feedback-driven planner;
 //! - [`builder`]: union-find node unification backing the composition
 //!   operator's `unify` semantics (§2.1, §3.4);
 //! - [`csr`]: the read-only cache-contiguous CSR adjacency snapshot the
@@ -50,6 +52,7 @@ pub mod neighborhood;
 pub mod obs;
 pub mod op;
 pub mod par;
+pub mod plan;
 pub mod stats;
 pub mod storage;
 pub mod tuple;
@@ -69,6 +72,9 @@ pub use obs::trace::{ArgValue, TraceEvent, TraceSink, TraceSpan};
 pub use obs::{Obs, ObsReport, PhaseStats};
 pub use op::BinOp;
 pub use par::{par_map_index, par_map_index_with, par_map_slice, resolve_threads};
+pub use plan::{
+    shape_key, FeedbackStore, LabelFeedback, PlanCache, PlanKey, ShapeDesc, ShapeFeedback,
+};
 pub use stats::GraphStats;
 pub use storage::{decode_collection, decode_graph, encode_collection, encode_graph, StorageError};
 pub use tuple::Tuple;

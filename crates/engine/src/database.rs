@@ -4,7 +4,7 @@
 use crate::error::{EngineError, Result};
 use gql_algebra::{compile_pattern, ops, CompiledPattern, PatternRegistry, TemplateEnv};
 use gql_core::{ArgValue, ExplainNode, Graph, GraphCollection, Obs, ObsReport, TraceSink};
-use gql_match::{GraphIndex, MatchOptions, Pattern};
+use gql_match::{GraphIndex, MatchOptions, Pattern, Planner};
 use gql_parser::ast::{FlwrAst, FlwrBody, GraphTemplateAst, PatternRef, Program, Statement};
 use gql_parser::parse_program;
 use rustc_hash::FxHashMap;
@@ -49,6 +49,13 @@ pub struct Database {
     /// invalidate the entry). `Arc`s so cached indexes survive the
     /// borrow dance of `eval_flwr` without cloning index data.
     index_cache: FxHashMap<String, Vec<Arc<GraphIndex>>>,
+    /// Per-collection planners (compiled-plan cache + feedback
+    /// statistics), created lazily on first query and invalidated
+    /// alongside `index_cache` when the collection is replaced.
+    planners: FxHashMap<String, Arc<Planner>>,
+    /// Whether `for` clauses attach a planner at all (`--no-plan-cache`
+    /// turns this off; results are identical either way).
+    plan_cache_enabled: bool,
     /// Matching options used by `for` clauses (the `exhaustive` keyword
     /// still overrides the `exhaustive` field per query). The engine
     /// default skips the §5 baseline-space recomputation — it never
@@ -80,6 +87,8 @@ impl Database {
             compiled: FxHashMap::default(),
             vars: FxHashMap::default(),
             index_cache: FxHashMap::default(),
+            planners: FxHashMap::default(),
+            plan_cache_enabled: true,
             options: MatchOptions {
                 report_baseline_space: false,
                 ..MatchOptions::default()
@@ -106,6 +115,36 @@ impl Database {
     pub fn with_csr(mut self, csr: bool) -> Self {
         self.options.csr = csr;
         self
+    }
+
+    /// Enables or disables the per-collection plan cache (the CLI's
+    /// `--no-plan-cache` escape hatch; on by default). With the cache
+    /// off, every `for` clause re-plans from scratch; cached plans are
+    /// validated against observed candidate sizes before reuse, so
+    /// query results are identical either way.
+    pub fn with_plan_cache(mut self, enabled: bool) -> Self {
+        self.plan_cache_enabled = enabled;
+        if !enabled {
+            self.planners.clear();
+        }
+        self
+    }
+
+    /// Enables or disables adaptive re-planning (the CLI's
+    /// `--adaptive off` escape hatch; on by default). With adaptivity
+    /// off, a cached plan whose candidate-size expectations diverged is
+    /// kept rather than replaced — the diverged run still recomputes
+    /// its order from the actuals, so results never change.
+    pub fn with_adaptive(mut self, adaptive: bool) -> Self {
+        self.options.adaptive = adaptive;
+        self
+    }
+
+    /// The planner (plan cache + feedback store) serving a collection,
+    /// if one has been created by a query since the collection was last
+    /// replaced.
+    pub fn planner(&self, source: &str) -> Option<&Arc<Planner>> {
+        self.planners.get(source)
     }
 
     /// Attaches a fresh observability registry: every subsequent query
@@ -178,6 +217,12 @@ impl Database {
     pub fn add_collection(&mut self, name: impl Into<String>, c: GraphCollection) {
         let name = name.into();
         self.index_cache.remove(&name);
+        if let Some(pl) = self.planners.remove(&name) {
+            // Drop our handle *and* evict any plans still referenced by
+            // in-flight clones of the Arc (none in practice, but the
+            // generation bump makes staleness structurally impossible).
+            pl.invalidate();
+        }
         self.collections.insert(name, c);
     }
 
@@ -186,6 +231,9 @@ impl Database {
     pub fn add_graph(&mut self, name: impl Into<String>, g: Graph) {
         let name = name.into();
         self.index_cache.remove(&name);
+        if let Some(pl) = self.planners.remove(&name) {
+            pl.invalidate();
+        }
         self.collections
             .insert(name, GraphCollection::from_graph(g));
     }
@@ -312,6 +360,16 @@ impl Database {
         // The slow-query log needs the ANALYZE tree even when explain
         // was not requested explicitly.
         opts.explain = opts.explain || self.slow_threshold.is_some();
+        // Attach the collection's planner so compiled plans and feedback
+        // statistics persist across statements (invalidated with the
+        // index cache on mutation).
+        if self.plan_cache_enabled {
+            let planner = self
+                .planners
+                .entry(f.source.clone())
+                .or_insert_with(|| Arc::new(Planner::new()));
+            opts.planner = Some(Arc::clone(planner));
+        }
 
         // σ against cached per-graph indexes: a stored collection is
         // indexed once and every subsequent query over it reuses the
@@ -647,6 +705,60 @@ mod tests {
         fast_db.add_graph("G", g);
         fast_db.execute(query).unwrap();
         assert!(fast_db.slow_queries().is_empty());
+    }
+
+    /// Repeated FLWR statements over the same collection must hit the
+    /// plan cache (the planner persists across statements), mutation
+    /// must invalidate it, and `--no-plan-cache` must keep the planner
+    /// off entirely — with identical results in every configuration.
+    #[test]
+    fn plan_cache_hits_across_statements_and_invalidates_on_mutation() {
+        let query = r#"
+            for graph Q { node a <label="A">; node b <label="B">; edge e (a, b); }
+            exhaustive in doc("G")
+            return graph { node n <who=Q.a.label>; };
+        "#;
+        let (g, _) = figure_4_16_graph();
+
+        let mut db = Database::new();
+        let obs = db.enable_profiling();
+        db.add_graph("G", g.clone());
+        let first = db.execute(query).unwrap();
+        let rep = obs.report();
+        assert_eq!(rep.counter("planner.cache.hits").unwrap_or(0), 0);
+        assert_eq!(rep.counter("planner.cache.misses"), Some(1));
+
+        let second = db.execute(query).unwrap();
+        assert_eq!(second.returned[0].len(), first.returned[0].len());
+        let rep = obs.report();
+        assert_eq!(rep.counter("planner.cache.hits"), Some(1));
+        assert_eq!(rep.counter("planner.cache.misses"), Some(1));
+        let planner = db.planner("G").expect("planner created").clone();
+        assert_eq!(planner.cached_plans(), 1);
+        let generation = planner.generation();
+
+        // Mutation: the planner is invalidated alongside the indexes.
+        db.add_graph("G", g.clone());
+        assert!(db.planner("G").is_none());
+        assert!(planner.generation() > generation, "generation bumped");
+        assert_eq!(planner.cached_plans(), 0);
+        let third = db.execute(query).unwrap();
+        assert_eq!(third.returned[0].len(), first.returned[0].len());
+        let rep = obs.report();
+        assert_eq!(rep.counter("planner.cache.misses"), Some(2));
+
+        // Plan cache off: no planner exists, results identical.
+        let mut plain = Database::new().with_plan_cache(false);
+        let obs = plain.enable_profiling();
+        plain.add_graph("G", g);
+        let fourth = plain.execute(query).unwrap();
+        let fifth = plain.execute(query).unwrap();
+        assert!(plain.planner("G").is_none());
+        assert_eq!(fourth.returned[0].len(), first.returned[0].len());
+        assert_eq!(fifth.returned[0].len(), first.returned[0].len());
+        let rep = obs.report();
+        assert_eq!(rep.counter("planner.cache.hits").unwrap_or(0), 0);
+        assert_eq!(rep.counter("planner.cache.misses").unwrap_or(0), 0);
     }
 
     #[test]

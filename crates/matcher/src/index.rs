@@ -54,7 +54,7 @@ impl Default for IndexOptions {
 /// search/refine/profile kernels run on.
 #[derive(Debug, Default)]
 pub struct GraphIndex {
-    interner: LabelInterner,
+    interner: std::sync::Arc<LabelInterner>,
     /// Node label ids in node order ([`NO_LABEL`] for unlabeled nodes).
     node_label_ids: Vec<u32>,
     /// Edge label ids in edge order ([`NO_LABEL`] for unlabeled edges).
@@ -150,6 +150,11 @@ impl GraphIndex {
                     .map_or(NO_LABEL, |l| interner.intern(l))
             })
             .collect();
+        // The dictionary is complete; freeze it so the statistics can
+        // share it (and the ids already computed) instead of rescanning
+        // and re-cloning every label `Value`.
+        let interner = std::sync::Arc::new(interner);
+        let stats = GraphStats::from_interned(std::sync::Arc::clone(&interner), g, &node_label_ids);
         let csr = csr.then(|| CsrGraph::build(g, &node_label_ids, threads));
         // Per-node profiles and neighborhood balls are independent; fan
         // them out across workers in node order. With a CSR snapshot the
@@ -204,7 +209,7 @@ impl GraphIndex {
             neighborhoods,
             csr,
             radius,
-            stats: GraphStats::collect(g),
+            stats,
         }
     }
 
@@ -374,6 +379,17 @@ mod tests {
                 assert_eq!(with.id_profile(v), without.id_profile(v), "{v:?}");
             }
         }
+    }
+
+    #[test]
+    fn stats_share_the_index_dictionary() {
+        let (g, _) = figure_4_16_graph();
+        let idx = GraphIndex::build(&g);
+        assert!(
+            std::ptr::eq(idx.interner(), idx.stats().interner()),
+            "stats reuse the index interner instead of re-interning"
+        );
+        assert_eq!(idx.stats().distinct_labels(), 3);
     }
 
     #[test]

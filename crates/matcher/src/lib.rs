@@ -35,22 +35,30 @@ pub mod index;
 pub mod matcher;
 pub mod order;
 pub mod pattern;
+pub mod plan;
 pub mod refine;
 pub mod search;
 
 pub use expr::{BinOp, EvalCtx, EvalResult, Expr};
 pub use feasible::{
-    feasible_mates, feasible_mates_par, feasible_mates_reference, feasible_mates_stats_par,
-    feasible_mates_stats_per_node, reduction_ratio, search_space_ln, LocalPruning, RetrieveStats,
+    estimated_mates, feasible_mates, feasible_mates_par, feasible_mates_reference,
+    feasible_mates_stats_par, feasible_mates_stats_per_node, reduction_ratio, search_space_ln,
+    LocalPruning, RetrieveStats,
 };
 pub use index::{GraphIndex, IndexOptions};
 pub use matcher::{
-    match_pattern, MatchOptions, MatchReport, RefineLevel, SpaceReport, StepTimings,
+    match_pattern, MatchOptions, MatchReport, PlanInfo, RefineLevel, SpaceReport, StepTimings,
 };
-pub use order::{cost_of_order, optimize_order, GammaMode, SearchOrder};
+pub use order::{cost_of_order, estimate_join_sizes, optimize_order, GammaMode, SearchOrder};
 pub use pattern::Pattern;
+pub use plan::{
+    decide_refine_level, diverges, options_fingerprint, pattern_shape, plan_key, CompiledPlan,
+    Planner, REFINE_SKIP_YIELD,
+};
 pub use refine::{
-    refine_search_space, refine_search_space_csr, refine_search_space_par,
+    estimated_refine_cost, refine_search_space, refine_search_space_csr, refine_search_space_par,
     refine_search_space_reference, refine_search_space_traced, RefineStats,
 };
-pub use search::{search, search_indexed, SearchConfig, SearchOutcome};
+pub use search::{
+    search, search_indexed, search_indexed_with_checks, EdgeChecks, SearchConfig, SearchOutcome,
+};

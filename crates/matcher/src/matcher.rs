@@ -3,13 +3,16 @@
 //! with per-step instrumentation for the §5 experiments.
 
 use crate::feasible::{
-    feasible_mates_par, feasible_mates_stats_per_node, search_space_ln, LocalPruning, RetrieveStats,
+    estimated_mates, feasible_mates_par, feasible_mates_stats_per_node, search_space_ln,
+    LocalPruning, RetrieveStats,
 };
 use crate::index::GraphIndex;
-use crate::order::{optimize_order, GammaMode, SearchOrder};
+use crate::order::{estimate_join_sizes, optimize_order, GammaMode, SearchOrder};
 use crate::pattern::Pattern;
-use crate::refine::{refine_search_space_traced, RefineStats};
-use crate::search::{search_indexed, SearchConfig, SearchOutcome};
+use crate::plan::{decide_refine_level, plan_key, CompiledPlan, Planner};
+use crate::refine::{estimated_refine_cost, refine_search_space_traced, RefineStats};
+use crate::search::{search_indexed_with_checks, EdgeChecks, SearchConfig, SearchOutcome};
+use gql_core::plan::ShapeFeedback;
 use gql_core::{ArgValue, EdgeId, ExplainNode, Graph, NodeId, Obs, TraceSink};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -25,6 +28,13 @@ pub enum RefineLevel {
     /// (§5.1) — the paper's default.
     #[default]
     QuerySize,
+    /// Cost-based: consult the planner's feedback statistics and skip
+    /// refinement when the last run of this motif shape removed (almost)
+    /// nothing (see [`crate::plan::decide_refine_level`]). Cold queries
+    /// — and runs without a [`MatchOptions::planner`] — behave like
+    /// [`RefineLevel::QuerySize`]. Refinement only ever removes
+    /// non-viable candidates, so this decision cannot change results.
+    Auto,
 }
 
 /// Configuration of the matching pipeline. The defaults are the paper's
@@ -82,6 +92,30 @@ pub struct MatchOptions {
     /// escape hatch) every phase falls back to the `Vec`-adjacency
     /// kernels with identical results.
     pub csr: bool,
+    /// Shared planner: when set, compiled plans (search order, γ
+    /// estimates, per-edge checks, refinement decision) are cached
+    /// across calls and execution feedback is recorded for later
+    /// plannings. `None` (the default) re-plans from scratch each call.
+    /// Cached plans are validated against the run's observed candidate
+    /// sizes before reuse, so results are byte-identical either way.
+    pub planner: Option<Arc<Planner>>,
+    /// Graph scope for plan-cache keys and feedback slots: the ordinal
+    /// of this graph within its collection. σ evaluates a collection's
+    /// graphs concurrently; distinct scopes keep their plans and
+    /// statistics (which differ per graph) disjoint and deterministic.
+    pub plan_graph: u64,
+    /// Whether a cached plan whose candidate-size expectations diverged
+    /// beyond [`MatchOptions::divergence_factor`] is *re-planned* — the
+    /// entry is replaced with one compiled from the observed sizes and
+    /// `planner.replans` is counted. With `false` the stale entry is
+    /// kept (the fresh order is still used for the current run — reuse
+    /// is validation-gated regardless, so this knob never affects
+    /// results, only whether the cache adapts).
+    pub adaptive: bool,
+    /// A cached plan's expected candidate size is considered diverged
+    /// when it is off from the observed size by more than this factor
+    /// in either direction.
+    pub divergence_factor: f64,
 }
 
 impl Default for MatchOptions {
@@ -100,6 +134,10 @@ impl Default for MatchOptions {
             trace: None,
             explain: false,
             csr: true,
+            planner: None,
+            plan_graph: 0,
+            adaptive: true,
+            divergence_factor: 4.0,
         }
     }
 }
@@ -175,6 +213,32 @@ impl SpaceReport {
     }
 }
 
+/// What the planner did for one run — populated when a
+/// [`MatchOptions::planner`] is attached or EXPLAIN was requested.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlanInfo {
+    /// The compiled plan came from the cache (and its candidate-size
+    /// expectations were validated against this run's actuals).
+    pub cache_hit: bool,
+    /// A cached plan's expectations diverged beyond the configured
+    /// factor and the entry was re-planned from the observed sizes.
+    pub replanned: bool,
+    /// The cost-based [`RefineLevel::Auto`] decision skipped refinement.
+    pub refine_skipped: bool,
+    /// Estimated partial-mapping cardinality after each join of the
+    /// order (Definition 4.12), aligned with [`MatchReport::order`].
+    pub est_join_sizes: Vec<f64>,
+    /// Expected final match count: the static cost-model estimate,
+    /// corrected by the observed-vs-estimated ratio of the previous run
+    /// of this motif shape when feedback exists.
+    pub est_matches: f64,
+    /// Estimated refinement work (candidate pairs × level) the chosen
+    /// refinement level could spend.
+    pub est_refine_checks: f64,
+    /// Number of prior feedback-recorded runs of this motif shape.
+    pub feedback_runs: u64,
+}
+
 /// Full result of a matching run.
 #[derive(Debug, Clone, Default)]
 pub struct MatchReport {
@@ -199,6 +263,10 @@ pub struct MatchReport {
     /// The `EXPLAIN ANALYZE` operator tree for this run, present iff
     /// [`MatchOptions::explain`] was set.
     pub explain: Option<ExplainNode>,
+    /// Planner outcome for this run (cache hit / re-plan / refinement
+    /// decision plus cost-model estimates), present when a planner was
+    /// attached or EXPLAIN was requested.
+    pub plan: Option<PlanInfo>,
 }
 
 /// Runs the full §4 pipeline for `pattern` against `g`.
@@ -266,11 +334,54 @@ pub fn match_pattern(
         f64::NAN
     };
 
-    // Phase 2: joint reduction (§4.3).
-    let level = match opts.refine {
-        RefineLevel::Off => 0,
-        RefineLevel::Fixed(l) => l,
-        RefineLevel::QuerySize => pattern.node_count(),
+    // Planner: compute the cache key and look up a compiled plan. The
+    // cache is pure memoization — a hit's order is only trusted after
+    // its stored candidate sizes are validated against this run's
+    // actuals (see `crate::plan` for the determinism contract).
+    let planner = opts.planner.as_deref();
+    let key = planner.map(|pl| plan_key(pattern, opts, pl.generation()));
+    let cached: Option<Arc<CompiledPlan>> = match (planner, key) {
+        (Some(pl), Some(k)) => {
+            let hit = pl.lookup(&k);
+            if let Some(obs) = &opts.obs {
+                obs.add(
+                    if hit.is_some() {
+                        "planner.cache.hits"
+                    } else {
+                        "planner.cache.misses"
+                    },
+                    1,
+                );
+            }
+            hit
+        }
+        _ => None,
+    };
+    let feedback: Option<ShapeFeedback> = match (planner, key) {
+        (Some(pl), Some(k)) => pl.shape_feedback(k.shape, k.graph_scope),
+        _ => None,
+    };
+    let pre_sizes: Option<Vec<u32>> =
+        planner.map(|_| mates.iter().map(|m| m.len() as u32).collect());
+    let want_plan_info = planner.is_some() || opts.explain;
+
+    // Phase 2: joint reduction (§4.3). The refinement decision is
+    // always resolved from the *latest* feedback (`Auto` flips to skip
+    // once a run shows the pruning yield doesn't pay; explicit levels
+    // resolve trivially). A cached plan compiled under a different
+    // decision simply fails its candidate-size validation below and the
+    // order is recomputed from actuals — results are unaffected.
+    let (level, refine_skipped) =
+        decide_refine_level(pattern.node_count(), opts.refine, feedback.as_ref());
+    if refine_skipped {
+        if let Some(obs) = &opts.obs {
+            obs.add("planner.refine_skipped", 1);
+        }
+    }
+    let est_refine_checks = if want_plan_info {
+        estimated_refine_cost(&mates, level)
+    } else {
+        0.0
     };
     let t1 = Instant::now();
     if level > 0 {
@@ -302,18 +413,77 @@ pub fn match_pattern(
         );
     }
 
-    // Phase 3: search order (§4.4).
+    // Phase 3: search order (§4.4). A validated cache hit reuses the
+    // stored order (and estimates) wholesale. On any size mismatch the
+    // order is recomputed from the observed sizes — exactly what the
+    // unplanned path computes, since the greedy optimizer is a pure
+    // function of (pattern, candidate sizes, static stats) — so results
+    // stay byte-identical whether or not the plan was stale.
     let t2 = Instant::now();
-    let order = if opts.optimize_order {
-        optimize_order(pattern, &mates, Some(index.stats()), opts.gamma)
+    let refined_sizes: Vec<u32> = if planner.is_some() {
+        mates.iter().map(|m| m.len() as u32).collect()
     } else {
-        SearchOrder {
-            order: (0..pattern.node_count()).collect(),
-            estimated_cost: 0.0,
+        Vec::new()
+    };
+    let compute_order = |mates: &[Vec<NodeId>]| {
+        if opts.optimize_order {
+            optimize_order(pattern, mates, Some(index.stats()), opts.gamma)
+        } else {
+            SearchOrder {
+                order: (0..pattern.node_count()).collect(),
+                estimated_cost: 0.0,
+            }
         }
     };
+    let mut plan_valid = false;
+    let mut replanned = false;
+    let order = match &cached {
+        Some(plan) if plan.refined_sizes == refined_sizes => {
+            plan_valid = true;
+            SearchOrder {
+                order: plan.order.clone(),
+                estimated_cost: plan.estimated_cost,
+            }
+        }
+        Some(plan) => {
+            // Estimate divergence detected mid-pipeline: the candidate
+            // sizes this plan was compiled for no longer hold. Beyond
+            // the configured factor (and with adaptivity on) the entry
+            // is re-planned below; either way this run uses an order
+            // computed from the actuals.
+            if opts.adaptive
+                && crate::plan::diverges(
+                    &plan.refined_sizes,
+                    &refined_sizes,
+                    opts.divergence_factor,
+                )
+            {
+                replanned = true;
+                if let Some(obs) = &opts.obs {
+                    obs.add("planner.replans", 1);
+                }
+            }
+            compute_order(&mates)
+        }
+        None => compute_order(&mates),
+    };
     report.timings.order = t2.elapsed();
+    let order_cost = order.estimated_cost;
     report.order = order.order;
+    let est_join_sizes: Vec<f64> = if want_plan_info {
+        match &cached {
+            Some(plan) if plan_valid => plan.est_join_sizes.clone(),
+            _ => estimate_join_sizes(
+                pattern,
+                &mates,
+                &report.order,
+                Some(index.stats()),
+                opts.gamma,
+            ),
+        }
+    } else {
+        Vec::new()
+    };
     if let Some(sink) = trace {
         sink.complete(
             "match.order",
@@ -331,6 +501,14 @@ pub fn match_pattern(
         threads: opts.threads,
         trace: opts.trace.clone(),
     };
+    // Per-edge checks: reuse the cached plan's (valid for this pattern
+    // and index generation regardless of size drift), build them once
+    // here on a planner miss, or let the search compile its own on the
+    // unplanned path — identical checks in every case.
+    let fresh_checks: Option<EdgeChecks> =
+        (planner.is_some() && cached.is_none()).then(|| EdgeChecks::build(pattern, index));
+    let checks_ref: Option<&EdgeChecks> =
+        cached.as_ref().map(|p| &p.checks).or(fresh_checks.as_ref());
     let t3 = Instant::now();
     let SearchOutcome {
         mappings,
@@ -338,7 +516,15 @@ pub fn match_pattern(
         steps,
         backtracks,
         timed_out,
-    } = search_indexed(pattern, g, Some(index), &mates, &report.order, &cfg);
+    } = search_indexed_with_checks(
+        pattern,
+        g,
+        Some(index),
+        checks_ref,
+        &mates,
+        &report.order,
+        &cfg,
+    );
     report.timings.search = t3.elapsed();
     report.mappings = mappings;
     report.edge_bindings = edge_bindings;
@@ -356,6 +542,68 @@ pub fn match_pattern(
                 ("matches", ArgValue::UInt(report.mappings.len() as u64)),
             ],
         );
+    }
+
+    // Planner epilogue: surface what the planner did, then record this
+    // run's observations and (re)install the compiled plan for the next
+    // call of the same motif.
+    if want_plan_info {
+        let est_static = est_join_sizes.last().copied().unwrap_or(0.0);
+        let correction = feedback.as_ref().and_then(|f| f.cardinality_error());
+        report.plan = Some(PlanInfo {
+            cache_hit: cached.is_some(),
+            replanned,
+            refine_skipped,
+            est_join_sizes: est_join_sizes.clone(),
+            est_matches: correction.map_or(est_static, |c| est_static * c),
+            est_refine_checks,
+            feedback_runs: feedback.as_ref().map_or(0, |f| f.runs),
+        });
+    }
+    if let (Some(pl), Some(k), Some(pre)) = (planner, key, pre_sizes.as_ref()) {
+        let est = estimated_mates(pattern, index.stats());
+        for u in 0..pattern.node_count() {
+            if let Some(id) = pattern
+                .graph
+                .node_label(NodeId(u as u32))
+                .and_then(|l| index.interner().lookup(l))
+            {
+                pl.record_label(k.graph_scope, id, est[u], u64::from(pre[u]));
+            }
+        }
+        pl.record_shape(
+            k.shape,
+            k.graph_scope,
+            ShapeFeedback {
+                runs: 0,
+                candidate_space: pre.iter().map(|&n| u64::from(n)).sum(),
+                refine_removed: report.refine_stats.removed,
+                refine_checks: report.refine_stats.bipartite_checks,
+                refined_sizes: refined_sizes.clone(),
+                search_steps: report.search_steps,
+                matches: report.mappings.len() as u64,
+                estimated_size: est_join_sizes.last().copied().unwrap_or(0.0),
+            },
+        );
+        if cached.is_none() || replanned {
+            let checks = cached
+                .as_ref()
+                .map(|p| p.checks.clone())
+                .or(fresh_checks)
+                .unwrap_or_else(EdgeChecks::empty);
+            pl.insert(
+                k,
+                Arc::new(CompiledPlan {
+                    order: report.order.clone(),
+                    estimated_cost: order_cost,
+                    est_join_sizes: est_join_sizes.clone(),
+                    refine_level: level,
+                    refine_skipped,
+                    refined_sizes,
+                    checks,
+                }),
+            );
+        }
     }
 
     if let Some(obs) = &opts.obs {
@@ -426,9 +674,16 @@ fn build_explain(
 
     let mut refine = ExplainNode::new("refine");
     let rs = &report.refine_stats;
+    refine.prop("requested", ArgValue::Str(format!("{:?}", opts.refine)));
     refine.prop("iterations", ArgValue::UInt(rs.iterations as u64));
     refine.prop("bipartite_checks", ArgValue::UInt(rs.bipartite_checks));
     refine.prop("removed", ArgValue::UInt(rs.removed));
+    if let Some(info) = &report.plan {
+        if info.refine_skipped {
+            refine.prop("skipped_by_planner", ArgValue::Bool(true));
+        }
+        refine.prop("est_checks", ArgValue::Float(info.est_refine_checks));
+    }
     refine.prop("ms", ms(report.timings.refine));
     for (l, &removed) in rs.removed_per_level.iter().enumerate() {
         let mut lvl = ExplainNode::new(format!("level[{}]", l + 1));
@@ -450,6 +705,26 @@ fn build_explain(
                 .join(","),
         ),
     );
+    if let Some(info) = &report.plan {
+        // Plan-cache provenance (a hit skipped §4.4 entirely) and the
+        // estimated-vs-actual cardinality of each join of the order.
+        order.prop("plan_cached", ArgValue::Bool(info.cache_hit));
+        if info.replanned {
+            order.prop("replanned", ArgValue::Bool(true));
+        }
+        order.prop("feedback_runs", ArgValue::UInt(info.feedback_runs));
+        for (i, &u) in report.order.iter().enumerate() {
+            let mut join = ExplainNode::new(format!("join[{u}]"));
+            if let Some(&est) = info.est_join_sizes.get(i) {
+                join.prop("est_size", ArgValue::Float(est));
+            }
+            join.prop(
+                "candidates",
+                ArgValue::UInt(mates.get(u).map_or(0, |m| m.len() as u64)),
+            );
+            order.child(join);
+        }
+    }
     order.prop("ms", ms(report.timings.order));
     root.child(order);
 
@@ -465,6 +740,9 @@ fn build_explain(
     search.prop("steps", ArgValue::UInt(report.search_steps));
     search.prop("backtracks", ArgValue::UInt(report.search_backtracks));
     search.prop("matches", ArgValue::UInt(report.mappings.len() as u64));
+    if let Some(info) = &report.plan {
+        search.prop("est_matches", ArgValue::Float(info.est_matches));
+    }
     search.prop("ms", ms(report.timings.search));
     root.child(search);
     root

@@ -160,6 +160,35 @@ pub fn optimize_order(
     }
 }
 
+/// Estimated partial-mapping cardinality after each join of an explicit
+/// left-deep order (Definition 4.12's `Size(i)` sequence, under the
+/// same γ model the optimizer used). The planner stores these with each
+/// compiled plan so EXPLAIN can annotate every join with its
+/// estimated-vs-actual cardinality and divergence is visible.
+pub fn estimate_join_sizes(
+    pattern: &Pattern,
+    mates: &[Vec<NodeId>],
+    order: &[usize],
+    stats: Option<&GraphStats>,
+    mode: GammaMode,
+) -> Vec<f64> {
+    if order.is_empty() {
+        return Vec::new();
+    }
+    let mut chosen = vec![false; pattern.node_count()];
+    chosen[order[0]] = true;
+    let mut size = mates[order[0]].len() as f64;
+    let mut out = Vec::with_capacity(order.len());
+    out.push(size);
+    for &u in &order[1..] {
+        let gamma = join_gamma(pattern, stats, mode, &chosen, u);
+        size = size * mates[u].len() as f64 * gamma;
+        out.push(size);
+        chosen[u] = true;
+    }
+    out
+}
+
 /// Evaluates `Cost(Γ)` for an explicit left-deep order — used to compare
 /// plans (Figure 4.19) and by tests.
 pub fn cost_of_order(

@@ -541,6 +541,18 @@ fn check_level_parallel(
     parts.into_iter().flatten().collect()
 }
 
+/// Upper-bound estimate of the bipartite-check work `level` refinement
+/// iterations can spend on the current space: each iteration checks at
+/// most every surviving ⟨u, v⟩ pair, and each check costs on the order
+/// of `deg(u) · |Φ|`-ish matching work — we report the pair-count bound
+/// `Σ_u |Φ(u)| × level`, which is what the planner's refine-or-not
+/// decision and EXPLAIN's `est_checks` annotation need (relative
+/// magnitude, not an exact model).
+pub fn estimated_refine_cost(mates: &[Vec<NodeId>], level: usize) -> f64 {
+    let pairs: u64 = mates.iter().map(|m| m.len() as u64).sum();
+    pairs as f64 * level as f64
+}
+
 /// Reference (oracle) implementation: the seed's `FxHashMap`/`FxHashSet`
 /// kernel, kept verbatim so the bitset fast path can be checked for
 /// observable equivalence ([`RefineStats`] included).

@@ -140,14 +140,20 @@ struct EdgeCheck {
     full: bool,
 }
 
-/// The per-edge plan plus the index's data-edge label-id table.
-struct EdgePlan<'a> {
+/// The pattern-sized half of the per-edge plan: one [`EdgeCheck`] per
+/// pattern edge. Owns no index data, so a planner can cache it across
+/// searches and hand it back via [`search_indexed_with_checks`]; the
+/// checks stay valid as long as the index (whose interner encoded the
+/// label ids) does.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeChecks {
     checks: Vec<EdgeCheck>,
-    data_edge_labels: &'a [u32],
 }
 
-impl<'a> EdgePlan<'a> {
-    fn build(pattern: &Pattern, index: &'a GraphIndex) -> Self {
+impl EdgeChecks {
+    /// Compiles the per-edge label prechecks for `pattern` against
+    /// `index`'s label dictionary.
+    pub fn build(pattern: &Pattern, index: &GraphIndex) -> Self {
         let checks = pattern
             .graph
             .edges()
@@ -168,12 +174,22 @@ impl<'a> EdgePlan<'a> {
                 }
             })
             .collect();
-        EdgePlan {
-            checks,
-            data_edge_labels: index.edge_label_ids(),
-        }
+        EdgeChecks { checks }
     }
 
+    /// Checks for a zero-edge pattern (test fixtures).
+    pub fn empty() -> Self {
+        EdgeChecks::default()
+    }
+}
+
+/// The per-edge checks plus the index's data-edge label-id table.
+struct EdgePlan<'a> {
+    checks: &'a [EdgeCheck],
+    data_edge_labels: &'a [u32],
+}
+
+impl EdgePlan<'_> {
     /// Fast-path equivalent of `pattern.edge_feasible(pe, g, ge)`.
     #[inline]
     fn edge_ok(&self, pattern: &Pattern, g: &Graph, pe: EdgeId, ge: EdgeId) -> bool {
@@ -416,6 +432,22 @@ pub fn search_indexed(
     order: &[usize],
     cfg: &SearchConfig,
 ) -> SearchOutcome {
+    search_indexed_with_checks(pattern, g, index, None, mates, order, cfg)
+}
+
+/// [`search_indexed`] with optionally precompiled [`EdgeChecks`] (e.g.
+/// from a plan cache); `None` compiles them here. The checks must have
+/// been built for this `pattern` against this `index`'s dictionary —
+/// the outcome is identical either way, compilation is just skipped.
+pub fn search_indexed_with_checks(
+    pattern: &Pattern,
+    g: &Graph,
+    index: Option<&GraphIndex>,
+    checks: Option<&EdgeChecks>,
+    mates: &[Vec<NodeId>],
+    order: &[usize],
+    cfg: &SearchConfig,
+) -> SearchOutcome {
     let k = pattern.node_count();
     debug_assert_eq!(order.len(), k);
     let mut out = SearchOutcome::default();
@@ -428,7 +460,16 @@ pub fn search_indexed(
     if mates.iter().any(|m| m.is_empty()) {
         return out;
     }
-    let plan = index.map(|idx| EdgePlan::build(pattern, idx));
+    let built: Option<EdgeChecks> = match (index, checks) {
+        (Some(idx), None) => Some(EdgeChecks::build(pattern, idx)),
+        _ => None,
+    };
+    let plan = index.and_then(|idx| {
+        checks.or(built.as_ref()).map(|c| EdgePlan {
+            checks: &c.checks,
+            data_edge_labels: idx.edge_label_ids(),
+        })
+    });
     let csr = index.and_then(GraphIndex::csr);
 
     let roots: &[NodeId] = &mates[order[0]];

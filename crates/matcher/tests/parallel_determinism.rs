@@ -231,6 +231,71 @@ fn trace_and_explain_are_deterministic_across_thread_counts() {
 }
 
 #[test]
+fn planner_pipeline_is_deterministic_across_thread_counts() {
+    // Plan cache, feedback statistics, and adaptivity all enabled: the
+    // repeated-query workload (cold compile, then validated hits, with
+    // the auto refinement decision flipping as feedback accumulates)
+    // must reproduce the unplanned threads=1 mappings and match order
+    // exactly at every thread count — including the planner's own
+    // counters, which are logical, not timing-derived.
+    let g = erdos_renyi(&ErConfig::paper_default(600, 0xD5EED));
+    let queries = subgraph_queries(&g, 5, 4, 0xD5EED ^ 4);
+    type Outputs = Vec<(
+        Vec<Vec<gql_core::NodeId>>,
+        Vec<Vec<gql_core::EdgeId>>,
+        Vec<usize>,
+    )>;
+    let run_sequence = |threads: usize| -> (Outputs, Vec<(String, u64)>) {
+        let planner = std::sync::Arc::new(gql_match::Planner::new());
+        let obs = gql_core::Obs::new();
+        let opts = MatchOptions {
+            planner: Some(planner.clone()),
+            adaptive: true,
+            refine: gql_match::RefineLevel::Auto,
+            obs: Some(obs.clone()),
+            ..MatchOptions::optimized()
+        };
+        let mut outputs = Vec::new();
+        for _ in 0..3 {
+            for q in &queries {
+                let p = Pattern::structural(q.clone());
+                let rep = run(&p, &g, &opts, threads);
+                outputs.push((rep.mappings, rep.edge_bindings, rep.order));
+            }
+        }
+        let (hits, misses) = planner.cache_stats();
+        assert!(hits >= queries.len() as u64, "threads={threads}");
+        assert!(misses >= queries.len() as u64, "first pass misses");
+        (outputs, obs.report().counters)
+    };
+    let (seq_out, seq_counters) = run_sequence(1);
+    assert!(seq_counters
+        .iter()
+        .any(|(k, v)| k == "planner.cache.hits" && *v > 0));
+    // Correctness: every pass's mapping *set* equals the unplanned
+    // run's (the auto refinement decision may legally change the
+    // enumeration order between passes; it can never change the set).
+    for (i, q) in queries.iter().enumerate() {
+        let p = Pattern::structural(q.clone());
+        let mut expected = run(&p, &g, &MatchOptions::optimized(), 1).mappings;
+        expected.sort();
+        for pass in 0..3 {
+            let mut got = seq_out[pass * queries.len() + i].0.clone();
+            got.sort();
+            assert_eq!(got, expected, "mapping set, pass={pass}, query={i}");
+        }
+    }
+    // Determinism: the whole warm-up trajectory — outputs, planner
+    // decisions, and every logical counter — is identical at any
+    // thread count.
+    for threads in THREADS {
+        let (par_out, par_counters) = run_sequence(threads);
+        assert_eq!(par_out, seq_out, "outputs, threads={threads}");
+        assert_eq!(par_counters, seq_counters, "counters, threads={threads}");
+    }
+}
+
+#[test]
 fn raw_search_layer_is_deterministic() {
     // Exercise `search` directly (bypassing match_pattern) so chunking
     // edge cases — more workers than roots, one root, empty mates —

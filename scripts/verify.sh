@@ -22,6 +22,22 @@ cargo test -q -p gql-match --test interned_equivalence
 echo "==> CSR-snapshot equivalence suite"
 cargo test -q -p gql-match --test csr_equivalence
 
+echo "==> plan-cache equivalence suite"
+cargo test -q -p gql-match --test plan_cache_equivalence
+
+echo "==> plan-cache smoke (match with and without --no-plan-cache must agree)"
+with_cache=$(cargo run --release -q -p gql-cli -- match \
+    --graph examples/gql/triangle_net.gql --pattern examples/gql/triangle.gql \
+    | grep -v '^time:')
+without_cache=$(cargo run --release -q -p gql-cli -- match \
+    --graph examples/gql/triangle_net.gql --pattern examples/gql/triangle.gql \
+    --no-plan-cache | grep -v '^time:')
+adaptive=$(cargo run --release -q -p gql-cli -- match \
+    --graph examples/gql/triangle_net.gql --pattern examples/gql/triangle.gql \
+    --adaptive on | grep -v '^time:')
+[ "$with_cache" = "$without_cache" ] || { echo "plan cache changed match output"; exit 1; }
+[ "$with_cache" = "$adaptive" ] || { echo "--adaptive on changed match output"; exit 1; }
+
 echo "==> CSR smoke (match with and without --no-csr must agree)"
 # Wall-clock lines differ run to run; compare everything else.
 with_csr=$(cargo run --release -q -p gql-cli -- match \
@@ -35,9 +51,14 @@ echo "$with_csr" | grep -q "matches: 2" || { echo "unexpected match count"; exit
 
 echo "==> profile smoke (gql run --profile on the bundled example)"
 # The profile report goes to stderr; results stay alone on stdout.
-cargo run --release -q -p gql-cli -- run examples/gql/coauthors.gql \
-    --data DBLP=examples/gql/dblp_sample.gql --profile 2>&1 \
-    | grep -q "match.search" || { echo "profile output missing phases"; exit 1; }
+# Capture before grepping: `cargo run | grep -q` races grep's early
+# exit against the writer (SIGPIPE + pipefail = flaky failure).
+profile_out=$(cargo run --release -q -p gql-cli -- run examples/gql/coauthors.gql \
+    --data DBLP=examples/gql/dblp_sample.gql --profile 2>&1)
+grep -q "match.search" <<<"$profile_out" \
+    || { echo "profile output missing phases"; exit 1; }
+grep -q "planner.cache" <<<"$profile_out" \
+    || { echo "profile output missing planner counters"; exit 1; }
 
 echo "==> explain + trace smoke (gql run on the bundled example)"
 obs_tmp=$(mktemp -d)
