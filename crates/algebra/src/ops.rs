@@ -58,6 +58,7 @@ pub fn build_collection_indexes(
         subgraphs: false,
         threads: inner_threads,
         csr: opts.csr,
+        prop_index: opts.prop_index,
     };
     let indexes = gql_core::par_map_index(graphs.len(), workers, |i| {
         Arc::new(GraphIndex::build_with(graphs[i], &index_opts))

@@ -110,6 +110,7 @@ fn bench_end_to_end_match(c: &mut Criterion) {
                 subgraphs: false,
                 threads: 1,
                 csr,
+                prop_index: true,
             },
         )
     };

@@ -20,13 +20,17 @@
 //! absent vs attached and writes `BENCH_obs_overhead.json`. `planner`
 //! compares cold-plan vs hot-plan-cache vs adaptive planning on a
 //! repeated-query workload and writes `BENCH_planner.json`.
+//! `propindex` compares index-probe retrieval against bucket-scan
+//! predicate evaluation on a 12k-node attribute workload and writes
+//! `BENCH_propindex.json`.
 
 use gql_bench::experiments::{
-    bench_csr, bench_parallel, bench_planner, bench_profile, bench_refine, bench_trace,
-    csr_bench_json, fig4_20, fig4_21, fig4_22, fig4_23a, fig4_23b, parallel_bench_json,
-    planner_bench_json, print_csr_rows, print_parallel_rows, print_planner_rows,
-    print_profile_result, print_refine_rows, print_space_rows, print_step_rows, print_total_rows,
-    print_trace_rows, profile_bench_json, refine_bench_json, trace_bench_json, Scale,
+    bench_csr, bench_parallel, bench_planner, bench_profile, bench_propindex, bench_refine,
+    bench_trace, csr_bench_json, fig4_20, fig4_21, fig4_22, fig4_23a, fig4_23b,
+    parallel_bench_json, planner_bench_json, print_csr_rows, print_parallel_rows,
+    print_planner_rows, print_profile_result, print_propindex_rows, print_refine_rows,
+    print_space_rows, print_step_rows, print_total_rows, print_trace_rows, profile_bench_json,
+    propindex_bench_json, refine_bench_json, trace_bench_json, Scale,
 };
 
 fn main() {
@@ -161,6 +165,19 @@ fn main() {
             Err(e) => eprintln!("# could not write {path}: {e}"),
         }
     };
+    let run_propindex = || {
+        let rows = bench_propindex(scale, threads);
+        print_propindex_rows(
+            "Property index — bucket-scan vs index-probe retrieval, optimized pipeline",
+            &rows,
+        );
+        let json = propindex_bench_json(scale, threads, &rows);
+        let path = "BENCH_propindex.json";
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("# wrote {path}"),
+            Err(e) => eprintln!("# could not write {path}: {e}"),
+        }
+    };
     let run_smoke = || {
         let rows = bench_parallel(scale, threads);
         print_parallel_rows(
@@ -186,6 +203,7 @@ fn main() {
         "csr" => run_csr(),
         "trace" => run_trace(),
         "planner" => run_planner(),
+        "propindex" => run_propindex(),
         "smoke" => run_smoke(),
         "all" => {
             run_20();
@@ -196,7 +214,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment {other:?}; use fig4_20|fig4_21|fig4_22|fig4_23|refine|profile|csr|trace|planner|smoke|all"
+                "unknown experiment {other:?}; use fig4_20|fig4_21|fig4_22|fig4_23|refine|profile|csr|trace|planner|propindex|smoke|all"
             );
             std::process::exit(2);
         }

@@ -94,6 +94,10 @@ pub enum Command {
         /// Attach the CSR adjacency snapshot to built indexes
         /// (`--no-csr` turns it off; results are identical).
         csr: bool,
+        /// Build sorted secondary property indexes so attribute
+        /// predicates retrieve by index probe (`--no-prop-index` turns
+        /// it off; results are identical).
+        prop_index: bool,
         /// Cache compiled query plans per collection (`--no-plan-cache`
         /// turns it off; results are identical).
         plan_cache: bool,
@@ -118,6 +122,10 @@ pub enum Command {
         /// Attach the CSR adjacency snapshot to the index (`--no-csr`
         /// turns it off; results are identical).
         csr: bool,
+        /// Build sorted secondary property indexes so attribute
+        /// predicates retrieve by index probe (`--no-prop-index` turns
+        /// it off; results are identical).
+        prop_index: bool,
         /// Attach a planner (plan cache + feedback) to the run
         /// (`--no-plan-cache` turns it off; results are identical).
         plan_cache: bool,
@@ -143,9 +151,9 @@ gql — Graphs-at-a-time query language (He & Singh, SIGMOD 2008)
 USAGE:
     gql run <program.gql> [--data NAME=PATH]... [--threads N] [--profile[=json]]
             [--explain[=json]] [--trace FILE] [--slow-ms N] [--metrics FILE] [--no-csr]
-            [--no-plan-cache] [--adaptive on|off]
+            [--no-prop-index] [--no-plan-cache] [--adaptive on|off]
     gql match --graph <data.gql> --pattern <pattern.gql> [--baseline] [--first] [--threads N]
-            [--no-csr] [--no-plan-cache] [--adaptive on|off]
+            [--no-csr] [--no-prop-index] [--no-plan-cache] [--adaptive on|off]
     gql sql   --graph <data.gql> --pattern <pattern.gql>
     gql help
 
@@ -179,6 +187,12 @@ in Prometheus text exposition format.
 dropping search/refinement/profile construction back to the plain
 adjacency-list kernels. Results are identical; the flag exists to
 compare performance and as an escape hatch.
+
+`--no-prop-index` skips the sorted secondary property indexes, so
+equality and range predicates on node attributes are evaluated by
+scanning the label bucket instead of probing the index. Results are
+identical; the flag exists to compare performance and as an escape
+hatch.
 
 `--no-plan-cache` disables the per-collection query planner: compiled
 plans (search order, per-edge checks, refinement decision) are not
@@ -224,11 +238,14 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             let mut slow_ms = None;
             let mut metrics = None;
             let mut csr = true;
+            let mut prop_index = true;
             let mut plan_cache = true;
             let mut adaptive = true;
             while let Some(a) = it.next() {
                 if a == "--no-csr" {
                     csr = false;
+                } else if a == "--no-prop-index" {
+                    prop_index = false;
                 } else if a == "--no-plan-cache" {
                     plan_cache = false;
                 } else if a == "--adaptive" {
@@ -289,6 +306,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 slow_ms,
                 metrics,
                 csr,
+                prop_index,
                 plan_cache,
                 adaptive,
             })
@@ -300,6 +318,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             let mut first = false;
             let mut threads = 1;
             let mut csr = true;
+            let mut prop_index = true;
             let mut plan_cache = true;
             let mut adaptive = true;
             while let Some(a) = it.next() {
@@ -310,6 +329,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                     "--first" => first = true,
                     "--threads" => threads = parse_threads(&mut it)?,
                     "--no-csr" => csr = false,
+                    "--no-prop-index" => prop_index = false,
                     "--no-plan-cache" => plan_cache = false,
                     "--adaptive" => adaptive = parse_adaptive(&mut it)?,
                     other => return Err(CliError::usage(format!("unexpected argument {other:?}"))),
@@ -325,6 +345,7 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                     first,
                     threads,
                     csr,
+                    prop_index,
                     plan_cache,
                     adaptive,
                 })
@@ -359,12 +380,14 @@ pub fn execute(cmd: Command) -> Result<Output> {
             slow_ms,
             metrics,
             csr,
+            prop_index,
             plan_cache,
             adaptive,
         } => {
             let mut db = Database::new()
                 .with_threads(threads)
                 .with_csr(csr)
+                .with_prop_index(prop_index)
                 .with_plan_cache(plan_cache)
                 .with_adaptive(adaptive);
             if profile.is_some() || metrics.is_some() {
@@ -473,6 +496,7 @@ pub fn execute(cmd: Command) -> Result<Output> {
             first,
             threads,
             csr,
+            prop_index,
             plan_cache,
             adaptive,
         } => {
@@ -487,6 +511,7 @@ pub fn execute(cmd: Command) -> Result<Output> {
                     subgraphs: false,
                     threads,
                     csr,
+                    prop_index,
                 },
             );
             let mut opts = if baseline {
@@ -497,6 +522,7 @@ pub fn execute(cmd: Command) -> Result<Output> {
             opts.exhaustive = !first;
             opts.threads = threads;
             opts.csr = csr;
+            opts.prop_index = prop_index;
             opts.adaptive = adaptive;
             if plan_cache {
                 opts.planner = Some(std::sync::Arc::new(gql_match::Planner::new()));
@@ -574,6 +600,7 @@ mod tests {
                 slow_ms: None,
                 metrics: None,
                 csr: true,
+                prop_index: true,
                 plan_cache: true,
                 adaptive: true,
             }
@@ -581,6 +608,29 @@ mod tests {
         assert!(matches!(
             parse_args(&args(&["run", "p.gql", "--no-csr"])).unwrap(),
             Command::Run { csr: false, .. }
+        ));
+        assert!(matches!(
+            parse_args(&args(&["run", "p.gql", "--no-prop-index"])).unwrap(),
+            Command::Run {
+                prop_index: false,
+                csr: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_args(&args(&[
+                "match",
+                "--graph",
+                "g",
+                "--pattern",
+                "p",
+                "--no-prop-index"
+            ]))
+            .unwrap(),
+            Command::Match {
+                prop_index: false,
+                ..
+            }
         ));
         assert!(matches!(
             parse_args(&args(&["run", "p.gql", "--no-plan-cache"])).unwrap(),
@@ -743,7 +793,7 @@ mod tests {
             r#"graph P { node x <label="A">; node y <label="B">; edge e (x, y); }"#,
         )
         .unwrap();
-        let run_match = |csr| {
+        let run_match = |csr, prop_index| {
             execute(Command::Match {
                 graph: gpath.to_string_lossy().into_owned(),
                 pattern: ppath.to_string_lossy().into_owned(),
@@ -751,17 +801,30 @@ mod tests {
                 first: false,
                 threads: 2,
                 csr,
+                prop_index,
                 plan_cache: true,
                 adaptive: true,
             })
             .unwrap()
         };
-        let out = run_match(true).stdout;
+        // The `time:` line is wall-clock and varies run to run; drop it
+        // before comparing configurations.
+        let strip_time = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("time:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let out = run_match(true, true).stdout;
         assert!(out.contains("matches: 1"), "{out}");
         assert!(out.contains("a1"), "{out}");
         // --no-csr must produce the same match output.
-        let no_csr = run_match(false).stdout;
+        let no_csr = run_match(false, true).stdout;
         assert!(no_csr.contains("matches: 1"), "{no_csr}");
+        assert_eq!(strip_time(&no_csr), strip_time(&out));
+        // --no-prop-index likewise.
+        let no_prop = run_match(true, false).stdout;
+        assert_eq!(strip_time(&no_prop), strip_time(&out));
 
         let sql_out = execute(Command::Sql {
             graph: gpath.to_string_lossy().into_owned(),
@@ -805,6 +868,7 @@ mod tests {
                 slow_ms: None,
                 metrics: None,
                 csr: true,
+                prop_index: true,
                 plan_cache: true,
                 adaptive: true,
             })
@@ -863,6 +927,7 @@ mod tests {
                 slow_ms: instrumented.then_some(0),
                 metrics: instrumented.then(|| metrics_path.to_string_lossy().into_owned()),
                 csr: true,
+                prop_index: true,
                 plan_cache: true,
                 adaptive: true,
             })
@@ -923,6 +988,7 @@ mod tests {
             slow_ms: None,
             metrics: None,
             csr: true,
+            prop_index: true,
             plan_cache: true,
             adaptive: true,
         })

@@ -16,6 +16,8 @@
 //!   [`IdProfile`]s behind the matcher's interned fast path;
 //! - [`iso`]: trusted (unoptimized) subgraph-isomorphism oracles;
 //! - [`stats`]: label frequencies feeding the §4.4 cost model;
+//! - [`propindex`]: sorted per-(label, attribute) value runs backing the
+//!   matcher's predicate pushdown (equality/range probes);
 //! - [`plan`]: renaming-invariant plan-cache keys and execution
 //!   feedback statistics for the feedback-driven planner;
 //! - [`builder`]: union-find node unification backing the composition
@@ -53,6 +55,7 @@ pub mod obs;
 pub mod op;
 pub mod par;
 pub mod plan;
+pub mod propindex;
 pub mod stats;
 pub mod storage;
 pub mod tuple;
@@ -75,6 +78,7 @@ pub use par::{par_map_index, par_map_index_with, par_map_slice, resolve_threads}
 pub use plan::{
     shape_key, FeedbackStore, LabelFeedback, PlanCache, PlanKey, ShapeDesc, ShapeFeedback,
 };
+pub use propindex::{ProbeOp, PropIndex, Run};
 pub use stats::GraphStats;
 pub use storage::{decode_collection, decode_graph, encode_collection, encode_graph, StorageError};
 pub use tuple::Tuple;

@@ -230,6 +230,11 @@ pub struct ShapeFeedback {
     /// The optimizer's estimated final cardinality for the run, kept so
     /// later plannings can report (and correct for) estimate error.
     pub estimated_size: f64,
+    /// Label-bucket sizes summed over pattern nodes whose retrieval
+    /// went through the secondary property index (last run).
+    pub probe_bucket: u64,
+    /// Ids those index probes produced, summed the same way (last run).
+    pub probe_hits: u64,
 }
 
 impl ShapeFeedback {
@@ -249,6 +254,16 @@ impl ShapeFeedback {
             return None;
         }
         Some((self.matches as f64).max(1e-9) / self.estimated_size.max(1e-9))
+    }
+
+    /// Fraction of probed label buckets the index probes actually
+    /// surfaced in the last run — the observed predicate selectivity.
+    /// `None` until a run routed at least one node through the index.
+    pub fn probe_hit_fraction(&self) -> Option<f64> {
+        if self.probe_bucket == 0 {
+            return None;
+        }
+        Some(self.probe_hits as f64 / self.probe_bucket as f64)
     }
 }
 
@@ -403,6 +418,8 @@ mod tests {
                 refine_removed: 1,
                 estimated_size: 8.0,
                 matches: 4,
+                probe_bucket: 40,
+                probe_hits: 10,
                 ..ShapeFeedback::default()
             },
         );
@@ -410,6 +427,8 @@ mod tests {
         assert_eq!(fb.runs, 1);
         assert!((fb.refine_yield().unwrap() - 0.01).abs() < 1e-12);
         assert!((fb.cardinality_error().unwrap() - 0.5).abs() < 1e-12);
+        assert!((fb.probe_hit_fraction().unwrap() - 0.25).abs() < 1e-12);
+        assert_eq!(ShapeFeedback::default().probe_hit_fraction(), None);
         assert!(f.shape(5, 1).is_none(), "scopes are disjoint");
         f.record_label(0, 3, 10, 4);
         assert!((f.label(0, 3).unwrap().correction().unwrap() - 0.4).abs() < 1e-12);

@@ -32,6 +32,10 @@ pub struct GraphStats {
     directed: bool,
     node_count: u64,
     edge_count: u64,
+    /// Per-`(label id, attribute)` property-run summaries
+    /// `(entries, distinct values)`, recorded when a secondary property
+    /// index is built; feeds the planner's selectivity estimates.
+    prop_runs: FxHashMap<u32, FxHashMap<String, (u64, u64)>>,
 }
 
 impl GraphStats {
@@ -163,6 +167,29 @@ impl GraphStats {
     pub fn distinct_labels(&self) -> usize {
         self.node_freq.len()
     }
+
+    /// Records one node property-run summary: `len` indexed entries with
+    /// `distinct` distinct values for `attr` on nodes labeled `label`.
+    pub fn record_prop_run(&mut self, label: u32, attr: &str, len: u64, distinct: u64) {
+        self.prop_runs
+            .entry(label)
+            .or_default()
+            .insert(attr.to_string(), (len, distinct));
+    }
+
+    /// The `(entries, distinct)` summary of the property run for
+    /// `(label, attr)`, if one was recorded.
+    pub fn prop_run(&self, label: u32, attr: &str) -> Option<(u64, u64)> {
+        self.prop_runs.get(&label)?.get(attr).copied()
+    }
+
+    /// Equality-probe selectivity estimate: expected candidates for
+    /// `attr == key` on nodes labeled `label`, assuming a uniform value
+    /// distribution (`entries / distinct`). `None` without a run.
+    pub fn eq_probe_estimate(&self, label: u32, attr: &str) -> Option<f64> {
+        let (len, distinct) = self.prop_run(label, attr)?;
+        Some(len as f64 / (distinct.max(1)) as f64)
+    }
 }
 
 #[cfg(test)]
@@ -260,6 +287,17 @@ mod tests {
         let top = s.top_labels(2);
         assert_eq!(top[0], Value::Str("B".into()));
         assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn prop_run_summaries_round_trip() {
+        let (g, _) = figure_4_16_graph();
+        let mut s = GraphStats::collect(&g);
+        assert_eq!(s.prop_run(0, "year"), None);
+        s.record_prop_run(0, "year", 10, 4);
+        assert_eq!(s.prop_run(0, "year"), Some((10, 4)));
+        assert!((s.eq_probe_estimate(0, "year").unwrap() - 2.5).abs() < 1e-12);
+        assert_eq!(s.eq_probe_estimate(0, "absent"), None);
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Property tests for the sorted secondary property index: a probe of
+//! any operator over any mixed `i64`/`f64` key population must return
+//! exactly the ids a predicate scan keeps — including around `2^53`,
+//! where `f64` stops representing every integer and a float-rounded
+//! comparison would merge values `cmp_i64_f64` keeps distinct.
+
+use gql_core::{ProbeOp, Run, Value};
+use proptest::prelude::*;
+
+const P53: i64 = 1i64 << 53;
+
+/// Int and Float values packed around ±2^53, where Int(2^53 + 1) vs
+/// Float(9007199254740992.0) is exactly the kind of pair a lossy
+/// `as f64` comparison would conflate, plus exact half-offsets floats
+/// can represent but ints cannot.
+fn near_p53() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (P53 - 6..P53 + 7).prop_map(Value::Int),
+        (-P53 - 6..-P53 + 7).prop_map(Value::Int),
+        (P53 - 6..P53 + 7).prop_map(|i| Value::Float(i as f64)),
+        (-6i64..7).prop_map(|i| Value::Float(P53 as f64 + i as f64 + 0.5)),
+        (-6i64..7).prop_map(Value::Int),
+        (-6i64..7).prop_map(|i| Value::Float(i as f64 + 0.5)),
+    ]
+}
+
+/// The scan oracle: the ids whose value compares to `key` with an
+/// ordering the operator admits, in id order — exactly how predicate
+/// evaluation over a label bucket filters candidates.
+fn scan(entries: &[(Value, u32)], op: ProbeOp, key: &Value) -> Vec<u32> {
+    let admits = |ord: std::cmp::Ordering| match op {
+        ProbeOp::Eq => ord == std::cmp::Ordering::Equal,
+        ProbeOp::Lt => ord == std::cmp::Ordering::Less,
+        ProbeOp::Le => ord != std::cmp::Ordering::Greater,
+        ProbeOp::Gt => ord == std::cmp::Ordering::Greater,
+        ProbeOp::Ge => ord != std::cmp::Ordering::Less,
+    };
+    let mut ids: Vec<u32> = entries
+        .iter()
+        .filter(|(v, _)| v.compare(key).is_some_and(admits))
+        .map(|&(_, id)| id)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn probe_matches_scan_for_mixed_keys_around_2_53(
+        values in proptest::collection::vec(near_p53(), 0..40),
+        key in near_p53(),
+    ) {
+        let entries: Vec<(Value, u32)> = values
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (v, i as u32))
+            .collect();
+        let run = Run::build(entries.clone());
+        for op in [ProbeOp::Eq, ProbeOp::Lt, ProbeOp::Le, ProbeOp::Gt, ProbeOp::Ge] {
+            let probed = run.probe(op, &key);
+            let scanned = scan(&entries, op, &key);
+            prop_assert_eq!(
+                &probed, &scanned,
+                "op={:?} key={:?} entries={:?}", op, key, entries
+            );
+        }
+    }
+}

@@ -117,6 +117,17 @@ impl Database {
         self
     }
 
+    /// Enables or disables the sorted secondary property indexes on the
+    /// indexes this database builds (the CLI's `--no-prop-index` escape
+    /// hatch; on by default). With them off, attribute predicates are
+    /// evaluated by scanning label buckets instead of index probes —
+    /// query results are identical either way. Takes effect for indexes
+    /// built after the call; cached indexes are not rebuilt.
+    pub fn with_prop_index(mut self, prop_index: bool) -> Self {
+        self.options.prop_index = prop_index;
+        self
+    }
+
     /// Enables or disables the per-collection plan cache (the CLI's
     /// `--no-plan-cache` escape hatch; on by default). With the cache
     /// off, every `for` clause re-plans from scratch; cached plans are

@@ -13,10 +13,13 @@
 //! per-candidate profile clones. [`feasible_mates_reference`] keeps the
 //! `Value`-typed kernel alive as the equivalence oracle.
 
+use crate::expr::{EvalCtx, Expr};
 use crate::index::GraphIndex;
 use crate::pattern::Pattern;
 use gql_core::iso::subgraph_isomorphic_anchored;
-use gql_core::{neighborhood_subgraph, ArgValue, Graph, NodeId, Profile, TraceSink};
+use gql_core::{
+    neighborhood_subgraph, ArgValue, Graph, NodeId, ProbeOp, Profile, TraceSink, Value,
+};
 use std::time::Instant;
 
 /// Local pruning strategy for feasible-mate retrieval.
@@ -67,31 +70,242 @@ impl RetrieveStats {
     }
 }
 
-/// Indexed retrieval when the motif pins the label, else a scan.
-fn retrieve(pattern: &Pattern, g: &Graph, index: &GraphIndex, u: NodeId) -> Vec<NodeId> {
-    let attrs = &pattern.graph.node(u).attrs;
-    match attrs.get("label") {
-        Some(label) => {
-            let bucket = index.nodes_with_label(label);
-            // When the motif constrains exactly `{label}` with no tag
-            // and no pushed-down predicates, every bucket member
-            // satisfies `F_u` by construction of the label index — skip
-            // the per-candidate subsumption filter.
-            if attrs.len() == 1 && attrs.tag().is_none() && pattern.node_preds[u.index()].is_empty()
-            {
-                return bucket.to_vec();
-            }
-            bucket
-                .iter()
-                .copied()
-                .filter(|&v| pattern.node_feasible(u, g, v))
-                .collect()
+/// How retrieval produced one pattern node's candidate set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AccessPath {
+    /// Label bucket (or full node table) scanned with per-candidate
+    /// feasibility checks — the only path before property indexes.
+    #[default]
+    BucketScan,
+    /// Sorted-run probes answered the node completely; no per-candidate
+    /// predicate evaluation ran.
+    IndexProbe,
+    /// Probes narrowed the bucket, then the non-indexable residue of
+    /// `F_u` was evaluated over the (much smaller) probe result.
+    ProbeResidual,
+}
+
+impl AccessPath {
+    /// Stable lower-case name used in EXPLAIN trees and plan dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessPath::BucketScan => "bucket_scan",
+            AccessPath::IndexProbe => "index_probe",
+            AccessPath::ProbeResidual => "probe_residual",
         }
-        None => g
+    }
+}
+
+/// Per-pattern-node record of the retrieval access decision. Purely
+/// observational: the candidate set is byte-identical whichever path ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetrieveAccess {
+    /// The path retrieval took.
+    pub path: AccessPath,
+    /// Label-bucket size (full node count for unlabeled motif nodes).
+    pub bucket: u64,
+    /// Candidates that survived the index probes and entered the
+    /// residual filter (equals `bucket` on the scan path).
+    pub probed: u64,
+}
+
+/// Decomposes a pushed-down predicate into `(attr, op, key)` when a
+/// sorted run can answer it: a comparison between this node's attribute
+/// and a literal, in either orientation. Anything else (arithmetic,
+/// `!=`, attr-vs-attr) stays on the scan side.
+fn indexable_probe(pred: &Expr, u: NodeId) -> Option<(&str, ProbeOp, &Value)> {
+    let Expr::Binary { op, lhs, rhs } = pred else {
+        return None;
+    };
+    let op = ProbeOp::from_binop(*op)?;
+    match (lhs.as_ref(), rhs.as_ref()) {
+        (Expr::NodeAttr { node, attr }, Expr::Literal(key)) if *node == u.index() => {
+            Some((attr.as_str(), op, key))
+        }
+        (Expr::Literal(key), Expr::NodeAttr { node, attr }) if *node == u.index() => {
+            Some((attr.as_str(), op.flip(), key))
+        }
+        _ => None,
+    }
+}
+
+/// Intersection of two ascending id lists, ascending.
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Indexed retrieval when the motif pins the label, else a scan.
+///
+/// With a property index present, equality/range predicates against
+/// literals are answered by sorted-run probes intersected in id order;
+/// the non-indexable residue (and any extra structural attributes) is
+/// then evaluated only over the probe survivors. Every path yields the
+/// same candidates in the same (ascending node) order — the access
+/// record reports which one ran and how much it narrowed.
+fn retrieve(
+    pattern: &Pattern,
+    g: &Graph,
+    index: &GraphIndex,
+    u: NodeId,
+) -> (Vec<NodeId>, RetrieveAccess) {
+    let attrs = &pattern.graph.node(u).attrs;
+    let Some(label) = attrs.get("label") else {
+        let n = g.node_count() as u64;
+        let mates = g
             .node_ids()
             .filter(|&v| pattern.node_feasible(u, g, v))
-            .collect(),
+            .collect();
+        return (
+            mates,
+            RetrieveAccess {
+                path: AccessPath::BucketScan,
+                bucket: n,
+                probed: n,
+            },
+        );
+    };
+    let bucket = index.nodes_with_label(label);
+    let scan_access = RetrieveAccess {
+        path: AccessPath::BucketScan,
+        bucket: bucket.len() as u64,
+        probed: bucket.len() as u64,
+    };
+    // When the motif constrains exactly `{label}` with no tag, every
+    // bucket member satisfies the structural part of `F_u` by
+    // construction of the label index.
+    let structural_only = attrs.len() == 1 && attrs.tag().is_none();
+    let preds = &pattern.node_preds[u.index()];
+    if structural_only && preds.is_empty() {
+        return (bucket.to_vec(), scan_access);
     }
+    if let (Some(pi), Some(lid)) = (index.prop(), index.interner().lookup(label)) {
+        let mut residual: Vec<&Expr> = Vec::new();
+        let mut merged: Option<Vec<u32>> = None;
+        let mut absent_run = false;
+        for pred in preds {
+            match indexable_probe(pred, u) {
+                Some((attr, op, key)) => {
+                    if absent_run {
+                        continue;
+                    }
+                    match pi.probe_nodes(lid, attr, op, key) {
+                        // No node of this label carries the attribute:
+                        // the predicate is Undefined for the whole
+                        // bucket, so the candidate set is empty.
+                        None => absent_run = true,
+                        Some(ids) => {
+                            merged = Some(match merged {
+                                None => ids,
+                                Some(prev) => intersect_sorted(&prev, &ids),
+                            });
+                        }
+                    }
+                }
+                None => residual.push(pred),
+            }
+        }
+        if absent_run {
+            return (
+                Vec::new(),
+                RetrieveAccess {
+                    path: AccessPath::IndexProbe,
+                    bucket: bucket.len() as u64,
+                    probed: 0,
+                },
+            );
+        }
+        if let Some(ids) = merged {
+            let probed = ids.len() as u64;
+            // Fully answered by probes: the ids are exactly the bucket
+            // members satisfying `F_u`, already ascending.
+            if structural_only && residual.is_empty() {
+                return (
+                    ids.into_iter().map(NodeId).collect(),
+                    RetrieveAccess {
+                        path: AccessPath::IndexProbe,
+                        bucket: bucket.len() as u64,
+                        probed,
+                    },
+                );
+            }
+            // Evaluate only the residue over the probe survivors; the
+            // probed conjuncts are already satisfied. One bind vector
+            // per pattern node instead of one per candidate.
+            let mut binds = vec![None; pattern.node_count()];
+            let mut mates = Vec::with_capacity(ids.len());
+            for id in ids {
+                let v = NodeId(id);
+                if !structural_only && !attrs.subsumes(&g.node(v).attrs) {
+                    continue;
+                }
+                binds[u.index()] = Some(v);
+                let ctx = EvalCtx {
+                    graph: g,
+                    node_bind: &binds,
+                    edge_bind: &[],
+                };
+                if residual.iter().all(|p| p.holds(&ctx)) {
+                    mates.push(v);
+                }
+            }
+            return (
+                mates,
+                RetrieveAccess {
+                    path: AccessPath::ProbeResidual,
+                    bucket: bucket.len() as u64,
+                    probed,
+                },
+            );
+        }
+    }
+    let mates = bucket
+        .iter()
+        .copied()
+        .filter(|&v| pattern.node_feasible(u, g, v))
+        .collect();
+    (mates, scan_access)
+}
+
+/// Planner-facing estimate of how many candidates the access path will
+/// keep for pattern node `u`, from the recorded run summaries: equality
+/// probes estimate `entries / distinct` (uniform values), range probes
+/// half the run, scans the label frequency (or the node count when
+/// unlabeled). Advisory only — execution never branches on it.
+pub fn estimated_access(pattern: &Pattern, index: &GraphIndex, u: NodeId) -> u64 {
+    let stats = index.stats();
+    let Some(label) = pattern.graph.node(u).attrs.get("label") else {
+        return stats.node_count();
+    };
+    let mut est = stats.node_label_freq(label) as f64;
+    if let (true, Some(lid)) = (index.prop().is_some(), index.interner().lookup(label)) {
+        for pred in &pattern.node_preds[u.index()] {
+            let Some((attr, op, _)) = indexable_probe(pred, u) else {
+                continue;
+            };
+            let Some((len, distinct)) = stats.prop_run(lid, attr) else {
+                return 0; // no run: no node of the label has the attr
+            };
+            let probe_est = match op {
+                ProbeOp::Eq => len as f64 / distinct.max(1) as f64,
+                _ => len as f64 / 2.0,
+            };
+            est = est.min(probe_est);
+        }
+    }
+    est.ceil() as u64
 }
 
 /// Computes `Φ(u)` for one pattern node (retrieval + local pruning).
@@ -101,8 +315,21 @@ fn mates_for(
     index: &GraphIndex,
     pruning: LocalPruning,
     u: NodeId,
+) -> (Vec<NodeId>, RetrieveAccess) {
+    let (base, access) = retrieve(pattern, g, index, u);
+    (mates_prune(pattern, g, index, pruning, u, base), access)
+}
+
+/// The local-pruning stage of [`mates_for`], shared with the access-path
+/// aware callers.
+fn mates_prune(
+    pattern: &Pattern,
+    g: &Graph,
+    index: &GraphIndex,
+    pruning: LocalPruning,
+    u: NodeId,
+    mut base: Vec<NodeId>,
 ) -> Vec<NodeId> {
-    let mut base = retrieve(pattern, g, index, u);
     match pruning {
         LocalPruning::NodeAttributes => base,
         LocalPruning::Profiles { radius } => {
@@ -164,8 +391,23 @@ pub fn feasible_mates_par(
     pruning: LocalPruning,
     threads: usize,
 ) -> Vec<Vec<NodeId>> {
+    feasible_mates_access_par(pattern, g, index, pruning, threads).0
+}
+
+/// [`feasible_mates_par`] additionally reporting the per-pattern-node
+/// [`RetrieveAccess`] decision (which access path ran and how much it
+/// narrowed). The mates are identical to the plain path's.
+pub fn feasible_mates_access_par(
+    pattern: &Pattern,
+    g: &Graph,
+    index: &GraphIndex,
+    pruning: LocalPruning,
+    threads: usize,
+) -> (Vec<Vec<NodeId>>, Vec<RetrieveAccess>) {
     let ids: Vec<NodeId> = pattern.graph.node_ids().collect();
-    gql_core::par_map_slice(&ids, threads, |&u| mates_for(pattern, g, index, pruning, u))
+    let pairs =
+        gql_core::par_map_slice(&ids, threads, |&u| mates_for(pattern, g, index, pruning, u));
+    pairs.into_iter().unzip()
 }
 
 /// Like [`mates_for`] but attributing every pruned candidate to the
@@ -179,8 +421,8 @@ fn mates_for_stats(
     index: &GraphIndex,
     pruning: LocalPruning,
     u: NodeId,
-) -> (Vec<NodeId>, RetrieveStats) {
-    let mut base = retrieve(pattern, g, index, u);
+) -> (Vec<NodeId>, RetrieveStats, RetrieveAccess) {
+    let (mut base, access) = retrieve(pattern, g, index, u);
     let mut stats = RetrieveStats {
         candidates: base.len() as u64,
         ..RetrieveStats::default()
@@ -238,7 +480,7 @@ fn mates_for_stats(
         }
     }
     stats.kept = base.len() as u64;
-    (base, stats)
+    (base, stats, access)
 }
 
 /// [`feasible_mates_par`] plus [`RetrieveStats`] attributing pruned
@@ -252,7 +494,7 @@ pub fn feasible_mates_stats_par(
     pruning: LocalPruning,
     threads: usize,
 ) -> (Vec<Vec<NodeId>>, RetrieveStats) {
-    let (mates, per_node) =
+    let (mates, per_node, _) =
         feasible_mates_stats_per_node(pattern, g, index, pruning, threads, None);
     let mut stats = RetrieveStats::default();
     for s in &per_node {
@@ -262,7 +504,8 @@ pub fn feasible_mates_stats_par(
 }
 
 /// [`feasible_mates_stats_par`] keeping the counters *per pattern node*
-/// (for EXPLAIN trees and trace timelines) instead of pre-aggregated.
+/// (for EXPLAIN trees and trace timelines) instead of pre-aggregated,
+/// along with each node's [`RetrieveAccess`] decision.
 /// With a [`TraceSink`] attached, each node's retrieval is additionally
 /// recorded as a `retrieve.node` complete event carrying candidates
 /// in/out, on whichever worker thread ran it. The mates and counters are
@@ -274,13 +517,13 @@ pub fn feasible_mates_stats_per_node(
     pruning: LocalPruning,
     threads: usize,
     trace: Option<&TraceSink>,
-) -> (Vec<Vec<NodeId>>, Vec<RetrieveStats>) {
+) -> (Vec<Vec<NodeId>>, Vec<RetrieveStats>, Vec<RetrieveAccess>) {
     let ids: Vec<NodeId> = pattern.graph.node_ids().collect();
     let per_node = gql_core::par_map_slice(&ids, threads, |&u| match trace {
         None => mates_for_stats(pattern, g, index, pruning, u),
         Some(sink) => {
             let start = Instant::now();
-            let (m, s) = mates_for_stats(pattern, g, index, pruning, u);
+            let (m, s, a) = mates_for_stats(pattern, g, index, pruning, u);
             sink.complete(
                 format!("retrieve.node[{}]", u.index()),
                 "match",
@@ -292,10 +535,18 @@ pub fn feasible_mates_stats_per_node(
                     ("kept", ArgValue::UInt(s.kept)),
                 ],
             );
-            (m, s)
+            (m, s, a)
         }
     });
-    per_node.into_iter().unzip()
+    let mut mates = Vec::with_capacity(per_node.len());
+    let mut stats = Vec::with_capacity(per_node.len());
+    let mut access = Vec::with_capacity(per_node.len());
+    for (m, s, a) in per_node {
+        mates.push(m);
+        stats.push(s);
+        access.push(a);
+    }
+    (mates, stats, access)
 }
 
 /// Reference (oracle) implementation of [`feasible_mates`]: the
@@ -313,7 +564,7 @@ pub fn feasible_mates_reference(
         .graph
         .node_ids()
         .map(|u| {
-            let base = retrieve(pattern, g, index, u);
+            let (base, _) = retrieve(pattern, g, index, u);
             match pruning {
                 LocalPruning::NodeAttributes => base,
                 LocalPruning::Profiles { radius } => {
@@ -554,8 +805,9 @@ mod tests {
         let (mates, agg) = feasible_mates_stats_par(&p, &g, &idx, pruning, 1);
         for threads in [1, 2, 8] {
             let sink = gql_core::TraceSink::new();
-            let (m, per_node) =
+            let (m, per_node, access) =
                 feasible_mates_stats_per_node(&p, &g, &idx, pruning, threads, Some(&sink));
+            assert_eq!(access.len(), p.node_count());
             assert_eq!(m, mates, "threads={threads}");
             assert_eq!(per_node.len(), p.node_count());
             let mut sum = RetrieveStats::default();
@@ -565,6 +817,183 @@ mod tests {
             assert_eq!(sum, agg, "threads={threads}");
             assert_eq!(sink.len(), p.node_count(), "one event per pattern node");
         }
+    }
+
+    /// A graph where every node carries a `year` attribute, for probe
+    /// tests: labels A/B alternate, years cycle 2000..2010.
+    fn attr_graph() -> Graph {
+        let mut g = Graph::new();
+        for i in 0..60i64 {
+            let label = if i % 2 == 0 { "A" } else { "B" };
+            let mut t = gql_core::Tuple::new()
+                .with("label", label)
+                .with("year", 2000 + (i % 10));
+            if i % 5 == 0 {
+                t.set("flag", i % 3);
+            }
+            g.add_node(t);
+        }
+        for i in 0..59u32 {
+            g.add_edge(NodeId(i), NodeId(i + 1), gql_core::Tuple::new())
+                .unwrap();
+        }
+        g
+    }
+
+    fn probe_pattern(preds: Vec<crate::expr::Expr>) -> Pattern {
+        let mut motif = Graph::new();
+        let a = motif.add_node(gql_core::Tuple::new().with("label", "A"));
+        let b = motif.add_node(gql_core::Tuple::new().with("label", "B"));
+        motif.add_edge(a, b, gql_core::Tuple::new()).unwrap();
+        Pattern::new(motif, preds)
+    }
+
+    /// Probe retrieval and scan retrieval produce byte-identical mates
+    /// for equality, ranges, mirrored orientation, and conjunctions,
+    /// and the access record names the path that ran.
+    #[test]
+    fn probe_paths_match_scan_paths() {
+        use crate::expr::{BinOp, Expr};
+        let g = attr_graph();
+        let indexed = GraphIndex::build_with_profiles(&g, 1);
+        let scan_only = GraphIndex::build_with(
+            &g,
+            &crate::index::IndexOptions {
+                prop_index: false,
+                ..Default::default()
+            },
+        );
+        assert!(indexed.prop().is_some());
+        assert!(scan_only.prop().is_none());
+        let cases: Vec<(Vec<Expr>, AccessPath)> = vec![
+            // Single fully-indexed equality: probe answers directly.
+            (
+                vec![Expr::node_attr_eq(0, "year", 2004)],
+                AccessPath::IndexProbe,
+            ),
+            // Range predicate.
+            (
+                vec![Expr::binary(
+                    BinOp::Ge,
+                    Expr::node_attr(0, "year"),
+                    Expr::Literal(2007.into()),
+                )],
+                AccessPath::IndexProbe,
+            ),
+            // Mirrored orientation: `2007 > year` is `year < 2007`.
+            (
+                vec![Expr::binary(
+                    BinOp::Gt,
+                    Expr::Literal(2007.into()),
+                    Expr::node_attr(0, "year"),
+                )],
+                AccessPath::IndexProbe,
+            ),
+            // Two indexable conjuncts intersect.
+            (
+                vec![
+                    Expr::binary(
+                        BinOp::Ge,
+                        Expr::node_attr(0, "year"),
+                        Expr::Literal(2003.into()),
+                    ),
+                    Expr::binary(
+                        BinOp::Le,
+                        Expr::node_attr(0, "year"),
+                        Expr::Literal(2006.into()),
+                    ),
+                ],
+                AccessPath::IndexProbe,
+            ),
+            // Indexable + non-indexable (`!=`): probe then residual.
+            (
+                vec![
+                    Expr::node_attr_eq(0, "year", 2004),
+                    Expr::binary(
+                        BinOp::Ne,
+                        Expr::node_attr(0, "flag"),
+                        Expr::Literal(1.into()),
+                    ),
+                ],
+                AccessPath::ProbeResidual,
+            ),
+            // Attribute carried by only some nodes.
+            (
+                vec![Expr::node_attr_eq(0, "flag", 0)],
+                AccessPath::IndexProbe,
+            ),
+            // Attribute carried by no node: absent-run short-circuit.
+            (
+                vec![Expr::node_attr_eq(0, "nope", 1)],
+                AccessPath::IndexProbe,
+            ),
+            // Non-indexable only: falls back to the scan.
+            (
+                vec![Expr::binary(
+                    BinOp::Ne,
+                    Expr::node_attr(0, "year"),
+                    Expr::Literal(2004.into()),
+                )],
+                AccessPath::BucketScan,
+            ),
+        ];
+        for (preds, want_path) in cases {
+            let p = probe_pattern(preds.clone());
+            for pruning in [
+                LocalPruning::NodeAttributes,
+                LocalPruning::Profiles { radius: 1 },
+            ] {
+                let (probed, access) = feasible_mates_access_par(&p, &g, &indexed, pruning, 1);
+                let (scanned, scan_access) =
+                    feasible_mates_access_par(&p, &g, &scan_only, pruning, 1);
+                assert_eq!(probed, scanned, "{preds:?} {pruning:?}");
+                assert_eq!(access[0].path, want_path, "{preds:?}");
+                assert_eq!(scan_access[0].path, AccessPath::BucketScan, "{preds:?}");
+                // Node 1 has no predicate: plain bucket fast path.
+                assert_eq!(access[1].path, AccessPath::BucketScan);
+                for threads in [2, 8] {
+                    assert_eq!(
+                        feasible_mates_par(&p, &g, &indexed, pruning, threads),
+                        probed,
+                        "{preds:?} threads={threads}"
+                    );
+                }
+                // Stats path agrees and counts candidates post-retrieve.
+                let (sm, ss) = feasible_mates_stats_par(&p, &g, &indexed, pruning, 1);
+                let (cm, cs) = feasible_mates_stats_par(&p, &g, &scan_only, pruning, 1);
+                assert_eq!(sm, cm, "{preds:?} {pruning:?}");
+                assert_eq!(ss, cs, "{preds:?} {pruning:?}");
+            }
+        }
+    }
+
+    /// The access record's probed count narrows with selectivity and the
+    /// estimate helper tracks run summaries.
+    #[test]
+    fn access_records_and_estimates() {
+        use crate::expr::Expr;
+        let g = attr_graph();
+        let idx = GraphIndex::build(&g);
+        let p = probe_pattern(vec![Expr::node_attr_eq(0, "year", 2004)]);
+        let (mates, access) =
+            feasible_mates_access_par(&p, &g, &idx, LocalPruning::NodeAttributes, 1);
+        assert_eq!(access[0].bucket, 30);
+        assert_eq!(access[0].probed, mates[0].len() as u64);
+        assert!(access[0].probed < access[0].bucket);
+        // A-nodes are even ids, so `year = 2000 + (i % 10)` takes the 5
+        // even offsets: eq estimate = 30 / 5 = 6.
+        assert_eq!(estimated_access(&p, &idx, NodeId(0)), 6);
+        // Unconstrained node: label frequency.
+        assert_eq!(estimated_access(&p, &idx, NodeId(1)), 30);
+        // Without the prop index the estimate is the label frequency.
+        let scan_only = GraphIndex::build_with(
+            &g,
+            &crate::index::IndexOptions {
+                prop_index: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(estimated_access(&p, &scan_only, NodeId(0)), 30);
     }
 
     #[test]

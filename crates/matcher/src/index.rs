@@ -16,7 +16,7 @@
 
 use gql_core::{
     neighborhood_subgraph, CsrGraph, Graph, GraphStats, IdProfile, LabelInterner,
-    NeighborhoodSubgraph, NodeId, Profile, ProfileScratch, Value, NO_LABEL,
+    NeighborhoodSubgraph, NodeId, Profile, ProfileScratch, PropIndex, Value, NO_LABEL,
 };
 
 /// What a [`GraphIndex::build_with`] call should materialize.
@@ -34,6 +34,10 @@ pub struct IndexOptions {
     /// it off — the `--no-csr` escape hatch — drops every pipeline
     /// phase back to the `Vec`-adjacency kernels).
     pub csr: bool,
+    /// Build the sorted secondary property index (the default; turning
+    /// it off — the `--no-prop-index` escape hatch — makes retrieval
+    /// evaluate every attribute predicate by scanning the label bucket).
+    pub prop_index: bool,
 }
 
 impl Default for IndexOptions {
@@ -44,6 +48,7 @@ impl Default for IndexOptions {
             subgraphs: false,
             threads: 1,
             csr: true,
+            prop_index: true,
         }
     }
 }
@@ -65,6 +70,9 @@ pub struct GraphIndex {
     id_profiles: Vec<IdProfile>,
     neighborhoods: Vec<NeighborhoodSubgraph>,
     csr: Option<CsrGraph>,
+    /// Sorted per-(label, attribute) value runs, unless built with
+    /// `prop_index: false`.
+    prop: Option<PropIndex>,
     radius: usize,
     stats: GraphStats,
 }
@@ -72,38 +80,39 @@ pub struct GraphIndex {
 impl GraphIndex {
     /// Builds the label index and statistics only (no neighborhood data).
     pub fn build(g: &Graph) -> Self {
-        Self::build_inner(g, 0, false, false, 1, true)
+        Self::build_inner(g, 0, false, false, 1, true, true)
     }
 
     /// Builds the label index plus radius-`r` profiles (the practical
     /// combination recommended by the paper's §5 summary).
     pub fn build_with_profiles(g: &Graph, radius: usize) -> Self {
-        Self::build_inner(g, radius, true, false, 1, true)
+        Self::build_inner(g, radius, true, false, 1, true, true)
     }
 
     /// [`GraphIndex::build_with_profiles`] with per-node profile
     /// computation spread across `threads` workers (`0` = available
     /// cores). The resulting index is identical.
     pub fn build_with_profiles_par(g: &Graph, radius: usize, threads: usize) -> Self {
-        Self::build_inner(g, radius, true, false, threads, true)
+        Self::build_inner(g, radius, true, false, threads, true, true)
     }
 
     /// Builds label index, profiles, *and* materialized neighborhood
     /// subgraphs of radius `r` (heavier; used by retrieve-by-subgraphs).
     pub fn build_full(g: &Graph, radius: usize) -> Self {
-        Self::build_inner(g, radius, true, true, 1, true)
+        Self::build_inner(g, radius, true, true, 1, true, true)
     }
 
     /// [`GraphIndex::build_full`] with per-node profile/neighborhood
     /// computation spread across `threads` workers (`0` = available
     /// cores). The resulting index is identical.
     pub fn build_full_par(g: &Graph, radius: usize, threads: usize) -> Self {
-        Self::build_inner(g, radius, true, true, threads, true)
+        Self::build_inner(g, radius, true, true, threads, true, true)
     }
 
-    /// Builds exactly what `opts` asks for — the one constructor with a
-    /// knob for skipping the CSR snapshot (`csr: false`). Index contents
-    /// other than the snapshot are identical either way.
+    /// Builds exactly what `opts` asks for — the one constructor with
+    /// knobs for skipping the CSR snapshot (`csr: false`) and the
+    /// property index (`prop_index: false`). Index contents other than
+    /// those structures are identical either way.
     pub fn build_with(g: &Graph, opts: &IndexOptions) -> Self {
         Self::build_inner(
             g,
@@ -112,6 +121,7 @@ impl GraphIndex {
             opts.subgraphs,
             opts.threads,
             opts.csr,
+            opts.prop_index,
         )
     }
 
@@ -122,6 +132,7 @@ impl GraphIndex {
         subgraphs: bool,
         threads: usize,
         csr: bool,
+        prop_index: bool,
     ) -> Self {
         // Intern the label domain and build the id-keyed label table in
         // one node scan; ids are dense and assigned in first-seen order.
@@ -154,8 +165,18 @@ impl GraphIndex {
         // share it (and the ids already computed) instead of rescanning
         // and re-cloning every label `Value`.
         let interner = std::sync::Arc::new(interner);
-        let stats = GraphStats::from_interned(std::sync::Arc::clone(&interner), g, &node_label_ids);
+        let mut stats =
+            GraphStats::from_interned(std::sync::Arc::clone(&interner), g, &node_label_ids);
         let csr = csr.then(|| CsrGraph::build(g, &node_label_ids, threads));
+        // Sorted property runs over the same label-id tables; run
+        // summaries feed the planner's selectivity estimates.
+        let prop = prop_index.then(|| {
+            let pi = PropIndex::build(g, &node_label_ids, &edge_label_ids);
+            for (lid, attr, run) in pi.node_run_summaries() {
+                stats.record_prop_run(lid, attr, run.len() as u64, run.distinct() as u64);
+            }
+            pi
+        });
         // Per-node profiles and neighborhood balls are independent; fan
         // them out across workers in node order. With a CSR snapshot the
         // interned profiles come straight from its zero-allocation BFS
@@ -208,6 +229,7 @@ impl GraphIndex {
             id_profiles,
             neighborhoods,
             csr,
+            prop,
             radius,
             stats,
         }
@@ -287,6 +309,15 @@ impl GraphIndex {
     #[inline]
     pub fn csr(&self) -> Option<&CsrGraph> {
         self.csr.as_ref()
+    }
+
+    /// The sorted secondary property index, unless the index was built
+    /// with `prop_index: false` ([`IndexOptions`]). Retrieval treats
+    /// `None` as "scan the label bucket" and produces identical results
+    /// either way.
+    #[inline]
+    pub fn prop(&self) -> Option<&PropIndex> {
+        self.prop.as_ref()
     }
 
     /// Label statistics for the cost model.
@@ -379,6 +410,26 @@ mod tests {
                 assert_eq!(with.id_profile(v), without.id_profile(v), "{v:?}");
             }
         }
+    }
+
+    #[test]
+    fn prop_index_builds_by_default_and_gates_off() {
+        let (g, _) = figure_4_16_graph();
+        let idx = GraphIndex::build(&g);
+        let pi = idx.prop().expect("prop index is on by default");
+        let lid = idx.interner().lookup(&"A".into()).unwrap();
+        // Every labeled node carries at least its `label` attribute.
+        assert!(pi.node_run(lid, "label").is_some());
+        assert_eq!(idx.stats().prop_run(lid, "label"), Some((2, 1)));
+        let without = GraphIndex::build_with(
+            &g,
+            &IndexOptions {
+                prop_index: false,
+                ..Default::default()
+            },
+        );
+        assert!(without.prop().is_none());
+        assert_eq!(without.stats().prop_run(lid, "label"), None);
     }
 
     #[test]

@@ -41,9 +41,10 @@ pub mod search;
 
 pub use expr::{BinOp, EvalCtx, EvalResult, Expr};
 pub use feasible::{
-    estimated_mates, feasible_mates, feasible_mates_par, feasible_mates_reference,
-    feasible_mates_stats_par, feasible_mates_stats_per_node, reduction_ratio, search_space_ln,
-    LocalPruning, RetrieveStats,
+    estimated_access, estimated_mates, feasible_mates, feasible_mates_access_par,
+    feasible_mates_par, feasible_mates_reference, feasible_mates_stats_par,
+    feasible_mates_stats_per_node, reduction_ratio, search_space_ln, AccessPath, LocalPruning,
+    RetrieveAccess, RetrieveStats,
 };
 pub use index::{GraphIndex, IndexOptions};
 pub use matcher::{

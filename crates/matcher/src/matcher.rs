@@ -3,8 +3,9 @@
 //! with per-step instrumentation for the §5 experiments.
 
 use crate::feasible::{
-    estimated_mates, feasible_mates_par, feasible_mates_stats_per_node, search_space_ln,
-    LocalPruning, RetrieveStats,
+    estimated_access, estimated_mates, feasible_mates_access_par, feasible_mates_par,
+    feasible_mates_stats_per_node, search_space_ln, AccessPath, LocalPruning, RetrieveAccess,
+    RetrieveStats,
 };
 use crate::index::GraphIndex;
 use crate::order::{estimate_join_sizes, optimize_order, GammaMode, SearchOrder};
@@ -92,6 +93,12 @@ pub struct MatchOptions {
     /// escape hatch) every phase falls back to the `Vec`-adjacency
     /// kernels with identical results.
     pub csr: bool,
+    /// Whether *index builders* driven by these options build the sorted
+    /// secondary property index. [`match_pattern`] itself only reads
+    /// whatever the index carries; with `false` (the `--no-prop-index`
+    /// escape hatch) retrieval evaluates every attribute predicate by
+    /// scanning the label bucket, with identical results.
+    pub prop_index: bool,
     /// Shared planner: when set, compiled plans (search order, γ
     /// estimates, per-edge checks, refinement decision) are cached
     /// across calls and execution feedback is recorded for later
@@ -134,6 +141,7 @@ impl Default for MatchOptions {
             trace: None,
             explain: false,
             csr: true,
+            prop_index: true,
             planner: None,
             plan_graph: 0,
             adaptive: true,
@@ -288,15 +296,13 @@ pub fn match_pattern(
     // keeps the per-pattern-node breakdown; without it the branch-free
     // kernel runs.
     let t0 = Instant::now();
-    let (mut mates, per_node_stats) = if opts.instrumented() {
-        let (m, s) =
+    let (mut mates, per_node_stats, access) = if opts.instrumented() {
+        let (m, s, a) =
             feasible_mates_stats_per_node(pattern, g, index, opts.pruning, opts.threads, trace);
-        (m, Some(s))
+        (m, Some(s), a)
     } else {
-        (
-            feasible_mates_par(pattern, g, index, opts.pruning, opts.threads),
-            None,
-        )
+        let (m, a) = feasible_mates_access_par(pattern, g, index, opts.pruning, opts.threads);
+        (m, None, a)
     };
     let retrieve_stats = per_node_stats.as_ref().map(|per_node| {
         let mut agg = RetrieveStats::default();
@@ -583,6 +589,16 @@ pub fn match_pattern(
                 search_steps: report.search_steps,
                 matches: report.mappings.len() as u64,
                 estimated_size: est_join_sizes.last().copied().unwrap_or(0.0),
+                probe_bucket: access
+                    .iter()
+                    .filter(|a| a.path != AccessPath::BucketScan)
+                    .map(|a| a.bucket)
+                    .sum(),
+                probe_hits: access
+                    .iter()
+                    .filter(|a| a.path != AccessPath::BucketScan)
+                    .map(|a| a.probed)
+                    .sum(),
             },
         );
         if cached.is_none() || replanned {
@@ -600,6 +616,7 @@ pub fn match_pattern(
                     refine_level: level,
                     refine_skipped,
                     refined_sizes,
+                    access_paths: access.iter().map(|a| a.path).collect(),
                     checks,
                 }),
             );
@@ -607,14 +624,16 @@ pub fn match_pattern(
     }
 
     if let Some(obs) = &opts.obs {
-        flush_obs(obs, &report, retrieve_stats.as_ref());
+        flush_obs(obs, &report, retrieve_stats.as_ref(), &access);
     }
     if opts.explain {
         report.explain = Some(build_explain(
             pattern,
             opts,
+            index,
             &report,
             per_node_stats.as_deref().unwrap_or(&[]),
+            &access,
             &mates,
         ));
     }
@@ -632,8 +651,10 @@ fn ms(d: Duration) -> ArgValue {
 fn build_explain(
     pattern: &Pattern,
     opts: &MatchOptions,
+    index: &GraphIndex,
     report: &MatchReport,
     per_node: &[RetrieveStats],
+    access: &[RetrieveAccess],
     mates: &[Vec<NodeId>],
 ) -> ExplainNode {
     let mut root = ExplainNode::new("match");
@@ -664,6 +685,19 @@ fn build_explain(
     retrieve.prop("ms", ms(report.timings.retrieve));
     for (u, s) in per_node.iter().enumerate() {
         let mut node = ExplainNode::new(format!("node[{u}]"));
+        // Access-path decision: which retrieval strategy the run chose
+        // for this node, what the label bucket held, how many ids the
+        // index probe produced, and what the planner statistics had
+        // estimated beforehand — estimated-vs-actual in one line.
+        if let Some(a) = access.get(u) {
+            node.prop("path", ArgValue::Str(a.path.name().to_string()));
+            node.prop("bucket", ArgValue::UInt(a.bucket));
+            node.prop("probed", ArgValue::UInt(a.probed));
+            node.prop(
+                "est_candidates",
+                ArgValue::UInt(estimated_access(pattern, index, NodeId(u as u32))),
+            );
+        }
         node.prop("candidates", ArgValue::UInt(s.candidates));
         node.prop("sig_rejected", ArgValue::UInt(s.sig_rejected));
         node.prop("exact_rejected", ArgValue::UInt(s.exact_rejected));
@@ -753,7 +787,12 @@ fn build_explain(
 /// all of them are deterministic for exhaustive runs at any thread
 /// count (capped/early-exit parallel runs may legitimately report more
 /// `search.steps`, as documented on [`SearchOutcome::steps`]).
-fn flush_obs(obs: &Obs, report: &MatchReport, retrieve: Option<&crate::feasible::RetrieveStats>) {
+fn flush_obs(
+    obs: &Obs,
+    report: &MatchReport,
+    retrieve: Option<&crate::feasible::RetrieveStats>,
+    access: &[RetrieveAccess],
+) {
     obs.add("match.queries", 1);
     obs.record("match.retrieve", report.timings.retrieve);
     obs.record("match.refine", report.timings.refine);
@@ -764,6 +803,14 @@ fn flush_obs(obs: &Obs, report: &MatchReport, retrieve: Option<&crate::feasible:
         obs.add("retrieve.sig_rejected", r.sig_rejected);
         obs.add("retrieve.exact_rejected", r.exact_rejected);
         obs.add("retrieve.kept", r.kept);
+    }
+    for a in access {
+        let key = match a.path {
+            AccessPath::BucketScan => "retrieve.bucket_scan",
+            AccessPath::IndexProbe => "retrieve.index_probe",
+            AccessPath::ProbeResidual => "retrieve.residual_scan",
+        };
+        obs.add(key, 1);
     }
     let rs = &report.refine_stats;
     obs.add("refine.iterations", rs.iterations as u64);

@@ -60,6 +60,12 @@ pub struct CompiledPlan {
     /// Post-refinement candidate-set sizes observed at compile time —
     /// the expectations a later hit is validated against.
     pub refined_sizes: Vec<u32>,
+    /// Per-pattern-node retrieval access path the compile-time run
+    /// chose. Advisory: execution re-decides from the live index (the
+    /// decision is a pure function of pattern and index, so it can't
+    /// drift); this is kept so EXPLAIN and tooling can show what the
+    /// plan did without re-running retrieval.
+    pub access_paths: Vec<crate::feasible::AccessPath>,
     /// Precompiled per-pattern-edge label checks for the search phase.
     pub checks: EdgeChecks,
 }
@@ -321,6 +327,7 @@ pub fn options_fingerprint(opts: &MatchOptions) -> u64 {
         RefineLevel::QuerySize => h.write_u8(2),
         RefineLevel::Auto => h.write_u8(3),
     }
+    h.write_u8(u8::from(opts.prop_index));
     h.finish()
 }
 
@@ -588,6 +595,7 @@ mod tests {
                 refine_level: 3,
                 refine_skipped: false,
                 refined_sizes: vec![1, 2, 1],
+                access_paths: vec![crate::feasible::AccessPath::BucketScan; 3],
                 checks: EdgeChecks::empty(),
             }),
         );

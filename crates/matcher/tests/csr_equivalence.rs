@@ -255,6 +255,7 @@ fn index_profiles_match_vec_path() {
                     subgraphs: false,
                     threads,
                     csr,
+                    prop_index: true,
                 };
                 let with_csr = GraphIndex::build_with(&g, &opts(true));
                 let without = GraphIndex::build_with(&g, &opts(false));
@@ -314,6 +315,7 @@ fn end_to_end_match_results_identical() {
                         subgraphs: false,
                         threads,
                         csr,
+                        prop_index: true,
                     },
                 );
                 let obs = Obs::new();

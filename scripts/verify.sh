@@ -25,6 +25,9 @@ cargo test -q -p gql-match --test csr_equivalence
 echo "==> plan-cache equivalence suite"
 cargo test -q -p gql-match --test plan_cache_equivalence
 
+echo "==> property-index equivalence suite"
+cargo test -q -p gql-match --test propindex_equivalence
+
 echo "==> plan-cache smoke (match with and without --no-plan-cache must agree)"
 with_cache=$(cargo run --release -q -p gql-cli -- match \
     --graph examples/gql/triangle_net.gql --pattern examples/gql/triangle.gql \
@@ -48,6 +51,15 @@ without_csr=$(cargo run --release -q -p gql-cli -- match \
     | grep -v '^time:')
 [ "$with_csr" = "$without_csr" ] || { echo "CSR and --no-csr outputs differ"; exit 1; }
 echo "$with_csr" | grep -q "matches: 2" || { echo "unexpected match count"; exit 1; }
+
+echo "==> property-index smoke (match with and without --no-prop-index must agree)"
+with_prop=$(cargo run --release -q -p gql-cli -- match \
+    --graph examples/gql/triangle_net.gql --pattern examples/gql/triangle.gql \
+    | grep -v '^time:')
+without_prop=$(cargo run --release -q -p gql-cli -- match \
+    --graph examples/gql/triangle_net.gql --pattern examples/gql/triangle.gql \
+    --no-prop-index | grep -v '^time:')
+[ "$with_prop" = "$without_prop" ] || { echo "--no-prop-index changed match output"; exit 1; }
 
 echo "==> profile smoke (gql run --profile on the bundled example)"
 # The profile report goes to stderr; results stay alone on stdout.
