@@ -22,15 +22,18 @@
 //! repeated-query workload and writes `BENCH_planner.json`.
 //! `propindex` compares index-probe retrieval against bucket-scan
 //! predicate evaluation on a 12k-node attribute workload and writes
-//! `BENCH_propindex.json`.
+//! `BENCH_propindex.json`. `storage` compares cold-opening a
+//! checkpointed (and a WAL-only) data directory against rebuilding the
+//! same database in memory and writes `BENCH_storage.json`.
 
 use gql_bench::experiments::{
     bench_csr, bench_parallel, bench_planner, bench_profile, bench_propindex, bench_refine,
-    bench_trace, csr_bench_json, fig4_20, fig4_21, fig4_22, fig4_23a, fig4_23b,
+    bench_storage, bench_trace, csr_bench_json, fig4_20, fig4_21, fig4_22, fig4_23a, fig4_23b,
     parallel_bench_json, planner_bench_json, print_csr_rows, print_parallel_rows,
     print_planner_rows, print_profile_result, print_propindex_rows, print_refine_rows,
-    print_space_rows, print_step_rows, print_total_rows, print_trace_rows, profile_bench_json,
-    propindex_bench_json, refine_bench_json, trace_bench_json, Scale,
+    print_space_rows, print_step_rows, print_storage_rows, print_total_rows, print_trace_rows,
+    profile_bench_json, propindex_bench_json, refine_bench_json, storage_bench_json,
+    trace_bench_json, Scale,
 };
 
 fn main() {
@@ -178,6 +181,19 @@ fn main() {
             Err(e) => eprintln!("# could not write {path}: {e}"),
         }
     };
+    let run_storage = || {
+        let rows = bench_storage(scale, threads);
+        print_storage_rows(
+            "Storage — cold open from checkpoint/WAL vs in-memory rebuild",
+            &rows,
+        );
+        let json = storage_bench_json(scale, threads, &rows);
+        let path = "BENCH_storage.json";
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("# wrote {path}"),
+            Err(e) => eprintln!("# could not write {path}: {e}"),
+        }
+    };
     let run_smoke = || {
         let rows = bench_parallel(scale, threads);
         print_parallel_rows(
@@ -204,6 +220,7 @@ fn main() {
         "trace" => run_trace(),
         "planner" => run_planner(),
         "propindex" => run_propindex(),
+        "storage" => run_storage(),
         "smoke" => run_smoke(),
         "all" => {
             run_20();
@@ -214,7 +231,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment {other:?}; use fig4_20|fig4_21|fig4_22|fig4_23|refine|profile|csr|trace|planner|propindex|smoke|all"
+                "unknown experiment {other:?}; use fig4_20|fig4_21|fig4_22|fig4_23|refine|profile|csr|trace|planner|propindex|storage|smoke|all"
             );
             std::process::exit(2);
         }

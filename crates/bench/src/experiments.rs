@@ -1857,3 +1857,232 @@ pub fn print_propindex_rows(title: &str, rows: &[PropIndexBenchRow]) {
         );
     }
 }
+
+// ---------------------------------------------------- storage bench
+
+/// One cold-start comparison (a `BENCH_storage.json` row): wall-clock
+/// of bringing the 12k-node graph to its first query answer starting
+/// from (a) on-disk persistence artifacts — a checkpoint segment or a
+/// WAL — and (b) nothing, rebuilding the in-memory database and its
+/// indexes from scratch. Results are asserted identical before any
+/// timing is reported.
+#[derive(Debug, Clone)]
+pub struct StorageBenchRow {
+    /// Workload name (`cold_open_checkpoint`, `cold_open_wal_replay`).
+    pub name: String,
+    /// Graph nodes.
+    pub nodes: usize,
+    /// Graph edges.
+    pub edges: usize,
+    /// Open-from-disk + first query batch, µs (min over passes).
+    pub cold_us: f64,
+    /// From-scratch rebuild — parse the `.gql` source text, register
+    /// the graph, build indexes — + same query batch, µs (min over
+    /// passes).
+    pub rebuild_us: f64,
+    /// `rebuild_us / cold_us` — above 1 means the disk path is faster.
+    pub speedup: f64,
+    /// On-disk footprint driving the cold path (segment or WAL bytes).
+    pub bytes: u64,
+    /// Graphs returned by the query (identical on both paths).
+    pub hits: usize,
+    /// `index.builds` observed on the cold path: 0 when the checkpoint
+    /// segment's index arrays were adopted, 1 when replay had to build.
+    pub index_builds: u64,
+}
+
+/// The query timed on both paths: an exhaustive two-label edge motif
+/// over the persisted collection, exercising retrieval, the index, and
+/// search.
+const STORAGE_BENCH_QUERY: &str = r#"
+    for graph Q {
+        node a <label="L00">;
+        node b <label="L01">;
+        edge e (a, b);
+    } exhaustive in doc("G")
+    return graph { node n <who=Q.a.label>; };
+"#;
+
+fn storage_run_query(db: &mut gql_engine::Database) -> Vec<String> {
+    let out = db
+        .execute(STORAGE_BENCH_QUERY)
+        .expect("storage bench query");
+    out.returned
+        .iter()
+        .flat_map(|c| c.iter().map(|g| g.to_string()))
+        .collect()
+}
+
+fn dir_bytes(dir: &std::path::Path, suffix: &str) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.flatten()
+                .filter(|e| e.file_name().to_string_lossy().ends_with(suffix))
+                .filter_map(|e| e.metadata().ok())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+fn bench_storage_one(
+    name: &str,
+    dir: &std::path::Path,
+    g: &Graph,
+    threads: usize,
+    bytes: u64,
+) -> StorageBenchRow {
+    use gql_engine::Database;
+    const PASSES: usize = 5;
+    let cold_pass = || {
+        let t = std::time::Instant::now();
+        let mut db = Database::open(dir).expect("open").with_threads(threads);
+        let obs = db.enable_profiling();
+        let results = storage_run_query(&mut db);
+        (
+            t.elapsed().as_secs_f64() * 1e6,
+            results,
+            obs.report().counter("index.builds").unwrap_or(0),
+        )
+    };
+    // The from-scratch path starts where a real cold start starts: the
+    // `.gql` source text, which must be parsed before anything can be
+    // registered or indexed.
+    let text = format!("{g};");
+    let rebuild_pass = || {
+        let t = std::time::Instant::now();
+        let mut db = Database::new().with_threads(threads);
+        let parsed = gql_engine::graph_from_text(&text).expect("re-parse source text");
+        db.add_graph("G", parsed);
+        let results = storage_run_query(&mut db);
+        (t.elapsed().as_secs_f64() * 1e6, results)
+    };
+    // Warm-up (page cache, lazy statics), then interleaved min-of-N.
+    let (_, cold_results, index_builds) = cold_pass();
+    let (_, rebuild_results) = rebuild_pass();
+    assert_eq!(
+        cold_results, rebuild_results,
+        "{name}: disk path changed results"
+    );
+    let mut cold_us = f64::INFINITY;
+    let mut rebuild_us = f64::INFINITY;
+    for _ in 0..PASSES {
+        cold_us = cold_us.min(cold_pass().0);
+        rebuild_us = rebuild_us.min(rebuild_pass().0);
+    }
+    StorageBenchRow {
+        name: name.to_string(),
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        cold_us,
+        rebuild_us,
+        speedup: rebuild_us / cold_us,
+        bytes,
+        hits: cold_results.len(),
+        index_builds,
+    }
+}
+
+/// Cold-open cost of the persistence layer on the 12k-node synthetic
+/// graph (50k at `full` scale): opening a checkpointed data directory
+/// (segment read, index arrays adopted, zero index builds) and opening
+/// a WAL-only directory (replay + index rebuild), each against the
+/// same database rebuilt from scratch in memory. Result identity is
+/// asserted on every pass before timings are reported.
+pub fn bench_storage(scale: Scale, threads: usize) -> Vec<StorageBenchRow> {
+    use gql_engine::Database;
+    let threads = gql_core::resolve_threads(threads);
+    let nodes = match scale {
+        Scale::Quick => 12_000,
+        Scale::Full => 50_000,
+    };
+    let g = gql_datagen::erdos_renyi(&gql_datagen::ErConfig::paper_default(nodes, 0x5105_4A11));
+    let root = std::env::temp_dir().join(format!("gql-bench-storage-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Directory A: checkpointed (clean close). Reopen is a segment read.
+    let ckpt_dir = root.join("checkpointed");
+    let mut db = Database::open(&ckpt_dir).expect("create");
+    db.add_graph("G", g.clone());
+    db.close().expect("close");
+    let seg_bytes = dir_bytes(&ckpt_dir, ".seg");
+
+    // Directory B: WAL only (no checkpoint). Reopen replays + rebuilds.
+    let wal_dir = root.join("wal-only");
+    let mut db = Database::open(&wal_dir).expect("create");
+    db.add_graph("G", g.clone());
+    drop(db);
+    let wal_bytes = dir_bytes(&wal_dir, "wal.log");
+
+    let rows = vec![
+        bench_storage_one("cold_open_checkpoint", &ckpt_dir, &g, threads, seg_bytes),
+        bench_storage_one("cold_open_wal_replay", &wal_dir, &g, threads, wal_bytes),
+    ];
+    assert_eq!(
+        rows[0].index_builds, 0,
+        "checkpoint reopen must adopt index arrays, not rebuild"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+    rows
+}
+
+/// Renders [`bench_storage`] rows as the machine-readable
+/// `BENCH_storage.json` document.
+pub fn storage_bench_json(scale: Scale, threads: usize, rows: &[StorageBenchRow]) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"machine_cores\": {cores},\n"));
+    s.push_str(&format!(
+        "  \"threads\": {},\n",
+        gql_core::resolve_threads(threads)
+    ));
+    s.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        if scale == Scale::Full {
+            "full"
+        } else {
+            "quick"
+        }
+    ));
+    s.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"nodes\": {}, \"edges\": {}, \"cold_us\": {:.1}, \"rebuild_us\": {:.1}, \"speedup\": {:.3}, \"bytes\": {}, \"hits\": {}, \"index_builds\": {}}}{}\n",
+            r.name,
+            r.nodes,
+            r.edges,
+            r.cold_us,
+            r.rebuild_us,
+            r.speedup,
+            r.bytes,
+            r.hits,
+            r.index_builds,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Prints a storage-bench table.
+pub fn print_storage_rows(title: &str, rows: &[StorageBenchRow]) {
+    println!("\n{title}");
+    println!(
+        "{:>22} {:>8} {:>8} {:>12} {:>12} {:>8} {:>10} {:>6} {:>7}",
+        "workload", "nodes", "edges", "cold (µs)", "rebuild (µs)", "Δ", "bytes", "hits", "builds"
+    );
+    for r in rows {
+        println!(
+            "{:>22} {:>8} {:>8} {:>12.1} {:>12.1} {:>7.2}x {:>10} {:>6} {:>7}",
+            r.name,
+            r.nodes,
+            r.edges,
+            r.cold_us,
+            r.rebuild_us,
+            r.speedup,
+            r.bytes,
+            r.hits,
+            r.index_builds
+        );
+    }
+}

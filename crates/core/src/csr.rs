@@ -120,6 +120,76 @@ where
     Adjacency { offsets, entries }
 }
 
+/// Raw arrays of one adjacency direction, extracted by
+/// [`CsrGraph::to_parts`] and accepted back by [`CsrGraph::from_parts`].
+/// Both vectors are exactly the in-memory representation — flat and
+/// position-independent — which is what makes a CSR checkpoint segment a
+/// straight copy rather than a serialization format.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdjacencyParts {
+    /// `n + 1` row offsets (empty for a direction that is not stored,
+    /// i.e. `inc`/`all` of an undirected snapshot).
+    pub offsets: Vec<u32>,
+    /// Row entries, per-row sorted by `(label, node, edge)`.
+    pub entries: Vec<CsrEntry>,
+}
+
+/// The complete raw state of a [`CsrGraph`], for checkpointing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CsrParts {
+    /// Whether the snapshotted graph was directed.
+    pub directed: bool,
+    /// Interned label id per node.
+    pub node_labels: Vec<u32>,
+    /// Out-adjacency (every incident edge for undirected graphs).
+    pub out: AdjacencyParts,
+    /// In-adjacency (directed graphs only; empty otherwise).
+    pub inc: AdjacencyParts,
+    /// Combined adjacency (directed graphs only; empty otherwise).
+    pub all: AdjacencyParts,
+}
+
+fn adjacency_to_parts(a: &Adjacency) -> AdjacencyParts {
+    AdjacencyParts {
+        offsets: a.offsets.clone(),
+        entries: a.entries.clone(),
+    }
+}
+
+/// Validates one direction's arrays: `n + 1` monotonic offsets closing
+/// at `entries.len()`, every entry's node in range, rows sorted. An
+/// all-empty pair is accepted as "direction not stored".
+fn adjacency_from_parts(p: AdjacencyParts, n: usize) -> Result<Adjacency, &'static str> {
+    if p.offsets.is_empty() && p.entries.is_empty() {
+        return Ok(Adjacency::default());
+    }
+    if p.offsets.len() != n + 1 {
+        return Err("csr offsets length");
+    }
+    if p.offsets[0] != 0 || *p.offsets.last().unwrap() as usize != p.entries.len() {
+        return Err("csr offsets bounds");
+    }
+    if p.offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err("csr offsets not monotonic");
+    }
+    if p.entries.iter().any(|e| e.node as usize >= n) {
+        return Err("csr entry node out of range");
+    }
+    for w in p.offsets.windows(2) {
+        let row = &p.entries[w[0] as usize..w[1] as usize];
+        if row
+            .windows(2)
+            .any(|r| (r[0].label, r[0].node, r[0].edge) > (r[1].label, r[1].node, r[1].edge))
+        {
+            return Err("csr row not sorted");
+        }
+    }
+    Ok(Adjacency {
+        offsets: p.offsets,
+        entries: p.entries,
+    })
+}
+
 /// Cache-contiguous read-only snapshot of a [`Graph`]'s adjacency with
 /// interned node-label ids, per-row sorted by (label, node) — see the
 /// module docs for the layout and the kernels it enables.
@@ -194,6 +264,48 @@ impl CsrGraph {
             inc,
             all,
         }
+    }
+
+    /// Extracts the raw arrays for checkpointing. The clones are flat
+    /// `memcpy`s; no per-entry encoding happens here.
+    pub fn to_parts(&self) -> CsrParts {
+        CsrParts {
+            directed: self.directed,
+            node_labels: self.node_labels.clone(),
+            out: adjacency_to_parts(&self.out),
+            inc: adjacency_to_parts(&self.inc),
+            all: adjacency_to_parts(&self.all),
+        }
+    }
+
+    /// Rebuilds a snapshot from raw arrays, validating every structural
+    /// invariant [`CsrGraph::build`] guarantees (offset monotonicity,
+    /// entry bounds, per-row sort order) so a corrupted or hand-built
+    /// segment cannot smuggle in a malformed snapshot. The validated
+    /// result is indistinguishable from a fresh build over the same
+    /// graph — this is the reopen path that replaces the per-row sorts
+    /// with a read.
+    pub fn from_parts(parts: CsrParts) -> Result<CsrGraph, &'static str> {
+        let n = parts.node_labels.len();
+        let out = adjacency_from_parts(parts.out, n)?;
+        let inc = adjacency_from_parts(parts.inc, n)?;
+        let all = adjacency_from_parts(parts.all, n)?;
+        if out.offsets.is_empty() && n > 0 {
+            return Err("csr out direction missing");
+        }
+        if parts.directed && (inc.offsets.is_empty() || all.offsets.is_empty()) && n > 0 {
+            return Err("csr directed directions missing");
+        }
+        if !parts.directed && (!inc.entries.is_empty() || !all.entries.is_empty()) {
+            return Err("csr undirected has reverse rows");
+        }
+        Ok(CsrGraph {
+            directed: parts.directed,
+            node_labels: parts.node_labels,
+            out,
+            inc,
+            all,
+        })
     }
 
     /// True if the snapshotted graph was directed.
@@ -472,6 +584,48 @@ mod tests {
         assert_eq!(cs, vec![ids[4].0, ids[5].0]);
         assert!(csr.neighbors_with_label(ids[1], c_id).is_empty());
         assert_eq!(csr.neighbors_with_label(ids[0], u32::MAX - 2), &[]);
+    }
+
+    #[test]
+    fn parts_round_trip_and_validate() {
+        let (g, _) = figure_4_16_graph();
+        let (_, labels) = label_table(&g);
+        let csr = CsrGraph::build(&g, &labels, 1);
+        let back = CsrGraph::from_parts(csr.to_parts()).unwrap();
+        for a in g.node_ids() {
+            assert_eq!(back.neighbors(a), csr.neighbors(a));
+            for b in g.node_ids() {
+                assert_eq!(back.edge_between(a, b), csr.edge_between(a, b));
+            }
+        }
+        // Directed snapshots round-trip all three directions.
+        let mut d = Graph::new_directed();
+        let a = d.add_labeled_node("A");
+        let b = d.add_labeled_node("B");
+        d.add_edge(a, b, crate::Tuple::new()).unwrap();
+        let (_, dl) = label_table(&d);
+        let dcsr = CsrGraph::build(&d, &dl, 1);
+        let dback = CsrGraph::from_parts(dcsr.to_parts()).unwrap();
+        assert_eq!(dback.in_neighbors(b), dcsr.in_neighbors(b));
+        assert_eq!(dback.incident(b), dcsr.incident(b));
+
+        // Corrupted arrays are rejected, not adopted.
+        let mut bad = csr.to_parts();
+        bad.out.offsets[1] = u32::MAX;
+        assert!(CsrGraph::from_parts(bad).is_err());
+        let mut bad = csr.to_parts();
+        bad.out.entries[0].node = 999;
+        assert!(CsrGraph::from_parts(bad).is_err());
+        let mut bad = csr.to_parts();
+        if bad.out.entries.len() >= 2 {
+            bad.out.entries.swap(0, 1);
+        }
+        // Row 0 of A1 has two entries (B1, C1 label-sorted); swapping
+        // breaks the sort invariant.
+        assert!(CsrGraph::from_parts(bad).is_err());
+        let mut bad = csr.to_parts();
+        bad.out.offsets.pop();
+        assert!(CsrGraph::from_parts(bad).is_err());
     }
 
     #[test]

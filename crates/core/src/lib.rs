@@ -63,7 +63,7 @@ pub mod value;
 
 pub use builder::{unify_nodes, unify_nodes_full, UnifyResult, UnionFind};
 pub use collection::GraphCollection;
-pub use csr::{CsrEntry, CsrGraph, ProfileScratch};
+pub use csr::{AdjacencyParts, CsrEntry, CsrGraph, CsrParts, ProfileScratch};
 pub use error::{CoreError, Result};
 pub use graph::{Edge, EdgeId, Graph, Node, NodeId};
 pub use intern::{IdProfile, LabelInterner, IMPOSSIBLE_LABEL, NO_LABEL};
@@ -80,6 +80,9 @@ pub use plan::{
 };
 pub use propindex::{ProbeOp, PropIndex, Run};
 pub use stats::GraphStats;
-pub use storage::{decode_collection, decode_graph, encode_collection, encode_graph, StorageError};
+pub use storage::{
+    decode_collection, decode_graph, encode_collection, encode_graph, encode_graph_data,
+    StorageError,
+};
 pub use tuple::Tuple;
 pub use value::Value;

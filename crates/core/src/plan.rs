@@ -338,6 +338,29 @@ impl FeedbackStore {
         self.labels.clear();
     }
 
+    /// Iterates all recorded shape slots as `((shape, scope), feedback)`
+    /// — the checkpoint serializer's view of the store.
+    pub fn shapes(&self) -> impl Iterator<Item = (&(u64, u64), &ShapeFeedback)> {
+        self.shapes.iter()
+    }
+
+    /// Iterates all recorded label slots as `((scope, label), feedback)`.
+    pub fn labels(&self) -> impl Iterator<Item = (&(u64, u32), &LabelFeedback)> {
+        self.labels.iter()
+    }
+
+    /// Installs a shape slot verbatim (including its `runs` count) —
+    /// the checkpoint *restore* path, as opposed to
+    /// [`FeedbackStore::record_shape`] which models one new run.
+    pub fn restore_shape(&mut self, shape: u64, scope: u64, fb: ShapeFeedback) {
+        self.shapes.insert((shape, scope), fb);
+    }
+
+    /// Installs a label slot verbatim (restore path).
+    pub fn restore_label(&mut self, scope: u64, label: u32, fb: LabelFeedback) {
+        self.labels.insert((scope, label), fb);
+    }
+
     /// Number of shape slots recorded.
     pub fn shape_count(&self) -> usize {
         self.shapes.len()

@@ -57,8 +57,13 @@ pub type Result<T> = std::result::Result<T, StorageError>;
 const MAGIC: &[u8; 4] = b"GQL1";
 
 // ---- primitives -------------------------------------------------------
+//
+// Public: the storage crate's WAL and segment formats reuse the same
+// LEB128/value/checksum primitives so every on-disk artifact shares one
+// codec (and one set of corruption tests).
 
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+/// Appends `v` as a LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -70,7 +75,8 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
+/// Reads a LEB128 varint starting at `pos`, advancing it.
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
@@ -95,12 +101,14 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
     put_varint(out, s.len() as u64);
     out.extend_from_slice(s.as_bytes());
 }
 
-fn get_str(buf: &[u8], pos: &mut usize) -> Result<String> {
+/// Reads a length-prefixed UTF-8 string starting at `pos`.
+pub fn get_str(buf: &[u8], pos: &mut usize) -> Result<String> {
     let len = get_varint(buf, pos)? as usize;
     let end = pos.checked_add(len).ok_or(StorageError::Truncated)?;
     if end > buf.len() {
@@ -113,7 +121,8 @@ fn get_str(buf: &[u8], pos: &mut usize) -> Result<String> {
     Ok(s)
 }
 
-fn put_opt_str(out: &mut Vec<u8>, s: &Option<String>) {
+/// Appends an optional string (presence byte + string).
+pub fn put_opt_str(out: &mut Vec<u8>, s: &Option<String>) {
     match s {
         None => out.push(0),
         Some(s) => {
@@ -123,7 +132,8 @@ fn put_opt_str(out: &mut Vec<u8>, s: &Option<String>) {
     }
 }
 
-fn get_opt_str(buf: &[u8], pos: &mut usize) -> Result<Option<String>> {
+/// Reads an optional string written by [`put_opt_str`].
+pub fn get_opt_str(buf: &[u8], pos: &mut usize) -> Result<Option<String>> {
     match *buf.get(*pos).ok_or(StorageError::Truncated)? {
         0 => {
             *pos += 1;
@@ -137,7 +147,8 @@ fn get_opt_str(buf: &[u8], pos: &mut usize) -> Result<Option<String>> {
     }
 }
 
-fn put_value(out: &mut Vec<u8>, v: &Value) {
+/// Appends a tagged [`Value`].
+pub fn put_value(out: &mut Vec<u8>, v: &Value) {
     match v {
         Value::Int(i) => {
             out.push(0);
@@ -155,7 +166,8 @@ fn put_value(out: &mut Vec<u8>, v: &Value) {
     }
 }
 
-fn get_value(buf: &[u8], pos: &mut usize) -> Result<Value> {
+/// Reads a [`Value`] written by [`put_value`].
+pub fn get_value(buf: &[u8], pos: &mut usize) -> Result<Value> {
     let tag = *buf.get(*pos).ok_or(StorageError::Truncated)?;
     *pos += 1;
     Ok(match tag {
@@ -177,7 +189,8 @@ fn get_value(buf: &[u8], pos: &mut usize) -> Result<Value> {
     })
 }
 
-fn put_tuple(out: &mut Vec<u8>, t: &Tuple) {
+/// Appends a [`Tuple`] (tag + sorted name/value pairs).
+pub fn put_tuple(out: &mut Vec<u8>, t: &Tuple) {
     put_opt_str(out, &t.tag().map(str::to_string));
     put_varint(out, t.len() as u64);
     for (k, v) in t.iter() {
@@ -186,7 +199,8 @@ fn put_tuple(out: &mut Vec<u8>, t: &Tuple) {
     }
 }
 
-fn get_tuple(buf: &[u8], pos: &mut usize) -> Result<Tuple> {
+/// Reads a [`Tuple`] written by [`put_tuple`].
+pub fn get_tuple(buf: &[u8], pos: &mut usize) -> Result<Tuple> {
     let mut t = Tuple::new();
     if let Some(tag) = get_opt_str(buf, pos)? {
         t.set_tag(tag);
@@ -200,7 +214,9 @@ fn get_tuple(buf: &[u8], pos: &mut usize) -> Result<Tuple> {
     Ok(t)
 }
 
-fn fnv1a(data: &[u8]) -> u32 {
+/// 32-bit FNV-1a over `data` — the checksum every GQL1-family frame
+/// (graph files, WAL records, checkpoint sections) carries.
+pub fn fnv1a(data: &[u8]) -> u32 {
     let mut h: u32 = 0x811c_9dc5;
     for &b in data {
         h ^= u32::from(b);
@@ -213,7 +229,12 @@ fn fnv1a(data: &[u8]) -> u32 {
 
 /// Encodes a graph into the GQL1 binary format.
 pub fn encode_graph(g: &Graph) -> Vec<u8> {
-    let data = GraphData::from(g);
+    encode_graph_data(&GraphData::from(g))
+}
+
+/// Encodes an already-flat [`GraphData`] into the GQL1 binary format —
+/// the bulk-load path, which never materializes a mutable [`Graph`].
+pub fn encode_graph_data(data: &GraphData) -> Vec<u8> {
     let mut out = Vec::with_capacity(64 + 16 * (data.nodes.len() + data.edges.len()));
     out.extend_from_slice(MAGIC);
     let body_start = out.len();

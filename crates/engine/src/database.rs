@@ -3,11 +3,14 @@
 
 use crate::error::{EngineError, Result};
 use gql_algebra::{compile_pattern, ops, CompiledPattern, PatternRegistry, TemplateEnv};
+use gql_core::storage::{encode_collection, encode_graph};
 use gql_core::{ArgValue, ExplainNode, Graph, GraphCollection, Obs, ObsReport, TraceSink};
 use gql_match::{GraphIndex, MatchOptions, Pattern, Planner};
 use gql_parser::ast::{FlwrAst, FlwrBody, GraphTemplateAst, PatternRef, Program, Statement};
 use gql_parser::parse_program;
+use gql_storage::{CollectionSnapshot, Snapshot, Store, StoredOptions, WalRecord};
 use rustc_hash::FxHashMap;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -70,6 +73,15 @@ pub struct Database {
     slow_threshold: Option<Duration>,
     /// Statements that met the threshold, in execution order.
     slow_log: Vec<SlowQuery>,
+    /// Attached persistence layer ([`Database::open`]); `None` for an
+    /// in-memory database. Mutations are WAL-logged as they happen;
+    /// [`Database::checkpoint`] folds them into a segment.
+    store: Option<Store>,
+    /// First WAL-append failure, if any. Mutation methods stay
+    /// infallible; the deferred error surfaces at the next
+    /// [`Database::checkpoint`] / [`Database::close`] so a disk-full
+    /// condition cannot be silently dropped.
+    store_error: Option<String>,
 }
 
 impl Default for Database {
@@ -96,7 +108,160 @@ impl Database {
             explain_trees: Vec::new(),
             slow_threshold: None,
             slow_log: Vec::new(),
+            store: None,
+            store_error: None,
         }
+    }
+
+    /// Opens (creating if absent) a persistent database at `dir`: loads
+    /// the published checkpoint segment, replays the WAL over it
+    /// (truncating any torn tail), and — when the checkpoint was written
+    /// under the same index options — adopts the checkpointed index
+    /// arrays and planner feedback directly, so reopen is a segment
+    /// *read* instead of an index rebuild. Collections touched by WAL
+    /// records since the checkpoint re-index lazily on first query.
+    pub fn open(dir: &Path) -> Result<Database> {
+        let (store, restored) = Store::open(dir)?;
+        let mut db = Database::new();
+        let adopt = restored.options.as_ref() == Some(&db.stored_options());
+        for rc in restored.collections {
+            let mut coll = GraphCollection::named(&rc.name);
+            for g in rc.graphs {
+                coll.push(g);
+            }
+            if adopt {
+                if let Some(parts) = rc.indexes {
+                    if parts.len() == coll.len() {
+                        let rebuilt: std::result::Result<Vec<Arc<GraphIndex>>, &'static str> = coll
+                            .iter()
+                            .zip(parts)
+                            .map(|(g, p)| GraphIndex::from_parts(g, p).map(Arc::new))
+                            .collect();
+                        match rebuilt {
+                            Ok(ix) => {
+                                db.index_cache.insert(rc.name.clone(), ix);
+                            }
+                            Err(why) => {
+                                return Err(EngineError::Storage(format!(
+                                    "checkpointed index for {:?} rejected: {why}",
+                                    rc.name
+                                )));
+                            }
+                        }
+                    }
+                }
+                if let Some(fb) = rc.feedback {
+                    let planner = Planner::new();
+                    planner.import_feedback(fb);
+                    db.planners.insert(rc.name.clone(), Arc::new(planner));
+                }
+            }
+            db.collections.insert(rc.name, coll);
+        }
+        for (name, g) in restored.vars {
+            db.vars.insert(name, g);
+        }
+        db.store = Some(store);
+        Ok(db)
+    }
+
+    /// The data directory this database persists to, if any.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.store.as_ref().map(|s| s.dir())
+    }
+
+    /// The index configuration this engine builds (and therefore
+    /// checkpoints) under — must match at reopen for checkpointed
+    /// derived sections to be adopted.
+    fn stored_options(&self) -> StoredOptions {
+        StoredOptions {
+            csr: self.options.csr,
+            prop_index: self.options.prop_index,
+            profiles: true,
+            radius: 1,
+        }
+    }
+
+    /// Appends one mutation record to the WAL (no-op without a store).
+    /// Failures are deferred to [`Database::checkpoint`]/[`Database::close`].
+    fn log_wal(&mut self, rec: WalRecord) {
+        if let Some(store) = &mut self.store {
+            if let Err(e) = store.log(&rec) {
+                self.store_error.get_or_insert_with(|| e.to_string());
+            }
+        }
+    }
+
+    /// The first deferred WAL-append failure, if any. [`Database::checkpoint`]
+    /// and [`Database::close`] also surface (and clear) it as an error.
+    pub fn storage_error(&self) -> Option<&str> {
+        self.store_error.as_deref()
+    }
+
+    /// Writes a checkpoint: every collection (with its index arrays and
+    /// planner feedback) and variable is serialized into a fresh
+    /// segment, atomically published, and the WAL is truncated. Indexes
+    /// not yet built are built now so the checkpoint always carries
+    /// them. Errors if any earlier WAL append failed.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        if let Some(err) = self.store_error.take() {
+            return Err(EngineError::Storage(err));
+        }
+        if self.store.is_none() {
+            return Err(EngineError::Storage(
+                "no data directory attached; use Database::open".into(),
+            ));
+        }
+        let mut snap = Snapshot {
+            options: Some(self.stored_options()),
+            ..Snapshot::default()
+        };
+        let mut names: Vec<String> = self.collections.keys().cloned().collect();
+        names.sort();
+        for name in names {
+            let coll = &self.collections[&name];
+            let indexes = match self.index_cache.get(&name) {
+                Some(ix) => ix.clone(),
+                None => {
+                    let built = ops::build_collection_indexes(coll, &self.options);
+                    self.index_cache.insert(name.clone(), built.clone());
+                    built
+                }
+            };
+            snap.collections.push(CollectionSnapshot {
+                payload: encode_collection(coll.iter()),
+                indexes: indexes.iter().map(|ix| ix.to_parts()).collect(),
+                feedback: self.planners.get(&name).map(|p| p.export_feedback()),
+                name,
+            });
+        }
+        let mut vars: Vec<(&String, &Graph)> = self.vars.iter().collect();
+        vars.sort_by_key(|(n, _)| n.as_str());
+        snap.vars = vars
+            .into_iter()
+            .map(|(n, g)| (n.clone(), encode_graph(g)))
+            .collect();
+        self.store
+            .as_mut()
+            .expect("checked above")
+            .checkpoint(&snap)?;
+        Ok(())
+    }
+
+    /// Checkpoints (when a store is attached) and consumes the
+    /// database — the clean-shutdown path. Reopening after `close`
+    /// loads segments instead of rebuilding indexes.
+    pub fn close(mut self) -> Result<()> {
+        if self.store.is_some() {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Committed WAL size in bytes (`None` without a store; `0` right
+    /// after a checkpoint).
+    pub fn wal_size(&self) -> Option<u64> {
+        self.store.as_ref().map(|s| s.wal_size())
     }
 
     /// Sets the worker-thread count used by σ evaluation (`0` = one per
@@ -110,9 +275,12 @@ impl Database {
     /// Enables or disables the CSR adjacency snapshot on the indexes
     /// this database builds (the CLI's `--no-csr` escape hatch; on by
     /// default). Query results are identical either way — only the
-    /// kernels' memory layout changes. Takes effect for indexes built
-    /// after the call; cached indexes are not rebuilt.
+    /// kernels' memory layout changes. Changing the flag drops cached
+    /// (or checkpoint-adopted) indexes so everything in use matches it.
     pub fn with_csr(mut self, csr: bool) -> Self {
+        if self.options.csr != csr {
+            self.index_cache.clear();
+        }
         self.options.csr = csr;
         self
     }
@@ -121,9 +289,13 @@ impl Database {
     /// indexes this database builds (the CLI's `--no-prop-index` escape
     /// hatch; on by default). With them off, attribute predicates are
     /// evaluated by scanning label buckets instead of index probes —
-    /// query results are identical either way. Takes effect for indexes
-    /// built after the call; cached indexes are not rebuilt.
+    /// query results are identical either way. Changing the flag drops
+    /// cached (or checkpoint-adopted) indexes so everything in use
+    /// matches it.
     pub fn with_prop_index(mut self, prop_index: bool) -> Self {
+        if self.options.prop_index != prop_index {
+            self.index_cache.clear();
+        }
         self.options.prop_index = prop_index;
         self
     }
@@ -224,7 +396,8 @@ impl Database {
     }
 
     /// Registers a collection under `name` (the target of
-    /// `doc("name")`), invalidating any cached indexes for it.
+    /// `doc("name")`), invalidating any cached indexes for it. With a
+    /// store attached, the full new contents are WAL-logged first.
     pub fn add_collection(&mut self, name: impl Into<String>, c: GraphCollection) {
         let name = name.into();
         self.index_cache.remove(&name);
@@ -234,24 +407,60 @@ impl Database {
             // generation bump makes staleness structurally impossible).
             pl.invalidate();
         }
+        if self.store.is_some() {
+            self.log_wal(WalRecord::PutCollection {
+                name: name.clone(),
+                payload: encode_collection(c.iter()),
+            });
+        }
         self.collections.insert(name, c);
     }
 
     /// Registers a single large graph as a one-graph collection,
-    /// invalidating any cached indexes for it.
+    /// invalidating any cached indexes for it. With a store attached,
+    /// the graph is WAL-logged first.
     pub fn add_graph(&mut self, name: impl Into<String>, g: Graph) {
         let name = name.into();
         self.index_cache.remove(&name);
         if let Some(pl) = self.planners.remove(&name) {
             pl.invalidate();
         }
+        if self.store.is_some() {
+            self.log_wal(WalRecord::PutCollection {
+                name: name.clone(),
+                payload: encode_collection([&g]),
+            });
+        }
         self.collections
             .insert(name, GraphCollection::from_graph(g));
+    }
+
+    /// Drops a collection (and its cached indexes and planner). With a
+    /// store attached, a tombstone record is WAL-logged; the next
+    /// checkpoint's compaction pass makes the deletion physical.
+    /// Returns whether the collection existed.
+    pub fn remove_collection(&mut self, name: &str) -> bool {
+        self.index_cache.remove(name);
+        if let Some(pl) = self.planners.remove(name) {
+            pl.invalidate();
+        }
+        let existed = self.collections.remove(name).is_some();
+        if existed && self.store.is_some() {
+            self.log_wal(WalRecord::DeleteCollection {
+                name: name.to_string(),
+            });
+        }
+        existed
     }
 
     /// Looks up a collection.
     pub fn collection(&self, name: &str) -> Option<&GraphCollection> {
         self.collections.get(name)
+    }
+
+    /// Iterates over the registered collections (unspecified order).
+    pub fn collections(&self) -> impl Iterator<Item = (&str, &GraphCollection)> {
+        self.collections.iter().map(|(k, v)| (k.as_str(), v))
     }
 
     /// The current value of a graph variable (e.g. the accumulator `C`
@@ -291,6 +500,12 @@ impl Database {
                 Statement::Assign { name, template } => {
                     let env = self.template_env(None);
                     let g = gql_algebra::instantiate(template, &env)?;
+                    if self.store.is_some() {
+                        self.log_wal(WalRecord::PutVar {
+                            name: name.clone(),
+                            payload: encode_graph(&g),
+                        });
+                    }
                     self.vars.insert(name.clone(), g);
                 }
                 Statement::Flwr(f) => {
@@ -422,6 +637,17 @@ impl Database {
                         let env = self.template_env(Some((&pname, m)));
                         let g = gql_algebra::instantiate(template, &env)?;
                         self.vars.insert(name.clone(), g);
+                    }
+                    // One WAL record for the whole loop: records carry
+                    // full values, so only the final state matters.
+                    if self.store.is_some() && !matches.is_empty() {
+                        let payload = self.vars.get(name).map(encode_graph);
+                        if let Some(payload) = payload {
+                            self.log_wal(WalRecord::PutVar {
+                                name: name.clone(),
+                                payload,
+                            });
+                        }
                     }
                     // `let` over zero matches still defines the variable
                     // if a previous assignment did; otherwise leave it
@@ -797,5 +1023,142 @@ mod tests {
         assert_eq!(c.edge_count(), 1);
         db.execute("D := C;").unwrap();
         assert_eq!(db.var("D").unwrap().node_count(), 2);
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gql-db-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    const PERSIST_QUERY: &str = r#"
+        for graph Q { node a <label="A">; node b <label="B">; edge e (a, b); }
+        exhaustive in doc("G")
+        return graph { node n <who=Q.a.label>; };
+    "#;
+
+    /// Open → mutate → checkpoint → reopen: collections, variables, and
+    /// query results survive; the WAL is empty after the checkpoint and
+    /// reopen adopts the checkpointed indexes instead of rebuilding.
+    #[test]
+    fn checkpoint_reopen_round_trips_collections_vars_and_results() {
+        let dir = tmpdir("roundtrip");
+        let (g, _) = figure_4_16_graph();
+        let mut db = Database::open(&dir).unwrap();
+        db.add_graph("G", g.clone());
+        db.execute("C := graph { node a <x=1>, b <x=2>; edge e (a, b); };")
+            .unwrap();
+        let before = db.execute(PERSIST_QUERY).unwrap();
+        db.checkpoint().unwrap();
+        assert_eq!(db.wal_size(), Some(0));
+        drop(db);
+
+        let mut db = Database::open(&dir).unwrap();
+        let obs = db.enable_profiling();
+        assert_eq!(db.collection("G").unwrap().len(), 1);
+        assert_eq!(db.var("C").unwrap().node_count(), 2);
+        let after = db.execute(PERSIST_QUERY).unwrap();
+        assert_eq!(after.returned[0].len(), before.returned[0].len());
+        let rep = obs.report();
+        assert_eq!(
+            rep.counter("index.builds").unwrap_or(0),
+            0,
+            "reopen must adopt checkpointed indexes, not rebuild"
+        );
+        assert_eq!(rep.counter("engine.index_cache.hits"), Some(1));
+        db.close().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Mutations after the checkpoint live in the WAL; a reopen without
+    /// a second checkpoint (the kill -9 path, minus the kill) must
+    /// replay them — and a WAL-rewritten collection re-indexes fresh.
+    #[test]
+    fn wal_replay_restores_post_checkpoint_mutations() {
+        let dir = tmpdir("walreplay");
+        let (g, _) = figure_4_16_graph();
+        let mut db = Database::open(&dir).unwrap();
+        db.add_graph("G", g.clone());
+        db.checkpoint().unwrap();
+        db.add_graph("H", g.clone()); // WAL only
+        db.add_graph("G", g.clone()); // rewrite: stale indexes dropped
+        db.execute("C := graph { node a <x=9>; };").unwrap(); // WAL only
+        assert!(db.wal_size().unwrap() > 0);
+        drop(db); // no checkpoint — simulates an unclean exit
+
+        let mut db = Database::open(&dir).unwrap();
+        assert!(db.collection("H").is_some(), "WAL-created collection");
+        assert_eq!(db.var("C").unwrap().node_count(), 1);
+        let out = db.execute(PERSIST_QUERY).unwrap();
+        assert_eq!(out.returned[0].len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Satellite: planner feedback statistics survive checkpoint/reopen,
+    /// so cardinality corrections don't restart cold — with identical
+    /// query results before and after.
+    #[test]
+    fn planner_feedback_persists_through_checkpoint_and_reopen() {
+        let dir = tmpdir("feedback");
+        let (g, _) = figure_4_16_graph();
+        let mut db = Database::open(&dir).unwrap();
+        db.add_graph("G", g);
+        let before = db.execute(PERSIST_QUERY).unwrap();
+        let exported = db.planner("G").expect("planner created").export_feedback();
+        assert!(
+            exported.shapes().next().is_some(),
+            "query must have recorded shape feedback"
+        );
+        db.checkpoint().unwrap();
+        drop(db);
+
+        let mut db = Database::open(&dir).unwrap();
+        let restored = db
+            .planner("G")
+            .expect("feedback-backed planner restored at open")
+            .export_feedback();
+        let key = |fb: &gql_core::FeedbackStore| {
+            let mut v: Vec<_> = fb.shapes().map(|(k, s)| (*k, s.clone())).collect();
+            v.sort_by_key(|(k, _)| *k);
+            v
+        };
+        assert_eq!(key(&restored), key(&exported));
+        let after = db.execute(PERSIST_QUERY).unwrap();
+        assert_eq!(after.returned[0].len(), before.returned[0].len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Tombstones: a removed collection stays removed across reopen, and
+    /// the checkpoint compacts it away physically.
+    #[test]
+    fn remove_collection_tombstone_survives_reopen_and_compaction() {
+        let dir = tmpdir("tombstone");
+        let (g, _) = figure_4_16_graph();
+        let mut db = Database::open(&dir).unwrap();
+        db.add_graph("G", g.clone());
+        db.add_graph("DOOMED", g);
+        db.checkpoint().unwrap();
+        assert!(db.remove_collection("DOOMED"));
+        assert!(!db.remove_collection("DOOMED"), "already gone");
+        drop(db); // tombstone lives in the WAL
+
+        let mut db = Database::open(&dir).unwrap();
+        assert!(db.collection("DOOMED").is_none(), "tombstone replayed");
+        assert!(db.collection("G").is_some());
+        db.checkpoint().unwrap(); // compaction: deletion becomes physical
+        drop(db);
+        let db = Database::open(&dir).unwrap();
+        assert!(db.collection("DOOMED").is_none());
+        assert_eq!(db.wal_size(), Some(0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_without_store_errors_cleanly() {
+        let mut db = Database::new();
+        assert!(matches!(db.checkpoint(), Err(EngineError::Storage(_))));
+        assert!(db.data_dir().is_none());
+        assert_eq!(db.wal_size(), None);
+        assert!(Database::new().close().is_ok(), "close without store");
     }
 }

@@ -19,6 +19,10 @@ pub enum EngineError {
         /// The pattern name.
         name: String,
     },
+    /// Persistence failure (WAL append, checkpoint write, or recovery).
+    /// Carries the rendered [`gql_storage::StoreError`] so the engine
+    /// error stays `Clone`/`PartialEq`.
+    Storage(String),
 }
 
 impl fmt::Display for EngineError {
@@ -38,6 +42,7 @@ impl fmt::Display for EngineError {
                     "unknown pattern {name:?}; declare it before the FLWR expression"
                 )
             }
+            EngineError::Storage(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -53,6 +58,12 @@ impl From<gql_parser::ParseError> for EngineError {
 impl From<gql_algebra::AlgebraError> for EngineError {
     fn from(e: gql_algebra::AlgebraError) -> Self {
         EngineError::Algebra(e)
+    }
+}
+
+impl From<gql_storage::StoreError> for EngineError {
+    fn from(e: gql_storage::StoreError) -> Self {
+        EngineError::Storage(e.to_string())
     }
 }
 

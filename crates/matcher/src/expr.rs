@@ -74,6 +74,23 @@ impl Expr {
         )
     }
 
+    /// Convenience: edge attribute reference.
+    pub fn edge_attr(edge: usize, attr: impl Into<String>) -> Expr {
+        Expr::EdgeAttr {
+            edge,
+            attr: attr.into(),
+        }
+    }
+
+    /// Convenience: `edge.attr == literal`.
+    pub fn edge_attr_eq(edge: usize, attr: impl Into<String>, v: impl Into<Value>) -> Expr {
+        Expr::binary(
+            BinOp::Eq,
+            Expr::edge_attr(edge, attr),
+            Expr::Literal(v.into()),
+        )
+    }
+
     /// The set of pattern-node indices this expression mentions.
     pub fn referenced_nodes(&self, out: &mut Vec<usize>) {
         match self {

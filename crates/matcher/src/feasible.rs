@@ -129,8 +129,9 @@ fn indexable_probe(pred: &Expr, u: NodeId) -> Option<(&str, ProbeOp, &Value)> {
     }
 }
 
-/// Intersection of two ascending id lists, ascending.
-fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+/// Intersection of two ascending id lists, ascending. Shared with the
+/// search phase's edge-probe compiler.
+pub(crate) fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
     let mut out = Vec::with_capacity(a.len().min(b.len()));
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {

@@ -15,7 +15,7 @@
 //! kernels integer-compare-and-bitset cheap.
 
 use gql_core::{
-    neighborhood_subgraph, CsrGraph, Graph, GraphStats, IdProfile, LabelInterner,
+    neighborhood_subgraph, CsrGraph, CsrParts, Graph, GraphStats, IdProfile, LabelInterner,
     NeighborhoodSubgraph, NodeId, Profile, ProfileScratch, PropIndex, Value, NO_LABEL,
 };
 
@@ -51,6 +51,31 @@ impl Default for IndexOptions {
             prop_index: true,
         }
     }
+}
+
+/// The raw persisted state of one [`GraphIndex`]: exactly the pieces
+/// whose construction dominates index-build time (interner table,
+/// label-id arrays, CSR arrays, interned profiles). Produced by
+/// [`GraphIndex::to_parts`] for checkpointing and consumed by
+/// [`GraphIndex::from_parts`] at reopen.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IndexParts {
+    /// The interner's value table in id order (id `i` = `values[i]`).
+    pub interner_values: Vec<Value>,
+    /// Per-node label ids in node order.
+    pub node_label_ids: Vec<u32>,
+    /// Per-edge label ids in edge order.
+    pub edge_label_ids: Vec<u32>,
+    /// Raw CSR arrays, if the index carried a snapshot.
+    pub csr: Option<CsrParts>,
+    /// Per-node interned profile id multisets (sorted); empty when the
+    /// index was built without profiles.
+    pub id_profiles: Vec<Vec<u32>>,
+    /// Radius the profiles were computed at.
+    pub radius: usize,
+    /// Whether the index carried a property index (rebuilt at reopen —
+    /// its runs are cheap to re-derive relative to their size on disk).
+    pub prop_index: bool,
 }
 
 /// Per-graph index: label-id table over the `label` attribute plus
@@ -233,6 +258,135 @@ impl GraphIndex {
             radius,
             stats,
         }
+    }
+
+    /// Extracts the expensive derived state for checkpointing: the
+    /// interned-label table, both label-id arrays, the raw CSR arrays,
+    /// and the interned profile id multisets. Everything else the index
+    /// holds (`by_label`, `Value` profiles, statistics, property runs)
+    /// is cheap to re-derive at reopen and is therefore *not* persisted.
+    pub fn to_parts(&self) -> IndexParts {
+        IndexParts {
+            interner_values: (0..self.interner.len() as u32)
+                .map(|id| self.interner.resolve(id).clone())
+                .collect(),
+            node_label_ids: self.node_label_ids.clone(),
+            edge_label_ids: self.edge_label_ids.clone(),
+            csr: self.csr.as_ref().map(CsrGraph::to_parts),
+            id_profiles: self.id_profiles.iter().map(|p| p.ids().to_vec()).collect(),
+            radius: self.radius,
+            prop_index: self.prop.is_some(),
+        }
+    }
+
+    /// Rebuilds an index from checkpointed parts, skipping the two
+    /// expensive build phases — the CSR per-row sorts and the per-node
+    /// profile BFS — while re-deriving (and thereby *verifying*) the
+    /// label-id arrays against the live graph, so a segment paired with
+    /// the wrong graph is rejected instead of silently adopted. The
+    /// result is observably identical to [`GraphIndex::build_with`] over
+    /// the same graph and options.
+    pub fn from_parts(g: &Graph, parts: IndexParts) -> Result<GraphIndex, &'static str> {
+        // Re-intern the persisted value table in order; dense sequential
+        // ids are an interner invariant, so any duplicate (or any drift
+        // in Value equality) shows up as a length mismatch.
+        let mut interner = LabelInterner::new();
+        for v in &parts.interner_values {
+            interner.intern(v);
+        }
+        if interner.len() != parts.interner_values.len() {
+            return Err("interner table has duplicate values");
+        }
+        if parts.node_label_ids.len() != g.node_count()
+            || parts.edge_label_ids.len() != g.edge_count()
+        {
+            return Err("label-id arrays do not match the graph");
+        }
+        // Verify the persisted id arrays against the graph's own labels
+        // (also rebuilding `by_label`, which falls out of the scan).
+        let mut by_label: Vec<Vec<NodeId>> = vec![Vec::new(); interner.len()];
+        for (id, n) in g.nodes() {
+            let want = match n.attrs.get("label") {
+                Some(l) => interner.lookup(l).ok_or("node label missing from table")?,
+                None => NO_LABEL,
+            };
+            if parts.node_label_ids[id.index()] != want {
+                return Err("node label ids do not match the graph");
+            }
+            if want != NO_LABEL {
+                by_label[want as usize].push(id);
+            }
+        }
+        for (id, e) in g.edges() {
+            let want = match e.attrs.get("label") {
+                Some(l) => interner.lookup(l).ok_or("edge label missing from table")?,
+                None => NO_LABEL,
+            };
+            if parts.edge_label_ids[id.index()] != want {
+                return Err("edge label ids do not match the graph");
+            }
+        }
+        let interner = std::sync::Arc::new(interner);
+        let csr = match parts.csr {
+            Some(raw) => {
+                if raw.node_labels != parts.node_label_ids {
+                    return Err("csr label table does not match the index");
+                }
+                if raw.directed != g.is_directed() {
+                    return Err("csr direction does not match the graph");
+                }
+                let csr = CsrGraph::from_parts(raw)?;
+                // Entry counts must cover the graph exactly; a pruned or
+                // padded entry slab would pass row-local validation.
+                let expect: usize = g.node_ids().map(|v| g.degree(v)).sum();
+                if csr.node_count() != g.node_count()
+                    || g.node_ids().map(|v| csr.degree(v)).sum::<usize>() != expect
+                {
+                    return Err("csr does not cover the graph");
+                }
+                Some(csr)
+            }
+            None => None,
+        };
+        if !parts.id_profiles.is_empty() && parts.id_profiles.len() != g.node_count() {
+            return Err("profile count does not match the graph");
+        }
+        for p in &parts.id_profiles {
+            if p.iter().any(|&id| id as usize >= interner.len()) {
+                return Err("profile id out of range");
+            }
+        }
+        let id_profiles: Vec<IdProfile> = parts
+            .id_profiles
+            .into_iter()
+            .map(IdProfile::from_ids)
+            .collect();
+        let profiles: Vec<Profile> = id_profiles
+            .iter()
+            .map(|p| Profile::from_labels(p.ids().iter().map(|&id| interner.resolve(id).clone())))
+            .collect();
+        let mut stats =
+            GraphStats::from_interned(std::sync::Arc::clone(&interner), g, &parts.node_label_ids);
+        let prop = parts.prop_index.then(|| {
+            let pi = PropIndex::build(g, &parts.node_label_ids, &parts.edge_label_ids);
+            for (lid, attr, run) in pi.node_run_summaries() {
+                stats.record_prop_run(lid, attr, run.len() as u64, run.distinct() as u64);
+            }
+            pi
+        });
+        Ok(GraphIndex {
+            interner,
+            node_label_ids: parts.node_label_ids,
+            edge_label_ids: parts.edge_label_ids,
+            by_label,
+            profiles,
+            id_profiles,
+            neighborhoods: Vec::new(),
+            csr,
+            prop,
+            radius: parts.radius,
+            stats,
+        })
     }
 
     /// Nodes carrying `label`, or an empty slice.
@@ -441,6 +595,51 @@ mod tests {
             "stats reuse the index interner instead of re-interning"
         );
         assert_eq!(idx.stats().distinct_labels(), 3);
+    }
+
+    #[test]
+    fn parts_round_trip_matches_fresh_build() {
+        let (g, _) = figure_4_16_graph();
+        let idx = GraphIndex::build_with_profiles(&g, 1);
+        let back = GraphIndex::from_parts(&g, idx.to_parts()).unwrap();
+        assert_eq!(back.node_label_ids(), idx.node_label_ids());
+        assert_eq!(back.edge_label_ids(), idx.edge_label_ids());
+        assert_eq!(back.interner().len(), idx.interner().len());
+        assert_eq!(back.radius(), idx.radius());
+        for v in g.node_ids() {
+            assert_eq!(back.id_profile(v), idx.id_profile(v));
+            assert_eq!(back.profile(v), idx.profile(v));
+        }
+        for label in ["A", "B", "C"] {
+            assert_eq!(
+                back.nodes_with_label(&label.into()),
+                idx.nodes_with_label(&label.into())
+            );
+        }
+        let csr = back.csr().expect("csr restored");
+        for a in g.node_ids() {
+            for b in g.node_ids() {
+                assert_eq!(
+                    csr.edge_between(a, b),
+                    idx.csr().unwrap().edge_between(a, b)
+                );
+            }
+        }
+        assert!(back.prop().is_some());
+        let lid = back.interner().lookup(&"A".into()).unwrap();
+        assert_eq!(back.stats().prop_run(lid, "label"), Some((2, 1)));
+
+        // A segment paired with the wrong graph is rejected.
+        let (mut other, _) = figure_4_16_graph();
+        let v = other.add_labeled_node("Z");
+        let _ = v;
+        assert!(GraphIndex::from_parts(&other, idx.to_parts()).is_err());
+        let mut bad = idx.to_parts();
+        bad.node_label_ids[0] = 1;
+        assert!(GraphIndex::from_parts(&g, bad).is_err());
+        let mut bad = idx.to_parts();
+        bad.interner_values.push(Value::from("A"));
+        assert!(GraphIndex::from_parts(&g, bad).is_err());
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub use feasible::{
     feasible_mates_stats_per_node, reduction_ratio, search_space_ln, AccessPath, LocalPruning,
     RetrieveAccess, RetrieveStats,
 };
-pub use index::{GraphIndex, IndexOptions};
+pub use index::{GraphIndex, IndexOptions, IndexParts};
 pub use matcher::{
     match_pattern, MatchOptions, MatchReport, PlanInfo, RefineLevel, SpaceReport, StepTimings,
 };

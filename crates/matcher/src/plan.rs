@@ -152,6 +152,22 @@ impl Planner {
             .and_then(|l| l.correction())
     }
 
+    /// Snapshot of the feedback store, for checkpointing. Compiled
+    /// plans are *not* exported: they hold index-relative artifacts and
+    /// are cheap to recompile, while the statistics are the part worth
+    /// keeping across processes.
+    pub fn export_feedback(&self) -> FeedbackStore {
+        self.inner.lock().unwrap().feedback.clone()
+    }
+
+    /// Replaces the feedback store with a checkpointed snapshot — the
+    /// reopen path. Feedback only drives result-preserving decisions
+    /// (refinement skipping, estimate corrections), so importing stale
+    /// statistics can cost effort but never change answers.
+    pub fn import_feedback(&self, feedback: FeedbackStore) {
+        self.inner.lock().unwrap().feedback = feedback;
+    }
+
     /// `(hits, misses)` of the plan cache so far.
     pub fn cache_stats(&self) -> (u64, u64) {
         self.inner.lock().unwrap().cache.stats()

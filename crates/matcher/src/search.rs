@@ -46,6 +46,14 @@
 //! and rejects precisely the same data edges as
 //! [`Pattern::edge_feasible`].
 //!
+//! When the index additionally carries a property index and a motif
+//! edge's pushed-down predicates are all attr-op-literal conjuncts, the
+//! edge's sorted runs are probed once at compile time and the
+//! intersected allowed-edge id list replaces per-candidate predicate
+//! evaluation with a binary search — the edge-side counterpart of the
+//! retrieval phase's predicate pushdown, with the same equivalence
+//! contract (identical verdicts, mappings, and counters).
+//!
 //! # CSR edge probes
 //!
 //! When the index carries a [`CsrGraph`] snapshot, `Check`'s data-edge
@@ -58,9 +66,11 @@
 //! *considered* (not which match), and the step/backtrack counters are
 //! part of the pipeline's observable, thread-count-invariant contract.
 
+use crate::expr::Expr;
+use crate::feasible::intersect_sorted;
 use crate::index::GraphIndex;
 use crate::pattern::Pattern;
-use gql_core::{ArgValue, CsrGraph, EdgeId, Graph, NodeId, TraceSink};
+use gql_core::{ArgValue, CsrGraph, EdgeId, Graph, NodeId, ProbeOp, TraceSink, Value};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -138,22 +148,62 @@ struct EdgeCheck {
     /// Whether [`Pattern::edge_feasible`] must still run after the label
     /// precheck (other attributes, a tag, or pushed-down predicates).
     full: bool,
+    /// Index into [`EdgeChecks::allowed`] when the edge's pushed-down
+    /// predicates were answered completely by sorted-run probes: after
+    /// the label compare, a data edge is feasible iff its id is in that
+    /// (ascending) list, and `F_e` never runs.
+    allowed: Option<u32>,
+}
+
+/// Decomposes a pushed-down edge predicate into `(attr, op, key)` when a
+/// sorted run can answer it: a comparison between this edge's attribute
+/// and a literal, in either orientation — the edge-side mirror of the
+/// retrieval phase's node-probe decomposition. Anything else stays on
+/// the `edge_feasible` scan side.
+fn indexable_edge_probe(pred: &Expr, pe: EdgeId) -> Option<(&str, ProbeOp, &Value)> {
+    let Expr::Binary { op, lhs, rhs } = pred else {
+        return None;
+    };
+    let op = ProbeOp::from_binop(*op)?;
+    match (lhs.as_ref(), rhs.as_ref()) {
+        (Expr::EdgeAttr { edge, attr }, Expr::Literal(key)) if *edge == pe.index() => {
+            Some((attr.as_str(), op, key))
+        }
+        (Expr::Literal(key), Expr::EdgeAttr { edge, attr }) if *edge == pe.index() => {
+            Some((attr.as_str(), op.flip(), key))
+        }
+        _ => None,
+    }
 }
 
 /// The pattern-sized half of the per-edge plan: one [`EdgeCheck`] per
-/// pattern edge. Owns no index data, so a planner can cache it across
-/// searches and hand it back via [`search_indexed_with_checks`]; the
-/// checks stay valid as long as the index (whose interner encoded the
-/// label ids) does.
+/// pattern edge, plus the probe-derived allowed-edge id lists they point
+/// into. Owns no index data beyond those materialized lists, so a
+/// planner can cache it across searches and hand it back via
+/// [`search_indexed_with_checks`]; the checks stay valid as long as the
+/// index (whose interner encoded the label ids and whose property index
+/// answered the probes) does.
 #[derive(Debug, Clone, Default)]
 pub struct EdgeChecks {
     checks: Vec<EdgeCheck>,
+    /// Ascending data-edge id lists, one per probe-covered pattern edge.
+    allowed: Vec<Vec<u32>>,
 }
 
 impl EdgeChecks {
     /// Compiles the per-edge label prechecks for `pattern` against
-    /// `index`'s label dictionary.
+    /// `index`'s label dictionary. When the index carries a property
+    /// index and a motif edge constrains exactly `{label}` with every
+    /// pushed-down predicate an attr-op-literal conjunct, the edge's
+    /// sorted runs are probed once here and the intersected id list
+    /// replaces per-candidate `F_e` evaluation entirely. Probe verdicts
+    /// equal scan verdicts by the property-index equivalence contract
+    /// (equality probes are `Value::eq` equal-ranges; range probes
+    /// re-check with `Value::compare`, dropping cross-rank pairs exactly
+    /// as the scan's Undefined verdict does), so the outcome — every
+    /// mapping, step, and backtrack count — is identical either way.
     pub fn build(pattern: &Pattern, index: &GraphIndex) -> Self {
+        let mut allowed: Vec<Vec<u32>> = Vec::new();
         let checks = pattern
             .graph
             .edges()
@@ -165,16 +215,51 @@ impl EdgeChecks {
                 // The label compare fully covers the check iff the label
                 // is the tuple's only constraint and no predicates were
                 // pushed down to this edge.
-                let covered = e.attrs.tag().is_none()
-                    && e.attrs.len() == usize::from(label_id.is_some())
-                    && pattern.edge_preds[pe.index()].is_empty();
+                let preds = &pattern.edge_preds[pe.index()];
+                let structural_only =
+                    e.attrs.tag().is_none() && e.attrs.len() == usize::from(label_id.is_some());
+                let covered = structural_only && preds.is_empty();
+                let probe = match (structural_only && !preds.is_empty(), index.prop(), label_id) {
+                    (true, Some(pi), Some(lid)) => {
+                        Self::probe_allowed(pi, lid, preds, pe).map(|ids| {
+                            allowed.push(ids);
+                            (allowed.len() - 1) as u32
+                        })
+                    }
+                    _ => None,
+                };
                 EdgeCheck {
                     label_id,
-                    full: !covered,
+                    full: !covered && probe.is_none(),
+                    allowed: probe,
                 }
             })
             .collect();
-        EdgeChecks { checks }
+        EdgeChecks { checks, allowed }
+    }
+
+    /// Intersected allowed-edge ids for a probe-covered edge, or `None`
+    /// when any pushed-down predicate is not an attr-op-literal conjunct
+    /// a sorted run can answer (the edge stays on the scan path). A
+    /// missing run means no edge of the label carries the attribute —
+    /// the predicate is Undefined bucket-wide, so the allowed set is
+    /// empty, matching the scan's verdict.
+    fn probe_allowed(
+        pi: &gql_core::PropIndex,
+        lid: u32,
+        preds: &[Expr],
+        pe: EdgeId,
+    ) -> Option<Vec<u32>> {
+        let mut merged: Option<Vec<u32>> = None;
+        for pred in preds {
+            let (attr, op, key) = indexable_edge_probe(pred, pe)?;
+            let ids = pi.probe_edges(lid, attr, op, key).unwrap_or_default();
+            merged = Some(match merged {
+                None => ids,
+                Some(prev) => intersect_sorted(&prev, &ids),
+            });
+        }
+        merged
     }
 
     /// Checks for a zero-edge pattern (test fixtures).
@@ -186,6 +271,9 @@ impl EdgeChecks {
 /// The per-edge checks plus the index's data-edge label-id table.
 struct EdgePlan<'a> {
     checks: &'a [EdgeCheck],
+    /// Probe-derived allowed-edge lists the checks' `allowed` slots
+    /// point into (borrowed from the same [`EdgeChecks`]).
+    allowed: &'a [Vec<u32>],
     data_edge_labels: &'a [u32],
 }
 
@@ -198,6 +286,9 @@ impl EdgePlan<'_> {
             if self.data_edge_labels[ge.index()] != want {
                 return false;
             }
+        }
+        if let Some(slot) = check.allowed {
+            return self.allowed[slot as usize].binary_search(&ge.0).is_ok();
         }
         !check.full || pattern.edge_feasible(pe, g, ge)
     }
@@ -467,6 +558,7 @@ pub fn search_indexed_with_checks(
     let plan = index.and_then(|idx| {
         checks.or(built.as_ref()).map(|c| EdgePlan {
             checks: &c.checks,
+            allowed: &c.allowed,
             data_edge_labels: idx.edge_label_ids(),
         })
     });
@@ -664,6 +756,81 @@ mod tests {
         let mates = feasible_mates(pattern, g, &idx, LocalPruning::NodeAttributes);
         let order: Vec<usize> = (0..pattern.node_count()).collect();
         search(pattern, g, &mates, &order, cfg)
+    }
+
+    /// The edge-probe compiler actually fires for attr-op-literal edge
+    /// predicates on a label-constrained motif edge (and only then):
+    /// pins the internal path so the crate-level probe-vs-scan
+    /// equivalence suite isn't vacuously comparing scan against scan.
+    #[test]
+    fn edge_probe_compilation_covers_indexable_predicates() {
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = (0..6i64)
+            .map(|_| g.add_node(Tuple::new().with("label", "P")))
+            .collect();
+        for i in 0..5usize {
+            g.add_edge(
+                ids[i],
+                ids[i + 1],
+                Tuple::new().with("label", "knows").with("w", i as i64),
+            )
+            .unwrap();
+        }
+        let idx = GraphIndex::build(&g);
+        assert!(idx.prop().is_some());
+        let motif = |preds: Vec<Expr>| {
+            let mut m = Graph::new();
+            let a = m.add_node(Tuple::new().with("label", "P"));
+            let b = m.add_node(Tuple::new().with("label", "P"));
+            m.add_edge(a, b, Tuple::new().with("label", "knows"))
+                .unwrap();
+            Pattern::new(m, preds)
+        };
+        // Indexable conjuncts compile to an allowed list; `w >= 2` on a
+        // 5-edge chain keeps edges {2, 3, 4}.
+        let p = motif(vec![Expr::binary(
+            BinOp::Ge,
+            Expr::edge_attr(0, "w"),
+            Expr::Literal(2i64.into()),
+        )]);
+        let checks = EdgeChecks::build(&p, &idx);
+        assert_eq!(checks.checks[0].allowed, Some(0));
+        assert!(!checks.checks[0].full);
+        assert_eq!(checks.allowed[0], vec![2, 3, 4]);
+        // An absent attribute compiles to an *empty* allowed list (the
+        // predicate is Undefined for every edge of the label).
+        let p = motif(vec![Expr::edge_attr_eq(0, "nope", 1i64)]);
+        let checks = EdgeChecks::build(&p, &idx);
+        assert_eq!(checks.allowed[0], Vec::<u32>::new());
+        // A non-indexable conjunct keeps the whole edge on the
+        // `edge_feasible` path.
+        let p = motif(vec![
+            Expr::binary(
+                BinOp::Ge,
+                Expr::edge_attr(0, "w"),
+                Expr::Literal(2i64.into()),
+            ),
+            Expr::binary(
+                BinOp::Ne,
+                Expr::edge_attr(0, "w"),
+                Expr::Literal(3i64.into()),
+            ),
+        ]);
+        let checks = EdgeChecks::build(&p, &idx);
+        assert_eq!(checks.checks[0].allowed, None);
+        assert!(checks.checks[0].full);
+        // No property index: no probes.
+        let scan_idx = GraphIndex::build_with(
+            &g,
+            &crate::index::IndexOptions {
+                prop_index: false,
+                ..Default::default()
+            },
+        );
+        let p = motif(vec![Expr::edge_attr_eq(0, "w", 2i64)]);
+        let checks = EdgeChecks::build(&p, &scan_idx);
+        assert_eq!(checks.checks[0].allowed, None);
+        assert!(checks.checks[0].full);
     }
 
     #[test]

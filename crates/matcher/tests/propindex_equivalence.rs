@@ -92,6 +92,41 @@ fn highsel_fixture() -> Graph {
     g
 }
 
+/// Edge-attribute fixture: a ring of `P` nodes plus random chords,
+/// every edge labeled `knows` or `works` with an integer `weight`, and
+/// a sparse `since` only some edges carry — the workload for the
+/// edge-side predicate pushdown (probe-compiled allowed-edge lists).
+fn edge_attr_fixture() -> Graph {
+    let mut g = Graph::new();
+    let ids: Vec<NodeId> = (0..200i64)
+        .map(|i| g.add_node(Tuple::new().with("label", "P").with("uid", i)))
+        .collect();
+    let connect = |g: &mut Graph, a: NodeId, b: NodeId, k: i64| {
+        let mut t = Tuple::new()
+            .with("label", if k % 3 == 0 { "works" } else { "knows" })
+            .with("weight", k % 17);
+        if k % 5 == 0 {
+            t.set("since", 2000 + (k % 20));
+        }
+        let _ = g.add_edge(a, b, t);
+    };
+    let mut k = 0i64;
+    for i in 0..ids.len() {
+        connect(&mut g, ids[i], ids[(i + 1) % ids.len()], k);
+        k += 1;
+    }
+    let mut s = 0xED6E;
+    for _ in 0..400 {
+        let a = ids[(lcg(&mut s) as usize) % ids.len()];
+        let b = ids[(lcg(&mut s) as usize) % ids.len()];
+        if a != b {
+            connect(&mut g, a, b, k);
+            k += 1;
+        }
+    }
+    g
+}
+
 /// Two-node motif `0 — 1` with the given labels and node predicates.
 fn motif(l0: &str, l1: &str, preds: Vec<Expr>) -> Pattern {
     let mut m = Graph::new();
@@ -178,6 +213,100 @@ fn social_patterns() -> Vec<(&'static str, Pattern)> {
                 "Person",
                 "Org",
                 vec![Expr::node_attr_eq(0, "nonexistent", 1i64)],
+            ),
+        ),
+    ]
+}
+
+/// Two-`P`-node motif whose edge optionally carries a `label`
+/// constraint, with the given predicates (edge predicates mentioning
+/// only edge 0 are pushed down to it by `Pattern::new`).
+fn edge_motif(elabel: Option<&str>, preds: Vec<Expr>) -> Pattern {
+    let mut m = Graph::new();
+    let a = m.add_node(Tuple::new().with("label", "P"));
+    let b = m.add_node(Tuple::new().with("label", "P"));
+    let mut t = Tuple::new();
+    if let Some(l) = elabel {
+        t.set("label", l);
+    }
+    m.add_edge(a, b, t).unwrap();
+    Pattern::new(m, preds)
+}
+
+fn edge_patterns() -> Vec<(&'static str, Pattern)> {
+    vec![
+        (
+            "eweight-eq",
+            edge_motif(Some("knows"), vec![Expr::edge_attr_eq(0, "weight", 4i64)]),
+        ),
+        (
+            "eweight-range",
+            edge_motif(
+                Some("knows"),
+                vec![Expr::binary(
+                    BinOp::Ge,
+                    Expr::edge_attr(0, "weight"),
+                    lit(10i64),
+                )],
+            ),
+        ),
+        (
+            "emirrored-literal-first",
+            edge_motif(
+                Some("works"),
+                vec![Expr::binary(
+                    BinOp::Gt,
+                    lit(6i64),
+                    Expr::edge_attr(0, "weight"),
+                )],
+            ),
+        ),
+        (
+            "etwo-conjunct-intersection",
+            edge_motif(
+                Some("knows"),
+                vec![
+                    Expr::binary(BinOp::Ge, Expr::edge_attr(0, "weight"), lit(3i64)),
+                    Expr::binary(BinOp::Lt, Expr::edge_attr(0, "weight"), lit(9i64)),
+                ],
+            ),
+        ),
+        (
+            "esparse-attr-eq",
+            edge_motif(Some("works"), vec![Expr::edge_attr_eq(0, "since", 2010i64)]),
+        ),
+        (
+            "eabsent-attr",
+            edge_motif(Some("knows"), vec![Expr::edge_attr_eq(0, "nope", 1i64)]),
+        ),
+        (
+            // A non-indexable conjunct (`!=`) keeps the whole edge on
+            // the `edge_feasible` scan path — equivalence must hold
+            // there too.
+            "eprobe-plus-nonindexable",
+            edge_motif(
+                Some("knows"),
+                vec![
+                    Expr::binary(BinOp::Ge, Expr::edge_attr(0, "weight"), lit(2i64)),
+                    Expr::binary(BinOp::Ne, Expr::edge_attr(0, "weight"), lit(5i64)),
+                ],
+            ),
+        ),
+        (
+            // No edge label: runs are per-(label, attr), so the probe
+            // cannot compile and the scan path must run.
+            "eunlabeled-edge",
+            edge_motif(None, vec![Expr::edge_attr_eq(0, "weight", 4i64)]),
+        ),
+        (
+            // Node probes and edge probes compile independently.
+            "enode-and-edge-probes",
+            edge_motif(
+                Some("knows"),
+                vec![
+                    Expr::binary(BinOp::Lt, Expr::node_attr(0, "uid"), lit(120i64)),
+                    Expr::edge_attr_eq(0, "weight", 7i64),
+                ],
             ),
         ),
     ]
@@ -288,6 +417,25 @@ fn social_patterns_identical_indexed_vs_scan() {
     // The fixture is built so most patterns actually match — an
     // all-empty suite would vacuously pass.
     assert!(matched >= 5, "only {matched} social patterns matched");
+}
+
+/// Edge predicates answered by probe-compiled allowed-edge lists agree
+/// with `edge_feasible` scans on every observable, at every thread
+/// count — including the fallback cases (non-indexable conjunct,
+/// unlabeled motif edge) that must stay on the scan path.
+#[test]
+fn edge_predicate_patterns_identical_indexed_vs_scan() {
+    let g = edge_attr_fixture();
+    let mut matched = 0;
+    for (name, p) in edge_patterns() {
+        assert_equivalent(&format!("edge/{name}"), &g, &p);
+        let idx = GraphIndex::build_with_profiles(&g, 1);
+        let rep = match_pattern(&p, &g, &idx, &MatchOptions::optimized());
+        matched += usize::from(!rep.mappings.is_empty());
+    }
+    // The fixture is built so most edge patterns actually match — an
+    // all-empty suite would vacuously pass.
+    assert!(matched >= 6, "only {matched} edge patterns matched");
 }
 
 #[test]

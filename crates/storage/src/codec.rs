@@ -1,0 +1,406 @@
+//! Section payload codecs for the checkpoint segments: raw index
+//! arrays ([`IndexParts`]), planner feedback ([`FeedbackStore`]), and
+//! the index-options fingerprint a segment was built under. All built
+//! on the shared `gql_core::storage` primitives (LEB128 varints, tagged
+//! values), so the whole GQL1 file family speaks one wire format.
+//!
+//! Map-shaped state (the feedback store) is serialized in sorted key
+//! order, making segment bytes a pure function of logical state rather
+//! than of hash-map iteration order.
+
+use crate::Result;
+use gql_core::storage::{get_value, get_varint, put_value, put_varint, StorageError};
+use gql_core::{
+    AdjacencyParts, CsrEntry, CsrParts, FeedbackStore, LabelFeedback, ShapeFeedback, Value,
+};
+use gql_match::IndexParts;
+
+/// The index configuration a checkpoint's derived sections were built
+/// under. Stored in the segment's meta section so a reopen under
+/// different flags knows to rebuild instead of adopting stale shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredOptions {
+    /// CSR snapshots were materialized.
+    pub csr: bool,
+    /// Sorted property runs were built.
+    pub prop_index: bool,
+    /// Per-node profiles were precomputed.
+    pub profiles: bool,
+    /// Radius the profiles were computed at.
+    pub radius: u64,
+}
+
+fn put_bool(out: &mut Vec<u8>, b: bool) {
+    out.push(u8::from(b));
+}
+
+fn get_bool(buf: &[u8], pos: &mut usize) -> Result<bool> {
+    match buf.get(*pos) {
+        Some(0) => {
+            *pos += 1;
+            Ok(false)
+        }
+        Some(1) => {
+            *pos += 1;
+            Ok(true)
+        }
+        Some(_) => Err(StorageError::Malformed("bool tag").into()),
+        None => Err(StorageError::Truncated.into()),
+    }
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_f64(buf: &[u8], pos: &mut usize) -> Result<f64> {
+    let end = pos.checked_add(8).ok_or(StorageError::Truncated)?;
+    if end > buf.len() {
+        return Err(StorageError::Truncated.into());
+    }
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[*pos..end]);
+    *pos = end;
+    Ok(f64::from_le_bytes(b))
+}
+
+/// Reads a count that is about to size an allocation; anything larger
+/// than the remaining input is malformed by construction (every counted
+/// element occupies at least one byte).
+fn get_count(buf: &[u8], pos: &mut usize) -> Result<usize> {
+    let n = get_varint(buf, pos)? as usize;
+    if n > buf.len().saturating_sub(*pos) {
+        return Err(StorageError::Malformed("implausible count").into());
+    }
+    Ok(n)
+}
+
+fn put_u32s(out: &mut Vec<u8>, vs: &[u32]) {
+    put_varint(out, vs.len() as u64);
+    for &v in vs {
+        put_varint(out, u64::from(v));
+    }
+}
+
+fn get_u32s(buf: &[u8], pos: &mut usize) -> Result<Vec<u32>> {
+    let n = get_count(buf, pos)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = get_varint(buf, pos)?;
+        if v > u64::from(u32::MAX) {
+            return Err(StorageError::Malformed("u32 overflow").into());
+        }
+        out.push(v as u32);
+    }
+    Ok(out)
+}
+
+// ---- index options ----------------------------------------------------
+
+/// Encodes a [`StoredOptions`] meta payload.
+pub fn encode_options(o: &StoredOptions) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8);
+    put_bool(&mut out, o.csr);
+    put_bool(&mut out, o.prop_index);
+    put_bool(&mut out, o.profiles);
+    put_varint(&mut out, o.radius);
+    out
+}
+
+/// Decodes a [`StoredOptions`] meta payload.
+pub fn decode_options(buf: &[u8]) -> Result<StoredOptions> {
+    let mut pos = 0;
+    let o = StoredOptions {
+        csr: get_bool(buf, &mut pos)?,
+        prop_index: get_bool(buf, &mut pos)?,
+        profiles: get_bool(buf, &mut pos)?,
+        radius: get_varint(buf, &mut pos)?,
+    };
+    if pos != buf.len() {
+        return Err(StorageError::Malformed("options trailing bytes").into());
+    }
+    Ok(o)
+}
+
+// ---- index parts ------------------------------------------------------
+
+fn put_adjacency(out: &mut Vec<u8>, a: &AdjacencyParts) {
+    put_u32s(out, &a.offsets);
+    put_varint(out, a.entries.len() as u64);
+    for e in &a.entries {
+        put_varint(out, u64::from(e.label));
+        put_varint(out, u64::from(e.node));
+        put_varint(out, u64::from(e.edge));
+    }
+}
+
+fn get_adjacency(buf: &[u8], pos: &mut usize) -> Result<AdjacencyParts> {
+    let offsets = get_u32s(buf, pos)?;
+    let n = get_count(buf, pos)?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let label = get_varint(buf, pos)?;
+        let node = get_varint(buf, pos)?;
+        let edge = get_varint(buf, pos)?;
+        if label > u64::from(u32::MAX) || node > u64::from(u32::MAX) || edge > u64::from(u32::MAX) {
+            return Err(StorageError::Malformed("csr entry overflow").into());
+        }
+        entries.push(CsrEntry {
+            label: label as u32,
+            node: node as u32,
+            edge: edge as u32,
+        });
+    }
+    Ok(AdjacencyParts { offsets, entries })
+}
+
+fn put_index_part(out: &mut Vec<u8>, p: &IndexParts) {
+    put_varint(out, p.interner_values.len() as u64);
+    for v in &p.interner_values {
+        put_value(out, v);
+    }
+    put_u32s(out, &p.node_label_ids);
+    put_u32s(out, &p.edge_label_ids);
+    match &p.csr {
+        None => out.push(0),
+        Some(c) => {
+            out.push(1);
+            put_bool(out, c.directed);
+            put_u32s(out, &c.node_labels);
+            put_adjacency(out, &c.out);
+            put_adjacency(out, &c.inc);
+            put_adjacency(out, &c.all);
+        }
+    }
+    put_varint(out, p.id_profiles.len() as u64);
+    for prof in &p.id_profiles {
+        put_u32s(out, prof);
+    }
+    put_varint(out, p.radius as u64);
+    put_bool(out, p.prop_index);
+}
+
+fn get_index_part(buf: &[u8], pos: &mut usize) -> Result<IndexParts> {
+    let n_values = get_count(buf, pos)?;
+    let mut interner_values: Vec<Value> = Vec::with_capacity(n_values);
+    for _ in 0..n_values {
+        interner_values.push(get_value(buf, pos)?);
+    }
+    let node_label_ids = get_u32s(buf, pos)?;
+    let edge_label_ids = get_u32s(buf, pos)?;
+    let csr = match buf.get(*pos) {
+        Some(0) => {
+            *pos += 1;
+            None
+        }
+        Some(1) => {
+            *pos += 1;
+            Some(CsrParts {
+                directed: get_bool(buf, pos)?,
+                node_labels: get_u32s(buf, pos)?,
+                out: get_adjacency(buf, pos)?,
+                inc: get_adjacency(buf, pos)?,
+                all: get_adjacency(buf, pos)?,
+            })
+        }
+        Some(_) => return Err(StorageError::Malformed("csr option tag").into()),
+        None => return Err(StorageError::Truncated.into()),
+    };
+    let n_profiles = get_count(buf, pos)?;
+    let mut id_profiles = Vec::with_capacity(n_profiles);
+    for _ in 0..n_profiles {
+        id_profiles.push(get_u32s(buf, pos)?);
+    }
+    let radius = get_varint(buf, pos)? as usize;
+    let prop_index = get_bool(buf, pos)?;
+    Ok(IndexParts {
+        interner_values,
+        node_label_ids,
+        edge_label_ids,
+        csr,
+        id_profiles,
+        radius,
+        prop_index,
+    })
+}
+
+/// Encodes the per-graph [`IndexParts`] of one collection.
+pub fn encode_index_parts(parts: &[IndexParts]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, parts.len() as u64);
+    for p in parts {
+        put_index_part(&mut out, p);
+    }
+    out
+}
+
+/// Decodes a payload written by [`encode_index_parts`].
+pub fn decode_index_parts(buf: &[u8]) -> Result<Vec<IndexParts>> {
+    let mut pos = 0;
+    let n = get_count(buf, &mut pos)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_index_part(buf, &mut pos)?);
+    }
+    if pos != buf.len() {
+        return Err(StorageError::Malformed("index parts trailing bytes").into());
+    }
+    Ok(out)
+}
+
+// ---- planner feedback -------------------------------------------------
+
+/// Encodes a [`FeedbackStore`] in sorted key order (deterministic
+/// bytes regardless of hash-map iteration order).
+pub fn encode_feedback(fb: &FeedbackStore) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut shapes: Vec<(&(u64, u64), &ShapeFeedback)> = fb.shapes().collect();
+    shapes.sort_by_key(|(k, _)| **k);
+    put_varint(&mut out, shapes.len() as u64);
+    for (&(shape, scope), s) in shapes {
+        put_varint(&mut out, shape);
+        put_varint(&mut out, scope);
+        put_varint(&mut out, s.runs);
+        put_varint(&mut out, s.candidate_space);
+        put_varint(&mut out, s.refine_removed);
+        put_varint(&mut out, s.refine_checks);
+        put_u32s(&mut out, &s.refined_sizes);
+        put_varint(&mut out, s.search_steps);
+        put_varint(&mut out, s.matches);
+        put_f64(&mut out, s.estimated_size);
+        put_varint(&mut out, s.probe_bucket);
+        put_varint(&mut out, s.probe_hits);
+    }
+    let mut labels: Vec<(&(u64, u32), &LabelFeedback)> = fb.labels().collect();
+    labels.sort_by_key(|(k, _)| **k);
+    put_varint(&mut out, labels.len() as u64);
+    for (&(scope, label), l) in labels {
+        put_varint(&mut out, scope);
+        put_varint(&mut out, u64::from(label));
+        put_varint(&mut out, l.runs);
+        put_varint(&mut out, l.estimated);
+        put_varint(&mut out, l.observed);
+    }
+    out
+}
+
+/// Decodes a payload written by [`encode_feedback`].
+pub fn decode_feedback(buf: &[u8]) -> Result<FeedbackStore> {
+    let mut pos = 0;
+    let mut fb = FeedbackStore::new();
+    let n_shapes = get_count(buf, &mut pos)?;
+    for _ in 0..n_shapes {
+        let shape = get_varint(buf, &mut pos)?;
+        let scope = get_varint(buf, &mut pos)?;
+        let s = ShapeFeedback {
+            runs: get_varint(buf, &mut pos)?,
+            candidate_space: get_varint(buf, &mut pos)?,
+            refine_removed: get_varint(buf, &mut pos)?,
+            refine_checks: get_varint(buf, &mut pos)?,
+            refined_sizes: get_u32s(buf, &mut pos)?,
+            search_steps: get_varint(buf, &mut pos)?,
+            matches: get_varint(buf, &mut pos)?,
+            estimated_size: get_f64(buf, &mut pos)?,
+            probe_bucket: get_varint(buf, &mut pos)?,
+            probe_hits: get_varint(buf, &mut pos)?,
+        };
+        fb.restore_shape(shape, scope, s);
+    }
+    let n_labels = get_count(buf, &mut pos)?;
+    for _ in 0..n_labels {
+        let scope = get_varint(buf, &mut pos)?;
+        let label = get_varint(buf, &mut pos)?;
+        if label > u64::from(u32::MAX) {
+            return Err(StorageError::Malformed("label id overflow").into());
+        }
+        let l = LabelFeedback {
+            runs: get_varint(buf, &mut pos)?,
+            estimated: get_varint(buf, &mut pos)?,
+            observed: get_varint(buf, &mut pos)?,
+        };
+        fb.restore_label(scope, label as u32, l);
+    }
+    if pos != buf.len() {
+        return Err(StorageError::Malformed("feedback trailing bytes").into());
+    }
+    Ok(fb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gql_core::fixtures::figure_4_16_graph;
+    use gql_match::GraphIndex;
+
+    #[test]
+    fn index_parts_round_trip() {
+        let (g, _) = figure_4_16_graph();
+        let parts = vec![GraphIndex::build_full(&g, 1).to_parts()];
+        let bytes = encode_index_parts(&parts);
+        let back = decode_index_parts(&bytes).unwrap();
+        assert_eq!(back, parts);
+        // Any truncation fails cleanly.
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_index_parts(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        assert!(decode_index_parts(&[]).is_err());
+    }
+
+    #[test]
+    fn feedback_round_trip_is_deterministic() {
+        let mut fb = FeedbackStore::new();
+        fb.restore_shape(
+            7,
+            99,
+            ShapeFeedback {
+                runs: 3,
+                candidate_space: 120,
+                refine_removed: 40,
+                refine_checks: 500,
+                refined_sizes: vec![10, 20, 3],
+                search_steps: 777,
+                matches: 12,
+                estimated_size: 14.5,
+                probe_bucket: 60,
+                probe_hits: 9,
+            },
+        );
+        fb.restore_shape(1, 2, ShapeFeedback::default());
+        fb.restore_label(
+            99,
+            4,
+            LabelFeedback {
+                runs: 2,
+                estimated: 30,
+                observed: 12,
+            },
+        );
+        let bytes = encode_feedback(&fb);
+        // Same logical content encodes to the same bytes (sorted keys).
+        assert_eq!(bytes, encode_feedback(&fb.clone()));
+        let back = decode_feedback(&bytes).unwrap();
+        let mut got: Vec<_> = back.shapes().collect();
+        got.sort_by_key(|(k, _)| **k);
+        let mut want: Vec<_> = fb.shapes().collect();
+        want.sort_by_key(|(k, _)| **k);
+        assert_eq!(got, want);
+        assert_eq!(
+            back.labels().collect::<Vec<_>>(),
+            fb.labels().collect::<Vec<_>>()
+        );
+        assert!(decode_feedback(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn options_round_trip() {
+        let o = StoredOptions {
+            csr: true,
+            prop_index: false,
+            profiles: true,
+            radius: 2,
+        };
+        assert_eq!(decode_options(&encode_options(&o)).unwrap(), o);
+        assert!(decode_options(&[9]).is_err());
+        assert!(decode_options(&[]).is_err());
+    }
+}

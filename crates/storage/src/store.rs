@@ -1,0 +1,512 @@
+//! The checkpoint/recovery protocol: a database directory holding one
+//! published checkpoint segment, a manifest naming it, and the WAL of
+//! mutations since.
+//!
+//! Directory contents:
+//!
+//! ```text
+//! MANIFEST            "GMAN" | seq u64-le | crc u32-le
+//! checkpoint-<n>.seg  the published segment (see [`crate::segment`])
+//! wal.log             mutations since checkpoint <n>
+//! *.tmp               in-flight writes; ignored and removed on open
+//! ```
+//!
+//! Checkpoint protocol (each step durable before the next):
+//!
+//! 1. write `checkpoint-<n>.tmp`, fsync, rename to `checkpoint-<n>.seg`
+//! 2. write `MANIFEST.tmp` naming `n`, fsync, rename to `MANIFEST`
+//! 3. truncate the WAL
+//! 4. delete older `checkpoint-*.seg` (compaction: tombstoned
+//!    collections and superseded values do not survive into `n`)
+//!
+//! A kill between any two steps recovers: before step 2 the old
+//! manifest still names a complete older segment (plus the intact WAL);
+//! after step 2 but before step 3 the WAL records are replayed on top
+//! of the new segment, which is harmless because every record carries
+//! the full new value (idempotent last-writer-wins).
+
+use crate::codec::{
+    decode_feedback, decode_index_parts, decode_options, encode_feedback, encode_index_parts,
+    encode_options, StoredOptions,
+};
+use crate::segment::{Segment, SegmentBuilder};
+use crate::wal::{Wal, WalRecord};
+use crate::{Result, StoreError};
+use gql_core::storage::{decode_collection, decode_graph, fnv1a};
+use gql_core::{FeedbackStore, Graph};
+use gql_match::IndexParts;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const MANIFEST: &str = "MANIFEST";
+const MANIFEST_MAGIC: &[u8; 4] = b"GMAN";
+const WAL_FILE: &str = "wal.log";
+
+const KIND_COLLECTION: &str = "collection";
+const KIND_INDEXES: &str = "indexes";
+const KIND_FEEDBACK: &str = "feedback";
+const KIND_VAR: &str = "var";
+const KIND_META: &str = "meta";
+const META_OPTIONS: &str = "options";
+
+/// Everything the engine wants durable at a checkpoint.
+#[derive(Debug, Default)]
+pub struct Snapshot {
+    /// Index configuration the derived sections were built under.
+    pub options: Option<StoredOptions>,
+    /// Collections in engine order.
+    pub collections: Vec<CollectionSnapshot>,
+    /// Top-level variables as `(name, encode_graph bytes)`.
+    pub vars: Vec<(String, Vec<u8>)>,
+}
+
+/// One collection's checkpoint state.
+#[derive(Debug, Default)]
+pub struct CollectionSnapshot {
+    /// Collection name.
+    pub name: String,
+    /// `encode_collection` bytes of the full contents.
+    pub payload: Vec<u8>,
+    /// Per-graph raw index arrays (empty = not persisted; the reopen
+    /// rebuilds from scratch).
+    pub indexes: Vec<IndexParts>,
+    /// Planner feedback recorded against this collection.
+    pub feedback: Option<FeedbackStore>,
+}
+
+/// State recovered by [`Store::open`]: the published checkpoint with
+/// the WAL folded on top.
+#[derive(Debug, Default)]
+pub struct Restored {
+    /// Options the checkpoint's derived sections were built under.
+    pub options: Option<StoredOptions>,
+    /// Collections in checkpoint order (WAL-created ones appended in
+    /// log order).
+    pub collections: Vec<RestoredCollection>,
+    /// Top-level variables.
+    pub vars: Vec<(String, Graph)>,
+}
+
+/// One recovered collection.
+#[derive(Debug)]
+pub struct RestoredCollection {
+    /// Collection name.
+    pub name: String,
+    /// The graphs, decoded and structurally validated.
+    pub graphs: Vec<Graph>,
+    /// Checkpointed index arrays; `None` when the collection was
+    /// (re)written through the WAL after the checkpoint, or the
+    /// checkpoint carried none.
+    pub indexes: Option<Vec<IndexParts>>,
+    /// Checkpointed planner feedback; `None` under the same conditions.
+    pub feedback: Option<FeedbackStore>,
+}
+
+/// Handle on an open database directory.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    wal: Wal,
+    next_seq: u64,
+}
+
+impl Store {
+    /// Opens (creating if absent) the database directory: removes
+    /// in-flight `*.tmp` files, loads the manifest-published checkpoint
+    /// segment, replays the WAL on top (truncating any torn tail), and
+    /// returns the recovered state.
+    pub fn open(dir: &Path) -> Result<(Store, Restored)> {
+        fs::create_dir_all(dir)?;
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.path().extension().is_some_and(|e| e == "tmp") {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        let mut restored = Restored::default();
+        let mut seq = 0u64;
+        let manifest_path = dir.join(MANIFEST);
+        if manifest_path.exists() {
+            seq = read_manifest(&manifest_path)?;
+            let seg_bytes = fs::read(dir.join(format!("checkpoint-{seq}.seg")))?;
+            restored = restore_segment(Segment::parse(seg_bytes)?)?;
+        }
+        let (wal, records) = Wal::open(&dir.join(WAL_FILE))?;
+        for rec in records {
+            apply_record(&mut restored, rec)?;
+        }
+        Ok((
+            Store {
+                dir: dir.to_path_buf(),
+                wal,
+                next_seq: seq + 1,
+            },
+            restored,
+        ))
+    }
+
+    /// Appends one mutation record to the WAL; durable when it returns.
+    pub fn log(&mut self, rec: &WalRecord) -> Result<()> {
+        self.wal.append(rec)
+    }
+
+    /// Writes a checkpoint segment, publishes it through the manifest,
+    /// truncates the WAL, and deletes superseded segments.
+    pub fn checkpoint(&mut self, snap: &Snapshot) -> Result<()> {
+        let seq = self.next_seq;
+        let mut builder = SegmentBuilder::new();
+        if let Some(options) = &snap.options {
+            builder.push(KIND_META, META_OPTIONS, encode_options(options));
+        }
+        for c in &snap.collections {
+            builder.push(KIND_COLLECTION, &c.name, c.payload.clone());
+            if !c.indexes.is_empty() {
+                builder.push(KIND_INDEXES, &c.name, encode_index_parts(&c.indexes));
+            }
+            if let Some(fb) = &c.feedback {
+                builder.push(KIND_FEEDBACK, &c.name, encode_feedback(fb));
+            }
+        }
+        for (name, payload) in &snap.vars {
+            builder.push(KIND_VAR, name, payload.clone());
+        }
+        let seg_name = format!("checkpoint-{seq}.seg");
+        write_durable_rename(
+            &self.dir.join(format!("checkpoint-{seq}.tmp")),
+            &self.dir.join(&seg_name),
+            &builder.finish(),
+        )?;
+        sync_dir(&self.dir);
+        let mut manifest = Vec::with_capacity(16);
+        manifest.extend_from_slice(MANIFEST_MAGIC);
+        manifest.extend_from_slice(&seq.to_le_bytes());
+        manifest.extend_from_slice(&fnv1a(&seq.to_le_bytes()).to_le_bytes());
+        write_durable_rename(
+            &self.dir.join("MANIFEST.tmp"),
+            &self.dir.join(MANIFEST),
+            &manifest,
+        )?;
+        sync_dir(&self.dir);
+        self.wal.reset()?;
+        // Compaction: only the published segment survives.
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let fname = entry.file_name();
+            let fname = fname.to_string_lossy();
+            if fname.starts_with("checkpoint-") && fname.ends_with(".seg") && *fname != *seg_name {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        self.next_seq = seq + 1;
+        Ok(())
+    }
+
+    /// The database directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Committed WAL size in bytes (0 right after a checkpoint).
+    pub fn wal_size(&self) -> u64 {
+        self.wal.size()
+    }
+}
+
+/// Writes `bytes` to `tmp`, fsyncs, and renames onto `dst` — the
+/// atomic-publish idiom both the segment and the manifest use.
+fn write_durable_rename(tmp: &Path, dst: &Path, bytes: &[u8]) -> Result<()> {
+    let mut f = fs::File::create(tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    fs::rename(tmp, dst)?;
+    Ok(())
+}
+
+/// Best-effort directory fsync so renames are durable; ignored on
+/// filesystems that refuse to sync directories.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+fn read_manifest(path: &Path) -> Result<u64> {
+    let bytes = fs::read(path)?;
+    if bytes.len() != 16 || &bytes[..4] != MANIFEST_MAGIC {
+        return Err(StoreError::Invalid("manifest malformed"));
+    }
+    let seq = u64::from_le_bytes(bytes[4..12].try_into().expect("length checked"));
+    let crc = u32::from_le_bytes(bytes[12..16].try_into().expect("length checked"));
+    if fnv1a(&seq.to_le_bytes()) != crc {
+        return Err(StoreError::Invalid("manifest checksum"));
+    }
+    Ok(seq)
+}
+
+fn restore_segment(seg: Segment) -> Result<Restored> {
+    let mut restored = Restored::default();
+    if let Some(meta) = seg.section(KIND_META, META_OPTIONS) {
+        restored.options = Some(decode_options(meta)?);
+    }
+    for (kind, name, payload) in seg.sections() {
+        match kind {
+            KIND_COLLECTION => restored.collections.push(RestoredCollection {
+                name: name.to_string(),
+                graphs: decode_collection(payload)?,
+                indexes: None,
+                feedback: None,
+            }),
+            KIND_VAR => restored
+                .vars
+                .push((name.to_string(), decode_graph(payload)?)),
+            _ => {}
+        }
+    }
+    // Attach derived sections to their collections by name; a derived
+    // section without a matching collection is a malformed segment.
+    for (kind, name, payload) in seg.sections() {
+        if kind != KIND_INDEXES && kind != KIND_FEEDBACK {
+            continue;
+        }
+        let target = restored
+            .collections
+            .iter_mut()
+            .find(|c| c.name == name)
+            .ok_or(StoreError::Invalid("derived section without collection"))?;
+        if kind == KIND_INDEXES {
+            target.indexes = Some(decode_index_parts(payload)?);
+        } else {
+            target.feedback = Some(decode_feedback(payload)?);
+        }
+    }
+    Ok(restored)
+}
+
+/// Folds one WAL record into the restored state (last-writer-wins; a
+/// rewritten collection drops its checkpointed derived sections, which
+/// describe the superseded contents).
+fn apply_record(restored: &mut Restored, rec: WalRecord) -> Result<()> {
+    match rec {
+        WalRecord::PutCollection { name, payload } => {
+            let graphs = decode_collection(&payload)?;
+            match restored.collections.iter_mut().find(|c| c.name == name) {
+                Some(c) => {
+                    c.graphs = graphs;
+                    c.indexes = None;
+                    c.feedback = None;
+                }
+                None => restored.collections.push(RestoredCollection {
+                    name,
+                    graphs,
+                    indexes: None,
+                    feedback: None,
+                }),
+            }
+        }
+        WalRecord::DeleteCollection { name } => {
+            restored.collections.retain(|c| c.name != name);
+        }
+        WalRecord::PutVar { name, payload } => {
+            let g = decode_graph(&payload)?;
+            match restored.vars.iter_mut().find(|(n, _)| *n == name) {
+                Some(slot) => slot.1 = g,
+                None => restored.vars.push((name, g)),
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gql_core::fixtures::figure_4_16_graph;
+    use gql_core::storage::{encode_collection, encode_graph};
+    use gql_match::GraphIndex;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gql-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_snapshot() -> Snapshot {
+        let (g, _) = figure_4_16_graph();
+        let idx = GraphIndex::build_full(&g, 1);
+        Snapshot {
+            options: Some(StoredOptions {
+                csr: true,
+                prop_index: true,
+                profiles: true,
+                radius: 1,
+            }),
+            collections: vec![CollectionSnapshot {
+                name: "db".into(),
+                payload: encode_collection([&g]),
+                indexes: vec![idx.to_parts()],
+                feedback: Some(FeedbackStore::new()),
+            }],
+            vars: vec![("Q".into(), encode_graph(&g))],
+        }
+    }
+
+    #[test]
+    fn checkpoint_then_reopen_restores_everything() {
+        let dir = tmpdir("roundtrip");
+        let (mut store, restored) = Store::open(&dir).unwrap();
+        assert!(restored.collections.is_empty() && restored.vars.is_empty());
+        store.checkpoint(&sample_snapshot()).unwrap();
+        drop(store);
+        let (store, restored) = Store::open(&dir).unwrap();
+        assert_eq!(restored.collections.len(), 1);
+        let c = &restored.collections[0];
+        assert_eq!(c.name, "db");
+        assert_eq!(c.graphs.len(), 1);
+        assert_eq!(c.graphs[0].node_count(), 6);
+        assert!(c.indexes.is_some());
+        assert!(c.feedback.is_some());
+        assert_eq!(restored.vars.len(), 1);
+        assert_eq!(restored.vars[0].0, "Q");
+        assert_eq!(restored.options.as_ref().unwrap().radius, 1);
+        assert_eq!(store.wal_size(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_records_replay_over_checkpoint() {
+        let dir = tmpdir("replay");
+        let (mut store, _) = Store::open(&dir).unwrap();
+        store.checkpoint(&sample_snapshot()).unwrap();
+        let (g, _) = figure_4_16_graph();
+        // Rewrite "db" with two graphs, add a collection, delete it,
+        // and bind a var twice (last writer wins).
+        store
+            .log(&WalRecord::PutCollection {
+                name: "db".into(),
+                payload: encode_collection([&g, &g]),
+            })
+            .unwrap();
+        store
+            .log(&WalRecord::PutCollection {
+                name: "tmp".into(),
+                payload: encode_collection([&g]),
+            })
+            .unwrap();
+        store
+            .log(&WalRecord::DeleteCollection { name: "tmp".into() })
+            .unwrap();
+        let mut g2 = g.clone();
+        g2.attrs.set("v", 2i64);
+        store
+            .log(&WalRecord::PutVar {
+                name: "Q".into(),
+                payload: encode_graph(&g),
+            })
+            .unwrap();
+        store
+            .log(&WalRecord::PutVar {
+                name: "Q".into(),
+                payload: encode_graph(&g2),
+            })
+            .unwrap();
+        drop(store);
+        let (_, restored) = Store::open(&dir).unwrap();
+        assert_eq!(restored.collections.len(), 1, "tmp was tombstoned");
+        let c = &restored.collections[0];
+        assert_eq!(c.graphs.len(), 2, "rewritten contents win");
+        assert!(c.indexes.is_none(), "rewrite drops stale indexes");
+        assert!(c.feedback.is_none());
+        assert_eq!(restored.vars.len(), 1);
+        assert_eq!(
+            restored.vars[0].1.attrs.get("v"),
+            Some(&gql_core::Value::Int(2))
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn second_checkpoint_compacts_the_first() {
+        let dir = tmpdir("compact");
+        let (mut store, _) = Store::open(&dir).unwrap();
+        store.checkpoint(&sample_snapshot()).unwrap();
+        store.checkpoint(&sample_snapshot()).unwrap();
+        let segs: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".seg"))
+            .collect();
+        assert_eq!(segs, vec!["checkpoint-2.seg".to_string()]);
+        drop(store);
+        let (store, restored) = Store::open(&dir).unwrap();
+        assert_eq!(restored.collections.len(), 1);
+        assert_eq!(store.next_seq, 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Simulated kill at each stage of the checkpoint protocol: the
+    /// directory must reopen to a consistent committed state.
+    #[test]
+    fn kill_mid_checkpoint_recovers() {
+        let dir = tmpdir("kill");
+        let (mut store, _) = Store::open(&dir).unwrap();
+        store.checkpoint(&sample_snapshot()).unwrap();
+        let (g, _) = figure_4_16_graph();
+        store
+            .log(&WalRecord::PutCollection {
+                name: "extra".into(),
+                payload: encode_collection([&g]),
+            })
+            .unwrap();
+        drop(store);
+        let manifest = fs::read(dir.join(MANIFEST)).unwrap();
+        let wal = fs::read(dir.join(WAL_FILE)).unwrap();
+        let seg1 = fs::read(dir.join("checkpoint-1.seg")).unwrap();
+
+        // Stage A: killed while writing checkpoint-2.tmp (partial tmp).
+        fs::write(dir.join("checkpoint-2.tmp"), &seg1[..seg1.len() / 2]).unwrap();
+        let (_, r) = Store::open(&dir).unwrap();
+        assert_eq!(r.collections.len(), 2, "stage A: checkpoint 1 + wal");
+        assert!(!dir.join("checkpoint-2.tmp").exists(), "tmp cleaned up");
+
+        // Stage B: killed after renaming checkpoint-2.seg but before
+        // the manifest: old manifest still governs.
+        fs::write(dir.join("checkpoint-2.seg"), &seg1).unwrap();
+        fs::write(dir.join(MANIFEST), &manifest).unwrap();
+        fs::write(dir.join(WAL_FILE), &wal).unwrap();
+        let (_, r) = Store::open(&dir).unwrap();
+        assert_eq!(r.collections.len(), 2, "stage B: still checkpoint 1 + wal");
+
+        // Stage C: killed after publishing the new manifest but before
+        // the WAL truncate: the record replays idempotently on top.
+        let mut m2 = Vec::new();
+        m2.extend_from_slice(MANIFEST_MAGIC);
+        m2.extend_from_slice(&2u64.to_le_bytes());
+        m2.extend_from_slice(&fnv1a(&2u64.to_le_bytes()).to_le_bytes());
+        fs::write(dir.join(MANIFEST), &m2).unwrap();
+        let (_, r) = Store::open(&dir).unwrap();
+        assert_eq!(r.collections.len(), 2, "stage C: checkpoint 2 + wal replay");
+
+        // Stage D: killed mid-manifest write would have left only
+        // MANIFEST.tmp; the committed manifest still governs.
+        fs::write(dir.join("MANIFEST.tmp"), [0u8; 3]).unwrap();
+        let (_, r) = Store::open(&dir).unwrap();
+        assert_eq!(r.collections.len(), 2, "stage D");
+        assert!(!dir.join("MANIFEST.tmp").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_manifest_is_loud() {
+        let dir = tmpdir("badmanifest");
+        let (mut store, _) = Store::open(&dir).unwrap();
+        store.checkpoint(&sample_snapshot()).unwrap();
+        drop(store);
+        let mut m = fs::read(dir.join(MANIFEST)).unwrap();
+        m[6] ^= 0xff;
+        fs::write(dir.join(MANIFEST), &m).unwrap();
+        assert!(Store::open(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

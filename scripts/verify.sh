@@ -28,6 +28,12 @@ cargo test -q -p gql-match --test plan_cache_equivalence
 echo "==> property-index equivalence suite"
 cargo test -q -p gql-match --test propindex_equivalence
 
+echo "==> storage unit suite (WAL, segments, checkpoint protocol, bulk loader)"
+cargo test -q -p gql-storage
+
+echo "==> crash-recovery fault-injection suite"
+cargo test -q -p gql-engine --test recovery
+
 echo "==> plan-cache smoke (match with and without --no-plan-cache must agree)"
 with_cache=$(cargo run --release -q -p gql-cli -- match \
     --graph examples/gql/triangle_net.gql --pattern examples/gql/triangle.gql \
@@ -91,6 +97,20 @@ if grep -qE "loaded|profile|flwr|ok" "$obs_tmp/results.txt"; then
     echo "diagnostics leaked to stdout"; exit 1
 fi
 rm -rf "$obs_tmp"
+
+echo "==> persistence smoke (checkpoint, then reopen without data files)"
+persist_tmp=$(mktemp -d)
+first=$(cargo run --release -q -p gql-cli -- run examples/gql/coauthors.gql \
+    --data DBLP=examples/gql/dblp_sample.gql \
+    --data-dir "$persist_tmp/db" --checkpoint 2> "$persist_tmp/diag1.txt")
+grep -q "checkpoint written" "$persist_tmp/diag1.txt" \
+    || { echo "checkpoint notice missing"; exit 1; }
+[ -f "$persist_tmp/db/MANIFEST" ] || { echo "MANIFEST not written"; exit 1; }
+second=$(cargo run --release -q -p gql-cli -- run examples/gql/coauthors.gql \
+    --data-dir "$persist_tmp/db" 2> "$persist_tmp/diag2.txt")
+grep -q "opened" "$persist_tmp/diag2.txt" || { echo "reopen notice missing"; exit 1; }
+[ "$first" = "$second" ] || { echo "checkpoint-reopen changed results"; exit 1; }
+rm -rf "$persist_tmp"
 
 echo "==> cargo bench --no-run (benches must compile)"
 cargo bench --no-run -p gql-bench
