@@ -7,7 +7,7 @@ use crate::matched::MatchedGraph;
 use crate::template::{instantiate, TemplateEnv};
 use gql_core::iso::graph_isomorphic;
 use gql_core::{ArgValue, ExplainNode, Graph, GraphCollection};
-use gql_match::{match_pattern, GraphIndex, IndexOptions, MatchOptions};
+use gql_match::{match_pattern, GraphIndex, GraphSnapshot, IndexOptions, MatchOptions, Planner};
 use gql_parser::ast::GraphTemplateAst;
 use std::sync::Arc;
 use std::time::Instant;
@@ -75,6 +75,55 @@ pub fn build_collection_indexes(
         );
     }
     indexes
+}
+
+/// Builds one immutable [`GraphSnapshot`] generation for `collection`:
+/// the per-graph indexes of [`build_collection_indexes`] bundled with
+/// `planner` and stamped with `generation`. The engine's snapshot cache
+/// goes through here; mutations build the *next* generation and swap
+/// the `Arc` they hand out, so readers holding the old one keep a
+/// consistent view (including any mapped checkpoint pages backing its
+/// index slabs).
+pub fn build_collection_snapshot(
+    collection: &GraphCollection,
+    generation: u64,
+    planner: Option<Arc<Planner>>,
+    opts: &MatchOptions,
+) -> Arc<GraphSnapshot> {
+    Arc::new(GraphSnapshot::new(
+        generation,
+        build_collection_indexes(collection, opts),
+        planner,
+    ))
+}
+
+/// σ against an immutable [`GraphSnapshot`]: the snapshot's indexes
+/// answer the match and its planner (if any) serves the plan cache —
+/// `opts.planner` is ignored in favor of the snapshot's, so every
+/// `PlanKey` minted here carries the snapshot's generation. Matches
+/// are identical to [`select`]'s.
+pub fn select_with_snapshot(
+    pattern: &CompiledPattern,
+    collection: &GraphCollection,
+    snapshot: &GraphSnapshot,
+    opts: &MatchOptions,
+) -> Result<Vec<MatchedGraph>> {
+    select_with_snapshot_explain(pattern, collection, snapshot, opts).map(|(m, _)| m)
+}
+
+/// [`select_with_snapshot`] additionally assembling the σ's `EXPLAIN
+/// ANALYZE` subtree when `opts.explain` is set.
+pub fn select_with_snapshot_explain(
+    pattern: &CompiledPattern,
+    collection: &GraphCollection,
+    snapshot: &GraphSnapshot,
+    opts: &MatchOptions,
+) -> Result<(Vec<MatchedGraph>, Option<ExplainNode>)> {
+    let opts = MatchOptions {
+        planner: snapshot.planner().cloned(),
+        ..opts.clone()
+    };
+    select_with_indexes_explain(pattern, collection, snapshot.indexes(), &opts)
 }
 
 /// [`select`] against prebuilt per-graph indexes (`indexes[i]` built
@@ -384,6 +433,31 @@ mod tests {
             assert!(names.iter().any(|n| n == "op.select"), "{names:?}");
             assert!(names.iter().any(|n| n == "op.index_build"), "{names:?}");
         }
+    }
+
+    /// σ through a [`GraphSnapshot`] returns the same matches as the
+    /// plain path, and the snapshot pins the planner's generation so
+    /// plan keys minted against it carry the snapshot epoch.
+    #[test]
+    fn select_with_snapshot_matches_plain_select() {
+        let coll: GraphCollection = figure_4_13_dblp().into();
+        let p = compile_pattern_text(
+            r#"graph P { node v1 <author>; node v2 <author>; } where P.booktitle="SIGMOD""#,
+        )
+        .unwrap();
+        let opts = MatchOptions::default();
+        let plain = select(&p, &coll, &opts).unwrap();
+        let planner = Arc::new(Planner::new());
+        let snap = build_collection_snapshot(&coll, 3, Some(Arc::clone(&planner)), &opts);
+        assert_eq!(snap.generation(), 3);
+        assert_eq!(planner.generation(), 3, "snapshot pins the planner epoch");
+        let ms = select_with_snapshot(&p, &coll, &snap, &opts).unwrap();
+        assert_eq!(ms.len(), plain.len());
+        for (a, b) in ms.iter().zip(&plain) {
+            assert_eq!(a.mapping, b.mapping);
+            assert_eq!(a.edge_mapping, b.edge_mapping);
+        }
+        assert!(planner.cached_plans() > 0, "σ went through the plan cache");
     }
 
     #[test]

@@ -24,20 +24,36 @@
 //! predicate evaluation on a 12k-node attribute workload and writes
 //! `BENCH_propindex.json`. `storage` compares cold-opening a
 //! checkpointed (and a WAL-only) data directory against rebuilding the
-//! same database in memory and writes `BENCH_storage.json`.
+//! same database in memory and writes `BENCH_storage.json`. `mmap`
+//! compares a memory-mapped cold open (zero-copy index adoption)
+//! against an owned read of the same checkpoint — time-to-first-answer
+//! and peak RSS, each pass in its own child process — and writes
+//! `BENCH_mmap.json`.
 
 use gql_bench::experiments::{
-    bench_csr, bench_parallel, bench_planner, bench_profile, bench_propindex, bench_refine,
-    bench_storage, bench_trace, csr_bench_json, fig4_20, fig4_21, fig4_22, fig4_23a, fig4_23b,
-    parallel_bench_json, planner_bench_json, print_csr_rows, print_parallel_rows,
-    print_planner_rows, print_profile_result, print_propindex_rows, print_refine_rows,
-    print_space_rows, print_step_rows, print_storage_rows, print_total_rows, print_trace_rows,
-    profile_bench_json, propindex_bench_json, refine_bench_json, storage_bench_json,
-    trace_bench_json, Scale,
+    bench_csr, bench_mmap, bench_parallel, bench_planner, bench_profile, bench_propindex,
+    bench_refine, bench_storage, bench_trace, csr_bench_json, fig4_20, fig4_21, fig4_22, fig4_23a,
+    fig4_23b, mmap_bench_json, mmap_child_main, parallel_bench_json, planner_bench_json,
+    print_csr_rows, print_mmap_rows, print_parallel_rows, print_planner_rows, print_profile_result,
+    print_propindex_rows, print_refine_rows, print_space_rows, print_step_rows, print_storage_rows,
+    print_total_rows, print_trace_rows, profile_bench_json, propindex_bench_json,
+    refine_bench_json, storage_bench_json, trace_bench_json, Scale,
 };
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden child mode for the mmap bench: each pass runs in a fresh
+    // process so VmHWM reflects exactly one cold open.
+    if raw.first().map(String::as_str) == Some("__mmap_child") {
+        let dir = raw.get(1).expect("__mmap_child needs a directory");
+        let mode = raw.get(2).expect("__mmap_child needs a mode");
+        let threads = raw
+            .get(3)
+            .and_then(|v| v.parse().ok())
+            .expect("__mmap_child needs a thread count");
+        mmap_child_main(std::path::Path::new(dir), mode, threads);
+        return;
+    }
     let mut threads = 0usize;
     let mut args: Vec<String> = Vec::new();
     let mut it = raw.into_iter();
@@ -194,6 +210,19 @@ fn main() {
             Err(e) => eprintln!("# could not write {path}: {e}"),
         }
     };
+    let run_mmap = || {
+        let rows = bench_mmap(scale, threads);
+        print_mmap_rows(
+            "Zero-copy adoption — mapped vs owned cold open, time-to-first-answer + peak RSS",
+            &rows,
+        );
+        let json = mmap_bench_json(scale, threads, &rows);
+        let path = "BENCH_mmap.json";
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("# wrote {path}"),
+            Err(e) => eprintln!("# could not write {path}: {e}"),
+        }
+    };
     let run_smoke = || {
         let rows = bench_parallel(scale, threads);
         print_parallel_rows(
@@ -221,6 +250,7 @@ fn main() {
         "planner" => run_planner(),
         "propindex" => run_propindex(),
         "storage" => run_storage(),
+        "mmap" => run_mmap(),
         "smoke" => run_smoke(),
         "all" => {
             run_20();
@@ -231,7 +261,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment {other:?}; use fig4_20|fig4_21|fig4_22|fig4_23|refine|profile|csr|trace|planner|propindex|storage|smoke|all"
+                "unknown experiment {other:?}; use fig4_20|fig4_21|fig4_22|fig4_23|refine|profile|csr|trace|planner|propindex|storage|mmap|smoke|all"
             );
             std::process::exit(2);
         }

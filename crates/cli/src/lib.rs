@@ -111,6 +111,14 @@ pub enum Command {
         /// Write a checkpoint (and truncate the WAL) after the program
         /// completes. Requires `--data-dir`.
         checkpoint: bool,
+        /// Memory-map the checkpoint segment at open so index slabs
+        /// adopt the mapped pages zero-copy (`--no-mmap` reads it into
+        /// owned memory instead; results are identical).
+        mmap: bool,
+        /// Verify every section checksum of the checkpoint eagerly at
+        /// open (`--verify-checkpoint`; default is lazy per-section
+        /// verification on the mapped path).
+        verify: bool,
     },
     /// `gql match --graph PATH --pattern PATH [--baseline] [--first]
     /// [--threads N] [--no-csr] [--no-plan-cache] [--adaptive on|off]`
@@ -159,7 +167,7 @@ USAGE:
     gql run <program.gql> [--data NAME=PATH]... [--threads N] [--profile[=json]]
             [--explain[=json]] [--trace FILE] [--slow-ms N] [--metrics FILE] [--no-csr]
             [--no-prop-index] [--no-plan-cache] [--adaptive on|off]
-            [--data-dir DIR] [--checkpoint]
+            [--data-dir DIR] [--checkpoint] [--no-mmap] [--verify-checkpoint]
     gql match --graph <data.gql> --pattern <pattern.gql> [--baseline] [--first] [--threads N]
             [--no-csr] [--no-prop-index] [--no-plan-cache] [--adaptive on|off]
     gql sql   --graph <data.gql> --pattern <pattern.gql>
@@ -225,6 +233,21 @@ program completes: the full state is serialized to a new segment,
 the manifest is atomically switched, the WAL is truncated, and older
 segments are removed. The next `--data-dir` open is then a segment
 read, not a replay or rebuild.
+
+`--no-mmap` (requires --data-dir) reads the checkpoint segment into
+owned memory instead of memory-mapping it. The default mapped open
+adopts the segment's index arrays zero-copy — pages fault in from the
+page cache on demand, so time-to-first-answer and resident memory track
+the working set instead of the checkpoint size. Results are identical
+either way; the flag exists to compare performance and as an escape
+hatch.
+
+`--verify-checkpoint` (requires --data-dir) checksums the entire
+checkpoint eagerly at open. The default mapped open verifies the header
+and section directory eagerly but defers per-section payload checksums
+until a section is actually decoded (index sections are validated
+structurally on adoption instead) — corruption is still always a loud
+error, just possibly reported at first use rather than at open.
 ";
 
 fn parse_adaptive(it: &mut std::slice::Iter<'_, String>) -> Result<bool> {
@@ -264,8 +287,14 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             let mut adaptive = true;
             let mut data_dir = None;
             let mut checkpoint = false;
+            let mut mmap = true;
+            let mut verify = false;
             while let Some(a) = it.next() {
-                if a == "--no-csr" {
+                if a == "--no-mmap" {
+                    mmap = false;
+                } else if a == "--verify-checkpoint" {
+                    verify = true;
+                } else if a == "--no-csr" {
                     csr = false;
                 } else if a == "--no-prop-index" {
                     prop_index = false;
@@ -329,6 +358,11 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             if checkpoint && data_dir.is_none() {
                 return Err(CliError::usage("--checkpoint requires --data-dir"));
             }
+            if (!mmap || verify) && data_dir.is_none() {
+                return Err(CliError::usage(
+                    "--no-mmap/--verify-checkpoint require --data-dir",
+                ));
+            }
             Ok(Command::Run {
                 program: program.ok_or_else(|| CliError::usage("run needs a program file"))?,
                 data,
@@ -344,6 +378,8 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 adaptive,
                 data_dir,
                 checkpoint,
+                mmap,
+                verify,
             })
         }
         Some(cmd @ ("match" | "sql")) => {
@@ -420,14 +456,18 @@ pub fn execute(cmd: Command) -> Result<Output> {
             adaptive,
             data_dir,
             checkpoint,
+            mmap,
+            verify,
         } => {
             let base = match &data_dir {
                 Some(dir) => {
-                    let db = Database::open(Path::new(dir))
+                    let open_opts = gql_engine::OpenOptions { mmap, verify };
+                    let db = Database::open_with(Path::new(dir), open_opts)
                         .map_err(|e| CliError::run(format!("cannot open {dir:?}: {e}")))?;
                     let _ = writeln!(
                         out.stderr,
-                        "opened {dir}: {} collection(s), wal {} byte(s)",
+                        "opened {dir} ({}): {} collection(s), wal {} byte(s)",
+                        if db.is_mapped() { "mapped" } else { "owned" },
                         db.collections().count(),
                         db.wal_size().unwrap_or(0)
                     );
@@ -667,6 +707,8 @@ mod tests {
                 adaptive: true,
                 data_dir: None,
                 checkpoint: false,
+                mmap: true,
+                verify: false,
             }
         );
         assert!(matches!(
@@ -685,6 +727,44 @@ mod tests {
         assert!(
             parse_args(&args(&["run", "p.gql", "--checkpoint"])).is_err(),
             "--checkpoint without --data-dir must be rejected"
+        );
+        assert!(matches!(
+            parse_args(&args(&[
+                "run",
+                "p.gql",
+                "--data-dir",
+                "/tmp/db",
+                "--no-mmap"
+            ]))
+            .unwrap(),
+            Command::Run {
+                mmap: false,
+                verify: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_args(&args(&[
+                "run",
+                "p.gql",
+                "--data-dir",
+                "/tmp/db",
+                "--verify-checkpoint"
+            ]))
+            .unwrap(),
+            Command::Run {
+                mmap: true,
+                verify: true,
+                ..
+            }
+        ));
+        assert!(
+            parse_args(&args(&["run", "p.gql", "--no-mmap"])).is_err(),
+            "--no-mmap without --data-dir must be rejected"
+        );
+        assert!(
+            parse_args(&args(&["run", "p.gql", "--verify-checkpoint"])).is_err(),
+            "--verify-checkpoint without --data-dir must be rejected"
         );
         assert!(matches!(
             parse_args(&args(&["run", "p.gql", "--no-prop-index"])).unwrap(),
@@ -950,6 +1030,8 @@ mod tests {
                 adaptive: true,
                 data_dir: None,
                 checkpoint: false,
+                mmap: true,
+                verify: false,
             })
             .unwrap()
         };
@@ -1011,6 +1093,8 @@ mod tests {
                 adaptive: true,
                 data_dir: None,
                 checkpoint: false,
+                mmap: true,
+                verify: false,
             })
             .unwrap()
         };
@@ -1074,6 +1158,8 @@ mod tests {
             adaptive: true,
             data_dir: None,
             checkpoint: false,
+            mmap: true,
+            verify: false,
         })
         .unwrap_err();
         assert_eq!(err.code, 1);
@@ -1096,6 +1182,8 @@ mod tests {
             adaptive: true,
             data_dir: None,
             checkpoint: false,
+            mmap: true,
+            verify: false,
         }
     }
 

@@ -30,11 +30,17 @@
 use crate::graph::{EdgeId, Graph, NodeId};
 use crate::intern::{IdProfile, NO_LABEL};
 use crate::par::resolve_threads;
+use crate::slab::{Pod, Slab};
 use std::collections::VecDeque;
 
 /// One adjacency entry: a neighbor plus the connecting edge, with the
 /// neighbor's interned node-label id co-located for cache-friendly
 /// label filtering ([`NO_LABEL`] when the neighbor is unlabeled).
+///
+/// `#[repr(C)]` pins the layout to three consecutive `u32`s (12 bytes,
+/// no padding) so a checkpointed entry array can be reinterpreted in
+/// place by a memory-mapped reader.
+#[repr(C)]
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CsrEntry {
     /// Interned label id of `node` ([`NO_LABEL`] if it has none).
@@ -45,13 +51,17 @@ pub struct CsrEntry {
     pub edge: u32,
 }
 
+// Safety: #[repr(C)], three u32 fields, no padding, valid for any bit
+// pattern (validation of *semantic* invariants happens in from_parts).
+unsafe impl Pod for CsrEntry {}
+
 /// One direction of adjacency in CSR form: `offsets` has `n + 1`
 /// entries and node `v`'s neighbors live in
 /// `entries[offsets[v]..offsets[v + 1]]`, sorted by (label, node, edge).
 #[derive(Debug, Clone, Default)]
 struct Adjacency {
-    offsets: Vec<u32>,
-    entries: Vec<CsrEntry>,
+    offsets: Slab<u32>,
+    entries: Slab<CsrEntry>,
 }
 
 impl Adjacency {
@@ -117,21 +127,25 @@ where
             }
         });
     }
-    Adjacency { offsets, entries }
+    Adjacency {
+        offsets: offsets.into(),
+        entries: entries.into(),
+    }
 }
 
 /// Raw arrays of one adjacency direction, extracted by
 /// [`CsrGraph::to_parts`] and accepted back by [`CsrGraph::from_parts`].
-/// Both vectors are exactly the in-memory representation — flat and
+/// Both slabs are exactly the in-memory representation — flat and
 /// position-independent — which is what makes a CSR checkpoint segment a
-/// straight copy rather than a serialization format.
+/// straight copy (or, mapped, no copy at all) rather than a
+/// serialization format.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct AdjacencyParts {
     /// `n + 1` row offsets (empty for a direction that is not stored,
     /// i.e. `inc`/`all` of an undirected snapshot).
-    pub offsets: Vec<u32>,
+    pub offsets: Slab<u32>,
     /// Row entries, per-row sorted by `(label, node, edge)`.
-    pub entries: Vec<CsrEntry>,
+    pub entries: Slab<CsrEntry>,
 }
 
 /// The complete raw state of a [`CsrGraph`], for checkpointing.
@@ -140,7 +154,7 @@ pub struct CsrParts {
     /// Whether the snapshotted graph was directed.
     pub directed: bool,
     /// Interned label id per node.
-    pub node_labels: Vec<u32>,
+    pub node_labels: Slab<u32>,
     /// Out-adjacency (every incident edge for undirected graphs).
     pub out: AdjacencyParts,
     /// In-adjacency (directed graphs only; empty otherwise).
@@ -197,7 +211,7 @@ fn adjacency_from_parts(p: AdjacencyParts, n: usize) -> Result<Adjacency, &'stat
 pub struct CsrGraph {
     directed: bool,
     /// Interned label id per node ([`NO_LABEL`] for unlabeled nodes).
-    node_labels: Vec<u32>,
+    node_labels: Slab<u32>,
     out: Adjacency,
     /// In-adjacency; only populated for directed graphs.
     inc: Adjacency,
@@ -259,15 +273,15 @@ impl CsrGraph {
         };
         CsrGraph {
             directed: g.is_directed(),
-            node_labels: node_labels.to_vec(),
+            node_labels: node_labels.to_vec().into(),
             out,
             inc,
             all,
         }
     }
 
-    /// Extracts the raw arrays for checkpointing. The clones are flat
-    /// `memcpy`s; no per-entry encoding happens here.
+    /// Extracts the raw arrays for checkpointing. The clones are slab
+    /// reference bumps; no per-entry encoding or copying happens here.
     pub fn to_parts(&self) -> CsrParts {
         CsrParts {
             directed: self.directed,
@@ -609,22 +623,30 @@ mod tests {
         assert_eq!(dback.in_neighbors(b), dcsr.in_neighbors(b));
         assert_eq!(dback.incident(b), dcsr.incident(b));
 
-        // Corrupted arrays are rejected, not adopted.
+        // Corrupted arrays are rejected, not adopted. Slabs are
+        // immutable, so corruption is staged through a copy-edit.
+        fn edited<T: Pod>(s: &Slab<T>, f: impl FnOnce(&mut Vec<T>)) -> Slab<T> {
+            let mut v = s.to_vec();
+            f(&mut v);
+            v.into()
+        }
         let mut bad = csr.to_parts();
-        bad.out.offsets[1] = u32::MAX;
+        bad.out.offsets = edited(&bad.out.offsets, |v| v[1] = u32::MAX);
         assert!(CsrGraph::from_parts(bad).is_err());
         let mut bad = csr.to_parts();
-        bad.out.entries[0].node = 999;
+        bad.out.entries = edited(&bad.out.entries, |v| v[0].node = 999);
         assert!(CsrGraph::from_parts(bad).is_err());
         let mut bad = csr.to_parts();
         if bad.out.entries.len() >= 2 {
-            bad.out.entries.swap(0, 1);
+            bad.out.entries = edited(&bad.out.entries, |v| v.swap(0, 1));
         }
         // Row 0 of A1 has two entries (B1, C1 label-sorted); swapping
         // breaks the sort invariant.
         assert!(CsrGraph::from_parts(bad).is_err());
         let mut bad = csr.to_parts();
-        bad.out.offsets.pop();
+        bad.out.offsets = edited(&bad.out.offsets, |v| {
+            v.pop();
+        });
         assert!(CsrGraph::from_parts(bad).is_err());
     }
 

@@ -13,6 +13,7 @@
 //! to the same id), so every interned comparison is observably
 //! equivalent to the `Value`-based one.
 
+use crate::slab::Slab;
 use crate::value::Value;
 use rustc_hash::FxHashMap;
 
@@ -113,7 +114,9 @@ fn signature_bit(id: u32) -> u64 {
 /// `Value`-profile test.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IdProfile {
-    ids: Vec<u32>,
+    /// Owned for freshly computed profiles; a zero-copy view into the
+    /// checkpoint segment for mapped adoption ([`IdProfile::from_sorted`]).
+    ids: Slab<u32>,
     signature: u64,
 }
 
@@ -122,7 +125,23 @@ impl IdProfile {
     pub fn from_ids(mut ids: Vec<u32>) -> Self {
         ids.sort_unstable();
         let signature = ids.iter().fold(0u64, |s, &id| s | signature_bit(id));
-        IdProfile { ids, signature }
+        IdProfile {
+            ids: ids.into(),
+            signature,
+        }
+    }
+
+    /// Adopts an already-sorted id slab without copying — the reopen
+    /// path for checkpointed profiles (which are stored sorted). Fails
+    /// if the slab is not sorted, so a corrupted segment cannot smuggle
+    /// in a profile whose two-pointer containment merge would
+    /// misbehave.
+    pub fn from_sorted(ids: Slab<u32>) -> Result<Self, &'static str> {
+        if ids.windows(2).any(|w| w[0] > w[1]) {
+            return Err("profile ids not sorted");
+        }
+        let signature = ids.iter().fold(0u64, |s, &id| s | signature_bit(id));
+        Ok(IdProfile { ids, signature })
     }
 
     /// Number of labels (with multiplicity).
@@ -160,7 +179,7 @@ impl IdProfile {
     /// sound, so running the merge anyway would agree).
     pub fn contained_exact(&self, other: &IdProfile) -> bool {
         let mut j = 0;
-        for &id in &self.ids {
+        for &id in self.ids.iter() {
             while j < other.ids.len() && other.ids[j] < id {
                 j += 1;
             }

@@ -56,6 +56,7 @@ pub mod op;
 pub mod par;
 pub mod plan;
 pub mod propindex;
+pub mod slab;
 pub mod stats;
 pub mod storage;
 pub mod tuple;
@@ -79,9 +80,10 @@ pub use plan::{
     shape_key, FeedbackStore, LabelFeedback, PlanCache, PlanKey, ShapeDesc, ShapeFeedback,
 };
 pub use propindex::{ProbeOp, PropIndex, Run};
+pub use slab::{pod_bytes, ByteBuffer, OwnedBytes, Pod, Slab};
 pub use stats::GraphStats;
 pub use storage::{
-    decode_collection, decode_graph, encode_collection, encode_graph, encode_graph_data,
+    decode_collection, decode_graph, encode_collection, encode_graph, encode_graph_data, ByteSink,
     StorageError,
 };
 pub use tuple::Tuple;

@@ -168,6 +168,18 @@ impl<P> PlanCache<P> {
         self.map.clear();
     }
 
+    /// Raises the generation to `generation` (no-op when already
+    /// there or past it), dropping entries on an actual advance. Used
+    /// to pin plan-cache keys to an externally allocated snapshot
+    /// epoch, so `PlanKey::generation` and the `GraphSnapshot`
+    /// generation the engine hands out agree.
+    pub fn advance_to(&mut self, generation: u64) {
+        if generation > self.generation {
+            self.generation = generation;
+            self.map.clear();
+        }
+    }
+
     /// Looks up a compiled plan, counting the hit or miss.
     pub fn lookup(&mut self, key: &PlanKey) -> Option<&P> {
         if key.generation != self.generation {

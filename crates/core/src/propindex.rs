@@ -92,11 +92,18 @@ impl ProbeOp {
     }
 }
 
-/// One sorted `(Value, id)` run for a `(label, attribute)` pair.
+/// One sorted run for a `(label, attribute)` pair, stored
+/// structure-of-arrays: the sorted keys and a parallel id slab. The
+/// split keeps binary-search probes touching only the key column, and
+/// the id column rides the owned-or-mapped [`Slab`] substrate the rest
+/// of the read path uses (`Value` keys are heap-structured and stay
+/// owned).
 #[derive(Debug, Clone, Default)]
 pub struct Run {
-    /// Sorted by `(Value::cmp, id)`; ids are node or edge indices.
-    entries: Vec<(Value, u32)>,
+    /// Sorted by `Value::cmp` (ties grouped; ids break ties ascending).
+    keys: Vec<Value>,
+    /// `ids[i]` is the node or edge index carrying `keys[i]`.
+    ids: crate::slab::Slab<u32>,
     /// Number of `Ord`-distinct values, for selectivity estimates.
     distinct: u32,
 }
@@ -112,17 +119,27 @@ impl Run {
             .filter(|w| w[0].0.cmp(&w[1].0) != Ordering::Equal)
             .count() as u32
             + u32::from(!entries.is_empty());
-        Run { entries, distinct }
+        let mut keys = Vec::with_capacity(entries.len());
+        let mut ids = Vec::with_capacity(entries.len());
+        for (v, id) in entries {
+            keys.push(v);
+            ids.push(id);
+        }
+        Run {
+            keys,
+            ids: ids.into(),
+            distinct,
+        }
     }
 
     /// Number of indexed `(value, id)` entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.keys.len()
     }
 
     /// True when no entry was indexed.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.keys.is_empty()
     }
 
     /// Number of `Ord`-distinct values in the run.
@@ -138,31 +155,25 @@ impl Run {
     /// each entry with [`Value::compare`] so incomparable values are
     /// rejected exactly as the scan's `Undefined` verdict rejects them.
     pub fn probe(&self, op: ProbeOp, key: &Value) -> Vec<u32> {
-        let lo = || {
-            self.entries
-                .partition_point(|(v, _)| v.cmp(key) == Ordering::Less)
-        };
+        let lo = || self.keys.partition_point(|v| v.cmp(key) == Ordering::Less);
         let hi = || {
-            self.entries
-                .partition_point(|(v, _)| v.cmp(key) != Ordering::Greater)
+            self.keys
+                .partition_point(|v| v.cmp(key) != Ordering::Greater)
         };
         let range = match op {
             ProbeOp::Eq => {
                 // Ord-Equal implies compare() == Equal (ranks are
                 // internally total), so the equal-range needs no filter.
-                return self.entries[lo()..hi()].iter().map(|&(_, id)| id).collect();
+                return self.ids[lo()..hi()].to_vec();
             }
-            ProbeOp::Lt | ProbeOp::Le => {
-                &self.entries[..if op == ProbeOp::Lt { lo() } else { hi() }]
-            }
-            ProbeOp::Gt | ProbeOp::Ge => {
-                &self.entries[if op == ProbeOp::Gt { hi() } else { lo() }..]
-            }
+            ProbeOp::Lt | ProbeOp::Le => 0..if op == ProbeOp::Lt { lo() } else { hi() },
+            ProbeOp::Gt | ProbeOp::Ge => (if op == ProbeOp::Gt { hi() } else { lo() })..self.len(),
         };
-        let mut ids: Vec<u32> = range
+        let mut ids: Vec<u32> = self.keys[range.clone()]
             .iter()
+            .zip(&self.ids[range])
             .filter(|(v, _)| v.compare(key).is_some_and(|ord| op.admits(ord)))
-            .map(|&(_, id)| id)
+            .map(|(_, &id)| id)
             .collect();
         ids.sort_unstable();
         ids

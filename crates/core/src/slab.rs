@@ -1,0 +1,284 @@
+//! Owned-or-mapped typed buffers: the zero-copy substrate under the
+//! immutable read path.
+//!
+//! A [`Slab<T>`] is an immutable `[T]` whose storage is either an owned
+//! `Vec<T>` or a typed view into a shared byte buffer (in practice a
+//! memory-mapped checkpoint segment — see `gql-storage`'s
+//! `SegmentMap`). Both variants deref to `&[T]`, clone by bumping a
+//! reference count, and sub-slice without copying, so every kernel
+//! downstream (CSR rows, profile id arrays, property-index runs) is
+//! oblivious to where the bytes live.
+//!
+//! The mapped variant is only constructible through
+//! [`Slab::from_buffer`], which checks bounds and the alignment
+//! contract: the byte offset must be aligned for `T`. Checkpoint
+//! segments start every section on a 4096-byte boundary and the codec
+//! pads arrays to 8 bytes within a section, so the contract holds for
+//! every type we map; the check is still enforced at runtime and a
+//! violation is a loud decode error, never UB.
+//!
+//! Mapped slabs reinterpret little-endian bytes in place, so zero-copy
+//! adoption is gated to little-endian targets at the codec layer;
+//! big-endian builds fall back to the owned decode path with identical
+//! results.
+
+use std::fmt;
+use std::ops::{Deref, Range};
+use std::sync::Arc;
+
+/// Marker for types whose values are plain bytes: any bit pattern of
+/// `size_of::<T>()` bytes is a valid `T` (no padding, no niches, no
+/// pointers), so a `[T]` may be reinterpreted from a raw byte buffer.
+///
+/// # Safety
+///
+/// Implementors must be `#[repr(C)]` (or a primitive), contain no
+/// padding bytes, and be valid for every bit pattern.
+pub unsafe trait Pod: Copy + 'static {}
+
+unsafe impl Pod for u8 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for u64 {}
+
+/// A shared immutable byte buffer a [`Slab`] can borrow from.
+///
+/// The one production implementor outside this crate is
+/// `gql-storage`'s `SegmentMap` (a memory-mapped checkpoint file);
+/// [`OwnedBytes`] covers buffers read into memory. The trait lives
+/// here, below the storage crate, so core containers can hold mapped
+/// memory without a dependency cycle.
+pub trait ByteBuffer: Send + Sync + fmt::Debug {
+    /// The full buffer contents. The returned slice must be stable for
+    /// the lifetime of the implementor (no reallocation).
+    fn bytes(&self) -> &[u8];
+}
+
+/// [`ByteBuffer`] over an owned `Vec<u8>` — the non-mapped fallback.
+#[derive(Debug, Default)]
+pub struct OwnedBytes(pub Vec<u8>);
+
+impl ByteBuffer for OwnedBytes {
+    fn bytes(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[derive(Debug)]
+enum Owner<T: Pod> {
+    /// Owned storage. `Arc<Vec<T>>` rather than `Vec<T>` so the heap
+    /// block's address is stable across clones and sub-slices can
+    /// share it without copying.
+    Vec(Arc<Vec<T>>),
+    /// A typed view into a shared byte buffer (mapped segment or
+    /// owned fallback). Holding the `Arc` keeps the mapping alive.
+    Buffer(Arc<dyn ByteBuffer>),
+}
+
+impl<T: Pod> Clone for Owner<T> {
+    fn clone(&self) -> Owner<T> {
+        match self {
+            Owner::Vec(v) => Owner::Vec(Arc::clone(v)),
+            Owner::Buffer(b) => Owner::Buffer(Arc::clone(b)),
+        }
+    }
+}
+
+/// An immutable, cheaply clonable `[T]` that is either owned or a view
+/// into a shared byte buffer. See the module docs for the contract.
+pub struct Slab<T: Pod> {
+    owner: Owner<T>,
+    /// Points into `owner`'s storage; valid for `len` elements as long
+    /// as `owner` is alive (which `self` guarantees).
+    ptr: *const T,
+    len: usize,
+}
+
+// Safety: a Slab is an immutable view whose storage is kept alive by
+// `owner` (Arc'd in both variants); `T: Pod` has no interior pointers
+// or interior mutability, so sharing across threads is sound.
+unsafe impl<T: Pod + Send + Sync> Send for Slab<T> {}
+unsafe impl<T: Pod + Send + Sync> Sync for Slab<T> {}
+
+impl<T: Pod> Slab<T> {
+    /// An owned slab over `v`.
+    pub fn from_vec(v: Vec<T>) -> Slab<T> {
+        let owner = Arc::new(v);
+        let (ptr, len) = (owner.as_ptr(), owner.len());
+        Slab {
+            owner: Owner::Vec(owner),
+            ptr,
+            len,
+        }
+    }
+
+    /// A zero-copy slab of `len` elements starting `byte_offset` bytes
+    /// into `buf`. Fails (never UB) when the span leaves the buffer or
+    /// the start is misaligned for `T`.
+    pub fn from_buffer(
+        buf: Arc<dyn ByteBuffer>,
+        byte_offset: usize,
+        len: usize,
+    ) -> Result<Slab<T>, &'static str> {
+        let bytes = buf.bytes();
+        let nbytes = len
+            .checked_mul(std::mem::size_of::<T>())
+            .ok_or("slab length overflow")?;
+        let end = byte_offset
+            .checked_add(nbytes)
+            .ok_or("slab span overflow")?;
+        if end > bytes.len() {
+            return Err("slab span out of buffer bounds");
+        }
+        let ptr = unsafe { bytes.as_ptr().add(byte_offset) };
+        if !(ptr as usize).is_multiple_of(std::mem::align_of::<T>()) {
+            return Err("slab start misaligned for element type");
+        }
+        Ok(Slab {
+            ptr: ptr.cast::<T>(),
+            len,
+            owner: Owner::Buffer(buf),
+        })
+    }
+
+    /// A zero-copy sub-slab sharing this slab's storage. Panics when
+    /// the range is out of bounds, like slice indexing.
+    pub fn slice(&self, range: Range<usize>) -> Slab<T> {
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "slab slice {range:?} out of bounds (len {})",
+            self.len
+        );
+        Slab {
+            owner: self.owner.clone(),
+            ptr: unsafe { self.ptr.add(range.start) },
+            len: range.end - range.start,
+        }
+    }
+
+    /// True when backed by a shared byte buffer (typically a mapped
+    /// segment) rather than an owned `Vec`.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.owner, Owner::Buffer(_))
+    }
+
+    /// The elements as a plain slice (also available via `Deref`).
+    pub fn as_slice(&self) -> &[T] {
+        if self.len == 0 {
+            return &[];
+        }
+        // Safety: `ptr` is valid for `len` reads for as long as
+        // `owner` lives (checked at construction), and `T: Pod` makes
+        // any underlying bytes a valid value.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+/// The raw bytes of a `[T]`. Sound for any [`Pod`] `T`: no padding
+/// bytes means every byte is initialized data. On little-endian
+/// targets this is exactly the wire encoding of the checkpoint codec's
+/// raw arrays, making encode as zero-copy as mapped decode.
+pub fn pod_bytes<T: Pod>(s: &[T]) -> &[u8] {
+    // Safety: Pod guarantees no padding and no invalid bytes; the
+    // span covers exactly the slice's storage.
+    unsafe { std::slice::from_raw_parts(s.as_ptr().cast::<u8>(), std::mem::size_of_val(s)) }
+}
+
+impl<T: Pod> Deref for Slab<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Pod> Clone for Slab<T> {
+    fn clone(&self) -> Slab<T> {
+        Slab {
+            owner: self.owner.clone(),
+            ptr: self.ptr,
+            len: self.len,
+        }
+    }
+}
+
+impl<T: Pod> From<Vec<T>> for Slab<T> {
+    fn from(v: Vec<T>) -> Slab<T> {
+        Slab::from_vec(v)
+    }
+}
+
+impl<T: Pod> Default for Slab<T> {
+    fn default() -> Slab<T> {
+        Slab::from_vec(Vec::new())
+    }
+}
+
+impl<T: Pod + fmt::Debug> fmt::Debug for Slab<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl<T: Pod + PartialEq> PartialEq for Slab<T> {
+    fn eq(&self, other: &Slab<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Pod + Eq> Eq for Slab<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_round_trip_and_slice() {
+        let s: Slab<u32> = vec![1, 2, 3, 4, 5].into();
+        assert_eq!(&*s, &[1, 2, 3, 4, 5]);
+        assert!(!s.is_mapped());
+        let sub = s.slice(1..4);
+        assert_eq!(&*sub, &[2, 3, 4]);
+        let clone = sub.clone();
+        drop(s);
+        drop(sub);
+        assert_eq!(&*clone, &[2, 3, 4]); // storage survives via Arc
+    }
+
+    #[test]
+    fn buffer_view_reinterprets_bytes() {
+        let mut bytes = vec![0u8; 4]; // padding to offset 4
+        for v in [7u32, 8, 9] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let buf: Arc<dyn ByteBuffer> = Arc::new(OwnedBytes(bytes));
+        let s: Slab<u32> = Slab::from_buffer(Arc::clone(&buf), 4, 3).unwrap();
+        assert!(s.is_mapped());
+        if cfg!(target_endian = "little") {
+            assert_eq!(&*s, &[7, 8, 9]);
+        }
+        assert_eq!(s.slice(2..3).len(), 1);
+    }
+
+    #[test]
+    fn buffer_view_rejects_bad_spans() {
+        let buf: Arc<dyn ByteBuffer> = Arc::new(OwnedBytes(vec![0u8; 16]));
+        assert!(Slab::<u32>::from_buffer(Arc::clone(&buf), 0, 4).is_ok());
+        assert!(Slab::<u32>::from_buffer(Arc::clone(&buf), 0, 5).is_err());
+        assert!(Slab::<u32>::from_buffer(Arc::clone(&buf), 1, 1).is_err()); // misaligned
+        assert!(Slab::<u32>::from_buffer(Arc::clone(&buf), usize::MAX, 1).is_err());
+        assert!(Slab::<u64>::from_buffer(buf, 8, 0).is_ok()); // empty at end
+    }
+
+    #[test]
+    fn equality_compares_contents_not_storage() {
+        let owned: Slab<u32> = vec![1u32, 2].into();
+        let mut bytes = Vec::new();
+        for v in [1u32, 2] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let mapped = Slab::<u32>::from_buffer(Arc::new(OwnedBytes(bytes)), 0, 2).unwrap();
+        if cfg!(target_endian = "little") {
+            assert_eq!(owned, mapped);
+        }
+        assert_eq!(Slab::<u32>::default().len(), 0);
+    }
+}

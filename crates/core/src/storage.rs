@@ -62,16 +62,41 @@ const MAGIC: &[u8; 4] = b"GQL1";
 // LEB128/value/checksum primitives so every on-disk artifact shares one
 // codec (and one set of corruption tests).
 
+/// Destination for the `put_*` encoders: an in-memory `Vec<u8>` or a
+/// streaming writer (the storage crate's segment writer pushes encoded
+/// bytes straight through a fixed-size buffer to the file, folding the
+/// checksum incrementally, so checkpointing never materializes a whole
+/// section).
+pub trait ByteSink {
+    /// Appends raw bytes.
+    fn put_bytes(&mut self, bytes: &[u8]);
+
+    /// Appends one byte.
+    fn put_byte(&mut self, b: u8) {
+        self.put_bytes(&[b]);
+    }
+}
+
+impl ByteSink for Vec<u8> {
+    fn put_bytes(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+
+    fn put_byte(&mut self, b: u8) {
+        self.push(b);
+    }
+}
+
 /// Appends `v` as a LEB128 varint.
-pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+pub fn put_varint<S: ByteSink + ?Sized>(out: &mut S, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
         if v == 0 {
-            out.push(byte);
+            out.put_byte(byte);
             return;
         }
-        out.push(byte | 0x80);
+        out.put_byte(byte | 0x80);
     }
 }
 
@@ -102,9 +127,9 @@ fn unzigzag(v: u64) -> i64 {
 }
 
 /// Appends a length-prefixed UTF-8 string.
-pub fn put_str(out: &mut Vec<u8>, s: &str) {
+pub fn put_str<S: ByteSink + ?Sized>(out: &mut S, s: &str) {
     put_varint(out, s.len() as u64);
-    out.extend_from_slice(s.as_bytes());
+    out.put_bytes(s.as_bytes());
 }
 
 /// Reads a length-prefixed UTF-8 string starting at `pos`.
@@ -122,11 +147,11 @@ pub fn get_str(buf: &[u8], pos: &mut usize) -> Result<String> {
 }
 
 /// Appends an optional string (presence byte + string).
-pub fn put_opt_str(out: &mut Vec<u8>, s: &Option<String>) {
+pub fn put_opt_str<S: ByteSink + ?Sized>(out: &mut S, s: &Option<String>) {
     match s {
-        None => out.push(0),
+        None => out.put_byte(0),
         Some(s) => {
-            out.push(1);
+            out.put_byte(1);
             put_str(out, s);
         }
     }
@@ -148,21 +173,21 @@ pub fn get_opt_str(buf: &[u8], pos: &mut usize) -> Result<Option<String>> {
 }
 
 /// Appends a tagged [`Value`].
-pub fn put_value(out: &mut Vec<u8>, v: &Value) {
+pub fn put_value<S: ByteSink + ?Sized>(out: &mut S, v: &Value) {
     match v {
         Value::Int(i) => {
-            out.push(0);
+            out.put_byte(0);
             put_varint(out, zigzag(*i));
         }
         Value::Float(f) => {
-            out.push(1);
-            out.extend_from_slice(&f.to_le_bytes());
+            out.put_byte(1);
+            out.put_bytes(&f.to_le_bytes());
         }
         Value::Str(s) => {
-            out.push(2);
+            out.put_byte(2);
             put_str(out, s);
         }
-        Value::Bool(b) => out.push(3 + u8::from(*b)),
+        Value::Bool(b) => out.put_byte(3 + u8::from(*b)),
     }
 }
 
@@ -190,7 +215,7 @@ pub fn get_value(buf: &[u8], pos: &mut usize) -> Result<Value> {
 }
 
 /// Appends a [`Tuple`] (tag + sorted name/value pairs).
-pub fn put_tuple(out: &mut Vec<u8>, t: &Tuple) {
+pub fn put_tuple<S: ByteSink + ?Sized>(out: &mut S, t: &Tuple) {
     put_opt_str(out, &t.tag().map(str::to_string));
     put_varint(out, t.len() as u64);
     for (k, v) in t.iter() {
@@ -214,15 +239,25 @@ pub fn get_tuple(buf: &[u8], pos: &mut usize) -> Result<Tuple> {
     Ok(t)
 }
 
-/// 32-bit FNV-1a over `data` — the checksum every GQL1-family frame
-/// (graph files, WAL records, checkpoint sections) carries.
-pub fn fnv1a(data: &[u8]) -> u32 {
-    let mut h: u32 = 0x811c_9dc5;
+/// FNV-1a offset basis — seed for [`fnv1a_update`] when folding a
+/// checksum incrementally over streamed chunks.
+pub const FNV_BASIS: u32 = 0x811c_9dc5;
+
+/// Folds `data` into a running FNV-1a state. Byte-streaming, so
+/// `fnv1a_update(fnv1a_update(FNV_BASIS, a), b) == fnv1a(a ++ b)` —
+/// the property the streaming segment writer relies on.
+pub fn fnv1a_update(mut h: u32, data: &[u8]) -> u32 {
     for &b in data {
         h ^= u32::from(b);
         h = h.wrapping_mul(0x0100_0193);
     }
     h
+}
+
+/// 32-bit FNV-1a over `data` — the checksum every GQL1-family frame
+/// (graph files, WAL records, checkpoint sections) carries.
+pub fn fnv1a(data: &[u8]) -> u32 {
+    fnv1a_update(FNV_BASIS, data)
 }
 
 // ---- public API -------------------------------------------------------

@@ -4,11 +4,12 @@
 use crate::error::{EngineError, Result};
 use gql_algebra::{compile_pattern, ops, CompiledPattern, PatternRegistry, TemplateEnv};
 use gql_core::storage::{encode_collection, encode_graph};
+use gql_core::FeedbackStore;
 use gql_core::{ArgValue, ExplainNode, Graph, GraphCollection, Obs, ObsReport, TraceSink};
-use gql_match::{GraphIndex, MatchOptions, Pattern, Planner};
+use gql_match::{GraphIndex, GraphSnapshot, IndexParts, MatchOptions, Pattern, Planner};
 use gql_parser::ast::{FlwrAst, FlwrBody, GraphTemplateAst, PatternRef, Program, Statement};
 use gql_parser::parse_program;
-use gql_storage::{CollectionSnapshot, Snapshot, Store, StoredOptions, WalRecord};
+use gql_storage::{CollectionSnapshot, OpenOptions, Snapshot, Store, StoredOptions, WalRecord};
 use rustc_hash::FxHashMap;
 use std::path::Path;
 use std::sync::Arc;
@@ -39,6 +40,16 @@ pub struct SlowQuery {
     pub explain: ExplainNode,
 }
 
+/// Checkpointed index sections decoded at open (zero-copy views into
+/// the mapped segment) but not yet validated or published: adoption
+/// runs on the collection's *first read*, so a cold open stays
+/// O(manifest + directory) and collections a session never touches
+/// never fault in (or copy) their index pages at all.
+struct PendingAdoption {
+    parts: Vec<IndexParts>,
+    feedback: Option<FeedbackStore>,
+}
+
 /// A GraphQL database: "one or more collections of graphs" (§3.1) plus
 /// the session state a program builds up (declared patterns and graph
 /// variables).
@@ -47,15 +58,23 @@ pub struct Database {
     registry: PatternRegistry,
     compiled: FxHashMap<String, CompiledPattern>,
     vars: FxHashMap<String, Graph>,
-    /// Per-collection σ indexes, built lazily on first query and reused
-    /// until the collection is replaced (`add_collection`/`add_graph`
-    /// invalidate the entry). `Arc`s so cached indexes survive the
-    /// borrow dance of `eval_flwr` without cloning index data.
-    index_cache: FxHashMap<String, Vec<Arc<GraphIndex>>>,
-    /// Per-collection planners (compiled-plan cache + feedback
-    /// statistics), created lazily on first query and invalidated
-    /// alongside `index_cache` when the collection is replaced.
-    planners: FxHashMap<String, Arc<Planner>>,
+    /// Per-collection immutable read-path snapshots (σ indexes +
+    /// planner, stamped with a generation), built lazily on first query
+    /// and handed out as `Arc`s until the collection is replaced —
+    /// mutations drop the entry and the next query builds the *next*
+    /// generation and swaps the `Arc`. Readers (including mapped
+    /// checkpoint pages backing adopted index slabs) stay valid for as
+    /// long as they hold the old snapshot.
+    snapshots: FxHashMap<String, Arc<GraphSnapshot>>,
+    /// Checkpointed index parts awaiting first-touch adoption (see
+    /// [`PendingAdoption`]); retired alongside [`Database::snapshots`]
+    /// on mutation.
+    adoptable: FxHashMap<String, PendingAdoption>,
+    /// Monotonic generation source for [`Database::snapshots`]: every
+    /// snapshot this engine builds gets a strictly larger epoch, so a
+    /// plan compiled against one generation can never be replayed
+    /// against another.
+    next_generation: u64,
     /// Whether `for` clauses attach a planner at all (`--no-plan-cache`
     /// turns this off; results are identical either way).
     plan_cache_enabled: bool,
@@ -77,6 +96,10 @@ pub struct Database {
     /// in-memory database. Mutations are WAL-logged as they happen;
     /// [`Database::checkpoint`] folds them into a segment.
     store: Option<Store>,
+    /// Whether the checkpoint segment backing this database was
+    /// memory-mapped at open (false for in-memory databases, owned
+    /// opens, and fresh directories with no checkpoint yet).
+    mapped: bool,
     /// First WAL-append failure, if any. Mutation methods stay
     /// infallible; the deferred error surfaces at the next
     /// [`Database::checkpoint`] / [`Database::close`] so a disk-full
@@ -98,8 +121,9 @@ impl Database {
             registry: PatternRegistry::default(),
             compiled: FxHashMap::default(),
             vars: FxHashMap::default(),
-            index_cache: FxHashMap::default(),
-            planners: FxHashMap::default(),
+            snapshots: FxHashMap::default(),
+            adoptable: FxHashMap::default(),
+            next_generation: 0,
             plan_cache_enabled: true,
             options: MatchOptions {
                 report_baseline_space: false,
@@ -110,6 +134,7 @@ impl Database {
             slow_log: Vec::new(),
             store: None,
             store_error: None,
+            mapped: false,
         }
     }
 
@@ -117,12 +142,26 @@ impl Database {
     /// the published checkpoint segment, replays the WAL over it
     /// (truncating any torn tail), and — when the checkpoint was written
     /// under the same index options — adopts the checkpointed index
-    /// arrays and planner feedback directly, so reopen is a segment
-    /// *read* instead of an index rebuild. Collections touched by WAL
+    /// arrays and planner feedback instead of rebuilding them. Adoption
+    /// is validated on each collection's *first read*, so a cold open
+    /// costs O(manifest + directory) and untouched collections never
+    /// fault in their index sections; collections touched by WAL
     /// records since the checkpoint re-index lazily on first query.
     pub fn open(dir: &Path) -> Result<Database> {
-        let (store, restored) = Store::open(dir)?;
+        Database::open_with(dir, OpenOptions::default())
+    }
+
+    /// [`Database::open`] with explicit storage options: `opts.mmap`
+    /// controls whether the checkpoint segment is memory-mapped (the
+    /// default; index slabs then adopt the mapped pages zero-copy and
+    /// fault in on demand) or read into owned memory (`--no-mmap`), and
+    /// `opts.verify` forces an eager whole-file checksum pass
+    /// (`--verify-checkpoint`) instead of the default lazy per-section
+    /// policy.
+    pub fn open_with(dir: &Path, opts: OpenOptions) -> Result<Database> {
+        let (store, restored) = Store::open_with(dir, opts)?;
         let mut db = Database::new();
+        db.mapped = restored.mapped;
         let adopt = restored.options.as_ref() == Some(&db.stored_options());
         for rc in restored.collections {
             let mut coll = GraphCollection::named(&rc.name);
@@ -132,28 +171,18 @@ impl Database {
             if adopt {
                 if let Some(parts) = rc.indexes {
                     if parts.len() == coll.len() {
-                        let rebuilt: std::result::Result<Vec<Arc<GraphIndex>>, &'static str> = coll
-                            .iter()
-                            .zip(parts)
-                            .map(|(g, p)| GraphIndex::from_parts(g, p).map(Arc::new))
-                            .collect();
-                        match rebuilt {
-                            Ok(ix) => {
-                                db.index_cache.insert(rc.name.clone(), ix);
-                            }
-                            Err(why) => {
-                                return Err(EngineError::Storage(format!(
-                                    "checkpointed index for {:?} rejected: {why}",
-                                    rc.name
-                                )));
-                            }
-                        }
+                        // Defer validation/publication to first touch:
+                        // the decoded parts are zero-copy views into
+                        // the (possibly mapped) segment, so untouched
+                        // collections cost nothing past the directory.
+                        db.adoptable.insert(
+                            rc.name.clone(),
+                            PendingAdoption {
+                                parts,
+                                feedback: rc.feedback,
+                            },
+                        );
                     }
-                }
-                if let Some(fb) = rc.feedback {
-                    let planner = Planner::new();
-                    planner.import_feedback(fb);
-                    db.planners.insert(rc.name.clone(), Arc::new(planner));
                 }
             }
             db.collections.insert(rc.name, coll);
@@ -163,6 +192,13 @@ impl Database {
         }
         db.store = Some(store);
         Ok(db)
+    }
+
+    /// Whether the checkpoint segment behind this database is
+    /// memory-mapped (adopted index slabs then read straight from the
+    /// page cache).
+    pub fn is_mapped(&self) -> bool {
+        self.mapped
     }
 
     /// The data directory this database persists to, if any.
@@ -219,19 +255,27 @@ impl Database {
         let mut names: Vec<String> = self.collections.keys().cloned().collect();
         names.sort();
         for name in names {
-            let coll = &self.collections[&name];
-            let indexes = match self.index_cache.get(&name) {
-                Some(ix) => ix.clone(),
-                None => {
-                    let built = ops::build_collection_indexes(coll, &self.options);
-                    self.index_cache.insert(name.clone(), built.clone());
-                    built
-                }
+            let snapshot = match self.snapshots.get(&name) {
+                Some(s) => Arc::clone(s),
+                None => match self.adopt_pending(&name)? {
+                    Some(adopted) => adopted,
+                    None => {
+                        self.next_generation += 1;
+                        let built = ops::build_collection_snapshot(
+                            &self.collections[&name],
+                            self.next_generation,
+                            None,
+                            &self.options,
+                        );
+                        self.snapshots.insert(name.clone(), Arc::clone(&built));
+                        built
+                    }
+                },
             };
             snap.collections.push(CollectionSnapshot {
-                payload: encode_collection(coll.iter()),
-                indexes: indexes.iter().map(|ix| ix.to_parts()).collect(),
-                feedback: self.planners.get(&name).map(|p| p.export_feedback()),
+                payload: encode_collection(self.collections[&name].iter()),
+                indexes: snapshot.indexes().iter().map(|ix| ix.to_parts()).collect(),
+                feedback: snapshot.planner().map(|p| p.export_feedback()),
                 name,
             });
         }
@@ -279,7 +323,7 @@ impl Database {
     /// (or checkpoint-adopted) indexes so everything in use matches it.
     pub fn with_csr(mut self, csr: bool) -> Self {
         if self.options.csr != csr {
-            self.index_cache.clear();
+            self.drop_snapshots();
         }
         self.options.csr = csr;
         self
@@ -294,10 +338,35 @@ impl Database {
     /// matches it.
     pub fn with_prop_index(mut self, prop_index: bool) -> Self {
         if self.options.prop_index != prop_index {
-            self.index_cache.clear();
+            self.drop_snapshots();
         }
         self.options.prop_index = prop_index;
         self
+    }
+
+    /// Retires one collection's snapshot on mutation: removes the map
+    /// entry (holders of the `Arc` keep their consistent view) and
+    /// invalidates its planner so plans compiled against the retired
+    /// generation can never be replayed against the new data.
+    fn retire_snapshot(&mut self, name: &str) {
+        self.adoptable.remove(name);
+        if let Some(s) = self.snapshots.remove(name) {
+            if let Some(pl) = s.planner() {
+                pl.invalidate();
+            }
+        }
+    }
+
+    /// Drops every cached snapshot (invalidating each one's planner so
+    /// no in-flight `Arc` can serve a stale plan). The next query per
+    /// collection builds a fresh generation under the current options.
+    fn drop_snapshots(&mut self) {
+        self.adoptable.clear();
+        for (_, s) in self.snapshots.drain() {
+            if let Some(pl) = s.planner() {
+                pl.invalidate();
+            }
+        }
     }
 
     /// Enables or disables the per-collection plan cache (the CLI's
@@ -308,7 +377,7 @@ impl Database {
     pub fn with_plan_cache(mut self, enabled: bool) -> Self {
         self.plan_cache_enabled = enabled;
         if !enabled {
-            self.planners.clear();
+            self.drop_snapshots();
         }
         self
     }
@@ -327,7 +396,16 @@ impl Database {
     /// if one has been created by a query since the collection was last
     /// replaced.
     pub fn planner(&self, source: &str) -> Option<&Arc<Planner>> {
-        self.planners.get(source)
+        self.snapshots.get(source)?.planner()
+    }
+
+    /// The immutable read-path snapshot currently serving a collection,
+    /// if one has been built (by a query, a checkpoint, or adoption at
+    /// open) since the collection was last replaced. Holders keep a
+    /// consistent view across subsequent mutations — the engine swaps
+    /// in a new generation rather than touching this one.
+    pub fn snapshot(&self, source: &str) -> Option<&Arc<GraphSnapshot>> {
+        self.snapshots.get(source)
     }
 
     /// Attaches a fresh observability registry: every subsequent query
@@ -400,13 +478,11 @@ impl Database {
     /// store attached, the full new contents are WAL-logged first.
     pub fn add_collection(&mut self, name: impl Into<String>, c: GraphCollection) {
         let name = name.into();
-        self.index_cache.remove(&name);
-        if let Some(pl) = self.planners.remove(&name) {
-            // Drop our handle *and* evict any plans still referenced by
-            // in-flight clones of the Arc (none in practice, but the
-            // generation bump makes staleness structurally impossible).
-            pl.invalidate();
-        }
+        // Drop our snapshot handle *and* evict any plans still
+        // referenced by in-flight clones of its Arc (none in practice,
+        // but the generation bump makes staleness structurally
+        // impossible). The next query mints the next generation.
+        self.retire_snapshot(&name);
         if self.store.is_some() {
             self.log_wal(WalRecord::PutCollection {
                 name: name.clone(),
@@ -421,10 +497,7 @@ impl Database {
     /// the graph is WAL-logged first.
     pub fn add_graph(&mut self, name: impl Into<String>, g: Graph) {
         let name = name.into();
-        self.index_cache.remove(&name);
-        if let Some(pl) = self.planners.remove(&name) {
-            pl.invalidate();
-        }
+        self.retire_snapshot(&name);
         if self.store.is_some() {
             self.log_wal(WalRecord::PutCollection {
                 name: name.clone(),
@@ -440,10 +513,7 @@ impl Database {
     /// checkpoint's compaction pass makes the deletion physical.
     /// Returns whether the collection existed.
     pub fn remove_collection(&mut self, name: &str) -> bool {
-        self.index_cache.remove(name);
-        if let Some(pl) = self.planners.remove(name) {
-            pl.invalidate();
-        }
+        self.retire_snapshot(name);
         let existed = self.collections.remove(name).is_some();
         if existed && self.store.is_some() {
             self.log_wal(WalRecord::DeleteCollection {
@@ -532,6 +602,93 @@ impl Database {
         env
     }
 
+    /// The snapshot serving a σ over `source` (which must exist),
+    /// building the next generation if none is cached. Returns the
+    /// `Arc` handed to the σ plus whether it was a cache hit. When the
+    /// plan cache is enabled and a cached snapshot lacks a planner
+    /// (checkpoint-built, or adopted without feedback), a planner is
+    /// attached at the *same* generation — the data didn't change.
+    fn read_snapshot(
+        &mut self,
+        source: &str,
+        opts: &MatchOptions,
+    ) -> Result<(Arc<GraphSnapshot>, bool)> {
+        if let Some(s) = self.snapshots.get(source) {
+            if let Some(obs) = &opts.obs {
+                obs.add("engine.index_cache.hits", 1);
+            }
+            if !self.plan_cache_enabled || s.planner().is_some() {
+                return Ok((Arc::clone(s), true));
+            }
+            let snap = Arc::new(GraphSnapshot::new(
+                s.generation(),
+                s.indexes().to_vec(),
+                Some(Arc::new(Planner::new())),
+            ));
+            self.snapshots.insert(source.to_string(), Arc::clone(&snap));
+            return Ok((snap, true));
+        }
+        if let Some(snap) = self.adopt_pending(source)? {
+            // The checkpoint *is* the cache: adopting it on first touch
+            // is a hit, exactly like the pre-lazy behavior where
+            // adoption happened at open.
+            if let Some(obs) = &opts.obs {
+                obs.add("engine.index_cache.hits", 1);
+            }
+            return Ok((snap, true));
+        }
+        if let Some(obs) = &opts.obs {
+            obs.add("engine.index_cache.misses", 1);
+        }
+        self.next_generation += 1;
+        let planner = self.plan_cache_enabled.then(|| Arc::new(Planner::new()));
+        let snap = ops::build_collection_snapshot(
+            &self.collections[source],
+            self.next_generation,
+            planner,
+            opts,
+        );
+        self.snapshots.insert(source.to_string(), Arc::clone(&snap));
+        Ok((snap, false))
+    }
+
+    /// Validates and publishes `name`'s checkpointed index parts, if a
+    /// pending adoption exists. The mapped bytes are never trusted
+    /// blindly: [`GraphIndex::from_parts`] re-checks every structural
+    /// invariant and a rejection is a loud storage error surfaced to
+    /// the query (or checkpoint) that first touched the collection.
+    fn adopt_pending(&mut self, name: &str) -> Result<Option<Arc<GraphSnapshot>>> {
+        let Some(pending) = self.adoptable.remove(name) else {
+            return Ok(None);
+        };
+        let adopted: std::result::Result<Vec<Arc<GraphIndex>>, &'static str> = self.collections
+            [name]
+            .iter()
+            .zip(pending.parts)
+            .map(|(g, p)| GraphIndex::from_parts(g, p).map(Arc::new))
+            .collect();
+        match adopted {
+            Ok(ix) => {
+                let planner = if self.plan_cache_enabled {
+                    let planner = Planner::new();
+                    if let Some(fb) = pending.feedback {
+                        planner.import_feedback(fb);
+                    }
+                    Some(Arc::new(planner))
+                } else {
+                    None
+                };
+                self.next_generation += 1;
+                let snap = Arc::new(GraphSnapshot::new(self.next_generation, ix, planner));
+                self.snapshots.insert(name.to_string(), Arc::clone(&snap));
+                Ok(Some(snap))
+            }
+            Err(why) => Err(EngineError::Storage(format!(
+                "checkpointed index for {name:?} rejected: {why}"
+            ))),
+        }
+    }
+
     fn eval_flwr(&mut self, f: &FlwrAst) -> Result<Option<GraphCollection>> {
         // Per-statement FLWR timing (covers pattern resolution, σ, and
         // the return/let body).
@@ -574,50 +731,27 @@ impl Database {
             }
         };
 
-        let collection =
-            self.collections
-                .get(&f.source)
-                .ok_or_else(|| EngineError::UnknownCollection {
-                    name: f.source.clone(),
-                })?;
+        if !self.collections.contains_key(&f.source) {
+            return Err(EngineError::UnknownCollection {
+                name: f.source.clone(),
+            });
+        }
 
         let mut opts = self.options.clone();
         opts.exhaustive = f.exhaustive;
         // The slow-query log needs the ANALYZE tree even when explain
         // was not requested explicitly.
         opts.explain = opts.explain || self.slow_threshold.is_some();
-        // Attach the collection's planner so compiled plans and feedback
-        // statistics persist across statements (invalidated with the
-        // index cache on mutation).
-        if self.plan_cache_enabled {
-            let planner = self
-                .planners
-                .entry(f.source.clone())
-                .or_insert_with(|| Arc::new(Planner::new()));
-            opts.planner = Some(Arc::clone(planner));
-        }
 
-        // σ against cached per-graph indexes: a stored collection is
-        // indexed once and every subsequent query over it reuses the
-        // indexes (`add_collection`/`add_graph` invalidate on mutation).
-        let (indexes, cached) = match self.index_cache.get(&f.source) {
-            Some(ix) => {
-                if let Some(obs) = &opts.obs {
-                    obs.add("engine.index_cache.hits", 1);
-                }
-                (ix.clone(), true)
-            }
-            None => {
-                if let Some(obs) = &opts.obs {
-                    obs.add("engine.index_cache.misses", 1);
-                }
-                let built = ops::build_collection_indexes(collection, &opts);
-                self.index_cache.insert(f.source.clone(), built.clone());
-                (built, false)
-            }
-        };
+        // σ against the collection's immutable snapshot: a stored
+        // collection is indexed once and every subsequent query reuses
+        // the snapshot's indexes and planner
+        // (`add_collection`/`add_graph` retire the entry on mutation
+        // and the next query swaps in the next generation).
+        let (snapshot, cached) = self.read_snapshot(&f.source, &opts)?;
+        let collection = &self.collections[&f.source];
         let (matches, select_explain) =
-            ops::select_with_indexes_explain(&compiled, collection, &indexes, &opts)?;
+            ops::select_with_snapshot_explain(&compiled, collection, &snapshot, &opts)?;
 
         let result = {
             let _body_span = opts.obs.as_deref().map(|o| o.span("op.compose"));
@@ -667,7 +801,8 @@ impl Database {
             tree.prop("elapsed_ms", ArgValue::Float(elapsed.as_secs_f64() * 1e3));
             let mut ix = ExplainNode::new("index");
             ix.prop("cached", ArgValue::Bool(cached));
-            ix.prop("graphs", ArgValue::UInt(indexes.len() as u64));
+            ix.prop("generation", ArgValue::UInt(snapshot.generation()));
+            ix.prop("graphs", ArgValue::UInt(snapshot.indexes().len() as u64));
             tree.child(ix);
             tree.child(sel);
             if let Some(threshold) = self.slow_threshold {
@@ -1113,9 +1248,15 @@ mod tests {
         drop(db);
 
         let mut db = Database::open(&dir).unwrap();
+        // Adoption is lazy (first read); force it so the planner is
+        // published without running a query that would record fresh
+        // feedback on top of the imported store.
+        db.adopt_pending("G")
+            .unwrap()
+            .expect("pending adoption after reopen");
         let restored = db
             .planner("G")
-            .expect("feedback-backed planner restored at open")
+            .expect("feedback-backed planner restored at adoption")
             .export_feedback();
         let key = |fb: &gql_core::FeedbackStore| {
             let mut v: Vec<_> = fb.shapes().map(|(k, s)| (*k, s.clone())).collect();

@@ -28,3 +28,5 @@ pub mod error;
 pub use data::{collection_from_text, graph_from_text};
 pub use database::{Database, ExecOutcome, SlowQuery};
 pub use error::{EngineError, Result};
+pub use gql_match::GraphSnapshot;
+pub use gql_storage::OpenOptions;

@@ -15,8 +15,8 @@
 //! kernels integer-compare-and-bitset cheap.
 
 use gql_core::{
-    neighborhood_subgraph, CsrGraph, CsrParts, Graph, GraphStats, IdProfile, LabelInterner,
-    NeighborhoodSubgraph, NodeId, Profile, ProfileScratch, PropIndex, Value, NO_LABEL,
+    neighborhood_subgraph, CsrGraph, CsrParts, EdgeId, Graph, GraphStats, IdProfile, LabelInterner,
+    NeighborhoodSubgraph, NodeId, Profile, ProfileScratch, PropIndex, Slab, Value, NO_LABEL,
 };
 
 /// What a [`GraphIndex::build_with`] call should materialize.
@@ -57,20 +57,27 @@ impl Default for IndexOptions {
 /// whose construction dominates index-build time (interner table,
 /// label-id arrays, CSR arrays, interned profiles). Produced by
 /// [`GraphIndex::to_parts`] for checkpointing and consumed by
-/// [`GraphIndex::from_parts`] at reopen.
+/// [`GraphIndex::from_parts`] at reopen. Every array rides a [`Slab`],
+/// so a memory-mapped segment reader can hand these out as zero-copy
+/// views into the checkpoint file.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct IndexParts {
     /// The interner's value table in id order (id `i` = `values[i]`).
     pub interner_values: Vec<Value>,
     /// Per-node label ids in node order.
-    pub node_label_ids: Vec<u32>,
+    pub node_label_ids: Slab<u32>,
     /// Per-edge label ids in edge order.
-    pub edge_label_ids: Vec<u32>,
+    pub edge_label_ids: Slab<u32>,
     /// Raw CSR arrays, if the index carried a snapshot.
     pub csr: Option<CsrParts>,
-    /// Per-node interned profile id multisets (sorted); empty when the
-    /// index was built without profiles.
-    pub id_profiles: Vec<Vec<u32>>,
+    /// Flattened per-node interned profile multisets: node `v`'s sorted
+    /// ids are `profile_ids[profile_offsets[v]..profile_offsets[v+1]]`.
+    /// `profile_offsets` has `n + 1` entries, or is empty (with
+    /// `profile_ids` empty too) when the index was built without
+    /// profiles.
+    pub profile_offsets: Slab<u32>,
+    /// The concatenated profile id arrays behind `profile_offsets`.
+    pub profile_ids: Slab<u32>,
     /// Radius the profiles were computed at.
     pub radius: usize,
     /// Whether the index carried a property index (rebuilt at reopen —
@@ -86,9 +93,9 @@ pub struct IndexParts {
 pub struct GraphIndex {
     interner: std::sync::Arc<LabelInterner>,
     /// Node label ids in node order ([`NO_LABEL`] for unlabeled nodes).
-    node_label_ids: Vec<u32>,
+    node_label_ids: Slab<u32>,
     /// Edge label ids in edge order ([`NO_LABEL`] for unlabeled edges).
-    edge_label_ids: Vec<u32>,
+    edge_label_ids: Slab<u32>,
     /// Nodes per label, indexed by label id (node order within each).
     by_label: Vec<Vec<NodeId>>,
     profiles: Vec<Profile>,
@@ -247,8 +254,8 @@ impl GraphIndex {
         };
         GraphIndex {
             interner,
-            node_label_ids,
-            edge_label_ids,
+            node_label_ids: node_label_ids.into(),
+            edge_label_ids: edge_label_ids.into(),
             by_label,
             profiles,
             id_profiles,
@@ -266,6 +273,21 @@ impl GraphIndex {
     /// holds (`by_label`, `Value` profiles, statistics, property runs)
     /// is cheap to re-derive at reopen and is therefore *not* persisted.
     pub fn to_parts(&self) -> IndexParts {
+        // Flatten the per-node profiles into one offsets + ids pair —
+        // the layout a mapped segment serves back as two plain slabs.
+        let (profile_offsets, profile_ids) = if self.id_profiles.is_empty() {
+            (Slab::default(), Slab::default())
+        } else {
+            let mut offsets = Vec::with_capacity(self.id_profiles.len() + 1);
+            let total: usize = self.id_profiles.iter().map(IdProfile::len).sum();
+            let mut ids = Vec::with_capacity(total);
+            offsets.push(0u32);
+            for p in &self.id_profiles {
+                ids.extend_from_slice(p.ids());
+                offsets.push(ids.len() as u32);
+            }
+            (offsets.into(), ids.into())
+        };
         IndexParts {
             interner_values: (0..self.interner.len() as u32)
                 .map(|id| self.interner.resolve(id).clone())
@@ -273,7 +295,8 @@ impl GraphIndex {
             node_label_ids: self.node_label_ids.clone(),
             edge_label_ids: self.edge_label_ids.clone(),
             csr: self.csr.as_ref().map(CsrGraph::to_parts),
-            id_profiles: self.id_profiles.iter().map(|p| p.ids().to_vec()).collect(),
+            profile_offsets,
+            profile_ids,
             radius: self.radius,
             prop_index: self.prop.is_some(),
         }
@@ -344,23 +367,100 @@ impl GraphIndex {
                 {
                     return Err("csr does not cover the graph");
                 }
+                // Per-entry endpoint verification against the live
+                // graph: every row entry must name a real edge that
+                // connects the row's node to the entry's neighbor, and
+                // carry the neighbor's label id. This pins the adopted
+                // arrays semantically — a bit flip in a mapped entry
+                // (or in an offset that shifts row boundaries) is
+                // caught here even when section checksums are skipped
+                // on the lazy-verification open path. O(E) with
+                // array-indexed lookups; no hashing, no sorting.
+                let check_entry = |v: NodeId, e: &gql_core::CsrEntry, need_src: Option<bool>| {
+                    if e.edge as usize >= g.edge_count() {
+                        return Err("csr entry edge out of range");
+                    }
+                    let edge = g.edge(EdgeId(e.edge));
+                    let w = NodeId(e.node);
+                    let connects = match need_src {
+                        // Directed out-row: v must be the source.
+                        Some(true) => edge.src == v && edge.dst == w,
+                        // Directed in-row: v must be the target.
+                        Some(false) => edge.src == w && edge.dst == v,
+                        // Either orientation (undirected, or `all`).
+                        None => {
+                            (edge.src == v && edge.dst == w) || (edge.src == w && edge.dst == v)
+                        }
+                    };
+                    if !connects {
+                        return Err("csr entry does not match a graph edge");
+                    }
+                    if e.label != parts.node_label_ids[w.index()] {
+                        return Err("csr entry label does not match the neighbor");
+                    }
+                    Ok(())
+                };
+                let directed = g.is_directed();
+                for v in g.node_ids() {
+                    for e in csr.neighbors(v) {
+                        check_entry(v, e, directed.then_some(true))?;
+                    }
+                    if directed {
+                        for e in csr.in_neighbors(v) {
+                            check_entry(v, e, Some(false))?;
+                        }
+                        if csr.in_neighbors(v).len() != g.in_neighbors(v).len()
+                            || csr.incident_degree(v) != g.incident_degree(v)
+                        {
+                            return Err("csr reverse rows do not cover the graph");
+                        }
+                        for e in csr.incident(v) {
+                            check_entry(v, e, None)?;
+                        }
+                    }
+                }
                 Some(csr)
             }
             None => None,
         };
-        if !parts.id_profiles.is_empty() && parts.id_profiles.len() != g.node_count() {
-            return Err("profile count does not match the graph");
+        // Rebuild the interned profiles as zero-copy sub-slabs of the
+        // flattened id array, validating the offsets table and each
+        // profile's sortedness (`from_sorted`) so corrupted profile
+        // bytes fail the adoption instead of corrupting containment
+        // merges.
+        let n = g.node_count();
+        let offs = &parts.profile_offsets;
+        if offs.is_empty() && !parts.profile_ids.is_empty() {
+            return Err("profile ids without offsets");
         }
-        for p in &parts.id_profiles {
-            if p.iter().any(|&id| id as usize >= interner.len()) {
+        if !offs.is_empty() {
+            if offs.len() != n + 1 {
+                return Err("profile count does not match the graph");
+            }
+            if offs[0] != 0 || offs[n] as usize != parts.profile_ids.len() {
+                return Err("profile offsets bounds");
+            }
+            if offs.windows(2).any(|w| w[0] > w[1]) {
+                return Err("profile offsets not monotonic");
+            }
+            if parts
+                .profile_ids
+                .iter()
+                .any(|&id| id as usize >= interner.len())
+            {
                 return Err("profile id out of range");
             }
         }
-        let id_profiles: Vec<IdProfile> = parts
-            .id_profiles
-            .into_iter()
-            .map(IdProfile::from_ids)
-            .collect();
+        let id_profiles: Vec<IdProfile> = if offs.is_empty() {
+            Vec::new()
+        } else {
+            let mut out = Vec::with_capacity(n);
+            for v in 0..n {
+                let range = offs[v] as usize..offs[v + 1] as usize;
+                out.push(IdProfile::from_sorted(parts.profile_ids.slice(range))?);
+            }
+            out
+        };
         let profiles: Vec<Profile> = id_profiles
             .iter()
             .map(|p| Profile::from_labels(p.ids().iter().map(|&id| interner.resolve(id).clone())))
@@ -635,7 +735,17 @@ mod tests {
         let _ = v;
         assert!(GraphIndex::from_parts(&other, idx.to_parts()).is_err());
         let mut bad = idx.to_parts();
-        bad.node_label_ids[0] = 1;
+        let mut ids = bad.node_label_ids.to_vec();
+        ids[0] = 1;
+        bad.node_label_ids = ids.into();
+        assert!(GraphIndex::from_parts(&g, bad).is_err());
+        let mut bad = idx.to_parts();
+        let mut ids = bad.profile_ids.to_vec();
+        if ids.len() >= 2 {
+            ids.swap(0, 1); // A1's profile is {A,B,C}; unsorted now
+            ids[0] = ids[1].max(ids[0]) + 1;
+        }
+        bad.profile_ids = ids.into();
         assert!(GraphIndex::from_parts(&g, bad).is_err());
         let mut bad = idx.to_parts();
         bad.interner_values.push(Value::from("A"));

@@ -38,6 +38,7 @@ pub mod pattern;
 pub mod plan;
 pub mod refine;
 pub mod search;
+pub mod snapshot;
 
 pub use expr::{BinOp, EvalCtx, EvalResult, Expr};
 pub use feasible::{
@@ -63,3 +64,4 @@ pub use refine::{
 pub use search::{
     search, search_indexed, search_indexed_with_checks, EdgeChecks, SearchConfig, SearchOutcome,
 };
+pub use snapshot::GraphSnapshot;

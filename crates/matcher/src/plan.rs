@@ -104,6 +104,15 @@ impl Planner {
         s.feedback.clear();
     }
 
+    /// Raises the plan-cache generation to `generation` (no-op when
+    /// already at or past it). The engine calls this when it builds a
+    /// `GraphSnapshot`, so `PlanKey::generation` and the snapshot
+    /// generation agree; feedback is kept — it describes the same
+    /// data, only the epoch label changes.
+    pub fn advance_generation(&self, generation: u64) {
+        self.inner.lock().unwrap().cache.advance_to(generation);
+    }
+
     /// Cached plan for `key`, if compiled this generation.
     pub fn lookup(&self, key: &PlanKey) -> Option<Arc<CompiledPlan>> {
         self.inner.lock().unwrap().cache.lookup(key).cloned()

@@ -1,0 +1,112 @@
+//! Immutable read-path snapshots: one `Arc`-shared generation of a
+//! collection's derived read structures.
+//!
+//! A [`GraphSnapshot`] bundles everything σ needs to answer queries
+//! against one collection — the per-graph [`GraphIndex`]es (each
+//! carrying its CSR adjacency, interner, profiles, and property runs)
+//! plus the shared [`Planner`] — stamped with a monotonically
+//! increasing generation. The whole bundle is immutable: readers that
+//! hold the `Arc` keep a consistent view forever, and mutations never
+//! touch it — the engine builds the *next* snapshot (bumping the
+//! generation) and swaps the `Arc` it hands out. That swap protocol is
+//! the handoff shape a concurrent MVCC server needs: writers prepare
+//! the next generation while readers keep matching against the current
+//! one, and the old generation's memory (including any mapped
+//! checkpoint segments backing its slabs) is released when the last
+//! reader drops its `Arc`.
+//!
+//! The generation also keys the planner: the engine advances the
+//! planner's plan-cache generation to the snapshot's when it builds
+//! one, so every `PlanKey` minted while matching against this snapshot
+//! carries its generation and can never resurrect a plan compiled
+//! against different data.
+
+use crate::index::GraphIndex;
+use crate::plan::Planner;
+use std::sync::Arc;
+
+/// One immutable generation of a collection's read path. See the
+/// module docs for the swap protocol.
+#[derive(Debug, Clone)]
+pub struct GraphSnapshot {
+    generation: u64,
+    indexes: Vec<Arc<GraphIndex>>,
+    planner: Option<Arc<Planner>>,
+}
+
+impl GraphSnapshot {
+    /// Bundles prebuilt per-graph indexes (index `i` belongs to the
+    /// collection's `i`-th graph) into a snapshot at `generation`.
+    pub fn new(
+        generation: u64,
+        indexes: Vec<Arc<GraphIndex>>,
+        planner: Option<Arc<Planner>>,
+    ) -> Self {
+        if let Some(pl) = &planner {
+            // Pin PlanKey generations to the snapshot epoch. advance_to
+            // never moves backwards, so a replayed older snapshot can't
+            // revive plans compiled against newer data.
+            pl.advance_generation(generation);
+        }
+        GraphSnapshot {
+            generation,
+            indexes,
+            planner,
+        }
+    }
+
+    /// The snapshot's epoch: strictly increasing across the rebuilds
+    /// one engine performs for one collection.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The per-graph indexes, in collection order.
+    pub fn indexes(&self) -> &[Arc<GraphIndex>] {
+        &self.indexes
+    }
+
+    /// The collection's shared planner, if planning is enabled.
+    pub fn planner(&self) -> Option<&Arc<Planner>> {
+        self.planner.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gql_core::fixtures::figure_4_16_graph;
+
+    #[test]
+    fn snapshot_pins_planner_generation() {
+        let (g, _) = figure_4_16_graph();
+        let idx = Arc::new(GraphIndex::build(&g));
+        let planner = Arc::new(Planner::new());
+        assert_eq!(planner.generation(), 0);
+        let snap = GraphSnapshot::new(7, vec![idx], Some(Arc::clone(&planner)));
+        assert_eq!(snap.generation(), 7);
+        assert_eq!(planner.generation(), 7);
+        // Rebuilding at a later epoch advances; an older epoch doesn't
+        // move the planner backwards.
+        let _later = GraphSnapshot::new(9, snap.indexes().to_vec(), Some(Arc::clone(&planner)));
+        assert_eq!(planner.generation(), 9);
+        let _stale = GraphSnapshot::new(3, Vec::new(), Some(Arc::clone(&planner)));
+        assert_eq!(planner.generation(), 9);
+    }
+
+    #[test]
+    fn readers_keep_their_generation_across_swaps() {
+        let (g, _) = figure_4_16_graph();
+        let reader = Arc::new(GraphSnapshot::new(
+            1,
+            vec![Arc::new(GraphIndex::build(&g))],
+            None,
+        ));
+        let held = Arc::clone(&reader);
+        // The "swap": the engine replaces its Arc with a new generation.
+        let swapped = Arc::new(GraphSnapshot::new(2, Vec::new(), None));
+        assert_eq!(held.generation(), 1);
+        assert_eq!(held.indexes().len(), 1);
+        assert_eq!(swapped.generation(), 2);
+    }
+}

@@ -23,7 +23,7 @@ use crate::{Result, StoreError};
 use gql_core::storage::{encode_graph_data, put_varint};
 use gql_core::{
     AdjacencyParts, CsrEntry, CsrGraph, CsrParts, EdgeData, GraphData, LabelInterner, NodeData,
-    NodeId, ProfileScratch, Tuple, NO_LABEL,
+    NodeId, ProfileScratch, Slab, Tuple, NO_LABEL,
 };
 use gql_match::IndexParts;
 
@@ -140,7 +140,7 @@ impl BulkLoader {
         };
         let parts = CsrParts {
             directed: self.directed,
-            node_labels: node_label_ids.clone(),
+            node_labels: node_label_ids.clone().into(),
             out,
             inc,
             all,
@@ -150,27 +150,29 @@ impl BulkLoader {
         // the profile BFS on the validated snapshot.
         let csr =
             CsrGraph::from_parts(parts.clone()).map_err(|_| StoreError::Invalid("bulk csr"))?;
-        let id_profiles: Vec<Vec<u32>> = if options.profiles {
+        let (profile_offsets, profile_ids) = if options.profiles {
             let radius = options.radius as usize;
             let mut scratch = ProfileScratch::new();
-            (0..n as u32)
-                .map(|v| {
-                    csr.id_profile(NodeId(v), radius, &mut scratch)
-                        .ids()
-                        .to_vec()
-                })
-                .collect()
+            let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
+            offsets.push(0);
+            let mut ids: Vec<u32> = Vec::new();
+            for v in 0..n as u32 {
+                ids.extend_from_slice(csr.id_profile(NodeId(v), radius, &mut scratch).ids());
+                offsets.push(ids.len() as u32);
+            }
+            (Slab::from(offsets), Slab::from(ids))
         } else {
-            Vec::new()
+            (Slab::default(), Slab::default())
         };
         let index = IndexParts {
             interner_values: (0..interner.len() as u32)
                 .map(|id| interner.resolve(id).clone())
                 .collect(),
-            node_label_ids,
-            edge_label_ids,
+            node_label_ids: node_label_ids.into(),
+            edge_label_ids: edge_label_ids.into(),
             csr: options.csr.then_some(parts),
-            id_profiles,
+            profile_offsets,
+            profile_ids,
             radius: options.radius as usize,
             prop_index: options.prop_index,
         };
@@ -246,7 +248,10 @@ where
     for w in offsets.windows(2) {
         entries[w[0] as usize..w[1] as usize].sort_unstable_by_key(|e| (e.label, e.node, e.edge));
     }
-    AdjacencyParts { offsets, entries }
+    AdjacencyParts {
+        offsets: offsets.into(),
+        entries: entries.into(),
+    }
 }
 
 #[cfg(test)]

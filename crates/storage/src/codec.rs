@@ -4,16 +4,33 @@
 //! on the shared `gql_core::storage` primitives (LEB128 varints, tagged
 //! values), so the whole GQL1 file family speaks one wire format.
 //!
+//! The index-parts codec stores its big arrays (CSR offsets and
+//! entries, label-id tables, flattened profiles) as *raw little-endian
+//! fixed-width runs*: a varint count, zero padding to the next 8-byte
+//! boundary relative to the section start, then the elements verbatim.
+//! Sections start on 4096-byte boundaries, so every run is 8-aligned in
+//! the file and a memory-mapped reader can adopt it as a typed
+//! [`Slab`] without copying or decoding ([`decode_index_parts_from`]).
+//! When adoption is impossible — big-endian target, or a byte buffer
+//! whose base address happens to be misaligned — the same layout
+//! decodes element-wise into owned slabs with identical results.
+//! Value-carrying payloads (interner tables, feedback, options) keep
+//! the compact varint/tagged encoding: they are small, and they decode
+//! into heap structures anyway.
+//!
 //! Map-shaped state (the feedback store) is serialized in sorted key
 //! order, making segment bytes a pure function of logical state rather
 //! than of hash-map iteration order.
 
+use crate::segment::SectionSink;
 use crate::Result;
-use gql_core::storage::{get_value, get_varint, put_value, put_varint, StorageError};
+use gql_core::storage::{get_value, get_varint, put_value, put_varint, ByteSink, StorageError};
 use gql_core::{
-    AdjacencyParts, CsrEntry, CsrParts, FeedbackStore, LabelFeedback, ShapeFeedback, Value,
+    pod_bytes, AdjacencyParts, ByteBuffer, CsrEntry, CsrParts, FeedbackStore, LabelFeedback,
+    ShapeFeedback, Slab, Value,
 };
 use gql_match::IndexParts;
+use std::sync::Arc;
 
 /// The index configuration a checkpoint's derived sections were built
 /// under. Stored in the segment's meta section so a reopen under
@@ -30,8 +47,8 @@ pub struct StoredOptions {
     pub radius: u64,
 }
 
-fn put_bool(out: &mut Vec<u8>, b: bool) {
-    out.push(u8::from(b));
+fn put_bool<S: ByteSink + ?Sized>(out: &mut S, b: bool) {
+    out.put_byte(u8::from(b));
 }
 
 fn get_bool(buf: &[u8], pos: &mut usize) -> Result<bool> {
@@ -95,6 +112,129 @@ fn get_u32s(buf: &[u8], pos: &mut usize) -> Result<Vec<u32>> {
     Ok(out)
 }
 
+// ---- raw little-endian array runs ------------------------------------
+
+/// Alignment of raw array runs relative to the section start. Sections
+/// start on 4096-byte file offsets, so section-relative 8-alignment is
+/// absolute 8-alignment — enough for every element type we map
+/// (`u32`, 12-byte `CsrEntry`).
+const RUN_ALIGN: usize = 8;
+
+fn put_pad<S: SectionSink + ?Sized>(out: &mut S) {
+    let pad = out.pos().next_multiple_of(RUN_ALIGN) - out.pos();
+    out.put_bytes(&[0u8; RUN_ALIGN][..pad]);
+}
+
+/// Skips (and checks) the zero padding before a raw run. Nonzero
+/// padding is corruption the lazy-CRC path must still catch.
+fn skip_pad(buf: &[u8], pos: &mut usize) -> Result<()> {
+    let target = pos.next_multiple_of(RUN_ALIGN);
+    if target > buf.len() {
+        return Err(StorageError::Truncated.into());
+    }
+    if buf[*pos..target].iter().any(|&b| b != 0) {
+        return Err(StorageError::Malformed("nonzero run padding").into());
+    }
+    *pos = target;
+    Ok(())
+}
+
+fn put_u32_run<S: SectionSink + ?Sized>(out: &mut S, vs: &[u32]) {
+    put_varint(out, vs.len() as u64);
+    put_pad(out);
+    if cfg!(target_endian = "little") {
+        out.put_bytes(pod_bytes(vs));
+    } else {
+        for &v in vs {
+            out.put_bytes(&v.to_le_bytes());
+        }
+    }
+}
+
+fn put_entry_run<S: SectionSink + ?Sized>(out: &mut S, es: &[CsrEntry]) {
+    put_varint(out, es.len() as u64);
+    put_pad(out);
+    if cfg!(target_endian = "little") {
+        // CsrEntry is #[repr(C)] {label, node, edge}, 12 bytes, no
+        // padding — its native bytes are the wire layout.
+        out.put_bytes(pod_bytes(es));
+    } else {
+        for e in es {
+            out.put_bytes(&e.label.to_le_bytes());
+            out.put_bytes(&e.node.to_le_bytes());
+            out.put_bytes(&e.edge.to_le_bytes());
+        }
+    }
+}
+
+/// Decode context for one section: the section's bytes plus, when the
+/// section lives in a shared buffer at a known absolute offset, what a
+/// zero-copy [`Slab`] adoption needs.
+struct SectionReader<'a> {
+    bytes: &'a [u8],
+    /// `(buffer, absolute offset of the section's first byte)`.
+    adopt: Option<(&'a Arc<dyn ByteBuffer>, usize)>,
+}
+
+impl SectionReader<'_> {
+    /// Reads a raw u32 run, adopting it zero-copy when possible and
+    /// copying otherwise.
+    fn get_u32_run(&self, pos: &mut usize) -> Result<Slab<u32>> {
+        let (start, n) = self.run_span::<4>(pos)?;
+        if cfg!(target_endian = "little") {
+            if let Some((buf, base)) = self.adopt {
+                if let Ok(slab) = Slab::<u32>::from_buffer(Arc::clone(buf), base + start, n) {
+                    return Ok(slab);
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(n);
+        for chunk in self.bytes[start..*pos].chunks_exact(4) {
+            out.push(u32::from_le_bytes(chunk.try_into().expect("chunk")));
+        }
+        Ok(out.into())
+    }
+
+    /// Reads a raw [`CsrEntry`] run, adopting or copying like
+    /// [`SectionReader::get_u32_run`].
+    fn get_entry_run(&self, pos: &mut usize) -> Result<Slab<CsrEntry>> {
+        let (start, n) = self.run_span::<12>(pos)?;
+        if cfg!(target_endian = "little") {
+            if let Some((buf, base)) = self.adopt {
+                if let Ok(slab) = Slab::<CsrEntry>::from_buffer(Arc::clone(buf), base + start, n) {
+                    return Ok(slab);
+                }
+            }
+        }
+        let word = |b: &[u8], i: usize| u32::from_le_bytes(b[i..i + 4].try_into().expect("chunk"));
+        let mut out = Vec::with_capacity(n);
+        for chunk in self.bytes[start..*pos].chunks_exact(12) {
+            out.push(CsrEntry {
+                label: word(chunk, 0),
+                node: word(chunk, 4),
+                edge: word(chunk, 8),
+            });
+        }
+        Ok(out.into())
+    }
+
+    /// Parses a run header (count, padding) and bounds-checks the
+    /// element bytes; returns the run's start and element count,
+    /// leaving `pos` past the run.
+    fn run_span<const SIZE: usize>(&self, pos: &mut usize) -> Result<(usize, usize)> {
+        let n = get_varint(self.bytes, pos)? as usize;
+        skip_pad(self.bytes, pos)?;
+        let nbytes = n.checked_mul(SIZE).ok_or(StorageError::Truncated)?;
+        let end = pos.checked_add(nbytes).ok_or(StorageError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(StorageError::Truncated.into());
+        }
+        let start = *pos;
+        *pos = end;
+        Ok((start, n))
+    }
+}
+
 // ---- index options ----------------------------------------------------
 
 /// Encodes a [`StoredOptions`] meta payload.
@@ -124,70 +264,51 @@ pub fn decode_options(buf: &[u8]) -> Result<StoredOptions> {
 
 // ---- index parts ------------------------------------------------------
 
-fn put_adjacency(out: &mut Vec<u8>, a: &AdjacencyParts) {
-    put_u32s(out, &a.offsets);
-    put_varint(out, a.entries.len() as u64);
-    for e in &a.entries {
-        put_varint(out, u64::from(e.label));
-        put_varint(out, u64::from(e.node));
-        put_varint(out, u64::from(e.edge));
-    }
+fn put_adjacency<S: SectionSink + ?Sized>(out: &mut S, a: &AdjacencyParts) {
+    put_u32_run(out, &a.offsets);
+    put_entry_run(out, &a.entries);
 }
 
-fn get_adjacency(buf: &[u8], pos: &mut usize) -> Result<AdjacencyParts> {
-    let offsets = get_u32s(buf, pos)?;
-    let n = get_count(buf, pos)?;
-    let mut entries = Vec::with_capacity(n);
-    for _ in 0..n {
-        let label = get_varint(buf, pos)?;
-        let node = get_varint(buf, pos)?;
-        let edge = get_varint(buf, pos)?;
-        if label > u64::from(u32::MAX) || node > u64::from(u32::MAX) || edge > u64::from(u32::MAX) {
-            return Err(StorageError::Malformed("csr entry overflow").into());
-        }
-        entries.push(CsrEntry {
-            label: label as u32,
-            node: node as u32,
-            edge: edge as u32,
-        });
-    }
-    Ok(AdjacencyParts { offsets, entries })
+fn get_adjacency(r: &SectionReader<'_>, pos: &mut usize) -> Result<AdjacencyParts> {
+    Ok(AdjacencyParts {
+        offsets: r.get_u32_run(pos)?,
+        entries: r.get_entry_run(pos)?,
+    })
 }
 
-fn put_index_part(out: &mut Vec<u8>, p: &IndexParts) {
+fn put_index_part<S: SectionSink + ?Sized>(out: &mut S, p: &IndexParts) {
     put_varint(out, p.interner_values.len() as u64);
     for v in &p.interner_values {
         put_value(out, v);
     }
-    put_u32s(out, &p.node_label_ids);
-    put_u32s(out, &p.edge_label_ids);
+    put_u32_run(out, &p.node_label_ids);
+    put_u32_run(out, &p.edge_label_ids);
     match &p.csr {
-        None => out.push(0),
+        None => out.put_byte(0),
         Some(c) => {
-            out.push(1);
+            out.put_byte(1);
             put_bool(out, c.directed);
-            put_u32s(out, &c.node_labels);
+            put_u32_run(out, &c.node_labels);
             put_adjacency(out, &c.out);
             put_adjacency(out, &c.inc);
             put_adjacency(out, &c.all);
         }
     }
-    put_varint(out, p.id_profiles.len() as u64);
-    for prof in &p.id_profiles {
-        put_u32s(out, prof);
-    }
+    put_u32_run(out, &p.profile_offsets);
+    put_u32_run(out, &p.profile_ids);
     put_varint(out, p.radius as u64);
     put_bool(out, p.prop_index);
 }
 
-fn get_index_part(buf: &[u8], pos: &mut usize) -> Result<IndexParts> {
+fn get_index_part(r: &SectionReader<'_>, pos: &mut usize) -> Result<IndexParts> {
+    let buf = r.bytes;
     let n_values = get_count(buf, pos)?;
     let mut interner_values: Vec<Value> = Vec::with_capacity(n_values);
     for _ in 0..n_values {
         interner_values.push(get_value(buf, pos)?);
     }
-    let node_label_ids = get_u32s(buf, pos)?;
-    let edge_label_ids = get_u32s(buf, pos)?;
+    let node_label_ids = r.get_u32_run(pos)?;
+    let edge_label_ids = r.get_u32_run(pos)?;
     let csr = match buf.get(*pos) {
         Some(0) => {
             *pos += 1;
@@ -197,20 +318,17 @@ fn get_index_part(buf: &[u8], pos: &mut usize) -> Result<IndexParts> {
             *pos += 1;
             Some(CsrParts {
                 directed: get_bool(buf, pos)?,
-                node_labels: get_u32s(buf, pos)?,
-                out: get_adjacency(buf, pos)?,
-                inc: get_adjacency(buf, pos)?,
-                all: get_adjacency(buf, pos)?,
+                node_labels: r.get_u32_run(pos)?,
+                out: get_adjacency(r, pos)?,
+                inc: get_adjacency(r, pos)?,
+                all: get_adjacency(r, pos)?,
             })
         }
         Some(_) => return Err(StorageError::Malformed("csr option tag").into()),
         None => return Err(StorageError::Truncated.into()),
     };
-    let n_profiles = get_count(buf, pos)?;
-    let mut id_profiles = Vec::with_capacity(n_profiles);
-    for _ in 0..n_profiles {
-        id_profiles.push(get_u32s(buf, pos)?);
-    }
+    let profile_offsets = r.get_u32_run(pos)?;
+    let profile_ids = r.get_u32_run(pos)?;
     let radius = get_varint(buf, pos)? as usize;
     let prop_index = get_bool(buf, pos)?;
     Ok(IndexParts {
@@ -218,34 +336,72 @@ fn get_index_part(buf: &[u8], pos: &mut usize) -> Result<IndexParts> {
         node_label_ids,
         edge_label_ids,
         csr,
-        id_profiles,
+        profile_offsets,
+        profile_ids,
         radius,
         prop_index,
     })
 }
 
-/// Encodes the per-graph [`IndexParts`] of one collection.
+/// Streams the per-graph [`IndexParts`] of one collection into a
+/// section sink — a `Vec<u8>` or a `SegmentWriter` section (the
+/// checkpoint path, where the big arrays go straight to the file).
+pub fn encode_index_parts_into<S: SectionSink + ?Sized>(out: &mut S, parts: &[IndexParts]) {
+    put_varint(out, parts.len() as u64);
+    for p in parts {
+        put_index_part(out, p);
+    }
+}
+
+/// Encodes the per-graph [`IndexParts`] of one collection to owned
+/// bytes.
 pub fn encode_index_parts(parts: &[IndexParts]) -> Vec<u8> {
     let mut out = Vec::new();
-    put_varint(&mut out, parts.len() as u64);
-    for p in parts {
-        put_index_part(&mut out, p);
-    }
+    encode_index_parts_into(&mut out, parts);
     out
 }
 
-/// Decodes a payload written by [`encode_index_parts`].
-pub fn decode_index_parts(buf: &[u8]) -> Result<Vec<IndexParts>> {
+fn decode_index_parts_reader(r: &SectionReader<'_>) -> Result<Vec<IndexParts>> {
     let mut pos = 0;
-    let n = get_count(buf, &mut pos)?;
+    let n = get_count(r.bytes, &mut pos)?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        out.push(get_index_part(buf, &mut pos)?);
+        out.push(get_index_part(r, &mut pos)?);
     }
-    if pos != buf.len() {
+    if pos != r.bytes.len() {
         return Err(StorageError::Malformed("index parts trailing bytes").into());
     }
     Ok(out)
+}
+
+/// Decodes a payload written by [`encode_index_parts`] into owned
+/// slabs (no adoption).
+pub fn decode_index_parts(buf: &[u8]) -> Result<Vec<IndexParts>> {
+    decode_index_parts_reader(&SectionReader {
+        bytes: buf,
+        adopt: None,
+    })
+}
+
+/// Decodes an index-parts section living at `[base, base + len)` of a
+/// shared buffer (typically a mapped checkpoint segment), adopting
+/// each raw array as a zero-copy [`Slab`] view when the platform and
+/// alignment allow, and copying element-wise otherwise. The two paths
+/// produce equal values; only the storage differs.
+pub fn decode_index_parts_from(
+    buf: &Arc<dyn ByteBuffer>,
+    base: usize,
+    len: usize,
+) -> Result<Vec<IndexParts>> {
+    let whole = buf.bytes();
+    let end = base.checked_add(len).ok_or(StorageError::Truncated)?;
+    if end > whole.len() {
+        return Err(StorageError::Truncated.into());
+    }
+    decode_index_parts_reader(&SectionReader {
+        bytes: &whole[base..end],
+        adopt: Some((buf, base)),
+    })
 }
 
 // ---- planner feedback -------------------------------------------------
@@ -329,7 +485,9 @@ pub fn decode_feedback(buf: &[u8]) -> Result<FeedbackStore> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::segment::{Segment, SegmentBuilder};
     use gql_core::fixtures::figure_4_16_graph;
+    use gql_core::OwnedBytes;
     use gql_match::GraphIndex;
 
     #[test]
@@ -344,6 +502,68 @@ mod tests {
             assert!(decode_index_parts(&bytes[..cut]).is_err(), "cut {cut}");
         }
         assert!(decode_index_parts(&[]).is_err());
+    }
+
+    #[test]
+    fn mapped_decode_adopts_and_matches_owned() {
+        let (g, _) = figure_4_16_graph();
+        let parts = vec![GraphIndex::build_full(&g, 1).to_parts()];
+        let mut b = SegmentBuilder::new();
+        b.push("indexes", "db", encode_index_parts(&parts));
+        let seg = Segment::parse(b.finish()).unwrap();
+        let sec = seg.find("indexes", "db").unwrap();
+        let (base, len) = (sec.base(), sec.bytes().len());
+        let adopted = decode_index_parts_from(seg.buffer(), base, len).unwrap();
+        assert_eq!(adopted, parts);
+        // Section bases are page-aligned within the file; whether
+        // adoption actually went zero-copy depends on the backing heap
+        // address too. When that cooperates (allocators hand back
+        // ≥8-aligned blocks in practice), the big arrays must be views.
+        if cfg!(target_endian = "little")
+            && (seg.buffer().bytes().as_ptr() as usize).is_multiple_of(8)
+        {
+            let a = &adopted[0];
+            assert!(a.node_label_ids.is_mapped());
+            let csr = a.csr.as_ref().unwrap();
+            assert!(csr.out.offsets.is_mapped());
+            assert!(csr.out.entries.is_mapped());
+            assert!(a.profile_ids.is_mapped());
+        }
+    }
+
+    #[test]
+    fn corrupt_index_bytes_never_decode_silently() {
+        let (g, _) = figure_4_16_graph();
+        let parts = vec![GraphIndex::build_full(&g, 1).to_parts()];
+        let bytes = encode_index_parts(&parts);
+        // Flip every byte (including run padding, which must be
+        // rejected as nonzero): each flip must either fail to decode or
+        // decode to a visibly different value — silent equality with
+        // corrupt bytes is the only failure mode.
+        let mut padding_rejected = false;
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xa5;
+            match decode_index_parts(&bad) {
+                Err(_) => {
+                    if bytes[i] == 0 {
+                        padding_rejected = true;
+                    }
+                }
+                Ok(v) => assert_ne!(v, parts, "silent corruption at byte {i}"),
+            }
+        }
+        assert!(padding_rejected, "no zero byte was rejected");
+    }
+
+    #[test]
+    fn owned_buffer_decodes_through_mapped_path() {
+        let (g, _) = figure_4_16_graph();
+        let parts = vec![GraphIndex::build(&g).to_parts()];
+        let buf: Arc<dyn ByteBuffer> = Arc::new(OwnedBytes(encode_index_parts(&parts)));
+        let n = buf.bytes().len();
+        assert_eq!(decode_index_parts_from(&buf, 0, n).unwrap(), parts);
+        assert!(decode_index_parts_from(&buf, 8, n).is_err());
     }
 
     #[test]

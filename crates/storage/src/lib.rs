@@ -15,8 +15,11 @@
 //! - [`segment`]: page-aligned checkpoint segments with a checksummed
 //!   section directory. Each section (collection payload, raw index
 //!   arrays, planner feedback, top-level variables) carries its own
-//!   CRC; payloads start on 4096-byte boundaries so a later
-//!   memory-mapped reader can hand out aligned slices directly.
+//!   CRC; payloads start on 4096-byte boundaries so the memory-mapped
+//!   reader ([`mmap::SegmentMap`]) hands out aligned slices the core's
+//!   `Slab<T>` adopts zero-copy. Writing streams through
+//!   [`segment::SegmentWriter`]'s fixed-size buffer with an
+//!   incremental CRC — checkpoints never materialize in memory.
 //! - [`store`]: the checkpoint/recovery protocol tying them together —
 //!   write `checkpoint-<n>.tmp`, fsync, rename to `.seg`, publish via
 //!   an atomically renamed `MANIFEST`, then truncate the WAL and delete
@@ -42,17 +45,19 @@
 
 pub mod bulkload;
 pub mod codec;
+pub mod mmap;
 pub mod segment;
 pub mod store;
 pub mod wal;
 
 pub use bulkload::BulkLoader;
 pub use codec::{
-    decode_feedback, decode_index_parts, decode_options, encode_feedback, encode_index_parts,
-    encode_options, StoredOptions,
+    decode_feedback, decode_index_parts, decode_index_parts_from, decode_options, encode_feedback,
+    encode_index_parts, encode_index_parts_into, encode_options, StoredOptions,
 };
-pub use segment::{Segment, SegmentBuilder, PAGE_SIZE};
-pub use store::{CollectionSnapshot, Restored, RestoredCollection, Snapshot, Store};
+pub use mmap::SegmentMap;
+pub use segment::{Section, Segment, SegmentBuilder, SegmentWriter, PAGE_SIZE};
+pub use store::{CollectionSnapshot, OpenOptions, Restored, RestoredCollection, Snapshot, Store};
 pub use wal::{Wal, WalRecord};
 
 use gql_core::StorageError;

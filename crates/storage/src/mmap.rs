@@ -1,0 +1,222 @@
+//! Memory-mapped checkpoint files: the zero-copy byte source behind
+//! mapped segment adoption.
+//!
+//! [`SegmentMap`] maps a whole checkpoint file read-only via a thin
+//! inline FFI layer (`mmap`/`munmap`/`madvise` declared `extern "C"`,
+//! no external crates) and exposes it as a [`ByteBuffer`] — the trait
+//! `gql_core::Slab` borrows typed views from. Opening is O(1) in the
+//! file size: no bytes are read until a reader actually touches them,
+//! so cold-open cost is the manifest plus the segment header and
+//! directory, and resident memory tracks the working set rather than
+//! the file size.
+//!
+//! Two properties the storage layer leans on:
+//!
+//! - The backing file descriptor is closed as soon as the mapping is
+//!   established. On unix, mapped pages stay valid after the file is
+//!   closed *and after the path is unlinked* — which is exactly what
+//!   checkpoint compaction needs: a snapshot can keep serving from a
+//!   superseded segment while the store deletes it from the directory.
+//! - The mapping is private and read-only (`PROT_READ | MAP_PRIVATE`),
+//!   so nothing the process does can write through to the checkpoint.
+//!
+//! On non-unix targets the same type transparently falls back to
+//! reading the file into an owned `Vec<u8>`; every consumer sees the
+//! identical [`ByteBuffer`] interface and identical bytes.
+
+use gql_core::ByteBuffer;
+use std::io;
+use std::path::Path;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+        pub fn madvise(addr: *mut c_void, len: usize, advice: i32) -> i32;
+    }
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+    /// Disable readahead: checkpoint access is directory-driven, not
+    /// sequential, and skipping readahead keeps resident memory pinned
+    /// to the pages queries actually touch.
+    pub const MADV_RANDOM: i32 = 1;
+}
+
+/// A read-only view of one checkpoint file, memory-mapped on unix and
+/// read into memory elsewhere. See the module docs for the contract.
+#[derive(Debug)]
+pub struct SegmentMap {
+    #[cfg(unix)]
+    ptr: *mut std::ffi::c_void,
+    #[cfg(unix)]
+    len: usize,
+    #[cfg(not(unix))]
+    data: Vec<u8>,
+}
+
+// Safety: the mapping is immutable (PROT_READ) for its whole lifetime
+// and owned uniquely by this struct, so shared references to its bytes
+// are sound from any thread.
+#[cfg(unix)]
+unsafe impl Send for SegmentMap {}
+#[cfg(unix)]
+unsafe impl Sync for SegmentMap {}
+
+impl SegmentMap {
+    /// Maps `path` read-only. The file handle is closed before this
+    /// returns; the mapping (and the pages behind it) outlive both the
+    /// handle and any later unlink of the path.
+    #[cfg(unix)]
+    pub fn open(path: &Path) -> io::Result<SegmentMap> {
+        use std::os::unix::io::AsRawFd;
+
+        let file = std::fs::File::open(path)?;
+        let len = usize::try_from(file.metadata()?.len()).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, "segment exceeds address space")
+        })?;
+        if len == 0 {
+            // Zero-length mmap is EINVAL; an empty file needs no pages.
+            return Ok(SegmentMap {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        // Advisory only — a failure just means default readahead.
+        unsafe { sys::madvise(ptr, len, sys::MADV_RANDOM) };
+        Ok(SegmentMap { ptr, len })
+    }
+
+    /// Non-unix fallback: read the file into memory. Same interface,
+    /// same bytes, no fault-in economics.
+    #[cfg(not(unix))]
+    pub fn open(path: &Path) -> io::Result<SegmentMap> {
+        Ok(SegmentMap {
+            data: std::fs::read(path)?,
+        })
+    }
+
+    /// The mapped length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// True when the file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ByteBuffer for SegmentMap {
+    #[cfg(unix)]
+    fn bytes(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // Safety: `ptr` is a live PROT_READ mapping of exactly `len`
+        // bytes until Drop, and the mapping is never mutated.
+        unsafe { std::slice::from_raw_parts(self.ptr.cast::<u8>(), self.len) }
+    }
+
+    #[cfg(not(unix))]
+    fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(unix)]
+impl Drop for SegmentMap {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // Safety: `ptr`/`len` are the exact mapping established in
+            // `open`, unmapped exactly once.
+            unsafe { sys::munmap(self.ptr, self.len) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("gql-mmap-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn maps_file_contents_and_page_alignment() {
+        let dir = tmp_dir("basic");
+        let path = dir.join("f.bin");
+        let payload: Vec<u8> = (0..10_000u32).flat_map(|v| v.to_le_bytes()).collect();
+        fs::write(&path, &payload).unwrap();
+        let map = SegmentMap::open(&path).unwrap();
+        assert_eq!(map.bytes(), &payload[..]);
+        assert_eq!(map.len(), payload.len());
+        assert!(!map.is_empty());
+        #[cfg(unix)]
+        assert!(
+            (map.bytes().as_ptr() as usize).is_multiple_of(crate::segment::PAGE_SIZE),
+            "mapped base must be page-aligned"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let dir = tmp_dir("empty");
+        let path = dir.join("empty.bin");
+        fs::write(&path, b"").unwrap();
+        let map = SegmentMap::open(&path).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.bytes(), &[] as &[u8]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mapping_survives_unlink() {
+        // The compaction contract: deleting the checkpoint file must
+        // not invalidate a live mapping of it.
+        let dir = tmp_dir("unlink");
+        let path = dir.join("doomed.bin");
+        fs::write(&path, vec![0xabu8; 8192]).unwrap();
+        let map = SegmentMap::open(&path).unwrap();
+        fs::remove_file(&path).unwrap();
+        assert!(map.bytes().iter().all(|&b| b == 0xab));
+        drop(map);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let dir = tmp_dir("missing");
+        assert!(SegmentMap::open(&dir.join("nope.bin")).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -13,7 +13,10 @@
 //!
 //! Checkpoint protocol (each step durable before the next):
 //!
-//! 1. write `checkpoint-<n>.tmp`, fsync, rename to `checkpoint-<n>.seg`
+//! 1. stream `checkpoint-<n>.tmp` section by section, fsync, rename to
+//!    `checkpoint-<n>.seg` (payloads never materialize in memory — the
+//!    index arrays are encoded straight into the file through a
+//!    fixed-size buffer)
 //! 2. write `MANIFEST.tmp` naming `n`, fsync, rename to `MANIFEST`
 //! 3. truncate the WAL
 //! 4. delete older `checkpoint-*.seg` (compaction: tombstoned
@@ -24,20 +27,35 @@
 //! after step 2 but before step 3 the WAL records are replayed on top
 //! of the new segment, which is harmless because every record carries
 //! the full new value (idempotent last-writer-wins).
+//!
+//! Opening defaults to *mapping* the published segment
+//! ([`crate::mmap::SegmentMap`]) rather than reading it: the header and
+//! directory are verified eagerly, decoded sections (collections,
+//! vars, feedback, options) are CRC-checked at access, and the raw
+//! index arrays are adopted zero-copy with *structural* validation in
+//! place of a checksum — `GraphIndex::from_parts` re-verifies every
+//! CSR entry against the decoded graphs, so corruption is still loud,
+//! without faulting in gigabytes of cold index pages at open. Callers
+//! wanting the old read-everything behavior (or full checksum
+//! coverage on a mapped open) get it via [`OpenOptions`]. Deleting a
+//! superseded segment while snapshots still hold its mapping is safe
+//! on unix: the pages outlive the unlink.
 
 use crate::codec::{
-    decode_feedback, decode_index_parts, decode_options, encode_feedback, encode_index_parts,
-    encode_options, StoredOptions,
+    decode_feedback, decode_index_parts, decode_index_parts_from, decode_options, encode_feedback,
+    encode_index_parts_into, encode_options, StoredOptions,
 };
-use crate::segment::{Segment, SegmentBuilder};
+use crate::mmap::SegmentMap;
+use crate::segment::{Section, Segment, SegmentWriter};
 use crate::wal::{Wal, WalRecord};
 use crate::{Result, StoreError};
-use gql_core::storage::{decode_collection, decode_graph, fnv1a};
-use gql_core::{FeedbackStore, Graph};
+use gql_core::storage::{decode_collection, decode_graph, fnv1a, ByteSink};
+use gql_core::{ByteBuffer, FeedbackStore, Graph};
 use gql_match::IndexParts;
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const MANIFEST: &str = "MANIFEST";
 const MANIFEST_MAGIC: &[u8; 4] = b"GMAN";
@@ -49,6 +67,28 @@ const KIND_FEEDBACK: &str = "feedback";
 const KIND_VAR: &str = "var";
 const KIND_META: &str = "meta";
 const META_OPTIONS: &str = "options";
+
+/// How [`Store::open_with`] reads the published checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenOptions {
+    /// Map the checkpoint file and adopt its index arrays zero-copy
+    /// (the default). `false` reads the whole file into memory and
+    /// decodes owned copies — the pre-mmap behavior.
+    pub mmap: bool,
+    /// Verify every section checksum up front even on a mapped open
+    /// (touches every byte of the file, like a non-mapped open does by
+    /// construction).
+    pub verify: bool,
+}
+
+impl Default for OpenOptions {
+    fn default() -> Self {
+        OpenOptions {
+            mmap: true,
+            verify: false,
+        }
+    }
+}
 
 /// Everything the engine wants durable at a checkpoint.
 #[derive(Debug, Default)]
@@ -86,6 +126,9 @@ pub struct Restored {
     pub collections: Vec<RestoredCollection>,
     /// Top-level variables.
     pub vars: Vec<(String, Graph)>,
+    /// True when the index arrays are zero-copy views into a mapped
+    /// checkpoint segment rather than owned decodes.
+    pub mapped: bool,
 }
 
 /// One recovered collection.
@@ -112,11 +155,18 @@ pub struct Store {
 }
 
 impl Store {
+    /// Opens (creating if absent) the database directory with default
+    /// options: the checkpoint segment is memory-mapped and adopted
+    /// zero-copy. See [`Store::open_with`].
+    pub fn open(dir: &Path) -> Result<(Store, Restored)> {
+        Store::open_with(dir, OpenOptions::default())
+    }
+
     /// Opens (creating if absent) the database directory: removes
     /// in-flight `*.tmp` files, loads the manifest-published checkpoint
-    /// segment, replays the WAL on top (truncating any torn tail), and
-    /// returns the recovered state.
-    pub fn open(dir: &Path) -> Result<(Store, Restored)> {
+    /// segment (mapped or read per `opts`), replays the WAL on top
+    /// (truncating any torn tail), and returns the recovered state.
+    pub fn open_with(dir: &Path, opts: OpenOptions) -> Result<(Store, Restored)> {
         fs::create_dir_all(dir)?;
         for entry in fs::read_dir(dir)? {
             let entry = entry?;
@@ -129,8 +179,19 @@ impl Store {
         let manifest_path = dir.join(MANIFEST);
         if manifest_path.exists() {
             seq = read_manifest(&manifest_path)?;
-            let seg_bytes = fs::read(dir.join(format!("checkpoint-{seq}.seg")))?;
-            restored = restore_segment(Segment::parse(seg_bytes)?)?;
+            let seg_path = dir.join(format!("checkpoint-{seq}.seg"));
+            restored = if opts.mmap {
+                let map: Arc<dyn ByteBuffer> = Arc::new(SegmentMap::open(&seg_path)?);
+                let seg = Segment::open(map, opts.verify)?;
+                // Lazy mode: per-section CRCs for decoded sections are
+                // checked at access below; the raw index arrays rely on
+                // structural validation instead.
+                restore_segment(&seg, !opts.verify, true)?
+            } else {
+                // Read-into-memory path: Segment::parse verifies every
+                // checksum while the bytes are hot.
+                restore_segment(&Segment::parse(fs::read(&seg_path)?)?, false, false)?
+            };
         }
         let (wal, records) = Wal::open(&dir.join(WAL_FILE))?;
         for rec in records {
@@ -151,32 +212,63 @@ impl Store {
         self.wal.append(rec)
     }
 
-    /// Writes a checkpoint segment, publishes it through the manifest,
-    /// truncates the WAL, and deletes superseded segments.
+    /// Streams a checkpoint segment to disk, publishes it through the
+    /// manifest, truncates the WAL, and deletes superseded segments.
+    /// Section payloads — in particular the raw index arrays — are
+    /// encoded straight into the file through the segment writer's
+    /// fixed-size buffer with an incremental CRC; no section (let alone
+    /// the segment) is materialized in memory first.
     pub fn checkpoint(&mut self, snap: &Snapshot) -> Result<()> {
         let seq = self.next_seq;
-        let mut builder = SegmentBuilder::new();
-        if let Some(options) = &snap.options {
-            builder.push(KIND_META, META_OPTIONS, encode_options(options));
+        let mut declared: Vec<(&str, &str)> = Vec::new();
+        if snap.options.is_some() {
+            declared.push((KIND_META, META_OPTIONS));
         }
         for c in &snap.collections {
-            builder.push(KIND_COLLECTION, &c.name, c.payload.clone());
+            declared.push((KIND_COLLECTION, &c.name));
             if !c.indexes.is_empty() {
-                builder.push(KIND_INDEXES, &c.name, encode_index_parts(&c.indexes));
+                declared.push((KIND_INDEXES, &c.name));
+            }
+            if c.feedback.is_some() {
+                declared.push((KIND_FEEDBACK, &c.name));
+            }
+        }
+        for (name, _) in &snap.vars {
+            declared.push((KIND_VAR, name));
+        }
+
+        let tmp_path = self.dir.join(format!("checkpoint-{seq}.tmp"));
+        let seg_name = format!("checkpoint-{seq}.seg");
+        let mut w = SegmentWriter::create(fs::File::create(&tmp_path)?, &declared)?;
+        if let Some(options) = &snap.options {
+            w.begin_section(KIND_META, META_OPTIONS);
+            w.put_bytes(&encode_options(options));
+            w.end_section();
+        }
+        for c in &snap.collections {
+            w.begin_section(KIND_COLLECTION, &c.name);
+            w.put_bytes(&c.payload);
+            w.end_section();
+            if !c.indexes.is_empty() {
+                w.begin_section(KIND_INDEXES, &c.name);
+                encode_index_parts_into(&mut w, &c.indexes);
+                w.end_section();
             }
             if let Some(fb) = &c.feedback {
-                builder.push(KIND_FEEDBACK, &c.name, encode_feedback(fb));
+                w.begin_section(KIND_FEEDBACK, &c.name);
+                w.put_bytes(&encode_feedback(fb));
+                w.end_section();
             }
         }
         for (name, payload) in &snap.vars {
-            builder.push(KIND_VAR, name, payload.clone());
+            w.begin_section(KIND_VAR, name);
+            w.put_bytes(payload);
+            w.end_section();
         }
-        let seg_name = format!("checkpoint-{seq}.seg");
-        write_durable_rename(
-            &self.dir.join(format!("checkpoint-{seq}.tmp")),
-            &self.dir.join(&seg_name),
-            &builder.finish(),
-        )?;
+        let file = w.finish()?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp_path, self.dir.join(&seg_name))?;
         sync_dir(&self.dir);
         let mut manifest = Vec::with_capacity(16);
         manifest.extend_from_slice(MANIFEST_MAGIC);
@@ -189,7 +281,9 @@ impl Store {
         )?;
         sync_dir(&self.dir);
         self.wal.reset()?;
-        // Compaction: only the published segment survives.
+        // Compaction: only the published segment survives on disk. A
+        // snapshot still holding the old segment's mapping keeps its
+        // pages alive (unix semantics); the directory entry goes now.
         for entry in fs::read_dir(&self.dir)? {
             let entry = entry?;
             let fname = entry.file_name();
@@ -245,40 +339,64 @@ fn read_manifest(path: &Path) -> Result<u64> {
     Ok(seq)
 }
 
-fn restore_segment(seg: Segment) -> Result<Restored> {
-    let mut restored = Restored::default();
-    if let Some(meta) = seg.section(KIND_META, META_OPTIONS) {
-        restored.options = Some(decode_options(meta)?);
+/// Hands back a section's payload, CRC-checking it first when the open
+/// mode deferred checksums.
+fn checked_bytes<'a>(sec: &Section<'a>, check_crc: bool) -> Result<&'a [u8]> {
+    if check_crc {
+        sec.verify()?;
     }
-    for (kind, name, payload) in seg.sections() {
-        match kind {
+    Ok(sec.bytes())
+}
+
+/// Decodes a segment into [`Restored`] state. `check_crc` re-verifies
+/// decoded sections' checksums at access (the lazy-open mode); the raw
+/// index sections are exempt — their arrays are adopted zero-copy and
+/// validated structurally by `GraphIndex::from_parts` instead, so a
+/// corrupt byte there surfaces as a loud reopen error, not a checksum
+/// pass over gigabytes of cold pages. `mapped` selects zero-copy
+/// adoption for the index arrays.
+fn restore_segment(seg: &Segment, check_crc: bool, mapped: bool) -> Result<Restored> {
+    let mut restored = Restored {
+        mapped,
+        ..Restored::default()
+    };
+    if let Some(meta) = seg.find(KIND_META, META_OPTIONS) {
+        restored.options = Some(decode_options(checked_bytes(&meta, check_crc)?)?);
+    }
+    for sec in seg.sections() {
+        match sec.kind() {
             KIND_COLLECTION => restored.collections.push(RestoredCollection {
-                name: name.to_string(),
-                graphs: decode_collection(payload)?,
+                name: sec.name().to_string(),
+                graphs: decode_collection(checked_bytes(&sec, check_crc)?)?,
                 indexes: None,
                 feedback: None,
             }),
-            KIND_VAR => restored
-                .vars
-                .push((name.to_string(), decode_graph(payload)?)),
+            KIND_VAR => restored.vars.push((
+                sec.name().to_string(),
+                decode_graph(checked_bytes(&sec, check_crc)?)?,
+            )),
             _ => {}
         }
     }
     // Attach derived sections to their collections by name; a derived
     // section without a matching collection is a malformed segment.
-    for (kind, name, payload) in seg.sections() {
-        if kind != KIND_INDEXES && kind != KIND_FEEDBACK {
+    for sec in seg.sections() {
+        if sec.kind() != KIND_INDEXES && sec.kind() != KIND_FEEDBACK {
             continue;
         }
         let target = restored
             .collections
             .iter_mut()
-            .find(|c| c.name == name)
+            .find(|c| c.name == sec.name())
             .ok_or(StoreError::Invalid("derived section without collection"))?;
-        if kind == KIND_INDEXES {
-            target.indexes = Some(decode_index_parts(payload)?);
+        if sec.kind() == KIND_INDEXES {
+            target.indexes = Some(if mapped {
+                decode_index_parts_from(seg.buffer(), sec.base(), sec.bytes().len())?
+            } else {
+                decode_index_parts(sec.bytes())?
+            });
         } else {
-            target.feedback = Some(decode_feedback(payload)?);
+            target.feedback = Some(decode_feedback(checked_bytes(&sec, check_crc)?)?);
         }
     }
     Ok(restored)
@@ -367,10 +485,102 @@ mod tests {
         assert_eq!(c.graphs[0].node_count(), 6);
         assert!(c.indexes.is_some());
         assert!(c.feedback.is_some());
+        assert!(restored.mapped, "default open maps the segment");
         assert_eq!(restored.vars.len(), 1);
         assert_eq!(restored.vars[0].0, "Q");
         assert_eq!(restored.options.as_ref().unwrap().radius, 1);
         assert_eq!(store.wal_size(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mapped_and_owned_opens_restore_equal_state() {
+        let dir = tmpdir("mapowned");
+        let (mut store, _) = Store::open(&dir).unwrap();
+        store.checkpoint(&sample_snapshot()).unwrap();
+        drop(store);
+        let opts = [
+            OpenOptions::default(),
+            OpenOptions {
+                mmap: true,
+                verify: true,
+            },
+            OpenOptions {
+                mmap: false,
+                verify: true,
+            },
+        ];
+        let restores: Vec<Restored> = opts
+            .iter()
+            .map(|&o| Store::open_with(&dir, o).unwrap().1)
+            .collect();
+        assert!(restores[0].mapped && restores[1].mapped && !restores[2].mapped);
+        let want = &restores[2].collections[0];
+        for r in &restores[..2] {
+            let c = &r.collections[0];
+            assert_eq!(c.indexes, want.indexes, "index parts differ across modes");
+            assert_eq!(c.graphs.len(), want.graphs.len());
+            assert_eq!(r.options, restores[2].options);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lazy_open_still_catches_corruption_loudly() {
+        let dir = tmpdir("lazyflip");
+        let (mut store, _) = Store::open(&dir).unwrap();
+        store.checkpoint(&sample_snapshot()).unwrap();
+        drop(store);
+        let seg_path = dir.join("checkpoint-1.seg");
+        let good = fs::read(&seg_path).unwrap();
+        let seg = Segment::parse(good.clone()).unwrap();
+        let want = Store::open_with(
+            &dir,
+            OpenOptions {
+                mmap: false,
+                verify: true,
+            },
+        )
+        .unwrap()
+        .1;
+
+        // A flip in a decoded section (the collection payload) must be
+        // caught by the lazy per-section CRC at access.
+        let col = seg.find("collection", "db").unwrap();
+        let mut bad = good.clone();
+        bad[col.base() + col.bytes().len() / 2] ^= 0xff;
+        fs::write(&seg_path, &bad).unwrap();
+        assert!(Store::open(&dir).is_err(), "collection flip undetected");
+
+        // Flips in the index section skip the CRC on lazy opens but
+        // must still either fail structural validation at decode/adopt
+        // or leave the decoded parts visibly different — never silently
+        // equal, never UB. (from_parts runs in the engine; at the store
+        // layer "different" is the loud signal.)
+        let idx = seg.find("indexes", "db").unwrap();
+        for frac in [3, 5, 7] {
+            let mut bad = good.clone();
+            bad[idx.base() + idx.bytes().len() * (frac - 1) / frac] ^= 0xff;
+            fs::write(&seg_path, &bad).unwrap();
+            match Store::open(&dir) {
+                Err(_) => {}
+                Ok((_, r)) => assert_ne!(
+                    r.collections[0].indexes, want.collections[0].indexes,
+                    "index flip at 1/{frac} decoded silently equal"
+                ),
+            }
+        }
+        // verify=true catches everything up front, mapped or not.
+        assert!(Store::open_with(
+            &dir,
+            OpenOptions {
+                mmap: true,
+                verify: true
+            }
+        )
+        .is_err());
+        fs::write(&seg_path, &good).unwrap();
+        assert!(Store::open(&dir).is_ok());
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -442,6 +652,29 @@ mod tests {
         let (store, restored) = Store::open(&dir).unwrap();
         assert_eq!(restored.collections.len(), 1);
         assert_eq!(store.next_seq, 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_does_not_invalidate_live_mappings() {
+        // A restored state adopted from checkpoint N keeps serving
+        // after checkpoint N+1 deletes N's file out from under it.
+        let dir = tmpdir("livecompact");
+        let (mut store, _) = Store::open(&dir).unwrap();
+        store.checkpoint(&sample_snapshot()).unwrap();
+        drop(store);
+        let (mut store, restored) = Store::open(&dir).unwrap();
+        assert!(restored.mapped);
+        let parts_before = restored.collections[0].indexes.clone().unwrap();
+        store.checkpoint(&sample_snapshot()).unwrap(); // deletes checkpoint-1.seg
+        assert!(!dir.join("checkpoint-1.seg").exists());
+        // The old mapping's pages are still addressable through the
+        // adopted slabs.
+        assert_eq!(
+            restored.collections[0].indexes.as_ref(),
+            Some(&parts_before)
+        );
+        assert!(!parts_before.is_empty());
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -34,6 +34,9 @@ cargo test -q -p gql-storage
 echo "==> crash-recovery fault-injection suite"
 cargo test -q -p gql-engine --test recovery
 
+echo "==> mmap equivalence suite (mapped vs owned opens, bit flips, compaction)"
+cargo test -q -p gql-engine --test mmap_equivalence
+
 echo "==> plan-cache smoke (match with and without --no-plan-cache must agree)"
 with_cache=$(cargo run --release -q -p gql-cli -- match \
     --graph examples/gql/triangle_net.gql --pattern examples/gql/triangle.gql \
@@ -110,6 +113,16 @@ second=$(cargo run --release -q -p gql-cli -- run examples/gql/coauthors.gql \
     --data-dir "$persist_tmp/db" 2> "$persist_tmp/diag2.txt")
 grep -q "opened" "$persist_tmp/diag2.txt" || { echo "reopen notice missing"; exit 1; }
 [ "$first" = "$second" ] || { echo "checkpoint-reopen changed results"; exit 1; }
+grep -q "opened .* (mapped)" "$persist_tmp/diag2.txt" \
+    || { echo "default reopen did not map the checkpoint"; exit 1; }
+third=$(cargo run --release -q -p gql-cli -- run examples/gql/coauthors.gql \
+    --data-dir "$persist_tmp/db" --no-mmap 2> "$persist_tmp/diag3.txt")
+grep -q "opened .* (owned)" "$persist_tmp/diag3.txt" \
+    || { echo "--no-mmap reopen still mapped"; exit 1; }
+[ "$first" = "$third" ] || { echo "--no-mmap changed results"; exit 1; }
+fourth=$(cargo run --release -q -p gql-cli -- run examples/gql/coauthors.gql \
+    --data-dir "$persist_tmp/db" --verify-checkpoint 2> /dev/null)
+[ "$first" = "$fourth" ] || { echo "--verify-checkpoint changed results"; exit 1; }
 rm -rf "$persist_tmp"
 
 echo "==> cargo bench --no-run (benches must compile)"
