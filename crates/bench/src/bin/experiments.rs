@@ -28,16 +28,21 @@
 //! compares a memory-mapped cold open (zero-copy index adoption)
 //! against an owned read of the same checkpoint — time-to-first-answer
 //! and peak RSS, each pass in its own child process — and writes
-//! `BENCH_mmap.json`.
+//! `BENCH_mmap.json`. `telemetry` compares engine-level query batches
+//! with no telemetry vs the always-on registry attached (unscraped) vs
+//! a concurrent `/metrics` scraper hammering the endpoint, and writes
+//! `BENCH_telemetry.json`. `validate-prom FILE` checks that FILE is
+//! well-formed Prometheus text exposition and exits nonzero if not.
 
 use gql_bench::experiments::{
     bench_csr, bench_mmap, bench_parallel, bench_planner, bench_profile, bench_propindex,
-    bench_refine, bench_storage, bench_trace, csr_bench_json, fig4_20, fig4_21, fig4_22, fig4_23a,
-    fig4_23b, mmap_bench_json, mmap_child_main, parallel_bench_json, planner_bench_json,
-    print_csr_rows, print_mmap_rows, print_parallel_rows, print_planner_rows, print_profile_result,
-    print_propindex_rows, print_refine_rows, print_space_rows, print_step_rows, print_storage_rows,
-    print_total_rows, print_trace_rows, profile_bench_json, propindex_bench_json,
-    refine_bench_json, storage_bench_json, trace_bench_json, Scale,
+    bench_refine, bench_storage, bench_telemetry, bench_trace, csr_bench_json, fig4_20, fig4_21,
+    fig4_22, fig4_23a, fig4_23b, mmap_bench_json, mmap_child_main, parallel_bench_json,
+    planner_bench_json, print_csr_rows, print_mmap_rows, print_parallel_rows, print_planner_rows,
+    print_profile_result, print_propindex_rows, print_refine_rows, print_space_rows,
+    print_step_rows, print_storage_rows, print_telemetry_rows, print_total_rows, print_trace_rows,
+    profile_bench_json, propindex_bench_json, refine_bench_json, storage_bench_json,
+    telemetry_bench_json, trace_bench_json, Scale,
 };
 
 fn main() {
@@ -223,6 +228,19 @@ fn main() {
             Err(e) => eprintln!("# could not write {path}: {e}"),
         }
     };
+    let run_telemetry = || {
+        let rows = bench_telemetry(scale, threads);
+        print_telemetry_rows(
+            "Live telemetry — none vs unscraped registry vs scraped under load",
+            &rows,
+        );
+        let json = telemetry_bench_json(scale, threads, &rows);
+        let path = "BENCH_telemetry.json";
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("# wrote {path}"),
+            Err(e) => eprintln!("# could not write {path}: {e}"),
+        }
+    };
     let run_smoke = || {
         let rows = bench_parallel(scale, threads);
         print_parallel_rows(
@@ -251,6 +269,22 @@ fn main() {
         "propindex" => run_propindex(),
         "storage" => run_storage(),
         "mmap" => run_mmap(),
+        "telemetry" => run_telemetry(),
+        "validate-prom" => {
+            let path = args.get(1).map(String::as_str).unwrap_or_else(|| {
+                eprintln!("validate-prom needs a file path");
+                std::process::exit(2);
+            });
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path:?}: {e}");
+                std::process::exit(1);
+            });
+            if let Err(e) = gql_core::validate_prometheus(&text) {
+                eprintln!("{path}: invalid Prometheus exposition: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("{path}: valid Prometheus exposition");
+        }
         "smoke" => run_smoke(),
         "all" => {
             run_20();
@@ -261,7 +295,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown experiment {other:?}; use fig4_20|fig4_21|fig4_22|fig4_23|refine|profile|csr|trace|planner|propindex|storage|mmap|smoke|all"
+                "unknown experiment {other:?}; use fig4_20|fig4_21|fig4_22|fig4_23|refine|profile|csr|trace|planner|propindex|storage|mmap|telemetry|validate-prom|smoke|all"
             );
             std::process::exit(2);
         }

@@ -74,7 +74,7 @@ pub enum ProfileFormat {
 pub enum Command {
     /// `gql run <program> [--data NAME=PATH]... [--threads N]
     /// [--profile[=json]] [--explain[=json]] [--trace FILE]
-    /// [--slow-ms N] [--metrics FILE] [--no-csr]`
+    /// [--slow-ms N] [--metrics FILE] [--metrics-addr ADDR] [--no-csr]`
     Run {
         /// Program file path.
         program: String,
@@ -92,6 +92,17 @@ pub enum Command {
         slow_ms: Option<u64>,
         /// Write Prometheus text-exposition metrics to this file.
         metrics: Option<String>,
+        /// Serve live telemetry over HTTP while the program runs:
+        /// `/metrics` (Prometheus), `/healthz` (JSON, 503 when
+        /// degraded), `/slow` (JSON slow-query ring). Port 0 binds an
+        /// ephemeral port; the bound address is printed to stderr
+        /// immediately.
+        metrics_addr: Option<String>,
+        /// Keep the process (and the telemetry endpoints) alive this
+        /// many milliseconds after the program completes, so an
+        /// external scraper can read the final state. Requires
+        /// `--metrics-addr`.
+        metrics_linger_ms: Option<u64>,
         /// Attach the CSR adjacency snapshot to built indexes
         /// (`--no-csr` turns it off; results are identical).
         csr: bool,
@@ -165,7 +176,8 @@ gql — Graphs-at-a-time query language (He & Singh, SIGMOD 2008)
 
 USAGE:
     gql run <program.gql> [--data NAME=PATH]... [--threads N] [--profile[=json]]
-            [--explain[=json]] [--trace FILE] [--slow-ms N] [--metrics FILE] [--no-csr]
+            [--explain[=json]] [--trace FILE] [--slow-ms N] [--metrics FILE]
+            [--metrics-addr ADDR] [--metrics-linger-ms N] [--no-csr]
             [--no-prop-index] [--no-plan-cache] [--adaptive on|off]
             [--data-dir DIR] [--checkpoint] [--no-mmap] [--verify-checkpoint]
     gql match --graph <data.gql> --pattern <pattern.gql> [--baseline] [--first] [--threads N]
@@ -198,6 +210,23 @@ with its EXPLAIN ANALYZE tree.
 
 `--metrics FILE` writes the pipeline counters and phase timings to FILE
 in Prometheus text exposition format.
+
+`--metrics-addr ADDR` (e.g. 127.0.0.1:9184, port 0 for ephemeral)
+starts a background HTTP server for the duration of the run serving
+live telemetry — readable from another process mid-query:
+
+    /metrics   Prometheus text exposition (counters, gauges, timings)
+    /healthz   JSON health: \"ok\" or \"degraded\" (503) on storage
+               errors, CRC failures, an oversized WAL, or a failed
+               checkpoint
+    /slow      JSON ring of the most recent slow statements
+
+The bound address is printed to stderr as soon as the server is up.
+Serving telemetry never changes query results.
+
+`--metrics-linger-ms N` (requires --metrics-addr) keeps the endpoints
+alive N milliseconds after the program completes so a scraper can
+collect the final state.
 
 `--no-csr` skips the CSR adjacency snapshot when building graph indexes,
 dropping search/refinement/profile construction back to the plain
@@ -281,6 +310,8 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
             let mut trace = None;
             let mut slow_ms = None;
             let mut metrics = None;
+            let mut metrics_addr = None;
+            let mut metrics_linger_ms = None;
             let mut csr = true;
             let mut prop_index = true;
             let mut plan_cache = true;
@@ -324,6 +355,18 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                         .next()
                         .ok_or_else(|| CliError::usage("--metrics needs a file path"))?;
                     metrics = Some(path.clone());
+                } else if a == "--metrics-addr" {
+                    let addr = it
+                        .next()
+                        .ok_or_else(|| CliError::usage("--metrics-addr needs host:port"))?;
+                    metrics_addr = Some(addr.clone());
+                } else if a == "--metrics-linger-ms" {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError::usage("--metrics-linger-ms needs a duration"))?;
+                    metrics_linger_ms = Some(v.parse().map_err(|_| {
+                        CliError::usage(format!("bad --metrics-linger-ms value {v:?}"))
+                    })?);
                 } else if a == "--slow-ms" {
                     let v = it
                         .next()
@@ -363,6 +406,11 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                     "--no-mmap/--verify-checkpoint require --data-dir",
                 ));
             }
+            if metrics_linger_ms.is_some() && metrics_addr.is_none() {
+                return Err(CliError::usage(
+                    "--metrics-linger-ms requires --metrics-addr",
+                ));
+            }
             Ok(Command::Run {
                 program: program.ok_or_else(|| CliError::usage("run needs a program file"))?,
                 data,
@@ -372,6 +420,8 @@ pub fn parse_args(args: &[String]) -> Result<Command> {
                 trace,
                 slow_ms,
                 metrics,
+                metrics_addr,
+                metrics_linger_ms,
                 csr,
                 prop_index,
                 plan_cache,
@@ -450,6 +500,8 @@ pub fn execute(cmd: Command) -> Result<Output> {
             trace,
             slow_ms,
             metrics,
+            metrics_addr,
+            metrics_linger_ms,
             csr,
             prop_index,
             plan_cache,
@@ -481,6 +533,15 @@ pub fn execute(cmd: Command) -> Result<Output> {
                 .with_prop_index(prop_index)
                 .with_plan_cache(plan_cache)
                 .with_adaptive(adaptive);
+            if let Some(addr) = &metrics_addr {
+                let bound = db
+                    .serve_metrics(addr.as_str())
+                    .map_err(|e| CliError::run(format!("cannot serve metrics on {addr:?}: {e}")))?;
+                // Printed immediately (not via `out.stderr`, which the
+                // caller flushes only at exit) so an external scraper
+                // can discover an ephemeral port while the run is live.
+                eprintln!("metrics server listening on http://{bound}/metrics");
+            }
             if profile.is_some() || metrics.is_some() {
                 db.enable_profiling();
             }
@@ -589,6 +650,13 @@ pub fn execute(cmd: Command) -> Result<Output> {
                 std::fs::write(path, db.profile_report().render_prometheus())
                     .map_err(|e| CliError::run(format!("cannot write {path:?}: {e}")))?;
                 let _ = writeln!(out.stderr, "metrics written to {path}");
+            }
+            if let Some(ms) = metrics_linger_ms {
+                // Keep `db` (and with it the telemetry server) alive so
+                // the final counters, health, and slow-query ring stay
+                // scrapeable after the program's own work is done.
+                eprintln!("metrics server lingering {ms} ms");
+                std::thread::sleep(Duration::from_millis(ms));
             }
         }
         Command::Match {
@@ -701,6 +769,8 @@ mod tests {
                 trace: None,
                 slow_ms: None,
                 metrics: None,
+                metrics_addr: None,
+                metrics_linger_ms: None,
                 csr: true,
                 prop_index: true,
                 plan_cache: true,
@@ -883,6 +953,43 @@ mod tests {
             parse_args(&args(&["run", "p.gql", "--metrics", "m.prom"])).unwrap(),
             Command::Run { metrics: Some(m), .. } if m == "m.prom"
         ));
+        assert!(matches!(
+            parse_args(&args(&["run", "p.gql", "--metrics-addr", "127.0.0.1:0"])).unwrap(),
+            Command::Run {
+                metrics_addr: Some(a),
+                metrics_linger_ms: None,
+                ..
+            } if a == "127.0.0.1:0"
+        ));
+        assert!(matches!(
+            parse_args(&args(&[
+                "run",
+                "p.gql",
+                "--metrics-addr",
+                "127.0.0.1:9184",
+                "--metrics-linger-ms",
+                "250"
+            ]))
+            .unwrap(),
+            Command::Run {
+                metrics_linger_ms: Some(250),
+                ..
+            }
+        ));
+        assert!(parse_args(&args(&["run", "p.gql", "--metrics-addr"])).is_err());
+        assert!(
+            parse_args(&args(&["run", "p.gql", "--metrics-linger-ms", "250"])).is_err(),
+            "--metrics-linger-ms without --metrics-addr must be rejected"
+        );
+        assert!(parse_args(&args(&[
+            "run",
+            "p.gql",
+            "--metrics-addr",
+            "x",
+            "--metrics-linger-ms",
+            "soon"
+        ]))
+        .is_err());
         assert!(parse_args(&args(&["run", "p.gql", "--trace"])).is_err());
         assert!(parse_args(&args(&["run", "p.gql", "--metrics"])).is_err());
         assert!(parse_args(&args(&["run", "p.gql", "--slow-ms"])).is_err());
@@ -1024,6 +1131,8 @@ mod tests {
                 trace: None,
                 slow_ms: None,
                 metrics: None,
+                metrics_addr: None,
+                metrics_linger_ms: None,
                 csr: true,
                 prop_index: true,
                 plan_cache: true,
@@ -1087,6 +1196,8 @@ mod tests {
                 trace: instrumented.then(|| trace_path.to_string_lossy().into_owned()),
                 slow_ms: instrumented.then_some(0),
                 metrics: instrumented.then(|| metrics_path.to_string_lossy().into_owned()),
+                metrics_addr: instrumented.then(|| "127.0.0.1:0".to_string()),
+                metrics_linger_ms: None,
                 csr: true,
                 prop_index: true,
                 plan_cache: true,
@@ -1126,16 +1237,17 @@ mod tests {
         assert!(trace.contains("engine.flwr"), "{trace}");
 
         let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+        gql_core::validate_prometheus(&metrics).unwrap();
         assert!(
-            metrics.contains("# TYPE gql_counter_total counter"),
+            metrics.contains("# TYPE gql_engine_index_cache_misses_total counter"),
             "{metrics}"
         );
         assert!(
-            metrics.contains("gql_counter_total{name=\"engine.index_cache.misses\"} 1"),
+            metrics.contains("gql_engine_index_cache_misses_total 1"),
             "{metrics}"
         );
         assert!(
-            metrics.contains("gql_phase_seconds_count{phase=\"engine.flwr\"} 1"),
+            metrics.contains("gql_engine_flwr_seconds_count 1"),
             "{metrics}"
         );
         std::fs::remove_dir_all(&dir).ok();
@@ -1152,6 +1264,8 @@ mod tests {
             trace: None,
             slow_ms: None,
             metrics: None,
+            metrics_addr: None,
+            metrics_linger_ms: None,
             csr: true,
             prop_index: true,
             plan_cache: true,
@@ -1176,6 +1290,8 @@ mod tests {
             trace: None,
             slow_ms: None,
             metrics: None,
+            metrics_addr: None,
+            metrics_linger_ms: None,
             csr: true,
             prop_index: true,
             plan_cache: true,

@@ -72,6 +72,7 @@ pub use io::{EdgeData, GraphData, NodeData};
 pub use neighborhood::{neighborhood_subgraph, NeighborhoodSubgraph, Profile};
 pub use obs::explain::ExplainNode;
 pub use obs::json::validate_json;
+pub use obs::prom::validate_prometheus;
 pub use obs::trace::{ArgValue, TraceEvent, TraceSink, TraceSpan};
 pub use obs::{Obs, ObsReport, PhaseStats};
 pub use op::BinOp;

@@ -37,6 +37,7 @@
 
 pub mod explain;
 pub mod json;
+pub mod prom;
 pub mod trace;
 
 use std::collections::BTreeMap;
@@ -55,6 +56,27 @@ impl Counter {
     #[inline]
     pub fn add(&self, n: u64) {
         self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value gauge (WAL size, live segment bytes): unlike
+/// [`Counter`] it moves in both directions, so snapshots report the
+/// current level rather than a monotone total. Gauges describe ambient
+/// state, not per-query work — determinism comparisons look only at
+/// counters.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Replaces the gauge value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
     }
 
     /// Current value.
@@ -149,13 +171,15 @@ impl Drop for Span {
 pub struct Obs {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     phases: Mutex<BTreeMap<String, Arc<DurationStat>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
 }
 
 impl fmt::Debug for Obs {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let nc = self.counters.lock().map(|c| c.len()).unwrap_or(0);
         let np = self.phases.lock().map(|p| p.len()).unwrap_or(0);
-        write!(f, "Obs({nc} counters, {np} phases)")
+        let ng = self.gauges.lock().map(|g| g.len()).unwrap_or(0);
+        write!(f, "Obs({nc} counters, {np} phases, {ng} gauges)")
     }
 }
 
@@ -185,9 +209,23 @@ impl Obs {
         )
     }
 
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("obs gauges poisoned");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::default())),
+        )
+    }
+
     /// Adds `n` to counter `name`.
     pub fn add(&self, name: &str, n: u64) {
         self.counter(name).add(n);
+    }
+
+    /// Sets gauge `name` to `v`.
+    pub fn set_gauge(&self, name: &str, v: u64) {
+        self.gauge(name).set(v);
     }
 
     /// Records `d` into duration stat `name`.
@@ -235,14 +273,27 @@ impl Obs {
                 )
             })
             .collect();
-        ObsReport { counters, phases }
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("obs gauges poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        ObsReport {
+            counters,
+            phases,
+            gauges,
+        }
     }
 
-    /// Clears every counter and phase (the names are forgotten too, so
-    /// the next report only contains metrics touched since the reset).
+    /// Clears every counter, phase, and gauge (the names are forgotten
+    /// too, so the next report only contains metrics touched since the
+    /// reset).
     pub fn reset(&self) {
         self.counters.lock().expect("obs counters poisoned").clear();
         self.phases.lock().expect("obs phases poisoned").clear();
+        self.gauges.lock().expect("obs gauges poisoned").clear();
     }
 }
 
@@ -253,6 +304,10 @@ pub struct ObsReport {
     pub counters: Vec<(String, u64)>,
     /// `(name, stats)` pairs, sorted by name.
     pub phases: Vec<(String, PhaseStats)>,
+    /// `(name, value)` gauge pairs, sorted by name. Gauges describe
+    /// ambient state (file sizes, live bytes) and are excluded from
+    /// determinism comparisons, which look only at `counters`.
+    pub gauges: Vec<(String, u64)>,
 }
 
 /// JSON string escaping for metric names (ours are plain ASCII, but be
@@ -286,6 +341,11 @@ impl ObsReport {
         self.phases.iter().find(|(k, _)| k == name).map(|&(_, v)| v)
     }
 
+    /// Value of gauge `name`, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|&(_, v)| v)
+    }
+
     /// Human-readable per-phase breakdown (the `--profile` text form).
     pub fn render_text(&self) -> String {
         let mut out = String::new();
@@ -313,6 +373,15 @@ impl ObsReport {
             }
             let _ = writeln!(out, "{:<40} {:>14}", "counter", "value");
             for (name, v) in &self.counters {
+                let _ = writeln!(out, "{name:<40} {v:>14}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            let _ = writeln!(out, "{:<40} {:>14}", "gauge", "value");
+            for (name, v) in &self.gauges {
                 let _ = writeln!(out, "{name:<40} {v:>14}");
             }
         }
@@ -349,71 +418,28 @@ impl ObsReport {
         if !self.phases.is_empty() {
             s.push_str("\n  ");
         }
+        s.push_str("},\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(s, "{sep}    \"{}\": {v}", json_escape(name));
+        }
+        if !self.gauges.is_empty() {
+            s.push_str("\n  ");
+        }
         s.push_str("}\n}\n");
         s
     }
 
     /// Prometheus text exposition (version 0.0.4), ready for a
-    /// file-based scrape (`gql run --metrics FILE`) or an HTTP
-    /// endpoint. Counters become one `gql_counter_total` family with a
-    /// `name` label; every phase contributes `_count` / `_sum` plus
-    /// `min` / `max` gauges under `gql_phase_seconds`, all keyed by a
-    /// `phase` label (seconds, the Prometheus base unit).
+    /// file-based scrape (`gql run --metrics FILE`) or the live
+    /// `/metrics` endpoint. Each registry metric becomes its own
+    /// sanitized family (`engine.index_cache.hits` →
+    /// `gql_engine_index_cache_hits_total`, indexed spans like
+    /// `search.chunk[0]` → an `index` label); see [`prom`] for the
+    /// naming rules and the matching [`prom::validate_prometheus`]
+    /// checker.
     pub fn render_prometheus(&self) -> String {
-        fn label_escape(s: &str) -> String {
-            let mut out = String::with_capacity(s.len());
-            for c in s.chars() {
-                match c {
-                    '"' => out.push_str("\\\""),
-                    '\\' => out.push_str("\\\\"),
-                    '\n' => out.push_str("\\n"),
-                    c => out.push(c),
-                }
-            }
-            out
-        }
-        let mut s = String::new();
-        s.push_str("# HELP gql_counter_total Deterministic pipeline counters.\n");
-        s.push_str("# TYPE gql_counter_total counter\n");
-        for (name, v) in &self.counters {
-            let _ = writeln!(
-                s,
-                "gql_counter_total{{name=\"{}\"}} {v}",
-                label_escape(name)
-            );
-        }
-        s.push_str("# HELP gql_phase_seconds Wall-clock per pipeline phase.\n");
-        s.push_str("# TYPE gql_phase_seconds summary\n");
-        for (name, p) in &self.phases {
-            let n = label_escape(name);
-            let _ = writeln!(s, "gql_phase_seconds_count{{phase=\"{n}\"}} {}", p.count);
-            let _ = writeln!(
-                s,
-                "gql_phase_seconds_sum{{phase=\"{n}\"}} {}",
-                p.total.as_secs_f64()
-            );
-        }
-        s.push_str("# HELP gql_phase_min_seconds Shortest recorded span per phase.\n");
-        s.push_str("# TYPE gql_phase_min_seconds gauge\n");
-        for (name, p) in &self.phases {
-            let _ = writeln!(
-                s,
-                "gql_phase_min_seconds{{phase=\"{}\"}} {}",
-                label_escape(name),
-                p.min.as_secs_f64()
-            );
-        }
-        s.push_str("# HELP gql_phase_max_seconds Longest recorded span per phase.\n");
-        s.push_str("# TYPE gql_phase_max_seconds gauge\n");
-        for (name, p) in &self.phases {
-            let _ = writeln!(
-                s,
-                "gql_phase_max_seconds{{phase=\"{}\"}} {}",
-                label_escape(name),
-                p.max.as_secs_f64()
-            );
-        }
-        s
+        prom::render(self)
     }
 }
 
@@ -539,28 +565,28 @@ mod tests {
     fn prometheus_exposition_renders() {
         let obs = Obs::new();
         obs.add("search.steps", 42);
+        obs.set_gauge("storage.wal_size", 777);
         obs.record("match.search", Duration::from_millis(5));
         obs.record("match.search", Duration::from_millis(7));
         let text = obs.report().render_prometheus();
+        prom::validate_prometheus(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert!(text.contains("gql_search_steps_total 42"), "{text}");
+        assert!(text.contains("gql_storage_wal_size 777"), "{text}");
+        assert!(text.contains("gql_match_search_seconds_count 2"), "{text}");
         assert!(
-            text.contains("gql_counter_total{name=\"search.steps\"} 42"),
+            text.contains("gql_match_search_seconds_sum 0.012"),
             "{text}"
         );
         assert!(
-            text.contains("gql_phase_seconds_count{phase=\"match.search\"} 2"),
+            text.contains("# TYPE gql_search_steps_total counter"),
             "{text}"
         );
         assert!(
-            text.contains("gql_phase_seconds_sum{phase=\"match.search\"} 0.012"),
-            "{text}"
-        );
-        assert!(text.contains("# TYPE gql_counter_total counter"), "{text}");
-        assert!(
-            text.contains("gql_phase_min_seconds{phase=\"match.search\"} 0.005"),
+            text.contains("gql_match_search_seconds_min 0.005"),
             "{text}"
         );
         assert!(
-            text.contains("gql_phase_max_seconds{phase=\"match.search\"} 0.007"),
+            text.contains("gql_match_search_seconds_max 0.007"),
             "{text}"
         );
     }
@@ -569,14 +595,20 @@ mod tests {
     fn json_and_text_render() {
         let obs = Obs::new();
         obs.add("x.y", 7);
+        obs.set_gauge("g.level", 12);
         obs.record("ph", Duration::from_nanos(500));
         let rep = obs.report();
+        assert_eq!(rep.gauge("g.level"), Some(12));
+        assert_eq!(rep.gauge("missing"), None);
         let json = rep.render_json();
         assert!(json.contains("\"x.y\": 7"), "{json}");
         assert!(json.contains("\"ph\": {\"count\": 1"), "{json}");
+        assert!(json.contains("\"g.level\": 12"), "{json}");
+        crate::validate_json(&json).unwrap();
         let text = rep.render_text();
         assert!(text.contains("x.y"), "{text}");
         assert!(text.contains("ph"), "{text}");
+        assert!(text.contains("g.level"), "{text}");
         assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
         // Empty report renders without panicking.
         assert!(ObsReport::default().render_json().contains("counters"));

@@ -2,6 +2,8 @@
 //! variables, and program execution (§3.4's FLWR semantics).
 
 use crate::error::{EngineError, Result};
+use crate::metrics::{MetricsRegistry, SlowEntry};
+use crate::server::MetricsServer;
 use gql_algebra::{compile_pattern, ops, CompiledPattern, PatternRegistry, TemplateEnv};
 use gql_core::storage::{encode_collection, encode_graph};
 use gql_core::FeedbackStore;
@@ -11,6 +13,7 @@ use gql_parser::ast::{FlwrAst, FlwrBody, GraphTemplateAst, PatternRef, Program, 
 use gql_parser::parse_program;
 use gql_storage::{CollectionSnapshot, OpenOptions, Snapshot, Store, StoredOptions, WalRecord};
 use rustc_hash::FxHashMap;
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -30,6 +33,10 @@ pub struct ExecOutcome {
 /// its `EXPLAIN ANALYZE` operator tree.
 #[derive(Debug, Clone)]
 pub struct SlowQuery {
+    /// Query id shared with the statement's EXPLAIN tree (`query_id`
+    /// prop), trace events, and the `/slow` endpoint — the correlation
+    /// key across all telemetry surfaces.
+    pub id: u64,
     /// Name of the pattern the `for` clause matched.
     pub pattern: String,
     /// Name of the collection queried.
@@ -105,6 +112,13 @@ pub struct Database {
     /// [`Database::checkpoint`] / [`Database::close`] so a disk-full
     /// condition cannot be silently dropped.
     store_error: Option<String>,
+    /// The always-on metrics plane: the storage layer records into its
+    /// [`Obs`] for the database's whole lifetime, and the live
+    /// endpoints ([`Database::serve_metrics`]) read from it.
+    metrics: Arc<MetricsRegistry>,
+    /// The running metrics server, if [`Database::serve_metrics`] was
+    /// called; dropped (and stopped) with the database.
+    metrics_server: Option<MetricsServer>,
 }
 
 impl Default for Database {
@@ -135,6 +149,8 @@ impl Database {
             store: None,
             store_error: None,
             mapped: false,
+            metrics: MetricsRegistry::new(),
+            metrics_server: None,
         }
     }
 
@@ -159,8 +175,13 @@ impl Database {
     /// (`--verify-checkpoint`) instead of the default lazy per-section
     /// policy.
     pub fn open_with(dir: &Path, opts: OpenOptions) -> Result<Database> {
-        let (store, restored) = Store::open_with(dir, opts)?;
+        // The registry exists before the store so recovery itself is
+        // instrumented: WAL replay/torn-tail counters, segment open
+        // counters, and the size gauges land in the same Obs the live
+        // endpoints serve.
         let mut db = Database::new();
+        let (store, restored) =
+            Store::open_observed(dir, opts, Some(Arc::clone(db.metrics.obs())))?;
         db.mapped = restored.mapped;
         let adopt = restored.options.as_ref() == Some(&db.stored_options());
         for rc in restored.collections {
@@ -223,6 +244,7 @@ impl Database {
     fn log_wal(&mut self, rec: WalRecord) {
         if let Some(store) = &mut self.store {
             if let Err(e) = store.log(&rec) {
+                self.metrics.note_storage_error(&e.to_string());
                 self.store_error.get_or_insert_with(|| e.to_string());
             }
         }
@@ -285,10 +307,16 @@ impl Database {
             .into_iter()
             .map(|(n, g)| (n.clone(), encode_graph(g)))
             .collect();
-        self.store
+        let result = self
+            .store
             .as_mut()
             .expect("checked above")
-            .checkpoint(&snap)?;
+            .checkpoint(&snap);
+        match &result {
+            Ok(()) => self.metrics.note_checkpoint(Ok(())),
+            Err(e) => self.metrics.note_checkpoint(Err(&e.to_string())),
+        }
+        result?;
         Ok(())
     }
 
@@ -408,13 +436,46 @@ impl Database {
         self.snapshots.get(source)
     }
 
-    /// Attaches a fresh observability registry: every subsequent query
-    /// records per-phase timings and pipeline counters into it. Returns
-    /// the registry handle (also retrievable via [`Database::obs`]).
+    /// Attaches the metrics registry's [`Obs`] with a clean slate:
+    /// every counter/phase/gauge recorded so far (including open-time
+    /// storage metrics) is cleared, and every subsequent query records
+    /// per-phase timings and pipeline counters from zero. Returns the
+    /// sink handle (also retrievable via [`Database::obs`]); the same
+    /// `Obs` backs the live endpoints, so a scrape during a profiled
+    /// run sees the per-query metrics too.
     pub fn enable_profiling(&mut self) -> Arc<Obs> {
-        let obs = Obs::new();
+        let obs = Arc::clone(self.metrics.obs());
+        obs.reset();
         self.options.obs = Some(Arc::clone(&obs));
         obs
+    }
+
+    /// The always-on metrics plane: storage-layer metrics, query-id
+    /// allocation, health state, and the slow-query ring that
+    /// [`Database::serve_metrics`] exposes over HTTP.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Starts the live telemetry endpoints on `addr` (`/metrics`,
+    /// `/healthz`, `/slow`; port 0 picks an ephemeral port — the bound
+    /// address is returned). The registry's [`Obs`] is attached as the
+    /// query-pipeline sink *without* resetting it, so accumulated
+    /// storage metrics survive and subsequent queries aggregate into
+    /// the same registry. The server runs on a background thread and
+    /// answers mid-query; it stops when the database is dropped.
+    pub fn serve_metrics(&mut self, addr: impl ToSocketAddrs) -> Result<SocketAddr> {
+        self.options.obs = Some(Arc::clone(self.metrics.obs()));
+        let server = crate::server::serve(Arc::clone(&self.metrics), addr)
+            .map_err(|e| EngineError::Metrics(e.to_string()))?;
+        let addr = server.addr();
+        self.metrics_server = Some(server);
+        Ok(addr)
+    }
+
+    /// The bound address of the running metrics server, if any.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_server.as_ref().map(|s| s.addr())
     }
 
     /// The attached observability registry, if profiling is enabled.
@@ -683,9 +744,17 @@ impl Database {
                 self.snapshots.insert(name.to_string(), Arc::clone(&snap));
                 Ok(Some(snap))
             }
-            Err(why) => Err(EngineError::Storage(format!(
-                "checkpointed index for {name:?} rejected: {why}"
-            ))),
+            Err(why) => {
+                // A rejected adoption means the mapped index section is
+                // corrupt (its CRC is deliberately deferred; structural
+                // validation is its integrity check). Count it and
+                // degrade /healthz — the error alone would vanish with
+                // the failed query.
+                self.metrics.obs().add("storage.crc_fail", 1);
+                let msg = format!("checkpointed index for {name:?} rejected: {why}");
+                self.metrics.note_storage_error(&msg);
+                Err(EngineError::Storage(msg))
+            }
         }
     }
 
@@ -694,6 +763,21 @@ impl Database {
         // the return/let body).
         let started = Instant::now();
         let _stmt_span = self.options.obs.as_deref().map(|o| o.span("engine.flwr"));
+        // Statement-ordered id correlating this query's slow-log entry,
+        // EXPLAIN tree, and trace events (deterministic for a fixed
+        // program: thread count and open mode don't reorder statements).
+        let query_id = self.metrics.next_query_id();
+        // Per-query WAL attribution: the storage layer records into the
+        // registry Obs unconditionally, so the delta across this
+        // statement is exactly the WAL work it caused.
+        let wal_counters = self.store.is_some().then(|| {
+            let obs = self.metrics.obs();
+            (
+                obs.counter("storage.wal.appends"),
+                obs.counter("storage.wal.append_bytes"),
+            )
+        });
+        let wal_before = wal_counters.as_ref().map(|(a, b)| (a.get(), b.get()));
         // Resolve the pattern.
         let (compiled, pname) = match &f.pattern {
             PatternRef::Named(n) => (
@@ -794,11 +878,22 @@ impl Database {
         let elapsed = started.elapsed();
         if let Some(sel) = select_explain {
             let mut tree = ExplainNode::new("flwr");
+            tree.prop("query_id", ArgValue::UInt(query_id));
             tree.prop("pattern", ArgValue::Str(pname.clone()));
             tree.prop("source", ArgValue::Str(f.source.clone()));
             tree.prop("exhaustive", ArgValue::Bool(f.exhaustive));
             tree.prop("matches", ArgValue::UInt(matches.len() as u64));
             tree.prop("elapsed_ms", ArgValue::Float(elapsed.as_secs_f64() * 1e3));
+            // WAL work this statement caused (a `let` body logging its
+            // final variable state). Deterministic: record counts and
+            // byte sizes are logical quantities.
+            if let (Some((appends, bytes)), Some((a0, b0))) = (&wal_counters, wal_before) {
+                let delta = appends.get() - a0;
+                if delta > 0 {
+                    tree.prop("wal_appends", ArgValue::UInt(delta));
+                    tree.prop("wal_bytes", ArgValue::UInt(bytes.get() - b0));
+                }
+            }
             let mut ix = ExplainNode::new("index");
             ix.prop("cached", ArgValue::Bool(cached));
             ix.prop("generation", ArgValue::UInt(snapshot.generation()));
@@ -810,7 +905,14 @@ impl Database {
                     if let Some(obs) = &opts.obs {
                         obs.add("engine.slow_queries", 1);
                     }
+                    self.metrics.record_slow(SlowEntry {
+                        id: query_id,
+                        pattern: pname.clone(),
+                        source: f.source.clone(),
+                        elapsed,
+                    });
                     self.slow_log.push(SlowQuery {
+                        id: query_id,
                         pattern: pname.clone(),
                         source: f.source.clone(),
                         elapsed,
@@ -828,6 +930,7 @@ impl Database {
                 "engine",
                 started,
                 vec![
+                    ("query_id", ArgValue::UInt(query_id)),
                     ("pattern", ArgValue::Str(pname.clone())),
                     ("source", ArgValue::Str(f.source.clone())),
                     ("matches", ArgValue::UInt(matches.len() as u64)),

@@ -23,6 +23,9 @@ pub enum EngineError {
     /// Carries the rendered [`gql_storage::StoreError`] so the engine
     /// error stays `Clone`/`PartialEq`.
     Storage(String),
+    /// Metrics-server failure (bind or listener setup). Carries the
+    /// rendered `io::Error` so the engine error stays `Clone`/`PartialEq`.
+    Metrics(String),
 }
 
 impl fmt::Display for EngineError {
@@ -43,6 +46,7 @@ impl fmt::Display for EngineError {
                 )
             }
             EngineError::Storage(msg) => write!(f, "{msg}"),
+            EngineError::Metrics(msg) => write!(f, "metrics server: {msg}"),
         }
     }
 }

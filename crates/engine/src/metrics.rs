@@ -1,0 +1,327 @@
+//! The always-on metrics registry: one process-wide [`Obs`] plus the
+//! health model and slow-query ring the live endpoints serve.
+//!
+//! Every [`Database`](crate::Database) owns an `Arc<MetricsRegistry>`
+//! from construction. The storage layer records into its [`Obs`] for
+//! the database's whole lifetime (WAL append/fsync latency, checkpoint
+//! stage timings, segment open counters — rare, coarse events), while
+//! the per-query pipeline only records when profiling or a metrics
+//! server attaches the registry's `Obs` as `MatchOptions::obs` — so an
+//! un-instrumented run still pays nothing per element, and "no server
+//! attached" stays zero-cost on the hot path.
+//!
+//! The registry is what the HTTP endpoints read from another thread
+//! mid-query: counters and gauges are atomics, the slow ring and the
+//! health notes sit behind short-lived mutexes, and nothing here ever
+//! blocks on query execution.
+
+use gql_core::Obs;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Slow-query entries kept for `/slow` (oldest evicted first).
+const SLOW_RING_CAP: usize = 64;
+
+/// Default WAL-size threshold for `/healthz` degradation: a WAL this
+/// large means checkpoints are overdue and recovery time is growing.
+const DEFAULT_WAL_THRESHOLD: u64 = 64 * 1024 * 1024;
+
+/// One `/slow` ring entry — the JSON-facing subset of
+/// [`SlowQuery`](crate::SlowQuery), keyed by the query id that
+/// slow-log lines, trace events, and EXPLAIN trees share.
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    /// Query id (`query_id` in the EXPLAIN tree and trace args).
+    pub id: u64,
+    /// Name of the pattern the `for` clause matched.
+    pub pattern: String,
+    /// Name of the collection queried.
+    pub source: String,
+    /// Wall-clock time of the whole FLWR statement.
+    pub elapsed: Duration,
+}
+
+/// Outcome of the most recent checkpoint, for `/healthz`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CheckpointStatus {
+    /// No checkpoint attempted yet this process.
+    None,
+    /// Last checkpoint published cleanly.
+    Ok,
+    /// Last checkpoint failed with this error.
+    Failed(String),
+}
+
+/// Point-in-time health assessment (the `/healthz` payload).
+#[derive(Debug, Clone)]
+pub struct Health {
+    /// True when nothing below degrades the database.
+    pub ok: bool,
+    /// Rendered `/healthz` JSON body.
+    pub json: String,
+}
+
+/// The process-wide metrics plane of one [`Database`](crate::Database):
+/// an aggregating [`Obs`], monotonically increasing query ids, the
+/// slow-query ring, and the degradation notes `/healthz` reports.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    obs: Arc<Obs>,
+    next_query_id: AtomicU64,
+    wal_threshold: AtomicU64,
+    slow: Mutex<VecDeque<SlowEntry>>,
+    storage_error: Mutex<Option<String>>,
+    checkpoint: Mutex<CheckpointStatus>,
+}
+
+impl MetricsRegistry {
+    /// A fresh registry with an empty [`Obs`] and default thresholds.
+    pub fn new() -> Arc<MetricsRegistry> {
+        Arc::new(MetricsRegistry {
+            obs: Obs::new(),
+            next_query_id: AtomicU64::new(0),
+            wal_threshold: AtomicU64::new(DEFAULT_WAL_THRESHOLD),
+            slow: Mutex::new(VecDeque::new()),
+            storage_error: Mutex::new(None),
+            checkpoint: Mutex::new(CheckpointStatus::None),
+        })
+    }
+
+    /// The registry's metrics sink — what the storage layer records
+    /// into always, and what `MatchOptions::obs` points at when
+    /// profiling or a metrics server is attached.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// Allocates the next query id (1, 2, …). Ids are assigned in
+    /// statement order, so for a fixed program they are deterministic
+    /// across thread counts and open modes.
+    pub fn next_query_id(&self) -> u64 {
+        self.next_query_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// WAL size (bytes) above which `/healthz` reports degraded.
+    pub fn set_wal_threshold(&self, bytes: u64) {
+        self.wal_threshold.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Pushes one entry onto the `/slow` ring (oldest evicted at cap).
+    pub fn record_slow(&self, entry: SlowEntry) {
+        let mut ring = self.slow.lock().expect("slow ring poisoned");
+        if ring.len() == SLOW_RING_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+    }
+
+    /// Notes a storage-layer failure (WAL append error, rejected
+    /// checkpoint adoption); `/healthz` reports degraded until the
+    /// process restarts — storage errors are not self-healing.
+    pub fn note_storage_error(&self, msg: &str) {
+        self.storage_error
+            .lock()
+            .expect("storage error poisoned")
+            .get_or_insert_with(|| msg.to_string());
+    }
+
+    /// Records the outcome of a checkpoint attempt.
+    pub fn note_checkpoint(&self, result: Result<(), &str>) {
+        *self.checkpoint.lock().expect("checkpoint status poisoned") = match result {
+            Ok(()) => CheckpointStatus::Ok,
+            Err(e) => CheckpointStatus::Failed(e.to_string()),
+        };
+    }
+
+    /// The `/metrics` body: Prometheus exposition of the full registry.
+    pub fn render_metrics(&self) -> String {
+        self.obs.report().render_prometheus()
+    }
+
+    /// The `/slow` body: a JSON array of ring entries, oldest first.
+    pub fn render_slow(&self) -> String {
+        let ring = self.slow.lock().expect("slow ring poisoned");
+        let mut s = String::from("[");
+        for (i, e) in ring.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}{{\"id\": {}, \"pattern\": \"{}\", \"source\": \"{}\", \"elapsed_ms\": {}}}",
+                if i == 0 { "\n  " } else { ",\n  " },
+                e.id,
+                json_escape(&e.pattern),
+                json_escape(&e.source),
+                e.elapsed.as_secs_f64() * 1e3,
+            );
+        }
+        if !ring.is_empty() {
+            s.push('\n');
+        }
+        s.push_str("]\n");
+        s
+    }
+
+    /// Assesses health for `/healthz`: degraded on any recorded storage
+    /// error, any CRC failure, a WAL past its threshold, or a failed
+    /// last checkpoint.
+    pub fn health(&self) -> Health {
+        let report = self.obs.report();
+        let crc_fail = report.counter("storage.crc_fail").unwrap_or(0);
+        let wal_size = report.gauge("storage.wal_size").unwrap_or(0);
+        let wal_threshold = self.wal_threshold.load(Ordering::Relaxed);
+        let storage_error = self
+            .storage_error
+            .lock()
+            .expect("storage error poisoned")
+            .clone();
+        let checkpoint = self
+            .checkpoint
+            .lock()
+            .expect("checkpoint status poisoned")
+            .clone();
+        let slow_queries = self.slow.lock().expect("slow ring poisoned").len();
+
+        let mut reasons: Vec<String> = Vec::new();
+        if let Some(e) = &storage_error {
+            reasons.push(format!("storage error: {e}"));
+        }
+        if crc_fail > 0 {
+            reasons.push(format!("{crc_fail} checkpoint section(s) failed CRC"));
+        }
+        if wal_size > wal_threshold {
+            reasons.push(format!(
+                "wal size {wal_size} exceeds threshold {wal_threshold}"
+            ));
+        }
+        if let CheckpointStatus::Failed(e) = &checkpoint {
+            reasons.push(format!("last checkpoint failed: {e}"));
+        }
+        let ok = reasons.is_empty();
+
+        let mut json = String::from("{\n");
+        let _ = writeln!(
+            json,
+            "  \"status\": \"{}\",",
+            if ok { "ok" } else { "degraded" }
+        );
+        let _ = writeln!(json, "  \"wal_size\": {wal_size},");
+        let _ = writeln!(json, "  \"wal_threshold\": {wal_threshold},");
+        let _ = writeln!(json, "  \"crc_fail\": {crc_fail},");
+        let _ = writeln!(
+            json,
+            "  \"storage_error\": {},",
+            match &storage_error {
+                Some(e) => format!("\"{}\"", json_escape(e)),
+                None => "null".to_string(),
+            }
+        );
+        let _ = writeln!(
+            json,
+            "  \"last_checkpoint\": {},",
+            match &checkpoint {
+                CheckpointStatus::None => "null".to_string(),
+                CheckpointStatus::Ok => "\"ok\"".to_string(),
+                CheckpointStatus::Failed(e) => format!("\"failed: {}\"", json_escape(e)),
+            }
+        );
+        let _ = writeln!(
+            json,
+            "  \"queries\": {},",
+            self.next_query_id.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(json, "  \"slow_queries\": {slow_queries}");
+        json.push_str("}\n");
+        Health { ok, json }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gql_core::validate_json;
+
+    #[test]
+    fn fresh_registry_is_healthy_and_valid_json() {
+        let reg = MetricsRegistry::new();
+        let h = reg.health();
+        assert!(h.ok);
+        assert!(h.json.contains("\"status\": \"ok\""), "{}", h.json);
+        validate_json(&h.json).unwrap();
+        validate_json(&reg.render_slow()).unwrap();
+        gql_core::validate_prometheus(&reg.render_metrics()).unwrap();
+    }
+
+    #[test]
+    fn degradation_signals_flip_health() {
+        // CRC failure.
+        let reg = MetricsRegistry::new();
+        reg.obs().add("storage.crc_fail", 1);
+        let h = reg.health();
+        assert!(!h.ok);
+        assert!(h.json.contains("\"crc_fail\": 1"), "{}", h.json);
+        validate_json(&h.json).unwrap();
+
+        // WAL past threshold.
+        let reg = MetricsRegistry::new();
+        reg.set_wal_threshold(100);
+        reg.obs().set_gauge("storage.wal_size", 101);
+        assert!(!reg.health().ok);
+        reg.obs().set_gauge("storage.wal_size", 100);
+        assert!(reg.health().ok, "at-threshold is still ok");
+
+        // Storage error and failed checkpoint.
+        let reg = MetricsRegistry::new();
+        reg.note_storage_error("disk \"full\"");
+        assert!(!reg.health().ok);
+        validate_json(&reg.health().json).unwrap();
+        let reg = MetricsRegistry::new();
+        reg.note_checkpoint(Err("rename failed"));
+        let h = reg.health();
+        assert!(!h.ok);
+        assert!(h.json.contains("failed: rename failed"), "{}", h.json);
+        reg.note_checkpoint(Ok(()));
+        assert!(reg.health().ok);
+    }
+
+    #[test]
+    fn slow_ring_caps_and_renders() {
+        let reg = MetricsRegistry::new();
+        for i in 0..(SLOW_RING_CAP as u64 + 10) {
+            reg.record_slow(SlowEntry {
+                id: i + 1,
+                pattern: "P".into(),
+                source: "db".into(),
+                elapsed: Duration::from_millis(i + 1),
+            });
+        }
+        let body = reg.render_slow();
+        validate_json(&body).unwrap();
+        assert!(!body.contains("\"id\": 10"), "oldest entries evicted");
+        assert!(body.contains(&format!("\"id\": {}", SLOW_RING_CAP as u64 + 10)));
+        assert_eq!(body.matches("\"id\":").count(), SLOW_RING_CAP);
+    }
+
+    #[test]
+    fn query_ids_are_sequential_from_one() {
+        let reg = MetricsRegistry::new();
+        assert_eq!(reg.next_query_id(), 1);
+        assert_eq!(reg.next_query_id(), 2);
+    }
+}

@@ -1,0 +1,225 @@
+//! A std-only background HTTP server over a [`MetricsRegistry`] — the
+//! live read side of the telemetry plane.
+//!
+//! No external dependencies (matching the `mmap(2)` FFI precedent in
+//! `gql-storage`): a `TcpListener` on a background thread, one request
+//! per connection, three GET routes:
+//!
+//! - `/metrics` — Prometheus text exposition of the whole registry
+//! - `/healthz` — JSON health assessment; HTTP 200 when ok, 503 when
+//!   degraded (storage errors, CRC failures, oversized WAL, failed
+//!   checkpoint)
+//! - `/slow` — JSON array of recent slow queries (ring buffer)
+//!
+//! The registry is all atomics and short-lived mutexes, so every route
+//! answers from a second thread *while a query is executing* — the
+//! acceptance criterion the telemetry tests pin. Binding port 0 picks
+//! an ephemeral port; [`MetricsServer::addr`] reports the real one.
+//!
+//! Shutdown (on drop) flips an atomic flag and self-connects to
+//! unblock `accept`, then joins the thread — no busy-wait, no leaked
+//! listener.
+
+use crate::metrics::MetricsRegistry;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle on a running metrics server; dropping it stops the listener
+/// thread.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The address actually bound (resolves port 0 to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop; an error just means the listener is
+        // already gone.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:9100`, port 0 for ephemeral) and
+/// serves the registry's endpoints from a background thread until the
+/// returned handle is dropped.
+pub fn serve(
+    registry: Arc<MetricsRegistry>,
+    addr: impl ToSocketAddrs,
+) -> io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let handle = std::thread::Builder::new()
+        .name("gql-metrics".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                // One request per connection; a stalled client times
+                // out rather than wedging the loop.
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                let _ = handle_connection(stream, &registry);
+            }
+        })?;
+    Ok(MetricsServer {
+        addr,
+        shutdown,
+        handle: Some(handle),
+    })
+}
+
+fn handle_connection(stream: TcpStream, registry: &MetricsRegistry) -> io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the remaining headers so well-behaved clients see a clean
+    // close instead of a reset.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                registry.render_metrics(),
+            ),
+            "/healthz" => {
+                let h = registry.health();
+                (
+                    if h.ok {
+                        "200 OK"
+                    } else {
+                        "503 Service Unavailable"
+                    },
+                    "application/json; charset=utf-8",
+                    h.json,
+                )
+            }
+            "/slow" => (
+                "200 OK",
+                "application/json; charset=utf-8",
+                registry.render_slow(),
+            ),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found; try /metrics, /healthz, /slow\n".to_string(),
+            ),
+        }
+    };
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    /// Minimal test client: one GET, returns (status line, body).
+    pub(crate) fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let status = response.lines().next().unwrap_or("").to_string();
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_all_routes_and_stops_on_drop() {
+        let reg = MetricsRegistry::new();
+        reg.obs().add("engine.queries", 3);
+        let server = serve(Arc::clone(&reg), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let (status, body) = http_get(addr, "/metrics");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("gql_engine_queries_total 3"), "{body}");
+        gql_core::validate_prometheus(&body).unwrap();
+
+        let (status, body) = http_get(addr, "/healthz");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"status\": \"ok\""), "{body}");
+        gql_core::validate_json(&body).unwrap();
+
+        let (status, body) = http_get(addr, "/slow");
+        assert!(status.contains("200"), "{status}");
+        gql_core::validate_json(&body).unwrap();
+
+        let (status, _) = http_get(addr, "/nope");
+        assert!(status.contains("404"), "{status}");
+
+        drop(server);
+        // The port is released: a fresh bind to the same address works.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "listener still holds {addr}");
+    }
+
+    #[test]
+    fn healthz_degrades_with_503() {
+        let reg = MetricsRegistry::new();
+        reg.obs().add("storage.crc_fail", 1);
+        let server = serve(Arc::clone(&reg), "127.0.0.1:0").unwrap();
+        let (status, body) = http_get(server.addr(), "/healthz");
+        assert!(status.contains("503"), "{status}");
+        assert!(body.contains("\"status\": \"degraded\""), "{body}");
+    }
+
+    #[test]
+    fn non_get_is_rejected() {
+        let reg = MetricsRegistry::new();
+        let server = serve(reg, "127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+    }
+}

@@ -260,17 +260,45 @@ fn bit_flips_in_the_mapped_checkpoint_fail_loudly_or_change_nothing() {
     };
     let stride = (good.len() / 4_096).max(1);
     let mut rejected = 0usize;
+    let mut query_rejected = 0usize;
     let mut silent_ok = 0usize;
     for i in (0..good.len()).step_by(stride) {
         let mut bad = good.clone();
         bad[i] ^= 0x40;
         fs::write(&seg_path, &bad).expect("write corrupted segment");
 
-        match Database::open(&dir)
-            .map_err(|_| ())
-            .and_then(|mut db| try_answers(&mut db))
-        {
-            Err(()) => rejected += 1,
+        let Ok(mut db) = Database::open(&dir) else {
+            rejected += 1;
+            continue;
+        };
+        match try_answers(&mut db) {
+            Err(()) => {
+                rejected += 1;
+                query_rejected += 1;
+                // A corrupt section that survived the lazy open and was
+                // caught at first touch must not vanish with the failed
+                // query: it degrades /healthz and bumps the
+                // storage.crc_fail counter on the live registry.
+                let health = db.metrics().health();
+                assert!(
+                    !health.ok,
+                    "byte {i}: query-time rejection left /healthz ok"
+                );
+                assert!(
+                    health.json.contains("\"status\": \"degraded\""),
+                    "byte {i}: {}",
+                    health.json
+                );
+                assert!(
+                    db.metrics()
+                        .obs()
+                        .report()
+                        .counter("storage.crc_fail")
+                        .unwrap_or(0)
+                        >= 1,
+                    "byte {i}: rejection did not bump storage.crc_fail"
+                );
+            }
             Ok(res) => {
                 // The flip survived open + adoption; it must be
                 // invisible to queries.
@@ -303,13 +331,18 @@ fn bit_flips_in_the_mapped_checkpoint_fail_loudly_or_change_nothing() {
         "no flip was rejected — corruption checking is not engaged"
     );
     assert!(
+        query_rejected > 0,
+        "no flip was caught at first touch — lazy adoption validation is not engaged"
+    );
+    assert!(
         Database::open(&dir).is_ok(),
         "restored pristine segment must open"
     );
     eprintln!(
-        "bitflip sweep: {} offsets, {} rejected, {} harmless",
+        "bitflip sweep: {} offsets, {} rejected ({} at first query), {} harmless",
         good.len().div_ceil(stride),
         rejected,
+        query_rejected,
         silent_ok
     );
     fs::remove_dir_all(&dir).ok();

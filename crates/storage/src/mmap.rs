@@ -128,6 +128,14 @@ impl SegmentMap {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// True when the bytes come from a real memory mapping rather than
+    /// the read-into-memory fallback — the honest answer for the
+    /// `storage.segment.mapped` / `.owned` open counters, which would
+    /// otherwise over-report mapping on non-unix targets.
+    pub fn is_mapped(&self) -> bool {
+        cfg!(unix)
+    }
 }
 
 impl ByteBuffer for SegmentMap {

@@ -464,6 +464,12 @@ impl Segment {
         self.dir.len()
     }
 
+    /// Total size of the backing file in bytes (header + directory +
+    /// payloads) — what the `storage.live_segment_bytes` gauge reports.
+    pub fn byte_len(&self) -> usize {
+        self.buf.bytes().len()
+    }
+
     /// True when the segment has no sections.
     pub fn is_empty(&self) -> bool {
         self.dir.is_empty()

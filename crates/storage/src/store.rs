@@ -50,7 +50,7 @@ use crate::segment::{Section, Segment, SegmentWriter};
 use crate::wal::{Wal, WalRecord};
 use crate::{Result, StoreError};
 use gql_core::storage::{decode_collection, decode_graph, fnv1a, ByteSink};
-use gql_core::{ByteBuffer, FeedbackStore, Graph};
+use gql_core::{ByteBuffer, FeedbackStore, Graph, Obs};
 use gql_match::IndexParts;
 use std::fs;
 use std::io::Write;
@@ -152,6 +152,7 @@ pub struct Store {
     dir: PathBuf,
     wal: Wal,
     next_seq: u64,
+    obs: Option<Arc<Obs>>,
 }
 
 impl Store {
@@ -162,11 +163,28 @@ impl Store {
         Store::open_with(dir, OpenOptions::default())
     }
 
+    /// [`Store::open_with`] without a metrics sink.
+    pub fn open_with(dir: &Path, opts: OpenOptions) -> Result<(Store, Restored)> {
+        Store::open_observed(dir, opts, None)
+    }
+
     /// Opens (creating if absent) the database directory: removes
     /// in-flight `*.tmp` files, loads the manifest-published checkpoint
     /// segment (mapped or read per `opts`), replays the WAL on top
     /// (truncating any torn tail), and returns the recovered state.
-    pub fn open_with(dir: &Path, opts: OpenOptions) -> Result<(Store, Restored)> {
+    ///
+    /// When `obs` is attached, the open records segment open counters
+    /// (`storage.segment.open`, `.mapped`/`.owned`, `.verify_eager`),
+    /// lazy per-section CRC checks (`storage.crc.lazy_checks` /
+    /// `storage.crc_fail`), WAL replay/torn-tail counters, and the
+    /// `storage.wal_size` / `storage.live_segment_bytes` gauges; the
+    /// returned handle keeps recording WAL append/fsync latency and
+    /// per-stage checkpoint timings for its lifetime.
+    pub fn open_observed(
+        dir: &Path,
+        opts: OpenOptions,
+        obs: Option<Arc<Obs>>,
+    ) -> Result<(Store, Restored)> {
         fs::create_dir_all(dir)?;
         for entry in fs::read_dir(dir)? {
             let entry = entry?;
@@ -180,20 +198,49 @@ impl Store {
         if manifest_path.exists() {
             seq = read_manifest(&manifest_path)?;
             let seg_path = dir.join(format!("checkpoint-{seq}.seg"));
+            if let Some(obs) = &obs {
+                obs.add("storage.segment.open", 1);
+                if opts.verify {
+                    obs.add("storage.segment.verify_eager", 1);
+                }
+            }
             restored = if opts.mmap {
-                let map: Arc<dyn ByteBuffer> = Arc::new(SegmentMap::open(&seg_path)?);
+                let segmap = SegmentMap::open(&seg_path)?;
+                if let Some(obs) = &obs {
+                    // is_mapped distinguishes a real mapping from the
+                    // non-unix read-into-memory fallback.
+                    obs.add(
+                        if segmap.is_mapped() {
+                            "storage.segment.mapped"
+                        } else {
+                            "storage.segment.owned"
+                        },
+                        1,
+                    );
+                }
+                let map: Arc<dyn ByteBuffer> = Arc::new(segmap);
                 let seg = Segment::open(map, opts.verify)?;
+                if let Some(obs) = &obs {
+                    obs.set_gauge("storage.live_segment_bytes", seg.byte_len() as u64);
+                }
                 // Lazy mode: per-section CRCs for decoded sections are
                 // checked at access below; the raw index arrays rely on
                 // structural validation instead.
-                restore_segment(&seg, !opts.verify, true)?
+                restore_segment(&seg, !opts.verify, true, obs.as_ref())?
             } else {
                 // Read-into-memory path: Segment::parse verifies every
                 // checksum while the bytes are hot.
-                restore_segment(&Segment::parse(fs::read(&seg_path)?)?, false, false)?
+                if let Some(obs) = &obs {
+                    obs.add("storage.segment.owned", 1);
+                }
+                let seg = Segment::parse(fs::read(&seg_path)?)?;
+                if let Some(obs) = &obs {
+                    obs.set_gauge("storage.live_segment_bytes", seg.byte_len() as u64);
+                }
+                restore_segment(&seg, false, false, None)?
             };
         }
-        let (wal, records) = Wal::open(&dir.join(WAL_FILE))?;
+        let (wal, records) = Wal::open_observed(&dir.join(WAL_FILE), obs.clone())?;
         for rec in records {
             apply_record(&mut restored, rec)?;
         }
@@ -202,6 +249,7 @@ impl Store {
                 dir: dir.to_path_buf(),
                 wal,
                 next_seq: seq + 1,
+                obs,
             },
             restored,
         ))
@@ -219,6 +267,7 @@ impl Store {
     /// fixed-size buffer with an incremental CRC; no section (let alone
     /// the segment) is materialized in memory first.
     pub fn checkpoint(&mut self, snap: &Snapshot) -> Result<()> {
+        let _ckpt_span = self.obs.as_ref().map(|o| o.span("storage.checkpoint"));
         let seq = self.next_seq;
         let mut declared: Vec<(&str, &str)> = Vec::new();
         if snap.options.is_some() {
@@ -239,6 +288,10 @@ impl Store {
 
         let tmp_path = self.dir.join(format!("checkpoint-{seq}.tmp"));
         let seg_name = format!("checkpoint-{seq}.seg");
+        let write_span = self
+            .obs
+            .as_ref()
+            .map(|o| o.span("storage.checkpoint.write"));
         let mut w = SegmentWriter::create(fs::File::create(&tmp_path)?, &declared)?;
         if let Some(options) = &snap.options {
             w.begin_section(KIND_META, META_OPTIONS);
@@ -268,28 +321,57 @@ impl Store {
         let file = w.finish()?;
         file.sync_all()?;
         drop(file);
-        fs::rename(&tmp_path, self.dir.join(&seg_name))?;
-        sync_dir(&self.dir);
-        let mut manifest = Vec::with_capacity(16);
-        manifest.extend_from_slice(MANIFEST_MAGIC);
-        manifest.extend_from_slice(&seq.to_le_bytes());
-        manifest.extend_from_slice(&fnv1a(&seq.to_le_bytes()).to_le_bytes());
-        write_durable_rename(
-            &self.dir.join("MANIFEST.tmp"),
-            &self.dir.join(MANIFEST),
-            &manifest,
-        )?;
-        sync_dir(&self.dir);
-        self.wal.reset()?;
+        drop(write_span);
+        {
+            let _rename_span = self
+                .obs
+                .as_ref()
+                .map(|o| o.span("storage.checkpoint.rename"));
+            fs::rename(&tmp_path, self.dir.join(&seg_name))?;
+            sync_dir(&self.dir);
+        }
+        {
+            let _manifest_span = self
+                .obs
+                .as_ref()
+                .map(|o| o.span("storage.checkpoint.manifest"));
+            let mut manifest = Vec::with_capacity(16);
+            manifest.extend_from_slice(MANIFEST_MAGIC);
+            manifest.extend_from_slice(&seq.to_le_bytes());
+            manifest.extend_from_slice(&fnv1a(&seq.to_le_bytes()).to_le_bytes());
+            write_durable_rename(
+                &self.dir.join("MANIFEST.tmp"),
+                &self.dir.join(MANIFEST),
+                &manifest,
+            )?;
+            sync_dir(&self.dir);
+        }
+        {
+            let _truncate_span = self
+                .obs
+                .as_ref()
+                .map(|o| o.span("storage.checkpoint.truncate"));
+            self.wal.reset()?;
+        }
         // Compaction: only the published segment survives on disk. A
         // snapshot still holding the old segment's mapping keeps its
         // pages alive (unix semantics); the directory entry goes now.
+        let _compact_span = self
+            .obs
+            .as_ref()
+            .map(|o| o.span("storage.checkpoint.compact"));
         for entry in fs::read_dir(&self.dir)? {
             let entry = entry?;
             let fname = entry.file_name();
             let fname = fname.to_string_lossy();
             if fname.starts_with("checkpoint-") && fname.ends_with(".seg") && *fname != *seg_name {
                 let _ = fs::remove_file(entry.path());
+            }
+        }
+        if let Some(obs) = &self.obs {
+            obs.add("storage.checkpoints", 1);
+            if let Ok(meta) = fs::metadata(self.dir.join(&seg_name)) {
+                obs.set_gauge("storage.live_segment_bytes", meta.len());
             }
         }
         self.next_seq = seq + 1;
@@ -340,10 +422,24 @@ fn read_manifest(path: &Path) -> Result<u64> {
 }
 
 /// Hands back a section's payload, CRC-checking it first when the open
-/// mode deferred checksums.
-fn checked_bytes<'a>(sec: &Section<'a>, check_crc: bool) -> Result<&'a [u8]> {
+/// mode deferred checksums. Each deferred check is counted, and a
+/// failure bumps `storage.crc_fail` (the `/healthz` degraded signal)
+/// before the error propagates.
+fn checked_bytes<'a>(
+    sec: &Section<'a>,
+    check_crc: bool,
+    obs: Option<&Arc<Obs>>,
+) -> Result<&'a [u8]> {
     if check_crc {
-        sec.verify()?;
+        if let Some(obs) = obs {
+            obs.add("storage.crc.lazy_checks", 1);
+        }
+        if let Err(e) = sec.verify() {
+            if let Some(obs) = obs {
+                obs.add("storage.crc_fail", 1);
+            }
+            return Err(e);
+        }
     }
     Ok(sec.bytes())
 }
@@ -355,25 +451,30 @@ fn checked_bytes<'a>(sec: &Section<'a>, check_crc: bool) -> Result<&'a [u8]> {
 /// corrupt byte there surfaces as a loud reopen error, not a checksum
 /// pass over gigabytes of cold pages. `mapped` selects zero-copy
 /// adoption for the index arrays.
-fn restore_segment(seg: &Segment, check_crc: bool, mapped: bool) -> Result<Restored> {
+fn restore_segment(
+    seg: &Segment,
+    check_crc: bool,
+    mapped: bool,
+    obs: Option<&Arc<Obs>>,
+) -> Result<Restored> {
     let mut restored = Restored {
         mapped,
         ..Restored::default()
     };
     if let Some(meta) = seg.find(KIND_META, META_OPTIONS) {
-        restored.options = Some(decode_options(checked_bytes(&meta, check_crc)?)?);
+        restored.options = Some(decode_options(checked_bytes(&meta, check_crc, obs)?)?);
     }
     for sec in seg.sections() {
         match sec.kind() {
             KIND_COLLECTION => restored.collections.push(RestoredCollection {
                 name: sec.name().to_string(),
-                graphs: decode_collection(checked_bytes(&sec, check_crc)?)?,
+                graphs: decode_collection(checked_bytes(&sec, check_crc, obs)?)?,
                 indexes: None,
                 feedback: None,
             }),
             KIND_VAR => restored.vars.push((
                 sec.name().to_string(),
-                decode_graph(checked_bytes(&sec, check_crc)?)?,
+                decode_graph(checked_bytes(&sec, check_crc, obs)?)?,
             )),
             _ => {}
         }
@@ -396,7 +497,7 @@ fn restore_segment(seg: &Segment, check_crc: bool, mapped: bool) -> Result<Resto
                 decode_index_parts(sec.bytes())?
             });
         } else {
-            target.feedback = Some(decode_feedback(checked_bytes(&sec, check_crc)?)?);
+            target.feedback = Some(decode_feedback(checked_bytes(&sec, check_crc, obs)?)?);
         }
     }
     Ok(restored)

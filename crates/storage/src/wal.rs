@@ -23,9 +23,12 @@
 
 use crate::Result;
 use gql_core::storage::{fnv1a, get_str, put_str, StorageError};
+use gql_core::Obs;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// One logged mutation. Values are carried in full (not as deltas), so
 /// replay order only has to respect per-key last-writer-wins.
@@ -113,6 +116,7 @@ pub struct Wal {
     file: File,
     path: PathBuf,
     len: u64,
+    obs: Option<Arc<Obs>>,
 }
 
 impl Wal {
@@ -120,6 +124,13 @@ impl Wal {
     /// committed prefix, truncates any torn tail, and returns the
     /// decoded records in append order.
     pub fn open(path: &Path) -> Result<(Wal, Vec<WalRecord>)> {
+        Wal::open_observed(path, None)
+    }
+
+    /// [`Wal::open`] with a metrics sink attached: replayed frames,
+    /// torn-tail truncations, append/fsync latency, and the committed
+    /// size gauge are recorded into `obs` for the lifetime of the log.
+    pub fn open_observed(path: &Path, obs: Option<Arc<Obs>>) -> Result<(Wal, Vec<WalRecord>)> {
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -132,13 +143,21 @@ impl Wal {
         if (good_end as u64) < bytes.len() as u64 {
             file.set_len(good_end as u64)?;
             file.sync_all()?;
+            if let Some(obs) = &obs {
+                obs.add("storage.wal.torn_tail", 1);
+            }
         }
         file.seek(SeekFrom::Start(good_end as u64))?;
+        if let Some(obs) = &obs {
+            obs.add("storage.wal.replay_frames", records.len() as u64);
+            obs.set_gauge("storage.wal_size", good_end as u64);
+        }
         Ok((
             Wal {
                 file,
                 path: path.to_path_buf(),
                 len: good_end as u64,
+                obs,
             },
             records,
         ))
@@ -147,14 +166,22 @@ impl Wal {
     /// Appends one record and syncs it to disk before returning: once
     /// `append` succeeds, the record survives any crash.
     pub fn append(&mut self, rec: &WalRecord) -> Result<()> {
+        let _append_span = self.obs.as_ref().map(|o| o.span("storage.wal.append"));
         let payload = rec.encode();
         let mut frame = Vec::with_capacity(8 + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&fnv1a(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
         self.file.write_all(&frame)?;
+        let fsync_start = Instant::now();
         self.file.sync_data()?;
         self.len += frame.len() as u64;
+        if let Some(obs) = &self.obs {
+            obs.record("storage.wal.fsync", fsync_start.elapsed());
+            obs.add("storage.wal.appends", 1);
+            obs.add("storage.wal.append_bytes", frame.len() as u64);
+            obs.set_gauge("storage.wal_size", self.len);
+        }
         Ok(())
     }
 
@@ -165,6 +192,9 @@ impl Wal {
         self.file.seek(SeekFrom::Start(0))?;
         self.file.sync_all()?;
         self.len = 0;
+        if let Some(obs) = &self.obs {
+            obs.set_gauge("storage.wal_size", 0);
+        }
         Ok(())
     }
 

@@ -93,8 +93,10 @@ grep -q -- "-- slow queries" "$obs_tmp/diag.txt" || { echo "slow-query log missi
 grep -q "traceEvents" "$obs_tmp/trace.json" || { echo "trace file missing events"; exit 1; }
 python3 -m json.tool "$obs_tmp/trace.json" > /dev/null \
     || { echo "trace file is not valid JSON"; exit 1; }
-grep -q 'gql_phase_seconds_count{phase="engine.flwr"}' "$obs_tmp/metrics.prom" \
+grep -q 'gql_engine_flwr_seconds_count' "$obs_tmp/metrics.prom" \
     || { echo "metrics file missing engine.flwr"; exit 1; }
+cargo run --release -q -p gql-bench --bin experiments -- validate-prom "$obs_tmp/metrics.prom" \
+    || { echo "metrics file is not valid Prometheus exposition"; exit 1; }
 grep -q -- "-- result" "$obs_tmp/results.txt" || { echo "results missing from stdout"; exit 1; }
 if grep -qE "loaded|profile|flwr|ok" "$obs_tmp/results.txt"; then
     echo "diagnostics leaked to stdout"; exit 1
@@ -124,6 +126,59 @@ fourth=$(cargo run --release -q -p gql-cli -- run examples/gql/coauthors.gql \
     --data-dir "$persist_tmp/db" --verify-checkpoint 2> /dev/null)
 [ "$first" = "$fourth" ] || { echo "--verify-checkpoint changed results"; exit 1; }
 rm -rf "$persist_tmp"
+
+echo "==> live telemetry smoke (--metrics-addr endpoints answer mid-run)"
+tele_tmp=$(mktemp -d)
+cargo run --release -q -p gql-cli -- run examples/gql/coauthors.gql \
+    --data DBLP=examples/gql/dblp_sample.gql \
+    --metrics-addr 127.0.0.1:0 --metrics-linger-ms 8000 --slow-ms 0 \
+    > "$tele_tmp/results.txt" 2> "$tele_tmp/diag.txt" &
+tele_pid=$!
+# The bound (ephemeral) address is printed to stderr as soon as the
+# server is up — before the program's own work starts.
+tele_addr=""
+for _ in $(seq 1 100); do
+    tele_addr=$(sed -n 's#^metrics server listening on http://\([^/]*\)/metrics$#\1#p' \
+        "$tele_tmp/diag.txt" | head -n1)
+    [ -n "$tele_addr" ] && break
+    sleep 0.1
+done
+[ -n "$tele_addr" ] || { echo "metrics server address never appeared"; kill "$tele_pid"; exit 1; }
+fetch() {
+    python3 -c 'import sys, urllib.request
+sys.stdout.write(urllib.request.urlopen(sys.argv[1], timeout=5).read().decode())' "http://$tele_addr$1"
+}
+# Scrape from outside the process while it is still running (the linger
+# window guarantees it is). --slow-ms 0 logs every statement, so poll
+# /slow until the run's queries show up.
+tele_seen=""
+for _ in $(seq 1 50); do
+    if fetch /slow > "$tele_tmp/slow.json" 2>/dev/null \
+        && grep -q '"id"' "$tele_tmp/slow.json"; then
+        tele_seen=yes
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$tele_seen" ] || { echo "/slow never reflected the run"; kill "$tele_pid"; exit 1; }
+fetch /metrics > "$tele_tmp/metrics.prom"
+fetch /healthz > "$tele_tmp/healthz.json"
+wait "$tele_pid" || { echo "telemetry run failed"; exit 1; }
+cargo run --release -q -p gql-bench --bin experiments -- validate-prom "$tele_tmp/metrics.prom" \
+    || { echo "/metrics is not valid Prometheus exposition"; exit 1; }
+grep -q 'gql_engine_flwr_seconds_count' "$tele_tmp/metrics.prom" \
+    || { echo "/metrics missing engine counters"; exit 1; }
+python3 -m json.tool "$tele_tmp/healthz.json" > /dev/null \
+    || { echo "/healthz is not valid JSON"; exit 1; }
+grep -q '"status": "ok"' "$tele_tmp/healthz.json" \
+    || { echo "/healthz not ok on a healthy run"; exit 1; }
+python3 -m json.tool "$tele_tmp/slow.json" > /dev/null \
+    || { echo "/slow is not valid JSON"; exit 1; }
+plain=$(cargo run --release -q -p gql-cli -- run examples/gql/coauthors.gql \
+    --data DBLP=examples/gql/dblp_sample.gql 2> /dev/null)
+[ "$(cat "$tele_tmp/results.txt")" = "$plain" ] \
+    || { echo "--metrics-addr changed query results"; exit 1; }
+rm -rf "$tele_tmp"
 
 echo "==> cargo bench --no-run (benches must compile)"
 cargo bench --no-run -p gql-bench
